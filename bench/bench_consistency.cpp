@@ -1,0 +1,88 @@
+// E3 -- Soft vs strong network consistency (§2.4.3).
+//
+// Claim: "This soft consistency protocol leads to lower bandwidth
+// utilization and better scalability." We measure steady-state protocol
+// bytes per node per second for (a) the CORBA-LC hierarchical soft-
+// consistency protocol (periodic heartbeats with piggybacked digests along
+// the tree) and (b) a strong-consistency baseline that replicates every
+// registry to every node. We also report the price of softness: the delay
+// until a freshly installed component becomes visible to a remote node.
+#include <cstdio>
+
+#include "sim_world.hpp"
+
+using namespace clc;
+using namespace clc::bench;
+
+namespace {
+
+double steady_state_bytes_per_node_s(CohesionConfig::Mode mode,
+                                     std::size_t n) {
+  SimWorld w(bench_config(mode), 5);
+  w.build(n);
+  // Every node advertises a handful of components (realistic digests).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int c = 0; c < 4; ++c)
+      w.peer(i).components.push_back(ComponentSummary{
+          "comp." + std::to_string(i) + "." + std::to_string(c),
+          Version{1, 0, 0}, true, 0});
+  }
+  w.run_for(seconds(40));  // formation transient
+  w.net().reset_stats();
+  constexpr Duration kWindow = seconds(60);
+  w.run_for(kWindow);
+  return static_cast<double>(w.net().stats().bytes_sent) /
+         static_cast<double>(n) / to_seconds(kWindow);
+}
+
+double visibility_delay_s(CohesionConfig::Mode mode, std::size_t n) {
+  SimWorld w(bench_config(mode), 6);
+  w.build(n);
+  w.run_for(seconds(40));
+  // Install on the last node; poll from node 0 until visible.
+  const TimePoint installed_at = w.sim().now();
+  w.peer(n - 1).components.push_back(
+      ComponentSummary{"fresh.component", Version{1, 0, 0}, true, 0});
+  ComponentQuery q;
+  q.name_pattern = "fresh.component";
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    auto hits = w.query(0, q);
+    if (!hits.empty()) return to_seconds(w.sim().now() - installed_at);
+    w.run_for(w.config().heartbeat / 2);
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E3: soft (hierarchical) vs strong consistency -- steady-state "
+              "bandwidth\n");
+  std::printf("(4 components/node, heartbeat %llds, 60s steady-state window)\n\n",
+              static_cast<long long>(seconds(2) / seconds(1)));
+  std::printf("%6s | %18s | %18s | %8s\n", "nodes", "soft B/node/s",
+              "strong B/node/s", "ratio");
+  std::printf("-------+--------------------+--------------------+---------\n");
+  for (std::size_t n : {8u, 32u, 128u, 512u, 1024u}) {
+    const double soft =
+        steady_state_bytes_per_node_s(CohesionConfig::Mode::hierarchical, n);
+    const double strong =
+        steady_state_bytes_per_node_s(CohesionConfig::Mode::strong, n);
+    std::printf("%6zu | %18.0f | %18.0f | %7.1fx\n", n, soft, strong,
+                strong / (soft > 0 ? soft : 1));
+  }
+
+  std::printf("\nE3b: the price of softness -- new-component visibility "
+              "delay\n");
+  std::printf("%6s | %16s | %16s\n", "nodes", "soft delay", "strong delay");
+  for (std::size_t n : {32u, 256u}) {
+    const double soft =
+        visibility_delay_s(CohesionConfig::Mode::hierarchical, n);
+    const double strong = visibility_delay_s(CohesionConfig::Mode::strong, n);
+    std::printf("%6zu | %13.2f s | %13.2f s\n", n, soft, strong);
+  }
+  std::printf("\nshape check: strong bandwidth grows O(N) per node (O(N^2) "
+              "total); soft stays ~flat per node. Strong is visible almost "
+              "immediately; soft within a few heartbeats.\n");
+  return 0;
+}

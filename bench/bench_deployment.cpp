@@ -1,0 +1,145 @@
+// E6 -- Run-time deployment vs fixed (CCM-style) assembly (§2.4.4).
+//
+// Claim: "Conversely, in CORBA-LC the matching between component required
+// instances and network-running instances is performed at run-time ... this
+// decision may change to reflect changes in the load of either the nodes or
+// the network." A fixed assembly pins instances to the hosts chosen at
+// design time; CORBA-LC places them where the Resource Managers report
+// headroom.
+//
+// Setup: heterogeneous 8-node network (different CPU power, different
+// ambient load), 24 instances of a 0.1-CPU component to place.
+//   baseline  -- static assembly: round-robin over the nodes the designer
+//                knew about (the first 4), ignoring load;
+//   CORBA-LC  -- run-time placement by Resource-Manager headroom score.
+// Metric: resulting max/mean CPU load (lower max = better balance) and
+// placement failures.
+#include <cstdio>
+
+#include <algorithm>
+
+#include "core/node.hpp"
+#include "support/test_components.hpp"
+
+using namespace clc;
+using namespace clc::core;
+
+namespace {
+
+struct Outcome {
+  double max_load = 0;
+  double mean_load = 0;
+  int failures = 0;
+};
+
+Outcome measure(const std::vector<Node*>& nodes) {
+  Outcome o;
+  double total = 0;
+  for (Node* n : nodes) {
+    const double load = n->resources().load().cpu_load;
+    o.max_load = std::max(o.max_load, load);
+    total += load;
+  }
+  o.mean_load = total / static_cast<double>(nodes.size());
+  return o;
+}
+
+/// Pick the node with the most CPU headroom that can admit the component
+/// (the Distributed Registry's placement decision, §2.4.2: "The Resource
+/// Manager in the node collaborates with the Container in deciding initial
+/// placement of component instances").
+Node* best_node(const std::vector<Node*>& nodes,
+                const pkg::ComponentDescription& d) {
+  Node* best = nullptr;
+  double best_headroom = -1;
+  for (Node* n : nodes) {
+    if (!n->resources().can_host(d)) continue;
+    const double headroom = n->resources().cpu_headroom();
+    if (headroom > best_headroom) {
+      best_headroom = headroom;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: run-time deployment vs static (CCM-style) assembly\n");
+  std::printf("(8 heterogeneous nodes, 24 instances of a 0.1-CPU component)\n\n");
+
+  CohesionConfig cohesion;
+  cohesion.heartbeat = seconds(1);
+
+  auto build_world = [&](LocalNetwork& net, std::vector<Node*>& nodes) {
+    const double powers[8] = {4.0, 2.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.25};
+    const double ambient[8] = {0.1, 0.5, 0.2, 0.7, 0.05, 0.3, 0.6, 0.1};
+    for (int i = 0; i < 8; ++i) {
+      NodeProfile p;
+      p.cpu_power = powers[i];
+      Node& n = net.add_node(p);
+      n.resources().set_ambient_cpu_load(ambient[i]);
+      nodes.push_back(&n);
+    }
+    net.settle();
+    for (Node* n : nodes) (void)n->install(clc::testing::calculator_package());
+    net.settle();
+  };
+
+  pkg::ComponentDescription unit;  // the per-instance QoS declaration
+  unit.name = "demo.calculator";
+  unit.qos.max_cpu_load = 0.1;
+  constexpr int kInstances = 24;
+
+  // Baseline: static assembly, instances pinned round-robin to the first
+  // four hosts (what a deployment descriptor written in advance would say).
+  Outcome fixed;
+  {
+    LocalNetwork net(cohesion);
+    std::vector<Node*> nodes;
+    build_world(net, nodes);
+    for (int i = 0; i < kInstances; ++i) {
+      Node* pinned = nodes[i % 4];
+      auto id = pinned->container().create("demo.calculator",
+                                           VersionConstraint{});
+      if (!id.ok()) ++fixed.failures;
+    }
+    Outcome o = measure(nodes);
+    fixed.max_load = o.max_load;
+    fixed.mean_load = o.mean_load;
+  }
+
+  // CORBA-LC: run-time placement by Resource-Manager headroom.
+  Outcome dynamic;
+  {
+    LocalNetwork net(cohesion);
+    std::vector<Node*> nodes;
+    build_world(net, nodes);
+    for (int i = 0; i < kInstances; ++i) {
+      Node* chosen = best_node(nodes, unit);
+      if (chosen == nullptr) {
+        ++dynamic.failures;
+        continue;
+      }
+      auto id = chosen->container().create("demo.calculator",
+                                           VersionConstraint{});
+      if (!id.ok()) ++dynamic.failures;
+    }
+    Outcome o = measure(nodes);
+    dynamic.max_load = o.max_load;
+    dynamic.mean_load = o.mean_load;
+  }
+
+  std::printf("%22s | %9s | %9s | %9s\n", "policy", "max load", "mean load",
+              "failures");
+  std::printf("-----------------------+-----------+-----------+----------\n");
+  std::printf("%22s | %9.2f | %9.2f | %9d\n", "static assembly", fixed.max_load,
+              fixed.mean_load, fixed.failures);
+  std::printf("%22s | %9.2f | %9.2f | %9d\n", "run-time placement",
+              dynamic.max_load, dynamic.mean_load, dynamic.failures);
+  std::printf("\nshape check: run-time placement keeps the max node load far "
+              "below the static assembly's (which overloads the designer's "
+              "four hosts and fails admissions).\n");
+  return 0;
+}

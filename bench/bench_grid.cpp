@@ -1,0 +1,104 @@
+// E11 -- Grid computing with aggregation components (§3.2).
+//
+// Claim: aggregation-capable components let the network act as a compute
+// grid (IDLE/volunteer computing). All volunteers share one physical core
+// here, so raw wall time cannot show parallel speedup; instead we measure
+// the real distribution overhead per chunk (marshaling + transport + remote
+// instantiation) against the real chunk compute time, and report the
+// modeled speedup  S(k) = T_serial / (T_serial/k + k * overhead)  that a
+// k-machine deployment would reach -- the quantity a placement policy needs.
+#include <chrono>
+#include <cstdio>
+
+#include "core/aggregation.hpp"
+#include "core/node.hpp"
+#include "support/test_components.hpp"
+
+using namespace clc;
+using namespace clc::core;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: grid aggregation -- distribution overhead and modeled "
+              "speedup\n\n");
+  CohesionConfig cohesion;
+  cohesion.heartbeat = seconds(2);
+  LocalNetwork net(cohesion);
+  Node& coordinator = net.add_node();
+  std::vector<NodeId> volunteers;
+  for (int i = 0; i < 8; ++i) volunteers.push_back(net.add_node().id());
+  net.settle();
+  (void)coordinator.install(clc::testing::montecarlo_package());
+  net.settle();
+
+  auto mc = coordinator.acquire_local("demo.montecarlo", VersionConstraint{});
+  if (!mc.ok()) {
+    std::printf("setup failed: %s\n", mc.error().to_string().c_str());
+    return 1;
+  }
+  const InstanceId id{
+      static_cast<std::uint64_t>(std::stoull(mc->instance_token))};
+  constexpr std::int64_t kSamples = 4000000;
+  (void)coordinator.orb().call(mc->primary, "configure",
+                               {orb::Value(kSamples)});
+
+  // Serial compute time (single local chunk).
+  auto serial_start = std::chrono::steady_clock::now();
+  auto serial = run_data_parallel(coordinator, id, 1, {});
+  const double t_serial = seconds_since(serial_start);
+  if (!serial.ok()) {
+    std::printf("serial run failed\n");
+    return 1;
+  }
+  orb::CdrReader r(serial->result);
+  std::printf("serial: %lld samples in %.3f s (pi ~= %.5f)\n",
+              static_cast<long long>(kSamples), t_serial, *r.read_double());
+
+  // Distribution overhead: run tiny chunks remotely and time the envelope.
+  (void)coordinator.orb().call(mc->primary, "configure",
+                               {orb::Value(std::int64_t{8})});
+  // Warm-up: first use makes volunteers fetch the package.
+  (void)run_data_parallel(coordinator, id, 8, volunteers);
+  constexpr int kProbe = 64;
+  auto probe_start = std::chrono::steady_clock::now();
+  auto probe = run_data_parallel(coordinator, id, kProbe, volunteers);
+  const double overhead =
+      probe.ok() ? seconds_since(probe_start) / kProbe : 0.0;
+  std::printf("per-chunk distribution overhead: %.1f us "
+              "(remote instantiation amortized; marshaling + transport)\n\n",
+              overhead * 1e6);
+
+  std::printf("%12s | %14s | %12s\n", "volunteers", "modeled time",
+              "speedup");
+  std::printf("-------------+----------------+-------------\n");
+  for (int k : {1, 2, 4, 8, 16, 32}) {
+    const double t_k = t_serial / k + k * overhead;
+    std::printf("%12d | %12.3f s | %10.2fx\n", k, t_k, t_serial / t_k);
+  }
+
+  // Volunteer churn: kill two volunteers, re-run, count recovered chunks.
+  (void)coordinator.orb().call(mc->primary, "configure",
+                               {orb::Value(std::int64_t{80000})});
+  net.crash(volunteers[2]);
+  net.crash(volunteers[5]);
+  auto churn = run_data_parallel(coordinator, id, 16, volunteers);
+  if (churn.ok()) {
+    std::printf("\nchurn: 2 of 8 volunteers died; %zu/%zu chunks recovered "
+                "locally, result still correct (pi ~= ",
+                churn->recovered_chunks, churn->chunks);
+    orb::CdrReader cr(churn->result);
+    std::printf("%.4f)\n", *cr.read_double());
+  }
+  std::printf("\nshape check: near-linear modeled speedup until the k * "
+              "overhead term bites; churn costs only the lost chunks.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+// E1 -- "Simplicity and performance" (§2 req. 1, Fig. 1).
+//
+// The model must be lightweight: this bench quantifies the invocation cost
+// ladder -- direct C++ virtual call, collocated ORB dispatch (full marshal/
+// unmarshal), loopback remote call, remote call over real TCP sockets, and
+// a simulated WAN hop -- plus payload-size sweeps and the cost of node
+// service operations (instantiation).
+#include <benchmark/benchmark.h>
+
+#include "core/node.hpp"
+#include "orb/tcp.hpp"
+#include "support/test_components.hpp"
+
+using namespace clc;
+using namespace clc::core;
+
+namespace {
+
+struct InvocationFixture {
+  InvocationFixture() : net(make_config()) {
+    server = &net.add_node();
+    client = &net.add_node();
+    net.settle();
+    (void)server->install(testing::calculator_package());
+    net.settle();
+    // Resolve from the client so the component IDL is imported there too.
+    bound = client->resolve("demo.calculator", VersionConstraint{},
+                            Binding::remote)
+                .value();
+  }
+  static CohesionConfig make_config() {
+    CohesionConfig cfg;
+    cfg.heartbeat = seconds(2);
+    return cfg;
+  }
+  LocalNetwork net;
+  Node* server = nullptr;
+  Node* client = nullptr;
+  BoundComponent bound;
+};
+
+InvocationFixture& fixture() {
+  static InvocationFixture f;
+  return f;
+}
+
+/// Baseline: plain C++ virtual dispatch on the servant object.
+void BM_DirectCppCall(benchmark::State& state) {
+  struct Iface {
+    virtual ~Iface() = default;
+    virtual int add(int a, int b) = 0;
+  };
+  struct Impl : Iface {
+    int add(int a, int b) override { return a + b; }
+  };
+  Impl impl;
+  Iface* iface = &impl;
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = iface->add(x, 1));
+  }
+}
+BENCHMARK(BM_DirectCppCall);
+
+/// Collocated ORB call: full request marshal + dispatch + reply unmarshal,
+/// no transport hop (server invoking its own object).
+void BM_CollocatedOrbCall(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    auto r = f.server->orb().call(f.bound.primary, "add",
+                                  {orb::Value(std::int32_t{1}),
+                                   orb::Value(std::int32_t{2})});
+    if (!r.ok()) state.SkipWithError("call failed");
+  }
+}
+BENCHMARK(BM_CollocatedOrbCall);
+
+/// Remote call over the in-process loopback transport.
+void BM_LoopbackRemoteCall(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    auto r = f.client->orb().call(f.bound.primary, "add",
+                                  {orb::Value(std::int32_t{1}),
+                                   orb::Value(std::int32_t{2})});
+    if (!r.ok()) state.SkipWithError("call failed");
+  }
+}
+BENCHMARK(BM_LoopbackRemoteCall);
+
+/// Remote call across real TCP sockets (two ORBs, one host).
+void BM_TcpRemoteCall(benchmark::State& state) {
+  static auto repo = std::make_shared<idl::InterfaceRepository>();
+  static orb::Orb server(NodeId{91}, repo);
+  static orb::Orb client(NodeId{92}, repo);
+  static orb::TcpServer listener;
+  static orb::ObjectRef target = [] {
+    (void)repo->register_idl(
+        "module b { interface Calc { long add(in long a, in long b); }; };");
+    auto servant = std::make_shared<orb::DynamicServant>("b::Calc");
+    servant->on("add", [](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(static_cast<std::int32_t>(
+          *req.arg(0).to_int() + *req.arg(1).to_int())));
+      return {};
+    });
+    auto endpoint =
+        listener.start([](BytesView f) { return server.handle_frame(f); });
+    server.set_endpoint(endpoint.value());
+    client.set_endpoint("tcp:127.0.0.1:0");
+    client.add_transport("tcp", std::make_shared<orb::TcpTransport>());
+    return server.activate(servant);
+  }();
+  for (auto _ : state) {
+    auto r = client.call(target, "add",
+                         {orb::Value(std::int32_t{1}),
+                          orb::Value(std::int32_t{2})});
+    if (!r.ok()) state.SkipWithError("call failed");
+  }
+}
+BENCHMARK(BM_TcpRemoteCall);
+
+/// Payload sweep: echo a string argument of the given size (loopback).
+void BM_PayloadSweep(benchmark::State& state) {
+  static auto repo = std::make_shared<idl::InterfaceRepository>();
+  static orb::Orb orb_instance(NodeId{93}, repo);
+  static orb::ObjectRef target = [] {
+    (void)repo->register_idl(
+        "module b { interface Echo { string echo(in string s); }; };");
+    auto servant = std::make_shared<orb::DynamicServant>("b::Echo");
+    servant->on("echo", [](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(req.arg(0));
+      return {};
+    });
+    return orb_instance.activate(servant);
+  }();
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    auto r = orb_instance.call(target, "echo", {orb::Value(payload)});
+    if (!r.ok()) state.SkipWithError("call failed");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PayloadSweep)->Arg(8)->Arg(1024)->Arg(65536);
+
+/// Node-service cost: create + destroy one component instance.
+void BM_InstantiateDestroy(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    auto id = f.server->container().create("demo.calculator",
+                                           VersionConstraint{});
+    if (!id.ok()) {
+      state.SkipWithError("create failed");
+      break;
+    }
+    (void)f.server->container().destroy(*id);
+  }
+}
+BENCHMARK(BM_InstantiateDestroy);
+
+/// Distributed resolve cost (cached digests, remote bind).
+void BM_NetworkResolve(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    auto r = f.client->resolve("demo.calculator", VersionConstraint{},
+                               Binding::remote);
+    if (!r.ok()) state.SkipWithError("resolve failed");
+  }
+}
+BENCHMARK(BM_NetworkResolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

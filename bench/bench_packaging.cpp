@@ -1,0 +1,153 @@
+// E9 -- Packaging: compression for slow links, partial extraction for tiny
+// devices (§2.3).
+//
+// Micro-benchmarks for the packaging pipeline (build/sign, open, verify,
+// extract, PDA slice) plus a one-shot size table: full multi-platform
+// package vs the slice a PDA actually transfers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "pkg/lzss.hpp"
+#include "pkg/package.hpp"
+#include "util/rng.hpp"
+
+using namespace clc;
+using namespace clc::pkg;
+
+namespace {
+
+/// A binary image with realistic structure (repeated motifs over a small
+/// alphabet, like code/data sections) so compression has something to do.
+Bytes structured_image(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes motif(256);
+  for (auto& b : motif) b = static_cast<std::uint8_t>(rng.next_below(64));
+  Bytes out;
+  out.reserve(size);
+  while (out.size() < size) {
+    if (rng.chance(0.7)) {
+      out.insert(out.end(), motif.begin(), motif.end());
+    } else {
+      for (int i = 0; i < 64; ++i)
+        out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+ComponentDescription description() {
+  ComponentDescription d;
+  d.name = "bench.component";
+  d.version = {1, 2, 3};
+  d.summary = "Benchmark subject";
+  d.security.vendor = "bench";
+  d.ports = {{PortKind::provides, "main", "bench::Main"}};
+  return d;
+}
+
+Bytes build_package() {
+  PackageBuilder b(description());
+  b.set_idl("module bench { interface Main { void run(); }; };");
+  b.add_binary({"x86_64", "linux", "clc", "entry", structured_image(262144, 1)});
+  b.add_binary({"arm", "linux", "clc", "entry", structured_image(131072, 2)});
+  b.add_binary({"sparc", "solaris", "clc", "entry",
+                structured_image(196608, 3)});
+  return b.build(bytes_of("bench-key")).value();
+}
+
+void BM_PackageBuildAndSign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_package());
+  }
+}
+BENCHMARK(BM_PackageBuildAndSign)->Unit(benchmark::kMillisecond);
+
+void BM_PackageOpen(benchmark::State& state) {
+  const Bytes data = build_package();
+  for (auto _ : state) {
+    auto p = Package::open(data);
+    if (!p.ok()) state.SkipWithError("open failed");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_PackageOpen)->Unit(benchmark::kMillisecond);
+
+void BM_SignatureVerify(benchmark::State& state) {
+  auto p = Package::open(build_package()).value();
+  for (auto _ : state) {
+    auto r = p.verify(bytes_of("bench-key"));
+    if (!r.ok()) state.SkipWithError("verify failed");
+  }
+}
+BENCHMARK(BM_SignatureVerify)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryExtract(benchmark::State& state) {
+  auto p = Package::open(build_package()).value();
+  for (auto _ : state) {
+    auto bin = p.binary_for("x86_64", "linux", "clc");
+    if (!bin.ok()) state.SkipWithError("extract failed");
+  }
+}
+BENCHMARK(BM_BinaryExtract)->Unit(benchmark::kMillisecond);
+
+void BM_PdaSlice(benchmark::State& state) {
+  auto p = Package::open(build_package()).value();
+  for (auto _ : state) {
+    auto slice = p.slice_for_platform("arm", "linux", "clc");
+    if (!slice.ok()) state.SkipWithError("slice failed");
+  }
+}
+BENCHMARK(BM_PdaSlice)->Unit(benchmark::kMillisecond);
+
+void BM_LzssCompress256K(benchmark::State& state) {
+  const Bytes input = structured_image(262144, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lzss_compress(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_LzssCompress256K)->Unit(benchmark::kMillisecond);
+
+void BM_LzssDecompress256K(benchmark::State& state) {
+  const Bytes compressed = lzss_compress(structured_image(262144, 9));
+  for (auto _ : state) {
+    auto d = lzss_decompress(compressed);
+    if (!d.ok()) state.SkipWithError("decompress failed");
+  }
+}
+BENCHMARK(BM_LzssDecompress256K)->Unit(benchmark::kMillisecond);
+
+void print_size_table() {
+  const Bytes data = build_package();
+  auto p = Package::open(data).value();
+  std::uint64_t raw_total = 262144 + 131072 + 196608;
+  std::printf("\nE9 size table: multi-platform package vs PDA slice\n");
+  std::printf("  raw binaries (3 platforms):   %8llu bytes\n",
+              static_cast<unsigned long long>(raw_total));
+  std::printf("  packaged (compressed+signed): %8llu bytes (%.0f%% of raw)\n",
+              static_cast<unsigned long long>(p.total_size()),
+              100.0 * static_cast<double>(p.total_size()) /
+                  static_cast<double>(raw_total));
+  const auto slice = p.slice_for_platform("arm", "linux", "clc").value();
+  std::printf("  PDA slice (arm only):         %8zu bytes (%.0f%% of full "
+              "package)\n",
+              slice.size(),
+              100.0 * static_cast<double>(slice.size()) /
+                  static_cast<double>(p.total_size()));
+  std::printf("  partial-fetch accounting:     %8llu bytes\n\n",
+              static_cast<unsigned long long>(
+                  p.partial_fetch_size("arm", "linux", "clc")));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_size_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

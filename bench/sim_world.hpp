@@ -1,0 +1,140 @@
+// Shared harness for protocol benches: N CohesionNodes on the simulated
+// network with periodic ticks, plus query/measure helpers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/cohesion.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace clc::bench {
+
+using core::CohesionConfig;
+using core::CohesionNode;
+using core::ComponentQuery;
+using core::ComponentSummary;
+using core::ProtoMessage;
+using core::QueryHit;
+using core::RegistryDigest;
+
+class SimPeer : public sim::SimHost {
+ public:
+  SimPeer(NodeId id, CohesionConfig cfg, sim::SimNetwork& net,
+          sim::Simulator& sim)
+      : net_(net),
+        sim_(sim),
+        node_(id, cfg, [this, id](NodeId to, const ProtoMessage& m) {
+          net_.send(id, to, m.encode());
+        }) {
+    node_.set_digest_provider([this] {
+      RegistryDigest d;
+      d.components = components;
+      d.cpu_load = cpu_load;
+      return d;
+    });
+  }
+
+  void on_message(NodeId from, const Bytes& payload) override {
+    (void)from;
+    if (!alive) return;
+    auto m = ProtoMessage::decode(payload);
+    if (m.ok()) node_.on_message(*m, sim_.now());
+  }
+
+  CohesionNode& node() { return node_; }
+
+  std::vector<ComponentSummary> components;
+  double cpu_load = 0;
+  bool alive = true;
+
+ private:
+  sim::SimNetwork& net_;
+  sim::Simulator& sim_;
+  CohesionNode node_;
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(CohesionConfig cfg, std::uint64_t seed = 1)
+      : net_(sim_, seed), cfg_(cfg) {
+    net_.set_link_model({.base_latency = milliseconds(5),
+                         .jitter = milliseconds(1),
+                         .bytes_per_second = 0,
+                         .drop_probability = 0});
+  }
+
+  sim::Simulator& sim() { return sim_; }
+  sim::SimNetwork& net() { return net_; }
+  const CohesionConfig& config() const { return cfg_; }
+  std::size_t size() const { return peers_.size(); }
+  SimPeer& peer(std::size_t index) { return *peers_[index]; }
+
+  void build(std::size_t n) {
+    for (std::size_t i = 1; i <= n; ++i) {
+      auto peer = std::make_unique<SimPeer>(NodeId{i}, cfg_, net_, sim_);
+      SimPeer& ref = *peer;
+      net_.attach(NodeId{i}, peer.get());
+      peers_.push_back(std::move(peer));
+      const Duration period = cfg_.heartbeat / 2;
+      sim_.schedule_after(period, [this, &ref, period] { tick(ref, period); });
+      if (i == 1) {
+        ref.node().start_as_first(sim_.now());
+      } else {
+        sim_.schedule_after(milliseconds(2) * static_cast<Duration>(i),
+                            [&ref, this] {
+                              ref.node().start_joining(NodeId{1}, sim_.now());
+                            });
+      }
+    }
+  }
+
+  void kill(std::size_t index) {
+    peers_[index]->alive = false;
+    net_.detach(peers_[index]->node().id());
+  }
+
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+  /// Synchronous query from peer `index`; returns hits (empty on timeout).
+  std::vector<QueryHit> query(std::size_t index, const ComponentQuery& q) {
+    std::vector<QueryHit> result;
+    bool done = false;
+    peers_[index]->node().query(q, sim_.now(), [&](std::vector<QueryHit> hits) {
+      result = std::move(hits);
+      done = true;
+    });
+    int guard = 0;
+    while (!done && guard++ < 200000) {
+      if (!sim_.step()) run_for(cfg_.heartbeat / 2);
+    }
+    return result;
+  }
+
+ private:
+  void tick(SimPeer& p, Duration period) {
+    if (!p.alive) return;
+    p.node().on_tick(sim_.now());
+    sim_.schedule_after(period, [this, &p, period] { tick(p, period); });
+  }
+
+  sim::Simulator sim_;
+  sim::SimNetwork net_;
+  CohesionConfig cfg_;
+  std::vector<std::unique_ptr<SimPeer>> peers_;
+};
+
+inline CohesionConfig bench_config(CohesionConfig::Mode mode,
+                                   std::size_t group_size = 8) {
+  CohesionConfig cfg;
+  cfg.mode = mode;
+  cfg.heartbeat = seconds(2);
+  cfg.group_size = group_size;
+  cfg.query_timeout = seconds(4);
+  return cfg;
+}
+
+}  // namespace clc::bench

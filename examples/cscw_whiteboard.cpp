@@ -1,0 +1,237 @@
+// CSCW whiteboard: Figure 2 of the paper, realized.
+//
+//   "Figure 2 depicts the relationships between a CSCW application and
+//    other components, including GUI components. The latter can be either
+//    local or remote, and use the local Display component providing
+//    painting functions. Each GUI component is in charge of a portion of
+//    the window, and applications can change how the data is shown by
+//    replacing the GUI components with others at run-time. Note that all
+//    components required by the application can be remote, thus allowing
+//    the use of thin clients such as PDAs."
+//
+// Components (GUI and logic share one component model -- requirement 7):
+//   cscw.app         -- whiteboard application; emits cscw.Update events.
+//   cscw.display     -- painting functions (one surface per participant).
+//   cscw.gui.strokes -- GUI part: consumes updates, paints "stroke:" lines.
+//   cscw.gui.fancy   -- replacement GUI part installed mid-session.
+#include <cstdio>
+#include <memory>
+
+#include "core/node.hpp"
+#include "pkg/package.hpp"
+#include "support/test_components.hpp"
+
+using namespace clc;
+using namespace clc::core;
+
+namespace {
+
+constexpr const char* kCscwIdl = R"(
+module cscw {
+  interface Display {
+    void draw(in string shape);
+    string rendered();
+  };
+  interface GuiPart {
+    string style();
+  };
+  interface App {
+    void input(in string user, in string data);
+    long updates();
+  };
+};
+)";
+
+class DisplayInstance : public ComponentInstance {
+ public:
+  Result<void> initialize(InstanceContext& ctx) override {
+    auto servant = std::make_shared<orb::DynamicServant>("cscw::Display");
+    servant->on("draw", [this](orb::ServerRequest& req) -> Result<void> {
+      if (!content_.empty()) content_ += " | ";
+      content_ += req.arg(0).as<std::string>();
+      return {};
+    });
+    servant->on("rendered", [this](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(content_));
+      return {};
+    });
+    auto r = ctx.provide_port("surface", std::move(servant));
+    if (!r) return r.error();
+    return {};
+  }
+
+ private:
+  std::string content_;
+};
+
+/// GUI part: consumes cscw.Update events and paints them (in its style)
+/// through its "display" uses-port.
+class GuiPartInstance : public ComponentInstance {
+ public:
+  explicit GuiPartInstance(std::string style) : style_(std::move(style)) {}
+
+  Result<void> initialize(InstanceContext& ctx) override {
+    ctx_ = &ctx;
+    auto servant = std::make_shared<orb::DynamicServant>("cscw::GuiPart");
+    servant->on("style", [this](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(style_));
+      return {};
+    });
+    if (auto r = ctx.provide_port("gui", std::move(servant)); !r)
+      return r.error();
+    return ctx.on_event("updates", [this](const orb::Value& event) {
+      const auto& any = event.as<orb::AnyValue>();
+      (void)ctx_->call_port(
+          "display", "draw",
+          {orb::Value(style_ + ":" + any.value->as<std::string>())});
+    });
+  }
+
+ private:
+  std::string style_;
+  InstanceContext* ctx_ = nullptr;
+};
+
+/// The whiteboard application: a component that turns user input into
+/// published update events ("applications are just special components").
+class AppInstance : public ComponentInstance {
+ public:
+  Result<void> initialize(InstanceContext& ctx) override {
+    ctx_ = &ctx;
+    auto servant = std::make_shared<orb::DynamicServant>("cscw::App");
+    servant->on("input", [this](orb::ServerRequest& req) -> Result<void> {
+      ++updates_;
+      return ctx_->emit("board", orb::Value(req.arg(0).as<std::string>() +
+                                            " drew " +
+                                            req.arg(1).as<std::string>()));
+    });
+    servant->on("updates", [this](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(static_cast<std::int32_t>(updates_)));
+      return {};
+    });
+    auto r = ctx.provide_port("app", std::move(servant));
+    if (!r) return r.error();
+    return {};
+  }
+
+ private:
+  InstanceContext* ctx_ = nullptr;
+  int updates_ = 0;
+};
+
+Bytes make_package(const std::string& name, const char* entry,
+                   InstanceFactory factory, std::vector<pkg::PortSpec> ports) {
+  (void)ExecutorRegistry::global().register_symbol(entry, std::move(factory));
+  pkg::ComponentDescription d;
+  d.name = name;
+  d.version = {1, 0, 0};
+  d.security.vendor = "cscw";
+  d.mobile = true;
+  d.ports = std::move(ports);
+  pkg::PackageBuilder b(d);
+  b.set_idl(kCscwIdl);
+  b.add_binary(clc::testing::binary_for("x86_64", entry));
+  b.add_binary(clc::testing::binary_for("arm", entry));
+  return b.build(bytes_of("cscw-key")).value();
+}
+
+InstanceId id_of(const BoundComponent& b) {
+  return InstanceId{static_cast<std::uint64_t>(std::stoull(b.instance_token))};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== CSCW whiteboard (Figure 2) ==\n\n");
+  CohesionConfig cohesion;
+  cohesion.heartbeat = seconds(1);
+  LocalNetwork net(cohesion);
+
+  Node& host = net.add_node();  // hosts application + shared GUI parts
+  NodeProfile pda_profile;
+  pda_profile.arch = "arm";
+  pda_profile.device = DeviceClass::pda;
+  pda_profile.total_memory_kb = 16 * 1024;
+  Node& pda = net.add_node(pda_profile);  // thin client
+  net.settle();
+
+  (void)host.install(make_package(
+      "cscw.app", "create_cscw_app",
+      [] { return std::make_unique<AppInstance>(); },
+      {{pkg::PortKind::provides, "app", "cscw::App"},
+       {pkg::PortKind::emits, "board", "cscw.Update"}}));
+  (void)host.install(make_package(
+      "cscw.display", "create_display",
+      [] { return std::make_unique<DisplayInstance>(); },
+      {{pkg::PortKind::provides, "surface", "cscw::Display"}}));
+  (void)host.install(make_package(
+      "cscw.gui.strokes", "create_gui_strokes",
+      [] { return std::make_unique<GuiPartInstance>("strokes"); },
+      {{pkg::PortKind::provides, "gui", "cscw::GuiPart"},
+       {pkg::PortKind::uses, "display", "cscw::Display"},
+       {pkg::PortKind::consumes, "updates", "cscw.Update"}}));
+  net.settle();
+  std::printf("host repository: %zu components; pda installs nothing "
+              "(device class: pda)\n\n",
+              host.repository().size());
+
+  // Deploy: app + one display + one GUI part per participant. The PDA's GUI
+  // part and display run remotely on the host -- it only holds references.
+  auto app = host.acquire_local("cscw.app", VersionConstraint{});
+  auto host_display = host.acquire_local("cscw.display", VersionConstraint{});
+  auto host_gui = host.acquire_local("cscw.gui.strokes", VersionConstraint{});
+  auto pda_display = pda.resolve("cscw.display", VersionConstraint{},
+                                 Binding::remote);
+  auto pda_gui = pda.resolve("cscw.gui.strokes", VersionConstraint{},
+                             Binding::remote);
+  if (!app.ok() || !host_display.ok() || !host_gui.ok() || !pda_display.ok() ||
+      !pda_gui.ok()) {
+    std::printf("deployment failed\n");
+    return 1;
+  }
+  std::printf("pda renders through remote GUI part on node %llu\n",
+              static_cast<unsigned long long>(pda_gui->host.value));
+
+  // Wire GUI parts to their displays (assembly edges).
+  (void)host.container().connect(id_of(*host_gui), "display",
+                                 host_display->primary);
+  (void)pda.connect_remote(*pda_gui, "display", pda_display->primary);
+
+  // Users draw: the app publishes updates; every GUI part paints.
+  for (auto [user, shape] : {std::pair{"ada", "line(0,0,4,4)"},
+                             std::pair{"grace", "circle(2,2,1)"}}) {
+    (void)host.orb().call(app->primary, "input",
+                          {orb::Value(user), orb::Value(shape)});
+  }
+  auto rendered = host.orb().call(host_display->primary, "rendered");
+  std::printf("\nwhiteboard shows: %s\n",
+              rendered.ok() ? rendered->as<std::string>().c_str() : "?");
+  auto count = host.orb().call(app->primary, "updates");
+  std::printf("app processed %s updates\n",
+              count.ok() ? count->to_string().c_str() : "?");
+
+  // Run-time GUI replacement: install a new GUI part mid-session and swap.
+  (void)host.install(make_package(
+      "cscw.gui.fancy", "create_gui_fancy",
+      [] { return std::make_unique<GuiPartInstance>("fancy"); },
+      {{pkg::PortKind::provides, "gui", "cscw::GuiPart"},
+       {pkg::PortKind::uses, "display", "cscw::Display"},
+       {pkg::PortKind::consumes, "updates", "cscw.Update"}}));
+  auto fancy = host.acquire_local("cscw.gui.fancy", VersionConstraint{});
+  if (fancy.ok()) {
+    (void)host.container().connect(id_of(*fancy), "display",
+                                   host_display->primary);
+    (void)host.container().destroy(id_of(*host_gui));  // retire old part
+    (void)host.orb().call(app->primary, "input",
+                          {orb::Value("ada"), orb::Value("text('hello')")});
+    auto after = host.orb().call(host_display->primary, "rendered");
+    std::printf("\nGUI part replaced at run time; board now: %s\n",
+                after.ok() ? after->as<std::string>().c_str() : "?");
+  }
+
+  std::printf("\nhost registry: %zu running instances, %zu assembly edges\n",
+              host.registry().instances().size(),
+              host.registry().assembly().size());
+  std::printf("done.\n");
+  return 0;
+}

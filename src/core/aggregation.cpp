@@ -1,0 +1,52 @@
+#include "core/aggregation.hpp"
+
+namespace clc::core {
+
+Result<AggregationReport> run_data_parallel(
+    Node& origin, InstanceId aggregator, std::size_t parts,
+    const std::vector<NodeId>& volunteers) {
+  auto impl = origin.container().implementation(aggregator);
+  if (!impl) return impl.error();
+  auto description = origin.container().description_of(aggregator);
+  if (!description) return description.error();
+  if (!(*description)->aggregatable)
+    return Error{Errc::unsupported,
+                 (*description)->name + " is not aggregatable"};
+
+  auto chunks = (*impl)->split_work(parts);
+  if (!chunks) return chunks.error();
+
+  VersionConstraint exact;
+  exact.op = VersionConstraint::Op::eq;
+  exact.bound = (*description)->version;
+
+  AggregationReport report;
+  report.chunks = chunks->size();
+  std::vector<Bytes> partials;
+  partials.reserve(chunks->size());
+  for (std::size_t i = 0; i < chunks->size(); ++i) {
+    const Bytes& chunk = (*chunks)[i];
+    if (!volunteers.empty()) {
+      const NodeId worker = volunteers[i % volunteers.size()];
+      if (worker != origin.id()) {
+        auto partial = origin.process_chunk_on(worker, (*description)->name,
+                                               exact, chunk);
+        if (partial.ok()) {
+          ++report.remote_chunks;
+          partials.push_back(std::move(*partial));
+          continue;
+        }
+        ++report.recovered_chunks;  // volunteer failed: fall through to local
+      }
+    }
+    auto partial = (*impl)->process_chunk(chunk);
+    if (!partial) return partial.error();
+    partials.push_back(std::move(*partial));
+  }
+  auto result = (*impl)->gather(partials);
+  if (!result) return result.error();
+  report.result = std::move(*result);
+  return report;
+}
+
+}  // namespace clc::core

@@ -1,0 +1,31 @@
+// Aggregation: data-parallel components (§2.1.1, [17]).
+//
+// "Aggregation: if this component knows how to split itself in different
+// instances to process a set of data (data-parallel components) and how to
+// gather partial results into a complete solution." The coordinator splits
+// the aggregator instance's pending work into chunks, farms each chunk to a
+// volunteer node (which instantiates the same component and runs
+// process_chunk), and gathers the partials. A failed volunteer's chunk is
+// re-run locally -- the volunteer-computing fault model of §3.2.
+#pragma once
+
+#include <vector>
+
+#include "core/node.hpp"
+
+namespace clc::core {
+
+struct AggregationReport {
+  Bytes result;
+  std::size_t chunks = 0;
+  std::size_t remote_chunks = 0;   // chunks executed by volunteers
+  std::size_t recovered_chunks = 0;  // volunteer failed; re-run locally
+};
+
+/// Run the aggregatable instance's pending work across `volunteers`
+/// (round-robin). Empty volunteer list = purely local execution.
+Result<AggregationReport> run_data_parallel(
+    Node& origin, InstanceId aggregator, std::size_t parts,
+    const std::vector<NodeId>& volunteers);
+
+}  // namespace clc::core

@@ -1,0 +1,152 @@
+#include "core/application.hpp"
+
+namespace clc::core {
+
+// ---------------------------------------------------------------------------
+// AssemblySpec XML
+
+std::string AssemblySpec::to_xml() const {
+  xml::Element root("assembly");
+  root.set_attr("name", name);
+  for (const auto& i : instances) {
+    auto& e = root.add_child("instance");
+    e.set_attr("name", i.name);
+    e.set_attr("component", i.component);
+    e.set_attr("constraint", i.constraint.to_string());
+    if (i.binding == Binding::remote) e.set_attr("binding", "remote");
+    if (i.binding == Binding::fetch_local) e.set_attr("binding", "fetch-local");
+  }
+  for (const auto& c : connections) {
+    auto& e = root.add_child("connection");
+    e.set_attr("from", c.from);
+    e.set_attr("port", c.from_port);
+    e.set_attr("to", c.to);
+    if (!c.to_port.empty()) e.set_attr("to-port", c.to_port);
+  }
+  xml::Document doc;
+  doc.root = std::make_unique<xml::Element>(std::move(root));
+  return doc.to_string();
+}
+
+Result<AssemblySpec> AssemblySpec::from_xml(std::string_view xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc) return doc.error();
+  const xml::Element& root = *doc->root;
+  if (root.name() != "assembly")
+    return Error{Errc::parse_error, "expected <assembly> root"};
+  AssemblySpec spec;
+  spec.name = root.attr("name");
+  if (spec.name.empty())
+    return Error{Errc::parse_error, "assembly missing name"};
+  for (const auto* e : root.children_named("instance")) {
+    InstanceSpec i;
+    i.name = e->attr("name");
+    i.component = e->attr("component");
+    if (i.name.empty() || i.component.empty())
+      return Error{Errc::parse_error, "instance missing name or component"};
+    for (const auto& other : spec.instances) {
+      if (other.name == i.name)
+        return Error{Errc::parse_error, "duplicate instance " + i.name};
+    }
+    auto c = VersionConstraint::parse(
+        e->has_attr("constraint") ? e->attr("constraint") : "any");
+    if (!c) return c.error();
+    i.constraint = *c;
+    const std::string binding = e->attr("binding");
+    if (binding == "remote") {
+      i.binding = Binding::remote;
+    } else if (binding == "fetch-local") {
+      i.binding = Binding::fetch_local;
+    } else if (!binding.empty() && binding != "auto") {
+      return Error{Errc::parse_error, "unknown binding '" + binding + "'"};
+    }
+    spec.instances.push_back(std::move(i));
+  }
+  auto has_instance = [&](const std::string& n) {
+    for (const auto& i : spec.instances) {
+      if (i.name == n) return true;
+    }
+    return false;
+  };
+  for (const auto* e : root.children_named("connection")) {
+    ConnectionSpec c;
+    c.from = e->attr("from");
+    c.from_port = e->attr("port");
+    c.to = e->attr("to");
+    c.to_port = e->attr("to-port");
+    if (c.from.empty() || c.from_port.empty() || c.to.empty())
+      return Error{Errc::parse_error, "connection missing from/port/to"};
+    if (!has_instance(c.from) || !has_instance(c.to))
+      return Error{Errc::parse_error,
+                   "connection references unknown instance"};
+    spec.connections.push_back(std::move(c));
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Application deployment
+
+Result<Application> Application::deploy(Node& origin,
+                                        const AssemblySpec& spec) {
+  Application app(origin);
+  app.name_ = spec.name;
+
+  // Run-time placement: every instance goes through the network resolver.
+  for (const auto& i : spec.instances) {
+    auto bound = origin.resolve(i.component, i.constraint, i.binding);
+    if (!bound)
+      return Error{bound.error().code,
+                   "deploying " + spec.name + ": instance '" + i.name + "' (" +
+                       i.component + "): " + bound.error().message};
+    app.bound_.emplace(i.name, std::move(*bound));
+  }
+
+  // Wire the user-stated connection pattern.
+  for (const auto& c : spec.connections) {
+    auto target = app.port(c.to, c.to_port);
+    if (!target)
+      return Error{target.error().code,
+                   "deploying " + spec.name + ": connection to '" + c.to +
+                       "': " + target.error().message};
+    const BoundComponent& from = app.bound_.at(c.from);
+    if (auto r = origin.connect_remote(from, c.from_port, *target); !r.ok())
+      return Error{r.error().code,
+                   "deploying " + spec.name + ": connection " + c.from + "." +
+                       c.from_port + ": " + r.error().message};
+  }
+  return app;
+}
+
+Result<const BoundComponent*> Application::instance(
+    const std::string& instance_name) const {
+  auto it = bound_.find(instance_name);
+  if (it == bound_.end())
+    return Error{Errc::not_found,
+                 name_ + " has no instance '" + instance_name + "'"};
+  return &it->second;
+}
+
+Result<orb::ObjectRef> Application::port(const std::string& instance_name,
+                                         const std::string& port_name) const {
+  auto bound = instance(instance_name);
+  if (!bound) return bound.error();
+  if (port_name.empty()) return (*bound)->primary;
+  return origin_->instance_port(**bound, port_name);
+}
+
+Result<orb::Value> Application::call(const std::string& instance_name,
+                                     const std::string& operation,
+                                     std::vector<orb::Value> args) {
+  auto bound = instance(instance_name);
+  if (!bound) return bound.error();
+  return origin_->orb().call((*bound)->primary, operation, std::move(args));
+}
+
+std::size_t Application::remote_instance_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, b] : bound_) n += (b.host != origin_->id());
+  return n;
+}
+
+}  // namespace clc::core

@@ -1,0 +1,78 @@
+// Applications: "just special components" (§2.4.4).
+//
+// An application encapsulates the explicit rules to connect components and
+// their instances -- which components, how many named instances, and the
+// port wiring -- i.e. what CCM calls an assembly. The crucial CORBA-LC
+// difference is *when* placement happens: deploy() resolves every instance
+// at run time through the Distributed Registry, so the node each instance
+// lands on is decided when the application starts, not at assembly-design
+// time ("the difference between static and dynamic linking ... augmented to
+// the distributed, heterogeneous case").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "xml/xml.hpp"
+
+namespace clc::core {
+
+struct AssemblySpec {
+  struct InstanceSpec {
+    std::string name;        // instance name within the application
+    std::string component;   // component to instantiate
+    VersionConstraint constraint;
+    Binding binding = Binding::auto_decide;
+  };
+  struct ConnectionSpec {
+    std::string from;        // instance name (its uses-port side)
+    std::string from_port;
+    std::string to;          // instance name (its provides-port side)
+    std::string to_port;     // empty = the component's primary port
+  };
+
+  std::string name;
+  std::vector<InstanceSpec> instances;
+  std::vector<ConnectionSpec> connections;
+
+  [[nodiscard]] std::string to_xml() const;
+  static Result<AssemblySpec> from_xml(std::string_view xml_text);
+};
+
+/// A deployed application: the run-time incarnation of an assembly.
+class Application {
+ public:
+  /// Deploy: resolve every instance network-wide from `origin`, then wire
+  /// every connection. Rolls nothing back on failure (errors report which
+  /// instance/connection failed); deploys are idempotent per instance name.
+  static Result<Application> deploy(Node& origin, const AssemblySpec& spec);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::map<std::string, BoundComponent>& instances()
+      const noexcept {
+    return bound_;
+  }
+  [[nodiscard]] Result<const BoundComponent*> instance(
+      const std::string& instance_name) const;
+  /// Reference to a provided port of a deployed instance.
+  [[nodiscard]] Result<orb::ObjectRef> port(const std::string& instance_name,
+                                            const std::string& port_name) const;
+  /// Convenience: invoke an operation on an instance's primary port.
+  Result<orb::Value> call(const std::string& instance_name,
+                          const std::string& operation,
+                          std::vector<orb::Value> args = {});
+
+  /// How many instances ended up on remote nodes (deployment telemetry).
+  [[nodiscard]] std::size_t remote_instance_count() const;
+
+ private:
+  explicit Application(Node& origin) : origin_(&origin) {}
+
+  Node* origin_;
+  std::string name_;
+  std::map<std::string, BoundComponent> bound_;
+};
+
+}  // namespace clc::core

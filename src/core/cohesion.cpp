@@ -1,0 +1,888 @@
+#include "core/cohesion.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace clc::core {
+
+namespace {
+
+/// Aggregate ("subtree") digest entries are "name@major.minor.patch" labels
+/// joined with '\n'; carrying the version lets version-constrained queries
+/// descend past an ancestor that hosts a different version of the same
+/// component. Names are dotted identifiers and never contain '\n' or '@'.
+std::string aggregate_label(const ComponentSummary& c) {
+  return c.name + "@" + c.version.to_string();
+}
+
+std::string join_names(const std::set<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += '\n';
+    out += n;
+  }
+  return out;
+}
+
+std::set<std::string> split_names(const std::string& joined) {
+  std::set<std::string> out;
+  for (const auto& part : split(joined, '\n')) {
+    if (!part.empty()) out.insert(part);
+  }
+  return out;
+}
+
+std::vector<QueryHit> digest_hits(const ComponentQuery& q,
+                                  const RegistryDigest& digest) {
+  std::vector<QueryHit> hits;
+  for (const auto& c : digest.components) {
+    if (!q.matches(c)) continue;
+    QueryHit h;
+    h.node = digest.node;
+    h.component = c.name;
+    h.version = c.version;
+    h.mobile = c.mobile;
+    h.cost_per_use = c.cost_per_use;
+    h.node_cpu_load = digest.cpu_load;
+    h.node_device = digest.device;
+    hits.push_back(std::move(h));
+  }
+  return hits;
+}
+
+bool names_may_match(const ComponentQuery& q,
+                     const std::set<std::string>& labels) {
+  for (const auto& label : labels) {
+    const auto at = label.rfind('@');
+    const std::string_view name(label.data(),
+                                at == std::string::npos ? label.size() : at);
+    if (!glob_match(q.name_pattern, name)) continue;
+    if (at == std::string::npos) return true;  // versionless label: assume yes
+    auto v = Version::parse(label.substr(at + 1));
+    if (!v.ok() || q.constraint.matches(*v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Directory
+
+bool CohesionNode::Directory::contains(NodeId n) const {
+  return std::find(join_order.begin(), join_order.end(), n) !=
+         join_order.end();
+}
+
+void CohesionNode::Directory::add(NodeId n) {
+  if (!contains(n)) join_order.push_back(n);
+}
+
+void CohesionNode::Directory::remove(NodeId n) {
+  join_order.erase(std::remove(join_order.begin(), join_order.end(), n),
+                   join_order.end());
+}
+
+Bytes CohesionNode::Directory::encode() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulong(static_cast<std::uint32_t>(join_order.size()));
+  for (NodeId n : join_order) w.write_ulonglong(n.value);
+  return w.take();
+}
+
+Result<CohesionNode::Directory> CohesionNode::Directory::decode(
+    BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+  auto count = r.read_ulong();
+  if (!count) return count.error();
+  Directory d;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto v = r.read_ulonglong();
+    if (!v) return v.error();
+    d.join_order.push_back(NodeId{*v});
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / start
+
+CohesionNode::CohesionNode(NodeId id, CohesionConfig cfg, Sender send)
+    : id_(id), cfg_(cfg), send_(std::move(send)) {}
+
+ProtoMessage CohesionNode::make(const std::string& kind) const {
+  ProtoMessage m;
+  m.kind = kind;
+  m.sender = id_;
+  return m;
+}
+
+void CohesionNode::send(NodeId to, ProtoMessage m) const {
+  if (to == id_ || !to.valid()) return;
+  send_(to, m);
+}
+
+void CohesionNode::start_as_first(TimePoint now) {
+  joined_ = true;
+  current_root_ = id_;
+  last_heartbeat_ = now;
+  last_beacon_ = now;
+  if (cfg_.mode == CohesionConfig::Mode::hierarchical) {
+    root_ = true;
+    directory_.add(id_);
+  } else {
+    roster_.insert(id_);
+  }
+}
+
+void CohesionNode::start_joining(NodeId bootstrap, TimePoint now) {
+  bootstrap_ = bootstrap;
+  join_started_ = now;
+  last_heartbeat_ = now;
+  last_beacon_ = now;
+  send(bootstrap, make("join"));
+}
+
+// ---------------------------------------------------------------------------
+// Tree computation (root)
+
+std::map<NodeId, NodeId> CohesionNode::compute_tree() const {
+  std::map<NodeId, NodeId> parent_of;
+  std::vector<NodeId> level = directory_.join_order;
+  const std::size_t g = std::max<std::size_t>(cfg_.group_size, 2);
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t start = 0; start < level.size(); start += g) {
+      const std::size_t end = std::min(start + g, level.size());
+      const NodeId mrm = level[start];
+      for (std::size_t i = start + 1; i < end; ++i) parent_of[level[i]] = mrm;
+      next.push_back(mrm);
+    }
+    level = std::move(next);
+  }
+  return parent_of;
+}
+
+void CohesionNode::root_recompute_and_publish(TimePoint now) {
+  const auto tree = compute_tree();
+  for (NodeId n : directory_.join_order) {
+    if (n == id_) continue;
+    auto it = tree.find(n);
+    const NodeId parent = it == tree.end() ? id_ : it->second;
+    // Publish only deltas: nodes whose parent changed since the last push.
+    auto last = last_published_.find(n);
+    if (last != last_published_.end() && last->second == parent) continue;
+    last_published_[n] = parent;
+    ProtoMessage m = make("topology");
+    m.set_int("parent", static_cast<std::int64_t>(parent.value));
+    send(n, m);
+    ++stats_.topology_updates;
+    // Tell the parent to expect this child: if the child never heartbeats
+    // (e.g. it died together with its previous parent), the new parent
+    // times it out and reports it -- no directory entry can go unvouched.
+    if (parent == id_) {
+      auto& info = children_[n];
+      if (info.last_heard == 0) info.last_heard = now;
+    } else {
+      ProtoMessage expect = make("expect_child");
+      expect.set_int("node", static_cast<std::int64_t>(n.value));
+      send(parent, expect);
+    }
+  }
+  // Drop stale publication records for departed nodes.
+  for (auto it = last_published_.begin(); it != last_published_.end();) {
+    if (!directory_.contains(it->first)) {
+      it = last_published_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Sync the directory to replica children (peer-replicated MRM guideline).
+  const auto replicas = root_replica_list();
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    ProtoMessage m = make("dir_sync");
+    m.set_int("rank", static_cast<std::int64_t>(i));
+    m.blob = directory_.encode();
+    send(replicas[i], m);
+  }
+  (void)now;
+}
+
+std::vector<NodeId> CohesionNode::root_replica_list() const {
+  // The first `root_replicas` direct children of the root, in directory
+  // order (deterministic, so every replica can compute its own rank).
+  const auto tree = compute_tree();
+  std::vector<NodeId> replicas;
+  for (NodeId n : directory_.join_order) {
+    if (n == id_) continue;
+    auto it = tree.find(n);
+    const NodeId parent = it == tree.end() ? id_ : it->second;
+    if (parent == id_) {
+      replicas.push_back(n);
+      if (replicas.size() >= static_cast<std::size_t>(cfg_.root_replicas))
+        break;
+    }
+  }
+  return replicas;
+}
+
+void CohesionNode::adopt_topology(NodeId new_parent, TimePoint now) {
+  parent_ = new_parent;
+  joined_ = true;
+  parent_last_heard_ = now;
+  root_death_detected_ = 0;
+}
+
+void CohesionNode::handle_member_dead(NodeId dead, TimePoint now) {
+  if (!root_) return;
+  if (dead == id_) return;
+  if (!directory_.contains(dead)) return;
+  directory_.remove(dead);
+  root_recompute_and_publish(now);
+}
+
+void CohesionNode::promote_to_root(TimePoint now) {
+  ++stats_.promotions;
+  directory_.remove(current_root_);
+  directory_.remove(id_);
+  directory_.join_order.insert(directory_.join_order.begin(), id_);
+  root_ = true;
+  current_root_ = id_;
+  parent_ = NodeId{};
+  root_death_detected_ = 0;
+  last_published_.clear();  // push fresh topology to everyone
+  root_recompute_and_publish(now);
+  for (NodeId n : directory_.join_order) send(n, make("root_announce"));
+}
+
+// ---------------------------------------------------------------------------
+// Digests / heartbeats
+
+RegistryDigest CohesionNode::own_digest() const {
+  if (digest_provider_) {
+    RegistryDigest d = digest_provider_();
+    d.node = id_;
+    return d;
+  }
+  RegistryDigest d;
+  d.node = id_;
+  return d;
+}
+
+void CohesionNode::send_heartbeat(TimePoint now) {
+  ++stats_.heartbeats_sent;
+  const RegistryDigest digest = own_digest();
+  if (cfg_.mode == CohesionConfig::Mode::hierarchical) {
+    if (!parent_.valid()) return;
+    ProtoMessage m = make("heartbeat");
+    m.blob = digest.encode();
+    std::set<std::string> names;
+    for (const auto& c : digest.components) names.insert(aggregate_label(c));
+    for (const auto& [child, info] : children_) {
+      names.insert(info.subtree_names.begin(), info.subtree_names.end());
+    }
+    m.set("names", join_names(names));
+    send(parent_, m);
+  } else if (cfg_.mode == CohesionConfig::Mode::flat_query) {
+    for (NodeId n : roster_) send(n, make("alive"));
+  } else {  // strong: periodic full digest broadcast doubles as keep-alive
+    ProtoMessage m = make("digest_full");
+    m.blob = digest.encode();
+    for (NodeId n : roster_) send(n, m);
+  }
+  (void)now;
+}
+
+void CohesionNode::broadcast_update(TimePoint now) {
+  if (cfg_.mode != CohesionConfig::Mode::strong) return;
+  ProtoMessage m = make("digest_full");
+  m.blob = own_digest().encode();
+  for (NodeId n : roster_) send(n, m);
+  (void)now;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+void CohesionNode::append_hits(std::vector<QueryHit>& into,
+                               const std::vector<QueryHit>& from) {
+  for (const auto& h : from) {
+    const bool dup =
+        std::any_of(into.begin(), into.end(), [&](const QueryHit& e) {
+          return e.node == h.node && e.component == h.component &&
+                 e.version == h.version;
+        });
+    if (!dup) into.push_back(h);
+  }
+}
+
+void CohesionNode::local_and_cached_hits(const ComponentQuery& q,
+                                         std::vector<QueryHit>& hits) const {
+  append_hits(hits, digest_hits(q, own_digest()));
+  for (const auto& [child, info] : children_) {
+    if (info.suspect) continue;
+    append_hits(hits, digest_hits(q, info.digest));
+  }
+}
+
+void CohesionNode::finish_pending(std::uint64_t qid) {
+  auto it = pending_.find(qid);
+  if (it == pending_.end()) return;
+  PendingQuery p = std::move(it->second);
+  pending_.erase(it);
+  PlacementContext ctx;
+  ctx.querying_node = id_;
+  ctx.group_mrm = parent_;
+  for (const auto& [child, info] : children_) ctx.group_members.push_back(child);
+  if (parent_.valid()) ctx.group_members.push_back(parent_);
+  rank_hits(p.hits, ctx);
+  if (p.hits.size() > p.q.max_results) p.hits.resize(p.q.max_results);
+  ++stats_.queries_answered;
+  p.cb(std::move(p.hits));
+}
+
+void CohesionNode::query(const ComponentQuery& q, TimePoint now,
+                         QueryCallback cb) {
+  ++stats_.queries_issued;
+  const std::uint64_t qid = (id_.value << 20) | (next_qid_++ & 0xfffff);
+  PendingQuery p;
+  p.q = q;
+  p.cb = std::move(cb);
+  p.deadline = now + cfg_.query_timeout;
+
+  if (cfg_.mode == CohesionConfig::Mode::strong) {
+    append_hits(p.hits, digest_hits(q, own_digest()));
+    for (const auto& [node, digest] : full_registry_) {
+      if (node == id_) continue;
+      append_hits(p.hits, digest_hits(q, digest));
+    }
+    pending_.emplace(qid, std::move(p));
+    finish_pending(qid);
+    return;
+  }
+
+  if (cfg_.mode == CohesionConfig::Mode::flat_query) {
+    append_hits(p.hits, digest_hits(q, own_digest()));
+    ProtoMessage m = make("q_flat");
+    m.set_int("qid", static_cast<std::int64_t>(qid));
+    m.blob = q.encode();
+    for (NodeId n : roster_) {
+      if (n == id_) continue;
+      p.awaiting.insert(n);
+      send(n, m);
+    }
+    const bool done = p.awaiting.empty();
+    pending_.emplace(qid, std::move(p));
+    if (done) finish_pending(qid);
+    return;
+  }
+
+  // Hierarchical: check locally + one level down, then climb.
+  local_and_cached_hits(q, p.hits);
+  const bool satisfied = p.hits.size() >= q.max_results;
+  const bool can_descend = std::any_of(
+      children_.begin(), children_.end(), [&](const auto& kv) {
+        return !kv.second.suspect && names_may_match(q, kv.second.subtree_names);
+      });
+  if (satisfied || (!parent_.valid() && !can_descend)) {
+    pending_.emplace(qid, std::move(p));
+    finish_pending(qid);
+    return;
+  }
+  // Route through the tree: build a relay whose reply feeds our pending.
+  RelayedQuery relay;
+  relay.q = q;
+  relay.reply_to = id_;  // reply lands in our own pending
+  relay.reply_qid = qid;
+  relay.deadline = now + cfg_.query_timeout;
+  relay.came_from = id_;
+  pending_.emplace(qid, std::move(p));
+  process_tree_query(qid, std::move(relay), now);
+}
+
+void CohesionNode::process_tree_query(std::uint64_t qid, RelayedQuery&& relay,
+                                      TimePoint now) {
+  // Descend into promising child subtrees (pruned by aggregate names).
+  // The child's *own* components are already cached here, so descend only
+  // when a deeper name (one the child aggregates but does not itself host)
+  // could match the pattern.
+  for (const auto& [child, info] : children_) {
+    if (child == relay.came_from || info.suspect) continue;
+    std::set<std::string> own_names;
+    for (const auto& c : info.digest.components)
+      own_names.insert(aggregate_label(c));
+    std::set<std::string> deeper;
+    for (const auto& n : info.subtree_names) {
+      if (own_names.count(n) == 0) deeper.insert(n);
+    }
+    if (!names_may_match(relay.q, deeper)) continue;
+    ProtoMessage m = make("q_down");
+    m.set_int("qid", static_cast<std::int64_t>(qid));
+    m.blob = relay.q.encode();
+    relay.awaiting_children.insert(child);
+    send(child, m);
+  }
+  // Escalate one level if we still may need more results.
+  if (parent_.valid() && !relay.escalated &&
+      relay.hits.size() < relay.q.max_results &&
+      relay.came_from != parent_) {
+    ProtoMessage m = make("q_up");
+    m.set_int("qid", static_cast<std::int64_t>(qid));
+    m.blob = relay.q.encode();
+    relay.awaiting_children.insert(parent_);
+    relay.escalated = true;
+    send(parent_, m);
+  }
+  if (relay.awaiting_children.empty()) {
+    // Nothing to wait for: answer straight away.
+    RelayedQuery done = std::move(relay);
+    relayed_.erase(qid);
+    if (done.reply_to == id_) {
+      auto it = pending_.find(done.reply_qid);
+      if (it != pending_.end()) {
+        append_hits(it->second.hits, done.hits);
+        finish_pending(done.reply_qid);
+      }
+      return;
+    }
+    ProtoMessage m = make("q_reply");
+    m.set_int("qid", static_cast<std::int64_t>(done.reply_qid));
+    m.blob = encode_hits(done.hits);
+    send(done.reply_to, m);
+    return;
+  }
+  relayed_[qid] = std::move(relay);
+  (void)now;
+}
+
+void CohesionNode::finish_relay(std::uint64_t qid, TimePoint now) {
+  auto it = relayed_.find(qid);
+  if (it == relayed_.end()) return;
+  RelayedQuery relay = std::move(it->second);
+  relayed_.erase(it);
+  if (relay.reply_to == id_) {
+    auto p = pending_.find(relay.reply_qid);
+    if (p != pending_.end()) {
+      append_hits(p->second.hits, relay.hits);
+      finish_pending(relay.reply_qid);
+    }
+    return;
+  }
+  ProtoMessage m = make("q_reply");
+  m.set_int("qid", static_cast<std::int64_t>(relay.reply_qid));
+  m.blob = encode_hits(relay.hits);
+  send(relay.reply_to, m);
+  (void)now;
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+
+void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
+  const NodeId from = m.sender;
+
+  if (m.kind == "join") {
+    if (cfg_.mode != CohesionConfig::Mode::hierarchical) {
+      // Flat/strong: whoever receives the join tells everyone.
+      roster_.insert(id_);
+      ProtoMessage roster = make("roster");
+      {
+        orb::CdrWriter w;
+        w.begin_encapsulation();
+        w.write_ulong(static_cast<std::uint32_t>(roster_.size() + 1));
+        for (NodeId n : roster_) w.write_ulonglong(n.value);
+        w.write_ulonglong(from.value);
+        roster.blob = w.take();
+      }
+      ProtoMessage joined = make("node_joined");
+      joined.set_int("node", static_cast<std::int64_t>(from.value));
+      for (NodeId n : roster_) {
+        if (n != id_ && n != from) send(n, joined);
+      }
+      roster_.insert(from);
+      roster_last_heard_[from] = now;
+      send(from, roster);
+      return;
+    }
+    if (root_) {
+      directory_.add(from);
+      root_recompute_and_publish(now);
+    } else if (parent_.valid()) {
+      send(parent_, m);  // forward up toward the root
+    } else if (current_root_.valid()) {
+      send(current_root_, m);
+    }
+    return;
+  }
+
+  if (m.kind == "topology") {
+    adopt_topology(NodeId{static_cast<std::uint64_t>(m.field_int("parent"))},
+                   now);
+    current_root_ = from;
+    root_ = false;
+    return;
+  }
+
+  if (m.kind == "heartbeat") {
+    auto digest = RegistryDigest::decode(m.blob);
+    ChildInfo& info = children_[from];
+    info.last_heard = now;
+    info.suspect = false;
+    if (digest.ok()) info.digest = std::move(*digest);
+    info.subtree_names = split_names(m.field("names"));
+    return;
+  }
+
+  if (m.kind == "beacon") {
+    if (from == parent_) parent_last_heard_ = now;
+    current_root_ =
+        NodeId{static_cast<std::uint64_t>(m.field_int("root"))};
+    return;
+  }
+
+  if (m.kind == "member_dead") {
+    const NodeId dead{static_cast<std::uint64_t>(m.field_int("node"))};
+    if (root_ && directory_.contains(dead) && dead != id_) {
+      // Never trust a death report blindly: the reporter may be a stale
+      // parent whose child merely moved away (topology pushes are oneway
+      // and can be lost). Probe the node directly; evict only if the probe
+      // times out. Live nodes ack and stay.
+      if (probe_pending_.count(dead) == 0) {
+        probe_pending_[dead] = now;
+        send(dead, make("probe"));
+      }
+    }
+    return;
+  }
+
+  if (m.kind == "probe") {
+    send(from, make("probe_ack"));
+    return;
+  }
+
+  if (m.kind == "expect_child") {
+    const NodeId child{static_cast<std::uint64_t>(m.field_int("node"))};
+    if (child != id_ && child.valid()) {
+      auto& info = children_[child];
+      if (info.last_heard == 0) info.last_heard = now;  // grace period starts
+    }
+    return;
+  }
+
+  if (m.kind == "probe_ack") {
+    probe_pending_.erase(from);
+    return;
+  }
+
+  if (m.kind == "dir_sync") {
+    auto dir = Directory::decode(m.blob);
+    if (dir.ok()) {
+      directory_ = std::move(*dir);
+      have_directory_copy_ = true;
+      replica_rank_ = static_cast<int>(m.field_int("rank"));
+    }
+    return;
+  }
+
+  if (m.kind == "root_announce") {
+    current_root_ = from;
+    root_death_detected_ = 0;
+    // Orphans re-attach through the new root.
+    if (!root_ && !parent_.valid()) send(from, make("join"));
+    if (root_ && from != id_) {
+      // Split-brain tie-break: the lower node id keeps the root role.
+      if (from.value < id_.value) {
+        root_ = false;
+        send(from, make("join"));
+      } else {
+        send(from, make("root_announce"));  // re-assert; peer will demote
+      }
+    }
+    return;
+  }
+
+  if (m.kind == "roster") {
+    orb::CdrReader r(m.blob);
+    if (!r.begin_encapsulation().ok()) return;
+    auto count = r.read_ulong();
+    if (!count) return;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto v = r.read_ulonglong();
+      if (!v) return;
+      roster_.insert(NodeId{*v});
+      roster_last_heard_[NodeId{*v}] = now;
+    }
+    roster_.insert(id_);
+    joined_ = true;
+    return;
+  }
+
+  if (m.kind == "node_joined") {
+    const NodeId n{static_cast<std::uint64_t>(m.field_int("node"))};
+    roster_.insert(n);
+    roster_last_heard_[n] = now;
+    return;
+  }
+
+  if (m.kind == "alive") {
+    roster_.insert(from);
+    roster_last_heard_[from] = now;
+    return;
+  }
+
+  if (m.kind == "digest_full") {
+    auto digest = RegistryDigest::decode(m.blob);
+    if (digest.ok()) full_registry_[from] = std::move(*digest);
+    roster_.insert(from);
+    roster_last_heard_[from] = now;
+    return;
+  }
+
+  if (m.kind == "q_flat") {
+    const auto qid = m.field_int("qid");
+    auto q = ComponentQuery::decode(m.blob);
+    ProtoMessage reply = make("q_hits");
+    reply.set_int("qid", qid);
+    reply.blob = q.ok() ? encode_hits(digest_hits(*q, own_digest()))
+                        : encode_hits({});
+    send(from, reply);
+    return;
+  }
+
+  if (m.kind == "q_hits") {
+    const auto qid = static_cast<std::uint64_t>(m.field_int("qid"));
+    auto it = pending_.find(qid);
+    if (it == pending_.end()) return;
+    auto hits = decode_hits(m.blob);
+    if (hits.ok()) append_hits(it->second.hits, *hits);
+    it->second.awaiting.erase(from);
+    if (it->second.awaiting.empty()) finish_pending(qid);
+    return;
+  }
+
+  if (m.kind == "q_up" || m.kind == "q_down") {
+    const auto qid = static_cast<std::uint64_t>(m.field_int("qid"));
+    auto q = ComponentQuery::decode(m.blob);
+    if (!q.ok()) return;
+    if (relayed_.count(qid) != 0 || pending_.count(qid) != 0) return;  // loop guard
+    RelayedQuery relay;
+    relay.q = *q;
+    relay.reply_to = from;
+    relay.reply_qid = qid;
+    relay.deadline = now + cfg_.query_timeout;
+    relay.came_from = from;
+    // A downward query must not bounce back up.
+    relay.escalated = (m.kind == "q_down");
+    local_and_cached_hits(relay.q, relay.hits);
+    process_tree_query(qid, std::move(relay), now);
+    return;
+  }
+
+  if (m.kind == "q_reply") {
+    const auto qid = static_cast<std::uint64_t>(m.field_int("qid"));
+    auto hits = decode_hits(m.blob);
+    if (auto it = relayed_.find(qid); it != relayed_.end()) {
+      if (hits.ok()) append_hits(it->second.hits, *hits);
+      it->second.awaiting_children.erase(from);
+      if (it->second.awaiting_children.empty()) finish_relay(qid, now);
+      return;
+    }
+    if (auto it = pending_.find(qid); it != pending_.end()) {
+      if (hits.ok()) append_hits(it->second.hits, *hits);
+      finish_pending(qid);
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+
+void CohesionNode::on_tick(TimePoint now) {
+  const Duration t = cfg_.heartbeat;
+
+  // Join retry.
+  if (!joined_ && bootstrap_.valid() && now - join_started_ > 5 * t) {
+    join_started_ = now;
+    send(bootstrap_, make("join"));
+  }
+  if (!joined_) return;
+
+  // Heartbeats.
+  if (now - last_heartbeat_ >= t) {
+    last_heartbeat_ = now;
+    send_heartbeat(now);
+  }
+
+  if (cfg_.mode == CohesionConfig::Mode::hierarchical) {
+    // Beacons to children (+ directory sync handled on recompute; refresh
+    // replicas periodically too, piggybacked here).
+    if (now - last_beacon_ >= t) {
+      last_beacon_ = now;
+      ProtoMessage beacon = make("beacon");
+      beacon.set_int("root", static_cast<std::int64_t>(current_root_.value));
+      for (const auto& [child, info] : children_) send(child, beacon);
+      ++stats_.beacons_sent;
+      if (root_) {
+        // Control messages (topology, expect_child, dir_sync) are oneway
+        // and can be lost; a periodic full re-publication self-heals any
+        // divergence at ~0.1 message/node/heartbeat amortized cost.
+        if (++republish_countdown_ >= 10) {
+          republish_countdown_ = 0;
+          last_published_.clear();
+          root_recompute_and_publish(now);
+        }
+        const auto replicas = root_replica_list();
+        for (std::size_t i = 0; i < replicas.size(); ++i) {
+          ProtoMessage m = make("dir_sync");
+          m.set_int("rank", static_cast<std::int64_t>(i));
+          m.blob = directory_.encode();
+          send(replicas[i], m);
+        }
+      }
+    }
+
+    // Child failure detection (suspect, then dead).
+    std::vector<NodeId> dead_children;
+    for (auto& [child, info] : children_) {
+      const Duration silence = now - info.last_heard;
+      if (silence > cfg_.dead_after * t) {
+        dead_children.push_back(child);
+      } else if (silence > cfg_.suspect_after * t) {
+        info.suspect = true;
+      }
+    }
+    for (NodeId dead : dead_children) {
+      children_.erase(dead);
+      if (root_) {
+        // Probe before eviction, as in the member_dead handler.
+        if (directory_.contains(dead) && probe_pending_.count(dead) == 0) {
+          probe_pending_[dead] = now;
+          send(dead, make("probe"));
+        }
+      } else if (current_root_.valid()) {
+        ProtoMessage m = make("member_dead");
+        m.set_int("node", static_cast<std::int64_t>(dead.value));
+        send(current_root_, m);
+      }
+    }
+
+    // Parent failure detection.
+    if (!root_ && parent_.valid() && parent_last_heard_ > 0 &&
+        now - parent_last_heard_ > cfg_.dead_after * t) {
+      const NodeId dead_parent = parent_;
+      parent_ = NodeId{};
+      if (dead_parent == current_root_) {
+        // Root died. Replicas promote (staggered by rank); everyone else
+        // waits for the announcement.
+        if (have_directory_copy_ && root_death_detected_ == 0)
+          root_death_detected_ = now;
+      } else if (current_root_.valid()) {
+        ProtoMessage m = make("member_dead");
+        m.set_int("node", static_cast<std::int64_t>(dead_parent.value));
+        send(current_root_, m);
+        // Re-join through the root so we get re-adopted even if the root's
+        // directory dropped us meanwhile (e.g. after a healed partition).
+        send(current_root_, make("join"));
+      }
+    }
+
+    // Probe timeouts: nodes reported dead that never answered any probe are
+    // evicted. Probes are repeated every tick while pending, so a single
+    // lost probe (or ack) cannot evict a live node.
+    if (root_) {
+      std::vector<NodeId> confirmed;
+      for (const auto& [node, asked_at] : probe_pending_) {
+        if (now - asked_at > cfg_.dead_after * t) {
+          confirmed.push_back(node);
+        } else {
+          send(node, make("probe"));
+        }
+      }
+      for (NodeId node : confirmed) {
+        probe_pending_.erase(node);
+        handle_member_dead(node, now);
+      }
+    }
+
+    // Staggered replica promotion after root death.
+    if (root_death_detected_ != 0 && !root_ &&
+        now - root_death_detected_ >
+            static_cast<Duration>(replica_rank_) * 2 * t) {
+      promote_to_root(now);
+    }
+  } else {
+    // Flat/strong: prune silent roster entries.
+    std::vector<NodeId> gone;
+    for (const auto& [n, heard] : roster_last_heard_) {
+      if (n != id_ && now - heard > cfg_.dead_after * t) gone.push_back(n);
+    }
+    for (NodeId n : gone) {
+      roster_.erase(n);
+      roster_last_heard_.erase(n);
+      full_registry_.erase(n);
+    }
+  }
+
+  // Query deadlines: flush what we have.
+  std::vector<std::uint64_t> late_relays;
+  for (const auto& [qid, relay] : relayed_) {
+    if (now >= relay.deadline) late_relays.push_back(qid);
+  }
+  for (auto qid : late_relays) finish_relay(qid, now);
+  std::vector<std::uint64_t> late_pending;
+  for (const auto& [qid, p] : pending_) {
+    if (now >= p.deadline) late_pending.push_back(qid);
+  }
+  for (auto qid : late_pending) finish_pending(qid);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+std::vector<NodeId> CohesionNode::children() const {
+  std::vector<NodeId> out;
+  out.reserve(children_.size());
+  for (const auto& [child, info] : children_) out.push_back(child);
+  return out;
+}
+
+std::vector<NodeId> CohesionNode::directory_nodes() const {
+  return directory_.join_order;
+}
+
+std::vector<NodeId> CohesionNode::known_nodes() const {
+  if (cfg_.mode != CohesionConfig::Mode::hierarchical)
+    return std::vector<NodeId>(roster_.begin(), roster_.end());
+  if (root_) return directory_.join_order;
+  std::vector<NodeId> out;
+  if (parent_.valid()) out.push_back(parent_);
+  for (const auto& [child, info] : children_) out.push_back(child);
+  return out;
+}
+
+int CohesionNode::subtree_depth() const {
+  if (root_) {
+    // Depth of the computed tree: longest parent chain + 1.
+    const auto tree = compute_tree();
+    int max_depth = 1;
+    for (NodeId n : directory_.join_order) {
+      int depth = 1;
+      NodeId cur = n;
+      while (true) {
+        auto it = tree.find(cur);
+        if (it == tree.end()) break;
+        cur = it->second;
+        ++depth;
+      }
+      max_depth = std::max(max_depth, depth);
+    }
+    return max_depth;
+  }
+  return children_.empty() ? 1 : 2;
+}
+
+}  // namespace clc::core

@@ -1,0 +1,216 @@
+// Network Cohesion + Distributed Registry protocol (§2.4.1, §2.4.3).
+//
+// One CohesionNode is the protocol endpoint of one CORBA-LC node. It is a
+// pure message-driven state machine: messages go out through an injected
+// Sender, time comes in through on_tick(now). The same code therefore runs
+// under the discrete-event simulator (1000-node benches) and under the
+// threaded ORB runtime (real Node objects), as DESIGN.md requires.
+//
+// The protocol realizes the paper's three §2.4.3 guidelines:
+//
+//  * Hierarchical protocol -- nodes form groups of at most `group_size`;
+//    the Meta-Resource Manager (MRM) of each group is the group member
+//    designated by the (replicated) root directory; MRMs of level-k groups
+//    are grouped again at level k+1 until a single root remains. Group
+//    formation is carried out by the protocol itself: the root computes the
+//    tree from the membership directory and pushes `topology` updates.
+//    Resource lookup is incremental: a query consults the local level
+//    first and climbs one level at a time, pruning sibling subtrees whose
+//    aggregated digests cannot match.
+//
+//  * Soft consistency -- members send periodic `heartbeat`s to their MRM
+//    carrying their RegistryDigest; these double as keep-alives. An MRM
+//    considers a member suspect after `suspect_after` missed heartbeats and
+//    dead after `dead_after`; re-joins are seamless. MRMs have an
+//    *approximate* view, never a synchronously consistent one.
+//
+//  * Peer-replicated MRMs -- the root replicates the membership directory
+//    to its `root_replicas` lowest-id children; on root death the lowest
+//    alive replica promotes itself and rebuilds the tree. Interior MRM
+//    death needs no replica: the directory survives at the root, which
+//    recomputes the tree and re-parents the orphans.
+//
+// Baseline modes (for the E2/E3/E4 experiments):
+//  * flat_query  -- no hierarchy; every node knows the roster; queries are
+//    broadcast to all nodes, which answer directly.
+//  * strong      -- full-replication "strong consistency": every registry
+//    revision is broadcast to every node immediately (plus periodically);
+//    queries are answered from the local full copy.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/proto.hpp"
+#include "core/query.hpp"
+#include "util/clock.hpp"
+
+namespace clc::core {
+
+struct CohesionConfig {
+  enum class Mode { hierarchical, flat_query, strong };
+
+  Mode mode = Mode::hierarchical;
+  Duration heartbeat = seconds(2);
+  int suspect_after = 3;   // missed heartbeats until suspect
+  int dead_after = 5;      // missed heartbeats until dead
+  std::size_t group_size = 8;
+  int root_replicas = 2;
+  Duration query_timeout = seconds(2);
+};
+
+class CohesionNode {
+ public:
+  using Sender = std::function<void(NodeId to, const ProtoMessage&)>;
+  using QueryCallback = std::function<void(std::vector<QueryHit>)>;
+
+  CohesionNode(NodeId id, CohesionConfig cfg, Sender send);
+
+  /// The digest the node advertises (own installed components + load).
+  void set_digest_provider(std::function<RegistryDigest()> provider) {
+    digest_provider_ = std::move(provider);
+  }
+
+  /// Found a new network (this node becomes root).
+  void start_as_first(TimePoint now);
+  /// Join an existing network through any known peer.
+  void start_joining(NodeId bootstrap, TimePoint now);
+
+  void on_message(const ProtoMessage& m, TimePoint now);
+  /// Drive timers; call at least every heartbeat/2.
+  void on_tick(TimePoint now);
+
+  /// Issue a distributed component query. The callback fires exactly once:
+  /// with ranked hits (possibly empty) when replies or the timeout arrive.
+  void query(const ComponentQuery& q, TimePoint now, QueryCallback cb);
+
+  /// In strong mode, force an immediate update broadcast (called by the
+  /// node when its repository revision changes).
+  void broadcast_update(TimePoint now);
+
+  // ------------------------------------------------------------ introspection
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] bool joined() const noexcept { return joined_; }
+  [[nodiscard]] bool is_root() const noexcept { return root_; }
+  [[nodiscard]] NodeId parent() const noexcept { return parent_; }
+  [[nodiscard]] std::vector<NodeId> children() const;
+  [[nodiscard]] bool is_mrm() const noexcept { return !children_.empty(); }
+  /// Root only: every node believed alive.
+  [[nodiscard]] std::vector<NodeId> directory_nodes() const;
+  /// Nodes this one currently believes alive (roster in flat/strong modes,
+  /// directory at the root, parent+children elsewhere).
+  [[nodiscard]] std::vector<NodeId> known_nodes() const;
+  /// Tree depth below this node (1 = leaf); meaningful at the root.
+  [[nodiscard]] int subtree_depth() const;
+  [[nodiscard]] const CohesionConfig& config() const noexcept { return cfg_; }
+
+  struct Stats {
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t beacons_sent = 0;
+    std::uint64_t queries_issued = 0;
+    std::uint64_t queries_answered = 0;
+    std::uint64_t topology_updates = 0;
+    std::uint64_t promotions = 0;  // became root via replica promotion
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  // ---- membership / tree (hierarchical mode)
+  struct ChildInfo {
+    TimePoint last_heard = 0;
+    bool suspect = false;
+    RegistryDigest digest;                 // child's own registry
+    std::set<std::string> subtree_names;   // aggregate digest for pruning
+  };
+  struct Directory {
+    std::vector<NodeId> join_order;  // alive nodes, in join order
+    [[nodiscard]] bool contains(NodeId n) const;
+    void add(NodeId n);
+    void remove(NodeId n);
+    [[nodiscard]] Bytes encode() const;
+    static Result<Directory> decode(BytesView data);
+  };
+
+  void send(NodeId to, ProtoMessage m) const;
+  ProtoMessage make(const std::string& kind) const;
+
+  // Tree computation at the root: parent-of map from the directory.
+  [[nodiscard]] std::map<NodeId, NodeId> compute_tree() const;
+  [[nodiscard]] std::vector<NodeId> root_replica_list() const;
+  void root_recompute_and_publish(TimePoint now);
+  void adopt_topology(NodeId new_parent, TimePoint now);
+  void handle_member_dead(NodeId dead, TimePoint now);
+  void promote_to_root(TimePoint now);
+
+  // Digest/heartbeat helpers.
+  [[nodiscard]] RegistryDigest own_digest() const;
+  [[nodiscard]] std::vector<RegistryDigest> subtree_digests() const;
+  void send_heartbeat(TimePoint now);
+
+  // ---- queries
+  struct PendingQuery {         // as original requester
+    ComponentQuery q;
+    QueryCallback cb;
+    TimePoint deadline = 0;
+    std::vector<QueryHit> hits;
+    std::set<NodeId> awaiting;  // flat mode: nodes still to answer
+  };
+  struct RelayedQuery {         // as interior tree node
+    ComponentQuery q;
+    NodeId reply_to;            // next hop toward the requester
+    std::uint64_t reply_qid = 0;
+    TimePoint deadline = 0;
+    std::vector<QueryHit> hits;
+    std::set<NodeId> awaiting_children;
+    bool escalated = false;     // already passed up to parent
+    NodeId came_from;           // don't descend back into this subtree
+  };
+  void local_and_cached_hits(const ComponentQuery& q,
+                             std::vector<QueryHit>& hits) const;
+  void process_tree_query(std::uint64_t qid, RelayedQuery&& relay,
+                          TimePoint now);
+  void finish_relay(std::uint64_t qid, TimePoint now);
+  void finish_pending(std::uint64_t qid);
+  static void append_hits(std::vector<QueryHit>& into,
+                          const std::vector<QueryHit>& from);
+
+  NodeId id_;
+  CohesionConfig cfg_;
+  Sender send_;
+  std::function<RegistryDigest()> digest_provider_;
+
+  bool joined_ = false;
+  bool root_ = false;
+  NodeId parent_{};
+  std::map<NodeId, ChildInfo> children_;
+  TimePoint parent_last_heard_ = 0;
+  TimePoint last_heartbeat_ = 0;
+  TimePoint last_beacon_ = 0;
+  NodeId bootstrap_{};
+  TimePoint join_started_ = 0;
+
+  Directory directory_;               // root (and replicas, as a copy)
+  bool have_directory_copy_ = false;  // am I a root replica?
+  int replica_rank_ = 0;              // my position in the replica list
+  TimePoint root_death_detected_ = 0; // when I noticed the root was gone
+  NodeId current_root_{};
+  std::map<NodeId, NodeId> last_published_;  // root: last parent pushed
+  std::map<NodeId, TimePoint> probe_pending_;  // root: liveness probes
+  int republish_countdown_ = 0;                // root: periodic re-publish
+
+  // flat/strong modes
+  std::set<NodeId> roster_;
+  std::map<NodeId, RegistryDigest> full_registry_;  // strong mode cache
+  std::map<NodeId, TimePoint> roster_last_heard_;
+
+  std::map<std::uint64_t, PendingQuery> pending_;
+  std::map<std::uint64_t, RelayedQuery> relayed_;
+  std::uint64_t next_qid_ = 1;
+
+  Stats stats_;
+};
+
+}  // namespace clc::core

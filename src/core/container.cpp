@@ -1,0 +1,336 @@
+#include "core/container.hpp"
+
+namespace clc::core {
+
+// ---------------------------------------------------------------------------
+// InstanceContext implementation
+
+class Container::ContextImpl final : public InstanceContext {
+ public:
+  ContextImpl(Container& container, InstanceId id,
+              const pkg::ComponentDescription& description)
+      : container_(container), id_(id), description_(description) {}
+
+  [[nodiscard]] InstanceId id() const override { return id_; }
+  [[nodiscard]] const pkg::ComponentDescription& description()
+      const override {
+    return description_;
+  }
+
+  Result<orb::ObjectRef> provide_port(
+      const std::string& port_name,
+      std::shared_ptr<orb::Servant> servant) override {
+    const pkg::PortSpec* spec = description_.find_port(port_name);
+    if (spec == nullptr || spec->kind != pkg::PortKind::provides)
+      return Error{Errc::invalid_argument,
+                   description_.name + " declares no provides-port '" +
+                       port_name + "'"};
+    orb::ObjectRef ref = container_.services_.orb->activate(std::move(servant));
+    provided_[port_name] = ref;
+    if (container_.services_.registry != nullptr)
+      container_.services_.registry->record_provided_port(id_, port_name, ref);
+    return ref;
+  }
+
+  [[nodiscard]] orb::ObjectRef used_port(
+      const std::string& port_name) const override {
+    auto it = connections_.find(port_name);
+    return it == connections_.end() ? orb::kNilRef : it->second;
+  }
+
+  Result<orb::Value> call_port(const std::string& port_name,
+                               const std::string& operation,
+                               std::vector<orb::Value> args) override {
+    const pkg::PortSpec* spec = description_.find_port(port_name);
+    if (spec == nullptr || spec->kind != pkg::PortKind::uses)
+      return Error{Errc::invalid_argument,
+                   description_.name + " declares no uses-port '" + port_name +
+                       "'"};
+    auto it = connections_.find(port_name);
+    if (it == connections_.end() || it->second.is_nil()) {
+      // Unconnected: ask the container to resolve the dependency through
+      // the network (automatic dependency management, requirement 6).
+      auto resolved = require_port(*spec);
+      if (!resolved) return resolved.error();
+    }
+    return container_.services_.orb->call(connections_.at(port_name), operation,
+                                          std::move(args));
+  }
+
+  Result<void> emit(const std::string& port_name, orb::Value event) override {
+    const pkg::PortSpec* spec = description_.find_port(port_name);
+    if (spec == nullptr || spec->kind != pkg::PortKind::emits)
+      return Error{Errc::invalid_argument,
+                   description_.name + " declares no emits-port '" + port_name +
+                       "'"};
+    container_.services_.events->publish(spec->type, event);
+    return {};
+  }
+
+  Result<void> on_event(
+      const std::string& port_name,
+      std::function<void(const orb::Value&)> handler) override {
+    const pkg::PortSpec* spec = description_.find_port(port_name);
+    if (spec == nullptr || spec->kind != pkg::PortKind::consumes)
+      return Error{Errc::invalid_argument,
+                   description_.name + " declares no consumes-port '" +
+                       port_name + "'"};
+    subscriptions_.emplace_back(
+        spec->type, container_.services_.events->subscribe_local(
+                        spec->type, std::move(handler)));
+    return {};
+  }
+
+  Result<orb::ObjectRef> require(const std::string& component,
+                                 const VersionConstraint& c) override {
+    if (!container_.services_.resolver)
+      return Error{Errc::unsupported, "container has no network resolver"};
+    return container_.services_.resolver(component, c);
+  }
+
+  // --- container-side access
+  void set_connection(const std::string& port, const orb::ObjectRef& ref) {
+    connections_[port] = ref;
+  }
+  [[nodiscard]] const std::map<std::string, orb::ObjectRef>& connections()
+      const {
+    return connections_;
+  }
+  [[nodiscard]] const std::map<std::string, orb::ObjectRef>& provided() const {
+    return provided_;
+  }
+  void teardown() {
+    for (const auto& [type, sub] : subscriptions_)
+      container_.services_.events->unsubscribe_local(type, sub);
+    subscriptions_.clear();
+    for (const auto& [port, ref] : provided_)
+      (void)container_.services_.orb->deactivate(ref.key);
+    provided_.clear();
+  }
+
+ private:
+  Result<void> require_port(const pkg::PortSpec& spec) {
+    // A uses-port names the interface it needs; resolve a component whose
+    // matching dependency entry (if declared) or the port type provides it.
+    // Resolution is by component dependency declaration when present.
+    for (const auto& dep : description_.dependencies) {
+      auto ref = require(dep.component, dep.constraint);
+      if (ref.ok() && ref->interface_name == spec.type) {
+        set_connection(spec.name, *ref);
+        if (container_.services_.registry != nullptr)
+          container_.services_.registry->record_connection(id_, spec.name,
+                                                           *ref);
+        return {};
+      }
+    }
+    return Error{Errc::not_found,
+                 "used port '" + spec.name + "' (" + spec.type +
+                     ") is unconnected and no declared dependency provides it"};
+  }
+
+  Container& container_;
+  InstanceId id_;
+  const pkg::ComponentDescription& description_;
+  std::map<std::string, orb::ObjectRef> connections_;
+  std::map<std::string, orb::ObjectRef> provided_;
+  std::vector<std::pair<std::string, EventChannelHub::SubscriptionId>>
+      subscriptions_;
+};
+
+// ---------------------------------------------------------------------------
+// Container
+
+Container::Container(Services services, std::uint64_t seed)
+    : services_(std::move(services)), rng_(seed) {}
+
+Container::~Container() = default;
+Container::Entry::Entry() = default;
+Container::Entry::~Entry() = default;
+
+Result<Container::Entry*> Container::entry(InstanceId id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end())
+    return Error{Errc::not_found, "no instance " + id.to_string()};
+  return it->second.get();
+}
+
+Result<InstanceId> Container::create(const std::string& component,
+                                     const VersionConstraint& constraint) {
+  auto installed = services_.repository->find(component, constraint);
+  if (!installed) return installed.error();
+  const pkg::ComponentDescription& d = (*installed)->description;
+
+  auto factory =
+      services_.repository->load(component, d.version);
+  if (!factory) return factory.error();
+
+  const InstanceId id{(services_.orb->node_id().value << 32) |
+                      (next_instance_++ & 0xffffffff)};
+  if (auto r = services_.resources->reserve(id, d); !r.ok()) return r.error();
+
+  auto e = std::make_unique<Entry>();
+  e->id = id;
+  e->description = d;
+  e->impl = (*factory)();
+  if (e->impl == nullptr) {
+    services_.resources->release(id);
+    return Error{Errc::bad_state, "factory for " + component + " returned null"};
+  }
+  e->context = std::make_unique<ContextImpl>(*this, id, e->description);
+
+  Entry* raw = e.get();
+  entries_.emplace(id, std::move(e));
+  if (auto r = raw->impl->initialize(*raw->context); !r.ok()) {
+    raw->context->teardown();
+    services_.resources->release(id);
+    entries_.erase(id);
+    return r.error();
+  }
+
+  if (services_.registry != nullptr) {
+    InstanceRecord rec;
+    rec.id = id;
+    rec.component = component;
+    rec.version = d.version;
+    rec.state = InstanceState::created;
+    rec.provided_ports = raw->context->provided();
+    services_.registry->record_instance(rec);
+  }
+  if (auto r = activate(id); !r.ok()) return r.error();
+  return id;
+}
+
+Result<void> Container::activate(InstanceId id) {
+  auto e = entry(id);
+  if (!e) return e.error();
+  if ((*e)->state == InstanceState::active) return {};
+  (*e)->impl->activate();
+  (*e)->state = InstanceState::active;
+  if (services_.registry != nullptr)
+    services_.registry->update_state(id, InstanceState::active);
+  return {};
+}
+
+Result<void> Container::passivate(InstanceId id) {
+  auto e = entry(id);
+  if (!e) return e.error();
+  if ((*e)->state != InstanceState::active)
+    return Error{Errc::bad_state, "instance is not active"};
+  (*e)->impl->passivate();
+  (*e)->state = InstanceState::passive;
+  if (services_.registry != nullptr)
+    services_.registry->update_state(id, InstanceState::passive);
+  return {};
+}
+
+Result<void> Container::destroy(InstanceId id) {
+  auto e = entry(id);
+  if (!e) return e.error();
+  (*e)->context->teardown();
+  services_.resources->release(id);
+  if (services_.registry != nullptr) services_.registry->remove_instance(id);
+  entries_.erase(id);
+  return {};
+}
+
+Result<orb::ObjectRef> Container::provided_port(InstanceId id,
+                                                const std::string& port) const {
+  auto e = entry(id);
+  if (!e) return e.error();
+  const auto& provided = (*e)->context->provided();
+  auto it = provided.find(port);
+  if (it == provided.end())
+    return Error{Errc::not_found,
+                 (*e)->description.name + " exposes no port '" + port + "'"};
+  return it->second;
+}
+
+Result<void> Container::connect(InstanceId id, const std::string& port,
+                                const orb::ObjectRef& target) {
+  auto e = entry(id);
+  if (!e) return e.error();
+  const pkg::PortSpec* spec = (*e)->description.find_port(port);
+  if (spec == nullptr || spec->kind != pkg::PortKind::uses)
+    return Error{Errc::invalid_argument,
+                 (*e)->description.name + " declares no uses-port '" + port +
+                     "'"};
+  // Interface compatibility check when both sides are known.
+  if (!target.interface_name.empty() &&
+      services_.orb->repository().find_interface(target.interface_name) !=
+          nullptr &&
+      !services_.orb->repository().is_a(target.interface_name, spec->type))
+    return Error{Errc::invalid_argument,
+                 "port '" + port + "' needs " + spec->type + ", got " +
+                     target.interface_name};
+  (*e)->context->set_connection(port, target);
+  if (services_.registry != nullptr)
+    services_.registry->record_connection(id, port, target);
+  return {};
+}
+
+Result<Container::Snapshot> Container::capture(InstanceId id) {
+  auto e = entry(id);
+  if (!e) return e.error();
+  if (!(*e)->description.mobile && !(*e)->description.replicable)
+    return Error{Errc::refused,
+                 (*e)->description.name + " is neither mobile nor replicable"};
+  if ((*e)->state == InstanceState::active) {
+    if (auto r = passivate(id); !r.ok()) return r.error();
+  }
+  (*e)->state = InstanceState::migrating;
+  if (services_.registry != nullptr)
+    services_.registry->update_state(id, InstanceState::migrating);
+  auto state = (*e)->impl->externalize_state();
+  if (!state) return state.error();
+  Snapshot s;
+  s.component = (*e)->description.name;
+  s.version = (*e)->description.version;
+  s.state = std::move(*state);
+  s.connections = (*e)->context->connections();
+  return s;
+}
+
+Result<InstanceId> Container::restore(const Snapshot& snapshot) {
+  VersionConstraint exact;
+  exact.op = VersionConstraint::Op::eq;
+  exact.bound = snapshot.version;
+  auto id = create(snapshot.component, exact);
+  if (!id) return id.error();
+  auto e = entry(*id);
+  if (auto r = (*e)->impl->internalize_state(snapshot.state); !r.ok()) {
+    (void)destroy(*id);
+    return r.error();
+  }
+  for (const auto& [port, target] : snapshot.connections) {
+    if (auto r = connect(*id, port, target); !r.ok()) {
+      (void)destroy(*id);
+      return r.error();
+    }
+  }
+  return *id;
+}
+
+Result<ComponentInstance*> Container::implementation(InstanceId id) const {
+  auto e = entry(id);
+  if (!e) return e.error();
+  return (*e)->impl.get();
+}
+
+Result<const pkg::ComponentDescription*> Container::description_of(
+    InstanceId id) const {
+  auto e = entry(id);
+  if (!e) return e.error();
+  return &(*e)->description;
+}
+
+Result<InstanceId> Container::find_active(const std::string& component,
+                                          const VersionConstraint& c) const {
+  for (const auto& [id, e] : entries_) {
+    if (e->description.name == component && c.matches(e->description.version) &&
+        e->state == InstanceState::active)
+      return id;
+  }
+  return Error{Errc::not_found, "no active instance of " + component};
+}
+
+}  // namespace clc::core

@@ -1,0 +1,113 @@
+// Containers: the run-time environment of component instances (§2.2).
+//
+// "Containers become the instances view of the world. Instances ask the
+// container for the required services and it in turn informs the instance
+// of its environment." The container owns the non-functional aspects the
+// paper lists: activation/de-activation, resource reservation (QoS
+// admission through the Resource Manager), dependency resolution (through
+// the node and the Distributed Registry), event wiring, and migration /
+// replication support via the agreed local interfaces
+// (externalize_state/internalize_state on ComponentInstance).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/events.hpp"
+#include "core/instance.hpp"
+#include "core/registry.hpp"
+#include "core/repository.hpp"
+#include "core/resource.hpp"
+#include "orb/orb.hpp"
+#include "util/rng.hpp"
+
+namespace clc::core {
+
+class Container {
+ public:
+  /// Node facilities injected into the container.
+  struct Services {
+    orb::Orb* orb = nullptr;
+    ComponentRepository* repository = nullptr;
+    ResourceManager* resources = nullptr;
+    EventChannelHub* events = nullptr;
+    ComponentRegistry* registry = nullptr;
+    /// Network-wide dependency resolution (requirement 6); wired to
+    /// Node::resolve. May be empty in unit tests.
+    std::function<Result<orb::ObjectRef>(const std::string&,
+                                         const VersionConstraint&)>
+        resolver;
+  };
+
+  explicit Container(Services services, std::uint64_t seed = 0xC04);
+  ~Container();  // out of line: Entry holds the ContextImpl defined in .cpp
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  /// Create an instance of an installed component: load the binary, run
+  /// QoS admission, initialize ports, activate.
+  Result<InstanceId> create(const std::string& component,
+                            const VersionConstraint& constraint);
+
+  Result<void> destroy(InstanceId id);
+
+  /// Reference to a provided port of an instance.
+  [[nodiscard]] Result<orb::ObjectRef> provided_port(
+      InstanceId id, const std::string& port) const;
+
+  /// Connect a used port to a target object (assembly edge).
+  Result<void> connect(InstanceId id, const std::string& port,
+                       const orb::ObjectRef& target);
+
+  /// Lifecycle control.
+  Result<void> activate(InstanceId id);
+  Result<void> passivate(InstanceId id);
+
+  /// Migration/replication: passivate, capture state + wiring. The
+  /// instance stays passive (caller destroys it once the move commits, or
+  /// re-activates on abort).
+  struct Snapshot {
+    std::string component;
+    Version version;
+    Bytes state;
+    std::map<std::string, orb::ObjectRef> connections;  // used ports
+  };
+  Result<Snapshot> capture(InstanceId id);
+  /// Recreate an instance from a snapshot (the receiving side of a
+  /// migration, or a replica).
+  Result<InstanceId> restore(const Snapshot& snapshot);
+
+  /// Direct access for aggregation chunks and tests.
+  [[nodiscard]] Result<ComponentInstance*> implementation(InstanceId id) const;
+  [[nodiscard]] Result<const pkg::ComponentDescription*> description_of(
+      InstanceId id) const;
+
+  /// Reuse an existing active instance of the component, if any.
+  [[nodiscard]] Result<InstanceId> find_active(
+      const std::string& component, const VersionConstraint& c) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  class ContextImpl;
+  struct Entry {
+    Entry();
+    ~Entry();  // out of line: ContextImpl is defined in the .cpp
+    InstanceId id;
+    pkg::ComponentDescription description;
+    std::unique_ptr<ComponentInstance> impl;
+    std::unique_ptr<ContextImpl> context;
+    InstanceState state = InstanceState::created;
+  };
+
+  Result<Entry*> entry(InstanceId id) const;
+
+  Services services_;
+  Rng rng_;
+  std::map<InstanceId, std::unique_ptr<Entry>> entries_;
+  std::uint64_t next_instance_ = 1;
+};
+
+}  // namespace clc::core

@@ -1,0 +1,86 @@
+#include "core/introspect.hpp"
+
+#include <sstream>
+
+#include "xml/xml.hpp"
+
+namespace clc::core {
+
+std::string network_view_xml(LocalNetwork& net) {
+  xml::Element root("network");
+  for (Node* node : net.nodes()) {
+    auto& n = root.add_child("node");
+    n.set_attr("id", node->id().to_string());
+    n.set_attr("endpoint", node->endpoint());
+    const NodeProfile& p = node->resources().profile();
+    auto& hw = n.add_child("profile");
+    hw.set_attr("arch", p.arch);
+    hw.set_attr("os", p.os);
+    hw.set_attr("orb", p.orb);
+    hw.set_attr("device", device_class_name(p.device));
+    hw.set_attr("cpu-power", std::to_string(p.cpu_power));
+    auto& load = n.add_child("load");
+    const NodeLoad l = node->resources().load();
+    load.set_attr("cpu", std::to_string(l.cpu_load));
+    load.set_attr("memory-used-kb", std::to_string(l.memory_used_kb));
+    load.set_attr("instances", std::to_string(l.instance_count));
+
+    auto& palette = n.add_child("palette");
+    for (const auto* ic : node->repository().list()) {
+      auto& c = palette.add_child("component");
+      c.set_attr("name", ic->description.name);
+      c.set_attr("version", ic->description.version.to_string());
+      c.set_attr("mobile", ic->description.mobile ? "true" : "false");
+      if (!ic->description.summary.empty())
+        c.set_text(ic->description.summary);
+    }
+
+    auto& instances = n.add_child("instances");
+    for (const auto* rec : node->registry().instances()) {
+      auto& i = instances.add_child("instance");
+      i.set_attr("id", rec->id.to_string());
+      i.set_attr("component", rec->component);
+      i.set_attr("version", rec->version.to_string());
+      i.set_attr("state", instance_state_name(rec->state));
+      for (const auto& [port, ref] : rec->provided_ports) {
+        auto& pe = i.add_child("provides");
+        pe.set_attr("port", port);
+        pe.set_attr("interface", ref.interface_name);
+      }
+      for (const auto& [port, ref] : rec->used_ports) {
+        auto& ce = i.add_child("connection");
+        ce.set_attr("port", port);
+        ce.set_attr("to", ref.to_string());
+      }
+    }
+  }
+  xml::Document doc;
+  doc.root = std::make_unique<xml::Element>(std::move(root));
+  return doc.to_string();
+}
+
+std::string network_view_text(LocalNetwork& net) {
+  std::ostringstream os;
+  for (Node* node : net.nodes()) {
+    const NodeProfile& p = node->resources().profile();
+    const NodeLoad l = node->resources().load();
+    os << "node " << node->id().to_string() << " (" << p.arch << "/" << p.os
+       << ", " << device_class_name(p.device) << ", cpu "
+       << l.cpu_load << ")\n";
+    for (const auto* ic : node->repository().list()) {
+      os << "  [pkg] " << ic->description.name << " "
+         << ic->description.version.to_string()
+         << (ic->description.mobile ? "" : " (remote-only)") << "\n";
+    }
+    for (const auto* rec : node->registry().instances()) {
+      os << "  [run] " << rec->component << "#" << rec->id.to_string() << " "
+         << instance_state_name(rec->state);
+      for (const auto& [port, ref] : rec->used_ports)
+        os << "  " << port << "->" << ref.interface_name;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace clc::core

@@ -1,0 +1,24 @@
+// Network introspection: the Reflection Architecture's view for visual
+// building tools (§2.4.2).
+//
+// "This information is used ... by visual builder tools to offer to the
+// user the palette of available components, instances and connections among
+// them." These helpers walk a LocalNetwork and emit the palette as an XML
+// document (the format a builder UI would consume) and as a human-readable
+// text rendering.
+#pragma once
+
+#include <string>
+
+#include "core/node.hpp"
+
+namespace clc::core {
+
+/// XML network view: one <node> per host with its profile, load, installed
+/// components (the palette), running instances and assembly edges.
+std::string network_view_xml(LocalNetwork& net);
+
+/// Compact text rendering of the same view (for terminals/logs).
+std::string network_view_text(LocalNetwork& net);
+
+}  // namespace clc::core

@@ -1,0 +1,626 @@
+#include "core/node.hpp"
+
+#include "util/log.hpp"
+
+namespace clc::core {
+
+namespace {
+
+/// Well-known object key of a node's NodeService servant: peers construct
+/// references to it from the NodeId alone (CORBA "corbaloc" analogue).
+Uuid node_service_key(NodeId id) {
+  return Uuid{0xC0DEC0DE00000001ULL, id.value};
+}
+
+constexpr const char* kNodeIdl = R"(
+module clc {
+  typedef sequence<octet> Blob;
+  interface NodeService {
+    // Component Acceptor (Fig. 1): accept a package for local installation.
+    void accept_package(in Blob package);
+    // Reflection: descriptor XML and IDL of an installed component.
+    string describe_component(in string component, in string version);
+    string get_component_idl(in string component, in string version);
+    // Network-as-repository: ship a package to the requesting platform.
+    Blob fetch_package(in string component, in string version,
+                       in string arch, in string os, in string orb_name,
+                       in string device);
+    // Instance acquisition (get-or-create) and assembly wiring.
+    string acquire_instance(in string component, in string constraint,
+                            out Object primary);
+    void connect_instance(in string token, in string port, in Object target);
+    Object instance_port(in string token, in string port);
+    // Migration: restore a captured instance here.
+    string receive_instance(in string component, in string version,
+                            in Blob state, out Object primary);
+    // Event channels across nodes.
+    void subscribe_events(in string event_type, in Object consumer);
+    // Aggregation (data-parallel) chunk execution.
+    Blob process_chunk(in string component, in string constraint,
+                       in Blob chunk);
+    // Network Cohesion transport: protocol messages ride oneway calls.
+    oneway void deliver(in Blob message);
+  };
+};
+)";
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LocalNetwork
+
+LocalNetwork::LocalNetwork(CohesionConfig cohesion_defaults)
+    : transport_(std::make_shared<orb::LoopbackNetwork>()),
+      cohesion_defaults_(cohesion_defaults) {}
+
+Node& LocalNetwork::add_node(NodeProfile profile, bool auto_join) {
+  const NodeId id{next_id_++};
+  owned_.push_back(
+      std::make_unique<Node>(id, std::move(profile), *this, cohesion_defaults_));
+  Node& node = *owned_.back();
+  if (auto_join) {
+    if (owned_.size() == 1) {
+      node.start_network(now());
+    } else {
+      node.join(owned_.front()->id(), now());
+    }
+  }
+  return node;
+}
+
+void LocalNetwork::register_node(Node& node, const std::string& endpoint) {
+  directory_[node.id()] = {endpoint, &node};
+}
+
+Result<std::string> LocalNetwork::endpoint_of(NodeId id) const {
+  auto it = directory_.find(id);
+  if (it == directory_.end())
+    return Error{Errc::not_found, "unknown node " + id.to_string()};
+  return it->second.first;
+}
+
+Node* LocalNetwork::node(NodeId id) const {
+  auto it = directory_.find(id);
+  return it == directory_.end() ? nullptr : it->second.second;
+}
+
+std::vector<Node*> LocalNetwork::nodes() const {
+  std::vector<Node*> out;
+  for (const auto& [id, entry] : directory_) {
+    if (crashed_.count(id) == 0) out.push_back(entry.second);
+  }
+  return out;
+}
+
+void LocalNetwork::advance(Duration duration, Duration step) {
+  const TimePoint deadline = clock_.now() + duration;
+  while (clock_.now() < deadline) {
+    clock_.advance(std::min(step, deadline - clock_.now()));
+    for (const auto& [id, entry] : directory_) {
+      if (crashed_.count(id) == 0) entry.second->tick(clock_.now());
+    }
+  }
+}
+
+void LocalNetwork::settle() { advance(cohesion_defaults_.heartbeat * 8); }
+
+void LocalNetwork::crash(NodeId id) {
+  auto it = directory_.find(id);
+  if (it == directory_.end()) return;
+  transport_->detach(it->second.first);
+  crashed_.insert(id);
+}
+
+// ---------------------------------------------------------------------------
+// Node
+
+Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
+           CohesionConfig cohesion_config)
+    : id_(id),
+      network_(network),
+      types_(std::make_shared<idl::InterfaceRepository>()),
+      orb_(std::make_unique<orb::Orb>(id, types_)),
+      resources_(profile),
+      repository_(profile, types_),
+      registry_(id, repository_, resources_),
+      events_(*orb_),
+      container_(
+          Container::Services{
+              orb_.get(), &repository_, &resources_, &events_, &registry_,
+              [this](const std::string& component,
+                     const VersionConstraint& c) -> Result<orb::ObjectRef> {
+                auto bound = resolve(component, c);
+                if (!bound) return bound.error();
+                return bound->primary;
+              }},
+          id.value),
+      cohesion_(id, cohesion_config,
+                [this](NodeId to, const ProtoMessage& m) {
+                  auto service = node_service_ref(to);
+                  if (!service) return;  // unknown peer: message lost
+                  (void)orb_->send(*service, "deliver", {orb::Value(m.encode())});
+                }) {
+  install_node_idl();
+  auto* orb_raw = orb_.get();
+  const std::string endpoint = network_.transport().register_endpoint(
+      [orb_raw](BytesView frame) { return orb_raw->handle_frame(frame); });
+  orb_->set_endpoint(endpoint);
+  orb_->add_transport("loop", network_.transport_ptr());
+  make_node_servant();
+  network_.register_node(*this, endpoint);
+  cohesion_.set_digest_provider([this] { return registry_.digest(); });
+}
+
+Node::~Node() = default;
+
+void Node::install_node_idl() {
+  auto r = types_->register_idl(kNodeIdl);
+  if (!r.ok())
+    CLC_LOG(error, "node") << "node IDL failed to register: "
+                           << r.error().to_string();
+}
+
+Result<orb::ObjectRef> Node::node_service_ref(NodeId peer) const {
+  auto endpoint = network_.endpoint_of(peer);
+  if (!endpoint) return endpoint.error();
+  orb::ObjectRef ref;
+  ref.node = peer;
+  ref.key = node_service_key(peer);
+  ref.interface_name = "clc::NodeService";
+  ref.endpoint = *endpoint;
+  return ref;
+}
+
+void Node::start_network(TimePoint now) { cohesion_.start_as_first(now); }
+
+void Node::join(NodeId bootstrap, TimePoint now) {
+  cohesion_.start_joining(bootstrap, now);
+}
+
+void Node::tick(TimePoint now) { cohesion_.on_tick(now); }
+
+Result<void> Node::install(const Bytes& package_bytes) {
+  if (auto r = repository_.install(package_bytes); !r.ok()) return r;
+  cohesion_.broadcast_update(network_.now());  // strong-mode hook (no-op otherwise)
+  return {};
+}
+
+Result<std::vector<QueryHit>> Node::query_network(const ComponentQuery& q) {
+  std::optional<std::vector<QueryHit>> result;
+  cohesion_.query(q, network_.now(), [&result](std::vector<QueryHit> hits) {
+    result = std::move(hits);
+  });
+  // Loopback delivery is synchronous, so most queries complete before
+  // query() returns; the rest (unreachable peers) end at the timeout.
+  const TimePoint deadline =
+      network_.now() + cohesion_.config().query_timeout +
+      cohesion_.config().heartbeat;
+  while (!result.has_value() && network_.now() < deadline) {
+    network_.advance(cohesion_.config().heartbeat / 2);
+  }
+  if (!result.has_value())
+    return Error{Errc::timeout, "distributed query never completed"};
+  return std::move(*result);
+}
+
+Result<std::string> Node::remote_idl(NodeId peer, const std::string& component,
+                                     const Version& version) {
+  auto service = node_service_ref(peer);
+  if (!service) return service.error();
+  auto idl_text = orb_->call(*service, "get_component_idl",
+                             {orb::Value(component),
+                              orb::Value(version.to_string())});
+  if (!idl_text) return idl_text.error();
+  return idl_text->as<std::string>();
+}
+
+Result<BoundComponent> Node::acquire_local(const std::string& component,
+                                           const VersionConstraint& constraint) {
+  InstanceId id;
+  if (auto existing = container_.find_active(component, constraint);
+      existing.ok()) {
+    id = *existing;
+  } else {
+    auto created = container_.create(component, constraint);
+    if (!created) return created.error();
+    id = *created;
+  }
+  auto primary = primary_port(id);
+  if (!primary) return primary.error();
+  BoundComponent bound;
+  bound.primary = *primary;
+  bound.host = id_;
+  bound.instance_token = id.to_string();
+  return bound;
+}
+
+Result<orb::ObjectRef> Node::primary_port(InstanceId id) const {
+  auto d = container_.description_of(id);
+  if (!d) return d.error();
+  const auto provides = (*d)->ports_of(pkg::PortKind::provides);
+  if (provides.empty())
+    return Error{Errc::bad_state,
+                 (*d)->name + " declares no provides-port to bind to"};
+  return container_.provided_port(id, provides.front().name);
+}
+
+Result<BoundComponent> Node::resolve(const std::string& component,
+                                     const VersionConstraint& constraint,
+                                     Binding binding) {
+  // 1. Local repository first (zero network cost).
+  if (binding != Binding::remote && repository_.has(component, constraint))
+    return acquire_local(component, constraint);
+
+  // 2. Distributed query.
+  ComponentQuery q;
+  q.name_pattern = component;
+  q.constraint = constraint;
+  q.require_mobile = binding == Binding::fetch_local;
+  auto hits = query_network(q);
+  if (!hits) return hits.error();
+  if (hits->empty())
+    return Error{Errc::not_found,
+                 "no node in the network offers " + component + " " +
+                     constraint.to_string()};
+
+  for (const QueryHit& hit : *hits) {
+    // 3. Decide fetch-vs-remote for this candidate.
+    bool fetch = binding == Binding::fetch_local;
+    if (binding == Binding::auto_decide && hit.mobile &&
+        resources_.profile().can_install()) {
+      auto service = node_service_ref(hit.node);
+      if (service) {
+        auto xml_text = orb_->call(*service, "describe_component",
+                                   {orb::Value(hit.component),
+                                    orb::Value(hit.version.to_string())});
+        if (xml_text) {
+          auto d = pkg::ComponentDescription::from_xml(
+              xml_text->as<std::string>());
+          // Bandwidth-sensitive components (the paper's MPEG-decoder case)
+          // are worth fetching; others bind remotely.
+          if (d.ok() && d->qos.min_bandwidth_kbps > 0) fetch = true;
+        }
+      }
+    }
+
+    if (fetch) {
+      auto fetched = fetch_component(hit.node, hit.component, hit.version);
+      if (fetched.ok()) {
+        auto bound = acquire_local(component, constraint);
+        if (bound.ok()) {
+          bound->fetched = true;
+          return bound;
+        }
+      }
+      if (binding == Binding::fetch_local) continue;  // try next candidate
+    }
+
+    // 4. Remote bind: import the component's types, then acquire.
+    auto idl_text = remote_idl(hit.node, hit.component, hit.version);
+    if (idl_text.ok() && !idl_text->empty())
+      (void)types_->register_idl(*idl_text);
+    auto service = node_service_ref(hit.node);
+    if (!service) continue;
+    std::vector<orb::Value> args = {orb::Value(component),
+                                    orb::Value(constraint.to_string()),
+                                    orb::Value()};
+    auto outcome = orb_->invoke(*service, "acquire_instance", args);
+    if (!outcome || outcome->exception.has_value()) continue;
+    BoundComponent bound;
+    bound.instance_token = outcome->result.as<std::string>();
+    bound.primary = args[2].as<orb::ObjectRef>();
+    bound.host = hit.node;
+    return bound;
+  }
+  return Error{Errc::unreachable,
+               "every candidate for " + component + " failed to bind"};
+}
+
+Result<void> Node::fetch_component(NodeId from, const std::string& component,
+                                   const Version& version) {
+  auto service = node_service_ref(from);
+  if (!service) return service.error();
+  const NodeProfile& p = resources_.profile();
+  auto package = orb_->call(
+      *service, "fetch_package",
+      {orb::Value(component), orb::Value(version.to_string()),
+       orb::Value(p.arch), orb::Value(p.os), orb::Value(p.orb),
+       orb::Value(std::string(device_class_name(p.device)))});
+  if (!package) return package.error();
+  auto installed = install(package->as<Bytes>());
+  if (!installed.ok() && installed.error().code != Errc::already_exists)
+    return installed;
+  return {};
+}
+
+Result<BoundComponent> Node::migrate_instance(InstanceId id, NodeId target) {
+  auto snapshot = container_.capture(id);
+  if (!snapshot) return snapshot.error();
+  auto service = node_service_ref(target);
+  if (!service) {
+    (void)container_.activate(id);  // abort: resume locally
+    return service.error();
+  }
+
+  auto try_receive = [&]() -> Result<BoundComponent> {
+    std::vector<orb::Value> args = {
+        orb::Value(snapshot->component),
+        orb::Value(snapshot->version.to_string()),
+        orb::Value(snapshot->state), orb::Value()};
+    auto outcome = orb_->invoke(*service, "receive_instance", args);
+    if (!outcome) return outcome.error();
+    if (outcome->exception.has_value())
+      return Error{Errc::remote_exception, outcome->exception->type_name};
+    BoundComponent bound;
+    bound.instance_token = outcome->result.as<std::string>();
+    bound.primary = args[3].as<orb::ObjectRef>();
+    bound.host = target;
+    return bound;
+  };
+
+  auto received = try_receive();
+  if (!received.ok()) {
+    // Likely not installed there: ship the package (in its binary form, as
+    // §2.2 describes) and retry once.
+    auto raw = repository_.export_package(
+        snapshot->component, snapshot->version,
+        network_.node(target) != nullptr
+            ? network_.node(target)->resources().profile()
+            : resources_.profile());
+    if (raw.ok()) {
+      (void)orb_->call(*service, "accept_package", {orb::Value(*raw)});
+      received = try_receive();
+    }
+  }
+  if (!received.ok()) {
+    (void)container_.activate(id);  // abort: resume locally
+    return received.error();
+  }
+
+  // Re-establish the instance's outgoing connections on the target.
+  for (const auto& [port, ref] : snapshot->connections) {
+    (void)orb_->call(*service, "connect_instance",
+                     {orb::Value(received->instance_token), orb::Value(port),
+                      orb::Value(ref)});
+  }
+  (void)container_.destroy(id);
+  return received;
+}
+
+Result<BoundComponent> Node::replicate_instance(InstanceId id, NodeId target) {
+  auto description = container_.description_of(id);
+  if (!description) return description.error();
+  if (!(*description)->replicable)
+    return Error{Errc::refused,
+                 (*description)->name + " is not declared replicable"};
+  auto snapshot = container_.capture(id);
+  if (!snapshot) return snapshot.error();
+  // The original resumes immediately; the snapshot travels to the replica.
+  (void)container_.activate(id);
+
+  auto service = node_service_ref(target);
+  if (!service) return service.error();
+  auto try_receive = [&]() -> Result<BoundComponent> {
+    std::vector<orb::Value> args = {
+        orb::Value(snapshot->component),
+        orb::Value(snapshot->version.to_string()),
+        orb::Value(snapshot->state), orb::Value()};
+    auto outcome = orb_->invoke(*service, "receive_instance", args);
+    if (!outcome) return outcome.error();
+    if (outcome->exception.has_value())
+      return Error{Errc::remote_exception, outcome->exception->type_name};
+    BoundComponent bound;
+    bound.instance_token = outcome->result.as<std::string>();
+    bound.primary = args[3].as<orb::ObjectRef>();
+    bound.host = target;
+    return bound;
+  };
+  auto replica = try_receive();
+  if (!replica.ok()) {
+    auto raw = repository_.export_package(
+        snapshot->component, snapshot->version,
+        network_.node(target) != nullptr
+            ? network_.node(target)->resources().profile()
+            : resources_.profile());
+    if (raw.ok()) {
+      (void)orb_->call(*service, "accept_package", {orb::Value(*raw)});
+      replica = try_receive();
+    }
+  }
+  if (!replica.ok()) return replica.error();
+  for (const auto& [port, ref] : snapshot->connections) {
+    (void)orb_->call(*service, "connect_instance",
+                     {orb::Value(replica->instance_token), orb::Value(port),
+                      orb::Value(ref)});
+  }
+  return replica;
+}
+
+Result<void> Node::connect_remote(const BoundComponent& from,
+                                  const std::string& port,
+                                  const orb::ObjectRef& target) {
+  if (from.host == id_) {
+    const InstanceId id{
+        static_cast<std::uint64_t>(std::stoull(from.instance_token))};
+    return container_.connect(id, port, target);
+  }
+  auto service = node_service_ref(from.host);
+  if (!service) return service.error();
+  auto r = orb_->call(*service, "connect_instance",
+                      {orb::Value(from.instance_token), orb::Value(port),
+                       orb::Value(target)});
+  if (!r) return r.error();
+  return {};
+}
+
+Result<orb::ObjectRef> Node::instance_port(const BoundComponent& of,
+                                           const std::string& port) {
+  if (of.host == id_) {
+    const InstanceId id{
+        static_cast<std::uint64_t>(std::stoull(of.instance_token))};
+    return container_.provided_port(id, port);
+  }
+  auto service = node_service_ref(of.host);
+  if (!service) return service.error();
+  auto r = orb_->call(*service, "instance_port",
+                      {orb::Value(of.instance_token), orb::Value(port)});
+  if (!r) return r.error();
+  return r->as<orb::ObjectRef>();
+}
+
+Result<void> Node::subscribe_on(NodeId peer, const std::string& event_type,
+                                const orb::ObjectRef& consumer) {
+  auto service = node_service_ref(peer);
+  if (!service) return service.error();
+  auto r = orb_->call(*service, "subscribe_events",
+                      {orb::Value(event_type), orb::Value(consumer)});
+  if (!r) return r.error();
+  return {};
+}
+
+Result<Bytes> Node::process_chunk_on(NodeId peer, const std::string& component,
+                                     const VersionConstraint& constraint,
+                                     BytesView chunk) {
+  auto service = node_service_ref(peer);
+  if (!service) return service.error();
+  auto r = orb_->call(*service, "process_chunk",
+                      {orb::Value(component), orb::Value(constraint.to_string()),
+                       orb::Value(Bytes(chunk.begin(), chunk.end()))});
+  if (!r) return r.error();
+  return r->as<Bytes>();
+}
+
+// ---------------------------------------------------------------------------
+// NodeService servant
+
+void Node::make_node_servant() {
+  auto servant = std::make_shared<orb::DynamicServant>("clc::NodeService");
+
+  servant->on("accept_package", [this](orb::ServerRequest& req) -> Result<void> {
+    auto r = install(req.arg(0).as<Bytes>());
+    if (!r.ok() && r.error().code != Errc::already_exists) return r;
+    return {};
+  });
+
+  servant->on("describe_component",
+              [this](orb::ServerRequest& req) -> Result<void> {
+    auto version = Version::parse(req.arg(1).as<std::string>());
+    if (!version) return version.error();
+    auto ic = repository_.find_exact(req.arg(0).as<std::string>(), *version);
+    if (!ic) return ic.error();
+    req.set_result(orb::Value((*ic)->description.to_xml()));
+    return {};
+  });
+
+  servant->on("get_component_idl",
+              [this](orb::ServerRequest& req) -> Result<void> {
+    auto version = Version::parse(req.arg(1).as<std::string>());
+    if (!version) return version.error();
+    auto idl_text = repository_.idl_of(req.arg(0).as<std::string>(), *version);
+    if (!idl_text) return idl_text.error();
+    req.set_result(orb::Value(std::move(*idl_text)));
+    return {};
+  });
+
+  servant->on("fetch_package", [this](orb::ServerRequest& req) -> Result<void> {
+    auto version = Version::parse(req.arg(1).as<std::string>());
+    if (!version) return version.error();
+    NodeProfile target;
+    target.arch = req.arg(2).as<std::string>();
+    target.os = req.arg(3).as<std::string>();
+    target.orb = req.arg(4).as<std::string>();
+    target.device = req.arg(5).as<std::string>() == "pda"
+                        ? DeviceClass::pda
+                        : DeviceClass::workstation;
+    auto raw = repository_.export_package(req.arg(0).as<std::string>(),
+                                          *version, target);
+    if (!raw) return raw.error();
+    req.set_result(orb::Value(std::move(*raw)));
+    return {};
+  });
+
+  servant->on("acquire_instance",
+              [this](orb::ServerRequest& req) -> Result<void> {
+    auto constraint = VersionConstraint::parse(req.arg(1).as<std::string>());
+    if (!constraint) return constraint.error();
+    auto bound = acquire_local(req.arg(0).as<std::string>(), *constraint);
+    if (!bound) return bound.error();
+    req.set_result(orb::Value(bound->instance_token));
+    req.args()[2] = orb::Value(bound->primary);
+    return {};
+  });
+
+  servant->on("connect_instance",
+              [this](orb::ServerRequest& req) -> Result<void> {
+    const InstanceId id{
+        static_cast<std::uint64_t>(std::stoull(req.arg(0).as<std::string>()))};
+    return container_.connect(id, req.arg(1).as<std::string>(),
+                              req.arg(2).as<orb::ObjectRef>());
+  });
+
+  servant->on("instance_port", [this](orb::ServerRequest& req) -> Result<void> {
+    const InstanceId id{
+        static_cast<std::uint64_t>(std::stoull(req.arg(0).as<std::string>()))};
+    auto ref = container_.provided_port(id, req.arg(1).as<std::string>());
+    if (!ref) return ref.error();
+    req.set_result(orb::Value(*ref));
+    return {};
+  });
+
+  servant->on("receive_instance",
+              [this](orb::ServerRequest& req) -> Result<void> {
+    auto version = Version::parse(req.arg(1).as<std::string>());
+    if (!version) return version.error();
+    Container::Snapshot snapshot;
+    snapshot.component = req.arg(0).as<std::string>();
+    snapshot.version = *version;
+    snapshot.state = req.arg(2).as<Bytes>();
+    auto id = container_.restore(snapshot);
+    if (!id) return id.error();
+    auto primary = primary_port(*id);
+    if (!primary) return primary.error();
+    req.set_result(orb::Value(id->to_string()));
+    req.args()[3] = orb::Value(*primary);
+    return {};
+  });
+
+  servant->on("subscribe_events",
+              [this](orb::ServerRequest& req) -> Result<void> {
+    return events_.subscribe_remote(req.arg(0).as<std::string>(),
+                                    req.arg(1).as<orb::ObjectRef>());
+  });
+
+  servant->on("process_chunk", [this](orb::ServerRequest& req) -> Result<void> {
+    const std::string component = req.arg(0).as<std::string>();
+    auto constraint = VersionConstraint::parse(req.arg(1).as<std::string>());
+    if (!constraint) return constraint.error();
+    InstanceId id;
+    if (auto existing = container_.find_active(component, *constraint);
+        existing.ok()) {
+      id = *existing;
+    } else {
+      // Volunteer nodes fetch the aggregatable component on first use
+      // (the network acts as the repository, §2.4.3).
+      auto bound = resolve(component, *constraint, Binding::fetch_local);
+      if (!bound) return bound.error();
+      id = InstanceId{
+          static_cast<std::uint64_t>(std::stoull(bound->instance_token))};
+    }
+    auto impl = container_.implementation(id);
+    if (!impl) return impl.error();
+    auto result = (*impl)->process_chunk(req.arg(2).as<Bytes>());
+    if (!result) return result.error();
+    req.set_result(orb::Value(std::move(*result)));
+    return {};
+  });
+
+  servant->on("deliver", [this](orb::ServerRequest& req) -> Result<void> {
+    auto m = ProtoMessage::decode(req.arg(0).as<Bytes>());
+    if (m.ok()) cohesion_.on_message(*m, network_.now());
+    return {};
+  });
+
+  node_service_ = orb_->activate_with_key(servant, node_service_key(id_));
+}
+
+}  // namespace clc::core

@@ -1,0 +1,215 @@
+// The Node service: the logical internal node structure of Fig. 1.
+//
+// Each participating host runs one Node, which owns:
+//   - an Orb (object adapter + dynamic invocation) and its endpoint,
+//   - the Component Repository (installed packages) and its external view,
+//     the Component Registry,
+//   - the Resource Manager (static profile + dynamic load + QoS admission),
+//   - the Component Acceptor (accept packages at run time),
+//   - a Container for its instances,
+//   - the Network Cohesion endpoint (CohesionNode), whose messages travel
+//     as oneway ORB invocations between Node services,
+//   - an event channel hub.
+//
+// Node::resolve implements the §2.4.3 flow end to end: local repository →
+// distributed query → rank candidates → decide "fetch the component and run
+// it locally" vs "use it remotely" → bind.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cohesion.hpp"
+#include "core/container.hpp"
+#include "core/events.hpp"
+#include "core/registry.hpp"
+#include "core/repository.hpp"
+#include "core/resource.hpp"
+#include "orb/orb.hpp"
+#include "orb/transport.hpp"
+#include "util/clock.hpp"
+
+namespace clc::core {
+
+class LocalNetwork;
+
+/// How resolve() binds a dependency.
+enum class Binding {
+  auto_decide,  // fetch locally when the component is bandwidth-sensitive
+                // and mobile; use remotely otherwise
+  remote,       // always bind to a remote instance
+  fetch_local,  // always fetch, install and instantiate locally
+};
+
+/// A resolved component dependency.
+struct BoundComponent {
+  orb::ObjectRef primary;     // the component's primary provided port
+  NodeId host;                // where the instance runs
+  std::string instance_token; // instance id on the hosting node
+  bool fetched = false;       // true if the package moved to this node
+};
+
+class Node {
+ public:
+  Node(NodeId id, NodeProfile profile, LocalNetwork& network,
+       CohesionConfig cohesion_config = {});
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // ------------------------------------------------------------ identity
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return orb_->endpoint();
+  }
+  [[nodiscard]] orb::Orb& orb() noexcept { return *orb_; }
+  [[nodiscard]] ComponentRepository& repository() noexcept {
+    return repository_;
+  }
+  [[nodiscard]] ComponentRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] ResourceManager& resources() noexcept { return resources_; }
+  [[nodiscard]] Container& container() noexcept { return container_; }
+  [[nodiscard]] EventChannelHub& events() noexcept { return events_; }
+  [[nodiscard]] CohesionNode& cohesion() noexcept { return cohesion_; }
+
+  // ------------------------------------------------------------ lifecycle
+  /// Found a new logical network (first node).
+  void start_network(TimePoint now);
+  /// Join via any existing node.
+  void join(NodeId bootstrap, TimePoint now);
+  /// Drive protocol timers; LocalNetwork::advance calls this.
+  void tick(TimePoint now);
+
+  // ------------------------------------------------------------ acceptor
+  /// Component Acceptor: install a package at run time (requirement 5).
+  Result<void> install(const Bytes& package_bytes);
+
+  // ------------------------------------------------------------ resolution
+  /// Resolve a component network-wide and bind to an instance of it.
+  Result<BoundComponent> resolve(const std::string& component,
+                                 const VersionConstraint& constraint,
+                                 Binding binding = Binding::auto_decide);
+
+  /// Raw distributed query (no binding); synchronous over the network.
+  Result<std::vector<QueryHit>> query_network(const ComponentQuery& q);
+
+  /// Fetch a package from a peer's repository into ours.
+  Result<void> fetch_component(NodeId from, const std::string& component,
+                               const Version& version);
+
+  // ------------------------------------------------------------ instances
+  /// Get-or-create a local instance and return its primary port.
+  Result<BoundComponent> acquire_local(const std::string& component,
+                                       const VersionConstraint& constraint);
+
+  /// Move a running instance to another node: capture state, ship the
+  /// package if needed, restore remotely, destroy locally. Returns the new
+  /// binding on the target node.
+  Result<BoundComponent> migrate_instance(InstanceId id, NodeId target);
+
+  /// Replicate a running instance onto another node (§2.1.1 replication):
+  /// same mechanics as migration but the original keeps running. Only
+  /// components declared `replicable` may be replicated; stateful replicas
+  /// start from a snapshot of the original's state.
+  Result<BoundComponent> replicate_instance(InstanceId id, NodeId target);
+
+  /// Connect a used port of a bound instance (local or remote) to a target
+  /// object -- the assembly-wiring primitive Application::deploy uses.
+  Result<void> connect_remote(const BoundComponent& from,
+                              const std::string& port,
+                              const orb::ObjectRef& target);
+
+  /// A named provided port of a bound instance (local or remote).
+  Result<orb::ObjectRef> instance_port(const BoundComponent& of,
+                                       const std::string& port);
+
+  /// Subscribe a consumer to an event type on a remote node's hub.
+  Result<void> subscribe_on(NodeId peer, const std::string& event_type,
+                            const orb::ObjectRef& consumer);
+
+  /// Ask a peer to run one aggregation chunk of a component (grid mode).
+  Result<Bytes> process_chunk_on(NodeId peer, const std::string& component,
+                                 const VersionConstraint& constraint,
+                                 BytesView chunk);
+
+ private:
+  friend class LocalNetwork;
+
+  void install_node_idl();
+  void make_node_servant();
+  Result<orb::ObjectRef> node_service_ref(NodeId peer) const;
+  /// The primary provided port of an instance (first provides-port in the
+  /// description, by convention the component's main facet).
+  Result<orb::ObjectRef> primary_port(InstanceId id) const;
+  Result<std::string> remote_idl(NodeId peer, const std::string& component,
+                                 const Version& version);
+
+  NodeId id_;
+  LocalNetwork& network_;
+  std::shared_ptr<idl::InterfaceRepository> types_;
+  std::unique_ptr<orb::Orb> orb_;
+  ResourceManager resources_;
+  ComponentRepository repository_;
+  ComponentRegistry registry_;
+  EventChannelHub events_;
+  Container container_;
+  CohesionNode cohesion_;
+  orb::ObjectRef node_service_;
+};
+
+/// The in-process world: a set of Nodes over one loopback transport, a
+/// shared manual clock, and the NodeId -> endpoint directory (the naming-
+/// service analogue; see DESIGN.md). Drives ticks deterministically.
+class LocalNetwork {
+ public:
+  explicit LocalNetwork(CohesionConfig cohesion_defaults = {});
+
+  /// Create a node; the first created node founds the logical network and
+  /// later ones join through it automatically (pass `auto_join = false` to
+  /// manage joining manually).
+  Node& add_node(NodeProfile profile = {}, bool auto_join = true);
+
+  /// Advance the shared clock, ticking every node each `step`.
+  void advance(Duration duration, Duration step = milliseconds(500));
+
+  /// Let protocol state converge: advance by several heartbeats.
+  void settle();
+
+  [[nodiscard]] TimePoint now() const { return clock_.now(); }
+  [[nodiscard]] ManualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] orb::LoopbackNetwork& transport() noexcept {
+    return *transport_;
+  }
+  [[nodiscard]] std::shared_ptr<orb::LoopbackNetwork> transport_ptr() {
+    return transport_;
+  }
+
+  [[nodiscard]] Result<std::string> endpoint_of(NodeId id) const;
+  [[nodiscard]] Node* node(NodeId id) const;
+  [[nodiscard]] std::vector<Node*> nodes() const;
+
+  /// Simulate a host crash: detach its endpoint and stop ticking it.
+  void crash(NodeId id);
+
+  [[nodiscard]] const CohesionConfig& cohesion_defaults() const {
+    return cohesion_defaults_;
+  }
+
+ private:
+  friend class Node;
+  void register_node(Node& node, const std::string& endpoint);
+
+  ManualClock clock_;
+  std::shared_ptr<orb::LoopbackNetwork> transport_;
+  CohesionConfig cohesion_defaults_;
+  std::vector<std::unique_ptr<Node>> owned_;
+  std::map<NodeId, std::pair<std::string, Node*>> directory_;
+  std::set<NodeId> crashed_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace clc::core

@@ -1,0 +1,74 @@
+#include "core/proto.hpp"
+
+#include <cstdio>
+
+namespace clc::core {
+
+std::int64_t ProtoMessage::field_int(const std::string& key,
+                                     std::int64_t fallback) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double ProtoMessage::field_double(const std::string& key,
+                                  double fallback) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+void ProtoMessage::set_double(const std::string& key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  fields[key] = buf;
+}
+
+Bytes ProtoMessage::encode() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_string(kind);
+  w.write_ulonglong(sender.value);
+  w.write_ulong(static_cast<std::uint32_t>(fields.size()));
+  for (const auto& [k, v] : fields) {
+    w.write_string(k);
+    w.write_string(v);
+  }
+  w.write_bytes(blob);
+  return w.take();
+}
+
+Result<ProtoMessage> ProtoMessage::decode(BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+  ProtoMessage m;
+  auto kind = r.read_string();
+  if (!kind) return kind.error();
+  m.kind = std::move(*kind);
+  auto sender = r.read_ulonglong();
+  if (!sender) return sender.error();
+  m.sender = NodeId{*sender};
+  auto count = r.read_ulong();
+  if (!count) return count.error();
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto k = r.read_string();
+    if (!k) return k.error();
+    auto v = r.read_string();
+    if (!v) return v.error();
+    m.fields.emplace(std::move(*k), std::move(*v));
+  }
+  auto blob = r.read_bytes();
+  if (!blob) return blob.error();
+  m.blob = std::move(*blob);
+  return m;
+}
+
+}  // namespace clc::core

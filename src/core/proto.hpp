@@ -1,0 +1,48 @@
+// Protocol messages for Network Cohesion and the Distributed Registry.
+//
+// A ProtoMessage is a small self-describing record (kind + string fields +
+// optional binary blob). It CDR-serializes, so the simulator's bandwidth
+// accounting and the real runtime's ORB transport both move exactly the
+// bytes the protocol would cost on a wire; the soft-vs-strong consistency
+// experiment (E3) depends on that honesty.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "orb/cdr.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace clc::core {
+
+struct ProtoMessage {
+  std::string kind;  // e.g. "join", "heartbeat", "query", "mrm_announce"
+  NodeId sender;
+  std::map<std::string, std::string> fields;
+  Bytes blob;  // digests, query payloads, replica snapshots
+
+  [[nodiscard]] std::string field(const std::string& key,
+                                  std::string fallback = "") const {
+    auto it = fields.find(key);
+    return it == fields.end() ? std::move(fallback) : it->second;
+  }
+  [[nodiscard]] std::int64_t field_int(const std::string& key,
+                                       std::int64_t fallback = 0) const;
+  [[nodiscard]] double field_double(const std::string& key,
+                                    double fallback = 0) const;
+  void set(const std::string& key, std::string value) {
+    fields[key] = std::move(value);
+  }
+  void set_int(const std::string& key, std::int64_t value) {
+    fields[key] = std::to_string(value);
+  }
+  void set_double(const std::string& key, double value);
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<ProtoMessage> decode(BytesView data);
+};
+
+}  // namespace clc::core

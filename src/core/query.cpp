@@ -1,0 +1,216 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+
+#include "orb/cdr.hpp"
+#include "util/strings.hpp"
+
+namespace clc::core {
+
+Bytes RegistryDigest::encode() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulonglong(node.value);
+  w.write_double(cpu_load);
+  w.write_ulonglong(memory_free_kb);
+  w.write_octet(static_cast<std::uint8_t>(device));
+  w.write_ulonglong(revision);
+  w.write_ulong(static_cast<std::uint32_t>(components.size()));
+  for (const auto& c : components) {
+    w.write_string(c.name);
+    w.write_ulong(c.version.major);
+    w.write_ulong(c.version.minor);
+    w.write_ulong(c.version.patch);
+    w.write_boolean(c.mobile);
+    w.write_double(c.cost_per_use);
+  }
+  return w.take();
+}
+
+Result<RegistryDigest> RegistryDigest::decode(BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+  RegistryDigest d;
+  auto node = r.read_ulonglong();
+  if (!node) return node.error();
+  d.node = NodeId{*node};
+  auto cpu = r.read_double();
+  if (!cpu) return cpu.error();
+  d.cpu_load = *cpu;
+  auto mem = r.read_ulonglong();
+  if (!mem) return mem.error();
+  d.memory_free_kb = *mem;
+  auto dev = r.read_octet();
+  if (!dev) return dev.error();
+  if (*dev > static_cast<std::uint8_t>(DeviceClass::pda))
+    return Error{Errc::corrupt_data, "bad device class"};
+  d.device = static_cast<DeviceClass>(*dev);
+  auto rev = r.read_ulonglong();
+  if (!rev) return rev.error();
+  d.revision = *rev;
+  auto count = r.read_ulong();
+  if (!count) return count.error();
+  if (*count > r.remaining())
+    return Error{Errc::corrupt_data, "digest component count exceeds payload"};
+  d.components.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    ComponentSummary c;
+    auto name = r.read_string();
+    if (!name) return name.error();
+    c.name = std::move(*name);
+    auto maj = r.read_ulong();
+    if (!maj) return maj.error();
+    auto min = r.read_ulong();
+    if (!min) return min.error();
+    auto pat = r.read_ulong();
+    if (!pat) return pat.error();
+    c.version = Version{*maj, *min, *pat};
+    auto mobile = r.read_boolean();
+    if (!mobile) return mobile.error();
+    c.mobile = *mobile;
+    auto cost = r.read_double();
+    if (!cost) return cost.error();
+    c.cost_per_use = *cost;
+    d.components.push_back(std::move(c));
+  }
+  return d;
+}
+
+bool ComponentQuery::matches(const ComponentSummary& s) const {
+  if (!glob_match(name_pattern, s.name)) return false;
+  if (!constraint.matches(s.version)) return false;
+  if (require_mobile && !s.mobile) return false;
+  return true;
+}
+
+Bytes ComponentQuery::encode() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_string(name_pattern);
+  w.write_string(constraint.to_string());
+  w.write_boolean(require_mobile);
+  w.write_ulong(max_results);
+  return w.take();
+}
+
+Result<ComponentQuery> ComponentQuery::decode(BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+  ComponentQuery q;
+  auto pattern = r.read_string();
+  if (!pattern) return pattern.error();
+  q.name_pattern = std::move(*pattern);
+  auto ctext = r.read_string();
+  if (!ctext) return ctext.error();
+  auto c = VersionConstraint::parse(*ctext);
+  if (!c) return c.error();
+  q.constraint = *c;
+  auto mobile = r.read_boolean();
+  if (!mobile) return mobile.error();
+  q.require_mobile = *mobile;
+  auto max = r.read_ulong();
+  if (!max) return max.error();
+  q.max_results = *max;
+  return q;
+}
+
+double score_hit(const QueryHit& hit, const PlacementContext& ctx) {
+  double score = 0.0;
+  // Location: the paper's example -- a local MPEG decoder "would work much
+  // faster"; locality dominates.
+  if (hit.node == ctx.querying_node) {
+    score += 100.0;
+  } else if (std::find(ctx.group_members.begin(), ctx.group_members.end(),
+                       hit.node) != ctx.group_members.end()) {
+    score += 50.0;
+  }
+  // Load: a lightly loaded host serves remote use / exports faster.
+  score += (1.0 - std::min(hit.node_cpu_load, 1.0)) * 20.0;
+  // Cost: pay-per-use components are penalized proportionally.
+  score -= hit.cost_per_use * 10.0;
+  // Mobility: fetchable components allow local installation later.
+  if (hit.mobile) score += 5.0;
+  // Device: prefer servers over workstations over PDAs as remote hosts.
+  switch (hit.node_device) {
+    case DeviceClass::server: score += 8.0; break;
+    case DeviceClass::workstation: score += 4.0; break;
+    case DeviceClass::pda: break;
+  }
+  // Version recency as a small tie-break.
+  score += hit.version.major * 0.3 + hit.version.minor * 0.03 +
+           hit.version.patch * 0.003;
+  return score;
+}
+
+void rank_hits(std::vector<QueryHit>& hits, const PlacementContext& ctx) {
+  std::stable_sort(hits.begin(), hits.end(),
+                   [&](const QueryHit& a, const QueryHit& b) {
+                     const double sa = score_hit(a, ctx);
+                     const double sb = score_hit(b, ctx);
+                     if (sa != sb) return sa > sb;
+                     return a.node < b.node;
+                   });
+}
+
+Bytes encode_hits(const std::vector<QueryHit>& hits) {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulong(static_cast<std::uint32_t>(hits.size()));
+  for (const auto& h : hits) {
+    w.write_ulonglong(h.node.value);
+    w.write_string(h.component);
+    w.write_ulong(h.version.major);
+    w.write_ulong(h.version.minor);
+    w.write_ulong(h.version.patch);
+    w.write_boolean(h.mobile);
+    w.write_double(h.cost_per_use);
+    w.write_double(h.node_cpu_load);
+    w.write_octet(static_cast<std::uint8_t>(h.node_device));
+  }
+  return w.take();
+}
+
+Result<std::vector<QueryHit>> decode_hits(BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+  auto count = r.read_ulong();
+  if (!count) return count.error();
+  if (*count > r.remaining())
+    return Error{Errc::corrupt_data, "hit count exceeds payload"};
+  std::vector<QueryHit> hits;
+  hits.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    QueryHit h;
+    auto node = r.read_ulonglong();
+    if (!node) return node.error();
+    h.node = NodeId{*node};
+    auto name = r.read_string();
+    if (!name) return name.error();
+    h.component = std::move(*name);
+    auto maj = r.read_ulong();
+    if (!maj) return maj.error();
+    auto min = r.read_ulong();
+    if (!min) return min.error();
+    auto pat = r.read_ulong();
+    if (!pat) return pat.error();
+    h.version = Version{*maj, *min, *pat};
+    auto mobile = r.read_boolean();
+    if (!mobile) return mobile.error();
+    h.mobile = *mobile;
+    auto cost = r.read_double();
+    if (!cost) return cost.error();
+    h.cost_per_use = *cost;
+    auto load = r.read_double();
+    if (!load) return load.error();
+    h.node_cpu_load = *load;
+    auto dev = r.read_octet();
+    if (!dev) return dev.error();
+    if (*dev > static_cast<std::uint8_t>(DeviceClass::pda))
+      return Error{Errc::corrupt_data, "bad device class in hit"};
+    h.node_device = static_cast<DeviceClass>(*dev);
+    hits.push_back(std::move(h));
+  }
+  return hits;
+}
+
+}  // namespace clc::core

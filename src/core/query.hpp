@@ -1,0 +1,93 @@
+// Distributed component queries and candidate scoring (§2.4.3).
+//
+// "The network issues the corresponding distributed queries to each node's
+// Component Registry in order to find the component which match better with
+// the stated QoS requirements. Once the set of best suited components have
+// been found, the network must select one of them to be instantiated
+// attending to characteristics such as location, cost, migration, etc."
+//
+// RegistryDigest is the per-node summary a node piggybacks on heartbeats;
+// MRMs cache digests for their group and answer queries from them (soft
+// consistency: a digest may be one heartbeat stale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resource.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+#include "util/version.hpp"
+
+namespace clc::core {
+
+/// One installed component as advertised in a digest.
+struct ComponentSummary {
+  std::string name;
+  Version version;
+  bool mobile = true;
+  double cost_per_use = 0.0;
+};
+
+/// Per-node registry digest: what's installed + current load.
+struct RegistryDigest {
+  NodeId node;
+  std::vector<ComponentSummary> components;
+  double cpu_load = 0.0;
+  std::uint64_t memory_free_kb = 0;
+  DeviceClass device = DeviceClass::workstation;
+  std::uint64_t revision = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<RegistryDigest> decode(BytesView data);
+};
+
+/// A component lookup as routed through the Distributed Registry.
+struct ComponentQuery {
+  std::string name_pattern;  // glob, e.g. "video.*" or exact name
+  VersionConstraint constraint;
+  bool require_mobile = false;     // caller intends to fetch & install
+  std::uint32_t max_results = 8;
+
+  [[nodiscard]] bool matches(const ComponentSummary& s) const;
+  [[nodiscard]] Bytes encode() const;
+  static Result<ComponentQuery> decode(BytesView data);
+};
+
+/// One match, annotated with the hosting node's state for scoring.
+struct QueryHit {
+  NodeId node;
+  std::string component;
+  Version version;
+  bool mobile = true;
+  double cost_per_use = 0.0;
+  double node_cpu_load = 0.0;
+  DeviceClass node_device = DeviceClass::workstation;
+
+  [[nodiscard]] bool operator==(const QueryHit&) const = default;
+};
+
+/// Context the scorer evaluates hits against.
+struct PlacementContext {
+  NodeId querying_node;
+  NodeId group_mrm;                        // for locality tiers
+  std::vector<NodeId> group_members;       // same-group nodes
+  double link_bandwidth_kbps = 100000;     // to remote nodes
+};
+
+/// Score a hit: higher is better. Factors per the paper: location (same
+/// node > same group > remote), hosting node load, licensing cost, version
+/// recency, mobility (fetchable components are worth more to callers who
+/// want local installation).
+double score_hit(const QueryHit& hit, const PlacementContext& ctx);
+
+/// Sort hits best-first (stable, deterministic tie-break on node id).
+void rank_hits(std::vector<QueryHit>& hits, const PlacementContext& ctx);
+
+/// Digest-list wire helpers (MRM replica sync, query replies).
+Bytes encode_hits(const std::vector<QueryHit>& hits);
+Result<std::vector<QueryHit>> decode_hits(BytesView data);
+
+}  // namespace clc::core

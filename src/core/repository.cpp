@@ -1,0 +1,168 @@
+#include "core/repository.hpp"
+
+namespace clc::core {
+
+void ComponentRepository::trust_vendor(const std::string& vendor, Bytes key) {
+  vendor_keys_[vendor] = std::move(key);
+}
+
+Result<void> ComponentRepository::install(const Bytes& package_bytes) {
+  auto package = pkg::Package::open(package_bytes);
+  if (!package) return package.error();
+  const auto& d = package->description();
+
+  if (!profile_.can_install())
+    return Error{Errc::unsupported,
+                 "device class '" + std::string(device_class_name(
+                                        profile_.device)) +
+                     "' uses components remotely and cannot install"};
+
+  // Producer verification when we know the vendor's key.
+  if (auto it = vendor_keys_.find(d.security.vendor);
+      it != vendor_keys_.end()) {
+    if (auto v = package->verify(it->second); !v.ok()) return v;
+  }
+
+  // Platform check: a binary we can actually run here.
+  if (!package->supports(profile_.arch, profile_.os, profile_.orb))
+    return Error{Errc::unsupported,
+                 d.name + " has no binary for " + profile_.arch + "-" +
+                     profile_.os + "-" + profile_.orb};
+  if (!d.hardware.allows(profile_.arch, profile_.os, profile_.orb,
+                         profile_.total_memory_kb))
+    return Error{Errc::unsupported,
+                 d.name + " hardware requirements exclude this node"};
+
+  const Key key{d.name, d.version};
+  if (installed_.count(key) != 0)
+    return Error{Errc::already_exists,
+                 d.name + " " + d.version.to_string() + " already installed"};
+
+  // Component IDL becomes part of this node's type system.
+  if (!package->idl().empty()) {
+    if (auto r = types_->register_idl(package->idl()); !r.ok())
+      return Error{r.error().code,
+                   "IDL of " + d.name + ": " + r.error().message};
+  }
+
+  auto binary = package->binary_for(profile_.arch, profile_.os, profile_.orb);
+  if (!binary) return binary.error();
+
+  InstalledComponent ic;
+  ic.description = d;
+  ic.binary = std::move(*binary);
+  ic.package_size = package->total_size();
+  installed_.emplace(key, std::move(ic));
+  raw_packages_.emplace(key, package_bytes);
+  ++revision_;
+  return {};
+}
+
+Result<void> ComponentRepository::remove(const std::string& name,
+                                         const Version& version) {
+  const Key key{name, version};
+  if (installed_.erase(key) == 0)
+    return Error{Errc::not_found,
+                 name + " " + version.to_string() + " is not installed"};
+  raw_packages_.erase(key);
+  ++revision_;
+  return {};
+}
+
+bool ComponentRepository::has(const std::string& name,
+                              const VersionConstraint& c) const {
+  return find(name, c).ok();
+}
+
+Result<const InstalledComponent*> ComponentRepository::find(
+    const std::string& name, const VersionConstraint& c) const {
+  const InstalledComponent* best = nullptr;
+  for (const auto& [key, ic] : installed_) {
+    if (key.first != name || !c.matches(key.second)) continue;
+    if (best == nullptr || key.second > best->description.version) best = &ic;
+  }
+  if (best == nullptr)
+    return Error{Errc::not_found,
+                 "no installed " + name + " " + c.to_string()};
+  return best;
+}
+
+Result<const InstalledComponent*> ComponentRepository::find_exact(
+    const std::string& name, const Version& version) const {
+  auto it = installed_.find(Key{name, version});
+  if (it == installed_.end())
+    return Error{Errc::not_found,
+                 name + " " + version.to_string() + " is not installed"};
+  return &it->second;
+}
+
+std::vector<const InstalledComponent*> ComponentRepository::list() const {
+  std::vector<const InstalledComponent*> out;
+  out.reserve(installed_.size());
+  for (const auto& [key, ic] : installed_) out.push_back(&ic);
+  return out;
+}
+
+Result<InstanceFactory> ComponentRepository::load(const std::string& name,
+                                                  const Version& version) {
+  auto it = installed_.find(Key{name, version});
+  if (it == installed_.end())
+    return Error{Errc::not_found,
+                 name + " " + version.to_string() + " is not installed"};
+  auto factory = ExecutorRegistry::global().resolve(it->second.binary.entry_symbol);
+  if (!factory) return factory.error();
+  it->second.loaded = true;
+  return factory;
+}
+
+Result<void> ComponentRepository::unload(const std::string& name,
+                                         const Version& version) {
+  auto it = installed_.find(Key{name, version});
+  if (it == installed_.end())
+    return Error{Errc::not_found,
+                 name + " " + version.to_string() + " is not installed"};
+  if (!it->second.loaded)
+    return Error{Errc::bad_state,
+                 name + " " + version.to_string() + " is not loaded"};
+  it->second.loaded = false;
+  return {};
+}
+
+Result<std::string> ComponentRepository::idl_of(const std::string& name,
+                                                const Version& version) const {
+  auto raw = raw_packages_.find(Key{name, version});
+  if (raw == raw_packages_.end())
+    return Error{Errc::not_found,
+                 name + " " + version.to_string() + " is not installed"};
+  auto package = pkg::Package::open(raw->second);
+  if (!package) return package.error();
+  return package->idl();
+}
+
+Result<Bytes> ComponentRepository::export_package(
+    const std::string& name, const Version& version,
+    const NodeProfile& target_platform) const {
+  auto raw = raw_packages_.find(Key{name, version});
+  if (raw == raw_packages_.end())
+    return Error{Errc::not_found,
+                 name + " " + version.to_string() + " is not installed"};
+  auto ic = installed_.find(Key{name, version});
+  if (!ic->second.description.mobile)
+    return Error{Errc::refused,
+                 name + " is not mobile and must be used remotely"};
+  auto package = pkg::Package::open(raw->second);
+  if (!package) return package.error();
+  // PDA-class targets get the stripped slice; full nodes the whole package
+  // (they may re-export it to other platforms later).
+  if (target_platform.device == DeviceClass::pda)
+    return package->slice_for_platform(target_platform.arch,
+                                       target_platform.os,
+                                       target_platform.orb);
+  if (!package->supports(target_platform.arch, target_platform.os,
+                         target_platform.orb))
+    return Error{Errc::unsupported,
+                 name + " has no binary for the requesting platform"};
+  return raw->second;
+}
+
+}  // namespace clc::core

@@ -1,0 +1,93 @@
+// Component Repository: per-node store of installed component packages
+// (Fig. 1, lower half).
+//
+// Installation verifies the producer signature when the vendor's key is
+// known (§2.1.1 security requirement), checks that the package ships a
+// binary loadable on this node's platform, registers the package IDL into
+// the node's Interface Repository, and resolves the binary's entry symbol
+// through the ExecutorRegistry so instances can be created. Multiple
+// versions of a component install side by side; dependency resolution
+// picks the best one satisfying the constraint.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/resource.hpp"
+#include "idl/repository.hpp"
+#include "pkg/package.hpp"
+
+namespace clc::core {
+
+struct InstalledComponent {
+  pkg::ComponentDescription description;
+  pkg::BinaryImpl binary;          // the platform-matching binary
+  std::uint64_t package_size = 0;  // full package size (fetch accounting)
+  bool loaded = false;             // factory resolved ("DLL" mapped)
+};
+
+class ComponentRepository {
+ public:
+  ComponentRepository(NodeProfile profile,
+                      std::shared_ptr<idl::InterfaceRepository> types)
+      : profile_(std::move(profile)), types_(std::move(types)) {}
+
+  /// Trust a vendor: packages claiming this vendor must verify against the
+  /// key; packages from unknown vendors install unverified (and are flagged).
+  void trust_vendor(const std::string& vendor, Bytes key);
+
+  /// Install from package bytes (the Component Acceptor hands bytes here).
+  Result<void> install(const Bytes& package_bytes);
+
+  Result<void> remove(const std::string& name, const Version& version);
+
+  [[nodiscard]] bool has(const std::string& name,
+                         const VersionConstraint& c) const;
+  /// Best (highest) installed version satisfying the constraint.
+  [[nodiscard]] Result<const InstalledComponent*> find(
+      const std::string& name, const VersionConstraint& c) const;
+  [[nodiscard]] Result<const InstalledComponent*> find_exact(
+      const std::string& name, const Version& version) const;
+
+  [[nodiscard]] std::vector<const InstalledComponent*> list() const;
+  [[nodiscard]] std::size_t size() const noexcept { return installed_.size(); }
+
+  /// Load = resolve the entry symbol to a factory (dlopen+dlsym analogue).
+  Result<InstanceFactory> load(const std::string& name,
+                               const Version& version);
+  /// Unload bookkeeping (refused while instances exist -- the container
+  /// tracks that; here we only flip the flag).
+  Result<void> unload(const std::string& name, const Version& version);
+
+  /// Raw package bytes for shipping this component to another node
+  /// (network-as-repository, §2.4.3). Sliced for the requesting platform.
+  [[nodiscard]] Result<Bytes> export_package(
+      const std::string& name, const Version& version,
+      const NodeProfile& target_platform) const;
+
+  /// The IDL text shipped inside an installed component's package (shared
+  /// with peers so they can invoke the component's interfaces dynamically;
+  /// available even for non-mobile components).
+  [[nodiscard]] Result<std::string> idl_of(const std::string& name,
+                                           const Version& version) const;
+
+  /// Install/version-change counter; heartbeat digests use it to detect
+  /// "repository changed since last digest".
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
+ private:
+  using Key = std::pair<std::string, Version>;
+
+  NodeProfile profile_;
+  std::shared_ptr<idl::InterfaceRepository> types_;
+  std::map<Key, InstalledComponent> installed_;
+  std::map<Key, Bytes> raw_packages_;
+  std::map<std::string, Bytes> vendor_keys_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace clc::core

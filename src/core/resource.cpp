@@ -1,0 +1,59 @@
+#include "core/resource.hpp"
+
+namespace clc::core {
+
+const char* device_class_name(DeviceClass c) noexcept {
+  switch (c) {
+    case DeviceClass::server: return "server";
+    case DeviceClass::workstation: return "workstation";
+    case DeviceClass::pda: return "pda";
+  }
+  return "?";
+}
+
+bool ResourceManager::can_host(const pkg::ComponentDescription& d) const {
+  if (!profile_.can_install()) return false;
+  if (!d.hardware.allows(profile_.arch, profile_.os, profile_.orb,
+                         profile_.total_memory_kb))
+    return false;
+  // Effective CPU demand scales inversely with node power: a 0.5-CPU
+  // component on a 2x node consumes 0.25 of it.
+  const double demand = d.qos.max_cpu_load / profile_.cpu_power;
+  if (load_.cpu_load + demand > 1.0 + 1e-9) return false;
+  if (d.qos.max_memory_kb > memory_free_kb()) return false;
+  return true;
+}
+
+Result<void> ResourceManager::reserve(const InstanceId& id,
+                                      const pkg::ComponentDescription& d) {
+  if (reserved_.count(id) != 0)
+    return Error{Errc::already_exists,
+                 "instance " + id.to_string() + " already reserved"};
+  if (!can_host(d))
+    return Error{Errc::no_resources,
+                 "node cannot host " + d.name + " (QoS admission failed)"};
+  Reservation r;
+  r.cpu = d.qos.max_cpu_load / profile_.cpu_power;
+  r.memory_kb = d.qos.max_memory_kb;
+  reserved_.emplace(id, r);
+  recompute();
+  return {};
+}
+
+void ResourceManager::release(const InstanceId& id) {
+  reserved_.erase(id);
+  recompute();
+}
+
+void ResourceManager::recompute() {
+  NodeLoad l;
+  l.cpu_load = ambient_cpu_;
+  for (const auto& [id, r] : reserved_) {
+    l.cpu_load += r.cpu;
+    l.memory_used_kb += r.memory_kb;
+  }
+  l.instance_count = static_cast<std::uint32_t>(reserved_.size());
+  load_ = l;
+}
+
+}  // namespace clc::core

@@ -1,0 +1,101 @@
+// Resource Manager: the node's reflection of its own hardware (Fig. 1).
+//
+// Exposes static characteristics (CPU type, OS, ORB, device class, total
+// memory, relative CPU power) and dynamic system information (CPU load,
+// memory in use, bandwidth) -- exactly the two kinds of node information
+// §2.4.1 requires. The manager also does QoS admission: placing an instance
+// reserves the CPU/memory its description declares, and `can_host` is the
+// filter the Distributed Registry applies before considering a node for
+// placement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "pkg/descriptor.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace clc::core {
+
+/// How capable a node is; PDAs integrate as peers with remote-only use
+/// (paper requirement 8).
+enum class DeviceClass { server, workstation, pda };
+
+const char* device_class_name(DeviceClass c) noexcept;
+
+/// Static node characteristics.
+struct NodeProfile {
+  std::string arch = "x86_64";
+  std::string os = "linux";
+  std::string orb = "clc";
+  DeviceClass device = DeviceClass::workstation;
+  double cpu_power = 1.0;            // relative to a reference workstation
+  std::uint64_t total_memory_kb = 512 * 1024;
+  double link_bandwidth_kbps = 100000;  // node's uplink
+
+  [[nodiscard]] bool can_install() const noexcept {
+    // PDA-class devices use components remotely; they never host binaries.
+    return device != DeviceClass::pda;
+  }
+};
+
+/// Dynamic load snapshot, as shipped in heartbeats.
+struct NodeLoad {
+  double cpu_load = 0.0;             // 0..1+ (can oversubscribe)
+  std::uint64_t memory_used_kb = 0;
+  double bandwidth_used_kbps = 0.0;
+  std::uint32_t instance_count = 0;
+};
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(NodeProfile profile) : profile_(std::move(profile)) {}
+
+  [[nodiscard]] const NodeProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] NodeLoad load() const noexcept { return load_; }
+
+  /// External (non-component) load, e.g. the owner using their workstation;
+  /// the volunteer-computing experiments drive this.
+  void set_ambient_cpu_load(double load) { ambient_cpu_ = load; recompute(); }
+  [[nodiscard]] double ambient_cpu_load() const noexcept { return ambient_cpu_; }
+
+  /// QoS admission filter: does this node satisfy the component's hardware
+  /// requirements and have headroom for its QoS declaration?
+  [[nodiscard]] bool can_host(const pkg::ComponentDescription& d) const;
+
+  /// Reserve resources for a placed instance; fails if that would exceed
+  /// the node (admission control).
+  Result<void> reserve(const InstanceId& id,
+                       const pkg::ComponentDescription& d);
+  void release(const InstanceId& id);
+  [[nodiscard]] std::size_t reservations() const noexcept {
+    return reserved_.size();
+  }
+
+  /// Headroom metrics used by placement scoring.
+  [[nodiscard]] double cpu_headroom() const noexcept {
+    const double idle = 1.0 - load_.cpu_load;
+    return idle > 0 ? idle * profile_.cpu_power : 0.0;
+  }
+  [[nodiscard]] std::uint64_t memory_free_kb() const noexcept {
+    return profile_.total_memory_kb > load_.memory_used_kb
+               ? profile_.total_memory_kb - load_.memory_used_kb
+               : 0;
+  }
+
+ private:
+  struct Reservation {
+    double cpu = 0;
+    std::uint64_t memory_kb = 0;
+  };
+  void recompute();
+
+  NodeProfile profile_;
+  NodeLoad load_;
+  double ambient_cpu_ = 0.0;
+  std::map<InstanceId, Reservation> reserved_;
+};
+
+}  // namespace clc::core

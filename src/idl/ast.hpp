@@ -1,0 +1,146 @@
+// IDL type model (AST) for the CORBA-LC IDL subset.
+//
+// The paper keeps plain CORBA 2 IDL for component contracts (§2.1.2), so we
+// implement the subset those contracts use: modules, interfaces (with
+// inheritance, operations, attributes, raises, oneway), structs, enums,
+// exceptions, typedefs, sequences and the primitive types. Parsed
+// definitions are registered in an InterfaceRepository (repository.hpp)
+// which the ORB uses for dynamic typed invocation -- there is no generated
+// stub code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clc::idl {
+
+/// CORBA TCKind-style type discriminator.
+enum class TypeKind {
+  tk_void,
+  tk_boolean,
+  tk_octet,
+  tk_short,
+  tk_ushort,
+  tk_long,
+  tk_ulong,
+  tk_longlong,
+  tk_ulonglong,
+  tk_float,
+  tk_double,
+  tk_string,
+  tk_any,
+  tk_sequence,
+  tk_struct,     // named: struct or exception
+  tk_enum,       // named
+  tk_objref,     // named: interface reference
+  tk_alias,      // named: typedef (resolved through the repository)
+};
+
+const char* type_kind_name(TypeKind k) noexcept;
+
+/// Reference to a type: a kind plus, for named kinds, the scoped name
+/// ("clc::Point"), plus an element type for sequences.
+struct TypeRef {
+  TypeKind kind = TypeKind::tk_void;
+  std::string name;                       // for named kinds
+  std::shared_ptr<TypeRef> element;       // for tk_sequence
+  std::uint32_t bound = 0;                // sequence bound, 0 = unbounded
+
+  [[nodiscard]] bool is_named() const noexcept {
+    return kind == TypeKind::tk_struct || kind == TypeKind::tk_enum ||
+           kind == TypeKind::tk_objref || kind == TypeKind::tk_alias;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  static TypeRef primitive(TypeKind k) { return TypeRef{k, {}, nullptr, 0}; }
+  static TypeRef named(TypeKind k, std::string scoped) {
+    return TypeRef{k, std::move(scoped), nullptr, 0};
+  }
+  static TypeRef sequence(TypeRef elem, std::uint32_t bound = 0) {
+    TypeRef t;
+    t.kind = TypeKind::tk_sequence;
+    t.element = std::make_shared<TypeRef>(std::move(elem));
+    t.bound = bound;
+    return t;
+  }
+};
+
+struct FieldDef {
+  std::string name;
+  TypeRef type;
+};
+
+/// struct and exception share the shape; `is_exception` distinguishes them.
+struct StructDef {
+  std::string scoped_name;
+  std::vector<FieldDef> fields;
+  bool is_exception = false;
+};
+
+struct EnumDef {
+  std::string scoped_name;
+  std::vector<std::string> enumerators;
+
+  /// Index of an enumerator, or -1.
+  [[nodiscard]] int index_of(const std::string& label) const {
+    for (std::size_t i = 0; i < enumerators.size(); ++i) {
+      if (enumerators[i] == label) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+struct TypedefDef {
+  std::string scoped_name;
+  TypeRef target;
+};
+
+enum class ParamDirection { in, out, inout };
+
+struct ParamDef {
+  ParamDirection direction = ParamDirection::in;
+  std::string name;
+  TypeRef type;
+};
+
+struct OperationDef {
+  std::string name;                // unqualified
+  TypeRef result;
+  std::vector<ParamDef> params;
+  std::vector<std::string> raises;  // scoped exception names
+  bool oneway = false;
+};
+
+struct AttributeDef {
+  std::string name;
+  TypeRef type;
+  bool readonly = false;
+};
+
+struct InterfaceDef {
+  std::string scoped_name;
+  std::vector<std::string> bases;  // scoped names
+  std::vector<OperationDef> operations;
+  std::vector<AttributeDef> attributes;
+
+  /// Find a locally declared operation (no inheritance walk).
+  [[nodiscard]] const OperationDef* find_operation(
+      const std::string& name) const {
+    for (const auto& op : operations) {
+      if (op.name == name) return &op;
+    }
+    return nullptr;
+  }
+};
+
+/// Everything one IDL source contributes, in declaration order.
+struct Specification {
+  std::vector<StructDef> structs;       // includes exceptions
+  std::vector<EnumDef> enums;
+  std::vector<TypedefDef> typedefs;
+  std::vector<InterfaceDef> interfaces;
+};
+
+}  // namespace clc::idl

@@ -1,0 +1,113 @@
+#include "idl/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace clc::idl {
+
+namespace {
+constexpr std::array<std::string_view, 29> kKeywords = {
+    "module",   "interface", "struct",  "enum",     "exception", "typedef",
+    "sequence", "attribute", "readonly", "oneway",  "raises",    "in",
+    "out",      "inout",     "void",    "boolean",  "octet",     "short",
+    "long",     "unsigned",  "float",   "double",   "string",    "any",
+    "const",    "TRUE",      "FALSE",   "union",    "case",
+};
+}  // namespace
+
+bool is_idl_keyword(std::string_view word) {
+  for (auto kw : kKeywords) {
+    if (kw == word) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1, col = 1;
+  auto advance = [&]() {
+    if (src[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto error = [&](const std::string& what) {
+    return Error{Errc::parse_error, "idl:" + std::to_string(line) + ":" +
+                                        std::to_string(col) + ": " + what};
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      advance();
+      advance();
+      bool closed = false;
+      while (i < src.size()) {
+        if (src[i] == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) return error("unterminated block comment");
+      continue;
+    }
+    if (c == '#') {  // preprocessor line: ignore
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    const int tline = line, tcol = col;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        word.push_back(src[i]);
+        advance();
+      }
+      out.push_back(Token{is_idl_keyword(word) ? TokKind::keyword
+                                               : TokKind::identifier,
+                          std::move(word), tline, tcol});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        num.push_back(src[i]);
+        advance();
+      }
+      out.push_back(Token{TokKind::integer, std::move(num), tline, tcol});
+      continue;
+    }
+    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
+      advance();
+      advance();
+      out.push_back(Token{TokKind::punct, "::", tline, tcol});
+      continue;
+    }
+    constexpr std::string_view kPunct = "{}()<>,;:=";
+    if (kPunct.find(c) != std::string_view::npos) {
+      out.push_back(Token{TokKind::punct, std::string(1, c), tline, tcol});
+      advance();
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  out.push_back(Token{TokKind::end, "", line, col});
+  return out;
+}
+
+}  // namespace clc::idl

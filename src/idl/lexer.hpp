@@ -1,0 +1,41 @@
+// Tokenizer for the IDL subset.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace clc::idl {
+
+enum class TokKind {
+  identifier,
+  keyword,
+  integer,
+  punct,       // one of { } ( ) < > , ; : = and "::"
+  end,
+};
+
+struct Token {
+  TokKind kind = TokKind::end;
+  std::string text;
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool is_kw(std::string_view kw) const {
+    return kind == TokKind::keyword && text == kw;
+  }
+  [[nodiscard]] bool is_punct(std::string_view p) const {
+    return kind == TokKind::punct && text == p;
+  }
+};
+
+/// Tokenize a full IDL source; strips // and /* */ comments and #pragma /
+/// #include preprocessor lines (treated as opaque and ignored).
+Result<std::vector<Token>> tokenize(std::string_view source);
+
+/// True if `word` is an IDL keyword in our subset.
+bool is_idl_keyword(std::string_view word);
+
+}  // namespace clc::idl

@@ -1,0 +1,526 @@
+#include "idl/parser.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "idl/lexer.hpp"
+
+namespace clc::idl {
+
+namespace {
+
+/// What a scoped name denotes, for resolution and checking.
+struct Symbol {
+  TypeKind kind;          // tk_struct / tk_enum / tk_objref / tk_alias
+  bool is_exception = false;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, const SymbolLookup& externals)
+      : toks_(std::move(toks)), externals_(externals) {}
+
+  Result<Specification> run() {
+    while (!at_end()) {
+      if (auto r = parse_definition(); !r.ok()) return r.error();
+    }
+    return std::move(spec_);
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers
+
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] bool at_end() const { return cur().kind == TokKind::end; }
+  const Token& next() { return toks_[pos_++]; }
+
+  Error error_at(const Token& t, const std::string& what) {
+    return Error{Errc::parse_error, "idl:" + std::to_string(t.line) + ":" +
+                                        std::to_string(t.col) + ": " + what};
+  }
+  Error error(const std::string& what) { return error_at(cur(), what); }
+
+  Result<void> expect_punct(std::string_view p) {
+    if (!cur().is_punct(p))
+      return error("expected '" + std::string(p) + "', got '" + cur().text + "'");
+    next();
+    return {};
+  }
+
+  Result<std::string> expect_identifier(const char* role) {
+    if (cur().kind != TokKind::identifier)
+      return error(std::string("expected ") + role + ", got '" + cur().text + "'");
+    return next().text;
+  }
+
+  [[nodiscard]] std::string scope_prefix() const {
+    std::string s;
+    for (const auto& part : scope_) {
+      s += part;
+      s += "::";
+    }
+    return s;
+  }
+
+  Result<void> declare(const std::string& scoped, Symbol sym) {
+    if (symbols_.count(scoped) != 0) {
+      // Re-declaring a symbol known only from *previous* sources is fine --
+      // the repository checks shape-compatibility at registration. Within
+      // one source it is a duplicate.
+      if (external_names_.erase(scoped) == 0)
+        return error("duplicate definition of '" + scoped + "'");
+      symbols_[scoped] = sym;
+      return {};
+    }
+    symbols_.emplace(scoped, sym);
+    return {};
+  }
+
+  /// A name is known if declared in this source or by the external oracle
+  /// (previously registered sources). External hits are cached into
+  /// symbols_ so later checks see them uniformly.
+  bool known(const std::string& scoped) {
+    if (symbols_.count(scoped) != 0) return true;
+    if (!externals_) return false;
+    auto ext = externals_(scoped);
+    if (!ext.has_value()) return false;
+    symbols_.emplace(scoped, Symbol{ext->kind, ext->is_exception});
+    external_names_.insert(scoped);
+    return true;
+  }
+
+  /// Resolve a (possibly qualified) name against enclosing scopes, outward.
+  Result<std::string> resolve(const std::string& name, const Token& at) {
+    if (name.rfind("::", 0) == 0) {  // globally qualified
+      const std::string global = name.substr(2);
+      if (known(global)) return global;
+      return error_at(at, "undefined type '" + name + "'");
+    }
+    for (std::size_t depth = scope_.size() + 1; depth-- > 0;) {
+      std::string candidate;
+      for (std::size_t i = 0; i < depth; ++i) {
+        candidate += scope_[i];
+        candidate += "::";
+      }
+      candidate += name;
+      if (known(candidate)) return candidate;
+    }
+    return error_at(at, "undefined type '" + name + "'");
+  }
+
+  // ------------------------------------------------------------- types
+
+  /// Parse a scoped name token sequence: [::] ident (:: ident)*.
+  Result<std::string> parse_scoped_name() {
+    std::string name;
+    if (cur().is_punct("::")) {
+      next();
+      name = "::";
+    }
+    auto first = expect_identifier("type name");
+    if (!first) return first.error();
+    name += *first;
+    while (cur().is_punct("::")) {
+      next();
+      auto part = expect_identifier("scoped name part");
+      if (!part) return part.error();
+      name += "::";
+      name += *part;
+    }
+    return name;
+  }
+
+  Result<TypeRef> parse_type() {
+    const Token& t = cur();
+    if (t.kind == TokKind::keyword) {
+      if (t.text == "void") { next(); return TypeRef::primitive(TypeKind::tk_void); }
+      if (t.text == "boolean") { next(); return TypeRef::primitive(TypeKind::tk_boolean); }
+      if (t.text == "octet") { next(); return TypeRef::primitive(TypeKind::tk_octet); }
+      if (t.text == "short") { next(); return TypeRef::primitive(TypeKind::tk_short); }
+      if (t.text == "float") { next(); return TypeRef::primitive(TypeKind::tk_float); }
+      if (t.text == "double") { next(); return TypeRef::primitive(TypeKind::tk_double); }
+      if (t.text == "string") { next(); return TypeRef::primitive(TypeKind::tk_string); }
+      if (t.text == "any") { next(); return TypeRef::primitive(TypeKind::tk_any); }
+      if (t.text == "long") {
+        next();
+        if (cur().is_kw("long")) {
+          next();
+          return TypeRef::primitive(TypeKind::tk_longlong);
+        }
+        return TypeRef::primitive(TypeKind::tk_long);
+      }
+      if (t.text == "unsigned") {
+        next();
+        if (cur().is_kw("short")) {
+          next();
+          return TypeRef::primitive(TypeKind::tk_ushort);
+        }
+        if (cur().is_kw("long")) {
+          next();
+          if (cur().is_kw("long")) {
+            next();
+            return TypeRef::primitive(TypeKind::tk_ulonglong);
+          }
+          return TypeRef::primitive(TypeKind::tk_ulong);
+        }
+        return error("expected 'short' or 'long' after 'unsigned'");
+      }
+      if (t.text == "sequence") {
+        next();
+        if (auto r = expect_punct("<"); !r.ok()) return r.error();
+        auto elem = parse_type();
+        if (!elem) return elem.error();
+        if (elem->kind == TypeKind::tk_void)
+          return error("sequence of void is not allowed");
+        std::uint32_t bound = 0;
+        if (cur().is_punct(",")) {
+          next();
+          if (cur().kind != TokKind::integer)
+            return error("expected sequence bound");
+          bound = static_cast<std::uint32_t>(std::stoul(next().text));
+        }
+        if (auto r = expect_punct(">"); !r.ok()) return r.error();
+        return TypeRef::sequence(std::move(*elem), bound);
+      }
+      return error("unexpected keyword '" + t.text + "' in type position");
+    }
+    // Named type.
+    const Token at = cur();
+    auto name = parse_scoped_name();
+    if (!name) return name.error();
+    auto scoped = resolve(*name, at);
+    if (!scoped) return scoped.error();
+    const Symbol& sym = symbols_.at(*scoped);
+    return TypeRef::named(sym.kind, *scoped);
+  }
+
+  // ------------------------------------------------------------- definitions
+
+  Result<void> parse_definition() {
+    if (cur().is_kw("module")) return parse_module();
+    if (cur().is_kw("interface")) return parse_interface();
+    if (cur().is_kw("struct")) return parse_struct(false);
+    if (cur().is_kw("exception")) return parse_struct(true);
+    if (cur().is_kw("enum")) return parse_enum();
+    if (cur().is_kw("typedef")) return parse_typedef();
+    return error("expected definition, got '" + cur().text + "'");
+  }
+
+  Result<void> parse_module() {
+    next();  // 'module'
+    auto name = expect_identifier("module name");
+    if (!name) return name.error();
+    if (auto r = expect_punct("{"); !r.ok()) return r.error();
+    scope_.push_back(*name);
+    while (!cur().is_punct("}")) {
+      if (at_end()) return error("unterminated module");
+      if (auto r = parse_definition(); !r.ok()) return r.error();
+    }
+    next();  // '}'
+    scope_.pop_back();
+    if (auto r = expect_punct(";"); !r.ok()) return r.error();
+    return {};
+  }
+
+  Result<void> parse_struct(bool is_exception) {
+    next();  // 'struct' / 'exception'
+    auto name = expect_identifier(is_exception ? "exception name" : "struct name");
+    if (!name) return name.error();
+    StructDef def;
+    def.scoped_name = scope_prefix() + *name;
+    def.is_exception = is_exception;
+    if (auto r = declare(def.scoped_name, {TypeKind::tk_struct, is_exception});
+        !r.ok())
+      return r.error();
+    if (auto r = expect_punct("{"); !r.ok()) return r.error();
+    while (!cur().is_punct("}")) {
+      if (at_end()) return error("unterminated struct");
+      auto type = parse_type();
+      if (!type) return type.error();
+      if (type->kind == TypeKind::tk_void)
+        return error("struct field cannot be void");
+      for (;;) {
+        auto fname = expect_identifier("field name");
+        if (!fname) return fname.error();
+        for (const auto& f : def.fields) {
+          if (f.name == *fname)
+            return error("duplicate field '" + *fname + "'");
+        }
+        def.fields.push_back(FieldDef{*fname, *type});
+        if (!cur().is_punct(",")) break;
+        next();
+      }
+      if (auto r = expect_punct(";"); !r.ok()) return r.error();
+    }
+    next();  // '}'
+    if (auto r = expect_punct(";"); !r.ok()) return r.error();
+    spec_.structs.push_back(std::move(def));
+    return {};
+  }
+
+  Result<void> parse_enum() {
+    next();  // 'enum'
+    auto name = expect_identifier("enum name");
+    if (!name) return name.error();
+    EnumDef def;
+    def.scoped_name = scope_prefix() + *name;
+    if (auto r = declare(def.scoped_name, {TypeKind::tk_enum}); !r.ok())
+      return r.error();
+    if (auto r = expect_punct("{"); !r.ok()) return r.error();
+    for (;;) {
+      auto label = expect_identifier("enumerator");
+      if (!label) return label.error();
+      if (def.index_of(*label) >= 0)
+        return error("duplicate enumerator '" + *label + "'");
+      def.enumerators.push_back(*label);
+      if (cur().is_punct(",")) {
+        next();
+        continue;
+      }
+      break;
+    }
+    if (auto r = expect_punct("}"); !r.ok()) return r.error();
+    if (auto r = expect_punct(";"); !r.ok()) return r.error();
+    spec_.enums.push_back(std::move(def));
+    return {};
+  }
+
+  Result<void> parse_typedef() {
+    next();  // 'typedef'
+    auto target = parse_type();
+    if (!target) return target.error();
+    if (target->kind == TypeKind::tk_void)
+      return error("typedef of void is not allowed");
+    auto name = expect_identifier("typedef name");
+    if (!name) return name.error();
+    TypedefDef def;
+    def.scoped_name = scope_prefix() + *name;
+    def.target = *target;
+    if (auto r = declare(def.scoped_name, {TypeKind::tk_alias}); !r.ok())
+      return r.error();
+    if (auto r = expect_punct(";"); !r.ok()) return r.error();
+    spec_.typedefs.push_back(std::move(def));
+    return {};
+  }
+
+  Result<void> parse_interface() {
+    next();  // 'interface'
+    auto name = expect_identifier("interface name");
+    if (!name) return name.error();
+    InterfaceDef def;
+    def.scoped_name = scope_prefix() + *name;
+    // Forward declaration: `interface Foo;`
+    if (cur().is_punct(";")) {
+      next();
+      if (symbols_.count(def.scoped_name) == 0)
+        symbols_.emplace(def.scoped_name, Symbol{TypeKind::tk_objref});
+      forward_only_.insert(def.scoped_name);
+      return {};
+    }
+    // Full definition: allowed to complete a forward declaration.
+    if (auto it = forward_only_.find(def.scoped_name); it != forward_only_.end()) {
+      forward_only_.erase(it);
+    } else if (auto r = declare(def.scoped_name, {TypeKind::tk_objref}); !r.ok()) {
+      return r.error();
+    }
+    if (cur().is_punct(":")) {
+      next();
+      for (;;) {
+        const Token at = cur();
+        auto base = parse_scoped_name();
+        if (!base) return base.error();
+        auto scoped = resolve(*base, at);
+        if (!scoped) return scoped.error();
+        if (symbols_.at(*scoped).kind != TypeKind::tk_objref)
+          return error_at(at, "base '" + *scoped + "' is not an interface");
+        if (forward_only_.count(*scoped))
+          return error_at(at, "base '" + *scoped + "' is only forward-declared");
+        def.bases.push_back(*scoped);
+        if (!cur().is_punct(",")) break;
+        next();
+      }
+    }
+    if (auto r = expect_punct("{"); !r.ok()) return r.error();
+    scope_.push_back(*name);
+    while (!cur().is_punct("}")) {
+      if (at_end()) return error("unterminated interface");
+      if (cur().is_kw("struct")) {
+        if (auto r = parse_struct(false); !r.ok()) return r.error();
+      } else if (cur().is_kw("exception")) {
+        if (auto r = parse_struct(true); !r.ok()) return r.error();
+      } else if (cur().is_kw("enum")) {
+        if (auto r = parse_enum(); !r.ok()) return r.error();
+      } else if (cur().is_kw("typedef")) {
+        if (auto r = parse_typedef(); !r.ok()) return r.error();
+      } else if (cur().is_kw("readonly") || cur().is_kw("attribute")) {
+        if (auto r = parse_attribute(def); !r.ok()) return r.error();
+      } else {
+        if (auto r = parse_operation(def); !r.ok()) return r.error();
+      }
+    }
+    next();  // '}'
+    scope_.pop_back();
+    if (auto r = expect_punct(";"); !r.ok()) return r.error();
+    spec_.interfaces.push_back(std::move(def));
+    return {};
+  }
+
+  Result<void> parse_attribute(InterfaceDef& def) {
+    bool readonly = false;
+    if (cur().is_kw("readonly")) {
+      readonly = true;
+      next();
+    }
+    if (!cur().is_kw("attribute")) return error("expected 'attribute'");
+    next();
+    auto type = parse_type();
+    if (!type) return type.error();
+    if (type->kind == TypeKind::tk_void)
+      return error("attribute cannot be void");
+    for (;;) {
+      auto name = expect_identifier("attribute name");
+      if (!name) return name.error();
+      def.attributes.push_back(AttributeDef{*name, *type, readonly});
+      if (!cur().is_punct(",")) break;
+      next();
+    }
+    if (auto r = expect_punct(";"); !r.ok()) return r.error();
+    return {};
+  }
+
+  Result<void> parse_operation(InterfaceDef& def) {
+    OperationDef op;
+    if (cur().is_kw("oneway")) {
+      op.oneway = true;
+      next();
+    }
+    auto result = parse_type();
+    if (!result) return result.error();
+    op.result = *result;
+    const Token name_tok = cur();
+    auto name = expect_identifier("operation name");
+    if (!name) return name.error();
+    op.name = *name;
+    if (def.find_operation(op.name) != nullptr)
+      return error_at(name_tok, "duplicate operation '" + op.name + "'");
+    if (auto r = expect_punct("("); !r.ok()) return r.error();
+    if (!cur().is_punct(")")) {
+      for (;;) {
+        ParamDef p;
+        if (cur().is_kw("in")) {
+          p.direction = ParamDirection::in;
+        } else if (cur().is_kw("out")) {
+          p.direction = ParamDirection::out;
+        } else if (cur().is_kw("inout")) {
+          p.direction = ParamDirection::inout;
+        } else {
+          return error("expected parameter direction (in/out/inout)");
+        }
+        next();
+        auto type = parse_type();
+        if (!type) return type.error();
+        if (type->kind == TypeKind::tk_void)
+          return error("parameter cannot be void");
+        p.type = *type;
+        auto pname = expect_identifier("parameter name");
+        if (!pname) return pname.error();
+        p.name = *pname;
+        for (const auto& q : op.params) {
+          if (q.name == p.name)
+            return error("duplicate parameter '" + p.name + "'");
+        }
+        op.params.push_back(std::move(p));
+        if (!cur().is_punct(",")) break;
+        next();
+      }
+    }
+    if (auto r = expect_punct(")"); !r.ok()) return r.error();
+    if (cur().is_kw("raises")) {
+      next();
+      if (auto r = expect_punct("("); !r.ok()) return r.error();
+      for (;;) {
+        const Token at = cur();
+        auto exname = parse_scoped_name();
+        if (!exname) return exname.error();
+        auto scoped = resolve(*exname, at);
+        if (!scoped) return scoped.error();
+        const Symbol& sym = symbols_.at(*scoped);
+        if (sym.kind != TypeKind::tk_struct || !sym.is_exception)
+          return error_at(at, "'" + *scoped + "' is not an exception");
+        op.raises.push_back(*scoped);
+        if (!cur().is_punct(",")) break;
+        next();
+      }
+      if (auto r = expect_punct(")"); !r.ok()) return r.error();
+    }
+    if (op.oneway) {
+      if (op.result.kind != TypeKind::tk_void)
+        return error_at(name_tok, "oneway operation must return void");
+      for (const auto& p : op.params) {
+        if (p.direction != ParamDirection::in)
+          return error_at(name_tok,
+                          "oneway operation may take only 'in' parameters");
+      }
+      if (!op.raises.empty())
+        return error_at(name_tok, "oneway operation may not raise exceptions");
+    }
+    if (auto r = expect_punct(";"); !r.ok()) return r.error();
+    def.operations.push_back(std::move(op));
+    return {};
+  }
+
+  std::vector<Token> toks_;
+  const SymbolLookup& externals_;
+  std::size_t pos_ = 0;
+  Specification spec_;
+  std::vector<std::string> scope_;
+  std::map<std::string, Symbol> symbols_;
+  std::set<std::string> external_names_;  // symbols seeded from the oracle
+  std::set<std::string> forward_only_;
+};
+
+}  // namespace
+
+Result<Specification> parse(std::string_view source,
+                            const SymbolLookup& externals) {
+  auto toks = tokenize(source);
+  if (!toks) return toks.error();
+  return Parser(std::move(*toks), externals).run();
+}
+
+const char* type_kind_name(TypeKind k) noexcept {
+  switch (k) {
+    case TypeKind::tk_void: return "void";
+    case TypeKind::tk_boolean: return "boolean";
+    case TypeKind::tk_octet: return "octet";
+    case TypeKind::tk_short: return "short";
+    case TypeKind::tk_ushort: return "unsigned short";
+    case TypeKind::tk_long: return "long";
+    case TypeKind::tk_ulong: return "unsigned long";
+    case TypeKind::tk_longlong: return "long long";
+    case TypeKind::tk_ulonglong: return "unsigned long long";
+    case TypeKind::tk_float: return "float";
+    case TypeKind::tk_double: return "double";
+    case TypeKind::tk_string: return "string";
+    case TypeKind::tk_any: return "any";
+    case TypeKind::tk_sequence: return "sequence";
+    case TypeKind::tk_struct: return "struct";
+    case TypeKind::tk_enum: return "enum";
+    case TypeKind::tk_objref: return "interface";
+    case TypeKind::tk_alias: return "alias";
+  }
+  return "?";
+}
+
+std::string TypeRef::to_string() const {
+  if (kind == TypeKind::tk_sequence) {
+    std::string s = "sequence<" + (element ? element->to_string() : "?");
+    if (bound != 0) s += "," + std::to_string(bound);
+    return s + ">";
+  }
+  if (is_named()) return name;
+  return type_kind_name(kind);
+}
+
+}  // namespace clc::idl

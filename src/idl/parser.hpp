@@ -1,0 +1,37 @@
+// Recursive-descent parser for the IDL subset.
+//
+// IDL requires declare-before-use, so the parser resolves every named type
+// reference while parsing (searching enclosing scopes outward, as IDL scoping
+// rules dictate) and emits fully-scoped names in the resulting
+// Specification. Semantic rules enforced here:
+//   - duplicate definitions in a scope are rejected,
+//   - `raises` clauses may only name exceptions,
+//   - `oneway` operations must return void, take only `in` parameters and
+//     have no raises clause,
+//   - interface bases must be previously-declared interfaces.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "idl/ast.hpp"
+#include "util/result.hpp"
+
+namespace clc::idl {
+
+/// External symbol oracle: lets a parse resolve names defined by earlier
+/// sources (the Interface Repository supplies one, so IDL files can build
+/// on types registered before them -- e.g. clc::Object).
+struct ExternalSymbol {
+  TypeKind kind;
+  bool is_exception = false;
+};
+using SymbolLookup =
+    std::function<std::optional<ExternalSymbol>(const std::string& scoped)>;
+
+/// Parse one IDL source file into a specification with resolved names.
+Result<Specification> parse(std::string_view source,
+                            const SymbolLookup& externals = {});
+
+}  // namespace clc::idl

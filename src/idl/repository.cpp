@@ -1,0 +1,242 @@
+#include "idl/repository.hpp"
+
+#include <set>
+
+#include "idl/parser.hpp"
+
+namespace clc::idl {
+
+namespace {
+
+bool same_type(const TypeRef& a, const TypeRef& b) {
+  if (a.kind != b.kind || a.name != b.name || a.bound != b.bound) return false;
+  if ((a.element == nullptr) != (b.element == nullptr)) return false;
+  return a.element == nullptr || same_type(*a.element, *b.element);
+}
+
+bool same_struct(const StructDef& a, const StructDef& b) {
+  if (a.is_exception != b.is_exception || a.fields.size() != b.fields.size())
+    return false;
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    if (a.fields[i].name != b.fields[i].name ||
+        !same_type(a.fields[i].type, b.fields[i].type))
+      return false;
+  }
+  return true;
+}
+
+bool same_op(const OperationDef& a, const OperationDef& b) {
+  if (a.name != b.name || a.oneway != b.oneway || a.raises != b.raises ||
+      !same_type(a.result, b.result) || a.params.size() != b.params.size())
+    return false;
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    if (a.params[i].name != b.params[i].name ||
+        a.params[i].direction != b.params[i].direction ||
+        !same_type(a.params[i].type, b.params[i].type))
+      return false;
+  }
+  return true;
+}
+
+bool same_interface(const InterfaceDef& a, const InterfaceDef& b) {
+  if (a.bases != b.bases || a.operations.size() != b.operations.size() ||
+      a.attributes.size() != b.attributes.size())
+    return false;
+  for (std::size_t i = 0; i < a.operations.size(); ++i) {
+    if (!same_op(a.operations[i], b.operations[i])) return false;
+  }
+  for (std::size_t i = 0; i < a.attributes.size(); ++i) {
+    if (a.attributes[i].name != b.attributes[i].name ||
+        a.attributes[i].readonly != b.attributes[i].readonly ||
+        !same_type(a.attributes[i].type, b.attributes[i].type))
+      return false;
+  }
+  return true;
+}
+
+/// Synthesized accessor operations for an attribute, per CORBA mapping.
+void append_attribute_ops(const AttributeDef& attr,
+                          std::vector<OperationDef>& out) {
+  OperationDef getter;
+  getter.name = "_get_" + attr.name;
+  getter.result = attr.type;
+  out.push_back(std::move(getter));
+  if (!attr.readonly) {
+    OperationDef setter;
+    setter.name = "_set_" + attr.name;
+    setter.result = TypeRef::primitive(TypeKind::tk_void);
+    setter.params.push_back(
+        ParamDef{ParamDirection::in, "value", attr.type});
+    out.push_back(std::move(setter));
+  }
+}
+
+}  // namespace
+
+Result<void> InterfaceRepository::register_spec(const Specification& spec) {
+  // Validate first so a failure leaves the repository untouched.
+  for (const auto& s : spec.structs) {
+    if (auto it = structs_.find(s.scoped_name);
+        it != structs_.end() && !same_struct(it->second, s))
+      return Error{Errc::already_exists,
+                   "conflicting redefinition of struct " + s.scoped_name};
+  }
+  for (const auto& e : spec.enums) {
+    if (auto it = enums_.find(e.scoped_name);
+        it != enums_.end() && it->second.enumerators != e.enumerators)
+      return Error{Errc::already_exists,
+                   "conflicting redefinition of enum " + e.scoped_name};
+  }
+  for (const auto& t : spec.typedefs) {
+    if (auto it = typedefs_.find(t.scoped_name);
+        it != typedefs_.end() && !same_type(it->second.target, t.target))
+      return Error{Errc::already_exists,
+                   "conflicting redefinition of typedef " + t.scoped_name};
+  }
+  for (const auto& i : spec.interfaces) {
+    if (auto it = interfaces_.find(i.scoped_name);
+        it != interfaces_.end() && !same_interface(it->second, i))
+      return Error{Errc::already_exists,
+                   "conflicting redefinition of interface " + i.scoped_name};
+    if (auto r = check_interface_cycles(i); !r.ok()) return r;
+  }
+  for (const auto& s : spec.structs) structs_.insert_or_assign(s.scoped_name, s);
+  for (const auto& e : spec.enums) enums_.insert_or_assign(e.scoped_name, e);
+  for (const auto& t : spec.typedefs)
+    typedefs_.insert_or_assign(t.scoped_name, t);
+  for (const auto& i : spec.interfaces)
+    interfaces_.insert_or_assign(i.scoped_name, i);
+  return {};
+}
+
+Result<void> InterfaceRepository::register_idl(std::string_view source) {
+  // New sources may reference anything already registered here.
+  SymbolLookup externals =
+      [this](const std::string& scoped) -> std::optional<ExternalSymbol> {
+    if (const StructDef* s = find_struct(scoped))
+      return ExternalSymbol{TypeKind::tk_struct, s->is_exception};
+    if (find_enum(scoped) != nullptr)
+      return ExternalSymbol{TypeKind::tk_enum};
+    if (find_interface(scoped) != nullptr)
+      return ExternalSymbol{TypeKind::tk_objref};
+    if (find_typedef(scoped) != nullptr)
+      return ExternalSymbol{TypeKind::tk_alias};
+    return std::nullopt;
+  };
+  auto spec = parse(source, externals);
+  if (!spec) return spec.error();
+  return register_spec(*spec);
+}
+
+Result<void> InterfaceRepository::check_interface_cycles(
+    const InterfaceDef& def) const {
+  // DFS from the new interface through bases already registered (the parser
+  // enforces declare-before-use within one spec; across specs a cycle could
+  // only appear via redefinition, which same_interface already blocks, but
+  // we keep the check cheap and explicit).
+  std::set<std::string> visiting;
+  std::vector<const InterfaceDef*> stack = {&def};
+  visiting.insert(def.scoped_name);
+  while (!stack.empty()) {
+    const InterfaceDef* cur = stack.back();
+    stack.pop_back();
+    for (const auto& base : cur->bases) {
+      if (base == def.scoped_name)
+        return Error{Errc::invalid_argument,
+                     "inheritance cycle through " + def.scoped_name};
+      if (!visiting.insert(base).second) continue;
+      if (auto it = interfaces_.find(base); it != interfaces_.end())
+        stack.push_back(&it->second);
+    }
+  }
+  return {};
+}
+
+const StructDef* InterfaceRepository::find_struct(
+    const std::string& scoped) const {
+  auto it = structs_.find(scoped);
+  return it == structs_.end() ? nullptr : &it->second;
+}
+
+const EnumDef* InterfaceRepository::find_enum(const std::string& scoped) const {
+  auto it = enums_.find(scoped);
+  return it == enums_.end() ? nullptr : &it->second;
+}
+
+const InterfaceDef* InterfaceRepository::find_interface(
+    const std::string& scoped) const {
+  auto it = interfaces_.find(scoped);
+  return it == interfaces_.end() ? nullptr : &it->second;
+}
+
+const TypedefDef* InterfaceRepository::find_typedef(
+    const std::string& scoped) const {
+  auto it = typedefs_.find(scoped);
+  return it == typedefs_.end() ? nullptr : &it->second;
+}
+
+Result<TypeRef> InterfaceRepository::resolve_alias(const TypeRef& type) const {
+  TypeRef cur = type;
+  std::set<std::string> seen;
+  while (cur.kind == TypeKind::tk_alias) {
+    if (!seen.insert(cur.name).second)
+      return Error{Errc::invalid_argument, "typedef cycle at " + cur.name};
+    const TypedefDef* td = find_typedef(cur.name);
+    if (td == nullptr)
+      return Error{Errc::not_found, "unknown typedef " + cur.name};
+    cur = td->target;
+  }
+  return cur;
+}
+
+Result<std::vector<OperationDef>> InterfaceRepository::flatten_operations(
+    const std::string& interface_name) const {
+  std::vector<OperationDef> out;
+  std::set<std::string> visited;
+  // Recursive base-first walk.
+  auto walk = [&](auto&& self, const std::string& name) -> Result<void> {
+    if (!visited.insert(name).second) return {};
+    const InterfaceDef* def = find_interface(name);
+    if (def == nullptr)
+      return Error{Errc::not_found, "unknown interface " + name};
+    for (const auto& base : def->bases) {
+      if (auto r = self(self, base); !r.ok()) return r;
+    }
+    for (const auto& op : def->operations) out.push_back(op);
+    for (const auto& attr : def->attributes) append_attribute_ops(attr, out);
+    return {};
+  };
+  if (auto r = walk(walk, interface_name); !r.ok()) return r.error();
+  return out;
+}
+
+Result<OperationDef> InterfaceRepository::find_operation(
+    const std::string& interface_name, const std::string& op_name) const {
+  auto ops = flatten_operations(interface_name);
+  if (!ops) return ops.error();
+  for (const auto& op : *ops) {
+    if (op.name == op_name) return op;
+  }
+  return Error{Errc::not_found,
+               interface_name + " has no operation " + op_name};
+}
+
+bool InterfaceRepository::is_a(const std::string& derived,
+                               const std::string& base) const {
+  if (derived == base) return find_interface(derived) != nullptr;
+  const InterfaceDef* def = find_interface(derived);
+  if (def == nullptr) return false;
+  for (const auto& b : def->bases) {
+    if (is_a(b, base)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> InterfaceRepository::interface_names() const {
+  std::vector<std::string> out;
+  out.reserve(interfaces_.size());
+  for (const auto& [name, def] : interfaces_) out.push_back(name);
+  return out;
+}
+
+}  // namespace clc::idl

@@ -1,0 +1,66 @@
+// Interface Repository.
+//
+// CORBA-LC performs *dynamic* typed invocation: instead of compiling IDL to
+// stub/skeleton code, every node registers the IDL of its installed
+// components here, and the ORB marshals requests by walking the type model
+// (DII/DSI style). The repository is also part of the Reflection
+// Architecture (§2.4.2): visual builders and the Distributed Registry query
+// it to learn what an interface offers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "idl/ast.hpp"
+#include "util/result.hpp"
+
+namespace clc::idl {
+
+class InterfaceRepository {
+ public:
+  /// Register every definition of a parsed specification. Fails (without
+  /// partial registration) if any name collides with an existing definition
+  /// of different shape, or an interface inheritance cycle would form.
+  /// Re-registering an identical spec is idempotent.
+  Result<void> register_spec(const Specification& spec);
+
+  /// Convenience: parse + register.
+  Result<void> register_idl(std::string_view source);
+
+  [[nodiscard]] const StructDef* find_struct(const std::string& scoped) const;
+  [[nodiscard]] const EnumDef* find_enum(const std::string& scoped) const;
+  [[nodiscard]] const InterfaceDef* find_interface(
+      const std::string& scoped) const;
+  [[nodiscard]] const TypedefDef* find_typedef(const std::string& scoped) const;
+
+  /// Follow tk_alias links until a non-alias type; cycle-safe.
+  [[nodiscard]] Result<TypeRef> resolve_alias(const TypeRef& type) const;
+
+  /// All operations of an interface including inherited ones, base-first.
+  /// Attribute accessors are included as synthesized operations
+  /// (_get_<name> / _set_<name>), matching CORBA's attribute mapping.
+  [[nodiscard]] Result<std::vector<OperationDef>> flatten_operations(
+      const std::string& interface_name) const;
+
+  /// Find one operation (own, inherited, or attribute accessor).
+  [[nodiscard]] Result<OperationDef> find_operation(
+      const std::string& interface_name, const std::string& op_name) const;
+
+  /// True if `derived` equals `base` or inherits from it (transitively).
+  [[nodiscard]] bool is_a(const std::string& derived,
+                          const std::string& base) const;
+
+  [[nodiscard]] std::vector<std::string> interface_names() const;
+
+ private:
+  Result<void> check_interface_cycles(const InterfaceDef& def) const;
+
+  std::map<std::string, StructDef> structs_;
+  std::map<std::string, EnumDef> enums_;
+  std::map<std::string, InterfaceDef> interfaces_;
+  std::map<std::string, TypedefDef> typedefs_;
+};
+
+}  // namespace clc::idl

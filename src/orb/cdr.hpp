@@ -1,0 +1,206 @@
+// CDR (Common Data Representation) encoder/decoder.
+//
+// Implements the CORBA 2 CDR rules the CORBA-LC wire protocol relies on:
+// primitives aligned to their natural size relative to the start of the
+// encapsulation, both byte orders (the encapsulation carries a byte-order
+// flag, receiver-makes-right), strings as length-prefixed with a
+// terminating NUL, and sequences as a u32 element count.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace clc::orb {
+
+enum class ByteOrder : std::uint8_t { big_endian = 0, little_endian = 1 };
+
+/// Byte order of this host.
+constexpr ByteOrder native_order() noexcept {
+  return std::endian::native == std::endian::little ? ByteOrder::little_endian
+                                                    : ByteOrder::big_endian;
+}
+
+/// Serializes into a growing buffer. The first byte written by
+/// `begin_encapsulation` records the byte order so any peer can decode.
+class CdrWriter {
+ public:
+  explicit CdrWriter(ByteOrder order = native_order()) : order_(order) {}
+
+  /// Write the encapsulation header (byte-order octet). Usually the first
+  /// call; kept explicit so nested encapsulations can be composed.
+  void begin_encapsulation() { write_octet(static_cast<std::uint8_t>(order_)); }
+
+  void write_octet(std::uint8_t v) { buffer_.push_back(v); }
+  void write_boolean(bool v) { write_octet(v ? 1 : 0); }
+  void write_short(std::int16_t v) { write_integral(v); }
+  void write_ushort(std::uint16_t v) { write_integral(v); }
+  void write_long(std::int32_t v) { write_integral(v); }
+  void write_ulong(std::uint32_t v) { write_integral(v); }
+  void write_longlong(std::int64_t v) { write_integral(v); }
+  void write_ulonglong(std::uint64_t v) { write_integral(v); }
+  void write_float(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    write_integral(bits);
+  }
+  void write_double(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    write_integral(bits);
+  }
+  /// CDR string: u32 length including NUL, bytes, NUL.
+  void write_string(std::string_view s) {
+    write_ulong(static_cast<std::uint32_t>(s.size() + 1));
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+    buffer_.push_back(0);
+  }
+  /// Raw octet sequence: u32 count + bytes.
+  void write_bytes(BytesView data) {
+    write_ulong(static_cast<std::uint32_t>(data.size()));
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+  /// Sequence element count.
+  void write_sequence_length(std::uint32_t n) { write_ulong(n); }
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buffer_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] ByteOrder order() const noexcept { return order_; }
+
+ private:
+  void align(std::size_t n) {
+    while (buffer_.size() % n != 0) buffer_.push_back(0);
+  }
+  template <typename T>
+  void write_integral(T v) {
+    align(sizeof(T));
+    if (order_ != native_order()) v = byteswap(v);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buffer_.insert(buffer_.end(), p, p + sizeof(T));
+  }
+  template <typename T>
+  static T byteswap(T v) noexcept {
+    T out;
+    const auto* src = reinterpret_cast<const std::uint8_t*>(&v);
+    auto* dst = reinterpret_cast<std::uint8_t*>(&out);
+    for (std::size_t i = 0; i < sizeof(T); ++i) dst[i] = src[sizeof(T) - 1 - i];
+    return out;
+  }
+
+  ByteOrder order_;
+  Bytes buffer_;
+};
+
+/// Deserializes from a byte view; all reads are bounds-checked and report
+/// Errc::corrupt_data on truncation (wire data is never trusted).
+class CdrReader {
+ public:
+  explicit CdrReader(BytesView data, ByteOrder order = native_order())
+      : data_(data), order_(order) {}
+
+  /// Read the encapsulation byte-order octet and switch decoding order.
+  Result<void> begin_encapsulation() {
+    auto b = read_octet();
+    if (!b) return b.error();
+    if (*b > 1) return Error{Errc::corrupt_data, "bad byte-order flag"};
+    order_ = static_cast<ByteOrder>(*b);
+    return {};
+  }
+
+  Result<std::uint8_t> read_octet() {
+    if (pos_ >= data_.size()) return truncated("octet");
+    return data_[pos_++];
+  }
+  Result<bool> read_boolean() {
+    auto o = read_octet();
+    if (!o) return o.error();
+    return *o != 0;
+  }
+  Result<std::int16_t> read_short() { return read_integral<std::int16_t>(); }
+  Result<std::uint16_t> read_ushort() { return read_integral<std::uint16_t>(); }
+  Result<std::int32_t> read_long() { return read_integral<std::int32_t>(); }
+  Result<std::uint32_t> read_ulong() { return read_integral<std::uint32_t>(); }
+  Result<std::int64_t> read_longlong() { return read_integral<std::int64_t>(); }
+  Result<std::uint64_t> read_ulonglong() {
+    return read_integral<std::uint64_t>();
+  }
+  Result<float> read_float() {
+    auto bits = read_integral<std::uint32_t>();
+    if (!bits) return bits.error();
+    float v;
+    std::memcpy(&v, &*bits, sizeof v);
+    return v;
+  }
+  Result<double> read_double() {
+    auto bits = read_integral<std::uint64_t>();
+    if (!bits) return bits.error();
+    double v;
+    std::memcpy(&v, &*bits, sizeof v);
+    return v;
+  }
+  Result<std::string> read_string() {
+    auto len = read_ulong();
+    if (!len) return len.error();
+    if (*len == 0) return Error{Errc::corrupt_data, "string length 0"};
+    if (pos_ + *len > data_.size()) return truncated("string");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len - 1);
+    if (data_[pos_ + *len - 1] != 0)
+      return Error{Errc::corrupt_data, "string missing NUL"};
+    pos_ += *len;
+    return s;
+  }
+  Result<Bytes> read_bytes() {
+    auto len = read_ulong();
+    if (!len) return len.error();
+    if (pos_ + *len > data_.size()) return truncated("octet sequence");
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+    pos_ += *len;
+    return out;
+  }
+  Result<std::uint32_t> read_sequence_length() { return read_ulong(); }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] ByteOrder order() const noexcept { return order_; }
+
+ private:
+  Error truncated(const char* what) {
+    return Error{Errc::corrupt_data,
+                 std::string("truncated CDR data reading ") + what};
+  }
+  void align(std::size_t n) {
+    while (pos_ % n != 0 && pos_ < data_.size()) ++pos_;
+  }
+  template <typename T>
+  Result<T> read_integral() {
+    align(sizeof(T));
+    if (pos_ + sizeof(T) > data_.size()) return truncated("integral");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    if (order_ != native_order()) v = byteswap(v);
+    return v;
+  }
+  template <typename T>
+  static T byteswap(T v) noexcept {
+    T out;
+    const auto* src = reinterpret_cast<const std::uint8_t*>(&v);
+    auto* dst = reinterpret_cast<std::uint8_t*>(&out);
+    for (std::size_t i = 0; i < sizeof(T); ++i) dst[i] = src[sizeof(T) - 1 - i];
+    return out;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  ByteOrder order_;
+};
+
+}  // namespace clc::orb

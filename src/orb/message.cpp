@@ -1,0 +1,116 @@
+#include "orb/message.hpp"
+
+namespace clc::orb {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'C', 'L', 'C', 'P'};
+constexpr std::uint8_t kVersion = 1;
+
+void write_frame_header(CdrWriter& w, MessageType type) {
+  for (std::uint8_t m : kMagic) w.write_octet(m);
+  w.write_octet(kVersion);
+  w.write_octet(static_cast<std::uint8_t>(type));
+  w.begin_encapsulation();
+}
+}  // namespace
+
+Result<MessageType> decode_frame_header(CdrReader& r) {
+  for (std::uint8_t expect : kMagic) {
+    auto b = r.read_octet();
+    if (!b) return b.error();
+    if (*b != expect) return Error{Errc::corrupt_data, "bad message magic"};
+  }
+  auto version = r.read_octet();
+  if (!version) return version.error();
+  if (*version != kVersion)
+    return Error{Errc::unsupported,
+                 "protocol version " + std::to_string(*version)};
+  auto type = r.read_octet();
+  if (!type) return type.error();
+  if (*type > static_cast<std::uint8_t>(MessageType::pong))
+    return Error{Errc::corrupt_data, "bad message type"};
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) {
+    // Control frames have no encapsulation; tolerate EOF for those.
+    const auto t = static_cast<MessageType>(*type);
+    if (t == MessageType::ping || t == MessageType::pong) return t;
+    return enc.error();
+  }
+  return static_cast<MessageType>(*type);
+}
+
+Bytes encode_control(MessageType type) {
+  CdrWriter w;
+  for (std::uint8_t m : kMagic) w.write_octet(m);
+  w.write_octet(kVersion);
+  w.write_octet(static_cast<std::uint8_t>(type));
+  return w.take();
+}
+
+Bytes RequestMessage::encode() const {
+  CdrWriter w;
+  write_frame_header(w, MessageType::request);
+  w.write_ulonglong(request_id.value);
+  w.write_ulonglong(object_key.hi);
+  w.write_ulonglong(object_key.lo);
+  w.write_string(interface_name);
+  w.write_string(operation);
+  w.write_boolean(response_expected);
+  w.write_bytes(args);
+  return w.take();
+}
+
+Result<RequestMessage> RequestMessage::decode(CdrReader& r) {
+  RequestMessage m;
+  auto id = r.read_ulonglong();
+  if (!id) return id.error();
+  m.request_id = RequestId{*id};
+  auto hi = r.read_ulonglong();
+  if (!hi) return hi.error();
+  auto lo = r.read_ulonglong();
+  if (!lo) return lo.error();
+  m.object_key = Uuid{*hi, *lo};
+  auto iface = r.read_string();
+  if (!iface) return iface.error();
+  m.interface_name = std::move(*iface);
+  auto op = r.read_string();
+  if (!op) return op.error();
+  m.operation = std::move(*op);
+  auto expected = r.read_boolean();
+  if (!expected) return expected.error();
+  m.response_expected = *expected;
+  auto args = r.read_bytes();
+  if (!args) return args.error();
+  m.args = std::move(*args);
+  return m;
+}
+
+Bytes ReplyMessage::encode() const {
+  CdrWriter w;
+  write_frame_header(w, MessageType::reply);
+  w.write_ulonglong(request_id.value);
+  w.write_octet(static_cast<std::uint8_t>(status));
+  w.write_string(exception_id);
+  w.write_bytes(payload);
+  return w.take();
+}
+
+Result<ReplyMessage> ReplyMessage::decode(CdrReader& r) {
+  ReplyMessage m;
+  auto id = r.read_ulonglong();
+  if (!id) return id.error();
+  m.request_id = RequestId{*id};
+  auto status = r.read_octet();
+  if (!status) return status.error();
+  if (*status > static_cast<std::uint8_t>(ReplyStatus::object_not_found))
+    return Error{Errc::corrupt_data, "bad reply status"};
+  m.status = static_cast<ReplyStatus>(*status);
+  auto ex = r.read_string();
+  if (!ex) return ex.error();
+  m.exception_id = std::move(*ex);
+  auto payload = r.read_bytes();
+  if (!payload) return payload.error();
+  m.payload = std::move(*payload);
+  return m;
+}
+
+}  // namespace clc::orb

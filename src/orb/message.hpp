@@ -1,0 +1,62 @@
+// Wire protocol messages (GIOP-equivalent).
+//
+// Every transport payload is one framed message:
+//   magic "CLCP", version octet, message-type octet, then a CDR
+//   encapsulation (byte-order octet first) holding the header + body.
+// Requests carry the object key, interface and operation names plus the
+// already-marshaled argument encapsulation; replies carry a status and
+// either results, a user exception (typed), or a system exception (Errc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "orb/cdr.hpp"
+#include "util/ids.hpp"
+
+namespace clc::orb {
+
+enum class MessageType : std::uint8_t {
+  request = 0,
+  reply = 1,
+  ping = 2,   // liveness probe, empty body, replied with pong
+  pong = 3,
+};
+
+enum class ReplyStatus : std::uint8_t {
+  no_exception = 0,
+  user_exception = 1,
+  system_exception = 2,
+  object_not_found = 3,
+};
+
+struct RequestMessage {
+  RequestId request_id;
+  Uuid object_key;
+  std::string interface_name;
+  std::string operation;
+  bool response_expected = true;
+  Bytes args;  // CDR payload of marshaled in/inout arguments
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<RequestMessage> decode(CdrReader& r);
+};
+
+struct ReplyMessage {
+  RequestId request_id;
+  ReplyStatus status = ReplyStatus::no_exception;
+  std::string exception_id;  // user: exception scoped name; system: errc name
+  Bytes payload;             // results, or marshaled exception, or message
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<ReplyMessage> decode(CdrReader& r);
+};
+
+/// Peek at a framed message: validates magic/version, returns its type and
+/// positions `r` at the start of the encapsulation.
+Result<MessageType> decode_frame_header(CdrReader& r);
+
+/// Encode a ping/pong frame.
+Bytes encode_control(MessageType type);
+
+}  // namespace clc::orb

@@ -1,0 +1,62 @@
+// Object references (IOR equivalent).
+//
+// A reference names one CORBA-LC object anywhere in the network: the node
+// hosting it, the object key within that node's object adapter, the
+// interface it implements (repository scoped name) and the transport
+// endpoint to reach the node. References are plain values and marshal with
+// CDR, so they can be passed through operations and stored in registries.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "orb/cdr.hpp"
+#include "util/ids.hpp"
+
+namespace clc::orb {
+
+struct ObjectRef {
+  NodeId node;
+  Uuid key;
+  std::string interface_name;  // scoped IDL name, e.g. "clc::Node"
+  std::string endpoint;        // transport address, e.g. "loop:3" or "tcp:host:port"
+
+  [[nodiscard]] bool is_nil() const noexcept { return key.is_nil(); }
+  auto operator<=>(const ObjectRef&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return interface_name + "@" + endpoint + "/" + key.to_string();
+  }
+
+  void marshal(CdrWriter& w) const {
+    w.write_ulonglong(node.value);
+    w.write_ulonglong(key.hi);
+    w.write_ulonglong(key.lo);
+    w.write_string(interface_name);
+    w.write_string(endpoint);
+  }
+
+  static Result<ObjectRef> unmarshal(CdrReader& r) {
+    ObjectRef ref;
+    auto node = r.read_ulonglong();
+    if (!node) return node.error();
+    ref.node = NodeId{*node};
+    auto hi = r.read_ulonglong();
+    if (!hi) return hi.error();
+    auto lo = r.read_ulonglong();
+    if (!lo) return lo.error();
+    ref.key = Uuid{*hi, *lo};
+    auto iface = r.read_string();
+    if (!iface) return iface.error();
+    ref.interface_name = std::move(*iface);
+    auto ep = r.read_string();
+    if (!ep) return ep.error();
+    ref.endpoint = std::move(*ep);
+    return ref;
+  }
+};
+
+/// The nil reference.
+inline const ObjectRef kNilRef{};
+
+}  // namespace clc::orb

@@ -1,0 +1,338 @@
+#include "orb/orb.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace clc::orb {
+
+using idl::OperationDef;
+using idl::ParamDirection;
+
+Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo)
+    : node_id_(node_id), repo_(std::move(repo)) {
+  // Base IDL every CORBA-LC peer shares.
+  const char* kBaseIdl =
+      "module clc {"
+      "  interface Object { };"
+      "  interface EventConsumer { oneway void push(in any event); };"
+      "};";
+  auto r = repo_->register_idl(kBaseIdl);
+  (void)r;  // idempotent; conflicts impossible for the base IDL
+}
+
+// ---------------------------------------------------------------------------
+// Object adapter
+
+ObjectRef Orb::activate(std::shared_ptr<Servant> servant) {
+  Uuid key;
+  {
+    std::lock_guard lock(mutex_);
+    key = Uuid::random(rng_);
+  }
+  return activate_with_key(std::move(servant), key);
+}
+
+ObjectRef Orb::activate_with_key(std::shared_ptr<Servant> servant, Uuid key) {
+  ObjectRef ref;
+  ref.node = node_id_;
+  ref.key = key;
+  ref.interface_name = servant->interface_name();
+  ref.endpoint = endpoint_;
+  std::lock_guard lock(mutex_);
+  servants_[key] = std::move(servant);
+  return ref;
+}
+
+Result<void> Orb::deactivate(const Uuid& key) {
+  std::lock_guard lock(mutex_);
+  if (servants_.erase(key) == 0)
+    return Error{Errc::not_found, "no servant with key " + key.to_string()};
+  return {};
+}
+
+std::size_t Orb::active_count() const {
+  std::lock_guard lock(mutex_);
+  return servants_.size();
+}
+
+std::shared_ptr<Servant> Orb::find_servant(const Uuid& key) const {
+  std::lock_guard lock(mutex_);
+  auto it = servants_.find(key);
+  return it == servants_.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Server path
+
+Bytes Orb::handle_frame(BytesView frame) {
+  CdrReader r(frame);
+  auto type = decode_frame_header(r);
+  if (!type) {
+    ReplyMessage err;
+    err.status = ReplyStatus::system_exception;
+    err.exception_id = errc_name(type.error().code);
+    err.payload = bytes_of(type.error().message);
+    return err.encode();
+  }
+  if (*type == MessageType::ping) return encode_control(MessageType::pong);
+  if (*type != MessageType::request) return {};  // stray reply/pong: ignore
+
+  auto req = RequestMessage::decode(r);
+  if (!req) {
+    ReplyMessage err;
+    err.status = ReplyStatus::system_exception;
+    err.exception_id = errc_name(req.error().code);
+    err.payload = bytes_of(req.error().message);
+    return err.encode();
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.invocations_served;
+  }
+  auto reply = dispatch_request(*req);
+  if (!req->response_expected) return {};
+  if (!reply) {
+    ReplyMessage err;
+    err.request_id = req->request_id;
+    err.status = ReplyStatus::system_exception;
+    err.exception_id = errc_name(reply.error().code);
+    err.payload = bytes_of(reply.error().message);
+    return err.encode();
+  }
+  return reply->encode();
+}
+
+Result<ReplyMessage> Orb::dispatch_request(const RequestMessage& req) {
+  std::shared_ptr<Servant> servant = find_servant(req.object_key);
+  if (servant == nullptr) {
+    ReplyMessage reply;
+    reply.request_id = req.request_id;
+    reply.status = ReplyStatus::object_not_found;
+    reply.payload = bytes_of("no object " + req.object_key.to_string());
+    return reply;
+  }
+  // Type-check the call against the servant's actual interface (the
+  // caller's view may be a base interface; both must resolve the op).
+  auto op = repo_->find_operation(servant->interface_name(), req.operation);
+  if (!op) return op.error();
+
+  // Decode in/inout arguments; out params start as void placeholders.
+  std::vector<Value> args;
+  args.reserve(op->params.size());
+  CdrReader argr(req.args);
+  if (auto enc = argr.begin_encapsulation(); !enc.ok()) return enc.error();
+  for (const auto& p : op->params) {
+    if (p.direction == ParamDirection::out) {
+      args.emplace_back();
+      continue;
+    }
+    auto v = unmarshal_value(p.type, *repo_, argr);
+    if (!v) return v.error();
+    args.push_back(std::move(*v));
+  }
+
+  ServerRequest sreq(req.operation, std::move(args));
+  if (auto r = servant->dispatch(sreq); !r.ok()) return r.error();
+
+  ReplyMessage reply;
+  reply.request_id = req.request_id;
+  if (sreq.exception().has_value()) {
+    const UserException& ex = *sreq.exception();
+    // Only declared exceptions may cross the wire, as in CORBA.
+    bool declared = false;
+    for (const auto& raised : op->raises) declared |= (raised == ex.type_name);
+    if (!declared)
+      return Error{Errc::remote_exception,
+                   req.operation + " raised undeclared " + ex.type_name};
+    reply.status = ReplyStatus::user_exception;
+    reply.exception_id = ex.type_name;
+    CdrWriter w;
+    w.begin_encapsulation();
+    auto m = marshal_value(ex.payload,
+                           idl::TypeRef::named(idl::TypeKind::tk_struct,
+                                               ex.type_name),
+                           *repo_, w);
+    if (!m.ok()) return m.error();
+    reply.payload = w.take();
+    return reply;
+  }
+
+  // Marshal result then out/inout params.
+  CdrWriter w;
+  w.begin_encapsulation();
+  if (auto m = marshal_value(sreq.result(), op->result, *repo_, w); !m.ok())
+    return m.error();
+  for (std::size_t i = 0; i < op->params.size(); ++i) {
+    if (op->params[i].direction == ParamDirection::in) continue;
+    if (auto m = marshal_value(sreq.args()[i], op->params[i].type, *repo_, w);
+        !m.ok())
+      return m.error();
+  }
+  reply.status = ReplyStatus::no_exception;
+  reply.payload = w.take();
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Client path
+
+void Orb::add_transport(const std::string& scheme,
+                        std::shared_ptr<Transport> transport) {
+  std::lock_guard lock(mutex_);
+  transports_[scheme] = std::move(transport);
+}
+
+Result<Transport*> Orb::transport_for(const std::string& endpoint) {
+  const auto colon = endpoint.find(':');
+  if (colon == std::string::npos)
+    return Error{Errc::invalid_argument, "bad endpoint " + endpoint};
+  const std::string scheme = endpoint.substr(0, colon);
+  std::lock_guard lock(mutex_);
+  auto it = transports_.find(scheme);
+  if (it == transports_.end())
+    return Error{Errc::unsupported, "no transport for scheme " + scheme};
+  return it->second.get();
+}
+
+Result<Bytes> Orb::marshal_request_args(const OperationDef& op,
+                                        const std::vector<Value>& args) {
+  if (args.size() != op.params.size())
+    return Error{Errc::invalid_argument,
+                 op.name + " expects " + std::to_string(op.params.size()) +
+                     " arguments, got " + std::to_string(args.size())};
+  CdrWriter w;
+  w.begin_encapsulation();
+  for (std::size_t i = 0; i < op.params.size(); ++i) {
+    if (op.params[i].direction == ParamDirection::out) continue;
+    if (auto r = marshal_value(args[i], op.params[i].type, *repo_, w); !r.ok())
+      return r.error();
+  }
+  return w.take();
+}
+
+Result<InvokeOutcome> Orb::decode_reply(const OperationDef& op,
+                                        const ReplyMessage& reply,
+                                        std::vector<Value>& args) {
+  switch (reply.status) {
+    case ReplyStatus::system_exception:
+      return Error{Errc::remote_exception,
+                   "system exception " + reply.exception_id + ": " +
+                       string_of(reply.payload)};
+    case ReplyStatus::object_not_found:
+      return Error{Errc::not_found, string_of(reply.payload)};
+    case ReplyStatus::user_exception: {
+      CdrReader r(reply.payload);
+      if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+      auto v = unmarshal_value(idl::TypeRef::named(idl::TypeKind::tk_struct,
+                                                   reply.exception_id),
+                               *repo_, r);
+      if (!v) return v.error();
+      InvokeOutcome out;
+      out.exception = UserException{reply.exception_id, std::move(*v)};
+      return out;
+    }
+    case ReplyStatus::no_exception: {
+      CdrReader r(reply.payload);
+      if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+      InvokeOutcome out;
+      auto result = unmarshal_value(op.result, *repo_, r);
+      if (!result) return result.error();
+      out.result = std::move(*result);
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        if (op.params[i].direction == ParamDirection::in) continue;
+        auto v = unmarshal_value(op.params[i].type, *repo_, r);
+        if (!v) return v.error();
+        args[i] = std::move(*v);
+      }
+      return out;
+    }
+  }
+  return Error{Errc::corrupt_data, "bad reply status"};
+}
+
+Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
+                                  const std::string& operation,
+                                  std::vector<Value>& args) {
+  if (target.is_nil())
+    return Error{Errc::invalid_argument, "invocation on nil reference"};
+  auto op = repo_->find_operation(target.interface_name, operation);
+  if (!op) return op.error();
+  auto marshaled = marshal_request_args(*op, args);
+  if (!marshaled) return marshaled.error();
+
+  RequestMessage req;
+  req.request_id = RequestId{next_request_id_.fetch_add(1)};
+  req.object_key = target.key;
+  req.interface_name = target.interface_name;
+  req.operation = operation;
+  req.response_expected = !op->oneway;
+  req.args = std::move(*marshaled);
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.invocations_sent;
+  }
+
+  Bytes reply_frame;
+  const bool local = target.endpoint == endpoint_ || target.endpoint.empty();
+  if (local) {
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.local_dispatches;
+    }
+    reply_frame = handle_frame(req.encode());
+  } else {
+    auto transport = transport_for(target.endpoint);
+    if (!transport) return transport.error();
+    if (op->oneway) {
+      if (auto r = (*transport)->send_oneway(target.endpoint, req.encode());
+          !r.ok())
+        return r.error();
+      return InvokeOutcome{};
+    }
+    auto r = (*transport)->roundtrip(target.endpoint, req.encode());
+    if (!r) return r.error();
+    reply_frame = std::move(*r);
+  }
+  if (op->oneway) return InvokeOutcome{};
+
+  CdrReader r(reply_frame);
+  auto type = decode_frame_header(r);
+  if (!type) return type.error();
+  if (*type != MessageType::reply)
+    return Error{Errc::corrupt_data, "expected reply frame"};
+  auto reply = ReplyMessage::decode(r);
+  if (!reply) return reply.error();
+  return decode_reply(*op, *reply, args);
+}
+
+Result<Value> Orb::call(const ObjectRef& target, const std::string& operation,
+                        std::vector<Value> args) {
+  auto out = invoke(target, operation, args);
+  if (!out) return out.error();
+  if (out->exception.has_value())
+    return Error{Errc::remote_exception, out->exception->type_name};
+  return std::move(out->result);
+}
+
+Result<void> Orb::send(const ObjectRef& target, const std::string& operation,
+                       std::vector<Value> args) {
+  auto out = invoke(target, operation, args);
+  if (!out) return out.error();
+  return {};
+}
+
+Result<void> Orb::ping(const std::string& endpoint) {
+  if (endpoint == endpoint_) return {};
+  auto transport = transport_for(endpoint);
+  if (!transport) return transport.error();
+  auto reply = (*transport)->roundtrip(endpoint, encode_control(MessageType::ping));
+  if (!reply) return reply.error();
+  CdrReader r(*reply);
+  auto type = decode_frame_header(r);
+  if (!type) return type.error();
+  if (*type != MessageType::pong)
+    return Error{Errc::corrupt_data, "expected pong"};
+  return {};
+}
+
+}  // namespace clc::orb

@@ -1,0 +1,217 @@
+// The ORB: object adapter + dynamic invocation engine.
+//
+// One Orb instance serves one CORBA-LC node (or one process in tests). It
+// owns an object adapter mapping object keys to servants, serves incoming
+// request frames (handed to it by whichever transports the node listens
+// on), and performs outgoing invocations: marshal arguments per the
+// Interface Repository's operation signature, route the frame (direct
+// dispatch when the target lives in this Orb, transport otherwise), and
+// unmarshal results, out/inout parameters and user exceptions.
+//
+// Invocation is dynamic (DII/DSI): there are no generated stubs. A servant
+// receives a ServerRequest carrying decoded argument Values and fills in a
+// result or a typed user exception.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "idl/repository.hpp"
+#include "orb/message.hpp"
+#include "orb/object_ref.hpp"
+#include "orb/transport.hpp"
+#include "orb/value.hpp"
+
+namespace clc::orb {
+
+/// A typed user exception (IDL `raises`) crossing the wire.
+struct UserException {
+  std::string type_name;  // scoped exception name
+  Value payload;          // StructValue matching the exception definition
+
+  [[nodiscard]] std::string field_text(const std::string& name) const {
+    if (auto* sv = payload.get_if<StructValue>()) {
+      if (const Value* f = sv->field(name)) {
+        if (auto* s = f->get_if<std::string>()) return *s;
+      }
+    }
+    return {};
+  }
+};
+
+/// Server-side view of one invocation, passed to Servant::dispatch.
+class ServerRequest {
+ public:
+  ServerRequest(std::string operation, std::vector<Value> args)
+      : operation_(std::move(operation)), args_(std::move(args)) {}
+
+  [[nodiscard]] const std::string& operation() const noexcept {
+    return operation_;
+  }
+  /// in/inout arguments are decoded; out arguments arrive as void Values
+  /// and must be assigned before returning.
+  [[nodiscard]] std::vector<Value>& args() noexcept { return args_; }
+  [[nodiscard]] const Value& arg(std::size_t i) const { return args_.at(i); }
+
+  void set_result(Value v) { result_ = std::move(v); }
+  void raise(UserException ex) { exception_ = std::move(ex); }
+
+  [[nodiscard]] const Value& result() const noexcept { return result_; }
+  [[nodiscard]] const std::optional<UserException>& exception() const noexcept {
+    return exception_;
+  }
+
+ private:
+  std::string operation_;
+  std::vector<Value> args_;
+  Value result_;
+  std::optional<UserException> exception_;
+};
+
+/// Base class for all object implementations.
+class Servant {
+ public:
+  virtual ~Servant() = default;
+  /// Scoped IDL name of the most-derived interface this servant implements.
+  [[nodiscard]] virtual std::string interface_name() const = 0;
+  /// Handle one decoded invocation. Recoverable model errors should be
+  /// raised as user exceptions via req.raise(); returning an Error produces
+  /// a system exception at the caller.
+  virtual Result<void> dispatch(ServerRequest& req) = 0;
+};
+
+/// Convenience servant: operation name -> handler function.
+class DynamicServant : public Servant {
+ public:
+  using Handler = std::function<Result<void>(ServerRequest&)>;
+
+  explicit DynamicServant(std::string interface_name)
+      : interface_(std::move(interface_name)) {}
+
+  [[nodiscard]] std::string interface_name() const override {
+    return interface_;
+  }
+  DynamicServant& on(const std::string& operation, Handler h) {
+    handlers_[operation] = std::move(h);
+    return *this;
+  }
+  Result<void> dispatch(ServerRequest& req) override {
+    auto it = handlers_.find(req.operation());
+    if (it == handlers_.end())
+      return Error{Errc::unsupported,
+                   interface_ + " does not handle " + req.operation()};
+    return it->second(req);
+  }
+
+ private:
+  std::string interface_;
+  std::map<std::string, Handler> handlers_;
+};
+
+/// Result of an invocation that may have raised a user exception.
+struct InvokeOutcome {
+  Value result;
+  std::optional<UserException> exception;
+};
+
+class Orb {
+ public:
+  Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo);
+
+  [[nodiscard]] NodeId node_id() const noexcept { return node_id_; }
+  [[nodiscard]] idl::InterfaceRepository& repository() noexcept {
+    return *repo_;
+  }
+  [[nodiscard]] const std::shared_ptr<idl::InterfaceRepository>&
+  repository_ptr() const noexcept {
+    return repo_;
+  }
+
+  // --------------------------------------------------------------- server
+
+  /// The endpoint advertised in references minted by this Orb. Set it after
+  /// registering with a transport (loopback or TCP).
+  void set_endpoint(std::string endpoint) { endpoint_ = std::move(endpoint); }
+  [[nodiscard]] const std::string& endpoint() const noexcept {
+    return endpoint_;
+  }
+
+  /// Activate a servant under a fresh object key; returns its reference.
+  ObjectRef activate(std::shared_ptr<Servant> servant);
+  /// Activate under a caller-chosen key (well-known objects).
+  ObjectRef activate_with_key(std::shared_ptr<Servant> servant, Uuid key);
+  Result<void> deactivate(const Uuid& key);
+  [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] std::shared_ptr<Servant> find_servant(const Uuid& key) const;
+
+  /// Transport-facing entry point: decode a frame, dispatch, encode reply.
+  Bytes handle_frame(BytesView frame);
+
+  // --------------------------------------------------------------- client
+
+  /// Use this transport for remote endpoints with the given scheme prefix
+  /// ("loop", "tcp").
+  void add_transport(const std::string& scheme,
+                     std::shared_ptr<Transport> transport);
+
+  /// Full DII invocation. `args` must have one entry per IDL parameter
+  /// (out params may be default Values); on return, out/inout entries are
+  /// replaced with the values produced by the servant.
+  Result<InvokeOutcome> invoke(const ObjectRef& target,
+                               const std::string& operation,
+                               std::vector<Value>& args);
+
+  /// Convenience: invocation where a user exception is an Error
+  /// (Errc::remote_exception with the exception name in the message).
+  Result<Value> call(const ObjectRef& target, const std::string& operation,
+                     std::vector<Value> args = {});
+
+  /// One-way invocation (no reply, best effort).
+  Result<void> send(const ObjectRef& target, const std::string& operation,
+                    std::vector<Value> args = {});
+
+  /// Liveness probe of a peer endpoint.
+  Result<void> ping(const std::string& endpoint);
+
+  /// Invocation counters (benchmarks).
+  struct Stats {
+    std::uint64_t invocations_sent = 0;
+    std::uint64_t invocations_served = 0;
+    std::uint64_t local_dispatches = 0;
+  };
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  struct MarshalPlan {
+    idl::OperationDef op;
+  };
+
+  Result<Bytes> marshal_request_args(const idl::OperationDef& op,
+                                     const std::vector<Value>& args);
+  Result<ReplyMessage> dispatch_request(const RequestMessage& req);
+  Result<InvokeOutcome> decode_reply(const idl::OperationDef& op,
+                                     const ReplyMessage& reply,
+                                     std::vector<Value>& args);
+  Result<Transport*> transport_for(const std::string& endpoint);
+
+  NodeId node_id_;
+  std::shared_ptr<idl::InterfaceRepository> repo_;
+  std::string endpoint_;
+  mutable std::mutex mutex_;
+  std::map<Uuid, std::shared_ptr<Servant>> servants_;
+  std::map<std::string, std::shared_ptr<Transport>> transports_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  Rng rng_{0x0bbf};
+  Stats stats_;
+};
+
+}  // namespace clc::orb

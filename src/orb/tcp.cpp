@@ -1,0 +1,253 @@
+#include "orb/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace clc::orb {
+
+namespace {
+
+/// Read exactly n bytes; false on EOF/error.
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that went away must surface as an error result,
+    // not kill the process with SIGPIPE.
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_framed(int fd, BytesView frame) {
+  std::uint8_t len[4] = {
+      static_cast<std::uint8_t>(frame.size() >> 24),
+      static_cast<std::uint8_t>(frame.size() >> 16),
+      static_cast<std::uint8_t>(frame.size() >> 8),
+      static_cast<std::uint8_t>(frame.size()),
+  };
+  return write_exact(fd, len, 4) && write_exact(fd, frame.data(), frame.size());
+}
+
+/// Max frame we accept: 64 MiB, far above any component package chunk.
+constexpr std::uint32_t kMaxFrame = 64u << 20;
+
+bool read_framed(int fd, Bytes& out) {
+  std::uint8_t len[4];
+  if (!read_exact(fd, len, 4)) return false;
+  const std::uint32_t n = (std::uint32_t{len[0]} << 24) |
+                          (std::uint32_t{len[1]} << 16) |
+                          (std::uint32_t{len[2]} << 8) | std::uint32_t{len[3]};
+  if (n > kMaxFrame) return false;
+  out.resize(n);
+  return n == 0 || read_exact(fd, out.data(), n);
+}
+
+Result<int> connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error{Errc::io_error, "socket() failed"};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error{Errc::invalid_argument, "bad address " + host};
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Error{Errc::unreachable,
+                 "connect to " + host + ":" + std::to_string(port) +
+                     " failed: " + std::strerror(errno)};
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+/// Parse "tcp:host:port".
+Result<std::pair<std::string, std::uint16_t>> parse_endpoint(
+    const std::string& endpoint) {
+  const auto parts = split(endpoint, ':');
+  if (parts.size() != 3 || parts[0] != "tcp")
+    return Error{Errc::invalid_argument, "bad tcp endpoint " + endpoint};
+  const int port = std::atoi(parts[2].c_str());
+  if (port <= 0 || port > 65535)
+    return Error{Errc::invalid_argument, "bad port in " + endpoint};
+  return std::make_pair(parts[1], static_cast<std::uint16_t>(port));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpServer
+
+TcpServer::~TcpServer() { stop(); }
+
+Result<std::string> TcpServer::start(MessageHandler handler,
+                                     std::uint16_t port) {
+  if (running_.load()) return Error{Errc::bad_state, "server already running"};
+  handler_ = std::move(handler);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Error{Errc::io_error, "socket() failed"};
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error{Errc::io_error,
+                 std::string("bind failed: ") + std::strerror(errno)};
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error{Errc::io_error, "listen failed"};
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return "tcp:127.0.0.1:" + std::to_string(port_);
+}
+
+void TcpServer::stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mutex_);
+    // Wake workers blocked in read() on their connection sockets.
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    connection_fds_.clear();
+    workers.swap(workers_);
+  }
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard lock(workers_mutex_);
+    connection_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  Bytes frame;
+  while (running_.load() && read_framed(fd, frame)) {
+    Bytes reply = handler_(frame);
+    // One-way frames produce an empty reply; still send the empty frame so
+    // the client's oneway path never blocks waiting on nothing.
+    if (!write_framed(fd, reply)) break;
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+
+TcpTransport::~TcpTransport() { reset(); }
+
+void TcpTransport::reset() {
+  std::lock_guard lock(pool_mutex_);
+  for (auto& [ep, conn] : pool_) {
+    std::lock_guard cl(conn->mutex);
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+  pool_.clear();
+}
+
+Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::connection_for(
+    const std::string& endpoint) {
+  {
+    std::lock_guard lock(pool_mutex_);
+    auto it = pool_.find(endpoint);
+    if (it != pool_.end()) return it->second;
+  }
+  auto parsed = parse_endpoint(endpoint);
+  if (!parsed) return parsed.error();
+  auto fd = connect_to(parsed->first, parsed->second);
+  if (!fd) return fd.error();
+  auto conn = std::make_shared<Connection>();
+  conn->fd = *fd;
+  std::lock_guard lock(pool_mutex_);
+  auto [it, inserted] = pool_.emplace(endpoint, conn);
+  if (!inserted) {
+    // Raced with another caller; use theirs and drop ours.
+    ::close(conn->fd);
+    return it->second;
+  }
+  return conn;
+}
+
+Result<Bytes> TcpTransport::roundtrip(const std::string& endpoint,
+                                      BytesView frame) {
+  auto conn = connection_for(endpoint);
+  if (!conn) return conn.error();
+  std::lock_guard lock((*conn)->mutex);
+  if ((*conn)->fd < 0) return Error{Errc::unreachable, "connection closed"};
+  Bytes reply;
+  if (!write_framed((*conn)->fd, frame) ||
+      !read_framed((*conn)->fd, reply)) {
+    ::close((*conn)->fd);
+    (*conn)->fd = -1;
+    std::lock_guard pl(pool_mutex_);
+    pool_.erase(endpoint);
+    return Error{Errc::unreachable, "i/o failed on " + endpoint};
+  }
+  return reply;
+}
+
+Result<void> TcpTransport::send_oneway(const std::string& endpoint,
+                                       BytesView frame) {
+  // The server replies with an empty frame even to one-ways; consume it to
+  // keep the stream in lockstep.
+  auto r = roundtrip(endpoint, frame);
+  if (!r) return r.error();
+  return {};
+}
+
+}  // namespace clc::orb

@@ -1,0 +1,78 @@
+// TCP transport: real sockets, for cross-process CORBA-LC networks.
+//
+// Framing: 4-byte big-endian length prefix, then the message frame.
+// The server accepts connections on 127.0.0.1 (tests/benches run on one
+// host) and serves each connection from a worker thread; a connection
+// carries sequential request/reply pairs. The client keeps one pooled
+// connection per endpoint, guarded per-endpoint so concurrent callers
+// serialize on the socket rather than interleaving frames.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "orb/transport.hpp"
+
+namespace clc::orb {
+
+/// Listening side. Owns the accept thread and per-connection workers.
+class TcpServer {
+ public:
+  TcpServer() = default;
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind to 127.0.0.1:<port> (0 = ephemeral) and start serving `handler`.
+  /// Returns the endpoint string "tcp:127.0.0.1:<actual-port>".
+  Result<std::string> start(MessageHandler handler, std::uint16_t port = 0);
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  MessageHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::vector<int> connection_fds_;  // open connections, shut down on stop()
+};
+
+/// Connecting side; implements Transport for "tcp:host:port" endpoints.
+class TcpTransport final : public Transport {
+ public:
+  ~TcpTransport() override;
+
+  Result<Bytes> roundtrip(const std::string& endpoint,
+                          BytesView frame) override;
+  Result<void> send_oneway(const std::string& endpoint,
+                           BytesView frame) override;
+
+  /// Drop pooled connections (e.g. after a peer restarted).
+  void reset();
+
+ private:
+  struct Connection {
+    std::mutex mutex;
+    int fd = -1;
+  };
+  Result<std::shared_ptr<Connection>> connection_for(
+      const std::string& endpoint);
+
+  std::mutex pool_mutex_;
+  std::map<std::string, std::shared_ptr<Connection>> pool_;
+};
+
+}  // namespace clc::orb

@@ -1,0 +1,84 @@
+#include "orb/transport.hpp"
+
+#include <thread>
+
+#include "util/clock.hpp"
+
+namespace clc::orb {
+
+std::string LoopbackNetwork::register_endpoint(MessageHandler handler) {
+  std::lock_guard lock(mutex_);
+  std::string endpoint = "loop:" + std::to_string(next_id_++);
+  endpoints_.emplace(endpoint, std::move(handler));
+  return endpoint;
+}
+
+void LoopbackNetwork::detach(const std::string& endpoint) {
+  std::lock_guard lock(mutex_);
+  endpoints_.erase(endpoint);
+}
+
+Result<void> LoopbackNetwork::reattach(const std::string& endpoint,
+                                       MessageHandler handler) {
+  std::lock_guard lock(mutex_);
+  if (endpoints_.count(endpoint) != 0)
+    return Error{Errc::already_exists, endpoint + " is already attached"};
+  endpoints_.emplace(endpoint, std::move(handler));
+  return {};
+}
+
+Result<MessageHandler> LoopbackNetwork::lookup(const std::string& endpoint) {
+  std::lock_guard lock(mutex_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end())
+    return Error{Errc::unreachable, "no endpoint " + endpoint};
+  return it->second;
+}
+
+bool LoopbackNetwork::should_drop() {
+  std::lock_guard lock(mutex_);
+  if (config_.drop_probability <= 0) return false;
+  const bool drop = rng_.chance(config_.drop_probability);
+  if (drop) ++stats_.dropped;
+  return drop;
+}
+
+void LoopbackNetwork::apply_delay(std::size_t bytes) {
+  Config cfg;
+  {
+    std::lock_guard lock(mutex_);
+    cfg = config_;
+    ++stats_.messages;
+    stats_.bytes += bytes;
+  }
+  Duration delay = cfg.latency;
+  if (cfg.bytes_per_second > 0) {
+    delay += static_cast<Duration>(static_cast<double>(bytes) /
+                                   cfg.bytes_per_second * 1e6);
+  }
+  if (delay > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay));
+}
+
+Result<Bytes> LoopbackNetwork::roundtrip(const std::string& endpoint,
+                                         BytesView frame) {
+  auto handler = lookup(endpoint);
+  if (!handler) return handler.error();
+  if (should_drop()) return Error{Errc::timeout, "request dropped"};
+  apply_delay(frame.size());
+  Bytes reply = (*handler)(frame);
+  if (should_drop()) return Error{Errc::timeout, "reply dropped"};
+  apply_delay(reply.size());
+  return reply;
+}
+
+Result<void> LoopbackNetwork::send_oneway(const std::string& endpoint,
+                                          BytesView frame) {
+  auto handler = lookup(endpoint);
+  if (!handler) return handler.error();
+  if (should_drop()) return {};  // silently lost, as on a real network
+  apply_delay(frame.size());
+  (*handler)(frame);
+  return {};
+}
+
+}  // namespace clc::orb

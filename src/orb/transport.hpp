@@ -1,0 +1,101 @@
+// Transport abstraction and the in-process loopback network.
+//
+// Transports move opaque framed messages between endpoints. The ORB is the
+// only client: it encodes a request frame, asks the transport for a
+// round-trip (or a one-way send), and decodes the reply frame. Endpoint
+// strings are scheme-prefixed: "loop:<n>" (in-process), "tcp:host:port".
+//
+// LoopbackNetwork connects all ORBs of one process and supports the failure
+// and delay injection the tests and benches need: per-link latency,
+// bandwidth modelling, message drop probability, and detached (crashed)
+// endpoints.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace clc::orb {
+
+/// Server side of a transport: a registered handler consumes one request
+/// frame and produces one reply frame (empty for one-ways).
+using MessageHandler = std::function<Bytes(BytesView)>;
+
+/// Client side of a transport.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Send a request frame and wait for the reply frame.
+  virtual Result<Bytes> roundtrip(const std::string& endpoint,
+                                  BytesView frame) = 0;
+  /// Send a frame without expecting a reply.
+  virtual Result<void> send_oneway(const std::string& endpoint,
+                                   BytesView frame) = 0;
+};
+
+/// In-process "network": endpoints registered with handlers; calls are
+/// synchronous function invocations plus optional injected delay.
+class LoopbackNetwork : public Transport {
+ public:
+  LoopbackNetwork() : rng_(0x10bac) {}
+
+  /// Tuning/failure knobs; applied to every message.
+  struct Config {
+    Duration latency{0};            // one-way delay (µs) applied per message
+    double bytes_per_second = 0;    // 0 = infinite bandwidth
+    double drop_probability = 0;    // chance a message is lost
+  };
+
+  void set_config(Config cfg) {
+    std::lock_guard lock(mutex_);
+    config_ = cfg;
+  }
+
+  /// Register a serving endpoint; returns the endpoint string ("loop:<n>").
+  std::string register_endpoint(MessageHandler handler);
+  /// Simulate a crash: the endpoint stops answering (unreachable).
+  void detach(const std::string& endpoint);
+  /// Re-register a handler under an existing name (node re-join).
+  Result<void> reattach(const std::string& endpoint, MessageHandler handler);
+
+  Result<Bytes> roundtrip(const std::string& endpoint,
+                          BytesView frame) override;
+  Result<void> send_oneway(const std::string& endpoint,
+                           BytesView frame) override;
+
+  /// Total messages and bytes moved (for bench accounting).
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t dropped = 0;
+  };
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+  void reset_stats() {
+    std::lock_guard lock(mutex_);
+    stats_ = {};
+  }
+
+ private:
+  Result<MessageHandler> lookup(const std::string& endpoint);
+  void apply_delay(std::size_t bytes);
+  bool should_drop();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, MessageHandler> endpoints_;
+  Config config_;
+  Stats stats_;
+  Rng rng_;
+  int next_id_ = 1;
+};
+
+}  // namespace clc::orb

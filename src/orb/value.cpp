@@ -1,0 +1,480 @@
+#include "orb/value.hpp"
+
+#include <sstream>
+
+namespace clc::orb {
+
+using idl::TypeKind;
+using idl::TypeRef;
+
+const Value* StructValue::field(const std::string& name) const {
+  for (const auto& [k, v] : fields) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+Result<std::int64_t> Value::to_int() const {
+  if (auto* v = get_if<std::int64_t>()) return *v;
+  if (auto* v = get_if<std::uint64_t>()) return static_cast<std::int64_t>(*v);
+  if (auto* v = get_if<std::int32_t>()) return static_cast<std::int64_t>(*v);
+  if (auto* v = get_if<std::uint32_t>()) return static_cast<std::int64_t>(*v);
+  if (auto* v = get_if<std::int16_t>()) return static_cast<std::int64_t>(*v);
+  if (auto* v = get_if<std::uint16_t>()) return static_cast<std::int64_t>(*v);
+  if (auto* v = get_if<std::uint8_t>()) return static_cast<std::int64_t>(*v);
+  if (auto* v = get_if<bool>()) return *v ? 1 : 0;
+  return Error{Errc::invalid_argument, "value is not integral"};
+}
+
+Result<double> Value::to_double() const {
+  if (auto* v = get_if<double>()) return *v;
+  if (auto* v = get_if<float>()) return static_cast<double>(*v);
+  auto i = to_int();
+  if (i.ok()) return static_cast<double>(*i);
+  return Error{Errc::invalid_argument, "value is not numeric"};
+}
+
+bool Value::operator==(const Value& other) const {
+  if (storage_.index() != other.storage_.index()) return false;
+  return std::visit(
+      [&](const auto& a) -> bool {
+        using T = std::decay_t<decltype(a)>;
+        const auto& b = std::get<T>(other.storage_);
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          return true;
+        } else if constexpr (std::is_same_v<T, StructValue>) {
+          if (a.type_name != b.type_name || a.fields.size() != b.fields.size())
+            return false;
+          for (std::size_t i = 0; i < a.fields.size(); ++i) {
+            if (a.fields[i].first != b.fields[i].first ||
+                !(a.fields[i].second == b.fields[i].second))
+              return false;
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, EnumValue>) {
+          return a.type_name == b.type_name && a.index == b.index;
+        } else if constexpr (std::is_same_v<T, AnyValue>) {
+          if (a.type.to_string() != b.type.to_string()) return false;
+          if ((a.value == nullptr) != (b.value == nullptr)) return false;
+          return a.value == nullptr || *a.value == *b.value;
+        } else {
+          return a == b;
+        }
+      },
+      storage_);
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          os << "void";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          os << (v ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, std::uint8_t>) {
+          os << static_cast<int>(v);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          os << '"' << v << '"';
+        } else if constexpr (std::is_same_v<T, Value::Sequence>) {
+          os << '[';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << v[i].to_string();
+          }
+          os << ']';
+        } else if constexpr (std::is_same_v<T, StructValue>) {
+          os << v.type_name << '{';
+          for (std::size_t i = 0; i < v.fields.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << v.fields[i].first << '=' << v.fields[i].second.to_string();
+          }
+          os << '}';
+        } else if constexpr (std::is_same_v<T, EnumValue>) {
+          os << v.type_name << '#' << v.index;
+        } else if constexpr (std::is_same_v<T, ObjectRef>) {
+          os << (v.is_nil() ? "nil-ref" : v.to_string());
+        } else if constexpr (std::is_same_v<T, AnyValue>) {
+          os << "any(" << v.type.to_string() << ", "
+             << (v.value ? v.value->to_string() : "null") << ')';
+        } else if constexpr (std::is_same_v<T, Bytes>) {
+          os << "octets[" << v.size() << ']';
+        } else {
+          os << v;
+        }
+      },
+      storage_);
+  return os.str();
+}
+
+Value make_struct(std::string type_name,
+                  std::vector<std::pair<std::string, Value>> fields) {
+  StructValue s;
+  s.type_name = std::move(type_name);
+  s.fields = std::move(fields);
+  return Value(std::move(s));
+}
+
+Result<Value> make_enum(const std::string& type_name, const std::string& label,
+                        const idl::InterfaceRepository& repo) {
+  const idl::EnumDef* def = repo.find_enum(type_name);
+  if (def == nullptr)
+    return Error{Errc::not_found, "unknown enum " + type_name};
+  const int idx = def->index_of(label);
+  if (idx < 0)
+    return Error{Errc::invalid_argument,
+                 type_name + " has no enumerator " + label};
+  return Value(EnumValue{type_name, static_cast<std::uint32_t>(idx)});
+}
+
+// ---------------------------------------------------------------------------
+// TypeRef descriptors on the wire (for `any`).
+
+void marshal_typeref(const TypeRef& type, CdrWriter& w) {
+  w.write_octet(static_cast<std::uint8_t>(type.kind));
+  if (type.is_named()) w.write_string(type.name);
+  if (type.kind == TypeKind::tk_sequence) {
+    w.write_ulong(type.bound);
+    marshal_typeref(*type.element, w);
+  }
+}
+
+Result<TypeRef> unmarshal_typeref(CdrReader& r) {
+  auto kind = r.read_octet();
+  if (!kind) return kind.error();
+  if (*kind > static_cast<std::uint8_t>(TypeKind::tk_alias))
+    return Error{Errc::corrupt_data, "bad TypeKind on wire"};
+  TypeRef t;
+  t.kind = static_cast<TypeKind>(*kind);
+  if (t.is_named()) {
+    auto name = r.read_string();
+    if (!name) return name.error();
+    t.name = std::move(*name);
+  }
+  if (t.kind == TypeKind::tk_sequence) {
+    auto bound = r.read_ulong();
+    if (!bound) return bound.error();
+    t.bound = *bound;
+    auto elem = unmarshal_typeref(r);
+    if (!elem) return elem.error();
+    t.element = std::make_shared<TypeRef>(std::move(*elem));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Typed marshaling.
+
+namespace {
+
+Error mismatch(const TypeRef& type, const Value& v) {
+  return Error{Errc::invalid_argument,
+               "value " + v.to_string() + " does not match type " +
+                   type.to_string()};
+}
+
+}  // namespace
+
+Result<void> marshal_value(const Value& value, const TypeRef& declared,
+                           const idl::InterfaceRepository& repo, CdrWriter& w) {
+  auto resolved = repo.resolve_alias(declared);
+  if (!resolved) return resolved.error();
+  const TypeRef& type = *resolved;
+
+  switch (type.kind) {
+    case TypeKind::tk_void:
+      if (!value.is_void()) return mismatch(type, value);
+      return {};
+    case TypeKind::tk_boolean: {
+      if (auto* v = value.get_if<bool>()) {
+        w.write_boolean(*v);
+        return {};
+      }
+      return mismatch(type, value);
+    }
+    case TypeKind::tk_octet: {
+      if (auto* v = value.get_if<std::uint8_t>()) {
+        w.write_octet(*v);
+        return {};
+      }
+      return mismatch(type, value);
+    }
+    case TypeKind::tk_short: {
+      auto v = value.to_int();
+      if (!v) return mismatch(type, value);
+      w.write_short(static_cast<std::int16_t>(*v));
+      return {};
+    }
+    case TypeKind::tk_ushort: {
+      auto v = value.to_int();
+      if (!v) return mismatch(type, value);
+      w.write_ushort(static_cast<std::uint16_t>(*v));
+      return {};
+    }
+    case TypeKind::tk_long: {
+      auto v = value.to_int();
+      if (!v) return mismatch(type, value);
+      w.write_long(static_cast<std::int32_t>(*v));
+      return {};
+    }
+    case TypeKind::tk_ulong: {
+      auto v = value.to_int();
+      if (!v) return mismatch(type, value);
+      w.write_ulong(static_cast<std::uint32_t>(*v));
+      return {};
+    }
+    case TypeKind::tk_longlong: {
+      auto v = value.to_int();
+      if (!v) return mismatch(type, value);
+      w.write_longlong(*v);
+      return {};
+    }
+    case TypeKind::tk_ulonglong: {
+      auto v = value.to_int();
+      if (!v) return mismatch(type, value);
+      w.write_ulonglong(static_cast<std::uint64_t>(*v));
+      return {};
+    }
+    case TypeKind::tk_float: {
+      auto v = value.to_double();
+      if (!v) return mismatch(type, value);
+      w.write_float(static_cast<float>(*v));
+      return {};
+    }
+    case TypeKind::tk_double: {
+      auto v = value.to_double();
+      if (!v) return mismatch(type, value);
+      w.write_double(*v);
+      return {};
+    }
+    case TypeKind::tk_string: {
+      if (auto* v = value.get_if<std::string>()) {
+        w.write_string(*v);
+        return {};
+      }
+      return mismatch(type, value);
+    }
+    case TypeKind::tk_sequence: {
+      // Fast path: sequence<octet> accepts a Bytes value directly, so
+      // protocol blobs do not pay one Value per byte.
+      if (type.element->kind == TypeKind::tk_octet) {
+        if (auto* raw = value.get_if<Bytes>()) {
+          if (type.bound != 0 && raw->size() > type.bound)
+            return Error{Errc::invalid_argument, "octet sequence exceeds bound"};
+          w.write_bytes(*raw);
+          return {};
+        }
+      }
+      auto* seq = value.get_if<Value::Sequence>();
+      if (seq == nullptr) return mismatch(type, value);
+      if (type.bound != 0 && seq->size() > type.bound)
+        return Error{Errc::invalid_argument,
+                     "sequence exceeds bound " + std::to_string(type.bound)};
+      w.write_sequence_length(static_cast<std::uint32_t>(seq->size()));
+      for (const auto& elem : *seq) {
+        if (auto r = marshal_value(elem, *type.element, repo, w); !r.ok())
+          return r;
+      }
+      return {};
+    }
+    case TypeKind::tk_struct: {
+      auto* sv = value.get_if<StructValue>();
+      if (sv == nullptr) return mismatch(type, value);
+      const idl::StructDef* def = repo.find_struct(type.name);
+      if (def == nullptr)
+        return Error{Errc::not_found, "unknown struct " + type.name};
+      if (sv->fields.size() != def->fields.size())
+        return Error{Errc::invalid_argument,
+                     "struct " + type.name + " expects " +
+                         std::to_string(def->fields.size()) + " fields, got " +
+                         std::to_string(sv->fields.size())};
+      for (std::size_t i = 0; i < def->fields.size(); ++i) {
+        if (sv->fields[i].first != def->fields[i].name)
+          return Error{Errc::invalid_argument,
+                       "struct " + type.name + " field " +
+                           std::to_string(i) + " should be '" +
+                           def->fields[i].name + "', got '" +
+                           sv->fields[i].first + "'"};
+        if (auto r = marshal_value(sv->fields[i].second, def->fields[i].type,
+                                   repo, w);
+            !r.ok())
+          return r;
+      }
+      return {};
+    }
+    case TypeKind::tk_enum: {
+      auto* ev = value.get_if<EnumValue>();
+      if (ev == nullptr) return mismatch(type, value);
+      const idl::EnumDef* def = repo.find_enum(type.name);
+      if (def == nullptr)
+        return Error{Errc::not_found, "unknown enum " + type.name};
+      if (ev->index >= def->enumerators.size())
+        return Error{Errc::invalid_argument,
+                     "enum ordinal out of range for " + type.name};
+      w.write_ulong(ev->index);
+      return {};
+    }
+    case TypeKind::tk_objref: {
+      auto* ref = value.get_if<ObjectRef>();
+      if (ref == nullptr) return mismatch(type, value);
+      // Interface conformance: nil is always ok; clc::Object is the
+      // universal base (CORBA::Object equivalent); otherwise the ref's
+      // interface must be `type.name` or derived from it (when known).
+      if (!ref->is_nil() && type.name != "clc::Object" &&
+          !ref->interface_name.empty() &&
+          repo.find_interface(ref->interface_name) != nullptr &&
+          !repo.is_a(ref->interface_name, type.name))
+        return Error{Errc::invalid_argument,
+                     ref->interface_name + " is not a " + type.name};
+      ref->marshal(w);
+      return {};
+    }
+    case TypeKind::tk_any: {
+      auto* av = value.get_if<AnyValue>();
+      if (av == nullptr || av->value == nullptr) return mismatch(type, value);
+      marshal_typeref(av->type, w);
+      return marshal_value(*av->value, av->type, repo, w);
+    }
+    case TypeKind::tk_alias:
+      break;  // unreachable: resolve_alias above
+  }
+  return Error{Errc::unsupported, "cannot marshal " + type.to_string()};
+}
+
+Result<Value> unmarshal_value(const TypeRef& declared,
+                              const idl::InterfaceRepository& repo,
+                              CdrReader& r) {
+  auto resolved = repo.resolve_alias(declared);
+  if (!resolved) return resolved.error();
+  const TypeRef& type = *resolved;
+
+  switch (type.kind) {
+    case TypeKind::tk_void:
+      return Value{};
+    case TypeKind::tk_boolean: {
+      auto v = r.read_boolean();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_octet: {
+      auto v = r.read_octet();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_short: {
+      auto v = r.read_short();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_ushort: {
+      auto v = r.read_ushort();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_long: {
+      auto v = r.read_long();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_ulong: {
+      auto v = r.read_ulong();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_longlong: {
+      auto v = r.read_longlong();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_ulonglong: {
+      auto v = r.read_ulonglong();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_float: {
+      auto v = r.read_float();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_double: {
+      auto v = r.read_double();
+      if (!v) return v.error();
+      return Value(*v);
+    }
+    case TypeKind::tk_string: {
+      auto v = r.read_string();
+      if (!v) return v.error();
+      return Value(std::move(*v));
+    }
+    case TypeKind::tk_sequence: {
+      if (type.element->kind == TypeKind::tk_octet) {
+        auto raw = r.read_bytes();
+        if (!raw) return raw.error();
+        if (type.bound != 0 && raw->size() > type.bound)
+          return Error{Errc::corrupt_data, "octet sequence exceeds bound"};
+        return Value(std::move(*raw));
+      }
+      auto n = r.read_sequence_length();
+      if (!n) return n.error();
+      if (type.bound != 0 && *n > type.bound)
+        return Error{Errc::corrupt_data, "sequence exceeds declared bound"};
+      // Guard against hostile lengths: each element needs >= 1 byte.
+      if (*n > r.remaining())
+        return Error{Errc::corrupt_data, "sequence length exceeds payload"};
+      Value::Sequence seq;
+      seq.reserve(*n);
+      for (std::uint32_t i = 0; i < *n; ++i) {
+        auto elem = unmarshal_value(*type.element, repo, r);
+        if (!elem) return elem.error();
+        seq.push_back(std::move(*elem));
+      }
+      return Value(std::move(seq));
+    }
+    case TypeKind::tk_struct: {
+      const idl::StructDef* def = repo.find_struct(type.name);
+      if (def == nullptr)
+        return Error{Errc::not_found, "unknown struct " + type.name};
+      StructValue sv;
+      sv.type_name = type.name;
+      sv.fields.reserve(def->fields.size());
+      for (const auto& f : def->fields) {
+        auto v = unmarshal_value(f.type, repo, r);
+        if (!v) return v.error();
+        sv.fields.emplace_back(f.name, std::move(*v));
+      }
+      return Value(std::move(sv));
+    }
+    case TypeKind::tk_enum: {
+      const idl::EnumDef* def = repo.find_enum(type.name);
+      if (def == nullptr)
+        return Error{Errc::not_found, "unknown enum " + type.name};
+      auto idx = r.read_ulong();
+      if (!idx) return idx.error();
+      if (*idx >= def->enumerators.size())
+        return Error{Errc::corrupt_data,
+                     "enum ordinal out of range for " + type.name};
+      return Value(EnumValue{type.name, *idx});
+    }
+    case TypeKind::tk_objref: {
+      auto ref = ObjectRef::unmarshal(r);
+      if (!ref) return ref.error();
+      return Value(std::move(*ref));
+    }
+    case TypeKind::tk_any: {
+      auto t = unmarshal_typeref(r);
+      if (!t) return t.error();
+      auto v = unmarshal_value(*t, repo, r);
+      if (!v) return v.error();
+      AnyValue av;
+      av.type = std::move(*t);
+      av.value = std::make_shared<Value>(std::move(*v));
+      return Value(std::move(av));
+    }
+    case TypeKind::tk_alias:
+      break;  // unreachable
+  }
+  return Error{Errc::unsupported, "cannot unmarshal " + type.to_string()};
+}
+
+}  // namespace clc::orb

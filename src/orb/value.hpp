@@ -1,0 +1,119 @@
+// Dynamic typed values (the DII/DSI data model).
+//
+// CORBA-LC invokes operations dynamically: arguments and results travel as
+// `Value`s whose wire form is dictated by the IDL type model in the
+// Interface Repository. A Value is deliberately permissive in memory
+// (a tagged union) -- type checking happens when marshaling against a
+// TypeRef, mirroring how a CORBA Any pairs a TypeCode with data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "idl/repository.hpp"
+#include "orb/cdr.hpp"
+#include "orb/object_ref.hpp"
+
+namespace clc::orb {
+
+class Value;
+
+/// Ordered named fields of a struct/exception value.
+struct StructValue {
+  std::string type_name;  // scoped IDL name (informative; wire uses TypeRef)
+  std::vector<std::pair<std::string, Value>> fields;
+
+  [[nodiscard]] const Value* field(const std::string& name) const;
+};
+
+/// An enum value: ordinal within its EnumDef.
+struct EnumValue {
+  std::string type_name;
+  std::uint32_t index = 0;
+};
+
+/// An `any`: a self-describing value (type + payload).
+struct AnyValue {
+  idl::TypeRef type;
+  std::shared_ptr<Value> value;  // shared_ptr to break recursion
+};
+
+class Value {
+ public:
+  using Sequence = std::vector<Value>;
+  using Storage =
+      std::variant<std::monostate, bool, std::uint8_t, std::int16_t,
+                   std::uint16_t, std::int32_t, std::uint32_t, std::int64_t,
+                   std::uint64_t, float, double, std::string, Sequence,
+                   StructValue, EnumValue, ObjectRef, AnyValue, Bytes>;
+
+  Value() = default;
+  template <typename T,
+            typename = std::enable_if_t<std::is_constructible_v<Storage, T&&>>>
+  Value(T&& v) : storage_(std::forward<T>(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* s) : storage_(std::string(s)) {}  // NOLINT
+
+  [[nodiscard]] bool is_void() const noexcept {
+    return std::holds_alternative<std::monostate>(storage_);
+  }
+  template <typename T>
+  [[nodiscard]] bool is() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return std::get<T>(storage_);
+  }
+  template <typename T>
+  [[nodiscard]] T& as() {
+    return std::get<T>(storage_);
+  }
+  template <typename T>
+  [[nodiscard]] const T* get_if() const noexcept {
+    return std::get_if<T>(&storage_);
+  }
+
+  [[nodiscard]] const Storage& storage() const noexcept { return storage_; }
+
+  /// Numeric widening accessor: any integral/floating alternative as i64 /
+  /// double; Errc::invalid_argument otherwise. Convenient for tests and
+  /// resource-manager arithmetic.
+  [[nodiscard]] Result<std::int64_t> to_int() const;
+  [[nodiscard]] Result<double> to_double() const;
+
+  /// Render for logs/debugging (not a wire format).
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Storage storage_;
+};
+
+/// Typed marshaling: append `value` as type `type` (aliases resolved through
+/// `repo`). Fails with invalid_argument on a type/value mismatch.
+Result<void> marshal_value(const Value& value, const idl::TypeRef& type,
+                           const idl::InterfaceRepository& repo, CdrWriter& w);
+
+/// Typed unmarshaling: decode one value of type `type`.
+Result<Value> unmarshal_value(const idl::TypeRef& type,
+                              const idl::InterfaceRepository& repo,
+                              CdrReader& r);
+
+/// Marshal/unmarshal a TypeRef descriptor itself (used by `any`).
+void marshal_typeref(const idl::TypeRef& type, CdrWriter& w);
+Result<idl::TypeRef> unmarshal_typeref(CdrReader& r);
+
+/// Build a struct Value from (name, value) pairs.
+Value make_struct(std::string type_name,
+                  std::vector<std::pair<std::string, Value>> fields);
+
+/// Build an enum Value from its label, validated against the repository.
+Result<Value> make_enum(const std::string& type_name, const std::string& label,
+                        const idl::InterfaceRepository& repo);
+
+}  // namespace clc::orb

@@ -1,0 +1,142 @@
+#include "pkg/archive.hpp"
+
+#include "orb/cdr.hpp"
+#include "pkg/lzss.hpp"
+
+namespace clc::pkg {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'C', 'L', 'C', 'A'};
+constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::uint8_t kFlagCompressed = 0x01;
+}  // namespace
+
+Result<void> ArchiveWriter::add(const std::string& name, BytesView content,
+                                bool force_raw) {
+  if (name.empty())
+    return Error{Errc::invalid_argument, "entry name must not be empty"};
+  for (const auto& e : entries_) {
+    if (e.name == name)
+      return Error{Errc::already_exists, "duplicate entry " + name};
+  }
+  Entry e;
+  e.name = name;
+  e.original_size = content.size();
+  e.digest = Sha256::hash(content);
+  if (!force_raw) {
+    Bytes compressed = lzss_compress(content);
+    if (compressed.size() < content.size()) {
+      e.compressed = true;
+      e.stored = std::move(compressed);
+    }
+  }
+  if (!e.compressed) e.stored.assign(content.begin(), content.end());
+  entries_.push_back(std::move(e));
+  return {};
+}
+
+Bytes ArchiveWriter::finish() const {
+  orb::CdrWriter w;
+  for (std::uint8_t m : kMagic) w.write_octet(m);
+  w.write_octet(kFormatVersion);
+  w.begin_encapsulation();
+  w.write_ulong(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    w.write_string(e.name);
+    w.write_octet(e.compressed ? kFlagCompressed : 0);
+    w.write_ulonglong(e.original_size);
+    w.write_bytes(e.stored);
+    for (std::uint8_t b : e.digest) w.write_octet(b);
+  }
+  return w.take();
+}
+
+Result<ArchiveReader> ArchiveReader::open(Bytes data) {
+  orb::CdrReader r(data);
+  for (std::uint8_t expect : kMagic) {
+    auto b = r.read_octet();
+    if (!b) return b.error();
+    if (*b != expect) return Error{Errc::corrupt_data, "not a CLC archive"};
+  }
+  auto version = r.read_octet();
+  if (!version) return version.error();
+  if (*version != kFormatVersion)
+    return Error{Errc::unsupported,
+                 "archive format version " + std::to_string(*version)};
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+  auto count = r.read_ulong();
+  if (!count) return count.error();
+
+  ArchiveReader reader;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    Stored s;
+    auto name = r.read_string();
+    if (!name) return name.error();
+    s.info.name = std::move(*name);
+    auto flags = r.read_octet();
+    if (!flags) return flags.error();
+    s.info.compressed = (*flags & kFlagCompressed) != 0;
+    auto original = r.read_ulonglong();
+    if (!original) return original.error();
+    s.info.original_size = *original;
+    auto payload = r.read_bytes();
+    if (!payload) return payload.error();
+    s.payload = std::move(*payload);
+    s.info.stored_size = s.payload.size();
+    for (auto& b : s.digest) {
+      auto o = r.read_octet();
+      if (!o) return o.error();
+      b = *o;
+    }
+    s.info.digest_hex = digest_hex(s.digest);
+    reader.entries_.push_back(s.info);
+    reader.stored_.push_back(std::move(s));
+  }
+  return reader;
+}
+
+bool ArchiveReader::contains(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+Result<Bytes> ArchiveReader::extract(const std::string& name) const {
+  for (const auto& s : stored_) {
+    if (s.info.name != name) continue;
+    Bytes content;
+    if (s.info.compressed) {
+      auto d = lzss_decompress(s.payload);
+      if (!d) return d.error();
+      content = std::move(*d);
+    } else {
+      content = s.payload;
+    }
+    if (content.size() != s.info.original_size)
+      return Error{Errc::corrupt_data, "size mismatch in entry " + name};
+    if (Sha256::hash(content) != s.digest)
+      return Error{Errc::corrupt_data, "digest mismatch in entry " + name};
+    return content;
+  }
+  return Error{Errc::not_found, "no entry " + name};
+}
+
+std::uint64_t ArchiveReader::partial_fetch_size(
+    const std::vector<std::string>& names) const {
+  // Directory overhead: name + flags + sizes + digest per *listed* entry
+  // (a partial fetch still reads the whole directory), plus payloads of the
+  // requested entries only.
+  std::uint64_t size = 6;  // magic + version + order flag
+  for (const auto& e : entries_)
+    size += e.name.size() + 1 + 4 /*len*/ + 1 /*flags*/ + 8 /*orig*/ +
+            4 /*payload len*/ + 32 /*digest*/;
+  for (const auto& name : names) {
+    for (const auto& e : entries_) {
+      if (e.name == name) size += e.stored_size;
+    }
+  }
+  return size;
+}
+
+}  // namespace clc::pkg

@@ -1,0 +1,82 @@
+// Archive container ("CLC package file", the paper's ".ZIP" equivalent).
+//
+// Layout (all integers CDR-encoded inside one encapsulation):
+//   magic "CLCA", format version, entry count, then per entry:
+//     name, flags (bit0 = lzss-compressed), original size, stored bytes,
+//     SHA-256 digest of the original content.
+// Requirements from §2.3 the format satisfies:
+//   - binary + metadata entries side by side,
+//   - per-entry compression (raw kept when compression does not pay),
+//   - *partial extraction*: entries decode independently, so a PDA can pull
+//     just the metadata and the one binary it needs,
+//   - per-entry integrity digests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pkg/sha256.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace clc::pkg {
+
+class ArchiveWriter {
+ public:
+  /// Add one entry. Content is compressed when that makes it smaller,
+  /// unless `force_raw`. Duplicate names are rejected.
+  Result<void> add(const std::string& name, BytesView content,
+                   bool force_raw = false);
+
+  /// Serialize the archive.
+  [[nodiscard]] Bytes finish() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    bool compressed = false;
+    std::uint64_t original_size = 0;
+    Bytes stored;
+    Sha256::Digest digest{};
+  };
+  std::vector<Entry> entries_;
+};
+
+class ArchiveReader {
+ public:
+  /// Parse the directory; entry payloads are referenced lazily.
+  static Result<ArchiveReader> open(Bytes data);
+
+  struct EntryInfo {
+    std::string name;
+    bool compressed = false;
+    std::uint64_t original_size = 0;
+    std::uint64_t stored_size = 0;
+    std::string digest_hex;  // SHA-256 of the original content
+  };
+
+  [[nodiscard]] const std::vector<EntryInfo>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Decompress (if needed) and verify the digest of one entry.
+  [[nodiscard]] Result<Bytes> extract(const std::string& name) const;
+
+  /// Bytes that a partial fetch of exactly these entries would transfer
+  /// (stored sizes + directory overhead) -- used by the PDA experiments.
+  [[nodiscard]] std::uint64_t partial_fetch_size(
+      const std::vector<std::string>& names) const;
+
+ private:
+  struct Stored {
+    EntryInfo info;
+    Bytes payload;
+    Sha256::Digest digest{};
+  };
+  std::vector<EntryInfo> entries_;
+  std::vector<Stored> stored_;
+};
+
+}  // namespace clc::pkg

@@ -1,0 +1,278 @@
+#include "pkg/descriptor.hpp"
+
+#include "util/strings.hpp"
+
+namespace clc::pkg {
+
+namespace {
+
+std::string list_attr(const std::vector<std::string>& items) {
+  return join(items, ",");
+}
+
+std::vector<std::string> parse_list(const std::string& text) {
+  std::vector<std::string> out;
+  for (const auto& part : split(text, ',')) {
+    const auto t = trim(part);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+bool list_allows(const std::vector<std::string>& allowed,
+                 const std::string& value) {
+  if (allowed.empty()) return true;
+  for (const auto& a : allowed) {
+    if (a == value) return true;
+  }
+  return false;
+}
+
+Result<double> parse_double(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size())
+      return Error{Errc::parse_error, std::string("bad number for ") + what};
+    return v;
+  } catch (...) {
+    return Error{Errc::parse_error, std::string("bad number for ") + what};
+  }
+}
+
+Result<std::uint64_t> parse_u64(const std::string& text, const char* what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used);
+    if (used != text.size())
+      return Error{Errc::parse_error, std::string("bad integer for ") + what};
+    return static_cast<std::uint64_t>(v);
+  } catch (...) {
+    return Error{Errc::parse_error, std::string("bad integer for ") + what};
+  }
+}
+
+}  // namespace
+
+bool HardwareSpec::allows(const std::string& arch, const std::string& os,
+                          const std::string& orb,
+                          std::uint64_t memory_kb) const {
+  return list_allows(architectures, arch) &&
+         list_allows(operating_systems, os) && list_allows(orbs, orb) &&
+         memory_kb >= min_memory_kb;
+}
+
+const char* port_kind_name(PortKind k) noexcept {
+  switch (k) {
+    case PortKind::provides: return "provides";
+    case PortKind::uses: return "uses";
+    case PortKind::emits: return "emits";
+    case PortKind::consumes: return "consumes";
+  }
+  return "?";
+}
+
+const PortSpec* ComponentDescription::find_port(
+    const std::string& port_name) const {
+  for (const auto& p : ports) {
+    if (p.name == port_name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<PortSpec> ComponentDescription::ports_of(PortKind kind) const {
+  std::vector<PortSpec> out;
+  for (const auto& p : ports) {
+    if (p.kind == kind) out.push_back(p);
+  }
+  return out;
+}
+
+std::string ComponentDescription::to_xml() const {
+  xml::Element root("softpkg");
+  root.set_attr("name", name);
+  root.set_attr("version", version.to_string());
+  if (!summary.empty()) root.add_child("description").set_text(summary);
+
+  auto& props = root.add_child("properties");
+  props.set_attr("mobile", mobile ? "true" : "false");
+  props.set_attr("replicable", replicable ? "true" : "false");
+  props.set_attr("aggregatable", aggregatable ? "true" : "false");
+  props.set_attr("stateless", stateless ? "true" : "false");
+
+  auto& hw = root.add_child("hardware");
+  if (!hardware.architectures.empty())
+    hw.set_attr("archs", list_attr(hardware.architectures));
+  if (!hardware.operating_systems.empty())
+    hw.set_attr("oses", list_attr(hardware.operating_systems));
+  if (!hardware.orbs.empty()) hw.set_attr("orbs", list_attr(hardware.orbs));
+  if (hardware.min_memory_kb != 0)
+    hw.set_attr("min-memory-kb", std::to_string(hardware.min_memory_kb));
+
+  if (!dependencies.empty()) {
+    auto& deps = root.add_child("dependencies");
+    for (const auto& d : dependencies) {
+      auto& dep = deps.add_child("dependency");
+      dep.set_attr("name", d.component);
+      dep.set_attr("constraint", d.constraint.to_string());
+    }
+  }
+
+  auto& lic = root.add_child("license");
+  lic.set_attr("model", license.model);
+  if (license.cost_per_use != 0)
+    lic.set_attr("cost-per-use", std::to_string(license.cost_per_use));
+
+  if (!security.vendor.empty()) {
+    root.add_child("security").set_attr("vendor", security.vendor);
+  }
+
+  auto& qos_el = root.add_child("qos");
+  qos_el.set_attr("max-cpu", std::to_string(qos.max_cpu_load));
+  if (qos.max_memory_kb != 0)
+    qos_el.set_attr("max-memory-kb", std::to_string(qos.max_memory_kb));
+  if (qos.min_bandwidth_kbps != 0)
+    qos_el.set_attr("min-bandwidth-kbps",
+                    std::to_string(qos.min_bandwidth_kbps));
+
+  if (!ports.empty()) {
+    auto& ports_el = root.add_child("ports");
+    for (const auto& p : ports) {
+      auto& pe = ports_el.add_child(port_kind_name(p.kind));
+      pe.set_attr("name", p.name);
+      pe.set_attr("type", p.type);
+    }
+  }
+
+  if (!factory_interface.empty())
+    root.add_child("factory").set_attr("interface", factory_interface);
+
+  if (!framework_services.empty()) {
+    auto& svc = root.add_child("framework-services");
+    for (const auto& s : framework_services)
+      svc.add_child("service").set_attr("name", s);
+  }
+
+  xml::Document doc;
+  doc.root = std::make_unique<xml::Element>(std::move(root));
+  return doc.to_string();
+}
+
+Result<ComponentDescription> ComponentDescription::from_xml(
+    std::string_view xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc) return doc.error();
+  const xml::Element& root = *doc->root;
+  if (root.name() != "softpkg")
+    return Error{Errc::parse_error,
+                 "descriptor root must be <softpkg>, got <" + root.name() + ">"};
+
+  ComponentDescription d;
+  d.name = root.attr("name");
+  if (d.name.empty())
+    return Error{Errc::parse_error, "descriptor missing component name"};
+  auto version = Version::parse(root.attr("version"));
+  if (!version)
+    return Error{Errc::parse_error,
+                 "descriptor for " + d.name + ": " + version.error().message};
+  d.version = *version;
+  d.summary = root.find_text("description");
+
+  if (const auto* props = root.child("properties")) {
+    d.mobile = props->attr("mobile") != "false";
+    d.replicable = props->attr("replicable") == "true";
+    d.aggregatable = props->attr("aggregatable") == "true";
+    d.stateless = props->attr("stateless") == "true";
+  }
+
+  if (const auto* hw = root.child("hardware")) {
+    d.hardware.architectures = parse_list(hw->attr("archs"));
+    d.hardware.operating_systems = parse_list(hw->attr("oses"));
+    d.hardware.orbs = parse_list(hw->attr("orbs"));
+    if (hw->has_attr("min-memory-kb")) {
+      auto v = parse_u64(hw->attr("min-memory-kb"), "min-memory-kb");
+      if (!v) return v.error();
+      d.hardware.min_memory_kb = *v;
+    }
+  }
+
+  if (const auto* deps = root.child("dependencies")) {
+    for (const auto* dep : deps->children_named("dependency")) {
+      DependencySpec spec;
+      spec.component = dep->attr("name");
+      if (spec.component.empty())
+        return Error{Errc::parse_error, "dependency missing name"};
+      auto c = VersionConstraint::parse(dep->attr("constraint"));
+      if (!c)
+        return Error{Errc::parse_error, "dependency " + spec.component + ": " +
+                                            c.error().message};
+      spec.constraint = *c;
+      d.dependencies.push_back(std::move(spec));
+    }
+  }
+
+  if (const auto* lic = root.child("license")) {
+    if (lic->has_attr("model")) d.license.model = lic->attr("model");
+    if (lic->has_attr("cost-per-use")) {
+      auto v = parse_double(lic->attr("cost-per-use"), "cost-per-use");
+      if (!v) return v.error();
+      d.license.cost_per_use = *v;
+    }
+  }
+
+  if (const auto* sec = root.child("security"))
+    d.security.vendor = sec->attr("vendor");
+
+  if (const auto* q = root.child("qos")) {
+    if (q->has_attr("max-cpu")) {
+      auto v = parse_double(q->attr("max-cpu"), "max-cpu");
+      if (!v) return v.error();
+      d.qos.max_cpu_load = *v;
+    }
+    if (q->has_attr("max-memory-kb")) {
+      auto v = parse_u64(q->attr("max-memory-kb"), "max-memory-kb");
+      if (!v) return v.error();
+      d.qos.max_memory_kb = *v;
+    }
+    if (q->has_attr("min-bandwidth-kbps")) {
+      auto v = parse_double(q->attr("min-bandwidth-kbps"), "min-bandwidth-kbps");
+      if (!v) return v.error();
+      d.qos.min_bandwidth_kbps = *v;
+    }
+  }
+
+  if (const auto* ports = root.child("ports")) {
+    for (const auto& pe : ports->children()) {
+      PortSpec p;
+      if (pe->name() == "provides") {
+        p.kind = PortKind::provides;
+      } else if (pe->name() == "uses") {
+        p.kind = PortKind::uses;
+      } else if (pe->name() == "emits") {
+        p.kind = PortKind::emits;
+      } else if (pe->name() == "consumes") {
+        p.kind = PortKind::consumes;
+      } else {
+        return Error{Errc::parse_error, "unknown port kind <" + pe->name() + ">"};
+      }
+      p.name = pe->attr("name");
+      p.type = pe->attr("type");
+      if (p.name.empty() || p.type.empty())
+        return Error{Errc::parse_error, "port missing name or type"};
+      if (d.find_port(p.name) != nullptr)
+        return Error{Errc::parse_error, "duplicate port " + p.name};
+      d.ports.push_back(std::move(p));
+    }
+  }
+
+  if (const auto* f = root.child("factory"))
+    d.factory_interface = f->attr("interface");
+
+  if (const auto* svcs = root.child("framework-services")) {
+    for (const auto* s : svcs->children_named("service"))
+      d.framework_services.push_back(s->attr("name"));
+  }
+  return d;
+}
+
+}  // namespace clc::pkg

@@ -1,0 +1,105 @@
+// Component descriptions -- the static and dynamic dimensions of §2.1.
+//
+// A ComponentDescription carries everything the paper requires a component
+// to state about itself:
+//   static / binary-package dimension (§2.1.1): hardware, OS and ORB
+//     dependencies; other components needed; mobility; replication;
+//     aggregation; pay-per-use licensing; security (producer identity);
+//   dynamic / component-type dimension (§2.1.2): provided/used interface
+//     ports, produced/consumed event ports, factory interface, framework
+//     services required and QoS needs.
+// Descriptions serialize to/from an OSD-derived XML schema and travel
+// inside packages and registry digests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/version.hpp"
+#include "xml/xml.hpp"
+
+namespace clc::pkg {
+
+/// Dependency on another component (requirement 6 of the paper).
+struct DependencySpec {
+  std::string component;
+  VersionConstraint constraint;
+
+  [[nodiscard]] std::string to_string() const {
+    return component + " " + constraint.to_string();
+  }
+};
+
+/// Hardware / platform requirements for physical installation on a node.
+struct HardwareSpec {
+  std::vector<std::string> architectures;  // empty = any
+  std::vector<std::string> operating_systems;
+  std::vector<std::string> orbs;
+  std::uint64_t min_memory_kb = 0;
+
+  [[nodiscard]] bool allows(const std::string& arch, const std::string& os,
+                            const std::string& orb,
+                            std::uint64_t memory_kb) const;
+};
+
+/// Run-time QoS requirements the container must honour (§2.1.2).
+struct QosSpec {
+  double max_cpu_load = 0.1;        // fraction of one reference CPU
+  std::uint64_t max_memory_kb = 0;  // 0 = unbounded
+  double min_bandwidth_kbps = 0;    // needed to use this component remotely
+};
+
+/// Port kinds: synchronous interfaces and asynchronous events (§2.1.2).
+enum class PortKind { provides, uses, emits, consumes };
+
+const char* port_kind_name(PortKind k) noexcept;
+
+struct PortSpec {
+  PortKind kind = PortKind::provides;
+  std::string name;  // port name, unique within the component
+  std::string type;  // interface scoped name or event type name
+};
+
+/// Pay-per-use licensing information (§2.1.1).
+struct LicenseSpec {
+  std::string model = "free";  // "free" | "pay-per-use" | "subscription"
+  double cost_per_use = 0.0;
+};
+
+/// Producer identity; the signature itself lives in the package.
+struct SecuritySpec {
+  std::string vendor;
+};
+
+struct ComponentDescription {
+  std::string name;     // global component name, e.g. "video.mpeg.decoder"
+  Version version;
+  std::string summary;  // human-readable description
+
+  // Static dimension.
+  HardwareSpec hardware;
+  std::vector<DependencySpec> dependencies;
+  bool mobile = true;        // can be extracted & fetched; false = remote-only
+  bool replicable = false;   // instances may be replicated
+  bool aggregatable = false; // supports data-parallel split/gather
+  bool stateless = false;    // no state transfer needed on migration
+  LicenseSpec license;
+  SecuritySpec security;
+
+  // Dynamic dimension.
+  std::vector<PortSpec> ports;
+  QosSpec qos;
+  std::string factory_interface;  // IDL interface its instances implement
+  std::vector<std::string> framework_services;  // e.g. "events", "migration"
+
+  [[nodiscard]] const PortSpec* find_port(const std::string& port_name) const;
+  [[nodiscard]] std::vector<PortSpec> ports_of(PortKind kind) const;
+
+  /// Serialize to the descriptor XML document.
+  [[nodiscard]] std::string to_xml() const;
+  /// Parse a descriptor document; validates required fields.
+  static Result<ComponentDescription> from_xml(std::string_view xml_text);
+};
+
+}  // namespace clc::pkg

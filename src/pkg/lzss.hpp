@@ -1,0 +1,26 @@
+// LZSS compression.
+//
+// The paper requires packages to "admit compression to overcome the
+// efficient transmission of the component through possibly long and slow
+// communication lines" (§2.3). We implement a classic LZSS: a 32 KiB
+// sliding window with hash-chain match search, 3..258 byte matches, and a
+// bit-flagged token stream (1 flag bit per token, packed 8 per flag byte):
+//   flag 0 -> literal byte
+//   flag 1 -> 2-byte little-endian (offset-1 : 11+5 bits is too small for a
+//             32 KiB window, so we use 15 bits offset) + 1 byte (length-3)
+// Incompressible inputs grow by at most 1/8 + a few header bytes; the
+// archive layer stores whichever of raw/compressed is smaller.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace clc::pkg {
+
+/// Compress `input`. Output begins with the u32 (LE) uncompressed size.
+Bytes lzss_compress(BytesView input);
+
+/// Decompress; validates sizes/offsets and fails on corrupt streams.
+Result<Bytes> lzss_decompress(BytesView compressed);
+
+}  // namespace clc::pkg

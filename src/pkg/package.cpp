@@ -1,0 +1,173 @@
+#include "pkg/package.hpp"
+
+#include <algorithm>
+
+#include "orb/cdr.hpp"
+#include "util/strings.hpp"
+
+namespace clc::pkg {
+
+namespace {
+constexpr const char* kDescriptorEntry = "META/descriptor.xml";
+constexpr const char* kIdlEntry = "META/component.idl";
+constexpr const char* kSignatureEntry = "META/signature";
+}  // namespace
+
+Result<Bytes> PackageBuilder::build(BytesView signing_key) const {
+  if (binaries_.empty())
+    return Error{Errc::invalid_argument,
+                 "package needs at least one binary implementation"};
+  {
+    std::vector<std::string> names;
+    for (const auto& b : binaries_) names.push_back(b.entry_name());
+    std::sort(names.begin(), names.end());
+    if (std::adjacent_find(names.begin(), names.end()) != names.end())
+      return Error{Errc::invalid_argument,
+                   "duplicate binary platform in package"};
+  }
+  ArchiveWriter w;
+  if (auto r = w.add(kDescriptorEntry, bytes_of(description_.to_xml()));
+      !r.ok())
+    return r.error();
+  if (auto r = w.add(kIdlEntry, bytes_of(idl_)); !r.ok()) return r.error();
+  for (const auto& b : binaries_) {
+    // The stored form carries entry symbol then image; symbol first so
+    // binary_for can split without a length prefix ambiguity.
+    orb::CdrWriter payload;
+    payload.write_string(b.entry_symbol);
+    payload.write_bytes(b.image);
+    if (auto r = w.add(b.entry_name(), payload.data()); !r.ok())
+      return r.error();
+  }
+  // Sign the manifest of what we have so far, then append the signature.
+  Bytes unsigned_archive = w.finish();
+  auto reader = ArchiveReader::open(std::move(unsigned_archive));
+  if (!reader) return reader.error();
+  const auto mac =
+      hmac_sha256(signing_key, bytes_of(signing_manifest(*reader)));
+  if (auto r = w.add(kSignatureEntry, bytes_of(digest_hex(mac)),
+                     /*force_raw=*/true);
+      !r.ok())
+    return r.error();
+  return w.finish();
+}
+
+std::string signing_manifest(const ArchiveReader& archive) {
+  std::vector<std::string> rows;
+  for (const auto& e : archive.entries()) {
+    if (e.name == kSignatureEntry) continue;
+    rows.push_back(e.name + "=" + e.digest_hex);
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& row : rows) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Package> Package::open(Bytes data) {
+  Package p;
+  p.raw_size_ = data.size();
+  p.raw_ = data;
+  auto archive = ArchiveReader::open(std::move(data));
+  if (!archive) return archive.error();
+  p.archive_ = std::move(*archive);
+
+  auto descriptor = p.archive_.extract(kDescriptorEntry);
+  if (!descriptor)
+    return Error{Errc::corrupt_data,
+                 "package missing descriptor: " + descriptor.error().message};
+  auto parsed = ComponentDescription::from_xml(string_of(*descriptor));
+  if (!parsed) return parsed.error();
+  p.description_ = std::move(*parsed);
+
+  auto idl_text = p.archive_.extract(kIdlEntry);
+  if (!idl_text)
+    return Error{Errc::corrupt_data, "package missing component.idl"};
+  p.idl_ = string_of(*idl_text);
+
+  if (p.binary_entries().empty())
+    return Error{Errc::corrupt_data, "package carries no binaries"};
+  return p;
+}
+
+std::vector<std::string> Package::binary_entries() const {
+  std::vector<std::string> out;
+  for (const auto& e : archive_.entries()) {
+    if (starts_with(e.name, "bin/")) out.push_back(e.name);
+  }
+  return out;
+}
+
+bool Package::supports(const std::string& arch, const std::string& os,
+                       const std::string& orb) const {
+  return archive_.contains("bin/" + arch + "-" + os + "-" + orb);
+}
+
+Result<BinaryImpl> Package::binary_for(const std::string& arch,
+                                       const std::string& os,
+                                       const std::string& orb) const {
+  const std::string entry = "bin/" + arch + "-" + os + "-" + orb;
+  auto payload = archive_.extract(entry);
+  if (!payload)
+    return Error{Errc::not_found, description_.name + " has no binary for " +
+                                      arch + "-" + os + "-" + orb};
+  orb::CdrReader r(*payload);
+  BinaryImpl b;
+  b.arch = arch;
+  b.os = os;
+  b.orb = orb;
+  auto symbol = r.read_string();
+  if (!symbol) return symbol.error();
+  b.entry_symbol = std::move(*symbol);
+  auto image = r.read_bytes();
+  if (!image) return image.error();
+  b.image = std::move(*image);
+  return b;
+}
+
+Result<void> Package::verify(BytesView key) const {
+  auto sig = archive_.extract(kSignatureEntry);
+  if (!sig)
+    return Error{Errc::signature_mismatch, "package is unsigned"};
+  const auto mac = hmac_sha256(key, bytes_of(signing_manifest(archive_)));
+  if (string_of(*sig) != digest_hex(mac))
+    return Error{Errc::signature_mismatch,
+                 "signature of " + description_.name +
+                     " does not verify against the vendor key"};
+  return {};
+}
+
+Result<Bytes> Package::slice_for_platform(const std::string& arch,
+                                          const std::string& os,
+                                          const std::string& orb) const {
+  auto binary = binary_for(arch, os, orb);
+  if (!binary) return binary.error();
+  ArchiveWriter w;
+  auto descriptor = archive_.extract(kDescriptorEntry);
+  if (!descriptor) return descriptor.error();
+  if (auto r = w.add(kDescriptorEntry, *descriptor); !r.ok()) return r.error();
+  auto idl_text = archive_.extract(kIdlEntry);
+  if (!idl_text) return idl_text.error();
+  if (auto r = w.add(kIdlEntry, *idl_text); !r.ok()) return r.error();
+  orb::CdrWriter payload;
+  payload.write_string(binary->entry_symbol);
+  payload.write_bytes(binary->image);
+  if (auto r = w.add(binary->entry_name(), payload.data()); !r.ok())
+    return r.error();
+  // A slice cannot carry the original signature (the manifest changed); it
+  // is meant for devices that trust the node that sliced it for them.
+  return w.finish();
+}
+
+std::uint64_t Package::partial_fetch_size(const std::string& arch,
+                                          const std::string& os,
+                                          const std::string& orb) const {
+  return archive_.partial_fetch_size(
+      {kDescriptorEntry, kIdlEntry, kSignatureEntry,
+       "bin/" + arch + "-" + os + "-" + orb});
+}
+
+}  // namespace clc::pkg

@@ -1,0 +1,114 @@
+// Component packages: self-contained installable binary units (§2.3).
+//
+// A package is a CLC archive with a fixed layout:
+//   META/descriptor.xml   -- the ComponentDescription
+//   META/component.idl    -- IDL for the component's types and interfaces
+//   META/signature        -- HMAC-SHA256 over all other entries' digests
+//   bin/<arch>-<os>-<orb> -- one binary image per supported platform
+// Binaries for different architectures/OSes/ORBs live side by side
+// (requirement: "storing binaries for different architectures"), and
+// `slice_for_platform` produces the stripped package a tiny device would
+// fetch: metadata plus exactly one binary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pkg/archive.hpp"
+#include "pkg/descriptor.hpp"
+#include "pkg/sha256.hpp"
+
+namespace clc::pkg {
+
+/// One platform-specific implementation inside a package.
+struct BinaryImpl {
+  std::string arch;          // "x86_64", "arm", "pda"
+  std::string os;            // "linux", "windows", "palmos"
+  std::string orb;           // ORB flavour, normally "clc"
+  std::string entry_symbol;  // factory entry point in the image
+  Bytes image;               // the "DLL" payload
+
+  [[nodiscard]] std::string entry_name() const {
+    return "bin/" + arch + "-" + os + "-" + orb;
+  }
+};
+
+class PackageBuilder {
+ public:
+  explicit PackageBuilder(ComponentDescription description)
+      : description_(std::move(description)) {}
+
+  PackageBuilder& set_idl(std::string idl_text) {
+    idl_ = std::move(idl_text);
+    return *this;
+  }
+  PackageBuilder& add_binary(BinaryImpl binary) {
+    binaries_.push_back(std::move(binary));
+    return *this;
+  }
+
+  /// Build and sign the package. The signing key represents the producer's
+  /// secret; verification needs the same key (see DESIGN.md substitutions).
+  Result<Bytes> build(BytesView signing_key) const;
+
+ private:
+  ComponentDescription description_;
+  std::string idl_;
+  std::vector<BinaryImpl> binaries_;
+};
+
+/// Canonical signing input: per-entry "name=hexdigest\n", sorted by name,
+/// with the signature entry itself excluded.
+std::string signing_manifest(const ArchiveReader& archive);
+
+class Package {
+ public:
+  /// Open and structurally validate (descriptor parses, layout complete).
+  static Result<Package> open(Bytes data);
+
+  [[nodiscard]] const ComponentDescription& description() const noexcept {
+    return description_;
+  }
+  [[nodiscard]] const std::string& idl() const noexcept { return idl_; }
+
+  /// Entry names of all binaries ("bin/arch-os-orb").
+  [[nodiscard]] std::vector<std::string> binary_entries() const;
+
+  /// Load one platform's binary (decompresses + digest-checks it).
+  [[nodiscard]] Result<BinaryImpl> binary_for(const std::string& arch,
+                                              const std::string& os,
+                                              const std::string& orb) const;
+
+  /// True when the package ships a binary runnable on the platform.
+  [[nodiscard]] bool supports(const std::string& arch, const std::string& os,
+                              const std::string& orb) const;
+
+  /// Verify the producer signature with the vendor's key.
+  [[nodiscard]] Result<void> verify(BytesView key) const;
+
+  /// Rebuild a minimal package containing metadata + the one binary for the
+  /// given platform: what a PDA-class node actually transfers.
+  [[nodiscard]] Result<Bytes> slice_for_platform(const std::string& arch,
+                                                 const std::string& os,
+                                                 const std::string& orb) const;
+
+  /// Serialized size of the package as opened.
+  [[nodiscard]] std::uint64_t total_size() const noexcept { return raw_size_; }
+  /// Bytes a partial fetch of metadata + one platform binary would move.
+  [[nodiscard]] std::uint64_t partial_fetch_size(const std::string& arch,
+                                                 const std::string& os,
+                                                 const std::string& orb) const;
+
+  /// Raw archive bytes (for shipping the package over the network).
+  [[nodiscard]] const Bytes& raw() const noexcept { return raw_; }
+
+ private:
+  ComponentDescription description_;
+  std::string idl_;
+  ArchiveReader archive_;
+  Bytes raw_;
+  std::uint64_t raw_size_ = 0;
+};
+
+}  // namespace clc::pkg

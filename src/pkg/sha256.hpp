@@ -1,0 +1,51 @@
+// SHA-256 and HMAC-SHA256, implemented from the FIPS 180-4 specification.
+//
+// Used for component package integrity digests and producer signatures
+// (§2.1.1 of the paper requires installers to verify who made a component;
+// we realize that with keyed HMAC signatures -- see DESIGN.md substitution
+// table).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace clc::pkg {
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  /// Finalize and return the digest; the object must be reset() before reuse.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// HMAC-SHA256 per RFC 2104.
+Sha256::Digest hmac_sha256(BytesView key, BytesView message);
+
+/// Digest rendered as lowercase hex.
+std::string digest_hex(const Sha256::Digest& d);
+
+}  // namespace clc::pkg

@@ -1,0 +1,63 @@
+#include "sim/network.hpp"
+
+namespace clc::sim {
+
+void SimNetwork::attach(NodeId id, SimHost* host) { hosts_[id] = host; }
+
+void SimNetwork::detach(NodeId id) { hosts_.erase(id); }
+
+void SimNetwork::partition(std::set<NodeId> side_a, std::set<NodeId> side_b) {
+  partition_a_ = std::move(side_a);
+  partition_b_ = std::move(side_b);
+}
+
+void SimNetwork::heal_partition() {
+  partition_a_.clear();
+  partition_b_.clear();
+}
+
+bool SimNetwork::blocked(NodeId a, NodeId b) const {
+  if (partition_a_.empty() || partition_b_.empty()) return false;
+  const bool a_in_a = partition_a_.count(a) != 0;
+  const bool a_in_b = partition_b_.count(a) != 0;
+  const bool b_in_a = partition_a_.count(b) != 0;
+  const bool b_in_b = partition_b_.count(b) != 0;
+  return (a_in_a && b_in_b) || (a_in_b && b_in_a);
+}
+
+Duration SimNetwork::delivery_delay(NodeId from, NodeId to,
+                                    std::size_t bytes) {
+  Duration d = latency_fn_ ? latency_fn_(from, to) : model_.base_latency;
+  if (model_.jitter > 0)
+    d += static_cast<Duration>(
+        rng_.next_below(static_cast<std::uint64_t>(model_.jitter) + 1));
+  if (model_.bytes_per_second > 0)
+    d += static_cast<Duration>(static_cast<double>(bytes) /
+                               model_.bytes_per_second * 1e6);
+  return d;
+}
+
+void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  per_node_bytes_[from] += payload.size();
+  if (blocked(from, to) || rng_.chance(model_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const Duration delay = delivery_delay(from, to, payload.size());
+  sim_.schedule_after(
+      delay, [this, from, to, data = std::move(payload)]() mutable {
+        // Re-check at delivery time: the destination may have crashed or a
+        // partition may have appeared while the message was in flight.
+        auto it = hosts_.find(to);
+        if (it == hosts_.end() || blocked(from, to)) {
+          ++stats_.messages_dropped;
+          return;
+        }
+        ++stats_.messages_delivered;
+        it->second->on_message(from, data);
+      });
+}
+
+}  // namespace clc::sim

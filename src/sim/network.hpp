@@ -1,0 +1,90 @@
+// Simulated message network for protocol experiments.
+//
+// Hosts (actors) attach under their NodeId and receive byte payloads; the
+// network applies a latency model (base + jitter + per-byte cost), drop
+// probability, crash (detach) and partitions. Per-message and per-node byte
+// accounting feeds the bandwidth experiments (E3/E4), so *all* protocol
+// traffic in the benches flows through send().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace clc::sim {
+
+/// Actor interface: a protocol endpoint living on the simulated network.
+class SimHost {
+ public:
+  virtual ~SimHost() = default;
+  virtual void on_message(NodeId from, const Bytes& payload) = 0;
+};
+
+class SimNetwork {
+ public:
+  struct LinkModel {
+    Duration base_latency = milliseconds(1);
+    Duration jitter = 0;            // uniform extra in [0, jitter]
+    double bytes_per_second = 0;    // 0 = infinite
+    double drop_probability = 0;
+  };
+
+  SimNetwork(Simulator& sim, std::uint64_t seed = 42)
+      : sim_(sim), rng_(seed) {}
+
+  void set_link_model(LinkModel model) { model_ = model; }
+  /// Optional topology-aware latency: overrides base_latency per pair.
+  void set_latency_fn(std::function<Duration(NodeId, NodeId)> fn) {
+    latency_fn_ = std::move(fn);
+  }
+
+  void attach(NodeId id, SimHost* host);
+  /// Crash: in-flight messages to this node are dropped on delivery.
+  void detach(NodeId id);
+  [[nodiscard]] bool attached(NodeId id) const { return hosts_.count(id) != 0; }
+
+  /// Cut/heal links between two node sets (network partition).
+  void partition(std::set<NodeId> side_a, std::set<NodeId> side_b);
+  void heal_partition();
+
+  /// Queue a message for delivery (latency applied). Sending to a detached
+  /// or partitioned node silently loses the message, as on a real network.
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = {}; per_node_bytes_.clear(); }
+  /// Bytes sent by one node (for per-node bandwidth accounting).
+  [[nodiscard]] std::uint64_t bytes_sent_by(NodeId id) const {
+    auto it = per_node_bytes_.find(id);
+    return it == per_node_bytes_.end() ? 0 : it->second;
+  }
+
+ private:
+  [[nodiscard]] bool blocked(NodeId a, NodeId b) const;
+  [[nodiscard]] Duration delivery_delay(NodeId from, NodeId to,
+                                        std::size_t bytes);
+
+  Simulator& sim_;
+  Rng rng_;
+  LinkModel model_;
+  std::function<Duration(NodeId, NodeId)> latency_fn_;
+  std::map<NodeId, SimHost*> hosts_;
+  std::set<NodeId> partition_a_;
+  std::set<NodeId> partition_b_;
+  Stats stats_;
+  std::map<NodeId, std::uint64_t> per_node_bytes_;
+};
+
+}  // namespace clc::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace clc::sim {
+
+void Simulator::schedule_at(TimePoint t, Action action) {
+  if (t < now_) t = now_;  // late events fire immediately, never in the past
+  queue_.push(Scheduled{t, next_seq_++, std::move(action)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the small struct fields and pop before executing (the action
+  // may schedule more events).
+  Scheduled next = queue_.top();
+  queue_.pop();
+  now_ = next.at;
+  ++executed_;
+  next.action();
+  return true;
+}
+
+void Simulator::run_until(TimePoint t) {
+  while (!queue_.empty() && queue_.top().at <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  if (n == max_events && !queue_.empty())
+    throw std::runtime_error("Simulator::run hit the event budget");
+  return n;
+}
+
+}  // namespace clc::sim

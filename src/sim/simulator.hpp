@@ -1,0 +1,63 @@
+// Deterministic discrete-event simulator.
+//
+// The cohesion and distributed-registry protocols are message-driven state
+// machines; under the simulator they run against a virtual clock, which is
+// what lets the benches evaluate 1000-node networks on one machine
+// (see DESIGN.md substitutions). Events at equal timestamps fire in
+// scheduling order (a monotone sequence number breaks ties), so runs are
+// exactly reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace clc::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedule an action at an absolute virtual time (>= now).
+  void schedule_at(TimePoint t, Action action);
+  /// Schedule after a delay from now.
+  void schedule_after(Duration delay, Action action) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(action));
+  }
+
+  /// Run the next pending event; false when the queue is empty.
+  bool step();
+  /// Run events until the virtual clock passes `t` (events at exactly `t`
+  /// are executed). The clock is left at `t`.
+  void run_until(TimePoint t);
+  /// Drain the queue (bounded by `max_events` as a runaway guard).
+  std::size_t run(std::size_t max_events = 100000000);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Scheduled {
+    TimePoint at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace clc::sim

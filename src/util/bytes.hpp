@@ -1,0 +1,32 @@
+// Byte-buffer helpers shared by marshaling, packaging and transports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clc {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode a byte span as lowercase hex ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Decode lowercase/uppercase hex; returns empty vector on malformed input
+/// (odd length or non-hex characters).
+Bytes from_hex(std::string_view hex);
+
+/// Copy a string's bytes into a Bytes buffer.
+Bytes bytes_of(std::string_view s);
+
+/// Interpret a byte buffer as text (no validation).
+std::string string_of(BytesView data);
+
+/// FNV-1a 64-bit hash, used for cheap content digests inside the simulator
+/// (the packaging layer uses real SHA-256 instead).
+std::uint64_t fnv1a64(BytesView data) noexcept;
+
+}  // namespace clc

@@ -1,0 +1,54 @@
+// Time abstraction.
+//
+// The cohesion/registry protocols are written against Clock so the same
+// code runs under the real wall clock (threaded ORB runtime) and under the
+// discrete-event simulator's virtual clock. Durations are in microseconds
+// kept as integers to keep the simulator deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace clc {
+
+/// Microseconds since an arbitrary epoch.
+using TimePoint = std::int64_t;
+/// Microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration microseconds(std::int64_t v) noexcept { return v; }
+constexpr Duration milliseconds(std::int64_t v) noexcept { return v * 1000; }
+constexpr Duration seconds(std::int64_t v) noexcept { return v * 1000000; }
+
+constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) / 1e6;
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Real time, anchored to steady_clock.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(t).count();
+  }
+};
+
+/// Manually advanced time, owned by the simulator or by tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0) : now_(start) {}
+  [[nodiscard]] TimePoint now() const override { return now_; }
+  void advance(Duration d) { now_ += d; }
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace clc

@@ -1,0 +1,49 @@
+#include "util/ids.hpp"
+
+#include "util/bytes.hpp"
+
+namespace clc {
+
+std::string Uuid::to_string() const {
+  // 32 hex chars, hi then lo, lowercase, no dashes (simplifies parsing and
+  // keeps marshaled size predictable).
+  char buf[33];
+  static const char* digits = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i) buf[i] = digits[(hi >> (60 - 4 * i)) & 0xf];
+  for (int i = 0; i < 16; ++i) buf[16 + i] = digits[(lo >> (60 - 4 * i)) & 0xf];
+  buf[32] = '\0';
+  return std::string(buf);
+}
+
+Uuid Uuid::parse(const std::string& text) {
+  if (text.size() != 32) return {};
+  Uuid u;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (int i = 0; i < 16; ++i) {
+    const int v = nibble(text[i]);
+    if (v < 0) return {};
+    u.hi = (u.hi << 4) | static_cast<std::uint64_t>(v);
+  }
+  for (int i = 16; i < 32; ++i) {
+    const int v = nibble(text[i]);
+    if (v < 0) return {};
+    u.lo = (u.lo << 4) | static_cast<std::uint64_t>(v);
+  }
+  return u;
+}
+
+Uuid Uuid::random(Rng& rng) {
+  Uuid u;
+  do {
+    u.hi = rng.next_u64();
+    u.lo = rng.next_u64();
+  } while (u.is_nil());
+  return u;
+}
+
+}  // namespace clc

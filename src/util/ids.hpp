@@ -1,0 +1,76 @@
+// Strongly-typed identifiers used throughout CORBA-LC.
+//
+// Node ids, object keys and instance ids cross (simulated) network
+// boundaries, so they must be value types that marshal trivially. We use a
+// 128-bit Uuid rendered as hex for global ids, and small tag-typed integers
+// where ordering matters (e.g. MRM election picks the lowest NodeId).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace clc {
+
+/// 128-bit globally unique identifier (random, version-4 style).
+struct Uuid {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  auto operator<=>(const Uuid&) const = default;
+
+  [[nodiscard]] bool is_nil() const noexcept { return hi == 0 && lo == 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse the format produced by to_string(); returns nil Uuid on error.
+  static Uuid parse(const std::string& text);
+  /// Fresh random uuid from the given RNG (deterministic under the sim).
+  static Uuid random(Rng& rng);
+};
+
+/// Tag-typed 64-bit id: NodeId, InstanceId, ... share representation but are
+/// not interchangeable at compile time.
+template <typename Tag>
+struct TypedId {
+  std::uint64_t value = 0;
+
+  TypedId() = default;
+  explicit constexpr TypedId(std::uint64_t v) : value(v) {}
+
+  auto operator<=>(const TypedId&) const = default;
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  [[nodiscard]] std::string to_string() const { return std::to_string(value); }
+};
+
+struct NodeIdTag {};
+struct InstanceIdTag {};
+struct RequestIdTag {};
+struct ChannelIdTag {};
+
+/// Identifies one node (host) in the logical network.
+using NodeId = TypedId<NodeIdTag>;
+/// Identifies one running component instance, unique network-wide.
+using InstanceId = TypedId<InstanceIdTag>;
+/// Correlates a request with its reply on a connection.
+using RequestId = TypedId<RequestIdTag>;
+/// Identifies one event channel.
+using ChannelId = TypedId<ChannelIdTag>;
+
+}  // namespace clc
+
+template <>
+struct std::hash<clc::Uuid> {
+  std::size_t operator()(const clc::Uuid& u) const noexcept {
+    return std::hash<std::uint64_t>{}(u.hi ^ (u.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+template <typename Tag>
+struct std::hash<clc::TypedId<Tag>> {
+  std::size_t operator()(const clc::TypedId<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace clc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::off};
+std::mutex g_sink_mutex;
+std::string* g_capture = nullptr;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void set_log_capture(std::string* sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_capture = sink;
+}
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  if (level < g_level.load()) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (g_capture != nullptr) {
+    *g_capture += "[";
+    *g_capture += level_name(level);
+    *g_capture += "] ";
+    *g_capture += component;
+    *g_capture += ": ";
+    *g_capture += message;
+    *g_capture += "\n";
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace clc

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Silent at default level so tests and benches stay quiet; examples raise
+// the level to narrate what the network is doing. Thread-safe (one mutex
+// around the sink) because ORB transports log from worker threads.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace clc {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line through the global sink (stderr by default).
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Redirect log output into a string sink (tests); pass nullptr to restore
+/// stderr.
+void set_log_capture(std::string* sink);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace clc
+
+#define CLC_LOG(level, component)                       \
+  if (::clc::log_level() <= ::clc::LogLevel::level)     \
+  ::clc::detail::LogMessage(::clc::LogLevel::level, (component))

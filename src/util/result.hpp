@@ -1,0 +1,168 @@
+// Result<T>: lightweight expected-style error handling used across CORBA-LC.
+//
+// The model layers (repository, registry, deployment) report recoverable
+// conditions -- "component not found", "node unreachable", "version
+// conflict" -- as values rather than exceptions, because most of them flow
+// across simulated network boundaries where an exception cannot propagate.
+// Programming errors (violated preconditions) still throw.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace clc {
+
+/// Error category codes shared by all CORBA-LC subsystems.
+enum class Errc {
+  ok = 0,
+  invalid_argument,
+  parse_error,
+  not_found,
+  already_exists,
+  version_conflict,
+  unsupported,
+  io_error,
+  corrupt_data,
+  signature_mismatch,
+  timeout,
+  unreachable,
+  refused,
+  no_resources,
+  bad_state,
+  remote_exception,
+  cancelled,
+};
+
+/// Human-readable name of an error code (stable, used in logs and tests).
+constexpr const char* errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::parse_error: return "parse_error";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::version_conflict: return "version_conflict";
+    case Errc::unsupported: return "unsupported";
+    case Errc::io_error: return "io_error";
+    case Errc::corrupt_data: return "corrupt_data";
+    case Errc::signature_mismatch: return "signature_mismatch";
+    case Errc::timeout: return "timeout";
+    case Errc::unreachable: return "unreachable";
+    case Errc::refused: return "refused";
+    case Errc::no_resources: return "no_resources";
+    case Errc::bad_state: return "bad_state";
+    case Errc::remote_exception: return "remote_exception";
+    case Errc::cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// An error: a category code plus a context message.
+struct Error {
+  Errc code = Errc::ok;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = errc_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+/// Thrown by Result::value() when the result holds an error.
+class BadResultAccess : public std::runtime_error {
+ public:
+  explicit BadResultAccess(const Error& e)
+      : std::runtime_error("bad Result access: " + e.to_string()), error_(e) {}
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;
+};
+
+/// Value-or-error. `Result<void>` is supported via the specialization below.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+  Result(Errc code, std::string msg) : data_(Error{code, std::move(msg)}) {}
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw BadResultAccess(error());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw BadResultAccess(error());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw BadResultAccess(error());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Map the value through `f` if ok, else propagate the error.
+  template <typename F>
+  auto map(F&& f) const -> Result<decltype(f(std::declval<const T&>()))> {
+    if (!ok()) return error();
+    return f(std::get<T>(data_));
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}     // NOLINT(google-explicit-constructor)
+  Result(Errc code, std::string msg) : error_(Error{code, std::move(msg)}) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  void value() const {
+    if (!ok()) throw BadResultAccess(*error_);
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience for success on Result<void>.
+inline Result<void> ok_result() { return {}; }
+
+}  // namespace clc

@@ -1,0 +1,32 @@
+// Small string utilities (no locale, ASCII semantics).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clc {
+
+/// Split on a single separator character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Case-sensitive glob match supporting '*' and '?' (used by component
+/// queries, e.g. name pattern "video.*").
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace clc

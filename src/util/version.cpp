@@ -1,0 +1,111 @@
+#include "util/version.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace clc {
+
+std::string Version::to_string() const {
+  return std::to_string(major) + "." + std::to_string(minor) + "." +
+         std::to_string(patch);
+}
+
+Result<Version> Version::parse(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return Error{Errc::parse_error, "empty version"};
+  Version v;
+  std::uint32_t* fields[3] = {&v.major, &v.minor, &v.patch};
+  std::size_t field = 0;
+  std::uint64_t acc = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      acc = acc * 10 + static_cast<std::uint64_t>(c - '0');
+      if (acc > 0xffffffffULL)
+        return Error{Errc::parse_error, "version component overflow"};
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || field >= 2)
+        return Error{Errc::parse_error,
+                     "malformed version: " + std::string(text)};
+      *fields[field++] = static_cast<std::uint32_t>(acc);
+      acc = 0;
+      have_digit = false;
+    } else {
+      return Error{Errc::parse_error,
+                   "invalid character in version: " + std::string(text)};
+    }
+  }
+  if (!have_digit)
+    return Error{Errc::parse_error, "malformed version: " + std::string(text)};
+  *fields[field] = static_cast<std::uint32_t>(acc);
+  return v;
+}
+
+bool VersionConstraint::matches(const Version& v) const noexcept {
+  switch (op) {
+    case Op::any: return true;
+    case Op::eq: return v == bound;
+    case Op::ne: return v != bound;
+    case Op::lt: return v < bound;
+    case Op::le: return v <= bound;
+    case Op::gt: return v > bound;
+    case Op::ge: return v >= bound;
+    case Op::compatible: return v.major == bound.major && v >= bound;
+  }
+  return false;
+}
+
+std::string VersionConstraint::to_string() const {
+  switch (op) {
+    case Op::any: return "any";
+    case Op::eq: return "==" + bound.to_string();
+    case Op::ne: return "!=" + bound.to_string();
+    case Op::lt: return "<" + bound.to_string();
+    case Op::le: return "<=" + bound.to_string();
+    case Op::gt: return ">" + bound.to_string();
+    case Op::ge: return ">=" + bound.to_string();
+    case Op::compatible: return "~" + bound.to_string();
+  }
+  return "?";
+}
+
+Result<VersionConstraint> VersionConstraint::parse(std::string_view text) {
+  text = trim(text);
+  if (text.empty() || text == "any" || text == "*")
+    return VersionConstraint{};  // Op::any
+
+  VersionConstraint c;
+  if (starts_with(text, "==")) {
+    c.op = Op::eq;
+    text.remove_prefix(2);
+  } else if (starts_with(text, "!=")) {
+    c.op = Op::ne;
+    text.remove_prefix(2);
+  } else if (starts_with(text, "<=")) {
+    c.op = Op::le;
+    text.remove_prefix(2);
+  } else if (starts_with(text, ">=")) {
+    c.op = Op::ge;
+    text.remove_prefix(2);
+  } else if (starts_with(text, "<")) {
+    c.op = Op::lt;
+    text.remove_prefix(1);
+  } else if (starts_with(text, ">")) {
+    c.op = Op::gt;
+    text.remove_prefix(1);
+  } else if (starts_with(text, "~")) {
+    c.op = Op::compatible;
+    text.remove_prefix(1);
+  } else {
+    // Bare version means exact match, mirroring OSD usage.
+    c.op = Op::eq;
+  }
+  auto v = Version::parse(text);
+  if (!v) return v.error();
+  c.bound = *v;
+  return c;
+}
+
+}  // namespace clc

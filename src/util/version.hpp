@@ -1,0 +1,44 @@
+// Component versions and version constraints.
+//
+// CORBA-LC requirement 6 (automatic dependency management) needs components
+// to declare dependencies like "needs codec >= 2.1": the Distributed
+// Registry matches installed versions against such constraints when
+// resolving a query network-wide.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace clc {
+
+/// major.minor.patch semantic version.
+struct Version {
+  std::uint32_t major = 0;
+  std::uint32_t minor = 0;
+  std::uint32_t patch = 0;
+
+  auto operator<=>(const Version&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+  static Result<Version> parse(std::string_view text);
+};
+
+/// One relational constraint against a version, e.g. ">=1.2.0".
+/// Supported operators: ==, !=, <, <=, >, >=, ~ (same major, at least this).
+struct VersionConstraint {
+  enum class Op { eq, ne, lt, le, gt, ge, compatible, any };
+
+  Op op = Op::any;
+  Version bound;
+
+  [[nodiscard]] bool matches(const Version& v) const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse "any", ">=1.2", "~2.0.1", "==3.1.4", ...
+  static Result<VersionConstraint> parse(std::string_view text);
+};
+
+}  // namespace clc

@@ -1,0 +1,423 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+namespace clc::xml {
+
+// ---------------------------------------------------------------------------
+// Element
+
+void Element::set_attr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(key, std::move(value));
+}
+
+std::string Element::attr(const std::string& key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+bool Element::has_attr(const std::string& key) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const Element* Element::find(std::string_view path) const {
+  const Element* cur = this;
+  std::size_t start = 0;
+  while (start <= path.size() && cur != nullptr) {
+    const std::size_t slash = path.find('/', start);
+    const std::string_view hop = (slash == std::string_view::npos)
+                                     ? path.substr(start)
+                                     : path.substr(start, slash - start);
+    if (!hop.empty()) cur = cur->child(hop);
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  return cur;
+}
+
+std::string Element::find_text(std::string_view path,
+                               std::string fallback) const {
+  const Element* e = find(path);
+  return e != nullptr ? e->text() : std::move(fallback);
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void Element::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto pad = [&](int d) {
+    if (pretty) out.append(static_cast<std::size_t>(d) * indent, ' ');
+  };
+  pad(depth);
+  out += '<';
+  out += name_;
+  for (const auto& [k, v] : attrs_) {
+    out += ' ';
+    out += k;
+    out += "=\"";
+    out += escape(v);
+    out += '"';
+  }
+  if (text_.empty() && children_.empty()) {
+    out += "/>";
+    if (pretty) out += '\n';
+    return;
+  }
+  out += '>';
+  if (!text_.empty()) out += escape(text_);
+  if (!children_.empty()) {
+    if (pretty) out += '\n';
+    for (const auto& c : children_) c->write(out, indent, depth + 1);
+    pad(depth);
+  }
+  out += "</";
+  out += name_;
+  out += '>';
+  if (pretty) out += '\n';
+}
+
+std::string Element::to_string(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+std::string Document::to_string(int indent) const {
+  std::string out = "<?xml version=\"" + version + "\" encoding=\"" +
+                    encoding + "\"?>";
+  if (indent >= 0) out += '\n';
+  if (root) out += root->to_string(indent);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  Result<Document> parse_document() {
+    Document doc;
+    skip_prolog(doc);
+    if (!skip_misc()) return error("unterminated comment or PI");
+    if (eof()) return error("document has no root element");
+    if (peek() != '<') return error("expected root element");
+    auto root = parse_element();
+    if (!root) return root.error();
+    doc.root = std::move(*root);
+    if (!skip_misc()) return error("unterminated trailing comment");
+    skip_ws();
+    if (!eof()) return error("content after root element");
+    return doc;
+  }
+
+ private:
+  Error error(const std::string& what) {
+    return Error{Errc::parse_error, "xml:" + std::to_string(line_) + ":" +
+                                        std::to_string(col_) + ": " + what};
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= in_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = in_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool match(std::string_view lit) noexcept {
+    if (in_.substr(pos_).substr(0, lit.size()) != lit) return false;
+    for (std::size_t i = 0; i < lit.size(); ++i) advance();
+    return true;
+  }
+  void skip_ws() noexcept {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  static bool is_name_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool is_name_char(char c) noexcept {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    if (eof() || !is_name_start(peek())) return name;
+    while (!eof() && is_name_char(peek())) name.push_back(advance());
+    return name;
+  }
+
+  void skip_prolog(Document& doc) {
+    skip_ws();
+    if (!match("<?xml")) return;
+    // Capture version/encoding pseudo-attributes, then find "?>".
+    std::string decl;
+    while (!eof() && !(peek() == '?' && peek(1) == '>')) decl.push_back(advance());
+    if (!eof()) {
+      advance();
+      advance();
+    }
+    auto grab = [&](std::string_view key) -> std::string {
+      const std::size_t at = decl.find(key);
+      if (at == std::string::npos) return {};
+      const std::size_t q1 = decl.find_first_of("\"'", at);
+      if (q1 == std::string::npos) return {};
+      const std::size_t q2 = decl.find(decl[q1], q1 + 1);
+      if (q2 == std::string::npos) return {};
+      return decl.substr(q1 + 1, q2 - q1 - 1);
+    };
+    if (auto v = grab("version"); !v.empty()) doc.version = v;
+    if (auto e = grab("encoding"); !e.empty()) doc.encoding = e;
+  }
+
+  /// Skip whitespace, comments, PIs and DOCTYPE. False on unterminated.
+  bool skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (match("<!--")) {
+        bool closed = false;
+        while (!eof() && !(closed = match("-->"))) advance();
+        if (!closed) return false;
+      } else if (match("<?")) {
+        bool closed = false;
+        while (!eof() && !(closed = match("?>"))) advance();
+        if (!closed) return false;
+      } else if (match("<!DOCTYPE")) {
+        // Skip to matching '>' honoring internal-subset brackets.
+        int bracket = 0;
+        while (!eof()) {
+          const char c = advance();
+          if (c == '[') ++bracket;
+          else if (c == ']') --bracket;
+          else if (c == '>' && bracket == 0) break;
+        }
+        if (eof()) return false;
+      } else {
+        return true;
+      }
+    }
+  }
+
+  Result<std::string> parse_reference() {
+    // Called after consuming '&'.
+    std::string ent;
+    while (!eof() && peek() != ';') {
+      ent.push_back(advance());
+      if (ent.size() > 10) return error("entity reference too long");
+    }
+    if (eof()) return error("unterminated entity reference");
+    advance();  // ';'
+    if (ent == "amp") return std::string("&");
+    if (ent == "lt") return std::string("<");
+    if (ent == "gt") return std::string(">");
+    if (ent == "quot") return std::string("\"");
+    if (ent == "apos") return std::string("'");
+    if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      try {
+        code = (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X'))
+                   ? std::stol(ent.substr(2), nullptr, 16)
+                   : std::stol(ent.substr(1), nullptr, 10);
+      } catch (...) {
+        return error("bad character reference &" + ent + ";");
+      }
+      // Encode as UTF-8.
+      std::string out;
+      const auto cp = static_cast<unsigned long>(code);
+      if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      } else if (cp < 0x110000) {
+        out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+      } else {
+        return error("character reference out of range");
+      }
+      return out;
+    }
+    return error("unknown entity &" + ent + ";");
+  }
+
+  Result<std::string> parse_attr_value() {
+    if (eof() || (peek() != '"' && peek() != '\''))
+      return error("expected quoted attribute value");
+    const char quote = advance();
+    std::string value;
+    while (!eof() && peek() != quote) {
+      if (peek() == '&') {
+        advance();
+        auto r = parse_reference();
+        if (!r) return r.error();
+        value += *r;
+      } else {
+        value.push_back(advance());
+      }
+    }
+    if (eof()) return error("unterminated attribute value");
+    advance();  // closing quote
+    return value;
+  }
+
+  Result<ElementPtr> parse_element() {
+    // Caller guarantees peek() == '<'.
+    advance();
+    std::string name = parse_name();
+    if (name.empty()) return error("expected element name");
+    auto elem = std::make_unique<Element>(std::move(name));
+
+    for (;;) {
+      skip_ws();
+      if (eof()) return error("unterminated start tag");
+      if (peek() == '/') {
+        advance();
+        if (eof() || advance() != '>') return error("malformed empty-element tag");
+        return elem;
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      std::string key = parse_name();
+      if (key.empty()) return error("expected attribute name");
+      skip_ws();
+      if (eof() || advance() != '=') return error("expected '=' after attribute");
+      skip_ws();
+      auto value = parse_attr_value();
+      if (!value) return value.error();
+      if (elem->has_attr(key)) return error("duplicate attribute " + key);
+      elem->set_attr(key, std::move(*value));
+    }
+
+    // Content until matching end tag.
+    std::string text;
+    for (;;) {
+      if (eof()) return error("unterminated element <" + elem->name() + ">");
+      if (peek() == '<') {
+        if (match("<!--")) {
+          while (!eof() && !match("-->")) advance();
+          if (eof()) return error("unterminated comment");
+          continue;
+        }
+        if (match("<![CDATA[")) {
+          while (!eof() && !match("]]>")) text.push_back(advance());
+          if (eof()) return error("unterminated CDATA");
+          continue;
+        }
+        if (peek(1) == '/') {
+          advance();
+          advance();
+          std::string end = parse_name();
+          skip_ws();
+          if (eof() || advance() != '>') return error("malformed end tag");
+          if (end != elem->name())
+            return error("mismatched end tag </" + end + "> for <" +
+                         elem->name() + ">");
+          // Normalize: trim pure-whitespace text around child elements.
+          std::string_view trimmed = text;
+          if (!elem->children().empty() || !text.empty()) {
+            std::size_t b = 0, e = trimmed.size();
+            while (b < e && std::isspace(static_cast<unsigned char>(trimmed[b]))) ++b;
+            while (e > b && std::isspace(static_cast<unsigned char>(trimmed[e - 1]))) --e;
+            elem->set_text(std::string(trimmed.substr(b, e - b)));
+          }
+          return elem;
+        }
+        if (match("<?")) {
+          while (!eof() && !match("?>")) advance();
+          if (eof()) return error("unterminated processing instruction");
+          continue;
+        }
+        auto childr = parse_element();
+        if (!childr) return childr.error();
+        elem->adopt_child(std::move(*childr));
+        continue;
+      }
+      if (peek() == '&') {
+        advance();
+        auto r = parse_reference();
+        if (!r) return r.error();
+        text += *r;
+        continue;
+      }
+      text.push_back(advance());
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<Document> parse(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+}  // namespace clc::xml

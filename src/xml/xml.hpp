@@ -1,0 +1,90 @@
+// Minimal XML DOM: parser, tree, writer.
+//
+// CORBA-LC component descriptors (§2.1, §2.3 of the paper) are XML files
+// following an OSD-derived schema. This parser supports the subset those
+// descriptors need: elements, attributes, character data, comments, CDATA,
+// XML declaration, and the five predefined entities plus numeric character
+// references. DOCTYPE declarations are skipped (descriptors reference a DTD
+// but we validate structurally in clc::pkg instead).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace clc::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+/// One XML element: name, attributes, text content and child elements.
+/// Mixed content is normalized: all character data inside an element is
+/// concatenated into `text()` (descriptor files never rely on interleaving).
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  void set_text(std::string t) { text_ = std::move(t); }
+  void append_text(std::string_view t) { text_.append(t); }
+
+  /// Attributes, in document order of first assignment.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  attributes() const noexcept {
+    return attrs_;
+  }
+  void set_attr(const std::string& key, std::string value);
+  /// Attribute value or empty string when absent.
+  [[nodiscard]] std::string attr(const std::string& key) const;
+  [[nodiscard]] bool has_attr(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<ElementPtr>& children() const noexcept {
+    return children_;
+  }
+  Element& add_child(std::string name);
+  /// Take ownership of an already-built subtree.
+  void adopt_child(ElementPtr child) { children_.push_back(std::move(child)); }
+  /// First child with the given name, or nullptr.
+  [[nodiscard]] const Element* child(std::string_view name) const;
+  /// All children with the given name.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view name) const;
+  /// Descend a '/'-separated path of child names; nullptr if any hop missing.
+  [[nodiscard]] const Element* find(std::string_view path) const;
+  /// Text of the element at `path`, or fallback when missing.
+  [[nodiscard]] std::string find_text(std::string_view path,
+                                      std::string fallback = "") const;
+
+  /// Serialize this element (and subtree). `indent` < 0 → single line.
+  [[nodiscard]] std::string to_string(int indent = 2) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<ElementPtr> children_;
+};
+
+/// A parsed document: XML declaration (if any) plus the root element.
+struct Document {
+  std::string version = "1.0";
+  std::string encoding = "UTF-8";
+  ElementPtr root;
+
+  [[nodiscard]] std::string to_string(int indent = 2) const;
+};
+
+/// Parse a complete document. Errors carry a line:column location.
+Result<Document> parse(std::string_view input);
+
+/// Escape text for use as XML character data / attribute values.
+std::string escape(std::string_view text);
+
+}  // namespace clc::xml

@@ -1,0 +1,233 @@
+// Tests for CDR marshaling: alignment, byte orders, bounds checking, and a
+// property-based round-trip sweep over randomly generated primitive runs.
+#include <gtest/gtest.h>
+
+#include "orb/cdr.hpp"
+#include "util/rng.hpp"
+
+namespace clc::orb {
+namespace {
+
+TEST(Cdr, PrimitiveRoundTripNativeOrder) {
+  CdrWriter w;
+  w.begin_encapsulation();
+  w.write_octet(0xab);
+  w.write_boolean(true);
+  w.write_short(-1234);
+  w.write_ushort(65000);
+  w.write_long(-100000);
+  w.write_ulong(4000000000u);
+  w.write_longlong(-5000000000LL);
+  w.write_ulonglong(18000000000000000000ULL);
+  w.write_float(3.25f);
+  w.write_double(-2.5e300);
+  w.write_string("hello");
+
+  CdrReader r(w.data());
+  ASSERT_TRUE(r.begin_encapsulation().ok());
+  EXPECT_EQ(*r.read_octet(), 0xab);
+  EXPECT_EQ(*r.read_boolean(), true);
+  EXPECT_EQ(*r.read_short(), -1234);
+  EXPECT_EQ(*r.read_ushort(), 65000);
+  EXPECT_EQ(*r.read_long(), -100000);
+  EXPECT_EQ(*r.read_ulong(), 4000000000u);
+  EXPECT_EQ(*r.read_longlong(), -5000000000LL);
+  EXPECT_EQ(*r.read_ulonglong(), 18000000000000000000ULL);
+  EXPECT_EQ(*r.read_float(), 3.25f);
+  EXPECT_EQ(*r.read_double(), -2.5e300);
+  EXPECT_EQ(*r.read_string(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+class CdrByteOrder : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(CdrByteOrder, CrossEndianRoundTrip) {
+  // Writer uses the parameterized order; the reader discovers it from the
+  // encapsulation flag (receiver-makes-right).
+  CdrWriter w(GetParam());
+  w.begin_encapsulation();
+  w.write_long(-42);
+  w.write_double(1.5);
+  w.write_string("endian");
+  w.write_ulonglong(0x0123456789abcdefULL);
+
+  CdrReader r(w.data());
+  ASSERT_TRUE(r.begin_encapsulation().ok());
+  EXPECT_EQ(r.order(), GetParam());
+  EXPECT_EQ(*r.read_long(), -42);
+  EXPECT_EQ(*r.read_double(), 1.5);
+  EXPECT_EQ(*r.read_string(), "endian");
+  EXPECT_EQ(*r.read_ulonglong(), 0x0123456789abcdefULL);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, CdrByteOrder,
+                         ::testing::Values(ByteOrder::little_endian,
+                                           ByteOrder::big_endian),
+                         [](const auto& info) {
+                           return info.param == ByteOrder::little_endian
+                                      ? "little"
+                                      : "big";
+                         });
+
+TEST(Cdr, AlignmentMatchesCdrRules) {
+  CdrWriter w;                 // no encapsulation: offsets start at 0
+  w.write_octet(1);            // offset 0
+  w.write_long(2);             // aligns to 4 -> padding at 1..3
+  EXPECT_EQ(w.size(), 8u);
+  w.write_octet(3);            // offset 8
+  w.write_double(4.0);         // aligns to 8 -> padding at 9..15
+  EXPECT_EQ(w.size(), 24u);
+  w.write_short(5);            // offset 24, already 2-aligned
+  EXPECT_EQ(w.size(), 26u);
+
+  CdrReader r(w.data());
+  EXPECT_EQ(*r.read_octet(), 1);
+  EXPECT_EQ(*r.read_long(), 2);
+  EXPECT_EQ(*r.read_octet(), 3);
+  EXPECT_EQ(*r.read_double(), 4.0);
+  EXPECT_EQ(*r.read_short(), 5);
+}
+
+TEST(Cdr, EmptyString) {
+  CdrWriter w;
+  w.write_string("");
+  CdrReader r(w.data());
+  EXPECT_EQ(*r.read_string(), "");
+}
+
+TEST(Cdr, BytesRoundTrip) {
+  CdrWriter w;
+  const Bytes payload = {1, 2, 3, 0, 255};
+  w.write_bytes(payload);
+  w.write_bytes({});
+  CdrReader r(w.data());
+  EXPECT_EQ(*r.read_bytes(), payload);
+  EXPECT_TRUE(r.read_bytes()->empty());
+}
+
+TEST(Cdr, TruncationDetected) {
+  CdrWriter w;
+  w.write_long(7);
+  const Bytes& full = w.data();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    CdrReader r(BytesView(full.data(), cut));
+    EXPECT_FALSE(r.read_long().ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Cdr, TruncatedStringDetected) {
+  CdrWriter w;
+  w.write_string("truncate me");
+  Bytes data = w.data();
+  data.resize(data.size() - 3);
+  CdrReader r(data);
+  auto s = r.read_string();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Errc::corrupt_data);
+}
+
+TEST(Cdr, StringMissingNulDetected) {
+  CdrWriter w;
+  w.write_string("abc");
+  Bytes data = w.data();
+  data.back() = 'x';  // clobber the NUL
+  CdrReader r(data);
+  EXPECT_FALSE(r.read_string().ok());
+}
+
+TEST(Cdr, BadByteOrderFlagRejected) {
+  Bytes data = {7};
+  CdrReader r(data);
+  EXPECT_FALSE(r.begin_encapsulation().ok());
+}
+
+// Property test: a random schedule of typed writes reads back identically,
+// under both byte orders and across many seeds.
+class CdrFuzzRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdrFuzzRoundTrip, RandomScheduleRoundTrips) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const ByteOrder order =
+        rng.chance(0.5) ? ByteOrder::little_endian : ByteOrder::big_endian;
+    CdrWriter w(order);
+    w.begin_encapsulation();
+    struct Step {
+      int kind;
+      std::uint64_t bits;
+      std::string text;
+    };
+    std::vector<Step> steps;
+    const int n = static_cast<int>(rng.next_in(1, 30));
+    for (int i = 0; i < n; ++i) {
+      Step s;
+      s.kind = static_cast<int>(rng.next_in(0, 7));
+      s.bits = rng.next_u64();
+      switch (s.kind) {
+        case 0: w.write_octet(static_cast<std::uint8_t>(s.bits)); break;
+        case 1: w.write_short(static_cast<std::int16_t>(s.bits)); break;
+        case 2: w.write_long(static_cast<std::int32_t>(s.bits)); break;
+        case 3: w.write_longlong(static_cast<std::int64_t>(s.bits)); break;
+        case 4: {
+          float f;
+          auto u = static_cast<std::uint32_t>(s.bits >> 9);  // avoid NaN-ish
+          std::memcpy(&f, &u, sizeof f);
+          w.write_float(f);
+          break;
+        }
+        case 5: {
+          const auto len = rng.next_below(32);
+          s.text.clear();
+          for (std::uint64_t k = 0; k < len; ++k)
+            s.text.push_back(static_cast<char>('a' + rng.next_below(26)));
+          w.write_string(s.text);
+          break;
+        }
+        case 6: w.write_boolean((s.bits & 1) != 0); break;
+        case 7: w.write_double(static_cast<double>(s.bits) * 0.5); break;
+      }
+      steps.push_back(std::move(s));
+    }
+    CdrReader r(w.data());
+    ASSERT_TRUE(r.begin_encapsulation().ok());
+    for (const auto& s : steps) {
+      switch (s.kind) {
+        case 0:
+          EXPECT_EQ(*r.read_octet(), static_cast<std::uint8_t>(s.bits));
+          break;
+        case 1:
+          EXPECT_EQ(*r.read_short(), static_cast<std::int16_t>(s.bits));
+          break;
+        case 2:
+          EXPECT_EQ(*r.read_long(), static_cast<std::int32_t>(s.bits));
+          break;
+        case 3:
+          EXPECT_EQ(*r.read_longlong(), static_cast<std::int64_t>(s.bits));
+          break;
+        case 4: {
+          float f;
+          auto u = static_cast<std::uint32_t>(s.bits >> 9);
+          std::memcpy(&f, &u, sizeof f);
+          EXPECT_EQ(*r.read_float(), f);
+          break;
+        }
+        case 5:
+          EXPECT_EQ(*r.read_string(), s.text);
+          break;
+        case 6:
+          EXPECT_EQ(*r.read_boolean(), (s.bits & 1) != 0);
+          break;
+        case 7:
+          EXPECT_EQ(*r.read_double(), static_cast<double>(s.bits) * 0.5);
+          break;
+      }
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdrFuzzRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace clc::orb

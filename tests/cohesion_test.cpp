@@ -1,0 +1,441 @@
+// Protocol tests: membership, hierarchy formation, soft-consistency
+// digests, distributed queries, failure detection, MRM/root replication and
+// the flat/strong baseline modes -- all under the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cohesion.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace clc::core {
+namespace {
+
+using sim::SimHost;
+using sim::SimNetwork;
+using sim::Simulator;
+
+/// One simulated CORBA-LC peer: a CohesionNode wired to the SimNetwork.
+class SimPeer : public SimHost {
+ public:
+  SimPeer(NodeId id, CohesionConfig cfg, SimNetwork& net, Simulator& sim)
+      : net_(net),
+        sim_(sim),
+        node_(id, cfg, [this, id](NodeId to, const ProtoMessage& m) {
+          net_.send(id, to, m.encode());
+        }) {
+    node_.set_digest_provider([this] {
+      RegistryDigest d;
+      d.components = components_;
+      d.cpu_load = cpu_load_;
+      return d;
+    });
+  }
+
+  void on_message(NodeId from, const Bytes& payload) override {
+    (void)from;
+    if (!alive_) return;
+    auto m = ProtoMessage::decode(payload);
+    if (m.ok()) node_.on_message(*m, sim_.now());
+  }
+
+  /// Install a synthetic component into this peer's advertised digest.
+  void advertise(const std::string& name, const Version& v, bool mobile = true,
+                 double cost = 0) {
+    components_.push_back(ComponentSummary{name, v, mobile, cost});
+  }
+  void set_cpu_load(double load) { cpu_load_ = load; }
+
+  CohesionNode& node() { return node_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  void kill() { alive_ = false; }
+  void tick() {
+    if (alive_) node_.on_tick(sim_.now());
+  }
+
+ private:
+  SimNetwork& net_;
+  Simulator& sim_;
+  CohesionNode node_;
+  std::vector<ComponentSummary> components_;
+  double cpu_load_ = 0;
+  bool alive_ = true;
+};
+
+/// Test world: N peers, periodic ticks, convenience drivers.
+class World {
+ public:
+  explicit World(CohesionConfig cfg, std::uint64_t seed = 1)
+      : net_(sim_, seed), cfg_(cfg) {
+    net_.set_link_model({.base_latency = milliseconds(5),
+                         .jitter = milliseconds(1),
+                         .bytes_per_second = 0,
+                         .drop_probability = 0});
+  }
+
+  SimPeer& spawn(std::uint64_t id) {
+    auto peer = std::make_unique<SimPeer>(NodeId{id}, cfg_, net_, sim_);
+    SimPeer& ref = *peer;
+    net_.attach(NodeId{id}, peer.get());
+    peers_.push_back(std::move(peer));
+    schedule_ticks(ref);
+    return ref;
+  }
+
+  /// Build a network of n peers with ids 1..n; peer 1 founds it.
+  void build(std::size_t n) {
+    for (std::size_t i = 1; i <= n; ++i) {
+      SimPeer& p = spawn(i);
+      if (i == 1) {
+        p.node().start_as_first(sim_.now());
+      } else {
+        // Stagger joins so the directory grows incrementally.
+        sim_.schedule_after(milliseconds(10) * static_cast<Duration>(i),
+                            [&p, this] {
+                              p.node().start_joining(NodeId{1}, sim_.now());
+                            });
+      }
+    }
+  }
+
+  void kill(std::uint64_t id) {
+    peer(id).kill();
+    net_.detach(NodeId{id});
+  }
+
+  SimPeer& peer(std::uint64_t id) {
+    for (auto& p : peers_) {
+      if (p->node().id() == NodeId{id}) return *p;
+    }
+    throw std::runtime_error("no peer " + std::to_string(id));
+  }
+
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+  /// Synchronous query helper: issue and run the sim until the callback.
+  std::vector<QueryHit> query(std::uint64_t from, const ComponentQuery& q) {
+    std::vector<QueryHit> result;
+    bool done = false;
+    peer(from).node().query(q, sim_.now(), [&](std::vector<QueryHit> hits) {
+      result = std::move(hits);
+      done = true;
+    });
+    for (int guard = 0; !done && guard < 10000; ++guard) {
+      if (!sim_.step()) run_for(cfg_.heartbeat / 2);
+    }
+    EXPECT_TRUE(done) << "query never completed";
+    return result;
+  }
+
+  [[nodiscard]] std::size_t joined_count() const {
+    std::size_t n = 0;
+    for (const auto& p : peers_) n += p->alive() && p->node().joined();
+    return n;
+  }
+  [[nodiscard]] std::vector<const CohesionNode*> roots() const {
+    std::vector<const CohesionNode*> out;
+    for (const auto& p : peers_) {
+      if (p->alive() && p->node().is_root()) out.push_back(&p->node());
+    }
+    return out;
+  }
+
+  Simulator& sim() { return sim_; }
+  SimNetwork& net() { return net_; }
+
+ private:
+  void schedule_ticks(SimPeer& p) {
+    const Duration period = cfg_.heartbeat / 2;
+    sim_.schedule_after(period, [this, &p, period] { tick_loop(p, period); });
+  }
+  void tick_loop(SimPeer& p, Duration period) {
+    if (!p.alive()) return;  // dead peers stop ticking
+    p.tick();
+    sim_.schedule_after(period, [this, &p, period] { tick_loop(p, period); });
+  }
+
+  Simulator sim_;
+  SimNetwork net_;
+  CohesionConfig cfg_;
+  std::vector<std::unique_ptr<SimPeer>> peers_;
+};
+
+CohesionConfig hier_config(std::size_t group_size = 4) {
+  CohesionConfig cfg;
+  cfg.mode = CohesionConfig::Mode::hierarchical;
+  cfg.heartbeat = seconds(1);
+  cfg.group_size = group_size;
+  cfg.query_timeout = seconds(3);
+  return cfg;
+}
+
+ComponentQuery query_for(const std::string& pattern,
+                         std::uint32_t max_results = 8) {
+  ComponentQuery q;
+  q.name_pattern = pattern;
+  q.max_results = max_results;
+  return q;
+}
+
+// ---------------------------------------------------------------- formation
+
+TEST(Cohesion, NetworkFormsWithSingleRoot) {
+  World w(hier_config());
+  w.build(20);
+  w.run_for(seconds(15));
+  EXPECT_EQ(w.joined_count(), 20u);
+  ASSERT_EQ(w.roots().size(), 1u);
+  EXPECT_EQ(w.roots()[0]->id(), NodeId{1});
+  EXPECT_EQ(w.roots()[0]->directory_nodes().size(), 20u);
+}
+
+TEST(Cohesion, HierarchyHasMultipleLevels) {
+  World w(hier_config(4));
+  w.build(20);
+  w.run_for(seconds(15));
+  // 20 nodes with groups of 4: depth must exceed 2 (root -> MRM -> member).
+  EXPECT_GE(w.roots()[0]->subtree_depth(), 3);
+  // Root has at most group_size children-ish structure: every alive node
+  // got a parent.
+  int parents = 0;
+  for (std::uint64_t id = 2; id <= 20; ++id)
+    parents += w.peer(id).node().parent().valid();
+  EXPECT_EQ(parents, 19);
+}
+
+TEST(Cohesion, SingletonNetworkAnswersQueriesLocally) {
+  World w(hier_config());
+  SimPeer& only = w.spawn(1);
+  only.advertise("solo.component", Version{1, 0, 0});
+  only.node().start_as_first(w.sim().now());
+  auto hits = w.query(1, query_for("solo.*"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].component, "solo.component");
+  EXPECT_EQ(hits[0].node, NodeId{1});
+}
+
+// ---------------------------------------------------------------- queries
+
+TEST(Cohesion, QueryFindsComponentAcrossTheNetwork) {
+  World w(hier_config(4));
+  w.build(20);
+  w.peer(17).advertise("video.decoder", Version{2, 1, 0});
+  w.run_for(seconds(15));  // digests propagate with heartbeats
+  auto hits = w.query(3, query_for("video.decoder"));
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, NodeId{17});
+  EXPECT_EQ(hits[0].version, (Version{2, 1, 0}));
+}
+
+TEST(Cohesion, QueryRanksLocalAboveRemote) {
+  World w(hier_config(4));
+  w.build(10);
+  w.peer(3).advertise("calc", Version{1, 0, 0});
+  w.peer(9).advertise("calc", Version{1, 0, 0});
+  w.run_for(seconds(15));
+  auto hits = w.query(3, query_for("calc"));
+  ASSERT_GE(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, NodeId{3}) << "local copy must win";
+}
+
+TEST(Cohesion, QueryHonoursVersionConstraint) {
+  World w(hier_config(4));
+  w.build(8);
+  w.peer(5).advertise("codec", Version{1, 9, 0});
+  w.peer(6).advertise("codec", Version{2, 2, 0});
+  w.run_for(seconds(12));
+  ComponentQuery q = query_for("codec");
+  q.constraint = *VersionConstraint::parse(">=2.0");
+  auto hits = w.query(2, q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, NodeId{6});
+}
+
+TEST(Cohesion, QueryHonoursMobilityRequirement) {
+  World w(hier_config(4));
+  w.build(6);
+  w.peer(4).advertise("pinned", Version{1, 0, 0}, /*mobile=*/false);
+  w.run_for(seconds(12));
+  ComponentQuery q = query_for("pinned");
+  q.require_mobile = true;
+  EXPECT_TRUE(w.query(2, q).empty());
+  q.require_mobile = false;
+  EXPECT_EQ(w.query(2, q).size(), 1u);
+}
+
+TEST(Cohesion, MissingComponentYieldsEmptyAfterTimeout) {
+  World w(hier_config(4));
+  w.build(12);
+  w.run_for(seconds(12));
+  auto hits = w.query(7, query_for("no.such.thing"));
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(Cohesion, NewComponentBecomesVisibleAfterHeartbeat) {
+  // Requirement 5: seamlessly integrate new components at run time.
+  World w(hier_config(4));
+  w.build(12);
+  w.run_for(seconds(10));
+  EXPECT_TRUE(w.query(2, query_for("late.arrival")).empty());
+  w.peer(11).advertise("late.arrival", Version{1, 0, 0});
+  w.run_for(seconds(6));  // a few heartbeats
+  auto hits = w.query(2, query_for("late.arrival"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, NodeId{11});
+}
+
+TEST(Cohesion, GlobPatternsMatchFamilies) {
+  World w(hier_config(4));
+  w.build(10);
+  w.peer(4).advertise("gui.button", Version{1, 0, 0});
+  w.peer(7).advertise("gui.canvas", Version{1, 0, 0});
+  w.peer(9).advertise("net.socket", Version{1, 0, 0});
+  w.run_for(seconds(12));
+  auto hits = w.query(2, query_for("gui.*"));
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+// ---------------------------------------------------------------- failures
+
+TEST(Cohesion, DeadLeafLeavesDirectory) {
+  World w(hier_config(4));
+  w.build(10);
+  w.run_for(seconds(12));
+  ASSERT_EQ(w.roots()[0]->directory_nodes().size(), 10u);
+  w.kill(10);
+  w.run_for(seconds(12));  // > dead_after heartbeats
+  EXPECT_EQ(w.roots()[0]->directory_nodes().size(), 9u);
+}
+
+TEST(Cohesion, MrmDeathReparentsOrphans) {
+  World w(hier_config(4));
+  w.build(12);
+  w.run_for(seconds(12));
+  // Find an interior node (an MRM that is not the root).
+  std::uint64_t mrm_id = 0;
+  for (std::uint64_t id = 2; id <= 12; ++id) {
+    if (w.peer(id).node().is_mrm()) {
+      mrm_id = id;
+      break;
+    }
+  }
+  ASSERT_NE(mrm_id, 0u) << "no interior MRM formed";
+  w.peer(4).advertise("survivor", Version{1, 0, 0});
+  w.run_for(seconds(5));
+  w.kill(mrm_id);
+  w.run_for(seconds(20));  // detection + topology repair
+  EXPECT_EQ(w.roots().size(), 1u);
+  EXPECT_EQ(w.roots()[0]->directory_nodes().size(), 11u);
+  // The network still answers queries (from a node that was orphaned or not).
+  const std::uint64_t asker = mrm_id == 2 ? 3 : 2;
+  auto hits = w.query(asker, query_for("survivor"));
+  EXPECT_GE(hits.size(), 1u);
+}
+
+TEST(Cohesion, RootDeathPromotesReplica) {
+  World w(hier_config(4));
+  w.build(12);
+  w.run_for(seconds(15));  // directory replicas synced
+  w.peer(8).advertise("after.failover", Version{1, 0, 0});
+  w.run_for(seconds(5));
+  w.kill(1);
+  w.run_for(seconds(40));  // detection + staggered promotion + re-join waves
+  auto roots = w.roots();
+  ASSERT_EQ(roots.size(), 1u) << "exactly one new root must emerge";
+  EXPECT_NE(roots[0]->id(), NodeId{1});
+  EXPECT_GE(roots[0]->stats().promotions, 1u);
+  // Network functional again.
+  auto hits = w.query(5, query_for("after.failover"));
+  EXPECT_GE(hits.size(), 1u);
+}
+
+TEST(Cohesion, KilledNodeCanRejoinSeamlessly) {
+  World w(hier_config(4));
+  w.build(8);
+  w.run_for(seconds(12));
+  w.kill(6);
+  w.run_for(seconds(12));
+  EXPECT_EQ(w.roots()[0]->directory_nodes().size(), 7u);
+  // Re-join under the same id (fresh peer object, like a restarted host).
+  SimPeer& reborn = w.spawn(6);
+  reborn.advertise("reborn.component", Version{1, 0, 0});
+  reborn.node().start_joining(NodeId{1}, w.sim().now());
+  w.run_for(seconds(12));
+  EXPECT_EQ(w.roots()[0]->directory_nodes().size(), 8u);
+  auto hits = w.query(2, query_for("reborn.*"));
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+// ---------------------------------------------------------------- baselines
+
+CohesionConfig flat_config() {
+  CohesionConfig cfg;
+  cfg.mode = CohesionConfig::Mode::flat_query;
+  cfg.heartbeat = seconds(1);
+  cfg.query_timeout = seconds(3);
+  return cfg;
+}
+
+TEST(Cohesion, FlatModeRosterAndQueries) {
+  World w(flat_config());
+  w.build(10);
+  w.run_for(seconds(10));
+  EXPECT_EQ(w.joined_count(), 10u);
+  w.peer(7).advertise("flat.component", Version{1, 0, 0});
+  auto hits = w.query(2, query_for("flat.*"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, NodeId{7});
+}
+
+TEST(Cohesion, FlatModeDetectsDeadNodes) {
+  World w(flat_config());
+  w.build(6);
+  w.run_for(seconds(10));
+  w.kill(5);
+  w.run_for(seconds(12));
+  for (std::uint64_t id : {1ull, 2ull, 3ull}) {
+    auto known = w.peer(id).node().known_nodes();
+    EXPECT_EQ(std::count(known.begin(), known.end(), NodeId{5}), 0)
+        << "node " << id << " still believes 5 is alive";
+  }
+}
+
+TEST(Cohesion, StrongModeAnswersLocallyWithZeroQueryTraffic) {
+  CohesionConfig cfg = flat_config();
+  cfg.mode = CohesionConfig::Mode::strong;
+  World w(cfg);
+  w.build(8);
+  w.peer(6).advertise("strong.component", Version{1, 0, 0});
+  w.run_for(seconds(10));  // broadcasts propagate
+  const auto before = w.net().stats().messages_sent;
+  auto hits = w.query(2, query_for("strong.*"));
+  const auto after = w.net().stats().messages_sent;
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, NodeId{6});
+  EXPECT_EQ(before, after) << "strong-mode queries must be local";
+}
+
+TEST(Cohesion, SoftConsistencyUsesLessBandwidthThanStrong) {
+  // The paper's central protocol claim (E3's shape, asserted coarsely).
+  auto run_mode = [](CohesionConfig::Mode mode) {
+    CohesionConfig cfg;
+    cfg.mode = mode;
+    cfg.heartbeat = seconds(1);
+    World w(cfg);
+    w.build(24);
+    for (std::uint64_t id = 1; id <= 24; ++id)
+      w.peer(id).advertise("c" + std::to_string(id), Version{1, 0, 0});
+    w.run_for(seconds(10));
+    w.net().reset_stats();
+    w.run_for(seconds(20));  // steady state
+    return w.net().stats().bytes_sent;
+  };
+  const auto hier = run_mode(CohesionConfig::Mode::hierarchical);
+  const auto strong = run_mode(CohesionConfig::Mode::strong);
+  EXPECT_LT(hier * 3, strong)
+      << "hierarchical soft consistency should use far less bandwidth";
+}
+
+}  // namespace
+}  // namespace clc::core

@@ -1,0 +1,443 @@
+// Unit tests for the core building blocks in isolation: ProtoMessage,
+// RegistryDigest/Query codecs, scoring, ResourceManager admission,
+// ComponentRepository, Container lifecycle, and the event hub.
+#include <gtest/gtest.h>
+
+#include "core/container.hpp"
+#include "core/events.hpp"
+#include "core/proto.hpp"
+#include "core/query.hpp"
+#include "core/registry.hpp"
+#include "core/repository.hpp"
+#include "core/resource.hpp"
+#include "support/test_components.hpp"
+
+namespace clc::core {
+namespace {
+
+// ---------------------------------------------------------------- proto
+
+TEST(Proto, RoundTrip) {
+  ProtoMessage m;
+  m.kind = "heartbeat";
+  m.sender = NodeId{42};
+  m.set("names", "a\nb");
+  m.set_int("count", -7);
+  m.set_double("load", 0.25);
+  m.blob = {1, 2, 3};
+  auto back = ProtoMessage::decode(m.encode());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->kind, "heartbeat");
+  EXPECT_EQ(back->sender, NodeId{42});
+  EXPECT_EQ(back->field("names"), "a\nb");
+  EXPECT_EQ(back->field_int("count"), -7);
+  EXPECT_DOUBLE_EQ(back->field_double("load"), 0.25);
+  EXPECT_EQ(back->blob, (Bytes{1, 2, 3}));
+  EXPECT_EQ(back->field("missing", "dflt"), "dflt");
+  EXPECT_EQ(back->field_int("missing", 9), 9);
+  EXPECT_EQ(back->field_int("names", 5), 5);  // non-numeric -> fallback
+}
+
+TEST(Proto, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ProtoMessage::decode(Bytes{1, 2}).ok());
+  EXPECT_FALSE(ProtoMessage::decode({}).ok());
+}
+
+// ---------------------------------------------------------------- digests
+
+TEST(Digest, RoundTrip) {
+  RegistryDigest d;
+  d.node = NodeId{7};
+  d.cpu_load = 0.5;
+  d.memory_free_kb = 1024;
+  d.device = DeviceClass::pda;
+  d.revision = 3;
+  d.components = {{"a.b", Version{1, 2, 3}, true, 0.5},
+                  {"c.d", Version{2, 0, 0}, false, 0.0}};
+  auto back = RegistryDigest::decode(d.encode());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->node, NodeId{7});
+  EXPECT_EQ(back->device, DeviceClass::pda);
+  ASSERT_EQ(back->components.size(), 2u);
+  EXPECT_EQ(back->components[0].name, "a.b");
+  EXPECT_EQ(back->components[0].version, (Version{1, 2, 3}));
+  EXPECT_FALSE(back->components[1].mobile);
+}
+
+TEST(Digest, HostileCountRejected) {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulonglong(1);
+  w.write_double(0);
+  w.write_ulonglong(0);
+  w.write_octet(0);
+  w.write_ulonglong(0);
+  w.write_ulong(0xffffffffu);  // absurd component count
+  EXPECT_FALSE(RegistryDigest::decode(w.data()).ok());
+}
+
+TEST(Query, CodecAndMatching) {
+  ComponentQuery q;
+  q.name_pattern = "video.*";
+  q.constraint = *VersionConstraint::parse(">=2.0");
+  q.require_mobile = true;
+  q.max_results = 3;
+  auto back = ComponentQuery::decode(q.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name_pattern, "video.*");
+  EXPECT_EQ(back->max_results, 3u);
+
+  EXPECT_TRUE(q.matches({"video.decoder", Version{2, 1, 0}, true, 0}));
+  EXPECT_FALSE(q.matches({"video.decoder", Version{1, 9, 0}, true, 0}));
+  EXPECT_FALSE(q.matches({"video.decoder", Version{2, 1, 0}, false, 0}));
+  EXPECT_FALSE(q.matches({"audio.mixer", Version{2, 1, 0}, true, 0}));
+}
+
+TEST(Query, HitsCodecRoundTrip) {
+  std::vector<QueryHit> hits = {
+      {NodeId{1}, "a", Version{1, 0, 0}, true, 0.5, 0.2, DeviceClass::server},
+      {NodeId{2}, "b", Version{2, 0, 0}, false, 0.0, 0.9, DeviceClass::pda}};
+  auto back = decode_hits(encode_hits(hits));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, hits);
+}
+
+TEST(Query, ScoringPrefersLocalityThenLoadThenCost) {
+  PlacementContext ctx;
+  ctx.querying_node = NodeId{1};
+  ctx.group_members = {NodeId{2}};
+  QueryHit local{NodeId{1}, "c", Version{1, 0, 0}, true, 0, 0.9,
+                 DeviceClass::workstation};
+  QueryHit group{NodeId{2}, "c", Version{1, 0, 0}, true, 0, 0.0,
+                 DeviceClass::server};
+  QueryHit far{NodeId{3}, "c", Version{1, 0, 0}, true, 0, 0.0,
+               DeviceClass::server};
+  QueryHit costly = far;
+  costly.node = NodeId{4};
+  costly.cost_per_use = 5.0;
+  EXPECT_GT(score_hit(local, ctx), score_hit(group, ctx));
+  EXPECT_GT(score_hit(group, ctx), score_hit(far, ctx));
+  EXPECT_GT(score_hit(far, ctx), score_hit(costly, ctx));
+
+  std::vector<QueryHit> hits = {costly, far, group, local};
+  rank_hits(hits, ctx);
+  EXPECT_EQ(hits[0].node, NodeId{1});
+  EXPECT_EQ(hits[1].node, NodeId{2});
+  EXPECT_EQ(hits[3].node, NodeId{4});
+}
+
+TEST(Query, RankingDeterministicTieBreak) {
+  PlacementContext ctx;
+  ctx.querying_node = NodeId{99};
+  std::vector<QueryHit> hits = {
+      {NodeId{5}, "c", Version{1, 0, 0}, true, 0, 0.3, DeviceClass::server},
+      {NodeId{3}, "c", Version{1, 0, 0}, true, 0, 0.3, DeviceClass::server}};
+  rank_hits(hits, ctx);
+  EXPECT_EQ(hits[0].node, NodeId{3});  // equal score: lower id first
+}
+
+// ---------------------------------------------------------------- resources
+
+pkg::ComponentDescription demand(double cpu, std::uint64_t mem_kb = 0) {
+  pkg::ComponentDescription d;
+  d.name = "x";
+  d.qos.max_cpu_load = cpu;
+  d.qos.max_memory_kb = mem_kb;
+  return d;
+}
+
+TEST(Resources, AdmissionAccounting) {
+  NodeProfile p;
+  p.cpu_power = 1.0;
+  p.total_memory_kb = 1000;
+  ResourceManager rm(p);
+  EXPECT_TRUE(rm.can_host(demand(0.5, 400)));
+  ASSERT_TRUE(rm.reserve(InstanceId{1}, demand(0.5, 400)).ok());
+  EXPECT_DOUBLE_EQ(rm.load().cpu_load, 0.5);
+  EXPECT_EQ(rm.memory_free_kb(), 600u);
+  EXPECT_TRUE(rm.can_host(demand(0.5, 600)));
+  EXPECT_FALSE(rm.can_host(demand(0.6, 0)));
+  EXPECT_FALSE(rm.can_host(demand(0.1, 700)));
+  ASSERT_FALSE(rm.reserve(InstanceId{1}, demand(0.1)).ok());  // duplicate
+  rm.release(InstanceId{1});
+  EXPECT_DOUBLE_EQ(rm.load().cpu_load, 0.0);
+  EXPECT_EQ(rm.reservations(), 0u);
+  rm.release(InstanceId{1});  // idempotent
+}
+
+TEST(Resources, CpuPowerScalesDemand) {
+  NodeProfile strong;
+  strong.cpu_power = 4.0;
+  ResourceManager rm(strong);
+  // A 0.8-CPU component uses only 0.2 of a 4x node.
+  ASSERT_TRUE(rm.reserve(InstanceId{1}, demand(0.8)).ok());
+  EXPECT_DOUBLE_EQ(rm.load().cpu_load, 0.2);
+  EXPECT_DOUBLE_EQ(rm.cpu_headroom(), 0.8 * 4.0);
+}
+
+TEST(Resources, AmbientLoadCounts) {
+  ResourceManager rm(NodeProfile{});
+  rm.set_ambient_cpu_load(0.7);
+  EXPECT_FALSE(rm.can_host(demand(0.5)));
+  EXPECT_TRUE(rm.can_host(demand(0.2)));
+}
+
+TEST(Resources, PdaCannotInstall) {
+  NodeProfile pda;
+  pda.device = DeviceClass::pda;
+  ResourceManager rm(pda);
+  EXPECT_FALSE(rm.can_host(demand(0.01)));
+  EXPECT_FALSE(rm.profile().can_install());
+}
+
+TEST(Resources, HardwareFilter) {
+  NodeProfile p;
+  p.arch = "sparc";
+  ResourceManager rm(p);
+  pkg::ComponentDescription d = demand(0.1);
+  d.hardware.architectures = {"x86_64", "arm"};
+  EXPECT_FALSE(rm.can_host(d));
+  d.hardware.architectures = {"sparc"};
+  EXPECT_TRUE(rm.can_host(d));
+}
+
+// ---------------------------------------------------------------- repository
+
+struct RepoFixture {
+  RepoFixture()
+      : types(std::make_shared<idl::InterfaceRepository>()),
+        repo(NodeProfile{}, types) {}
+  std::shared_ptr<idl::InterfaceRepository> types;
+  ComponentRepository repo;
+};
+
+TEST(Repository, InstallFindRemove) {
+  RepoFixture f;
+  ASSERT_TRUE(f.repo.install(testing::calculator_package({1, 0, 0})).ok());
+  ASSERT_TRUE(f.repo.install(testing::calculator_package({2, 1, 0})).ok());
+  EXPECT_EQ(f.repo.size(), 2u);
+  EXPECT_EQ(f.repo.revision(), 2u);
+
+  // Best version satisfying the constraint.
+  auto best = f.repo.find("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ((*best)->description.version, (Version{2, 1, 0}));
+  auto v1 = f.repo.find("demo.calculator", *VersionConstraint::parse("<2.0"));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ((*v1)->description.version, (Version{1, 0, 0}));
+  EXPECT_FALSE(f.repo.find("demo.calculator",
+                           *VersionConstraint::parse(">=3.0")).ok());
+
+  // Duplicate install rejected; remove works.
+  EXPECT_FALSE(f.repo.install(testing::calculator_package({1, 0, 0})).ok());
+  ASSERT_TRUE(f.repo.remove("demo.calculator", {1, 0, 0}).ok());
+  EXPECT_FALSE(f.repo.remove("demo.calculator", {1, 0, 0}).ok());
+  EXPECT_EQ(f.repo.size(), 1u);
+  EXPECT_EQ(f.repo.revision(), 3u);
+}
+
+TEST(Repository, IdlRegisteredOnInstall) {
+  RepoFixture f;
+  ASSERT_TRUE(f.repo.install(testing::calculator_package()).ok());
+  EXPECT_NE(f.types->find_interface("demo::Calculator"), nullptr);
+  auto idl_text = f.repo.idl_of("demo.calculator", {1, 0, 0});
+  ASSERT_TRUE(idl_text.ok());
+  EXPECT_NE(idl_text->find("Calculator"), std::string::npos);
+}
+
+TEST(Repository, LoadUnload) {
+  RepoFixture f;
+  ASSERT_TRUE(f.repo.install(testing::calculator_package()).ok());
+  EXPECT_FALSE(f.repo.unload("demo.calculator", {1, 0, 0}).ok());
+  auto factory = f.repo.load("demo.calculator", {1, 0, 0});
+  ASSERT_TRUE(factory.ok());
+  EXPECT_NE((*factory)(), nullptr);
+  EXPECT_TRUE(f.repo.unload("demo.calculator", {1, 0, 0}).ok());
+  EXPECT_FALSE(f.repo.load("missing", {1, 0, 0}).ok());
+}
+
+TEST(Repository, ExportRespectsPlatformAndMobility) {
+  RepoFixture f;
+  ASSERT_TRUE(f.repo.install(testing::calculator_package()).ok());
+  NodeProfile workstation;
+  auto full = f.repo.export_package("demo.calculator", {1, 0, 0}, workstation);
+  ASSERT_TRUE(full.ok());
+  NodeProfile pda;
+  pda.arch = "arm";
+  pda.device = DeviceClass::pda;
+  auto slice = f.repo.export_package("demo.calculator", {1, 0, 0}, pda);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_LT(slice->size(), full->size());
+  NodeProfile alien;
+  alien.arch = "mips";
+  EXPECT_FALSE(
+      f.repo.export_package("demo.calculator", {1, 0, 0}, alien).ok());
+}
+
+TEST(Repository, WrongPlatformInstallRejected) {
+  auto types = std::make_shared<idl::InterfaceRepository>();
+  NodeProfile sparc;
+  sparc.arch = "sparc";
+  ComponentRepository repo(sparc, types);
+  auto r = repo.install(testing::calculator_package());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::unsupported);
+}
+
+// ---------------------------------------------------------------- container
+
+struct ContainerFixture {
+  ContainerFixture()
+      : types(std::make_shared<idl::InterfaceRepository>()),
+        orb(NodeId{1}, types),
+        repo(NodeProfile{}, types),
+        resources(NodeProfile{}),
+        registry(NodeId{1}, repo, resources),
+        events(orb),
+        container(Container::Services{&orb, &repo, &resources, &events,
+                                      &registry, {}}) {
+    (void)repo.install(testing::counter_package());
+  }
+  std::shared_ptr<idl::InterfaceRepository> types;
+  orb::Orb orb;
+  ComponentRepository repo;
+  ResourceManager resources;
+  ComponentRegistry registry;
+  EventChannelHub events;
+  Container container;
+};
+
+TEST(ContainerUnit, LifecycleAndPorts) {
+  ContainerFixture f;
+  auto id = f.container.create("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(id.ok()) << id.error().to_string();
+  EXPECT_EQ(f.container.size(), 1u);
+  EXPECT_EQ(f.resources.reservations(), 1u);
+  auto port = f.container.provided_port(*id, "counter");
+  ASSERT_TRUE(port.ok());
+  EXPECT_FALSE(port->is_nil());
+  EXPECT_FALSE(f.container.provided_port(*id, "bogus").ok());
+
+  ASSERT_TRUE(f.container.passivate(*id).ok());
+  EXPECT_FALSE(f.container.passivate(*id).ok());  // already passive
+  ASSERT_TRUE(f.container.activate(*id).ok());
+  ASSERT_TRUE(f.container.destroy(*id).ok());
+  EXPECT_EQ(f.container.size(), 0u);
+  EXPECT_EQ(f.resources.reservations(), 0u);
+  EXPECT_FALSE(f.container.destroy(*id).ok());
+}
+
+TEST(ContainerUnit, CreateFailsForMissingComponent) {
+  ContainerFixture f;
+  EXPECT_FALSE(f.container.create("no.such", VersionConstraint{}).ok());
+}
+
+TEST(ContainerUnit, SnapshotRestoreEquivalence) {
+  ContainerFixture f;
+  auto id = f.container.create("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(id.ok());
+  auto impl = f.container.implementation(*id);
+  ASSERT_TRUE(impl.ok());
+  // Drive the counter through its own servant.
+  auto port = f.container.provided_port(*id, "counter");
+  for (int i = 0; i < 3; ++i) (void)f.orb.call(*port, "increment");
+
+  auto snapshot = f.container.capture(*id);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().to_string();
+  EXPECT_EQ(snapshot->component, "demo.counter");
+  ASSERT_TRUE(f.container.destroy(*id).ok());
+
+  auto restored = f.container.restore(*snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  auto port2 = f.container.provided_port(*restored, "counter");
+  auto value = f.orb.call(*port2, "value");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, orb::Value(std::int64_t{3}));
+}
+
+TEST(ContainerUnit, ConnectChecksPortAndInterface) {
+  ContainerFixture f;
+  (void)f.repo.install(testing::greeter_package());
+  (void)f.repo.install(testing::calculator_package());
+  auto greeter = f.container.create("demo.greeter", VersionConstraint{});
+  auto calc = f.container.create("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(greeter.ok() && calc.ok());
+  auto calc_port = f.container.provided_port(*calc, "calc");
+  ASSERT_TRUE(calc_port.ok());
+  // Valid connection.
+  EXPECT_TRUE(f.container.connect(*greeter, "calc", *calc_port).ok());
+  // Unknown port.
+  EXPECT_FALSE(f.container.connect(*greeter, "nope", *calc_port).ok());
+  // Provides-port used as uses-port.
+  EXPECT_FALSE(f.container.connect(*calc, "calc", *calc_port).ok());
+  // Interface mismatch: wire a Counter where a Calculator is needed.
+  auto counter = f.container.create("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(counter.ok());
+  auto counter_port = f.container.provided_port(*counter, "counter");
+  EXPECT_FALSE(f.container.connect(*greeter, "calc", *counter_port).ok());
+}
+
+TEST(ContainerUnit, FindActiveRespectsConstraint) {
+  ContainerFixture f;
+  auto id = f.container.create("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(f.container.find_active("demo.counter", VersionConstraint{}).ok());
+  EXPECT_FALSE(f.container
+                   .find_active("demo.counter",
+                                *VersionConstraint::parse(">=9.0"))
+                   .ok());
+  (void)f.container.passivate(*id);
+  EXPECT_FALSE(
+      f.container.find_active("demo.counter", VersionConstraint{}).ok());
+}
+
+// ---------------------------------------------------------------- events
+
+TEST(Events, LocalSubscribeUnsubscribe) {
+  auto types = std::make_shared<idl::InterfaceRepository>();
+  orb::Orb o(NodeId{1}, types);
+  EventChannelHub hub(o);
+  int got = 0;
+  auto sub = hub.subscribe_local("t", [&got](const orb::Value&) { ++got; });
+  hub.publish("t", orb::Value("x"));
+  hub.publish("other", orb::Value("x"));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(hub.consumer_count("t"), 1u);
+  hub.unsubscribe_local("t", sub);
+  hub.publish("t", orb::Value("x"));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(hub.published_count(), 3u);
+  // Only channels with subscribers exist; publishing alone creates none.
+  EXPECT_EQ(hub.channels(), (std::vector<std::string>{"t"}));
+}
+
+TEST(Events, LocalConsumerSeesBoxedAny) {
+  auto types = std::make_shared<idl::InterfaceRepository>();
+  orb::Orb o(NodeId{1}, types);
+  EventChannelHub hub(o);
+  orb::Value seen;
+  hub.subscribe_local("t", [&seen](const orb::Value& v) { seen = v; });
+  hub.publish("t", orb::Value(std::int32_t{5}));
+  ASSERT_TRUE(seen.is<orb::AnyValue>());
+  EXPECT_EQ(*seen.as<orb::AnyValue>().value, orb::Value(std::int32_t{5}));
+}
+
+TEST(Events, DeadRemoteConsumerDroppedAfterFailures) {
+  auto types = std::make_shared<idl::InterfaceRepository>();
+  orb::Orb o(NodeId{1}, types);
+  EventChannelHub hub(o);
+  orb::ObjectRef ghost;
+  ghost.node = NodeId{9};
+  ghost.key = Uuid{1, 2};
+  ghost.interface_name = "clc::EventConsumer";
+  ghost.endpoint = "loop:404";  // no transport registered -> send fails
+  ASSERT_TRUE(hub.subscribe_remote("t", ghost).ok());
+  EXPECT_FALSE(hub.subscribe_remote("t", ghost).ok());  // duplicate
+  EXPECT_EQ(hub.consumer_count("t"), 1u);
+  for (int i = 0; i < 3; ++i) hub.publish("t", orb::Value("x"));
+  EXPECT_EQ(hub.consumer_count("t"), 0u);  // evicted
+  EXPECT_FALSE(hub.subscribe_remote("t", orb::ObjectRef{}).ok());  // nil
+}
+
+}  // namespace
+}  // namespace clc::core

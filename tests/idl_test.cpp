@@ -1,0 +1,339 @@
+// Tests for the IDL lexer, parser and Interface Repository.
+#include <gtest/gtest.h>
+
+#include "idl/lexer.hpp"
+#include "idl/parser.hpp"
+#include "idl/repository.hpp"
+
+namespace clc::idl {
+namespace {
+
+// ---------------------------------------------------------------- lexer
+
+TEST(IdlLexer, TokenKinds) {
+  auto toks = tokenize("interface Foo { long add(in long a); };");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_GE(toks->size(), 5u);
+  EXPECT_TRUE((*toks)[0].is_kw("interface"));
+  EXPECT_EQ((*toks)[1].kind, TokKind::identifier);
+  EXPECT_EQ((*toks)[1].text, "Foo");
+  EXPECT_TRUE((*toks)[2].is_punct("{"));
+  EXPECT_EQ(toks->back().kind, TokKind::end);
+}
+
+TEST(IdlLexer, CommentsAndPreprocessorSkipped) {
+  auto toks = tokenize(
+      "// line comment\n"
+      "#include <orb.idl>\n"
+      "/* block\n comment */ module /*x*/ M { };");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].is_kw("module"));
+}
+
+TEST(IdlLexer, ScopedNameOperator) {
+  auto toks = tokenize("a::b");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].text, "::");
+  EXPECT_EQ((*toks)[1].kind, TokKind::punct);
+}
+
+TEST(IdlLexer, Errors) {
+  EXPECT_FALSE(tokenize("/* never closed").ok());
+  EXPECT_FALSE(tokenize("interface @").ok());
+}
+
+TEST(IdlLexer, LineColumnTracking) {
+  auto toks = tokenize("module\n  M");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[1].col, 3);
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(IdlParse, PrimitiveTypes) {
+  auto spec = parse(
+      "struct AllPrims {"
+      " boolean b; octet o; short s; unsigned short us;"
+      " long l; unsigned long ul; long long ll; unsigned long long ull;"
+      " float f; double d; string str; any a;"
+      "};");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  ASSERT_EQ(spec->structs.size(), 1u);
+  const auto& fields = spec->structs[0].fields;
+  ASSERT_EQ(fields.size(), 12u);
+  EXPECT_EQ(fields[0].type.kind, TypeKind::tk_boolean);
+  EXPECT_EQ(fields[3].type.kind, TypeKind::tk_ushort);
+  EXPECT_EQ(fields[6].type.kind, TypeKind::tk_longlong);
+  EXPECT_EQ(fields[7].type.kind, TypeKind::tk_ulonglong);
+  EXPECT_EQ(fields[11].type.kind, TypeKind::tk_any);
+}
+
+TEST(IdlParse, Sequences) {
+  auto spec = parse(
+      "typedef sequence<long> LongSeq;"
+      "typedef sequence<sequence<string>, 8> Matrix;");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  ASSERT_EQ(spec->typedefs.size(), 2u);
+  EXPECT_EQ(spec->typedefs[0].target.kind, TypeKind::tk_sequence);
+  EXPECT_EQ(spec->typedefs[0].target.element->kind, TypeKind::tk_long);
+  EXPECT_EQ(spec->typedefs[0].target.bound, 0u);
+  EXPECT_EQ(spec->typedefs[1].target.bound, 8u);
+  EXPECT_EQ(spec->typedefs[1].target.element->kind, TypeKind::tk_sequence);
+  EXPECT_EQ(spec->typedefs[1].target.to_string(),
+            "sequence<sequence<string>,8>");
+}
+
+TEST(IdlParse, ModuleScoping) {
+  auto spec = parse(
+      "module clc { module gfx {"
+      "  struct Point { double x; double y; };"
+      "  interface Canvas { void draw(in Point p); };"
+      "}; };");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  ASSERT_EQ(spec->structs.size(), 1u);
+  EXPECT_EQ(spec->structs[0].scoped_name, "clc::gfx::Point");
+  ASSERT_EQ(spec->interfaces.size(), 1u);
+  EXPECT_EQ(spec->interfaces[0].scoped_name, "clc::gfx::Canvas");
+  // Point resolved to its fully scoped name inside the operation.
+  EXPECT_EQ(spec->interfaces[0].operations[0].params[0].type.name,
+            "clc::gfx::Point");
+}
+
+TEST(IdlParse, OuterScopeResolution) {
+  auto spec = parse(
+      "module a { struct S { long v; }; "
+      "  module b { interface I { S get(); }; }; };");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_EQ(spec->interfaces[0].operations[0].result.name, "a::S");
+}
+
+TEST(IdlParse, GloballyQualifiedName) {
+  auto spec = parse(
+      "struct G { long v; };"
+      "module m { interface I { ::G get(); }; };");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_EQ(spec->interfaces[0].operations[0].result.name, "G");
+}
+
+TEST(IdlParse, MultiDeclaratorFieldsAndAttributes) {
+  auto spec = parse(
+      "interface I { attribute long width, height; };"
+      "struct P { double x, y; };");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_EQ(spec->interfaces[0].attributes.size(), 2u);
+  EXPECT_EQ(spec->structs[0].fields.size(), 2u);
+}
+
+TEST(IdlParse, InterfaceInheritanceAndMembers) {
+  auto spec = parse(
+      "interface Base { void ping(); };"
+      "interface Mixin { void pong(); };"
+      "exception Bad { string reason; };"
+      "interface Derived : Base, Mixin {"
+      "  readonly attribute string name;"
+      "  long compute(in long a, inout double b, out string c) raises (Bad);"
+      "  oneway void notify(in string msg);"
+      "};");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  const auto& d = spec->interfaces[2];
+  EXPECT_EQ(d.bases, (std::vector<std::string>{"Base", "Mixin"}));
+  ASSERT_EQ(d.operations.size(), 2u);
+  const auto& op = d.operations[0];
+  EXPECT_EQ(op.params[0].direction, ParamDirection::in);
+  EXPECT_EQ(op.params[1].direction, ParamDirection::inout);
+  EXPECT_EQ(op.params[2].direction, ParamDirection::out);
+  EXPECT_EQ(op.raises, (std::vector<std::string>{"Bad"}));
+  EXPECT_TRUE(d.operations[1].oneway);
+  ASSERT_EQ(d.attributes.size(), 1u);
+  EXPECT_TRUE(d.attributes[0].readonly);
+}
+
+TEST(IdlParse, ForwardDeclaration) {
+  auto spec = parse(
+      "interface Node;"
+      "interface Edge { Node from(); };"
+      "interface Node { void visit(); };");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_EQ(spec->interfaces.size(), 2u);
+  EXPECT_EQ(spec->interfaces[0].operations[0].result.name, "Node");
+}
+
+TEST(IdlParse, NestedTypesInInterface) {
+  auto spec = parse(
+      "interface Repo {"
+      "  struct Entry { string key; };"
+      "  enum Mode { fast, safe };"
+      "  typedef sequence<Entry> Entries;"
+      "  Entries list(in Mode m);"
+      "};");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  EXPECT_EQ(spec->structs[0].scoped_name, "Repo::Entry");
+  EXPECT_EQ(spec->enums[0].scoped_name, "Repo::Mode");
+  EXPECT_EQ(spec->interfaces[0].operations[0].result.name, "Repo::Entries");
+}
+
+struct BadIdlCase {
+  const char* label;
+  const char* source;
+};
+
+class IdlParseErrors : public ::testing::TestWithParam<BadIdlCase> {};
+
+TEST_P(IdlParseErrors, Rejected) {
+  auto spec = parse(GetParam().source);
+  EXPECT_FALSE(spec.ok()) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, IdlParseErrors,
+    ::testing::Values(
+        BadIdlCase{"undefined_type", "interface I { Unknown get(); };"},
+        BadIdlCase{"dup_struct", "struct S { long a; }; struct S { long a; };"},
+        BadIdlCase{"dup_field", "struct S { long a; long a; };"},
+        BadIdlCase{"dup_enumerator", "enum E { a, a };"},
+        BadIdlCase{"dup_operation",
+                   "interface I { void f(); void f(); };"},
+        BadIdlCase{"dup_param", "interface I { void f(in long a, in long a); };"},
+        BadIdlCase{"void_field", "struct S { void v; };"},
+        BadIdlCase{"void_param", "interface I { void f(in void v); };"},
+        BadIdlCase{"sequence_of_void", "typedef sequence<void> V;"},
+        BadIdlCase{"missing_direction", "interface I { void f(long a); };"},
+        BadIdlCase{"oneway_nonvoid", "interface I { oneway long f(); };"},
+        BadIdlCase{"oneway_out_param",
+                   "interface I { oneway void f(out long a); };"},
+        BadIdlCase{"oneway_raises",
+                   "exception E { string w; };"
+                   "interface I { oneway void f() raises (E); };"},
+        BadIdlCase{"raises_non_exception",
+                   "struct S { long a; };"
+                   "interface I { void f() raises (S); };"},
+        BadIdlCase{"base_not_interface",
+                   "struct S { long a; }; interface I : S { };"},
+        BadIdlCase{"base_forward_only",
+                   "interface F; interface I : F { };"},
+        BadIdlCase{"unterminated_module", "module M { "},
+        BadIdlCase{"missing_semicolon", "struct S { long a; }"},
+        BadIdlCase{"unsigned_alone", "struct S { unsigned x; };"}),
+    [](const auto& info) { return info.param.label; });
+
+// ---------------------------------------------------------------- repository
+
+const char* kGraphicsIdl = R"(
+module gfx {
+  struct Point { double x; double y; };
+  enum Color { red, green, blue };
+  typedef sequence<Point> Polygon;
+  exception OutOfBounds { string what; };
+  interface Shape {
+    readonly attribute string id;
+    attribute gfx::Color color;
+    void move(in Point delta) raises (OutOfBounds);
+  };
+  interface Polygonal : Shape {
+    Polygon outline();
+  };
+};
+)";
+
+TEST(IfR, RegisterAndLookup) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo.register_idl(kGraphicsIdl).ok());
+  EXPECT_NE(repo.find_struct("gfx::Point"), nullptr);
+  EXPECT_NE(repo.find_struct("gfx::OutOfBounds"), nullptr);
+  EXPECT_TRUE(repo.find_struct("gfx::OutOfBounds")->is_exception);
+  EXPECT_NE(repo.find_enum("gfx::Color"), nullptr);
+  EXPECT_EQ(repo.find_enum("gfx::Color")->index_of("green"), 1);
+  EXPECT_EQ(repo.find_enum("gfx::Color")->index_of("purple"), -1);
+  EXPECT_NE(repo.find_interface("gfx::Shape"), nullptr);
+  EXPECT_NE(repo.find_typedef("gfx::Polygon"), nullptr);
+  EXPECT_EQ(repo.find_struct("nope"), nullptr);
+}
+
+TEST(IfR, IdempotentReRegistration) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo.register_idl(kGraphicsIdl).ok());
+  EXPECT_TRUE(repo.register_idl(kGraphicsIdl).ok());
+}
+
+TEST(IfR, ConflictingRedefinitionRejected) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo.register_idl("struct S { long a; };").ok());
+  auto r = repo.register_idl("struct S { double a; };");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::already_exists);
+  // Compatible re-registration still fine.
+  EXPECT_TRUE(repo.register_idl("struct S { long a; };").ok());
+}
+
+TEST(IfR, AliasResolution) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo
+                  .register_idl("typedef long Meters;"
+                                "typedef Meters Distance;"
+                                "typedef sequence<Distance> Path;")
+                  .ok());
+  auto t = repo.resolve_alias(TypeRef::named(TypeKind::tk_alias, "Distance"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->kind, TypeKind::tk_long);
+  auto missing = repo.resolve_alias(TypeRef::named(TypeKind::tk_alias, "X"));
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(IfR, FlattenOperationsBaseFirstWithAttributes) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo.register_idl(kGraphicsIdl).ok());
+  auto ops = repo.flatten_operations("gfx::Polygonal");
+  ASSERT_TRUE(ops.ok()) << ops.error().to_string();
+  std::vector<std::string> names;
+  for (const auto& op : *ops) names.push_back(op.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"move", "_get_id", "_get_color",
+                                             "_set_color", "outline"}));
+  // Readonly attribute produced no setter.
+  for (const auto& n : names) EXPECT_NE(n, "_set_id");
+}
+
+TEST(IfR, FindOperationIncludesInherited) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo.register_idl(kGraphicsIdl).ok());
+  auto op = repo.find_operation("gfx::Polygonal", "move");
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(op->raises, (std::vector<std::string>{"gfx::OutOfBounds"}));
+  EXPECT_FALSE(repo.find_operation("gfx::Polygonal", "nope").ok());
+  EXPECT_FALSE(repo.find_operation("gfx::Missing", "move").ok());
+}
+
+TEST(IfR, IsARelation) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo.register_idl(kGraphicsIdl).ok());
+  EXPECT_TRUE(repo.is_a("gfx::Polygonal", "gfx::Shape"));
+  EXPECT_TRUE(repo.is_a("gfx::Shape", "gfx::Shape"));
+  EXPECT_FALSE(repo.is_a("gfx::Shape", "gfx::Polygonal"));
+  EXPECT_FALSE(repo.is_a("gfx::Missing", "gfx::Shape"));
+}
+
+TEST(IfR, DiamondInheritanceFlattensOnce) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo
+                  .register_idl("interface A { void fa(); };"
+                                "interface B : A { void fb(); };"
+                                "interface C : A { void fc(); };"
+                                "interface D : B, C { void fd(); };")
+                  .ok());
+  auto ops = repo.flatten_operations("D");
+  ASSERT_TRUE(ops.ok());
+  int fa_count = 0;
+  for (const auto& op : *ops) fa_count += (op.name == "fa");
+  EXPECT_EQ(fa_count, 1);
+  EXPECT_EQ(ops->size(), 4u);
+}
+
+TEST(IfR, InterfaceNamesSorted) {
+  InterfaceRepository repo;
+  ASSERT_TRUE(repo.register_idl("interface B {}; interface A {};").ok());
+  EXPECT_EQ(repo.interface_names(), (std::vector<std::string>{"A", "B"}));
+}
+
+}  // namespace
+}  // namespace clc::idl

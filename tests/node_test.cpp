@@ -1,0 +1,492 @@
+// Integration tests: full Node stack over the in-process LocalNetwork --
+// install, distributed resolution, remote binding, package fetching,
+// dependency injection, migration with state transfer, events across
+// nodes, QoS admission, PDA thin nodes, applications, aggregation.
+#include <gtest/gtest.h>
+
+#include "core/aggregation.hpp"
+#include "core/application.hpp"
+#include "core/introspect.hpp"
+#include "core/node.hpp"
+#include "support/test_components.hpp"
+
+namespace clc::core {
+namespace {
+
+using testing::calculator_package;
+using testing::counter_package;
+using testing::greeter_package;
+using testing::montecarlo_package;
+using testing::ticker_package;
+using testing::vendor_key;
+
+CohesionConfig fast_cohesion() {
+  CohesionConfig cfg;
+  cfg.heartbeat = seconds(1);
+  cfg.group_size = 4;
+  cfg.query_timeout = seconds(3);
+  return cfg;
+}
+
+/// N-node world with converged membership.
+struct World {
+  explicit World(std::size_t n) : net(fast_cohesion()) {
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(&net.add_node());
+    net.settle();
+  }
+  LocalNetwork net;
+  std::vector<Node*> nodes;
+};
+
+TEST(NodeStack, InstallAndLocalResolve) {
+  World w(1);
+  Node& n = *w.nodes[0];
+  ASSERT_TRUE(n.install(calculator_package()).ok());
+  EXPECT_EQ(n.repository().size(), 1u);
+
+  auto bound = n.resolve("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  EXPECT_EQ(bound->host, n.id());
+  auto sum = n.orb().call(bound->primary, "add",
+                          {orb::Value(std::int32_t{19}),
+                           orb::Value(std::int32_t{23})});
+  ASSERT_TRUE(sum.ok()) << sum.error().to_string();
+  EXPECT_EQ(*sum, orb::Value(std::int32_t{42}));
+}
+
+TEST(NodeStack, ResolveReusesActiveInstance) {
+  World w(1);
+  Node& n = *w.nodes[0];
+  ASSERT_TRUE(n.install(calculator_package()).ok());
+  auto a = n.resolve("demo.calculator", VersionConstraint{});
+  auto b = n.resolve("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->instance_token, b->instance_token);
+  EXPECT_EQ(n.container().size(), 1u);
+}
+
+TEST(NodeStack, SignatureEnforcedForTrustedVendor) {
+  World w(1);
+  Node& n = *w.nodes[0];
+  n.repository().trust_vendor("clc-demo", bytes_of("the-wrong-key"));
+  auto r = n.install(calculator_package());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::signature_mismatch);
+  n.repository().trust_vendor("clc-demo", vendor_key());
+  EXPECT_TRUE(n.install(calculator_package()).ok());
+}
+
+TEST(NodeStack, RemoteResolveAndInvocation) {
+  World w(4);
+  ASSERT_TRUE(w.nodes[2]->install(calculator_package()).ok());
+  w.net.settle();  // digest reaches the MRMs
+
+  auto bound = w.nodes[0]->resolve("demo.calculator", VersionConstraint{},
+                                   Binding::remote);
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  EXPECT_EQ(bound->host, w.nodes[2]->id());
+  EXPECT_FALSE(bound->fetched);
+  // The component's IDL was imported during binding; calls work from here.
+  auto product = w.nodes[0]->orb().call(bound->primary, "mul",
+                                        {orb::Value(std::int32_t{6}),
+                                         orb::Value(std::int32_t{7})});
+  ASSERT_TRUE(product.ok()) << product.error().to_string();
+  EXPECT_EQ(*product, orb::Value(std::int32_t{42}));
+}
+
+TEST(NodeStack, FetchLocalMovesThePackage) {
+  World w(3);
+  ASSERT_TRUE(w.nodes[1]->install(calculator_package()).ok());
+  w.net.settle();
+
+  auto bound = w.nodes[0]->resolve("demo.calculator", VersionConstraint{},
+                                   Binding::fetch_local);
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  EXPECT_EQ(bound->host, w.nodes[0]->id());
+  EXPECT_TRUE(bound->fetched);
+  EXPECT_TRUE(w.nodes[0]->repository().has("demo.calculator",
+                                           VersionConstraint{}));
+  auto sum = w.nodes[0]->orb().call(bound->primary, "add",
+                                    {orb::Value(std::int32_t{1}),
+                                     orb::Value(std::int32_t{2})});
+  ASSERT_TRUE(sum.ok());
+}
+
+TEST(NodeStack, AutoBindingFetchesBandwidthSensitiveComponents) {
+  World w(3);
+  // High min-bandwidth counter: the paper's MPEG-decoder criterion.
+  ASSERT_TRUE(w.nodes[1]->install(counter_package(5000)).ok());
+  ASSERT_TRUE(w.nodes[2]->install(calculator_package()).ok());
+  w.net.settle();
+
+  auto heavy = w.nodes[0]->resolve("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(heavy.ok()) << heavy.error().to_string();
+  EXPECT_EQ(heavy->host, w.nodes[0]->id()) << "bandwidth-hungry: fetch local";
+  auto light = w.nodes[0]->resolve("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(light.ok());
+  EXPECT_EQ(light->host, w.nodes[2]->id()) << "cheap component: use remote";
+}
+
+TEST(NodeStack, ResolveUnknownComponentFails) {
+  World w(2);
+  auto r = w.nodes[0]->resolve("does.not.exist", VersionConstraint{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_found);
+}
+
+TEST(NodeStack, DependencyInjectedThroughNetwork) {
+  // Requirement 6 end-to-end: greeter on node A, calculator only on node B;
+  // calling greet() makes the container resolve the dependency remotely.
+  World w(3);
+  ASSERT_TRUE(w.nodes[0]->install(greeter_package()).ok());
+  ASSERT_TRUE(w.nodes[2]->install(calculator_package()).ok());
+  w.net.settle();
+
+  auto bound = w.nodes[0]->resolve("demo.greeter", VersionConstraint{});
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  auto greeting =
+      w.nodes[0]->orb().call(bound->primary, "greet", {orb::Value("ada")});
+  ASSERT_TRUE(greeting.ok()) << greeting.error().to_string();
+  EXPECT_EQ(*greeting, orb::Value("hello ada #4"));
+}
+
+TEST(NodeStack, QosAdmissionRejectsOverload) {
+  World w(1);
+  Node& n = *w.nodes[0];
+  ASSERT_TRUE(n.install(calculator_package()).ok());
+  // Saturate the node: admission must fail afterwards.
+  n.resources().set_ambient_cpu_load(0.99);
+  pkg::ComponentDescription heavy;
+  heavy.name = "x";
+  heavy.qos.max_cpu_load = 0.5;
+  EXPECT_FALSE(n.resources().can_host(heavy));
+  n.resources().set_ambient_cpu_load(0.1);
+  EXPECT_TRUE(n.resources().can_host(heavy));
+}
+
+TEST(NodeStack, PdaNodeUsesComponentsRemotely) {
+  CohesionConfig cfg = fast_cohesion();
+  LocalNetwork net(cfg);
+  Node& server = net.add_node();
+  NodeProfile pda_profile;
+  pda_profile.arch = "arm";
+  pda_profile.device = DeviceClass::pda;
+  pda_profile.total_memory_kb = 16 * 1024;
+  Node& pda = net.add_node(pda_profile);
+  net.settle();
+
+  ASSERT_TRUE(server.install(calculator_package()).ok());
+  net.settle();
+
+  // Installation refused on the PDA (requirement 8)...
+  auto direct = pda.install(calculator_package());
+  ASSERT_FALSE(direct.ok());
+  // ...but the PDA participates as a peer and uses the component remotely,
+  // even under auto binding.
+  auto bound = pda.resolve("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  EXPECT_EQ(bound->host, server.id());
+  auto sum = pda.orb().call(bound->primary, "add",
+                            {orb::Value(std::int32_t{20}),
+                             orb::Value(std::int32_t{22})});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, orb::Value(std::int32_t{42}));
+}
+
+TEST(NodeStack, MigrationPreservesState) {
+  World w(2);
+  Node& a = *w.nodes[0];
+  Node& b = *w.nodes[1];
+  ASSERT_TRUE(a.install(counter_package()).ok());
+  w.net.settle();
+
+  auto bound = a.acquire_local("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(bound.ok());
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(a.orb().call(bound->primary, "increment").ok());
+
+  const InstanceId id{
+      static_cast<std::uint64_t>(std::stoull(bound->instance_token))};
+  auto moved = a.migrate_instance(id, b.id());
+  ASSERT_TRUE(moved.ok()) << moved.error().to_string();
+  EXPECT_EQ(moved->host, b.id());
+  EXPECT_EQ(a.container().size(), 0u);
+  EXPECT_EQ(b.container().size(), 1u);
+  // Target node installed the shipped package on demand.
+  EXPECT_TRUE(b.repository().has("demo.counter", VersionConstraint{}));
+
+  auto value = a.orb().call(moved->primary, "value");
+  ASSERT_TRUE(value.ok()) << value.error().to_string();
+  EXPECT_EQ(*value, orb::Value(std::int64_t{5}));
+  // And keeps counting on the new host.
+  ASSERT_TRUE(a.orb().call(moved->primary, "increment").ok());
+  EXPECT_EQ(*a.orb().call(moved->primary, "value"),
+            orb::Value(std::int64_t{6}));
+}
+
+TEST(NodeStack, MigrationToUnknownNodeAborts) {
+  World w(1);
+  Node& a = *w.nodes[0];
+  ASSERT_TRUE(a.install(counter_package()).ok());
+  auto bound = a.acquire_local("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(bound.ok());
+  const InstanceId id{
+      static_cast<std::uint64_t>(std::stoull(bound->instance_token))};
+  auto moved = a.migrate_instance(id, NodeId{999});
+  ASSERT_FALSE(moved.ok());
+  // Aborted migration resumes locally.
+  EXPECT_EQ(a.container().size(), 1u);
+  EXPECT_TRUE(a.orb().call(bound->primary, "increment").ok());
+}
+
+TEST(NodeStack, EventsFlowAcrossNodes) {
+  World w(2);
+  Node& producer_node = *w.nodes[0];
+  Node& consumer_node = *w.nodes[1];
+  ASSERT_TRUE(producer_node.install(ticker_package()).ok());
+  w.net.settle();
+
+  auto ticker = producer_node.acquire_local("demo.ticker", VersionConstraint{});
+  ASSERT_TRUE(ticker.ok());
+
+  // Consumer side: a callback servant subscribed to the producer's channel.
+  std::vector<std::string> received;
+  auto consumer = consumer_node.orb().activate(
+      std::make_shared<CallbackEventConsumer>([&](const orb::Value& event) {
+        const auto& any = event.as<orb::AnyValue>();
+        received.push_back(any.value->as<std::string>());
+      }));
+  ASSERT_TRUE(consumer_node
+                  .subscribe_on(producer_node.id(), "demo.Tick", consumer)
+                  .ok());
+
+  ASSERT_TRUE(
+      producer_node.orb().call(ticker->primary, "fire", {orb::Value("t1")})
+          .ok());
+  ASSERT_TRUE(
+      producer_node.orb().call(ticker->primary, "fire", {orb::Value("t2")})
+          .ok());
+  EXPECT_EQ(received, (std::vector<std::string>{"t1", "t2"}));
+}
+
+TEST(NodeStack, ApplicationDeploysAcrossNodes) {
+  World w(3);
+  ASSERT_TRUE(w.nodes[1]->install(calculator_package()).ok());
+  ASSERT_TRUE(w.nodes[0]->install(greeter_package()).ok());
+  w.net.settle();
+
+  auto spec = AssemblySpec::from_xml(R"(
+    <assembly name="greeting-app">
+      <instance name="greet" component="demo.greeter"/>
+      <instance name="math" component="demo.calculator" binding="remote"/>
+      <connection from="greet" port="calc" to="math"/>
+    </assembly>)");
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+
+  auto app = Application::deploy(*w.nodes[0], *spec);
+  ASSERT_TRUE(app.ok()) << app.error().to_string();
+  EXPECT_EQ(app->instances().size(), 2u);
+  EXPECT_EQ(app->remote_instance_count(), 1u);  // math runs on node 1
+  auto greeting = app->call("greet", "greet", {orb::Value("grace")});
+  ASSERT_TRUE(greeting.ok()) << greeting.error().to_string();
+  EXPECT_EQ(*greeting, orb::Value("hello grace #6"));
+}
+
+TEST(NodeStack, AssemblySpecXmlRoundTrip) {
+  AssemblySpec spec;
+  spec.name = "demo";
+  spec.instances = {{"a", "c.x", VersionConstraint{}, Binding::auto_decide},
+                    {"b", "c.y", *VersionConstraint::parse(">=2.0"),
+                     Binding::remote}};
+  spec.connections = {{"a", "out", "b", "in"}};
+  auto back = AssemblySpec::from_xml(spec.to_xml());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->name, "demo");
+  ASSERT_EQ(back->instances.size(), 2u);
+  EXPECT_EQ(back->instances[1].binding, Binding::remote);
+  EXPECT_EQ(back->instances[1].constraint.to_string(), ">=2.0.0");
+  ASSERT_EQ(back->connections.size(), 1u);
+  EXPECT_EQ(back->connections[0].to_port, "in");
+}
+
+TEST(NodeStack, AssemblySpecRejectsBadDocuments) {
+  EXPECT_FALSE(AssemblySpec::from_xml("<assembly/>").ok());
+  EXPECT_FALSE(AssemblySpec::from_xml(
+                   "<assembly name=\"x\">"
+                   "<connection from=\"a\" port=\"p\" to=\"b\"/></assembly>")
+                   .ok());
+  EXPECT_FALSE(AssemblySpec::from_xml(
+                   "<assembly name=\"x\">"
+                   "<instance name=\"a\" component=\"c\"/>"
+                   "<instance name=\"a\" component=\"d\"/></assembly>")
+                   .ok());
+}
+
+TEST(NodeStack, AggregationDistributesChunks) {
+  World w(4);
+  ASSERT_TRUE(w.nodes[0]->install(montecarlo_package()).ok());
+  w.net.settle();
+
+  auto bound = w.nodes[0]->acquire_local("demo.montecarlo", VersionConstraint{});
+  ASSERT_TRUE(bound.ok());
+  ASSERT_TRUE(w.nodes[0]
+                  ->orb()
+                  .call(bound->primary, "configure",
+                        {orb::Value(std::int64_t{40000})})
+                  .ok());
+  const InstanceId id{
+      static_cast<std::uint64_t>(std::stoull(bound->instance_token))};
+
+  std::vector<NodeId> volunteers = {w.nodes[1]->id(), w.nodes[2]->id(),
+                                    w.nodes[3]->id()};
+  auto report = run_data_parallel(*w.nodes[0], id, 6, volunteers);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report->chunks, 6u);
+  EXPECT_EQ(report->remote_chunks, 6u);
+  // Volunteers received the component on demand.
+  EXPECT_TRUE(w.nodes[1]->repository().has("demo.montecarlo",
+                                           VersionConstraint{}));
+  orb::CdrReader r(report->result);
+  auto pi = r.read_double();
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR(*pi, 3.1415, 0.08);
+}
+
+TEST(NodeStack, AggregationSurvivesVolunteerCrash) {
+  World w(3);
+  ASSERT_TRUE(w.nodes[0]->install(montecarlo_package()).ok());
+  w.net.settle();
+  auto bound = w.nodes[0]->acquire_local("demo.montecarlo", VersionConstraint{});
+  ASSERT_TRUE(bound.ok());
+  const InstanceId id{
+      static_cast<std::uint64_t>(std::stoull(bound->instance_token))};
+
+  w.net.crash(w.nodes[2]->id());  // volunteer dies before the run
+  std::vector<NodeId> volunteers = {w.nodes[1]->id(), w.nodes[2]->id()};
+  auto report = run_data_parallel(*w.nodes[0], id, 4, volunteers);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report->chunks, 4u);
+  EXPECT_EQ(report->recovered_chunks, 2u) << "crashed volunteer's chunks re-ran";
+  orb::CdrReader r(report->result);
+  EXPECT_NEAR(*r.read_double(), 3.14, 0.15);
+}
+
+TEST(NodeStack, RegistryReflectsInstancesAndAssemblies) {
+  World w(1);
+  Node& n = *w.nodes[0];
+  ASSERT_TRUE(n.install(greeter_package()).ok());
+  ASSERT_TRUE(n.install(calculator_package()).ok());
+  auto greeter = n.acquire_local("demo.greeter", VersionConstraint{});
+  auto calc = n.acquire_local("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(greeter.ok() && calc.ok());
+  const InstanceId gid{
+      static_cast<std::uint64_t>(std::stoull(greeter->instance_token))};
+  ASSERT_TRUE(n.container().connect(gid, "calc", calc->primary).ok());
+
+  // Fig. 1 reflection: instances, their state, ports, and the assembly.
+  EXPECT_EQ(n.registry().instances().size(), 2u);
+  const InstanceRecord* rec = n.registry().instance(gid);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->component, "demo.greeter");
+  EXPECT_EQ(rec->state, InstanceState::active);
+  EXPECT_EQ(rec->provided_ports.count("greeter"), 1u);
+  auto assembly = n.registry().assembly();
+  ASSERT_EQ(assembly.size(), 1u);
+  EXPECT_EQ(assembly[0].from_port, "calc");
+
+  // Digest reflects both installed components.
+  const RegistryDigest digest = n.registry().digest();
+  EXPECT_EQ(digest.components.size(), 2u);
+  EXPECT_GT(digest.cpu_load, 0.0);  // reservations show up as load
+}
+
+TEST(NodeStack, CrashedHostStopsAnsweringQueries) {
+  World w(4);
+  ASSERT_TRUE(w.nodes[3]->install(calculator_package()).ok());
+  w.net.settle();
+  ASSERT_TRUE(w.nodes[0]
+                  ->resolve("demo.calculator", VersionConstraint{},
+                            Binding::remote)
+                  .ok());
+  w.net.crash(w.nodes[3]->id());
+  w.net.advance(seconds(10));  // failure detection removes the digest
+  auto r = w.nodes[0]->resolve("demo.calculator", VersionConstraint{},
+                               Binding::remote);
+  EXPECT_FALSE(r.ok());
+}
+
+
+TEST(NodeStack, ReplicationKeepsOriginalRunning) {
+  World w(2);
+  Node& a = *w.nodes[0];
+  Node& b = *w.nodes[1];
+  ASSERT_TRUE(a.install(calculator_package()).ok());  // replicable=true
+  ASSERT_TRUE(a.install(counter_package()).ok());     // replicable=false
+  w.net.settle();
+
+  auto calc = a.acquire_local("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(calc.ok());
+  const InstanceId cid{
+      static_cast<std::uint64_t>(std::stoull(calc->instance_token))};
+  auto replica = a.replicate_instance(cid, b.id());
+  ASSERT_TRUE(replica.ok()) << replica.error().to_string();
+  EXPECT_EQ(replica->host, b.id());
+  // Both copies answer; the package travelled to b on demand.
+  EXPECT_TRUE(a.orb()
+                  .call(calc->primary, "add",
+                        {orb::Value(std::int32_t{1}), orb::Value(std::int32_t{2})})
+                  .ok());
+  auto via_replica = a.orb().call(replica->primary, "add",
+                                  {orb::Value(std::int32_t{2}),
+                                   orb::Value(std::int32_t{3})});
+  ASSERT_TRUE(via_replica.ok());
+  EXPECT_EQ(*via_replica, orb::Value(std::int32_t{5}));
+  EXPECT_EQ(a.container().size(), 1u);
+  EXPECT_EQ(b.container().size(), 1u);
+
+  // Non-replicable components are refused.
+  auto counter = a.acquire_local("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(counter.ok());
+  const InstanceId kid{
+      static_cast<std::uint64_t>(std::stoull(counter->instance_token))};
+  auto refused = a.replicate_instance(kid, b.id());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, Errc::refused);
+}
+
+TEST(NodeStack, IntrospectionReflectsTheNetwork) {
+  World w(2);
+  Node& a = *w.nodes[0];
+  ASSERT_TRUE(a.install(greeter_package()).ok());
+  ASSERT_TRUE(a.install(calculator_package()).ok());
+  auto greeter = a.acquire_local("demo.greeter", VersionConstraint{});
+  auto calc = a.acquire_local("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(greeter.ok() && calc.ok());
+  const InstanceId gid{
+      static_cast<std::uint64_t>(std::stoull(greeter->instance_token))};
+  ASSERT_TRUE(a.container().connect(gid, "calc", calc->primary).ok());
+
+  const std::string xml_view = network_view_xml(w.net);
+  auto doc = xml::parse(xml_view);
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  auto nodes = doc->root->children_named("node");
+  ASSERT_EQ(nodes.size(), 2u);
+  // Node a: palette lists both components; instances carry state + wiring.
+  const xml::Element* node_a = nodes[0];
+  EXPECT_EQ(node_a->find("palette")->children().size(), 2u);
+  auto instance_els = node_a->find("instances")->children_named("instance");
+  ASSERT_EQ(instance_els.size(), 2u);
+  bool saw_connection = false;
+  for (const auto* inst : instance_els) {
+    EXPECT_EQ(inst->attr("state"), "active");
+    saw_connection |= inst->child("connection") != nullptr;
+  }
+  EXPECT_TRUE(saw_connection);
+
+  const std::string text_view = network_view_text(w.net);
+  EXPECT_NE(text_view.find("demo.greeter"), std::string::npos);
+  EXPECT_NE(text_view.find("calc->demo::Calculator"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clc::core

@@ -1,0 +1,305 @@
+// Property-based tests across module boundaries:
+//  - typed-value marshaling: for randomly generated IDL types and random
+//    values of those types, marshal/unmarshal is the identity;
+//  - cohesion membership: under arbitrary (seeded) churn schedules, the
+//    network converges back to a single root whose directory holds exactly
+//    the alive nodes, and queries still resolve.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cohesion.hpp"
+#include "orb/value.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace clc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random typed values.
+
+class TypeAndValueGen {
+ public:
+  TypeAndValueGen(idl::InterfaceRepository& repo, Rng& rng)
+      : repo_(repo), rng_(rng) {}
+
+  /// Generate a random type (registering any needed struct/enum defs) and a
+  /// random value conforming to it.
+  std::pair<idl::TypeRef, orb::Value> generate(int depth = 0) {
+    const int pick = static_cast<int>(rng_.next_in(0, depth >= 3 ? 9 : 12));
+    using idl::TypeKind;
+    switch (pick) {
+      case 0: return {idl::TypeRef::primitive(TypeKind::tk_boolean),
+                      orb::Value(rng_.chance(0.5))};
+      case 1: return {idl::TypeRef::primitive(TypeKind::tk_octet),
+                      orb::Value(static_cast<std::uint8_t>(rng_.next_u64()))};
+      case 2: return {idl::TypeRef::primitive(TypeKind::tk_short),
+                      orb::Value(static_cast<std::int16_t>(rng_.next_u64()))};
+      case 3: return {idl::TypeRef::primitive(TypeKind::tk_ushort),
+                      orb::Value(static_cast<std::uint16_t>(rng_.next_u64()))};
+      case 4: return {idl::TypeRef::primitive(TypeKind::tk_long),
+                      orb::Value(static_cast<std::int32_t>(rng_.next_u64()))};
+      case 5: return {idl::TypeRef::primitive(TypeKind::tk_ulong),
+                      orb::Value(static_cast<std::uint32_t>(rng_.next_u64()))};
+      case 6: return {idl::TypeRef::primitive(TypeKind::tk_longlong),
+                      orb::Value(static_cast<std::int64_t>(rng_.next_u64()))};
+      case 7: return {idl::TypeRef::primitive(TypeKind::tk_double),
+                      orb::Value(rng_.next_double() * 1e6 - 5e5)};
+      case 8: {
+        std::string s;
+        const auto len = rng_.next_below(24);
+        for (std::uint64_t i = 0; i < len; ++i)
+          s.push_back(static_cast<char>('a' + rng_.next_below(26)));
+        return {idl::TypeRef::primitive(TypeKind::tk_string),
+                orb::Value(std::move(s))};
+      }
+      case 9: {  // octet sequence (Bytes fast path)
+        Bytes b(rng_.next_below(40));
+        for (auto& x : b) x = static_cast<std::uint8_t>(rng_.next_u64());
+        return {idl::TypeRef::sequence(
+                    idl::TypeRef::primitive(TypeKind::tk_octet)),
+                orb::Value(std::move(b))};
+      }
+      case 10: {  // sequence of a random element type
+        auto [elem_type, proto] = generate(depth + 1);
+        // generate_of canonicalizes octet sequences to Bytes, matching the
+        // wire representation unmarshal produces.
+        return generate_of(idl::TypeRef::sequence(elem_type), depth);
+      }
+      case 11: {  // struct with random fields
+        const std::string name = "fuzz::S" + std::to_string(next_id_++);
+        idl::StructDef def;
+        def.scoped_name = name;
+        orb::StructValue sv;
+        sv.type_name = name;
+        const auto fields = 1 + rng_.next_below(4);
+        for (std::uint64_t i = 0; i < fields; ++i) {
+          auto [ft, fv] = generate(depth + 1);
+          const std::string fname = "f" + std::to_string(i);
+          def.fields.push_back({fname, ft});
+          sv.fields.emplace_back(fname, std::move(fv));
+        }
+        idl::Specification spec;
+        spec.structs.push_back(def);
+        EXPECT_TRUE(repo_.register_spec(spec).ok());
+        return {idl::TypeRef::named(idl::TypeKind::tk_struct, name),
+                orb::Value(std::move(sv))};
+      }
+      default: {  // enum
+        const std::string name = "fuzz::E" + std::to_string(next_id_++);
+        idl::EnumDef def;
+        def.scoped_name = name;
+        const auto labels = 1 + rng_.next_below(5);
+        for (std::uint64_t i = 0; i < labels; ++i)
+          def.enumerators.push_back("l" + std::to_string(i));
+        idl::Specification spec;
+        spec.enums.push_back(def);
+        EXPECT_TRUE(repo_.register_spec(spec).ok());
+        return {idl::TypeRef::named(idl::TypeKind::tk_enum, name),
+                orb::Value(orb::EnumValue{
+                    name, static_cast<std::uint32_t>(rng_.next_below(labels))})};
+      }
+    }
+  }
+
+  /// A fresh random value of an already-generated type.
+  std::pair<idl::TypeRef, orb::Value> generate_of(const idl::TypeRef& type,
+                                                  int depth) {
+    using idl::TypeKind;
+    switch (type.kind) {
+      case TypeKind::tk_boolean: return {type, orb::Value(rng_.chance(0.5))};
+      case TypeKind::tk_octet:
+        return {type, orb::Value(static_cast<std::uint8_t>(rng_.next_u64()))};
+      case TypeKind::tk_short:
+        return {type, orb::Value(static_cast<std::int16_t>(rng_.next_u64()))};
+      case TypeKind::tk_ushort:
+        return {type, orb::Value(static_cast<std::uint16_t>(rng_.next_u64()))};
+      case TypeKind::tk_long:
+        return {type, orb::Value(static_cast<std::int32_t>(rng_.next_u64()))};
+      case TypeKind::tk_ulong:
+        return {type, orb::Value(static_cast<std::uint32_t>(rng_.next_u64()))};
+      case TypeKind::tk_longlong:
+        return {type, orb::Value(static_cast<std::int64_t>(rng_.next_u64()))};
+      case TypeKind::tk_double:
+        return {type, orb::Value(rng_.next_double())};
+      case TypeKind::tk_string: {
+        std::string s;
+        const auto len = rng_.next_below(12);
+        for (std::uint64_t i = 0; i < len; ++i)
+          s.push_back(static_cast<char>('a' + rng_.next_below(26)));
+        return {type, orb::Value(std::move(s))};
+      }
+      case TypeKind::tk_sequence: {
+        if (type.element->kind == TypeKind::tk_octet) {
+          Bytes b(rng_.next_below(16));
+          for (auto& x : b) x = static_cast<std::uint8_t>(rng_.next_u64());
+          return {type, orb::Value(std::move(b))};
+        }
+        orb::Value::Sequence seq;
+        const auto len = rng_.next_below(4);
+        for (std::uint64_t i = 0; i < len; ++i)
+          seq.push_back(generate_of(*type.element, depth + 1).second);
+        return {type, orb::Value(std::move(seq))};
+      }
+      case TypeKind::tk_struct: {
+        const idl::StructDef* def = repo_.find_struct(type.name);
+        orb::StructValue sv;
+        sv.type_name = type.name;
+        for (const auto& f : def->fields)
+          sv.fields.emplace_back(f.name,
+                                 generate_of(f.type, depth + 1).second);
+        return {type, orb::Value(std::move(sv))};
+      }
+      case TypeKind::tk_enum: {
+        const idl::EnumDef* def = repo_.find_enum(type.name);
+        return {type,
+                orb::Value(orb::EnumValue{
+                    type.name, static_cast<std::uint32_t>(
+                                   rng_.next_below(def->enumerators.size()))})};
+      }
+      default: return {type, orb::Value(rng_.chance(0.5))};
+    }
+  }
+
+ private:
+  idl::InterfaceRepository& repo_;
+  Rng& rng_;
+  int next_id_ = 0;
+};
+
+class ValueMarshalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValueMarshalProperty, RandomTypedValuesRoundTrip) {
+  idl::InterfaceRepository repo;
+  Rng rng(GetParam());
+  TypeAndValueGen gen(repo, rng);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto [type, value] = gen.generate();
+    orb::CdrWriter w;
+    w.begin_encapsulation();
+    auto m = marshal_value(value, type, repo, w);
+    ASSERT_TRUE(m.ok()) << m.error().to_string() << " for "
+                        << type.to_string();
+    orb::CdrReader r(w.data());
+    ASSERT_TRUE(r.begin_encapsulation().ok());
+    auto back = unmarshal_value(type, repo, r);
+    ASSERT_TRUE(back.ok()) << back.error().to_string() << " for "
+                           << type.to_string();
+    EXPECT_TRUE(*back == value)
+        << "type " << type.to_string() << ": " << value.to_string() << " -> "
+        << back->to_string();
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueMarshalProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 999u));
+
+// ---------------------------------------------------------------------------
+// Cohesion convergence under churn.
+
+class ChurnPeer : public sim::SimHost {
+ public:
+  ChurnPeer(NodeId id, core::CohesionConfig cfg, sim::SimNetwork& net,
+            sim::Simulator& sim)
+      : net_(net),
+        sim_(sim),
+        node_(id, cfg, [this, id](NodeId to, const core::ProtoMessage& m) {
+          net_.send(id, to, m.encode());
+        }) {}
+  void on_message(NodeId from, const Bytes& payload) override {
+    (void)from;
+    if (!alive) return;
+    auto m = core::ProtoMessage::decode(payload);
+    if (m.ok()) node_.on_message(*m, sim_.now());
+  }
+  sim::SimNetwork& net_;
+  sim::Simulator& sim_;
+  core::CohesionNode node_;
+  bool alive = true;
+};
+
+class ChurnConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnConvergence, SingleRootAndCompleteDirectoryAfterChurn) {
+  sim::Simulator sim;
+  sim::SimNetwork net(sim, GetParam());
+  net.set_link_model({.base_latency = milliseconds(5),
+                      .jitter = milliseconds(2),
+                      .bytes_per_second = 0,
+                      .drop_probability = 0.02});  // mild loss too
+  core::CohesionConfig cfg;
+  cfg.heartbeat = seconds(1);
+  cfg.group_size = 4;
+
+  constexpr std::size_t kN = 24;
+  std::vector<std::unique_ptr<ChurnPeer>> peers;
+  std::function<void(ChurnPeer*)> tick = [&](ChurnPeer* p) {
+    if (!p->alive) return;
+    p->node_.on_tick(sim.now());
+    sim.schedule_after(cfg.heartbeat / 2, [&tick, p] { tick(p); });
+  };
+  for (std::size_t i = 1; i <= kN; ++i) {
+    peers.push_back(std::make_unique<ChurnPeer>(NodeId{i}, cfg, net, sim));
+    net.attach(NodeId{i}, peers.back().get());
+    ChurnPeer* p = peers.back().get();
+    if (i == 1) {
+      p->node_.start_as_first(sim.now());
+    } else {
+      sim.schedule_after(milliseconds(20) * static_cast<Duration>(i),
+                         [p, &sim] { p->node_.start_joining(NodeId{1}, sim.now()); });
+    }
+    sim.schedule_after(cfg.heartbeat / 2, [&tick, p] { tick(p); });
+  }
+  sim.run_until(seconds(20));
+
+  // Churn: random kills (never all roots at once) and re-joins.
+  Rng rng(GetParam() * 31 + 7);
+  for (int event = 0; event < 10; ++event) {
+    const std::size_t victim = 1 + rng.next_below(kN - 1);  // spare node 1
+    ChurnPeer* p = peers[victim].get();
+    if (p->alive) {
+      p->alive = false;
+      net.detach(p->node_.id());
+    } else {
+      // Restart as a fresh process under the same id.
+      auto reborn = std::make_unique<ChurnPeer>(p->node_.id(), cfg, net, sim);
+      net.attach(reborn->node_.id(), reborn.get());
+      ChurnPeer* raw = reborn.get();
+      raw->node_.start_joining(NodeId{1}, sim.now());
+      sim.schedule_after(cfg.heartbeat / 2, [&tick, raw] { tick(raw); });
+      peers[victim] = std::move(reborn);
+    }
+    sim.run_until(sim.now() + seconds(static_cast<std::int64_t>(
+                                 2 + rng.next_below(5))));
+  }
+  sim.run_until(sim.now() + seconds(40));  // settle
+
+  // Invariants: exactly one root among alive peers; its directory equals
+  // the alive set; every alive peer is joined.
+  std::vector<const core::CohesionNode*> roots;
+  std::set<NodeId> alive;
+  for (const auto& p : peers) {
+    if (!p->alive) continue;
+    alive.insert(p->node_.id());
+    if (p->node_.is_root()) roots.push_back(&p->node_);
+  }
+  ASSERT_EQ(roots.size(), 1u) << "seed " << GetParam();
+  const auto dir = roots[0]->directory_nodes();
+  const std::set<NodeId> dir_set(dir.begin(), dir.end());
+  EXPECT_EQ(dir_set, alive) << "seed " << GetParam();
+  for (const auto& p : peers) {
+    if (p->alive) {
+      EXPECT_TRUE(p->node_.joined())
+          << "node " << p->node_.id().value << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnConvergence,
+                         ::testing::Values(3u, 14u, 159u, 2653u));
+
+}  // namespace
+}  // namespace clc

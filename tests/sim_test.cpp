@@ -1,0 +1,212 @@
+// Tests for the discrete-event simulator and the simulated network:
+// deterministic ordering, virtual time, latency/drop/partition modelling.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace clc::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ActionsMayScheduleMore) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> recur = [&]() {
+    ++fired;
+    if (fired < 5) sim.schedule_after(10, recur);
+  };
+  sim.schedule_after(0, recur);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100);  // clock advances even with nothing to do
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule_at(50, [] {});
+  sim.run();
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });  // in the past
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunawayGuardThrows) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule_after(1, forever); };
+  sim.schedule_after(0, forever);
+  EXPECT_THROW(sim.run(1000), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- network
+
+class Recorder : public SimHost {
+ public:
+  void on_message(NodeId from, const Bytes& payload) override {
+    messages.emplace_back(from, payload);
+  }
+  std::vector<std::pair<NodeId, Bytes>> messages;
+};
+
+TEST(SimNetwork, DeliversWithLatency) {
+  Simulator sim;
+  SimNetwork net(sim);
+  net.set_link_model({.base_latency = 500, .jitter = 0,
+                      .bytes_per_second = 0, .drop_probability = 0});
+  Recorder a, b;
+  net.attach(NodeId{1}, &a);
+  net.attach(NodeId{2}, &b);
+  net.send(NodeId{1}, NodeId{2}, Bytes{42});
+  EXPECT_TRUE(b.messages.empty());
+  sim.run();
+  EXPECT_EQ(sim.now(), 500);
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(b.messages[0].first, NodeId{1});
+  EXPECT_EQ(b.messages[0].second, Bytes{42});
+}
+
+TEST(SimNetwork, BandwidthAddsPerByteDelay) {
+  Simulator sim;
+  SimNetwork net(sim);
+  net.set_link_model({.base_latency = 0, .jitter = 0,
+                      .bytes_per_second = 1000.0, .drop_probability = 0});
+  Recorder b;
+  net.attach(NodeId{1}, nullptr);
+  net.attach(NodeId{2}, &b);
+  net.send(NodeId{1}, NodeId{2}, Bytes(500, 0));  // 0.5 s at 1 kB/s
+  sim.run();
+  EXPECT_EQ(sim.now(), 500000);
+}
+
+TEST(SimNetwork, TopologyLatencyFunction) {
+  Simulator sim;
+  SimNetwork net(sim);
+  net.set_latency_fn([](NodeId a, NodeId b) {
+    return a.value / 100 == b.value / 100 ? milliseconds(1) : milliseconds(50);
+  });
+  Recorder near, far;
+  net.attach(NodeId{101}, nullptr);
+  net.attach(NodeId{102}, &near);
+  net.attach(NodeId{205}, &far);
+  net.send(NodeId{101}, NodeId{102}, Bytes{1});
+  net.send(NodeId{101}, NodeId{205}, Bytes{1});
+  sim.run_until(milliseconds(2));
+  EXPECT_EQ(near.messages.size(), 1u);
+  EXPECT_TRUE(far.messages.empty());
+  sim.run_until(milliseconds(60));
+  EXPECT_EQ(far.messages.size(), 1u);
+}
+
+TEST(SimNetwork, CrashDropsInFlight) {
+  Simulator sim;
+  SimNetwork net(sim);
+  net.set_link_model({.base_latency = 100, .jitter = 0,
+                      .bytes_per_second = 0, .drop_probability = 0});
+  Recorder b;
+  net.attach(NodeId{1}, nullptr);
+  net.attach(NodeId{2}, &b);
+  net.send(NodeId{1}, NodeId{2}, Bytes{1});
+  net.detach(NodeId{2});  // crash before delivery
+  sim.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_FALSE(net.attached(NodeId{2}));
+}
+
+TEST(SimNetwork, PartitionBlocksAcrossButNotWithin) {
+  Simulator sim;
+  SimNetwork net(sim);
+  Recorder r2, r3;
+  net.attach(NodeId{1}, nullptr);
+  net.attach(NodeId{2}, &r2);
+  net.attach(NodeId{3}, &r3);
+  net.partition({NodeId{1}, NodeId{2}}, {NodeId{3}});
+  net.send(NodeId{1}, NodeId{2}, Bytes{1});  // same side: ok
+  net.send(NodeId{1}, NodeId{3}, Bytes{1});  // across: dropped
+  sim.run();
+  EXPECT_EQ(r2.messages.size(), 1u);
+  EXPECT_TRUE(r3.messages.empty());
+  net.heal_partition();
+  net.send(NodeId{1}, NodeId{3}, Bytes{1});
+  sim.run();
+  EXPECT_EQ(r3.messages.size(), 1u);
+}
+
+TEST(SimNetwork, DropProbabilityAndStats) {
+  Simulator sim;
+  SimNetwork net(sim, 7);
+  net.set_link_model({.base_latency = 1, .jitter = 0,
+                      .bytes_per_second = 0, .drop_probability = 0.5});
+  Recorder b;
+  net.attach(NodeId{1}, nullptr);
+  net.attach(NodeId{2}, &b);
+  for (int i = 0; i < 1000; ++i) net.send(NodeId{1}, NodeId{2}, Bytes{1, 2});
+  sim.run();
+  const auto& s = net.stats();
+  EXPECT_EQ(s.messages_sent, 1000u);
+  EXPECT_EQ(s.messages_delivered + s.messages_dropped, 1000u);
+  EXPECT_GT(s.messages_dropped, 350u);
+  EXPECT_LT(s.messages_dropped, 650u);
+  EXPECT_EQ(s.bytes_sent, 2000u);
+  EXPECT_EQ(net.bytes_sent_by(NodeId{1}), 2000u);
+  EXPECT_EQ(net.bytes_sent_by(NodeId{2}), 0u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().messages_sent, 0u);
+}
+
+TEST(SimNetwork, DeterministicForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    SimNetwork net(sim, seed);
+    net.set_link_model({.base_latency = 10, .jitter = 20,
+                        .bytes_per_second = 0, .drop_probability = 0.3});
+    Recorder b;
+    net.attach(NodeId{1}, nullptr);
+    net.attach(NodeId{2}, &b);
+    for (int i = 0; i < 200; ++i)
+      net.send(NodeId{1}, NodeId{2}, Bytes{static_cast<std::uint8_t>(i)});
+    sim.run();
+    return std::make_pair(b.messages.size(), sim.now());
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+  EXPECT_NE(run_once(9), run_once(10));  // different seed, different world
+}
+
+}  // namespace
+}  // namespace clc::sim

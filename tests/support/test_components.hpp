@@ -1,0 +1,325 @@
+// Reusable demo components for integration tests and benchmarks.
+//
+// Each helper builds a signed component package (descriptor XML + IDL +
+// per-platform binaries) and registers the entry symbol's factory in the
+// process-wide ExecutorRegistry -- exactly what installing a real DLL-
+// carrying package would achieve.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/instance.hpp"
+#include "orb/cdr.hpp"
+#include "orb/orb.hpp"
+#include "pkg/package.hpp"
+#include "util/rng.hpp"
+
+namespace clc::testing {
+
+inline Bytes vendor_key() { return bytes_of("clc-demo-vendor-key"); }
+
+inline pkg::BinaryImpl binary_for(const std::string& arch,
+                                  const std::string& entry_symbol,
+                                  std::size_t image_size = 4096) {
+  pkg::BinaryImpl b;
+  b.arch = arch;
+  b.os = "linux";
+  b.orb = "clc";
+  b.entry_symbol = entry_symbol;
+  b.image.resize(image_size);
+  Rng rng(fnv1a64(bytes_of(entry_symbol)));
+  for (auto& byte : b.image) byte = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// demo.calculator: stateless provider of demo::Calculator.
+
+class CalculatorInstance : public core::ComponentInstance {
+ public:
+  Result<void> initialize(core::InstanceContext& ctx) override {
+    auto servant = std::make_shared<orb::DynamicServant>("demo::Calculator");
+    servant->on("add", [](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(static_cast<std::int32_t>(
+          *req.arg(0).to_int() + *req.arg(1).to_int())));
+      return {};
+    });
+    servant->on("mul", [](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(static_cast<std::int32_t>(
+          *req.arg(0).to_int() * *req.arg(1).to_int())));
+      return {};
+    });
+    return ctx.provide_port("calc", std::move(servant)).ok()
+               ? Result<void>{}
+               : Result<void>{Errc::bad_state, "port registration failed"};
+  }
+};
+
+inline Bytes calculator_package(const Version& version = {1, 0, 0}) {
+  (void)core::ExecutorRegistry::global().register_symbol(
+      "create_calculator",
+      [] { return std::make_unique<CalculatorInstance>(); });
+  pkg::ComponentDescription d;
+  d.name = "demo.calculator";
+  d.version = version;
+  d.summary = "Stateless arithmetic service";
+  d.mobile = true;
+  d.replicable = true;
+  d.stateless = true;
+  d.security.vendor = "clc-demo";
+  d.ports = {{pkg::PortKind::provides, "calc", "demo::Calculator"}};
+  d.factory_interface = "demo::Calculator";
+  pkg::PackageBuilder b(d);
+  b.set_idl(
+      "module demo { interface Calculator {"
+      " long add(in long a, in long b);"
+      " long mul(in long a, in long b); }; };");
+  b.add_binary(binary_for("x86_64", "create_calculator"));
+  b.add_binary(binary_for("arm", "create_calculator"));
+  auto built = b.build(vendor_key());
+  return built.value();
+}
+
+// ---------------------------------------------------------------------------
+// demo.greeter: uses demo::Calculator through a declared dependency.
+
+class GreeterInstance : public core::ComponentInstance {
+ public:
+  Result<void> initialize(core::InstanceContext& ctx) override {
+    auto servant = std::make_shared<orb::DynamicServant>("demo::Greeter");
+    servant->on("greet", [&ctx](orb::ServerRequest& req) -> Result<void> {
+      // Length of the name, computed through the calculator dependency --
+      // exercised to prove automatic dependency management (requirement 6).
+      const auto name = req.arg(0).as<std::string>();
+      auto sum = ctx.call_port(
+          "calc", "add",
+          {orb::Value(static_cast<std::int32_t>(name.size())),
+           orb::Value(std::int32_t{1})});
+      if (!sum) return sum.error();
+      req.set_result(orb::Value("hello " + name + " #" +
+                                std::to_string(*sum->to_int())));
+      return {};
+    });
+    return ctx.provide_port("greeter", std::move(servant)).ok()
+               ? Result<void>{}
+               : Result<void>{Errc::bad_state, "port registration failed"};
+  }
+};
+
+inline Bytes greeter_package() {
+  (void)core::ExecutorRegistry::global().register_symbol(
+      "create_greeter", [] { return std::make_unique<GreeterInstance>(); });
+  pkg::ComponentDescription d;
+  d.name = "demo.greeter";
+  d.version = {1, 0, 0};
+  d.summary = "Greets people, needs a calculator";
+  d.security.vendor = "clc-demo";
+  d.dependencies = {{"demo.calculator", VersionConstraint{}}};
+  d.ports = {{pkg::PortKind::provides, "greeter", "demo::Greeter"},
+             {pkg::PortKind::uses, "calc", "demo::Calculator"}};
+  d.factory_interface = "demo::Greeter";
+  pkg::PackageBuilder b(d);
+  b.set_idl(
+      "module demo {"
+      " interface Calculator { long add(in long a, in long b);"
+      "                        long mul(in long a, in long b); };"
+      " interface Greeter { string greet(in string name); }; };");
+  b.add_binary(binary_for("x86_64", "create_greeter"));
+  auto built = b.build(vendor_key());
+  return built.value();
+}
+
+// ---------------------------------------------------------------------------
+// demo.counter: stateful + mobile (migration test subject).
+
+class CounterInstance : public core::ComponentInstance {
+ public:
+  Result<void> initialize(core::InstanceContext& ctx) override {
+    auto servant = std::make_shared<orb::DynamicServant>("demo::Counter");
+    servant->on("increment", [this](orb::ServerRequest&) -> Result<void> {
+      ++count_;
+      return {};
+    });
+    servant->on("value", [this](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(static_cast<std::int64_t>(count_)));
+      return {};
+    });
+    return ctx.provide_port("counter", std::move(servant)).ok()
+               ? Result<void>{}
+               : Result<void>{Errc::bad_state, "port registration failed"};
+  }
+  Result<Bytes> externalize_state() override {
+    orb::CdrWriter w;
+    w.write_longlong(count_);
+    return w.take();
+  }
+  Result<void> internalize_state(BytesView state) override {
+    orb::CdrReader r(state);
+    auto v = r.read_longlong();
+    if (!v) return v.error();
+    count_ = *v;
+    return {};
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+inline Bytes counter_package(double min_bandwidth_kbps = 0) {
+  (void)core::ExecutorRegistry::global().register_symbol(
+      "create_counter", [] { return std::make_unique<CounterInstance>(); });
+  pkg::ComponentDescription d;
+  d.name = "demo.counter";
+  d.version = {1, 0, 0};
+  d.summary = "Stateful counter";
+  d.mobile = true;
+  d.security.vendor = "clc-demo";
+  d.qos.min_bandwidth_kbps = min_bandwidth_kbps;
+  d.ports = {{pkg::PortKind::provides, "counter", "demo::Counter"}};
+  d.factory_interface = "demo::Counter";
+  pkg::PackageBuilder b(d);
+  b.set_idl(
+      "module demo { interface Counter {"
+      " void increment(); long long value(); }; };");
+  b.add_binary(binary_for("x86_64", "create_counter"));
+  b.add_binary(binary_for("arm", "create_counter"));
+  auto built = b.build(vendor_key());
+  return built.value();
+}
+
+// ---------------------------------------------------------------------------
+// demo.montecarlo: aggregatable (data-parallel pi estimation).
+
+class MonteCarloInstance : public core::ComponentInstance {
+ public:
+  Result<void> initialize(core::InstanceContext& ctx) override {
+    auto servant = std::make_shared<orb::DynamicServant>("demo::MonteCarlo");
+    servant->on("configure", [this](orb::ServerRequest& req) -> Result<void> {
+      samples_ = static_cast<std::uint64_t>(*req.arg(0).to_int());
+      return {};
+    });
+    return ctx.provide_port("mc", std::move(servant)).ok()
+               ? Result<void>{}
+               : Result<void>{Errc::bad_state, "port registration failed"};
+  }
+
+  Result<std::vector<Bytes>> split_work(std::size_t parts) override {
+    if (parts == 0) parts = 1;
+    std::vector<Bytes> chunks;
+    const std::uint64_t per = samples_ / parts;
+    for (std::size_t i = 0; i < parts; ++i) {
+      const std::uint64_t n =
+          i + 1 == parts ? samples_ - per * (parts - 1) : per;
+      orb::CdrWriter w;
+      w.write_ulonglong(0x5eed + i);  // chunk seed
+      w.write_ulonglong(n);
+      chunks.push_back(w.take());
+    }
+    return chunks;
+  }
+
+  Result<Bytes> process_chunk(BytesView chunk) override {
+    orb::CdrReader r(chunk);
+    auto seed = r.read_ulonglong();
+    if (!seed) return seed.error();
+    auto n = r.read_ulonglong();
+    if (!n) return n.error();
+    Rng rng(*seed);
+    std::uint64_t inside = 0;
+    for (std::uint64_t i = 0; i < *n; ++i) {
+      const double x = rng.next_double();
+      const double y = rng.next_double();
+      inside += (x * x + y * y <= 1.0);
+    }
+    orb::CdrWriter w;
+    w.write_ulonglong(inside);
+    w.write_ulonglong(*n);
+    return w.take();
+  }
+
+  Result<Bytes> gather(const std::vector<Bytes>& partials) override {
+    std::uint64_t inside = 0, total = 0;
+    for (const auto& p : partials) {
+      orb::CdrReader r(p);
+      auto i = r.read_ulonglong();
+      if (!i) return i.error();
+      auto n = r.read_ulonglong();
+      if (!n) return n.error();
+      inside += *i;
+      total += *n;
+    }
+    orb::CdrWriter w;
+    w.write_double(total == 0 ? 0.0
+                              : 4.0 * static_cast<double>(inside) /
+                                    static_cast<double>(total));
+    return w.take();
+  }
+
+ private:
+  std::uint64_t samples_ = 100000;
+};
+
+inline Bytes montecarlo_package() {
+  (void)core::ExecutorRegistry::global().register_symbol(
+      "create_montecarlo",
+      [] { return std::make_unique<MonteCarloInstance>(); });
+  pkg::ComponentDescription d;
+  d.name = "demo.montecarlo";
+  d.version = {1, 0, 0};
+  d.summary = "Data-parallel pi estimator";
+  d.mobile = true;
+  d.aggregatable = true;
+  d.stateless = true;
+  d.security.vendor = "clc-demo";
+  d.ports = {{pkg::PortKind::provides, "mc", "demo::MonteCarlo"}};
+  d.factory_interface = "demo::MonteCarlo";
+  pkg::PackageBuilder b(d);
+  b.set_idl(
+      "module demo { interface MonteCarlo {"
+      " void configure(in long long samples); }; };");
+  b.add_binary(binary_for("x86_64", "create_montecarlo"));
+  b.add_binary(binary_for("arm", "create_montecarlo"));
+  auto built = b.build(vendor_key());
+  return built.value();
+}
+
+// ---------------------------------------------------------------------------
+// demo.ticker / demo.display: event producer and consumer pair.
+
+class TickerInstance : public core::ComponentInstance {
+ public:
+  Result<void> initialize(core::InstanceContext& ctx) override {
+    ctx_ = &ctx;
+    auto servant = std::make_shared<orb::DynamicServant>("demo::Ticker");
+    servant->on("fire", [this](orb::ServerRequest& req) -> Result<void> {
+      return ctx_->emit("ticks", req.arg(0));
+    });
+    return ctx.provide_port("ticker", std::move(servant)).ok()
+               ? Result<void>{}
+               : Result<void>{Errc::bad_state, "port registration failed"};
+  }
+
+ private:
+  core::InstanceContext* ctx_ = nullptr;
+};
+
+inline Bytes ticker_package() {
+  (void)core::ExecutorRegistry::global().register_symbol(
+      "create_ticker", [] { return std::make_unique<TickerInstance>(); });
+  pkg::ComponentDescription d;
+  d.name = "demo.ticker";
+  d.version = {1, 0, 0};
+  d.summary = "Publishes demo.Tick events";
+  d.security.vendor = "clc-demo";
+  d.ports = {{pkg::PortKind::provides, "ticker", "demo::Ticker"},
+             {pkg::PortKind::emits, "ticks", "demo.Tick"}};
+  d.factory_interface = "demo::Ticker";
+  pkg::PackageBuilder b(d);
+  b.set_idl("module demo { interface Ticker { void fire(in string tag); }; };");
+  b.add_binary(binary_for("x86_64", "create_ticker"));
+  auto built = b.build(vendor_key());
+  return built.value();
+}
+
+}  // namespace clc::testing

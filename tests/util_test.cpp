@@ -1,0 +1,350 @@
+// Unit and property tests for clc_util: bytes, ids, rng, strings, versions,
+// results, logging.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+#include "util/log.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/version.hpp"
+
+namespace clc {
+namespace {
+
+// ---------------------------------------------------------------- bytes
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // non-hex
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  const std::string s = "hello \x01 world";
+  EXPECT_EQ(string_of(bytes_of(s)), s);
+}
+
+TEST(Bytes, Fnv1aKnownValues) {
+  // FNV-1a 64 published test vectors.
+  EXPECT_EQ(fnv1a64(bytes_of("")), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64(bytes_of("a")), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64(bytes_of("foobar")), 0x85944171f73967e8ULL);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximation) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.25);
+}
+
+// ---------------------------------------------------------------- ids
+
+TEST(Uuid, RandomNotNilAndUnique) {
+  Rng rng(3);
+  std::unordered_set<Uuid> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const Uuid u = Uuid::random(rng);
+    EXPECT_FALSE(u.is_nil());
+    EXPECT_TRUE(seen.insert(u).second);
+  }
+}
+
+TEST(Uuid, StringRoundTrip) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Uuid u = Uuid::random(rng);
+    EXPECT_EQ(Uuid::parse(u.to_string()), u);
+  }
+}
+
+TEST(Uuid, ParseRejectsBadInput) {
+  EXPECT_TRUE(Uuid::parse("").is_nil());
+  EXPECT_TRUE(Uuid::parse("abc").is_nil());
+  EXPECT_TRUE(Uuid::parse(std::string(32, 'g')).is_nil());
+}
+
+TEST(TypedIds, NotInterchangeableButComparable) {
+  const NodeId n{7};
+  const NodeId m{9};
+  EXPECT_LT(n, m);
+  EXPECT_TRUE(n.valid());
+  EXPECT_FALSE(NodeId{}.valid());
+  static_assert(!std::is_convertible_v<NodeId, InstanceId>);
+  static_assert(!std::is_convertible_v<std::uint64_t, NodeId>);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, PrefixSuffix) {
+  EXPECT_TRUE(starts_with("component.xml", "component"));
+  EXPECT_FALSE(starts_with("c", "component"));
+  EXPECT_TRUE(ends_with("component.xml", ".xml"));
+  EXPECT_FALSE(ends_with("x", ".xml"));
+}
+
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("video.*", "video.decoder"));
+  EXPECT_FALSE(glob_match("video.*", "audio.decoder"));
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+  EXPECT_TRUE(glob_match("*decoder*", "video.mpeg.decoder.v2"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_TRUE(glob_match("a*b*c", "a_xx_b_yy_c"));
+  EXPECT_FALSE(glob_match("a*b*c", "a_xx_c"));
+}
+
+// ---------------------------------------------------------------- version
+
+TEST(Version, ParseAndPrint) {
+  auto v = Version::parse("1.2.3");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->major, 1u);
+  EXPECT_EQ(v->minor, 2u);
+  EXPECT_EQ(v->patch, 3u);
+  EXPECT_EQ(v->to_string(), "1.2.3");
+}
+
+TEST(Version, ShortForms) {
+  EXPECT_EQ(Version::parse("2")->to_string(), "2.0.0");
+  EXPECT_EQ(Version::parse("2.5")->to_string(), "2.5.0");
+  EXPECT_EQ(Version::parse(" 1.0.0 ")->to_string(), "1.0.0");
+}
+
+TEST(Version, ParseErrors) {
+  EXPECT_FALSE(Version::parse("").ok());
+  EXPECT_FALSE(Version::parse("1.").ok());
+  EXPECT_FALSE(Version::parse(".1").ok());
+  EXPECT_FALSE(Version::parse("1.2.3.4").ok());
+  EXPECT_FALSE(Version::parse("1.x").ok());
+  EXPECT_FALSE(Version::parse("99999999999").ok());
+}
+
+TEST(Version, Ordering) {
+  EXPECT_LT(*Version::parse("1.2.3"), *Version::parse("1.2.4"));
+  EXPECT_LT(*Version::parse("1.9.9"), *Version::parse("2.0.0"));
+  EXPECT_EQ(*Version::parse("1.2"), *Version::parse("1.2.0"));
+}
+
+struct ConstraintCase {
+  const char* constraint;
+  const char* version;
+  bool expect;
+};
+
+class VersionConstraintMatch
+    : public ::testing::TestWithParam<ConstraintCase> {};
+
+TEST_P(VersionConstraintMatch, Matches) {
+  const auto& p = GetParam();
+  auto c = VersionConstraint::parse(p.constraint);
+  ASSERT_TRUE(c.ok()) << p.constraint;
+  auto v = Version::parse(p.version);
+  ASSERT_TRUE(v.ok()) << p.version;
+  EXPECT_EQ(c->matches(*v), p.expect)
+      << p.constraint << " vs " << p.version;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, VersionConstraintMatch,
+    ::testing::Values(
+        ConstraintCase{"any", "0.0.1", true},
+        ConstraintCase{"*", "9.9.9", true},
+        ConstraintCase{">=1.2", "1.2.0", true},
+        ConstraintCase{">=1.2", "1.1.9", false},
+        ConstraintCase{">1.2", "1.2.0", false},
+        ConstraintCase{">1.2", "1.2.1", true},
+        ConstraintCase{"<=2.0", "2.0.0", true},
+        ConstraintCase{"<2.0", "2.0.0", false},
+        ConstraintCase{"==1.0.0", "1.0.0", true},
+        ConstraintCase{"==1.0.0", "1.0.1", false},
+        ConstraintCase{"!=1.0.0", "1.0.1", true},
+        ConstraintCase{"1.5", "1.5.0", true},    // bare version == exact
+        ConstraintCase{"1.5", "1.5.1", false},
+        ConstraintCase{"~2.1", "2.1.0", true},   // compatible: same major
+        ConstraintCase{"~2.1", "2.9.0", true},
+        ConstraintCase{"~2.1", "3.0.0", false},
+        ConstraintCase{"~2.1", "2.0.9", false}));
+
+TEST(VersionConstraint, ParseErrors) {
+  EXPECT_FALSE(VersionConstraint::parse(">=").ok());
+  EXPECT_FALSE(VersionConstraint::parse("abc").ok());
+}
+
+TEST(VersionConstraint, RoundTripToString) {
+  for (const char* s : {"==1.2.3", ">=1.0.0", "<2.0.0", "~3.1.0", "any"}) {
+    auto c = VersionConstraint::parse(s);
+    ASSERT_TRUE(c.ok());
+    auto c2 = VersionConstraint::parse(c->to_string());
+    ASSERT_TRUE(c2.ok());
+    EXPECT_EQ(c->to_string(), c2->to_string());
+  }
+}
+
+// ---------------------------------------------------------------- result
+
+TEST(Result, ValueAccess) {
+  Result<int> r = 42;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, ErrorAccess) {
+  Result<int> r = Error{Errc::not_found, "missing"};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_found);
+  EXPECT_EQ(r.error().to_string(), "not_found: missing");
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW((void)r.value(), BadResultAccess);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> good = ok_result();
+  EXPECT_TRUE(good.ok());
+  EXPECT_NO_THROW(good.value());
+  Result<void> bad{Errc::timeout, "late"};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_THROW(bad.value(), BadResultAccess);
+}
+
+TEST(Result, MapPropagates) {
+  Result<int> r = 10;
+  auto s = r.map([](int v) { return v * 2; });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, 20);
+  Result<int> e = Error{Errc::timeout, "t"};
+  auto f = e.map([](int v) { return v * 2; });
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.error().code, Errc::timeout);
+}
+
+TEST(Errc, AllNamesStable) {
+  EXPECT_STREQ(errc_name(Errc::ok), "ok");
+  EXPECT_STREQ(errc_name(Errc::signature_mismatch), "signature_mismatch");
+  EXPECT_STREQ(errc_name(Errc::unreachable), "unreachable");
+}
+
+// ---------------------------------------------------------------- clock
+
+TEST(Clock, ManualClockAdvances) {
+  ManualClock c(100);
+  EXPECT_EQ(c.now(), 100);
+  c.advance(milliseconds(5));
+  EXPECT_EQ(c.now(), 100 + 5000);
+  c.set(seconds(1));
+  EXPECT_EQ(c.now(), 1000000);
+}
+
+TEST(Clock, SystemClockMonotone) {
+  SystemClock c;
+  const auto a = c.now();
+  const auto b = c.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(Clock, DurationHelpers) {
+  EXPECT_EQ(milliseconds(3), 3000);
+  EXPECT_EQ(seconds(2), 2000000);
+  EXPECT_DOUBLE_EQ(to_seconds(1500000), 1.5);
+}
+
+// ---------------------------------------------------------------- log
+
+TEST(Log, CaptureAndLevelFilter) {
+  std::string sink;
+  set_log_capture(&sink);
+  set_log_level(LogLevel::warn);
+  CLC_LOG(info, "node") << "ignored";
+  CLC_LOG(warn, "node") << "kept " << 42;
+  set_log_level(LogLevel::off);
+  set_log_capture(nullptr);
+  EXPECT_EQ(sink, "[WARN] node: kept 42\n");
+}
+
+}  // namespace
+}  // namespace clc

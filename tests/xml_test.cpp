@@ -1,0 +1,186 @@
+// Tests for the XML DOM parser/writer used by component descriptors.
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace clc::xml {
+namespace {
+
+TEST(XmlParse, MinimalDocument) {
+  auto doc = parse("<root/>");
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  EXPECT_EQ(doc->root->name(), "root");
+  EXPECT_TRUE(doc->root->text().empty());
+  EXPECT_TRUE(doc->root->children().empty());
+}
+
+TEST(XmlParse, DeclarationCaptured) {
+  auto doc = parse("<?xml version=\"1.1\" encoding=\"ascii\"?><r/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->version, "1.1");
+  EXPECT_EQ(doc->encoding, "ascii");
+}
+
+TEST(XmlParse, AttributesBothQuoteStyles) {
+  auto doc = parse(R"(<c name="video.decoder" version='2.1.0'/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->attr("name"), "video.decoder");
+  EXPECT_EQ(doc->root->attr("version"), "2.1.0");
+  EXPECT_TRUE(doc->root->has_attr("name"));
+  EXPECT_FALSE(doc->root->has_attr("missing"));
+  EXPECT_EQ(doc->root->attr("missing"), "");
+}
+
+TEST(XmlParse, NestedChildrenAndText) {
+  auto doc = parse(
+      "<component>\n"
+      "  <name>whiteboard</name>\n"
+      "  <ports><provides>IDraw</provides><uses>IDisplay</uses></ports>\n"
+      "</component>");
+  ASSERT_TRUE(doc.ok());
+  const Element& root = *doc->root;
+  EXPECT_EQ(root.find_text("name"), "whiteboard");
+  EXPECT_EQ(root.find_text("ports/provides"), "IDraw");
+  EXPECT_EQ(root.find_text("ports/uses"), "IDisplay");
+  EXPECT_EQ(root.find_text("ports/missing", "dflt"), "dflt");
+  EXPECT_EQ(root.find("ports/provides")->name(), "provides");
+  EXPECT_EQ(root.find("nope"), nullptr);
+}
+
+TEST(XmlParse, RepeatedChildren) {
+  auto doc = parse("<deps><dep>a</dep><dep>b</dep><other/><dep>c</dep></deps>");
+  ASSERT_TRUE(doc.ok());
+  auto deps = doc->root->children_named("dep");
+  ASSERT_EQ(deps.size(), 3u);
+  EXPECT_EQ(deps[0]->text(), "a");
+  EXPECT_EQ(deps[1]->text(), "b");
+  EXPECT_EQ(deps[2]->text(), "c");
+}
+
+TEST(XmlParse, EntitiesDecoded) {
+  auto doc = parse("<t a=\"&lt;x&gt;\">&amp;&quot;&apos;&#65;&#x42;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->attr("a"), "<x>");
+  EXPECT_EQ(doc->root->text(), "&\"'AB");
+}
+
+TEST(XmlParse, NumericEntityUtf8) {
+  auto doc = parse("<t>&#233;&#x20AC;</t>");  // é €
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(XmlParse, CommentsAndPIsSkipped) {
+  auto doc = parse(
+      "<!-- header --><?pi data?><r><!-- inner -->"
+      "<a/><?x y?></r><!-- trailer -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->children().size(), 1u);
+}
+
+TEST(XmlParse, DoctypeSkipped) {
+  auto doc = parse(
+      "<!DOCTYPE softpkg SYSTEM \"osd.dtd\" [ <!ENTITY x \"y\"> ]>"
+      "<softpkg/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name(), "softpkg");
+}
+
+TEST(XmlParse, CdataPreserved) {
+  auto doc = parse("<t><![CDATA[a <raw> & b]]></t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "a <raw> & b");
+}
+
+TEST(XmlParse, WhitespaceAroundChildrenTrimmed) {
+  auto doc = parse("<r>\n  <a/>\n</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text(), "");
+}
+
+struct BadXmlCase {
+  const char* label;
+  const char* input;
+};
+
+class XmlParseErrors : public ::testing::TestWithParam<BadXmlCase> {};
+
+TEST_P(XmlParseErrors, Rejected) {
+  auto doc = parse(GetParam().input);
+  EXPECT_FALSE(doc.ok()) << GetParam().label;
+  if (!doc.ok()) {
+    EXPECT_EQ(doc.error().code, Errc::parse_error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, XmlParseErrors,
+    ::testing::Values(
+        BadXmlCase{"empty", ""},
+        BadXmlCase{"text_only", "just text"},
+        BadXmlCase{"unterminated_tag", "<r"},
+        BadXmlCase{"unterminated_elem", "<r>"},
+        BadXmlCase{"mismatched_end", "<a></b>"},
+        BadXmlCase{"dup_attr", "<a x=\"1\" x=\"2\"/>"},
+        BadXmlCase{"bad_attr", "<a x=1/>"},
+        BadXmlCase{"unknown_entity", "<a>&nope;</a>"},
+        BadXmlCase{"unterminated_comment", "<!-- never closed"},
+        BadXmlCase{"content_after_root", "<a/><b/>"},
+        BadXmlCase{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadXmlCase{"missing_attr_eq", "<a x \"1\"/>"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(XmlParse, ErrorsCarryLocation) {
+  auto doc = parse("<a>\n<b></c></a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message.find("xml:2:"), std::string::npos)
+      << doc.error().message;
+}
+
+TEST(XmlWrite, EscapesSpecialCharacters) {
+  Element e("t");
+  e.set_attr("a", "<&\">");
+  e.set_text("1 < 2 & 3");
+  const std::string s = e.to_string(-1);
+  EXPECT_EQ(s, "<t a=\"&lt;&amp;&quot;&gt;\">1 &lt; 2 &amp; 3</t>");
+}
+
+TEST(XmlWrite, ParsePrintParseFixpoint) {
+  const char* input =
+      "<softpkg name=\"clc.demo\" version=\"1.0.0\">"
+      "<description>demo &amp; test</description>"
+      "<implementation arch=\"x86_64\" os=\"linux\">"
+      "<dependency name=\"codec\" constraint=\"&gt;=2.0\"/>"
+      "</implementation>"
+      "</softpkg>";
+  auto d1 = parse(input);
+  ASSERT_TRUE(d1.ok());
+  const std::string printed1 = d1->to_string();
+  auto d2 = parse(printed1);
+  ASSERT_TRUE(d2.ok()) << d2.error().to_string();
+  EXPECT_EQ(printed1, d2->to_string());
+}
+
+TEST(XmlWrite, BuilderApi) {
+  Element root("assembly");
+  root.set_attr("name", "app");
+  auto& inst = root.add_child("instance");
+  inst.set_attr("component", "gui.part");
+  inst.set_text("main");
+  EXPECT_EQ(root.children().size(), 1u);
+  auto parsed = parse(root.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->root->child("instance")->attr("component"), "gui.part");
+  EXPECT_EQ(parsed->root->child("instance")->text(), "main");
+}
+
+TEST(XmlWrite, SetAttrOverwrites) {
+  Element e("x");
+  e.set_attr("k", "1");
+  e.set_attr("k", "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+  EXPECT_EQ(e.attr("k"), "2");
+}
+
+}  // namespace
+}  // namespace clc::xml
