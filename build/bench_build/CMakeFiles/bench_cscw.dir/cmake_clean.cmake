@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cscw"
+  "../bench/bench_cscw.pdb"
+  "CMakeFiles/bench_cscw.dir/bench_cscw.cpp.o"
+  "CMakeFiles/bench_cscw.dir/bench_cscw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cscw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_hierarchy.cpp" "bench_build/CMakeFiles/bench_hierarchy.dir/bench_hierarchy.cpp.o" "gcc" "bench_build/CMakeFiles/bench_hierarchy.dir/bench_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/clc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkg/CMakeFiles/clc_pkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/clc_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/clc_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/clc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_load_balancing"
+  "../bench/bench_load_balancing.pdb"
+  "CMakeFiles/bench_load_balancing.dir/bench_load_balancing.cpp.o"
+  "CMakeFiles/bench_load_balancing.dir/bench_load_balancing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

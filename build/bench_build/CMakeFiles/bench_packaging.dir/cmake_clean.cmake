@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_packaging"
+  "../bench/bench_packaging.pdb"
+  "CMakeFiles/bench_packaging.dir/bench_packaging.cpp.o"
+  "CMakeFiles/bench_packaging.dir/bench_packaging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

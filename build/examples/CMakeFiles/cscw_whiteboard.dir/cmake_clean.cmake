@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cscw_whiteboard.dir/cscw_whiteboard.cpp.o"
+  "CMakeFiles/cscw_whiteboard.dir/cscw_whiteboard.cpp.o.d"
+  "cscw_whiteboard"
+  "cscw_whiteboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cscw_whiteboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cscw_whiteboard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_montecarlo.dir/grid_montecarlo.cpp.o"
+  "CMakeFiles/grid_montecarlo.dir/grid_montecarlo.cpp.o.d"
+  "grid_montecarlo"
+  "grid_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cpp" "src/core/CMakeFiles/clc_core.dir/aggregation.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/aggregation.cpp.o.d"
+  "/root/repo/src/core/application.cpp" "src/core/CMakeFiles/clc_core.dir/application.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/application.cpp.o.d"
+  "/root/repo/src/core/cohesion.cpp" "src/core/CMakeFiles/clc_core.dir/cohesion.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/cohesion.cpp.o.d"
+  "/root/repo/src/core/container.cpp" "src/core/CMakeFiles/clc_core.dir/container.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/container.cpp.o.d"
+  "/root/repo/src/core/events.cpp" "src/core/CMakeFiles/clc_core.dir/events.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/events.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/clc_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/introspect.cpp" "src/core/CMakeFiles/clc_core.dir/introspect.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/introspect.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/clc_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/proto.cpp" "src/core/CMakeFiles/clc_core.dir/proto.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/proto.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/core/CMakeFiles/clc_core.dir/query.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/query.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/clc_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/repository.cpp" "src/core/CMakeFiles/clc_core.dir/repository.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/repository.cpp.o.d"
+  "/root/repo/src/core/resource.cpp" "src/core/CMakeFiles/clc_core.dir/resource.cpp.o" "gcc" "src/core/CMakeFiles/clc_core.dir/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/clc_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkg/CMakeFiles/clc_pkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/clc_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/clc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_core.dir/aggregation.cpp.o"
+  "CMakeFiles/clc_core.dir/aggregation.cpp.o.d"
+  "CMakeFiles/clc_core.dir/application.cpp.o"
+  "CMakeFiles/clc_core.dir/application.cpp.o.d"
+  "CMakeFiles/clc_core.dir/cohesion.cpp.o"
+  "CMakeFiles/clc_core.dir/cohesion.cpp.o.d"
+  "CMakeFiles/clc_core.dir/container.cpp.o"
+  "CMakeFiles/clc_core.dir/container.cpp.o.d"
+  "CMakeFiles/clc_core.dir/events.cpp.o"
+  "CMakeFiles/clc_core.dir/events.cpp.o.d"
+  "CMakeFiles/clc_core.dir/instance.cpp.o"
+  "CMakeFiles/clc_core.dir/instance.cpp.o.d"
+  "CMakeFiles/clc_core.dir/introspect.cpp.o"
+  "CMakeFiles/clc_core.dir/introspect.cpp.o.d"
+  "CMakeFiles/clc_core.dir/node.cpp.o"
+  "CMakeFiles/clc_core.dir/node.cpp.o.d"
+  "CMakeFiles/clc_core.dir/proto.cpp.o"
+  "CMakeFiles/clc_core.dir/proto.cpp.o.d"
+  "CMakeFiles/clc_core.dir/query.cpp.o"
+  "CMakeFiles/clc_core.dir/query.cpp.o.d"
+  "CMakeFiles/clc_core.dir/registry.cpp.o"
+  "CMakeFiles/clc_core.dir/registry.cpp.o.d"
+  "CMakeFiles/clc_core.dir/repository.cpp.o"
+  "CMakeFiles/clc_core.dir/repository.cpp.o.d"
+  "CMakeFiles/clc_core.dir/resource.cpp.o"
+  "CMakeFiles/clc_core.dir/resource.cpp.o.d"
+  "libclc_core.a"
+  "libclc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

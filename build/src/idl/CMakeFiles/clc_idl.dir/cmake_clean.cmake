@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_idl.dir/lexer.cpp.o"
+  "CMakeFiles/clc_idl.dir/lexer.cpp.o.d"
+  "CMakeFiles/clc_idl.dir/parser.cpp.o"
+  "CMakeFiles/clc_idl.dir/parser.cpp.o.d"
+  "CMakeFiles/clc_idl.dir/repository.cpp.o"
+  "CMakeFiles/clc_idl.dir/repository.cpp.o.d"
+  "libclc_idl.a"
+  "libclc_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclc_idl.a"
+)

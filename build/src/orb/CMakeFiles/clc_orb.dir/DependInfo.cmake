@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orb/message.cpp" "src/orb/CMakeFiles/clc_orb.dir/message.cpp.o" "gcc" "src/orb/CMakeFiles/clc_orb.dir/message.cpp.o.d"
+  "/root/repo/src/orb/orb.cpp" "src/orb/CMakeFiles/clc_orb.dir/orb.cpp.o" "gcc" "src/orb/CMakeFiles/clc_orb.dir/orb.cpp.o.d"
+  "/root/repo/src/orb/tcp.cpp" "src/orb/CMakeFiles/clc_orb.dir/tcp.cpp.o" "gcc" "src/orb/CMakeFiles/clc_orb.dir/tcp.cpp.o.d"
+  "/root/repo/src/orb/transport.cpp" "src/orb/CMakeFiles/clc_orb.dir/transport.cpp.o" "gcc" "src/orb/CMakeFiles/clc_orb.dir/transport.cpp.o.d"
+  "/root/repo/src/orb/value.cpp" "src/orb/CMakeFiles/clc_orb.dir/value.cpp.o" "gcc" "src/orb/CMakeFiles/clc_orb.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idl/CMakeFiles/clc_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_orb.dir/message.cpp.o"
+  "CMakeFiles/clc_orb.dir/message.cpp.o.d"
+  "CMakeFiles/clc_orb.dir/orb.cpp.o"
+  "CMakeFiles/clc_orb.dir/orb.cpp.o.d"
+  "CMakeFiles/clc_orb.dir/tcp.cpp.o"
+  "CMakeFiles/clc_orb.dir/tcp.cpp.o.d"
+  "CMakeFiles/clc_orb.dir/transport.cpp.o"
+  "CMakeFiles/clc_orb.dir/transport.cpp.o.d"
+  "CMakeFiles/clc_orb.dir/value.cpp.o"
+  "CMakeFiles/clc_orb.dir/value.cpp.o.d"
+  "libclc_orb.a"
+  "libclc_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

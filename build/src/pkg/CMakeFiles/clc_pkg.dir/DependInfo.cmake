@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pkg/archive.cpp" "src/pkg/CMakeFiles/clc_pkg.dir/archive.cpp.o" "gcc" "src/pkg/CMakeFiles/clc_pkg.dir/archive.cpp.o.d"
+  "/root/repo/src/pkg/descriptor.cpp" "src/pkg/CMakeFiles/clc_pkg.dir/descriptor.cpp.o" "gcc" "src/pkg/CMakeFiles/clc_pkg.dir/descriptor.cpp.o.d"
+  "/root/repo/src/pkg/lzss.cpp" "src/pkg/CMakeFiles/clc_pkg.dir/lzss.cpp.o" "gcc" "src/pkg/CMakeFiles/clc_pkg.dir/lzss.cpp.o.d"
+  "/root/repo/src/pkg/package.cpp" "src/pkg/CMakeFiles/clc_pkg.dir/package.cpp.o" "gcc" "src/pkg/CMakeFiles/clc_pkg.dir/package.cpp.o.d"
+  "/root/repo/src/pkg/sha256.cpp" "src/pkg/CMakeFiles/clc_pkg.dir/sha256.cpp.o" "gcc" "src/pkg/CMakeFiles/clc_pkg.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/clc_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/clc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/clc_idl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_pkg.dir/archive.cpp.o"
+  "CMakeFiles/clc_pkg.dir/archive.cpp.o.d"
+  "CMakeFiles/clc_pkg.dir/descriptor.cpp.o"
+  "CMakeFiles/clc_pkg.dir/descriptor.cpp.o.d"
+  "CMakeFiles/clc_pkg.dir/lzss.cpp.o"
+  "CMakeFiles/clc_pkg.dir/lzss.cpp.o.d"
+  "CMakeFiles/clc_pkg.dir/package.cpp.o"
+  "CMakeFiles/clc_pkg.dir/package.cpp.o.d"
+  "CMakeFiles/clc_pkg.dir/sha256.cpp.o"
+  "CMakeFiles/clc_pkg.dir/sha256.cpp.o.d"
+  "libclc_pkg.a"
+  "libclc_pkg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_pkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for clc_pkg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_sim.dir/network.cpp.o"
+  "CMakeFiles/clc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/clc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/clc_sim.dir/simulator.cpp.o.d"
+  "libclc_sim.a"
+  "libclc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_util.dir/bytes.cpp.o"
+  "CMakeFiles/clc_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/clc_util.dir/ids.cpp.o"
+  "CMakeFiles/clc_util.dir/ids.cpp.o.d"
+  "CMakeFiles/clc_util.dir/log.cpp.o"
+  "CMakeFiles/clc_util.dir/log.cpp.o.d"
+  "CMakeFiles/clc_util.dir/strings.cpp.o"
+  "CMakeFiles/clc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/clc_util.dir/version.cpp.o"
+  "CMakeFiles/clc_util.dir/version.cpp.o.d"
+  "libclc_util.a"
+  "libclc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clc_xml.dir/xml.cpp.o"
+  "CMakeFiles/clc_xml.dir/xml.cpp.o.d"
+  "libclc_xml.a"
+  "libclc_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clc_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cohesion_test.dir/cohesion_test.cpp.o"
+  "CMakeFiles/cohesion_test.dir/cohesion_test.cpp.o.d"
+  "cohesion_test"
+  "cohesion_test.pdb"
+  "cohesion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cohesion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_test[1]_include.cmake")
+include("/root/repo/build/tests/cdr_test[1]_include.cmake")
+include("/root/repo/build/tests/orb_test[1]_include.cmake")
+include("/root/repo/build/tests/pkg_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cohesion_test[1]_include.cmake")
+include("/root/repo/build/tests/node_test[1]_include.cmake")
+include("/root/repo/build/tests/core_units_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
