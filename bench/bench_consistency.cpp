@@ -9,6 +9,7 @@
 // until a freshly installed component becomes visible to a remote node.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "sim_world.hpp"
 
 using namespace clc;
@@ -56,6 +57,7 @@ double visibility_delay_s(CohesionConfig::Mode mode, std::size_t n) {
 }  // namespace
 
 int main() {
+  BenchReport report("consistency");
   std::printf("E3: soft (hierarchical) vs strong consistency -- steady-state "
               "bandwidth\n");
   std::printf("(4 components/node, heartbeat %llds, 60s steady-state window)\n\n",
@@ -70,6 +72,9 @@ int main() {
         steady_state_bytes_per_node_s(CohesionConfig::Mode::strong, n);
     std::printf("%6zu | %18.0f | %18.0f | %7.1fx\n", n, soft, strong,
                 strong / (soft > 0 ? soft : 1));
+    const std::string suffix = ".n" + std::to_string(n);
+    report.set("soft.bytes_per_node_s" + suffix, soft);
+    report.set("strong.bytes_per_node_s" + suffix, strong);
   }
 
   std::printf("\nE3b: the price of softness -- new-component visibility "
@@ -80,6 +85,9 @@ int main() {
         visibility_delay_s(CohesionConfig::Mode::hierarchical, n);
     const double strong = visibility_delay_s(CohesionConfig::Mode::strong, n);
     std::printf("%6zu | %13.2f s | %13.2f s\n", n, soft, strong);
+    const std::string suffix = ".n" + std::to_string(n);
+    report.set("soft.visibility_delay_s" + suffix, soft);
+    report.set("strong.visibility_delay_s" + suffix, strong);
   }
   std::printf("\nshape check: strong bandwidth grows O(N) per node (O(N^2) "
               "total); soft stays ~flat per node. Strong is visible almost "

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_report.hpp"
 #include "core/node.hpp"
 #include "support/test_components.hpp"
 
@@ -60,6 +61,7 @@ double fanout_rate(std::size_t subscribers, bool remote, int events) {
 }  // namespace
 
 int main() {
+  clc::bench::BenchReport report("cscw");
   std::printf("E10: CSCW event fan-out (push channels, Fig. 2)\n\n");
   std::printf("%12s | %16s | %16s\n", "subscribers", "local (evt/s)",
               "remote (evt/s)");
@@ -68,6 +70,9 @@ int main() {
     const double local = fanout_rate(s, false, 2000);
     const double remote = fanout_rate(s, true, 500);
     std::printf("%12zu | %16.0f | %16.0f\n", s, local, remote);
+    const std::string suffix = ".subs" + std::to_string(s);
+    report.set("local.events_per_s" + suffix, local);
+    report.set("remote.events_per_s" + suffix, remote);
   }
 
   // PDA per-update cost: one remote call to a GUI part vs a local call.
@@ -93,10 +98,12 @@ int main() {
       return seconds_since(start) / kCalls * 1e6;
     };
     std::printf("\nE10b: per-update GUI invocation cost\n");
-    std::printf("  workstation, local GUI part: %8.2f us/update\n",
-                time_calls(host, local_gui->primary));
-    std::printf("  PDA, remote GUI part:        %8.2f us/update\n",
-                time_calls(pda, remote_gui->primary));
+    const double local_us = time_calls(host, local_gui->primary);
+    const double remote_us = time_calls(pda, remote_gui->primary);
+    std::printf("  workstation, local GUI part: %8.2f us/update\n", local_us);
+    std::printf("  PDA, remote GUI part:        %8.2f us/update\n", remote_us);
+    report.set("gui.local_us_per_update", local_us);
+    report.set("gui.remote_us_per_update", remote_us);
   }
 
   // Run-time GUI replacement cost: instantiate + rewire a component.
@@ -113,9 +120,11 @@ int main() {
       auto id = host.container().create("demo.calculator", VersionConstraint{});
       if (id.ok()) (void)host.container().destroy(*id);
     }
+    const double swap_us = seconds_since(start) / kSwaps * 1e6;
     std::printf("\nE10c: run-time GUI part swap (create+destroy): %.1f "
                 "us/swap\n",
-                seconds_since(start) / kSwaps * 1e6);
+                swap_us);
+    report.set("gui.swap_us", swap_us);
   }
   std::printf("\nshape check: local fan-out scales linearly with "
               "subscribers; remote costs one oneway call per subscriber; "

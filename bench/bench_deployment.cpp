@@ -18,6 +18,7 @@
 
 #include <algorithm>
 
+#include "bench_report.hpp"
 #include "core/node.hpp"
 #include "support/test_components.hpp"
 
@@ -66,6 +67,7 @@ Node* best_node(const std::vector<Node*>& nodes,
 }  // namespace
 
 int main() {
+  clc::bench::BenchReport report("deployment");
   std::printf("E6: run-time deployment vs static (CCM-style) assembly\n");
   std::printf("(8 heterogeneous nodes, 24 instances of a 0.1-CPU component)\n\n");
 
@@ -138,6 +140,12 @@ int main() {
               fixed.mean_load, fixed.failures);
   std::printf("%22s | %9.2f | %9.2f | %9d\n", "run-time placement",
               dynamic.max_load, dynamic.mean_load, dynamic.failures);
+  report.set("static.max_load", fixed.max_load);
+  report.set("static.mean_load", fixed.mean_load);
+  report.set("static.failures", fixed.failures);
+  report.set("dynamic.max_load", dynamic.max_load);
+  report.set("dynamic.mean_load", dynamic.mean_load);
+  report.set("dynamic.failures", dynamic.failures);
   std::printf("\nshape check: run-time placement keeps the max node load far "
               "below the static assembly's (which overloads the designer's "
               "four hosts and fails admissions).\n");

@@ -11,6 +11,7 @@
 // the network with random churn and report query availability.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "sim_world.hpp"
 #include "util/rng.hpp"
 
@@ -110,6 +111,7 @@ double availability_under_churn(double kill_fraction) {
 }  // namespace
 
 int main() {
+  BenchReport report("fault_tolerance");
   std::printf("E5: fault tolerance -- root-MRM failover vs replica count "
               "(64 nodes)\n\n");
   std::printf("%9s | %12s %12s %12s\n", "replicas", "seed 1", "seed 2",
@@ -124,18 +126,26 @@ int main() {
       } else {
         std::printf(" %9.1f s", t);
       }
+      report.set("root_recovery_s.replicas" + std::to_string(replicas) +
+                     ".seed" + std::to_string(seed),
+                 t);
     }
     std::printf("\n");
   }
 
+  const double interior = interior_mrm_recovery_s(404);
   std::printf("\nE5b: interior MRM death (group size 4): recovery %.1f s\n",
-              interior_mrm_recovery_s(404));
+              interior);
+  report.set("interior_recovery_s", interior);
 
   std::printf("\nE5c: query availability after killing a fraction of nodes\n");
   std::printf("%12s | %12s\n", "killed", "availability");
   for (double f : {0.05, 0.15, 0.30}) {
-    std::printf("%11.0f%% | %10.0f%%\n", f * 100,
-                availability_under_churn(f));
+    const double avail = availability_under_churn(f);
+    std::printf("%11.0f%% | %10.0f%%\n", f * 100, avail);
+    report.set("availability_pct.killed" +
+                   std::to_string(static_cast<int>(f * 100)),
+               avail);
   }
   std::printf("\nshape check: recovery within a few heartbeat multiples for "
               "any replica count >= 1; availability degrades gracefully "

@@ -1,0 +1,40 @@
+// Google-benchmark glue for BenchReport: a console reporter that mirrors
+// every finished run into the report (as "<benchmark name>.real_time_ns"),
+// so gbench-based benches emit the same BENCH_<name>.json as the
+// table-printing ones.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench_report.hpp"
+
+namespace clc::bench {
+
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.set(run.benchmark_name() + ".real_time_ns",
+                  run.GetAdjustedRealTime());
+      if (run.iterations > 0)
+        report_.count(run.benchmark_name() + ".iterations",
+                      static_cast<std::uint64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport& report_;
+};
+
+inline void run_benchmarks_with_report(int argc, char** argv,
+                                       BenchReport& report) {
+  benchmark::Initialize(&argc, argv);
+  ReportingConsoleReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+}
+
+}  // namespace clc::bench

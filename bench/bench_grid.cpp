@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "core/aggregation.hpp"
 #include "core/node.hpp"
 #include "support/test_components.hpp"
@@ -28,6 +29,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
+  clc::bench::BenchReport report("grid");
   std::printf("E11: grid aggregation -- distribution overhead and modeled "
               "speedup\n\n");
   CohesionConfig cohesion;
@@ -62,6 +64,7 @@ int main() {
   orb::CdrReader r(serial->result);
   std::printf("serial: %lld samples in %.3f s (pi ~= %.5f)\n",
               static_cast<long long>(kSamples), t_serial, *r.read_double());
+  report.set("serial_time_s", t_serial);
 
   // Distribution overhead: run tiny chunks remotely and time the envelope.
   (void)coordinator.orb().call(mc->primary, "configure",
@@ -76,6 +79,7 @@ int main() {
   std::printf("per-chunk distribution overhead: %.1f us "
               "(remote instantiation amortized; marshaling + transport)\n\n",
               overhead * 1e6);
+  report.set("chunk_overhead_us", overhead * 1e6);
 
   std::printf("%12s | %14s | %12s\n", "volunteers", "modeled time",
               "speedup");
@@ -83,6 +87,7 @@ int main() {
   for (int k : {1, 2, 4, 8, 16, 32}) {
     const double t_k = t_serial / k + k * overhead;
     std::printf("%12d | %12.3f s | %10.2fx\n", k, t_k, t_serial / t_k);
+    report.set("modeled_speedup.k" + std::to_string(k), t_serial / t_k);
   }
 
   // Volunteer churn: kill two volunteers, re-run, count recovered chunks.
@@ -97,6 +102,9 @@ int main() {
                 churn->recovered_chunks, churn->chunks);
     orb::CdrReader cr(churn->result);
     std::printf("%.4f)\n", *cr.read_double());
+    report.set("churn.recovered_chunks",
+               static_cast<double>(churn->recovered_chunks));
+    report.set("churn.chunks", static_cast<double>(churn->chunks));
   }
   std::printf("\nshape check: near-linear modeled speedup until the k * "
               "overhead term bites; churn costs only the lost chunks.\n");

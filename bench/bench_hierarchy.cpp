@@ -12,6 +12,7 @@
 // per-query message count of a flat broadcast baseline.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "sim_world.hpp"
 #include "util/rng.hpp"
 
@@ -96,6 +97,7 @@ double flat_msgs(std::size_t n) {
 }  // namespace
 
 int main() {
+  BenchReport report("hierarchy");
   constexpr std::size_t kNodes = 256;
   std::printf("E4: hierarchy -- incremental lookup and locality (%zu nodes)\n\n",
               kNodes);
@@ -106,9 +108,14 @@ int main() {
     const Series s = run(g, kNodes);
     std::printf("%10zu | %5d | %16.1f | %16.1f\n", g, s.depth, s.local_msgs,
                 s.remote_msgs);
+    const std::string suffix = ".g" + std::to_string(g);
+    report.set("tree_depth" + suffix, s.depth);
+    report.set("in_group.msgs_per_query" + suffix, s.local_msgs);
+    report.set("far_node.msgs_per_query" + suffix, s.remote_msgs);
   }
-  std::printf("%10s | %5s | %16s | %16.1f\n", "flat", "-", "-",
-              flat_msgs(kNodes));
+  const double flat = flat_msgs(kNodes);
+  std::printf("%10s | %5s | %16s | %16.1f\n", "flat", "-", "-", flat);
+  report.set("flat.msgs_per_query", flat);
   std::printf("\nshape check: in-group lookups stay cheap at every depth "
               "(locality); far lookups cost a few messages per level; flat "
               "broadcast costs ~2N messages regardless.\n");

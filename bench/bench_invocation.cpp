@@ -7,7 +7,10 @@
 // service operations (instantiation).
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
+#include "bench_report.hpp"
 #include "core/node.hpp"
+#include "obs/trace.hpp"
 #include "orb/tcp.hpp"
 #include "support/test_components.hpp"
 
@@ -74,6 +77,77 @@ void BM_CollocatedOrbCall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CollocatedOrbCall);
+
+/// A bare single-interface Orb for apples-to-apples interceptor deltas
+/// (same repo size, same servant count; only the chain differs).
+struct BareCalcOrb {
+  explicit BareCalcOrb(
+      std::uint64_t node_id, bool traced = false,
+      orb::CollocationPolicy policy = orb::CollocationPolicy::direct)
+      : repo(std::make_shared<idl::InterfaceRepository>()),
+        orb(NodeId{node_id}, repo) {
+    (void)repo->register_idl(
+        "module b0 { interface Calc { long add(in long a, in long b); }; };");
+    auto servant = std::make_shared<orb::DynamicServant>("b0::Calc");
+    servant->on("add", [](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(static_cast<std::int32_t>(
+          *req.arg(0).to_int() + *req.arg(1).to_int())));
+      return {};
+    });
+    target = orb.activate(std::move(servant));
+    orb.set_collocation_policy(policy);
+    if (traced) {
+      collector = std::make_shared<obs::TraceCollector>();
+      tracer = std::make_unique<obs::Tracer>(orb.node_id(), collector);
+      orb.add_client_interceptor(
+          std::make_shared<obs::TraceClientInterceptor>(*tracer));
+      orb.add_server_interceptor(
+          std::make_shared<obs::TraceServerInterceptor>(*tracer));
+    }
+  }
+  void run(benchmark::State& state) {
+    for (auto _ : state) {
+      auto r = orb.call(target, "add",
+                        {orb::Value(std::int32_t{1}),
+                         orb::Value(std::int32_t{2})});
+      if (!r.ok()) state.SkipWithError("call failed");
+    }
+  }
+  std::shared_ptr<idl::InterfaceRepository> repo;
+  orb::Orb orb;
+  orb::ObjectRef target;
+  std::shared_ptr<obs::TraceCollector> collector;
+  std::unique_ptr<obs::Tracer> tracer;
+};
+
+/// Baseline: no interceptors registered at all.
+void BM_CollocatedOrbCallNoInterceptors(benchmark::State& state) {
+  static BareCalcOrb bare(90);
+  bare.run(state);
+}
+BENCHMARK(BM_CollocatedOrbCallNoInterceptors);
+
+/// Trace interceptor pair registered, default `direct` collocation policy:
+/// the chain stays off the collocated fast path (the classic ORB
+/// collocation optimization), so the delta against the no-interceptor
+/// baseline is the observability tax on local calls -- §2 req. 1 demands
+/// it stays within noise.
+void BM_CollocatedOrbCallWithInterceptors(benchmark::State& state) {
+  static BareCalcOrb traced(94, /*traced=*/true);
+  traced.run(state);
+}
+BENCHMARK(BM_CollocatedOrbCallWithInterceptors);
+
+/// Full chain forced onto the collocated call (`through_frame` policy):
+/// quantifies what the collocation optimization saves -- the strict-PI
+/// cost of spans, context marshalling and the frame's service-context
+/// block.
+void BM_CollocatedOrbCallThroughFrame(benchmark::State& state) {
+  static BareCalcOrb traced(95, /*traced=*/true,
+                            orb::CollocationPolicy::through_frame);
+  traced.run(state);
+}
+BENCHMARK(BM_CollocatedOrbCallThroughFrame);
 
 /// Remote call over the in-process loopback transport.
 void BM_LoopbackRemoteCall(benchmark::State& state) {
@@ -170,4 +244,8 @@ BENCHMARK(BM_NetworkResolve);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  clc::bench::BenchReport report("invocation");
+  clc::bench::run_benchmarks_with_report(argc, argv, report);
+  return 0;
+}

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 
+#include "bench_report.hpp"
 #include "core/node.hpp"
 #include "support/test_components.hpp"
 #include "util/rng.hpp"
@@ -137,6 +138,7 @@ Outcome run(int policy /*0=random,1=least,2=least+migration*/) {
 }  // namespace
 
 int main() {
+  clc::bench::BenchReport report("load_balancing");
   std::printf("E8: load balancing -- placement policy comparison\n");
   std::printf("(16 nodes, 64 arrivals of 0.1-CPU instances, drifting ambient "
               "load)\n\n");
@@ -145,10 +147,16 @@ int main() {
   std::printf("-------------------------+-----------+----------+-----------+-----------\n");
   const char* names[] = {"random", "least-loaded",
                          "least-loaded + migration"};
+  const char* keys[] = {"random", "least_loaded", "least_loaded_migration"};
   for (int policy = 0; policy < 3; ++policy) {
     const Outcome o = run(policy);
     std::printf("%24s | %9.2f | %8.3f | %9d | %10d\n", names[policy],
                 o.max_load, o.stddev, o.failures, o.migrations);
+    const std::string prefix = keys[policy];
+    report.set(prefix + ".max_load", o.max_load);
+    report.set(prefix + ".stddev", o.stddev);
+    report.set(prefix + ".failures", o.failures);
+    report.set(prefix + ".migrations", o.migrations);
   }
   std::printf("\nshape check: resource-aware placement lowers the load "
               "spread; migration tightens it further under drift.\n");

@@ -9,6 +9,7 @@
 // crossover the placement policy must hit.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "core/node.hpp"
 #include "support/test_components.hpp"
 
@@ -56,6 +57,7 @@ Traffic measure(int frames) {
 }  // namespace
 
 int main() {
+  clc::bench::BenchReport report("migration");
   std::printf("E7: remote use vs fetch-and-install -- traffic and "
               "crossover\n\n");
   std::printf("%8s | %14s | %14s | %s\n", "frames", "remote bytes",
@@ -70,8 +72,12 @@ int main() {
                 static_cast<unsigned long long>(t.stream_bytes),
                 static_cast<unsigned long long>(t.fetch_bytes),
                 fetch_wins ? "fetch" : "remote");
+    const std::string suffix = ".frames" + std::to_string(frames);
+    report.set("remote.stream_bytes" + suffix, static_cast<double>(t.stream_bytes));
+    report.set("fetch.package_bytes" + suffix, static_cast<double>(t.fetch_bytes));
   }
   std::printf("\ncrossover: fetching pays off from ~%d calls on.\n", crossover);
+  report.set("crossover_frames", crossover);
 
   std::printf("\nE7b: modeled transfer time of the one-time fetch on slow "
               "links (compression matters, §2.3)\n");
@@ -80,8 +86,11 @@ int main() {
   for (auto [name, kbps] : {std::pair{"56 kbit/s", 56.0},
                             std::pair{"1 Mbit/s", 1000.0},
                             std::pair{"100 Mbit/s", 100000.0}}) {
-    std::printf("%14s | %10.2f s\n", name,
-                static_cast<double>(t.fetch_bytes) * 8.0 / (kbps * 1000.0));
+    const double fetch_s =
+        static_cast<double>(t.fetch_bytes) * 8.0 / (kbps * 1000.0);
+    std::printf("%14s | %10.2f s\n", name, fetch_s);
+    report.set("fetch_time_s.kbps" + std::to_string(static_cast<int>(kbps)),
+               fetch_s);
   }
   std::printf("\nshape check: remote cost grows linearly with stream length; "
               "fetch is a constant -- exactly the paper's argument for "

@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "bench_gbench.hpp"
+#include "bench_report.hpp"
 #include "pkg/lzss.hpp"
 #include "pkg/package.hpp"
 #include "util/rng.hpp"
@@ -121,7 +123,7 @@ void BM_LzssDecompress256K(benchmark::State& state) {
 }
 BENCHMARK(BM_LzssDecompress256K)->Unit(benchmark::kMillisecond);
 
-void print_size_table() {
+void print_size_table(clc::bench::BenchReport& report) {
   const Bytes data = build_package();
   auto p = Package::open(data).value();
   std::uint64_t raw_total = 262144 + 131072 + 196608;
@@ -141,13 +143,18 @@ void print_size_table() {
   std::printf("  partial-fetch accounting:     %8llu bytes\n\n",
               static_cast<unsigned long long>(
                   p.partial_fetch_size("arm", "linux", "clc")));
+  report.set("raw_bytes", static_cast<double>(raw_total));
+  report.set("packaged_bytes", static_cast<double>(p.total_size()));
+  report.set("pda_slice_bytes", static_cast<double>(slice.size()));
+  report.set("partial_fetch_bytes",
+             static_cast<double>(p.partial_fetch_size("arm", "linux", "clc")));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_size_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  clc::bench::BenchReport report("packaging");
+  print_size_table(report);
+  clc::bench::run_benchmarks_with_report(argc, argv, report);
   return 0;
 }

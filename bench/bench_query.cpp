@@ -7,6 +7,7 @@
 // other nodes and count protocol messages and virtual latency per query.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "sim_world.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +58,7 @@ Sample run(CohesionConfig::Mode mode, std::size_t n, int queries) {
 }  // namespace
 
 int main() {
+  BenchReport report("query");
   std::printf("E2: distributed component queries -- hierarchical vs flat "
               "broadcast\n");
   std::printf("(component hosted on 1 node; 30 queries from random nodes; "
@@ -71,6 +73,13 @@ int main() {
                 n, hier.messages_per_query, hier.bytes_per_query,
                 flat.messages_per_query, flat.bytes_per_query,
                 hier.hit_rate * 100, flat.hit_rate * 100);
+    const std::string suffix = ".n" + std::to_string(n);
+    report.set("hierarchical.msgs_per_query" + suffix, hier.messages_per_query);
+    report.set("hierarchical.bytes_per_query" + suffix, hier.bytes_per_query);
+    report.set("hierarchical.hit_rate" + suffix, hier.hit_rate);
+    report.set("flat.msgs_per_query" + suffix, flat.messages_per_query);
+    report.set("flat.bytes_per_query" + suffix, flat.bytes_per_query);
+    report.set("flat.hit_rate" + suffix, flat.hit_rate);
   }
   std::printf("\nE2b: query latency (virtual ms, same setup)\n");
   std::printf("%6s | %14s | %14s\n", "nodes", "hierarchical", "flat");
@@ -79,6 +88,9 @@ int main() {
     const Sample flat = run(CohesionConfig::Mode::flat_query, n, 20);
     std::printf("%6zu | %11.1f ms | %11.1f ms\n", n, hier.latency_ms,
                 flat.latency_ms);
+    const std::string suffix = ".n" + std::to_string(n);
+    report.set("hierarchical.latency_ms" + suffix, hier.latency_ms);
+    report.set("flat.latency_ms" + suffix, flat.latency_ms);
   }
   std::printf("\nshape check: hierarchical messages grow ~O(depth), flat "
               "grows O(N).\n");

@@ -1,0 +1,53 @@
+// Machine-readable bench output.
+//
+// Every bench prints its human-readable table to stdout AND mirrors the
+// numbers into a BenchReport, which dumps a BENCH_<name>.json file (in the
+// working directory) on destruction using the metrics-registry JSON
+// encoder. Downstream tooling reads the JSON; the tables stay for humans.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace clc::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  ~BenchReport() { write(); }
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Record one scalar result, e.g. set("hier.msgs_per_query.n128", 12.4).
+  void set(const std::string& metric, double value) {
+    registry_.gauge(metric).set(value);
+  }
+  void count(const std::string& metric, std::uint64_t value) {
+    registry_.counter(metric).add(value);
+  }
+  /// Direct access for histograms or pre-aggregated registries.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+
+  [[nodiscard]] std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Write (or rewrite) the JSON file; also called from the destructor.
+  void write() const {
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench report: cannot write %s\n", path().c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"metrics\":%s}\n",
+                 obs::json_escape(name_).c_str(),
+                 registry_.to_json().c_str());
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry registry_;
+};
+
+}  // namespace clc::bench

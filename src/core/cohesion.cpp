@@ -110,8 +110,21 @@ Result<CohesionNode::Directory> CohesionNode::Directory::decode(
 // ---------------------------------------------------------------------------
 // Construction / start
 
-CohesionNode::CohesionNode(NodeId id, CohesionConfig cfg, Sender send)
-    : id_(id), cfg_(cfg), send_(std::move(send)) {}
+CohesionNode::CohesionNode(NodeId id, CohesionConfig cfg, Sender send,
+                           obs::MetricsRegistry* metrics)
+    : id_(id),
+      cfg_(cfg),
+      send_(std::move(send)),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      heartbeats_sent_(&metrics_->counter("cohesion.heartbeats_sent")),
+      beacons_sent_(&metrics_->counter("cohesion.beacons_sent")),
+      queries_issued_(&metrics_->counter("cohesion.queries_issued")),
+      queries_answered_(&metrics_->counter("cohesion.queries_answered")),
+      topology_updates_(&metrics_->counter("cohesion.topology_updates")),
+      promotions_(&metrics_->counter("cohesion.promotions")) {}
 
 ProtoMessage CohesionNode::make(const std::string& kind) const {
   ProtoMessage m;
@@ -179,7 +192,7 @@ void CohesionNode::root_recompute_and_publish(TimePoint now) {
     ProtoMessage m = make("topology");
     m.set_int("parent", static_cast<std::int64_t>(parent.value));
     send(n, m);
-    ++stats_.topology_updates;
+    topology_updates_->inc();
     // Tell the parent to expect this child: if the child never heartbeats
     // (e.g. it died together with its previous parent), the new parent
     // times it out and reports it -- no directory entry can go unvouched.
@@ -245,7 +258,7 @@ void CohesionNode::handle_member_dead(NodeId dead, TimePoint now) {
 }
 
 void CohesionNode::promote_to_root(TimePoint now) {
-  ++stats_.promotions;
+  promotions_->inc();
   directory_.remove(current_root_);
   directory_.remove(id_);
   directory_.join_order.insert(directory_.join_order.begin(), id_);
@@ -273,7 +286,7 @@ RegistryDigest CohesionNode::own_digest() const {
 }
 
 void CohesionNode::send_heartbeat(TimePoint now) {
-  ++stats_.heartbeats_sent;
+  heartbeats_sent_->inc();
   const RegistryDigest digest = own_digest();
   if (cfg_.mode == CohesionConfig::Mode::hierarchical) {
     if (!parent_.valid()) return;
@@ -340,13 +353,13 @@ void CohesionNode::finish_pending(std::uint64_t qid) {
   if (parent_.valid()) ctx.group_members.push_back(parent_);
   rank_hits(p.hits, ctx);
   if (p.hits.size() > p.q.max_results) p.hits.resize(p.q.max_results);
-  ++stats_.queries_answered;
+  queries_answered_->inc();
   p.cb(std::move(p.hits));
 }
 
 void CohesionNode::query(const ComponentQuery& q, TimePoint now,
                          QueryCallback cb) {
-  ++stats_.queries_issued;
+  queries_issued_->inc();
   const std::uint64_t qid = (id_.value << 20) | (next_qid_++ & 0xfffff);
   PendingQuery p;
   p.q = q;
@@ -725,7 +738,7 @@ void CohesionNode::on_tick(TimePoint now) {
       ProtoMessage beacon = make("beacon");
       beacon.set_int("root", static_cast<std::int64_t>(current_root_.value));
       for (const auto& [child, info] : children_) send(child, beacon);
-      ++stats_.beacons_sent;
+      beacons_sent_->inc();
       if (root_) {
         // Control messages (topology, expect_child, dir_sync) are oneway
         // and can be lost; a periodic full re-publication self-heals any

@@ -40,12 +40,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "core/proto.hpp"
 #include "core/query.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 
 namespace clc::core {
@@ -67,7 +69,9 @@ class CohesionNode {
   using Sender = std::function<void(NodeId to, const ProtoMessage&)>;
   using QueryCallback = std::function<void(std::vector<QueryHit>)>;
 
-  CohesionNode(NodeId id, CohesionConfig cfg, Sender send);
+  /// `metrics` shares an external registry; when null the node owns one.
+  CohesionNode(NodeId id, CohesionConfig cfg, Sender send,
+               obs::MetricsRegistry* metrics = nullptr);
 
   /// The digest the node advertises (own installed components + load).
   void set_digest_provider(std::function<RegistryDigest()> provider) {
@@ -107,6 +111,7 @@ class CohesionNode {
   [[nodiscard]] int subtree_depth() const;
   [[nodiscard]] const CohesionConfig& config() const noexcept { return cfg_; }
 
+  /// Legacy view assembled from the metrics registry ("cohesion.*" names).
   struct Stats {
     std::uint64_t heartbeats_sent = 0;
     std::uint64_t beacons_sent = 0;
@@ -115,7 +120,18 @@ class CohesionNode {
     std::uint64_t topology_updates = 0;
     std::uint64_t promotions = 0;  // became root via replica promotion
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats s;
+    s.heartbeats_sent = heartbeats_sent_->value();
+    s.beacons_sent = beacons_sent_->value();
+    s.queries_issued = queries_issued_->value();
+    s.queries_answered = queries_answered_->value();
+    s.topology_updates = topology_updates_->value();
+    s.promotions = promotions_->value();
+    return s;
+  }
+  void reset_stats() { metrics_->reset("cohesion."); }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
 
  private:
   // ---- membership / tree (hierarchical mode)
@@ -210,7 +226,14 @@ class CohesionNode {
   std::map<std::uint64_t, RelayedQuery> relayed_;
   std::uint64_t next_qid_ = 1;
 
-  Stats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* heartbeats_sent_;
+  obs::Counter* beacons_sent_;
+  obs::Counter* queries_issued_;
+  obs::Counter* queries_answered_;
+  obs::Counter* topology_updates_;
+  obs::Counter* promotions_;
 };
 
 }  // namespace clc::core

@@ -51,6 +51,7 @@ module clc {
 
 LocalNetwork::LocalNetwork(CohesionConfig cohesion_defaults)
     : transport_(std::make_shared<orb::LoopbackNetwork>()),
+      collector_(std::make_shared<obs::TraceCollector>()),
       cohesion_defaults_(cohesion_defaults) {}
 
 Node& LocalNetwork::add_node(NodeProfile profile, bool auto_join) {
@@ -118,9 +119,11 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
            CohesionConfig cohesion_config)
     : id_(id),
       network_(network),
+      tracer_(id, network.trace_collector(),
+              [this] { return network_.now(); }),
       types_(std::make_shared<idl::InterfaceRepository>()),
-      orb_(std::make_unique<orb::Orb>(id, types_)),
-      resources_(profile),
+      orb_(std::make_unique<orb::Orb>(id, types_, &metrics_)),
+      resources_(profile, &metrics_),
       repository_(profile, types_),
       registry_(id, repository_, resources_),
       events_(*orb_),
@@ -139,8 +142,13 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
                   auto service = node_service_ref(to);
                   if (!service) return;  // unknown peer: message lost
                   (void)orb_->send(*service, "deliver", {orb::Value(m.encode())});
-                }) {
+                },
+                &metrics_) {
   install_node_idl();
+  orb_->add_client_interceptor(
+      std::make_shared<obs::TraceClientInterceptor>(tracer_));
+  orb_->add_server_interceptor(
+      std::make_shared<obs::TraceServerInterceptor>(tracer_));
   auto* orb_raw = orb_.get();
   const std::string endpoint = network_.transport().register_endpoint(
       [orb_raw](BytesView frame) { return orb_raw->handle_frame(frame); });
@@ -186,6 +194,13 @@ Result<void> Node::install(const Bytes& package_bytes) {
 }
 
 Result<std::vector<QueryHit>> Node::query_network(const ComponentQuery& q) {
+  obs::ScopedSpan span(tracer_, "query:" + q.name_pattern);
+  auto r = query_network_impl(q);
+  if (!r.ok()) span.fail();
+  return r;
+}
+
+Result<std::vector<QueryHit>> Node::query_network_impl(const ComponentQuery& q) {
   std::optional<std::vector<QueryHit>> result;
   cohesion_.query(q, network_.now(), [&result](std::vector<QueryHit> hits) {
     result = std::move(hits);
@@ -247,6 +262,15 @@ Result<orb::ObjectRef> Node::primary_port(InstanceId id) const {
 Result<BoundComponent> Node::resolve(const std::string& component,
                                      const VersionConstraint& constraint,
                                      Binding binding) {
+  obs::ScopedSpan span(tracer_, "resolve:" + component);
+  auto r = resolve_impl(component, constraint, binding);
+  if (!r.ok()) span.fail();
+  return r;
+}
+
+Result<BoundComponent> Node::resolve_impl(const std::string& component,
+                                          const VersionConstraint& constraint,
+                                          Binding binding) {
   // 1. Local repository first (zero network cost).
   if (binding != Binding::remote && repository_.has(component, constraint))
     return acquire_local(component, constraint);
@@ -334,6 +358,14 @@ Result<void> Node::fetch_component(NodeId from, const std::string& component,
 }
 
 Result<BoundComponent> Node::migrate_instance(InstanceId id, NodeId target) {
+  obs::ScopedSpan span(tracer_, "migrate:" + id.to_string());
+  auto r = migrate_instance_impl(id, target);
+  if (!r.ok()) span.fail();
+  return r;
+}
+
+Result<BoundComponent> Node::migrate_instance_impl(InstanceId id,
+                                                   NodeId target) {
   auto snapshot = container_.capture(id);
   if (!snapshot) return snapshot.error();
   auto service = node_service_ref(target);

@@ -29,6 +29,8 @@
 #include "core/registry.hpp"
 #include "core/repository.hpp"
 #include "core/resource.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orb/orb.hpp"
 #include "orb/transport.hpp"
 #include "util/clock.hpp"
@@ -75,6 +77,9 @@ class Node {
   [[nodiscard]] Container& container() noexcept { return container_; }
   [[nodiscard]] EventChannelHub& events() noexcept { return events_; }
   [[nodiscard]] CohesionNode& cohesion() noexcept { return cohesion_; }
+  /// The node's unified metrics registry ("orb.*", "cohesion.*", ...).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
 
   // ------------------------------------------------------------ lifecycle
   /// Found a new logical network (first node).
@@ -141,6 +146,11 @@ class Node {
 
   void install_node_idl();
   void make_node_servant();
+  Result<BoundComponent> resolve_impl(const std::string& component,
+                                      const VersionConstraint& constraint,
+                                      Binding binding);
+  Result<std::vector<QueryHit>> query_network_impl(const ComponentQuery& q);
+  Result<BoundComponent> migrate_instance_impl(InstanceId id, NodeId target);
   Result<orb::ObjectRef> node_service_ref(NodeId peer) const;
   /// The primary provided port of an instance (first provides-port in the
   /// description, by convention the component's main facet).
@@ -150,6 +160,8 @@ class Node {
 
   NodeId id_;
   LocalNetwork& network_;
+  obs::MetricsRegistry metrics_;  // before orb_/cohesion_: they cache into it
+  obs::Tracer tracer_;
   std::shared_ptr<idl::InterfaceRepository> types_;
   std::unique_ptr<orb::Orb> orb_;
   ResourceManager resources_;
@@ -187,6 +199,12 @@ class LocalNetwork {
   [[nodiscard]] std::shared_ptr<orb::LoopbackNetwork> transport_ptr() {
     return transport_;
   }
+  /// Shared span sink: every node's tracer records here, so cross-node
+  /// traces stitch into one causal tree.
+  [[nodiscard]] const std::shared_ptr<obs::TraceCollector>& trace_collector()
+      const noexcept {
+    return collector_;
+  }
 
   [[nodiscard]] Result<std::string> endpoint_of(NodeId id) const;
   [[nodiscard]] Node* node(NodeId id) const;
@@ -205,6 +223,7 @@ class LocalNetwork {
 
   ManualClock clock_;
   std::shared_ptr<orb::LoopbackNetwork> transport_;
+  std::shared_ptr<obs::TraceCollector> collector_;
   CohesionConfig cohesion_defaults_;
   std::vector<std::unique_ptr<Node>> owned_;
   std::map<NodeId, std::pair<std::string, Node*>> directory_;

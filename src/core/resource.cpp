@@ -54,6 +54,11 @@ void ResourceManager::recompute() {
   }
   l.instance_count = static_cast<std::uint32_t>(reserved_.size());
   load_ = l;
+  if (cpu_load_gauge_ != nullptr) {
+    cpu_load_gauge_->set(l.cpu_load);
+    memory_used_gauge_->set(static_cast<double>(l.memory_used_kb));
+    instance_count_gauge_->set(static_cast<double>(l.instance_count));
+  }
 }
 
 }  // namespace clc::core

@@ -13,6 +13,7 @@
 #include <map>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "pkg/descriptor.hpp"
 #include "util/ids.hpp"
 #include "util/result.hpp"
@@ -51,7 +52,17 @@ struct NodeLoad {
 
 class ResourceManager {
  public:
-  explicit ResourceManager(NodeProfile profile) : profile_(std::move(profile)) {}
+  /// `metrics` (optional) publishes the load snapshot as "resource.*"
+  /// gauges every recompute; the manager never owns a registry.
+  explicit ResourceManager(NodeProfile profile,
+                           obs::MetricsRegistry* metrics = nullptr)
+      : profile_(std::move(profile)) {
+    if (metrics != nullptr) {
+      cpu_load_gauge_ = &metrics->gauge("resource.cpu_load");
+      memory_used_gauge_ = &metrics->gauge("resource.memory_used_kb");
+      instance_count_gauge_ = &metrics->gauge("resource.instance_count");
+    }
+  }
 
   [[nodiscard]] const NodeProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] NodeLoad load() const noexcept { return load_; }
@@ -96,6 +107,9 @@ class ResourceManager {
   NodeLoad load_;
   double ambient_cpu_ = 0.0;
   std::map<InstanceId, Reservation> reserved_;
+  obs::Gauge* cpu_load_gauge_ = nullptr;
+  obs::Gauge* memory_used_gauge_ = nullptr;
+  obs::Gauge* instance_count_gauge_ = nullptr;
 };
 
 }  // namespace clc::core

@@ -1,0 +1,57 @@
+#include "obs/interceptor.hpp"
+
+namespace clc::obs {
+
+void InterceptorChain::add_client(std::shared_ptr<ClientInterceptor> i) {
+  std::lock_guard lock(mutex_);
+  auto next = client_ ? std::make_shared<ClientList>(*client_)
+                      : std::make_shared<ClientList>();
+  next->push_back(std::move(i));
+  client_ = std::move(next);
+  has_client_.store(true, std::memory_order_relaxed);
+}
+
+void InterceptorChain::add_server(std::shared_ptr<ServerInterceptor> i) {
+  std::lock_guard lock(mutex_);
+  auto next = server_ ? std::make_shared<ServerList>(*server_)
+                      : std::make_shared<ServerList>();
+  next->push_back(std::move(i));
+  server_ = std::move(next);
+  has_server_.store(true, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const InterceptorChain::ClientList> InterceptorChain::clients()
+    const {
+  std::lock_guard lock(mutex_);
+  return client_;
+}
+
+std::shared_ptr<const InterceptorChain::ServerList> InterceptorChain::servers()
+    const {
+  std::lock_guard lock(mutex_);
+  return server_;
+}
+
+void InterceptorChain::send_request(RequestInfo& info) const {
+  if (auto list = clients())
+    for (const auto& i : *list) i->send_request(info);
+}
+
+void InterceptorChain::receive_reply(RequestInfo& info) const {
+  if (auto list = clients())
+    for (auto it = list->rbegin(); it != list->rend(); ++it)
+      (*it)->receive_reply(info);
+}
+
+void InterceptorChain::receive_request(RequestInfo& info) const {
+  if (auto list = servers())
+    for (const auto& i : *list) i->receive_request(info);
+}
+
+void InterceptorChain::send_reply(RequestInfo& info) const {
+  if (auto list = servers())
+    for (auto it = list->rbegin(); it != list->rend(); ++it)
+      (*it)->send_reply(info);
+}
+
+}  // namespace clc::obs

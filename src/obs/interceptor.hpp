@@ -1,0 +1,181 @@
+// Request interceptors, CORBA Portable-Interceptors style.
+//
+// The ORB exposes four hook points on the invocation path --
+// send_request / receive_reply on the client side and receive_request /
+// send_reply on the server side -- and interceptors registered with an Orb
+// see every invocation through a RequestInfo. Interceptors may attach
+// ServiceContexts (id + opaque bytes) that ride the message frame to the
+// peer, exactly how CORBA propagates transaction/security/trace metadata
+// without touching operation signatures. Walker et al. (PAPERS.md) argue
+// for this separation: cross-cutting policy lives on the invocation path,
+// not inside components.
+//
+// This header is deliberately free of ORB types so the obs library stays
+// below orb in the dependency order; the Orb includes it and drives the
+// chain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace clc::obs {
+
+/// Opaque per-message metadata, identified by a numeric tag. Carried in the
+/// wire frame after the regular fields; old decoders ignore it.
+struct ServiceContext {
+  std::uint32_t id = 0;
+  Bytes data;
+
+  bool operator==(const ServiceContext&) const = default;
+};
+
+/// One invocation as seen by interceptors. The same object lives through
+/// both hook points of a side (send_request..receive_reply on the client,
+/// receive_request..send_reply on the server), so interceptors can stash
+/// per-request state in their slot().
+class RequestInfo {
+ public:
+  RequestInfo(std::uint64_t request_id, const std::string& operation,
+              const std::string& interface_name)
+      : request_id_(request_id),
+        operation_(operation),
+        interface_name_(interface_name) {}
+
+  [[nodiscard]] std::uint64_t request_id() const noexcept { return request_id_; }
+  [[nodiscard]] const std::string& operation() const noexcept {
+    return operation_;
+  }
+  [[nodiscard]] const std::string& interface_name() const noexcept {
+    return interface_name_;
+  }
+
+  /// Attach a context to the next outgoing message (the request on the
+  /// client side, the reply on the server side).
+  void add_context(ServiceContext ctx) { outgoing_.push_back(std::move(ctx)); }
+  [[nodiscard]] const std::vector<ServiceContext>& outgoing() const noexcept {
+    return outgoing_;
+  }
+  [[nodiscard]] std::vector<ServiceContext> take_outgoing() noexcept {
+    return std::move(outgoing_);
+  }
+
+  /// Contexts received with the incoming message (the request on the server
+  /// side, the reply on the client side).
+  void set_incoming(std::vector<ServiceContext> contexts) {
+    incoming_ = std::move(contexts);
+  }
+  [[nodiscard]] const std::vector<ServiceContext>& incoming() const noexcept {
+    return incoming_;
+  }
+  [[nodiscard]] const ServiceContext* find_incoming(std::uint32_t id) const {
+    for (const auto& c : incoming_)
+      if (c.id == id) return &c;
+    return nullptr;
+  }
+
+  /// Outcome, meaningful at the reply-side hooks.
+  void set_failed(std::string error_id) {
+    failed_ = true;
+    error_id_ = std::move(error_id);
+  }
+  [[nodiscard]] bool success() const noexcept { return !failed_; }
+  [[nodiscard]] const std::string& error_id() const noexcept {
+    return error_id_;
+  }
+
+  /// Per-interceptor scratch slot, keyed by the interceptor's address;
+  /// survives from the request-side hook to the reply-side hook. Inline
+  /// storage keeps the common short chains allocation-free; longer chains
+  /// spill to a heap map.
+  std::uint64_t& slot(const void* key) {
+    for (std::size_t i = 0; i < slot_count_; ++i)
+      if (slots_[i].key == key) return slots_[i].value;
+    if (slot_count_ < kInlineSlots) {
+      slots_[slot_count_] = {key, 0};
+      return slots_[slot_count_++].value;
+    }
+    if (spill_ == nullptr)
+      spill_ = std::make_unique<std::map<const void*, std::uint64_t>>();
+    return (*spill_)[key];
+  }
+
+ private:
+  static constexpr std::size_t kInlineSlots = 4;
+  struct Slot {
+    const void* key = nullptr;
+    std::uint64_t value = 0;
+  };
+
+  std::uint64_t request_id_;
+  const std::string& operation_;
+  const std::string& interface_name_;
+  std::vector<ServiceContext> outgoing_;
+  std::vector<ServiceContext> incoming_;
+  bool failed_ = false;
+  std::string error_id_;
+  Slot slots_[kInlineSlots];
+  std::size_t slot_count_ = 0;
+  std::unique_ptr<std::map<const void*, std::uint64_t>> spill_;
+};
+
+class ClientInterceptor {
+ public:
+  virtual ~ClientInterceptor() = default;
+  /// Before the request frame is sent; may add_context().
+  virtual void send_request(RequestInfo& info) { (void)info; }
+  /// After the reply arrived (or the invocation failed locally).
+  virtual void receive_reply(RequestInfo& info) { (void)info; }
+};
+
+class ServerInterceptor {
+ public:
+  virtual ~ServerInterceptor() = default;
+  /// After the request frame is decoded, before dispatch.
+  virtual void receive_request(RequestInfo& info) { (void)info; }
+  /// After dispatch, before the reply frame is sent; may add_context().
+  virtual void send_reply(RequestInfo& info) { (void)info; }
+};
+
+/// Ordered interceptor registrations of one Orb. Request-direction hooks run
+/// in registration order, reply-direction hooks in reverse order (proper
+/// nesting, as in CORBA PI). Registration is mutex-guarded; the invocation
+/// path takes one uncontended lock to snapshot the chain, and the common
+/// "no interceptors" case is a relaxed atomic check.
+class InterceptorChain {
+ public:
+  void add_client(std::shared_ptr<ClientInterceptor> i);
+  void add_server(std::shared_ptr<ServerInterceptor> i);
+
+  [[nodiscard]] bool has_client() const noexcept {
+    return has_client_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool has_server() const noexcept {
+    return has_server_.load(std::memory_order_relaxed);
+  }
+
+  void send_request(RequestInfo& info) const;
+  void receive_reply(RequestInfo& info) const;
+  void receive_request(RequestInfo& info) const;
+  void send_reply(RequestInfo& info) const;
+
+ private:
+  using ClientList = std::vector<std::shared_ptr<ClientInterceptor>>;
+  using ServerList = std::vector<std::shared_ptr<ServerInterceptor>>;
+  [[nodiscard]] std::shared_ptr<const ClientList> clients() const;
+  [[nodiscard]] std::shared_ptr<const ServerList> servers() const;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ClientList> client_;
+  std::shared_ptr<const ServerList> server_;
+  std::atomic<bool> has_client_{false};
+  std::atomic<bool> has_server_{false};
+};
+
+}  // namespace clc::obs

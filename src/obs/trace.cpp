@@ -1,0 +1,299 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "orb/cdr.hpp"
+
+namespace clc::obs {
+
+// -------------------------------------------------------------- TraceContext
+
+Bytes TraceContext::encode() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulonglong(trace_id.hi);
+  w.write_ulonglong(trace_id.lo);
+  w.write_ulonglong(span_id);
+  w.write_ulonglong(parent_span_id);
+  return w.take();
+}
+
+std::optional<TraceContext> TraceContext::decode(BytesView data) {
+  orb::CdrReader r(data);
+  if (!r.begin_encapsulation().ok()) return std::nullopt;
+  TraceContext ctx;
+  auto hi = r.read_ulonglong();
+  auto lo = r.read_ulonglong();
+  auto span = r.read_ulonglong();
+  auto parent = r.read_ulonglong();
+  if (!hi || !lo || !span || !parent) return std::nullopt;
+  ctx.trace_id = Uuid{*hi, *lo};
+  ctx.span_id = *span;
+  ctx.parent_span_id = *parent;
+  return ctx;
+}
+
+const char* span_kind_name(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::internal: return "internal";
+    case SpanKind::client: return "client";
+    case SpanKind::server: return "server";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------ TraceCollector
+
+TraceCollector::TraceCollector(std::size_t capacity) : capacity_(capacity) {}
+
+void TraceCollector::record(SpanRecord span) {
+  std::lock_guard lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    ++evicted_;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> TraceCollector::spans() const {
+  std::lock_guard lock(mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::vector<SpanRecord> TraceCollector::spans_of(const Uuid& trace_id) const {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  for (const auto& s : spans_)
+    if (s.trace_id == trace_id) out.push_back(s);
+  return out;
+}
+
+std::size_t TraceCollector::span_count() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+std::uint64_t TraceCollector::evicted() const {
+  std::lock_guard lock(mutex_);
+  return evicted_;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+  evicted_ = 0;
+}
+
+namespace {
+
+void build_subtree(const std::vector<SpanRecord>& spans,
+                   const std::multimap<std::uint64_t, std::size_t>& by_parent,
+                   std::size_t index, std::set<std::size_t>& used,
+                   TraceCollector::TreeNode& out) {
+  out.span = spans[index];
+  auto [lo, hi] = by_parent.equal_range(spans[index].span_id);
+  for (auto it = lo; it != hi; ++it) {
+    if (!used.insert(it->second).second) continue;  // malformed cycle guard
+    out.children.emplace_back();
+    build_subtree(spans, by_parent, it->second, used, out.children.back());
+  }
+  std::sort(out.children.begin(), out.children.end(),
+            [](const TraceCollector::TreeNode& a,
+               const TraceCollector::TreeNode& b) {
+              return a.span.start < b.span.start;
+            });
+}
+
+std::size_t tree_depth(const TraceCollector::TreeNode& node) {
+  std::size_t deepest = 0;
+  for (const auto& c : node.children) deepest = std::max(deepest, tree_depth(c));
+  return deepest + 1;
+}
+
+void render_node(const TraceCollector::TreeNode& node, int indent,
+                 std::ostringstream& out) {
+  for (int i = 0; i < indent; ++i) out << "  ";
+  out << node.span.name << " [" << span_kind_name(node.span.kind) << " node="
+      << node.span.node.to_string() << " span=" << node.span.span_id
+      << " dur=" << (node.span.end - node.span.start) << "us"
+      << (node.span.ok ? "" : " FAILED") << "]\n";
+  for (const auto& c : node.children) render_node(c, indent + 1, out);
+}
+
+}  // namespace
+
+std::vector<TraceCollector::TreeNode> TraceCollector::tree(
+    const Uuid& trace_id) const {
+  const auto spans = spans_of(trace_id);
+  std::set<std::uint64_t> known;
+  for (const auto& s : spans) known.insert(s.span_id);
+  std::multimap<std::uint64_t, std::size_t> by_parent;
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    by_parent.emplace(spans[i].parent_span_id, i);
+
+  std::vector<TreeNode> roots;
+  std::set<std::size_t> used;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const bool is_root = spans[i].parent_span_id == 0 ||
+                         known.count(spans[i].parent_span_id) == 0;
+    if (!is_root || !used.insert(i).second) continue;
+    roots.emplace_back();
+    build_subtree(spans, by_parent, i, used, roots.back());
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const TreeNode& a, const TreeNode& b) {
+              return a.span.start < b.span.start;
+            });
+  return roots;
+}
+
+std::set<NodeId> TraceCollector::nodes_of(const Uuid& trace_id) const {
+  std::set<NodeId> out;
+  for (const auto& s : spans_of(trace_id)) out.insert(s.node);
+  return out;
+}
+
+std::size_t TraceCollector::depth_of(const Uuid& trace_id) const {
+  std::size_t deepest = 0;
+  for (const auto& root : tree(trace_id))
+    deepest = std::max(deepest, tree_depth(root));
+  return deepest;
+}
+
+std::string TraceCollector::render(const Uuid& trace_id) const {
+  std::ostringstream out;
+  out << "trace " << trace_id.to_string() << "\n";
+  for (const auto& root : tree(trace_id)) render_node(root, 1, out);
+  return out.str();
+}
+
+// -------------------------------------------------------------------- Tracer
+
+Tracer::Tracer(NodeId node, std::shared_ptr<TraceCollector> sink,
+               std::function<TimePoint()> now)
+    : node_(node),
+      sink_(std::move(sink)),
+      now_(std::move(now)),
+      rng_(0x7ace5eedULL ^ node.value) {}
+
+std::uint64_t Tracer::next_span_id() noexcept {
+  // Node id in the high bits keeps span ids globally unique without
+  // coordination; 48 bits of sequence outlast any run.
+  return (node_.value << 48) | (next_seq_++ & 0xFFFFFFFFFFFFULL);
+}
+
+std::uint64_t Tracer::begin_span(const std::string& name, SpanKind kind) {
+  std::lock_guard lock(mutex_);
+  if (stack_.empty())
+    return begin_locked(name, kind, Uuid::random(rng_), 0);
+  const SpanRecord& top = stack_.back();
+  return begin_locked(name, kind, top.trace_id, top.span_id);
+}
+
+std::uint64_t Tracer::begin_span(const std::string& name, SpanKind kind,
+                                 TraceContext& ctx_out) {
+  std::lock_guard lock(mutex_);
+  std::uint64_t id;
+  if (stack_.empty()) {
+    id = begin_locked(name, kind, Uuid::random(rng_), 0);
+  } else {
+    const SpanRecord& top = stack_.back();
+    id = begin_locked(name, kind, top.trace_id, top.span_id);
+  }
+  const SpanRecord& opened = stack_.back();
+  ctx_out = TraceContext{opened.trace_id, opened.span_id,
+                         opened.parent_span_id};
+  return id;
+}
+
+std::uint64_t Tracer::begin_span_remote(const std::string& name, SpanKind kind,
+                                        const TraceContext& remote) {
+  std::lock_guard lock(mutex_);
+  if (!remote.valid())
+    return begin_locked(name, kind, Uuid::random(rng_), 0);
+  return begin_locked(name, kind, remote.trace_id, remote.span_id);
+}
+
+std::uint64_t Tracer::begin_locked(const std::string& name, SpanKind kind,
+                                   const Uuid& trace_id,
+                                   std::uint64_t parent_span_id) {
+  SpanRecord span;
+  span.trace_id = trace_id;
+  span.span_id = next_span_id();
+  span.parent_span_id = parent_span_id;
+  span.node = node_;
+  span.name = name;
+  span.kind = kind;
+  span.start = now_ ? now_() : 0;
+  stack_.push_back(std::move(span));
+  return stack_.back().span_id;
+}
+
+void Tracer::end_span(std::uint64_t span_id, bool ok) {
+  SpanRecord finished;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = std::find_if(stack_.rbegin(), stack_.rend(),
+                           [span_id](const SpanRecord& s) {
+                             return s.span_id == span_id;
+                           });
+    if (it == stack_.rend()) return;
+    finished = std::move(*it);
+    stack_.erase(std::next(it).base());
+  }
+  finished.end = now_ ? now_() : 0;
+  finished.ok = ok;
+  if (sink_) sink_->record(std::move(finished));
+}
+
+TraceContext Tracer::context_of(std::uint64_t span_id) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& s : stack_) {
+    if (s.span_id == span_id)
+      return TraceContext{s.trace_id, s.span_id, s.parent_span_id};
+  }
+  return {};
+}
+
+TraceContext Tracer::current() const {
+  std::lock_guard lock(mutex_);
+  if (stack_.empty()) return {};
+  const SpanRecord& top = stack_.back();
+  return TraceContext{top.trace_id, top.span_id, top.parent_span_id};
+}
+
+bool Tracer::active() const {
+  std::lock_guard lock(mutex_);
+  return !stack_.empty();
+}
+
+// -------------------------------------------------------- trace interceptors
+
+void TraceClientInterceptor::send_request(RequestInfo& info) {
+  TraceContext ctx;
+  const std::uint64_t sid =
+      tracer_.begin_span("call:" + info.operation(), SpanKind::client, ctx);
+  info.slot(this) = sid;
+  info.add_context({kTraceContextId, ctx.encode()});
+}
+
+void TraceClientInterceptor::receive_reply(RequestInfo& info) {
+  tracer_.end_span(info.slot(this), info.success());
+}
+
+void TraceServerInterceptor::receive_request(RequestInfo& info) {
+  TraceContext remote;
+  if (const ServiceContext* ctx = info.find_incoming(kTraceContextId)) {
+    if (auto decoded = TraceContext::decode(ctx->data)) remote = *decoded;
+  }
+  info.slot(this) = tracer_.begin_span_remote("serve:" + info.operation(),
+                                              SpanKind::server, remote);
+}
+
+void TraceServerInterceptor::send_reply(RequestInfo& info) {
+  tracer_.end_span(info.slot(this), info.success());
+}
+
+}  // namespace clc::obs

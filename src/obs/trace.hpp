@@ -1,0 +1,188 @@
+// Distributed invocation tracing.
+//
+// A TraceContext (trace id + span id + parent span id) rides remote
+// invocations inside a ServiceContext, so one logical operation -- a
+// Node::resolve fanning out through the cohesion tree, a migration shipping
+// a package -- is visible hop-by-hop across the (simulated) network. Each
+// node owns a Tracer that keeps the stack of active spans for the current
+// synchronous call chain; finished spans land in a shared TraceCollector
+// that stitches them into a causal tree by parent/child span ids.
+//
+// The Trace{Client,Server}Interceptor pair makes propagation automatic:
+// every outgoing invocation opens a client span (child of whatever span is
+// active) and attaches its context; every incoming invocation opens a
+// server span parented to the propagated client span.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/interceptor.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+
+namespace clc::obs {
+
+/// Service-context tag of the trace context ("TRAC").
+inline constexpr std::uint32_t kTraceContextId = 0x54524143;
+
+struct TraceContext {
+  Uuid trace_id;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return !trace_id.is_nil() && span_id != 0;
+  }
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<TraceContext> decode(BytesView data);
+};
+
+enum class SpanKind : std::uint8_t { internal = 0, client = 1, server = 2 };
+
+const char* span_kind_name(SpanKind k) noexcept;
+
+struct SpanRecord {
+  Uuid trace_id;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  NodeId node;
+  std::string name;
+  SpanKind kind = SpanKind::internal;
+  TimePoint start = 0;
+  TimePoint end = 0;
+  bool ok = true;
+};
+
+/// Shared sink for finished spans. Bounded: when full, the oldest spans are
+/// evicted (and counted), so always-on tracing cannot grow without limit.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t capacity = 65536);
+
+  void record(SpanRecord span);
+
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::vector<SpanRecord> spans_of(const Uuid& trace_id) const;
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::uint64_t evicted() const;
+  void clear();
+
+  /// Causal tree of one trace; spans whose parent is absent become roots.
+  struct TreeNode {
+    SpanRecord span;
+    std::vector<TreeNode> children;
+  };
+  [[nodiscard]] std::vector<TreeNode> tree(const Uuid& trace_id) const;
+  /// Distinct nodes that contributed spans to a trace.
+  [[nodiscard]] std::set<NodeId> nodes_of(const Uuid& trace_id) const;
+  /// Depth of the deepest span chain in a trace (0 when unknown trace).
+  [[nodiscard]] std::size_t depth_of(const Uuid& trace_id) const;
+  /// Indented text rendering of the causal tree (debugging aid).
+  [[nodiscard]] std::string render(const Uuid& trace_id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> spans_;
+  std::size_t capacity_;
+  std::uint64_t evicted_ = 0;
+};
+
+/// Per-node span factory. Spans of one synchronous call chain nest: a new
+/// span's parent is the innermost active span. Thread-safe; under the
+/// single-threaded sim the active stack is exactly the call stack.
+class Tracer {
+ public:
+  Tracer(NodeId node, std::shared_ptr<TraceCollector> sink,
+         std::function<TimePoint()> now = {});
+
+  /// Open a span; roots a fresh trace when none is active.
+  std::uint64_t begin_span(const std::string& name,
+                           SpanKind kind = SpanKind::internal);
+  /// Open a span and return its propagation context in one step (single
+  /// lock acquisition; the client trace interceptor's hot path).
+  std::uint64_t begin_span(const std::string& name, SpanKind kind,
+                           TraceContext& ctx_out);
+  /// Open a span continuing a trace propagated from a remote peer.
+  std::uint64_t begin_span_remote(const std::string& name, SpanKind kind,
+                                  const TraceContext& remote);
+  /// Close a span and record it. Unknown ids are ignored.
+  void end_span(std::uint64_t span_id, bool ok = true);
+
+  /// Context of a specific open span (for propagation).
+  [[nodiscard]] TraceContext context_of(std::uint64_t span_id) const;
+  /// Context of the innermost active span; !valid() when idle.
+  [[nodiscard]] TraceContext current() const;
+  [[nodiscard]] bool active() const;
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] const std::shared_ptr<TraceCollector>& collector()
+      const noexcept {
+    return sink_;
+  }
+
+ private:
+  std::uint64_t begin_locked(const std::string& name, SpanKind kind,
+                             const Uuid& trace_id,
+                             std::uint64_t parent_span_id);
+  [[nodiscard]] std::uint64_t next_span_id() noexcept;
+
+  mutable std::mutex mutex_;
+  NodeId node_;
+  std::shared_ptr<TraceCollector> sink_;
+  std::function<TimePoint()> now_;
+  std::vector<SpanRecord> stack_;
+  std::uint64_t next_seq_ = 1;
+  Rng rng_;
+};
+
+/// RAII span for instrumenting a scope (Node::resolve & co.).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, const std::string& name,
+             SpanKind kind = SpanKind::internal)
+      : tracer_(tracer), id_(tracer.begin_span(name, kind)) {}
+  ~ScopedSpan() { tracer_.end_span(id_, ok_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void fail() noexcept { ok_ = false; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] TraceContext context() const { return tracer_.context_of(id_); }
+
+ private:
+  Tracer& tracer_;
+  std::uint64_t id_;
+  bool ok_ = true;
+};
+
+/// Client-side half of automatic propagation: opens a client span per
+/// outgoing invocation and attaches its TraceContext to the request frame.
+class TraceClientInterceptor : public ClientInterceptor {
+ public:
+  explicit TraceClientInterceptor(Tracer& tracer) : tracer_(tracer) {}
+  void send_request(RequestInfo& info) override;
+  void receive_reply(RequestInfo& info) override;
+
+ private:
+  Tracer& tracer_;
+};
+
+/// Server-side half: opens a server span per incoming invocation, parented
+/// to the propagated client span when a TraceContext arrived.
+class TraceServerInterceptor : public ServerInterceptor {
+ public:
+  explicit TraceServerInterceptor(Tracer& tracer) : tracer_(tracer) {}
+  void receive_request(RequestInfo& info) override;
+  void send_reply(RequestInfo& info) override;
+
+ private:
+  Tracer& tracer_;
+};
+
+}  // namespace clc::obs

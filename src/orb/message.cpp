@@ -12,6 +12,35 @@ void write_frame_header(CdrWriter& w, MessageType type) {
   w.write_octet(static_cast<std::uint8_t>(type));
   w.begin_encapsulation();
 }
+
+// Service contexts trail the regular fields: count, then id + data per
+// entry. Writers omit the block entirely when there are no contexts, which
+// keeps new frames byte-identical to pre-context ones.
+void write_service_contexts(CdrWriter& w,
+                            const std::vector<ServiceContext>& contexts) {
+  if (contexts.empty()) return;
+  w.write_ulong(static_cast<std::uint32_t>(contexts.size()));
+  for (const auto& c : contexts) {
+    w.write_ulong(c.id);
+    w.write_bytes(c.data);
+  }
+}
+
+Result<std::vector<ServiceContext>> read_service_contexts(CdrReader& r) {
+  std::vector<ServiceContext> contexts;
+  if (r.exhausted()) return contexts;  // frame from a pre-context encoder
+  auto count = r.read_ulong();
+  if (!count) return count.error();
+  contexts.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto id = r.read_ulong();
+    if (!id) return id.error();
+    auto data = r.read_bytes();
+    if (!data) return data.error();
+    contexts.push_back(ServiceContext{*id, std::move(*data)});
+  }
+  return contexts;
+}
 }  // namespace
 
 Result<MessageType> decode_frame_header(CdrReader& r) {
@@ -56,6 +85,7 @@ Bytes RequestMessage::encode() const {
   w.write_string(operation);
   w.write_boolean(response_expected);
   w.write_bytes(args);
+  write_service_contexts(w, service_contexts);
   return w.take();
 }
 
@@ -81,6 +111,9 @@ Result<RequestMessage> RequestMessage::decode(CdrReader& r) {
   auto args = r.read_bytes();
   if (!args) return args.error();
   m.args = std::move(*args);
+  auto contexts = read_service_contexts(r);
+  if (!contexts) return contexts.error();
+  m.service_contexts = std::move(*contexts);
   return m;
 }
 
@@ -91,6 +124,7 @@ Bytes ReplyMessage::encode() const {
   w.write_octet(static_cast<std::uint8_t>(status));
   w.write_string(exception_id);
   w.write_bytes(payload);
+  write_service_contexts(w, service_contexts);
   return w.take();
 }
 
@@ -110,6 +144,9 @@ Result<ReplyMessage> ReplyMessage::decode(CdrReader& r) {
   auto payload = r.read_bytes();
   if (!payload) return payload.error();
   m.payload = std::move(*payload);
+  auto contexts = read_service_contexts(r);
+  if (!contexts) return contexts.error();
+  m.service_contexts = std::move(*contexts);
   return m;
 }
 

@@ -6,11 +6,19 @@
 // Requests carry the object key, interface and operation names plus the
 // already-marshaled argument encapsulation; replies carry a status and
 // either results, a user exception (typed), or a system exception (Errc).
+//
+// Both carry an optional trailing list of service contexts (CORBA-style
+// tagged metadata attached by interceptors, e.g. the trace context). The
+// list is appended after the regular fields, so decoders that predate it
+// simply never read those bytes, and new decoders treat an exhausted
+// reader as "no contexts".
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "obs/interceptor.hpp"
 #include "orb/cdr.hpp"
 #include "util/ids.hpp"
 
@@ -30,6 +38,9 @@ enum class ReplyStatus : std::uint8_t {
   object_not_found = 3,
 };
 
+/// Interceptor-attached tagged metadata riding a message frame.
+using ServiceContext = obs::ServiceContext;
+
 struct RequestMessage {
   RequestId request_id;
   Uuid object_key;
@@ -37,6 +48,7 @@ struct RequestMessage {
   std::string operation;
   bool response_expected = true;
   Bytes args;  // CDR payload of marshaled in/inout arguments
+  std::vector<ServiceContext> service_contexts;
 
   [[nodiscard]] Bytes encode() const;
   static Result<RequestMessage> decode(CdrReader& r);
@@ -47,6 +59,7 @@ struct ReplyMessage {
   ReplyStatus status = ReplyStatus::no_exception;
   std::string exception_id;  // user: exception scoped name; system: errc name
   Bytes payload;             // results, or marshaled exception, or message
+  std::vector<ServiceContext> service_contexts;
 
   [[nodiscard]] Bytes encode() const;
   static Result<ReplyMessage> decode(CdrReader& r);

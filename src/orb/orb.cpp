@@ -1,5 +1,7 @@
 #include "orb/orb.hpp"
 
+#include <chrono>
+
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -8,8 +10,26 @@ namespace clc::orb {
 using idl::OperationDef;
 using idl::ParamDirection;
 
-Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo)
-    : node_id_(node_id), repo_(std::move(repo)) {
+namespace {
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
+         obs::MetricsRegistry* metrics)
+    : node_id_(node_id),
+      repo_(std::move(repo)),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      invocations_sent_(&metrics_->counter("orb.invocations_sent")),
+      invocations_served_(&metrics_->counter("orb.invocations_served")),
+      local_dispatches_(&metrics_->counter("orb.local_dispatches")),
+      invoke_us_(&metrics_->histogram("orb.invoke_us")) {
   // Base IDL every CORBA-LC peer shares.
   const char* kBaseIdl =
       "module clc {"
@@ -65,6 +85,10 @@ std::shared_ptr<Servant> Orb::find_servant(const Uuid& key) const {
 // Server path
 
 Bytes Orb::handle_frame(BytesView frame) {
+  return handle_frame_impl(frame, /*intercept_server=*/true);
+}
+
+Bytes Orb::handle_frame_impl(BytesView frame, bool intercept_server) {
   CdrReader r(frame);
   auto type = decode_frame_header(r);
   if (!type) {
@@ -85,11 +109,23 @@ Bytes Orb::handle_frame(BytesView frame) {
     err.payload = bytes_of(req.error().message);
     return err.encode();
   }
-  {
-    std::lock_guard lock(mutex_);
-    ++stats_.invocations_served;
+  invocations_served_->inc();
+
+  const bool intercept = intercept_server && interceptors_.has_server();
+  obs::RequestInfo info(req->request_id.value, req->operation,
+                        req->interface_name);
+  if (intercept) {
+    info.set_incoming(std::move(req->service_contexts));
+    interceptors_.receive_request(info);
   }
   auto reply = dispatch_request(*req);
+  if (intercept) {
+    if (!reply)
+      info.set_failed(errc_name(reply.error().code));
+    else if (reply->status != ReplyStatus::no_exception)
+      info.set_failed(reply->exception_id);
+    interceptors_.send_reply(info);
+  }
   if (!req->response_expected) return {};
   if (!reply) {
     ReplyMessage err;
@@ -97,8 +133,10 @@ Bytes Orb::handle_frame(BytesView frame) {
     err.status = ReplyStatus::system_exception;
     err.exception_id = errc_name(reply.error().code);
     err.payload = bytes_of(reply.error().message);
+    err.service_contexts = info.take_outgoing();
     return err.encode();
   }
+  reply->service_contexts = info.take_outgoing();
   return reply->encode();
 }
 
@@ -267,23 +305,49 @@ Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
   req.operation = operation;
   req.response_expected = !op->oneway;
   req.args = std::move(*marshaled);
-  {
-    std::lock_guard lock(mutex_);
-    ++stats_.invocations_sent;
-  }
+  invocations_sent_->inc();
 
+  const auto started_us = steady_now_us();
+  // Collocation optimization: with the default `direct` policy, same-Orb
+  // calls bypass the interceptor chain on both sides (the frame round trip
+  // itself is kept -- marshalling semantics stay identical).
+  const bool local = target.endpoint == endpoint_ || target.endpoint.empty();
+  const bool run_chain =
+      !local || collocation_policy_ == CollocationPolicy::through_frame;
+  const bool intercept = run_chain && interceptors_.has_client();
+  obs::RequestInfo info(req.request_id.value, operation, target.interface_name);
+  if (intercept) {
+    interceptors_.send_request(info);
+    req.service_contexts = info.take_outgoing();
+  }
+  auto out =
+      transmit(req, *op, target, args, intercept ? &info : nullptr, run_chain);
+  if (intercept) {
+    if (!out)
+      info.set_failed(errc_name(out.error().code));
+    else if (out->exception.has_value())
+      info.set_failed(out->exception->type_name);
+    interceptors_.receive_reply(info);
+  }
+  invoke_us_->observe(static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, steady_now_us() - started_us)));
+  return out;
+}
+
+Result<InvokeOutcome> Orb::transmit(RequestMessage& req,
+                                    const OperationDef& op,
+                                    const ObjectRef& target,
+                                    std::vector<Value>& args,
+                                    obs::RequestInfo* info, bool run_chain) {
   Bytes reply_frame;
   const bool local = target.endpoint == endpoint_ || target.endpoint.empty();
   if (local) {
-    {
-      std::lock_guard lock(mutex_);
-      ++stats_.local_dispatches;
-    }
-    reply_frame = handle_frame(req.encode());
+    local_dispatches_->inc();
+    reply_frame = handle_frame_impl(req.encode(), run_chain);
   } else {
     auto transport = transport_for(target.endpoint);
     if (!transport) return transport.error();
-    if (op->oneway) {
+    if (op.oneway) {
       if (auto r = (*transport)->send_oneway(target.endpoint, req.encode());
           !r.ok())
         return r.error();
@@ -293,7 +357,7 @@ Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
     if (!r) return r.error();
     reply_frame = std::move(*r);
   }
-  if (op->oneway) return InvokeOutcome{};
+  if (op.oneway) return InvokeOutcome{};
 
   CdrReader r(reply_frame);
   auto type = decode_frame_header(r);
@@ -302,8 +366,19 @@ Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
     return Error{Errc::corrupt_data, "expected reply frame"};
   auto reply = ReplyMessage::decode(r);
   if (!reply) return reply.error();
-  return decode_reply(*op, *reply, args);
+  if (info != nullptr) info->set_incoming(std::move(reply->service_contexts));
+  return decode_reply(op, *reply, args);
 }
+
+Orb::Stats Orb::stats() const {
+  Stats s;
+  s.invocations_sent = invocations_sent_->value();
+  s.invocations_served = invocations_served_->value();
+  s.local_dispatches = local_dispatches_->value();
+  return s;
+}
+
+void Orb::reset_stats() { metrics_->reset("orb."); }
 
 Result<Value> Orb::call(const ObjectRef& target, const std::string& operation,
                         std::vector<Value> args) {

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "idl/repository.hpp"
+#include "obs/interceptor.hpp"
+#include "obs/metrics.hpp"
 #include "orb/message.hpp"
 #include "orb/object_ref.hpp"
 #include "orb/transport.hpp"
@@ -120,11 +122,23 @@ struct InvokeOutcome {
   std::optional<UserException> exception;
 };
 
+/// Interceptor treatment of collocated (same-Orb) invocations. `direct`
+/// skips the interceptor chain on the collocated fast path -- the classic
+/// ORB collocation optimization (TAO's direct strategy does the same), which
+/// keeps always-on observability off the latency floor of local calls.
+/// `through_frame` runs the full chain even when target and caller share an
+/// Orb, matching the strict CORBA PI semantics at the cost of the chain.
+enum class CollocationPolicy : std::uint8_t { direct, through_frame };
+
 class Orb {
  public:
-  Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo);
+  /// `metrics` lets the owning Node share one registry across its layers;
+  /// when null the Orb owns a private registry (standalone orbs, tests).
+  Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
+      obs::MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] NodeId node_id() const noexcept { return node_id_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
   [[nodiscard]] idl::InterfaceRepository& repository() noexcept {
     return *repo_;
   }
@@ -179,16 +193,35 @@ class Orb {
   /// Liveness probe of a peer endpoint.
   Result<void> ping(const std::string& endpoint);
 
-  /// Invocation counters (benchmarks).
+  // --------------------------------------------------------- observability
+
+  /// Portable-Interceptors-style hooks on the invocation path. Request-
+  /// direction hooks run in registration order, reply-direction in reverse.
+  void add_client_interceptor(std::shared_ptr<obs::ClientInterceptor> i) {
+    interceptors_.add_client(std::move(i));
+  }
+  void add_server_interceptor(std::shared_ptr<obs::ServerInterceptor> i) {
+    interceptors_.add_server(std::move(i));
+  }
+
+  /// See CollocationPolicy; the default is `direct`.
+  void set_collocation_policy(CollocationPolicy p) noexcept {
+    collocation_policy_ = p;
+  }
+  [[nodiscard]] CollocationPolicy collocation_policy() const noexcept {
+    return collocation_policy_;
+  }
+
+  /// Legacy view of the invocation counters, assembled from the metrics
+  /// registry ("orb.*" names).
   struct Stats {
     std::uint64_t invocations_sent = 0;
     std::uint64_t invocations_served = 0;
     std::uint64_t local_dispatches = 0;
   };
-  [[nodiscard]] Stats stats() const {
-    std::lock_guard lock(mutex_);
-    return stats_;
-  }
+  [[nodiscard]] Stats stats() const;
+  /// Zero every "orb.*" metric (counters and the latency histogram alike).
+  void reset_stats();
 
  private:
   struct MarshalPlan {
@@ -197,21 +230,36 @@ class Orb {
 
   Result<Bytes> marshal_request_args(const idl::OperationDef& op,
                                      const std::vector<Value>& args);
+  Bytes handle_frame_impl(BytesView frame, bool intercept_server);
   Result<ReplyMessage> dispatch_request(const RequestMessage& req);
   Result<InvokeOutcome> decode_reply(const idl::OperationDef& op,
                                      const ReplyMessage& reply,
                                      std::vector<Value>& args);
   Result<Transport*> transport_for(const std::string& endpoint);
+  /// Ship the request (local fast path or transport) and decode the reply;
+  /// fills `info` with the reply's service contexts when non-null.
+  Result<InvokeOutcome> transmit(RequestMessage& req,
+                                 const idl::OperationDef& op,
+                                 const ObjectRef& target,
+                                 std::vector<Value>& args,
+                                 obs::RequestInfo* info, bool run_chain);
 
   NodeId node_id_;
   std::shared_ptr<idl::InterfaceRepository> repo_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* invocations_sent_;
+  obs::Counter* invocations_served_;
+  obs::Counter* local_dispatches_;
+  obs::Histogram* invoke_us_;
+  obs::InterceptorChain interceptors_;
+  CollocationPolicy collocation_policy_ = CollocationPolicy::direct;
   std::string endpoint_;
   mutable std::mutex mutex_;
   std::map<Uuid, std::shared_ptr<Servant>> servants_;
   std::map<std::string, std::shared_ptr<Transport>> transports_;
   std::atomic<std::uint64_t> next_request_id_{1};
   Rng rng_{0x0bbf};
-  Stats stats_;
 };
 
 }  // namespace clc::orb

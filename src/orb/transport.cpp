@@ -39,7 +39,7 @@ bool LoopbackNetwork::should_drop() {
   std::lock_guard lock(mutex_);
   if (config_.drop_probability <= 0) return false;
   const bool drop = rng_.chance(config_.drop_probability);
-  if (drop) ++stats_.dropped;
+  if (drop) dropped_->inc();
   return drop;
 }
 
@@ -48,9 +48,9 @@ void LoopbackNetwork::apply_delay(std::size_t bytes) {
   {
     std::lock_guard lock(mutex_);
     cfg = config_;
-    ++stats_.messages;
-    stats_.bytes += bytes;
   }
+  messages_->inc();
+  bytes_->add(bytes);
   Duration delay = cfg.latency;
   if (cfg.bytes_per_second > 0) {
     delay += static_cast<Duration>(static_cast<double>(bytes) /

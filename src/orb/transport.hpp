@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
 #include "util/result.hpp"
@@ -44,7 +45,16 @@ class Transport {
 /// synchronous function invocations plus optional injected delay.
 class LoopbackNetwork : public Transport {
  public:
-  LoopbackNetwork() : rng_(0x10bac) {}
+  /// `metrics` shares an external registry; when null the network owns one.
+  explicit LoopbackNetwork(obs::MetricsRegistry* metrics = nullptr)
+      : owned_metrics_(metrics == nullptr
+                           ? std::make_unique<obs::MetricsRegistry>()
+                           : nullptr),
+        metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+        messages_(&metrics_->counter("transport.messages")),
+        bytes_(&metrics_->counter("transport.bytes")),
+        dropped_(&metrics_->counter("transport.dropped")),
+        rng_(0x10bac) {}
 
   /// Tuning/failure knobs; applied to every message.
   struct Config {
@@ -70,30 +80,37 @@ class LoopbackNetwork : public Transport {
   Result<void> send_oneway(const std::string& endpoint,
                            BytesView frame) override;
 
-  /// Total messages and bytes moved (for bench accounting).
+  /// Total messages and bytes moved (for bench accounting); a legacy view
+  /// assembled from the metrics registry ("transport.*" names).
   struct Stats {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     std::uint64_t dropped = 0;
   };
   [[nodiscard]] Stats stats() const {
-    std::lock_guard lock(mutex_);
-    return stats_;
+    Stats s;
+    s.messages = messages_->value();
+    s.bytes = bytes_->value();
+    s.dropped = dropped_->value();
+    return s;
   }
-  void reset_stats() {
-    std::lock_guard lock(mutex_);
-    stats_ = {};
-  }
+  /// Zero every "transport.*" metric symmetrically.
+  void reset_stats() { metrics_->reset("transport."); }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
 
  private:
   Result<MessageHandler> lookup(const std::string& endpoint);
   void apply_delay(std::size_t bytes);
   bool should_drop();
 
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* messages_;
+  obs::Counter* bytes_;
+  obs::Counter* dropped_;
   mutable std::mutex mutex_;
   std::map<std::string, MessageHandler> endpoints_;
   Config config_;
-  Stats stats_;
   Rng rng_;
   int next_id_ = 1;
 };

@@ -38,11 +38,11 @@ Duration SimNetwork::delivery_delay(NodeId from, NodeId to,
 }
 
 void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
+  messages_sent_->inc();
+  bytes_sent_->add(payload.size());
   per_node_bytes_[from] += payload.size();
   if (blocked(from, to) || rng_.chance(model_.drop_probability)) {
-    ++stats_.messages_dropped;
+    messages_dropped_->inc();
     return;
   }
   const Duration delay = delivery_delay(from, to, payload.size());
@@ -52,10 +52,10 @@ void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
         // partition may have appeared while the message was in flight.
         auto it = hosts_.find(to);
         if (it == hosts_.end() || blocked(from, to)) {
-          ++stats_.messages_dropped;
+          messages_dropped_->inc();
           return;
         }
-        ++stats_.messages_delivered;
+        messages_delivered_->inc();
         it->second->on_message(from, data);
       });
 }

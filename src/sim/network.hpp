@@ -9,8 +9,10 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
 #include "util/ids.hpp"
@@ -35,8 +37,19 @@ class SimNetwork {
     double drop_probability = 0;
   };
 
-  SimNetwork(Simulator& sim, std::uint64_t seed = 42)
-      : sim_(sim), rng_(seed) {}
+  /// `metrics` shares an external registry; when null the network owns one.
+  SimNetwork(Simulator& sim, std::uint64_t seed = 42,
+             obs::MetricsRegistry* metrics = nullptr)
+      : sim_(sim),
+        rng_(seed),
+        owned_metrics_(metrics == nullptr
+                           ? std::make_unique<obs::MetricsRegistry>()
+                           : nullptr),
+        metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+        messages_sent_(&metrics_->counter("sim.messages_sent")),
+        messages_delivered_(&metrics_->counter("sim.messages_delivered")),
+        messages_dropped_(&metrics_->counter("sim.messages_dropped")),
+        bytes_sent_(&metrics_->counter("sim.bytes_sent")) {}
 
   void set_link_model(LinkModel model) { model_ = model; }
   /// Optional topology-aware latency: overrides base_latency per pair.
@@ -57,14 +70,27 @@ class SimNetwork {
   /// or partitioned node silently loses the message, as on a real network.
   void send(NodeId from, NodeId to, Bytes payload);
 
+  /// Legacy view assembled from the metrics registry ("sim.*" names).
   struct Stats {
     std::uint64_t messages_sent = 0;
     std::uint64_t messages_delivered = 0;
     std::uint64_t messages_dropped = 0;
     std::uint64_t bytes_sent = 0;
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = {}; per_node_bytes_.clear(); }
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats s;
+    s.messages_sent = messages_sent_->value();
+    s.messages_delivered = messages_delivered_->value();
+    s.messages_dropped = messages_dropped_->value();
+    s.bytes_sent = bytes_sent_->value();
+    return s;
+  }
+  /// Zero every "sim.*" metric and the per-node byte accounting together.
+  void reset_stats() {
+    metrics_->reset("sim.");
+    per_node_bytes_.clear();
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
   /// Bytes sent by one node (for per-node bandwidth accounting).
   [[nodiscard]] std::uint64_t bytes_sent_by(NodeId id) const {
     auto it = per_node_bytes_.find(id);
@@ -78,12 +104,17 @@ class SimNetwork {
 
   Simulator& sim_;
   Rng rng_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* messages_sent_;
+  obs::Counter* messages_delivered_;
+  obs::Counter* messages_dropped_;
+  obs::Counter* bytes_sent_;
   LinkModel model_;
   std::function<Duration(NodeId, NodeId)> latency_fn_;
   std::map<NodeId, SimHost*> hosts_;
   std::set<NodeId> partition_a_;
   std::set<NodeId> partition_b_;
-  Stats stats_;
   std::map<NodeId, std::uint64_t> per_node_bytes_;
 };
 

@@ -1,0 +1,596 @@
+// Tests for the observability subsystem: the unified metrics registry, the
+// Portable-Interceptors-style chain (ordering + service-context transport
+// through real wire frames), and distributed tracing (context propagation,
+// parent/child linkage across nodes, causal-tree stitching).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "obs/interceptor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "orb/message.hpp"
+#include "orb/orb.hpp"
+#include "orb/transport.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/test_components.hpp"
+
+namespace clc::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterSemantics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  c.add(5);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketsAndSummary) {
+  Histogram h({10, 100, 1000});
+  for (std::uint64_t v : {1u, 5u, 50u, 500u, 5000u}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5556u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 5000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5556.0 / 5.0);
+  // Buckets: (..10]=2, (10..100]=1, (100..1000]=1, overflow=1.
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  // Median falls in the first bucket.
+  EXPECT_LE(h.quantile(0.5), 100.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(Metrics, RegistryFindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.hits");
+  Counter& b = reg.counter("x.hits");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(reg.counter("x.hits").value(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, PrefixScopedResetLeavesOtherMetricsAlone) {
+  MetricsRegistry reg;
+  reg.counter("orb.calls").inc(7);
+  reg.counter("transport.bytes").inc(9);
+  reg.gauge("orb.load").set(3.0);
+  reg.reset("orb.");
+  EXPECT_EQ(reg.counter("orb.calls").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("orb.load").value(), 0.0);
+  EXPECT_EQ(reg.counter("transport.bytes").value(), 9u);
+  reg.reset();  // no prefix: everything
+  EXPECT_EQ(reg.counter("transport.bytes").value(), 0u);
+}
+
+TEST(Metrics, JsonSnapshotContainsEveryMetricKind) {
+  MetricsRegistry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("a.level").set(1.5);
+  reg.histogram("a.lat", {10, 100}).observe(42);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.level\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.lat\""), std::string::npos);
+  // Structurally sane: balanced braces, no trailing comma before a brace.
+  int depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+TEST(Metrics, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\ny"), "x\\ny");
+}
+
+// ------------------------------------------------- service context wire
+
+TEST(ServiceContexts, RequestMessageRoundTrip) {
+  orb::RequestMessage req;
+  req.request_id = RequestId{7};
+  req.object_key = Uuid{1, 2};
+  req.interface_name = "t::Calc";
+  req.operation = "add";
+  req.args = bytes_of("payload");
+  req.service_contexts.push_back({0x11, bytes_of("alpha")});
+  req.service_contexts.push_back({0x22, bytes_of("beta")});
+
+  const Bytes frame = req.encode();
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  ASSERT_EQ(*type, orb::MessageType::request);
+  auto back = orb::RequestMessage::decode(r);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->operation, "add");
+  ASSERT_EQ(back->service_contexts.size(), 2u);
+  EXPECT_EQ(back->service_contexts[0], req.service_contexts[0]);
+  EXPECT_EQ(back->service_contexts[1], req.service_contexts[1]);
+}
+
+TEST(ServiceContexts, ReplyMessageRoundTrip) {
+  orb::ReplyMessage rep;
+  rep.request_id = RequestId{9};
+  rep.status = orb::ReplyStatus::no_exception;
+  rep.payload = bytes_of("result");
+  rep.service_contexts.push_back({kTraceContextId, bytes_of("ctx")});
+
+  const Bytes frame = rep.encode();
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  ASSERT_EQ(*type, orb::MessageType::reply);
+  auto back = orb::ReplyMessage::decode(r);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->service_contexts.size(), 1u);
+  EXPECT_EQ(back->service_contexts[0].id, kTraceContextId);
+  EXPECT_EQ(back->service_contexts[0].data, bytes_of("ctx"));
+}
+
+TEST(ServiceContexts, FrameWithoutContextsDecodesToEmpty) {
+  // Hand-build the frame exactly as a pre-context encoder would have:
+  // same fields, no trailing context block.
+  orb::CdrWriter w;
+  for (std::uint8_t m : {'C', 'L', 'C', 'P'}) w.write_octet(m);
+  w.write_octet(1);  // version
+  w.write_octet(0);  // MessageType::request
+  w.begin_encapsulation();
+  w.write_ulonglong(3);  // request id
+  w.write_ulonglong(0xAA);
+  w.write_ulonglong(0xBB);
+  w.write_string("t::Calc");
+  w.write_string("add");
+  w.write_boolean(true);
+  w.write_bytes(bytes_of("args"));
+  const Bytes frame = w.take();
+
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  auto back = orb::RequestMessage::decode(r);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back->request_id.value, 3u);
+  EXPECT_EQ(back->operation, "add");
+  EXPECT_TRUE(back->service_contexts.empty());
+}
+
+TEST(ServiceContexts, EmptyContextListAddsNoBytes) {
+  orb::RequestMessage req;
+  req.request_id = RequestId{1};
+  req.interface_name = "i";
+  req.operation = "op";
+  const Bytes without = req.encode();
+  req.service_contexts.push_back({5, bytes_of("x")});
+  const Bytes with = req.encode();
+  EXPECT_GT(with.size(), without.size());
+  req.service_contexts.clear();
+  EXPECT_EQ(req.encode(), without);
+}
+
+// ----------------------------------------------------------- interceptors
+
+const char* kCalcIdl = R"(
+module t {
+  interface Calc {
+    long add(in long a, in long b);
+    long boom();
+  };
+};
+)";
+
+/// Records every hook it sees into a shared log, and exercises contexts:
+/// the client attaches "<name>-req", the server attaches "<name>-rep".
+struct RecordingClient : ClientInterceptor {
+  RecordingClient(std::string name, std::vector<std::string>& log)
+      : name(std::move(name)), log(log) {}
+  void send_request(RequestInfo& info) override {
+    log.push_back(name + ":send_request:" + info.operation());
+    info.add_context({0x100, bytes_of(name + "-req")});
+    info.slot(this) = info.request_id();
+  }
+  void receive_reply(RequestInfo& info) override {
+    log.push_back(name + ":receive_reply:" +
+                  (info.success() ? "ok" : info.error_id()));
+    slot_matched = info.slot(this) == info.request_id();
+    for (const auto& c : info.incoming())
+      if (c.id == 0x200) reply_contexts.push_back(std::string(
+          c.data.begin(), c.data.end()));
+  }
+  std::string name;
+  std::vector<std::string>& log;
+  std::vector<std::string> reply_contexts;
+  bool slot_matched = false;
+};
+
+struct RecordingServer : ServerInterceptor {
+  RecordingServer(std::string name, std::vector<std::string>& log)
+      : name(std::move(name)), log(log) {}
+  void receive_request(RequestInfo& info) override {
+    log.push_back(name + ":receive_request:" + info.operation());
+    for (const auto& c : info.incoming())
+      if (c.id == 0x100) request_contexts.push_back(std::string(
+          c.data.begin(), c.data.end()));
+  }
+  void send_reply(RequestInfo& info) override {
+    log.push_back(name + ":send_reply:" +
+                  (info.success() ? "ok" : info.error_id()));
+    info.add_context({0x200, bytes_of(name + "-rep")});
+  }
+  std::string name;
+  std::vector<std::string>& log;
+  std::vector<std::string> request_contexts;
+};
+
+struct OrbPair {
+  std::shared_ptr<idl::InterfaceRepository> repo;
+  std::shared_ptr<orb::LoopbackNetwork> net;
+  std::unique_ptr<orb::Orb> server;
+  std::unique_ptr<orb::Orb> client;
+  orb::ObjectRef calc;
+};
+
+OrbPair make_orb_pair() {
+  OrbPair p;
+  p.repo = std::make_shared<idl::InterfaceRepository>();
+  EXPECT_TRUE(p.repo->register_idl(kCalcIdl).ok());
+  p.net = std::make_shared<orb::LoopbackNetwork>();
+  p.server = std::make_unique<orb::Orb>(NodeId{1}, p.repo);
+  p.client = std::make_unique<orb::Orb>(NodeId{2}, p.repo);
+  auto* server = p.server.get();
+  p.server->set_endpoint(p.net->register_endpoint(
+      [server](BytesView frame) { return server->handle_frame(frame); }));
+  p.server->add_transport("loop", p.net);
+  p.client->add_transport("loop", p.net);
+  auto servant = std::make_shared<orb::DynamicServant>("t::Calc");
+  servant->on("add", [](orb::ServerRequest& req) -> Result<void> {
+    req.set_result(orb::Value(static_cast<std::int32_t>(
+        *req.arg(0).to_int() + *req.arg(1).to_int())));
+    return {};
+  });
+  p.calc = p.server->activate(std::move(servant));
+  return p;
+}
+
+TEST(Interceptors, HooksRunInOrderAcrossTheWire) {
+  auto p = make_orb_pair();
+  std::vector<std::string> log;
+  auto c1 = std::make_shared<RecordingClient>("c1", log);
+  auto c2 = std::make_shared<RecordingClient>("c2", log);
+  auto s1 = std::make_shared<RecordingServer>("s1", log);
+  auto s2 = std::make_shared<RecordingServer>("s2", log);
+  p.client->add_client_interceptor(c1);
+  p.client->add_client_interceptor(c2);
+  p.server->add_server_interceptor(s1);
+  p.server->add_server_interceptor(s2);
+
+  auto r = p.client->call(p.calc, "add",
+                          {orb::Value(std::int32_t{20}),
+                           orb::Value(std::int32_t{22})});
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(*r, orb::Value(std::int32_t{42}));
+
+  // Request direction in registration order, reply direction reversed.
+  const std::vector<std::string> expected = {
+      "c1:send_request:add",    "c2:send_request:add",
+      "s1:receive_request:add", "s2:receive_request:add",
+      "s2:send_reply:ok",       "s1:send_reply:ok",
+      "c2:receive_reply:ok",    "c1:receive_reply:ok",
+  };
+  EXPECT_EQ(log, expected);
+}
+
+TEST(Interceptors, ServiceContextsTravelBothDirections) {
+  auto p = make_orb_pair();
+  std::vector<std::string> log;
+  auto client_i = std::make_shared<RecordingClient>("c", log);
+  auto server_i = std::make_shared<RecordingServer>("s", log);
+  p.client->add_client_interceptor(client_i);
+  p.server->add_server_interceptor(server_i);
+
+  auto r = p.client->call(p.calc, "add",
+                          {orb::Value(std::int32_t{1}),
+                           orb::Value(std::int32_t{2})});
+  ASSERT_TRUE(r.ok());
+  // Client's request context reached the server...
+  EXPECT_EQ(server_i->request_contexts,
+            (std::vector<std::string>{"c-req"}));
+  // ...and the server's reply context came back to the client.
+  EXPECT_EQ(client_i->reply_contexts, (std::vector<std::string>{"s-rep"}));
+  // The per-interceptor slot survived from send_request to receive_reply.
+  EXPECT_TRUE(client_i->slot_matched);
+}
+
+TEST(Interceptors, ReplyHookSeesFailureOutcome) {
+  auto p = make_orb_pair();
+  std::vector<std::string> log;
+  auto client_i = std::make_shared<RecordingClient>("c", log);
+  p.client->add_client_interceptor(client_i);
+
+  // The IDL declares boom() but the servant has no handler: the failure
+  // happens server-side and the reply hook must see it.
+  auto r = p.client->call(p.calc, "boom", {});
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "c:send_request:boom");
+  EXPECT_NE(log[1], "c:receive_reply:ok");
+}
+
+TEST(Interceptors, DirectCollocationPolicySkipsChain) {
+  auto p = make_orb_pair();
+  std::vector<std::string> log;
+  p.server->add_client_interceptor(
+      std::make_shared<RecordingClient>("c", log));
+  p.server->add_server_interceptor(
+      std::make_shared<RecordingServer>("s", log));
+
+  // Collocated call: the server orb invokes its own object. The default
+  // `direct` policy is the classic ORB collocation optimization -- the
+  // interceptor chain stays off the local fast path.
+  ASSERT_EQ(p.server->collocation_policy(), orb::CollocationPolicy::direct);
+  auto r = p.server->call(p.calc, "add",
+                          {orb::Value(std::int32_t{1}),
+                           orb::Value(std::int32_t{2})});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(log.empty());
+
+  // `through_frame` restores strict CORBA PI semantics: all four hooks run
+  // even when caller and target share an Orb.
+  p.server->set_collocation_policy(orb::CollocationPolicy::through_frame);
+  r = p.server->call(p.calc, "add",
+                     {orb::Value(std::int32_t{3}),
+                      orb::Value(std::int32_t{4})});
+  ASSERT_TRUE(r.ok());
+  const std::vector<std::string> expected = {
+      "c:send_request:add", "s:receive_request:add",
+      "s:send_reply:ok", "c:receive_reply:ok"};
+  EXPECT_EQ(log, expected);
+}
+
+// ----------------------------------------------------------------- traces
+
+TEST(Trace, ContextEncodesAndDecodes) {
+  TraceContext ctx;
+  ctx.trace_id = Uuid{0xDEADBEEF, 0xFEEDFACE};
+  ctx.span_id = 42;
+  ctx.parent_span_id = 7;
+  auto back = TraceContext::decode(ctx.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, ctx.trace_id);
+  EXPECT_EQ(back->span_id, 42u);
+  EXPECT_EQ(back->parent_span_id, 7u);
+  EXPECT_FALSE(TraceContext::decode(bytes_of("garbage")).has_value());
+}
+
+TEST(Trace, SpansNestOnOneTracer) {
+  auto sink = std::make_shared<TraceCollector>();
+  Tracer tracer(NodeId{1}, sink);
+  {
+    ScopedSpan outer(tracer, "outer");
+    ScopedSpan inner(tracer, "inner");
+    EXPECT_EQ(inner.context().trace_id, outer.context().trace_id);
+    EXPECT_EQ(inner.context().parent_span_id, outer.id());
+  }
+  auto spans = sink->spans();
+  ASSERT_EQ(spans.size(), 2u);  // inner recorded first (closed first)
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent_span_id, spans[1].span_id);
+  EXPECT_FALSE(tracer.active());
+}
+
+TEST(Trace, CollectorEvictsOldestWhenFull) {
+  TraceCollector sink(3);
+  for (int i = 1; i <= 5; ++i) {
+    SpanRecord s;
+    s.trace_id = Uuid{1, 1};
+    s.span_id = static_cast<std::uint64_t>(i);
+    sink.record(s);
+  }
+  EXPECT_EQ(sink.span_count(), 3u);
+  EXPECT_EQ(sink.evicted(), 2u);
+  EXPECT_EQ(sink.spans().front().span_id, 3u);
+}
+
+TEST(Trace, ServerSpanParentsToClientSpanAcrossTheWire) {
+  auto p = make_orb_pair();
+  auto sink = std::make_shared<TraceCollector>();
+  Tracer client_tracer(NodeId{2}, sink);
+  Tracer server_tracer(NodeId{1}, sink);
+  p.client->add_client_interceptor(
+      std::make_shared<TraceClientInterceptor>(client_tracer));
+  p.server->add_server_interceptor(
+      std::make_shared<TraceServerInterceptor>(server_tracer));
+
+  auto r = p.client->call(p.calc, "add",
+                          {orb::Value(std::int32_t{40}),
+                           orb::Value(std::int32_t{2})});
+  ASSERT_TRUE(r.ok());
+
+  auto spans = sink->spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord* client_span = nullptr;
+  const SpanRecord* server_span = nullptr;
+  for (const auto& s : spans) {
+    if (s.kind == SpanKind::client) client_span = &s;
+    if (s.kind == SpanKind::server) server_span = &s;
+  }
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(server_span, nullptr);
+  // The acceptance property: one trace, server span parented to the
+  // client span that carried the context over.
+  EXPECT_EQ(server_span->trace_id, client_span->trace_id);
+  EXPECT_EQ(server_span->parent_span_id, client_span->span_id);
+  EXPECT_NE(server_span->node, client_span->node);
+  EXPECT_EQ(client_span->name, "call:add");
+  EXPECT_EQ(server_span->name, "serve:add");
+}
+
+// --------------------------------------------------- node-level tracing
+
+core::CohesionConfig fast_cohesion() {
+  core::CohesionConfig cfg;
+  cfg.heartbeat = seconds(1);
+  cfg.group_size = 4;
+  cfg.query_timeout = seconds(3);
+  return cfg;
+}
+
+TEST(Trace, ResolveStitchesMultiNodeCausalTree) {
+  core::LocalNetwork net(fast_cohesion());
+  core::Node& a = net.add_node();
+  core::Node& b = net.add_node();
+  net.settle();
+  ASSERT_TRUE(b.install(testing::calculator_package()).ok());
+  net.settle();
+  net.trace_collector()->clear();
+
+  auto bound = a.resolve("demo.calculator", VersionConstraint{},
+                         core::Binding::remote);
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  EXPECT_EQ(bound->host, b.id());
+
+  // Find the resolve root span and stitch its trace.
+  auto spans = net.trace_collector()->spans();
+  Uuid trace_id;
+  for (const auto& s : spans)
+    if (s.name == "resolve:demo.calculator") trace_id = s.trace_id;
+  ASSERT_FALSE(trace_id.is_nil());
+
+  auto roots = net.trace_collector()->tree(trace_id);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].span.span_id,
+            net.trace_collector()->spans_of(trace_id).back().span_id);
+  EXPECT_EQ(roots[0].span.name, "resolve:demo.calculator");
+  EXPECT_FALSE(roots[0].children.empty());
+  // The one logical operation touched both nodes and nested at least
+  // root -> client call -> server serve.
+  EXPECT_GE(net.trace_collector()->nodes_of(trace_id).size(), 2u);
+  EXPECT_GE(net.trace_collector()->depth_of(trace_id), 3u);
+  // Render is a non-empty indented tree (debugging aid).
+  EXPECT_NE(net.trace_collector()->render(trace_id).find("resolve:"),
+            std::string::npos);
+}
+
+TEST(Trace, RemoteInvocationOnBoundPortCarriesContext) {
+  core::LocalNetwork net(fast_cohesion());
+  core::Node& a = net.add_node();
+  core::Node& b = net.add_node();
+  net.settle();
+  ASSERT_TRUE(b.install(testing::calculator_package()).ok());
+  net.settle();
+
+  auto bound = a.resolve("demo.calculator", VersionConstraint{},
+                         core::Binding::remote);
+  ASSERT_TRUE(bound.ok());
+  net.trace_collector()->clear();
+
+  auto sum = a.orb().call(bound->primary, "add",
+                          {orb::Value(std::int32_t{19}),
+                           orb::Value(std::int32_t{23})});
+  ASSERT_TRUE(sum.ok());
+  auto spans = net.trace_collector()->spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const auto& server_span = spans[0];  // server closes first
+  const auto& client_span = spans[1];
+  EXPECT_EQ(server_span.kind, SpanKind::server);
+  EXPECT_EQ(client_span.kind, SpanKind::client);
+  EXPECT_EQ(server_span.parent_span_id, client_span.span_id);
+  EXPECT_EQ(server_span.trace_id, client_span.trace_id);
+  EXPECT_EQ(server_span.node, b.id());
+  EXPECT_EQ(client_span.node, a.id());
+}
+
+// ------------------------------------------------- reset_stats symmetry
+
+TEST(ResetStats, OrbTransportAndSimResetConsistently) {
+  // Orb: counters come back as zero and keep counting afterwards.
+  auto p = make_orb_pair();
+  ASSERT_TRUE(p.client
+                  ->call(p.calc, "add",
+                         {orb::Value(std::int32_t{1}),
+                          orb::Value(std::int32_t{2})})
+                  .ok());
+  EXPECT_EQ(p.client->stats().invocations_sent, 1u);
+  EXPECT_EQ(p.server->stats().invocations_served, 1u);
+  p.client->reset_stats();
+  p.server->reset_stats();
+  EXPECT_EQ(p.client->stats().invocations_sent, 0u);
+  EXPECT_EQ(p.server->stats().invocations_served, 0u);
+  ASSERT_TRUE(p.client
+                  ->call(p.calc, "add",
+                         {orb::Value(std::int32_t{3}),
+                          orb::Value(std::int32_t{4})})
+                  .ok());
+  EXPECT_EQ(p.client->stats().invocations_sent, 1u);
+
+  // Transport.
+  EXPECT_GT(p.net->stats().messages, 0u);
+  p.net->reset_stats();
+  EXPECT_EQ(p.net->stats().messages, 0u);
+  EXPECT_EQ(p.net->stats().bytes, 0u);
+
+  // Sim network: reset clears the per-node byte accounting too (this was
+  // the historical inconsistency).
+  sim::Simulator simulator;
+  sim::SimNetwork sim_net(simulator);
+  sim_net.send(NodeId{1}, NodeId{2}, bytes_of("hello"));
+  simulator.run();
+  EXPECT_EQ(sim_net.stats().messages_sent, 1u);
+  EXPECT_GT(sim_net.bytes_sent_by(NodeId{1}), 0u);
+  sim_net.reset_stats();
+  EXPECT_EQ(sim_net.stats().messages_sent, 0u);
+  EXPECT_EQ(sim_net.stats().bytes_sent, 0u);
+  EXPECT_EQ(sim_net.bytes_sent_by(NodeId{1}), 0u);
+}
+
+TEST(NodeMetrics, UnifiedRegistryCollectsEveryLayer) {
+  core::LocalNetwork net(fast_cohesion());
+  core::Node& a = net.add_node();
+  core::Node& b = net.add_node();
+  net.settle();
+  ASSERT_TRUE(a.install(testing::calculator_package()).ok());
+  auto bound = a.resolve("demo.calculator", VersionConstraint{});
+  ASSERT_TRUE(bound.ok());
+
+  // One registry per node carries orb, cohesion and resource metrics.
+  EXPECT_GT(a.metrics().counter("orb.invocations_sent").value(), 0u);
+  EXPECT_GT(a.metrics().counter("cohesion.heartbeats_sent").value(), 0u);
+  EXPECT_GT(a.metrics().gauge("resource.instance_count").value(), 0.0);
+  EXPECT_GT(b.metrics().counter("orb.invocations_served").value(), 0u);
+  const std::string json = a.metrics().to_json();
+  EXPECT_NE(json.find("orb.invoke_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clc::obs
