@@ -1,0 +1,229 @@
+// E12 -- invocation resilience under injected transport faults (§10).
+//
+// Claim: with per-invocation deadlines, idempotent retry with exponential
+// backoff, and a per-endpoint circuit breaker, a CORBA-LC client keeps its
+// invocation success rate near 100% across realistic loss rates, at the
+// cost of bounded extra (virtual) latency -- while a policy-free client
+// degrades linearly with the loss rate. We also measure the wall-clock
+// overhead of the disarmed FaultyTransport decorator and of the disabled
+// policies, which must be negligible.
+//
+// The fault schedule is a deterministic function of (seed, sequence), time
+// is a ManualClock and backoff/injected delays advance it virtually, so
+// every row of this bench is exactly reproducible.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "fault/faulty_transport.hpp"
+#include "fault/plan.hpp"
+#include "orb/orb.hpp"
+#include "orb/resilience.hpp"
+#include "orb/transport.hpp"
+#include "util/clock.hpp"
+
+using namespace clc;
+using namespace clc::bench;
+
+namespace {
+
+constexpr const char* kCalcIdl = R"(
+module f { interface Calc { long add(in long a, in long b); }; };
+)";
+
+/// Client/server Orb pair whose client traffic crosses a FaultyTransport,
+/// with all time virtual (deadlines, backoff and injected delays advance
+/// the ManualClock instead of blocking).
+struct Harness {
+  std::shared_ptr<idl::InterfaceRepository> repo;
+  std::shared_ptr<orb::LoopbackNetwork> net;
+  std::shared_ptr<fault::FaultyTransport> faults;
+  std::unique_ptr<orb::Orb> server;
+  std::unique_ptr<orb::Orb> client;
+  ManualClock clock;
+  orb::ObjectRef calc;
+};
+
+std::unique_ptr<Harness> make_harness(const orb::InvocationPolicies& policies) {
+  auto h = std::make_unique<Harness>();
+  h->repo = std::make_shared<idl::InterfaceRepository>();
+  (void)h->repo->register_idl(kCalcIdl);
+  h->net = std::make_shared<orb::LoopbackNetwork>();
+  h->faults = std::make_shared<fault::FaultyTransport>(h->net);
+  h->server = std::make_unique<orb::Orb>(NodeId{1}, h->repo);
+  h->client = std::make_unique<orb::Orb>(NodeId{2}, h->repo);
+  auto* server = h->server.get();
+  h->server->set_endpoint(h->net->register_endpoint(
+      [server](BytesView frame) { return server->handle_frame(frame); }));
+  h->client->add_transport("loop", h->faults);
+  Harness* raw = h.get();
+  h->client->set_clock(&h->clock);
+  h->client->set_sleep_fn([raw](Duration d) { raw->clock.advance(d); });
+  h->faults->set_sleep_fn([raw](Duration d) { raw->clock.advance(d); });
+  h->client->set_invocation_policies(policies);
+  auto servant = std::make_shared<orb::DynamicServant>("f::Calc");
+  servant->on("add", [](orb::ServerRequest& req) -> Result<void> {
+    req.set_result(orb::Value(static_cast<std::int32_t>(
+        *req.arg(0).to_int() + *req.arg(1).to_int())));
+    return {};
+  });
+  h->calc = h->server->activate(servant);
+  return h;
+}
+
+orb::InvocationPolicies no_retry_policies() {
+  orb::InvocationPolicies p;
+  p.deadline = seconds(2);
+  return p;  // max_attempts 1, breaker off
+}
+
+orb::InvocationPolicies retry_policies() {
+  orb::InvocationPolicies p;
+  p.deadline = seconds(2);
+  p.retry.max_attempts = 4;
+  p.retry.initial_backoff = milliseconds(2);
+  p.breaker.enabled = true;
+  p.breaker.failure_threshold = 8;
+  p.breaker.open_duration = milliseconds(50);
+  return p;
+}
+
+struct RunResult {
+  double success_pct = 0;
+  double mean_latency_ms = 0;  // virtual time per call, successes only
+  double p99_latency_ms = 0;
+  std::uint64_t retries = 0;
+};
+
+RunResult run(double loss, const orb::InvocationPolicies& policies,
+              std::uint64_t seed) {
+  auto h = make_harness(policies);
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_probability = loss;
+  plan.delay_probability = 0.2;
+  plan.delay_min = milliseconds(1);
+  plan.delay_max = milliseconds(5);
+  if (plan.active()) h->faults->injector().arm(plan);
+
+  constexpr int kCalls = 500;
+  RunResult out;
+  std::vector<Duration> latencies;
+  latencies.reserve(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    const TimePoint before = h->clock.now();
+    auto r = h->client->call(h->calc, "add",
+                             {orb::Value(std::int32_t{i}),
+                              orb::Value(std::int32_t{1})},
+                             {.idempotent = true});
+    if (r.ok()) latencies.push_back(h->clock.now() - before);
+  }
+  out.success_pct = 100.0 * latencies.size() / kCalls;
+  if (!latencies.empty()) {
+    Duration sum = 0;
+    for (Duration d : latencies) sum += d;
+    out.mean_latency_ms =
+        to_seconds(sum / static_cast<Duration>(latencies.size())) * 1e3;
+    std::sort(latencies.begin(), latencies.end());
+    const std::size_t p99 =
+        std::min(latencies.size() - 1, latencies.size() * 99 / 100);
+    out.p99_latency_ms = to_seconds(latencies[p99]) * 1e3;
+  }
+  out.retries = h->client->metrics().counter("orb.retries").value();
+  return out;
+}
+
+/// Wall-clock ns per call with the decorator disarmed and the policies
+/// disabled, against the same pair calling the loopback directly. The
+/// difference is the price of leaving the resilience machinery compiled
+/// in but switched off.
+double wall_ns_per_call(bool through_faults) {
+  auto repo = std::make_shared<idl::InterfaceRepository>();
+  (void)repo->register_idl(kCalcIdl);
+  auto net = std::make_shared<orb::LoopbackNetwork>();
+  orb::Orb server(NodeId{1}, repo);
+  orb::Orb client(NodeId{2}, repo);
+  server.set_endpoint(net->register_endpoint(
+      [&server](BytesView frame) { return server.handle_frame(frame); }));
+  auto faults = std::make_shared<fault::FaultyTransport>(net);
+  if (through_faults)
+    client.add_transport("loop", faults);  // disarmed: pure pass-through
+  else
+    client.add_transport("loop", net);
+  auto servant = std::make_shared<orb::DynamicServant>("f::Calc");
+  servant->on("add", [](orb::ServerRequest& req) -> Result<void> {
+    req.set_result(orb::Value(static_cast<std::int32_t>(
+        *req.arg(0).to_int() + *req.arg(1).to_int())));
+    return {};
+  });
+  orb::ObjectRef calc = server.activate(servant);
+
+  constexpr int kWarmup = 2000;
+  constexpr int kTimed = 20000;
+  for (int i = 0; i < kWarmup; ++i)
+    (void)client.call(calc, "add",
+                      {orb::Value(std::int32_t{i}), orb::Value(std::int32_t{1})});
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTimed; ++i)
+    (void)client.call(calc, "add",
+                      {orb::Value(std::int32_t{i}), orb::Value(std::int32_t{1})});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         kTimed;
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report("resilience");
+  std::printf("E12: invocation resilience -- success rate and virtual "
+              "latency vs message loss (500 idempotent calls, seed 0xe12)\n\n");
+  std::printf("%6s | %22s | %44s\n", "", "no policies",
+              "retry+backoff+breaker");
+  std::printf("%6s | %9s %12s | %9s %12s %12s %9s\n", "loss", "success",
+              "mean", "success", "mean", "p99", "retries");
+  std::printf("-------+------------------------+---------------------------"
+              "-------------------\n");
+  for (double loss : {0.0, 0.05, 0.10, 0.20}) {
+    const RunResult bare = run(loss, no_retry_policies(), 0xe12);
+    const RunResult hard = run(loss, retry_policies(), 0xe12);
+    std::printf(
+        "%5.0f%% | %8.1f%% %9.2f ms | %8.1f%% %9.2f ms %9.2f ms %9llu\n",
+        loss * 100, bare.success_pct, bare.mean_latency_ms, hard.success_pct,
+        hard.mean_latency_ms, hard.p99_latency_ms,
+        static_cast<unsigned long long>(hard.retries));
+    const std::string tag = std::to_string(static_cast<int>(loss * 100));
+    report.set("success_pct.no_retry.loss" + tag, bare.success_pct);
+    report.set("success_pct.retry.loss" + tag, hard.success_pct);
+    report.set("latency_ms.no_retry.loss" + tag, bare.mean_latency_ms);
+    report.set("latency_ms.retry.loss" + tag, hard.mean_latency_ms);
+    report.set("p99_latency_ms.retry.loss" + tag, hard.p99_latency_ms);
+    report.count("retries.loss" + tag, hard.retries);
+  }
+
+  std::printf("\nE12b: overhead of the disabled machinery (disarmed "
+              "decorator, policy-free invoke)\n");
+  // Interleaved best-of-5: per-call cost is ~2 us, so scheduler noise
+  // swamps a single run; the min is the stable estimate of the true cost.
+  double direct_ns = wall_ns_per_call(false);
+  double decorated_ns = wall_ns_per_call(true);
+  for (int rep = 1; rep < 5; ++rep) {
+    direct_ns = std::min(direct_ns, wall_ns_per_call(false));
+    decorated_ns = std::min(decorated_ns, wall_ns_per_call(true));
+  }
+  std::printf("%24s : %8.0f ns/call\n", "direct loopback", direct_ns);
+  std::printf("%24s : %8.0f ns/call (%+.1f%%)\n", "disarmed FaultyTransport",
+              decorated_ns, 100.0 * (decorated_ns - direct_ns) / direct_ns);
+  report.set("overhead.direct_ns_per_call", direct_ns);
+  report.set("overhead.disarmed_ns_per_call", decorated_ns);
+
+  std::printf("\nshape check: retry column stays >= 99%% success through "
+              "10%% loss; no-policy column tracks (1 - loss)^2 per "
+              "roundtrip; disarmed overhead within noise of direct.\n");
+  return 0;
+}

@@ -12,6 +12,10 @@ Uuid node_service_key(NodeId id) {
   return Uuid{0xC0DEC0DE00000001ULL, id.value};
 }
 
+/// Remote calls that are safe to retry: reads, get-or-create acquisition,
+/// and cohesion protocol messages (which the protocol already dedupes).
+constexpr orb::InvokeOptions kIdempotent{.idempotent = true};
+
 constexpr const char* kNodeIdl = R"(
 module clc {
   typedef sequence<octet> Blob;
@@ -51,8 +55,15 @@ module clc {
 
 LocalNetwork::LocalNetwork(CohesionConfig cohesion_defaults)
     : transport_(std::make_shared<orb::LoopbackNetwork>()),
+      faulty_(std::make_shared<fault::FaultyTransport>(transport_)),
       collector_(std::make_shared<obs::TraceCollector>()),
-      cohesion_defaults_(cohesion_defaults) {}
+      cohesion_defaults_(cohesion_defaults) {
+  // Injected delays and modelled latency advance the shared virtual clock
+  // instead of sleeping, so chaos runs stay deterministic and fast under
+  // `ctest -j`.
+  faulty_->set_sleep_fn([this](Duration d) { clock_.advance(d); });
+  transport_->set_sleep_fn([this](Duration d) { clock_.advance(d); });
+}
 
 Node& LocalNetwork::add_node(NodeProfile profile, bool auto_join) {
   const NodeId id{next_id_++};
@@ -141,7 +152,8 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
                 [this](NodeId to, const ProtoMessage& m) {
                   auto service = node_service_ref(to);
                   if (!service) return;  // unknown peer: message lost
-                  (void)orb_->send(*service, "deliver", {orb::Value(m.encode())});
+                  (void)orb_->send(*service, "deliver",
+                                   {orb::Value(m.encode())}, kIdempotent);
                 },
                 &metrics_) {
   install_node_idl();
@@ -153,7 +165,20 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
   const std::string endpoint = network_.transport().register_endpoint(
       [orb_raw](BytesView frame) { return orb_raw->handle_frame(frame); });
   orb_->set_endpoint(endpoint);
-  orb_->add_transport("loop", network_.transport_ptr());
+  // Client traffic crosses the fault decorator (a pass-through until a
+  // chaos test arms a plan); time and backoff run on the shared virtual
+  // clock so no test ever sleeps or reads wall time.
+  orb_->add_transport("loop", network_.faulty_transport_ptr());
+  orb_->set_clock(&network_.clock());
+  orb_->set_sleep_fn([this](Duration d) { network_.clock().advance(d); });
+  orb::InvocationPolicies policies;
+  policies.deadline = seconds(5);
+  policies.retry.max_attempts = 4;
+  policies.retry.initial_backoff = milliseconds(2);
+  policies.breaker.enabled = true;
+  policies.breaker.failure_threshold = 6;
+  policies.breaker.open_duration = cohesion_config.heartbeat * 2;
+  orb_->set_invocation_policies(policies);
   make_node_servant();
   network_.register_node(*this, endpoint);
   cohesion_.set_digest_provider([this] { return registry_.digest(); });
@@ -201,21 +226,28 @@ Result<std::vector<QueryHit>> Node::query_network(const ComponentQuery& q) {
 }
 
 Result<std::vector<QueryHit>> Node::query_network_impl(const ComponentQuery& q) {
-  std::optional<std::vector<QueryHit>> result;
-  cohesion_.query(q, network_.now(), [&result](std::vector<QueryHit> hits) {
-    result = std::move(hits);
-  });
-  // Loopback delivery is synchronous, so most queries complete before
-  // query() returns; the rest (unreachable peers) end at the timeout.
-  const TimePoint deadline =
-      network_.now() + cohesion_.config().query_timeout +
-      cohesion_.config().heartbeat;
-  while (!result.has_value() && network_.now() < deadline) {
-    network_.advance(cohesion_.config().heartbeat / 2);
+  // Query messages are idempotent protocol traffic, so a lost broadcast is
+  // safely re-asked: one retry after the protocol-level timeout covers the
+  // window where fault injection ate the query or its replies.
+  constexpr int kQueryAttempts = 2;
+  for (int attempt = 1;; ++attempt) {
+    std::optional<std::vector<QueryHit>> result;
+    cohesion_.query(q, network_.now(), [&result](std::vector<QueryHit> hits) {
+      result = std::move(hits);
+    });
+    // Loopback delivery is synchronous, so most queries complete before
+    // query() returns; the rest (unreachable peers) end at the timeout.
+    const TimePoint deadline =
+        network_.now() + cohesion_.config().query_timeout +
+        cohesion_.config().heartbeat;
+    while (!result.has_value() && network_.now() < deadline) {
+      network_.advance(cohesion_.config().heartbeat / 2);
+    }
+    if (result.has_value()) return std::move(*result);
+    if (attempt >= kQueryAttempts)
+      return Error{Errc::timeout, "distributed query never completed"};
+    metrics_.counter("node.query_retries").inc();
   }
-  if (!result.has_value())
-    return Error{Errc::timeout, "distributed query never completed"};
-  return std::move(*result);
 }
 
 Result<std::string> Node::remote_idl(NodeId peer, const std::string& component,
@@ -224,7 +256,8 @@ Result<std::string> Node::remote_idl(NodeId peer, const std::string& component,
   if (!service) return service.error();
   auto idl_text = orb_->call(*service, "get_component_idl",
                              {orb::Value(component),
-                              orb::Value(version.to_string())});
+                              orb::Value(version.to_string())},
+                             kIdempotent);
   if (!idl_text) return idl_text.error();
   return idl_text->as<std::string>();
 }
@@ -296,7 +329,8 @@ Result<BoundComponent> Node::resolve_impl(const std::string& component,
       if (service) {
         auto xml_text = orb_->call(*service, "describe_component",
                                    {orb::Value(hit.component),
-                                    orb::Value(hit.version.to_string())});
+                                    orb::Value(hit.version.to_string())},
+                                   kIdempotent);
         if (xml_text) {
           auto d = pkg::ComponentDescription::from_xml(
               xml_text->as<std::string>());
@@ -328,7 +362,8 @@ Result<BoundComponent> Node::resolve_impl(const std::string& component,
     std::vector<orb::Value> args = {orb::Value(component),
                                     orb::Value(constraint.to_string()),
                                     orb::Value()};
-    auto outcome = orb_->invoke(*service, "acquire_instance", args);
+    auto outcome = orb_->invoke(*service, "acquire_instance", args,
+                                kIdempotent);
     if (!outcome || outcome->exception.has_value()) continue;
     BoundComponent bound;
     bound.instance_token = outcome->result.as<std::string>();
@@ -349,7 +384,8 @@ Result<void> Node::fetch_component(NodeId from, const std::string& component,
       *service, "fetch_package",
       {orb::Value(component), orb::Value(version.to_string()),
        orb::Value(p.arch), orb::Value(p.os), orb::Value(p.orb),
-       orb::Value(std::string(device_class_name(p.device)))});
+       orb::Value(std::string(device_class_name(p.device)))},
+      kIdempotent);
   if (!package) return package.error();
   auto installed = install(package->as<Bytes>());
   if (!installed.ok() && installed.error().code != Errc::already_exists)
@@ -495,7 +531,8 @@ Result<orb::ObjectRef> Node::instance_port(const BoundComponent& of,
   auto service = node_service_ref(of.host);
   if (!service) return service.error();
   auto r = orb_->call(*service, "instance_port",
-                      {orb::Value(of.instance_token), orb::Value(port)});
+                      {orb::Value(of.instance_token), orb::Value(port)},
+                      kIdempotent);
   if (!r) return r.error();
   return r->as<orb::ObjectRef>();
 }
@@ -517,7 +554,8 @@ Result<Bytes> Node::process_chunk_on(NodeId peer, const std::string& component,
   if (!service) return service.error();
   auto r = orb_->call(*service, "process_chunk",
                       {orb::Value(component), orb::Value(constraint.to_string()),
-                       orb::Value(Bytes(chunk.begin(), chunk.end()))});
+                       orb::Value(Bytes(chunk.begin(), chunk.end()))},
+                      kIdempotent);
   if (!r) return r.error();
   return r->as<Bytes>();
 }

@@ -25,6 +25,7 @@
 
 #include "core/cohesion.hpp"
 #include "core/container.hpp"
+#include "fault/faulty_transport.hpp"
 #include "core/events.hpp"
 #include "core/registry.hpp"
 #include "core/repository.hpp"
@@ -199,6 +200,12 @@ class LocalNetwork {
   [[nodiscard]] std::shared_ptr<orb::LoopbackNetwork> transport_ptr() {
     return transport_;
   }
+  /// The fault-injection decorator every node's client traffic crosses.
+  /// Disarmed (pure pass-through) unless a chaos test arms a plan.
+  [[nodiscard]] fault::FaultyTransport& faults() noexcept { return *faulty_; }
+  [[nodiscard]] std::shared_ptr<fault::FaultyTransport> faulty_transport_ptr() {
+    return faulty_;
+  }
   /// Shared span sink: every node's tracer records here, so cross-node
   /// traces stitch into one causal tree.
   [[nodiscard]] const std::shared_ptr<obs::TraceCollector>& trace_collector()
@@ -223,6 +230,7 @@ class LocalNetwork {
 
   ManualClock clock_;
   std::shared_ptr<orb::LoopbackNetwork> transport_;
+  std::shared_ptr<fault::FaultyTransport> faulty_;
   std::shared_ptr<obs::TraceCollector> collector_;
   CohesionConfig cohesion_defaults_;
   std::vector<std::unique_ptr<Node>> owned_;

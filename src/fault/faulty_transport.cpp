@@ -1,0 +1,66 @@
+#include "fault/faulty_transport.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace clc::fault {
+
+void FaultyTransport::sleep(Duration d) {
+  if (d <= 0) return;
+  if (sleep_fn_) {
+    sleep_fn_(d);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(d));
+}
+
+Result<Bytes> FaultyTransport::apply(BytesView frame, bool request_direction,
+                                     bool* duplicate) {
+  const FaultDecision d = injector_.next(frame.size());
+  if (d.reset)
+    return Error{Errc::unreachable, "connection reset by fault plan"};
+  if (d.drop)
+    return Error{Errc::timeout, request_direction
+                                    ? "request dropped by fault plan"
+                                    : "reply dropped by fault plan"};
+  if (d.delay > 0) sleep(d.delay);
+  if (duplicate != nullptr) *duplicate = d.duplicate;
+  Bytes out(frame.begin(), frame.end());
+  FaultInjector::corrupt(out, d);
+  return out;
+}
+
+Result<Bytes> FaultyTransport::roundtrip(const std::string& endpoint,
+                                         BytesView frame) {
+  if (!injector_.active()) return inner_->roundtrip(endpoint, frame);
+
+  // Request crossing.
+  bool duplicate = false;
+  auto request = apply(frame, /*request_direction=*/true, &duplicate);
+  if (!request) return request.error();
+  if (duplicate) (void)inner_->roundtrip(endpoint, *request);
+  auto reply = inner_->roundtrip(endpoint, *request);
+  if (!reply) return reply.error();
+
+  // Reply crossing: its own message, its own decision.
+  auto faulted = apply(*reply, /*request_direction=*/false, nullptr);
+  if (!faulted) return faulted.error();
+  return faulted;
+}
+
+Result<void> FaultyTransport::send_oneway(const std::string& endpoint,
+                                          BytesView frame) {
+  if (!injector_.active()) return inner_->send_oneway(endpoint, frame);
+
+  bool duplicate = false;
+  auto request = apply(frame, /*request_direction=*/true, &duplicate);
+  if (!request) {
+    // One-way drops are silent, as on a real network; resets still surface.
+    if (request.error().code == Errc::timeout) return {};
+    return request.error();
+  }
+  if (duplicate) (void)inner_->send_oneway(endpoint, *request);
+  return inner_->send_oneway(endpoint, *request);
+}
+
+}  // namespace clc::fault

@@ -1,0 +1,122 @@
+#include "fault/plan.hpp"
+
+#include "util/rng.hpp"
+
+namespace clc::fault {
+
+const char* fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::drop: return "drop";
+    case FaultKind::duplicate: return "duplicate";
+    case FaultKind::delay: return "delay";
+    case FaultKind::reorder: return "reorder";
+    case FaultKind::corrupt: return "corrupt";
+    case FaultKind::reset: return "reset";
+  }
+  return "unknown";
+}
+
+FaultDecision FaultPlan::decide(std::uint64_t seq,
+                                std::size_t frame_size) const {
+  FaultDecision d;
+  // Decisions must not depend on call interleaving, so each message gets a
+  // private generator keyed by (seed, seq); draws happen in a fixed order.
+  Rng rng(seed ^ (seq * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  if (reset_probability > 0 && rng.chance(reset_probability)) {
+    d.reset = true;
+    return d;
+  }
+  if (drop_probability > 0 && rng.chance(drop_probability)) {
+    d.drop = true;
+    return d;
+  }
+  if (duplicate_probability > 0 && rng.chance(duplicate_probability))
+    d.duplicate = true;
+  if (delay_probability > 0 && rng.chance(delay_probability))
+    d.delay += rng.next_in(delay_min, delay_max < delay_min ? delay_min
+                                                           : delay_max);
+  if (reorder_jitter > 0)
+    d.delay += static_cast<Duration>(
+        rng.next_below(static_cast<std::uint64_t>(reorder_jitter) + 1));
+  if (corrupt_probability > 0 && frame_size > 0 &&
+      rng.chance(corrupt_probability)) {
+    const auto n = 1 + rng.next_below(static_cast<std::uint64_t>(
+                           corrupt_max_bytes < 1 ? 1 : corrupt_max_bytes));
+    d.corrupt_offsets.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+      d.corrupt_offsets.push_back(
+          static_cast<std::uint32_t>(rng.next_below(frame_size)));
+  }
+  return d;
+}
+
+FaultInjector::FaultInjector(obs::MetricsRegistry* metrics)
+    : owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      messages_(&metrics_->counter("fault.messages")),
+      drops_(&metrics_->counter("fault.drops")),
+      duplicates_(&metrics_->counter("fault.duplicates")),
+      resets_(&metrics_->counter("fault.resets")),
+      corruptions_(&metrics_->counter("fault.corruptions")),
+      delays_(&metrics_->counter("fault.delays")) {}
+
+void FaultInjector::arm(FaultPlan plan) {
+  std::lock_guard lock(mutex_);
+  plan_ = plan;
+  seq_ = 0;
+  events_.clear();
+  active_.store(plan_.active(), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard lock(mutex_);
+  plan_ = FaultPlan{};
+  active_.store(false, std::memory_order_relaxed);
+}
+
+FaultPlan FaultInjector::plan() const {
+  std::lock_guard lock(mutex_);
+  return plan_;
+}
+
+FaultDecision FaultInjector::next(std::size_t frame_size) {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t seq = seq_++;
+  const FaultDecision d = plan_.decide(seq, frame_size);
+  auto log = [&](FaultKind kind, std::uint64_t detail) {
+    if (events_.size() < kMaxEvents) events_.push_back({seq, kind, detail});
+  };
+  if (d.reset) log(FaultKind::reset, 0);
+  if (d.drop) log(FaultKind::drop, 0);
+  if (d.duplicate) log(FaultKind::duplicate, 0);
+  if (d.delay > 0) log(FaultKind::delay, static_cast<std::uint64_t>(d.delay));
+  for (std::uint32_t off : d.corrupt_offsets) log(FaultKind::corrupt, off);
+  lock.unlock();
+
+  messages_->inc();
+  if (d.reset) resets_->inc();
+  if (d.drop) drops_->inc();
+  if (d.duplicate) duplicates_->inc();
+  if (d.delay > 0) delays_->inc();
+  if (!d.corrupt_offsets.empty()) corruptions_->inc();
+  return d;
+}
+
+void FaultInjector::corrupt(Bytes& frame, const FaultDecision& d) {
+  if (frame.empty()) return;
+  for (std::uint32_t off : d.corrupt_offsets) frame[off % frame.size()] ^= 0xA5;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::uint64_t FaultInjector::sequence() const {
+  std::lock_guard lock(mutex_);
+  return seq_;
+}
+
+}  // namespace clc::fault

@@ -1,0 +1,133 @@
+// Deterministic fault plans (chaos-engineering layer).
+//
+// A FaultPlan describes a probabilistic fault mix -- message drop,
+// duplication, reordering delay, extra latency, connection reset, byte
+// corruption -- whose per-message decisions are a *pure function* of
+// (seed, message sequence number). That makes a schedule replayable: the
+// same plan produces the same decision for message N whether the message
+// flows through the discrete-event simulator's network, the in-process
+// loopback transport, or real TCP, and regardless of thread interleaving.
+//
+// A FaultInjector pairs a plan with a monotone sequence counter, metrics
+// ("fault.*" in the shared registry) and a bounded event log that the
+// determinism tests compare across runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+
+namespace clc::fault {
+
+enum class FaultKind : std::uint8_t {
+  drop = 0,
+  duplicate = 1,
+  delay = 2,
+  reorder = 3,
+  corrupt = 4,
+  reset = 5,
+};
+
+const char* fault_kind_name(FaultKind k) noexcept;
+
+/// What happens to one message. Multiple faults can apply (e.g. a delayed
+/// duplicate); `drop` and `reset` win over the rest.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reset = false;      // connection reset: caller sees Errc::unreachable
+  Duration delay = 0;      // extra latency (µs); includes reorder jitter
+  std::vector<std::uint32_t> corrupt_offsets;  // byte positions to flip
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop || duplicate || reset || delay > 0 || !corrupt_offsets.empty();
+  }
+};
+
+/// The seeded fault mix. All probabilities are per message, drawn
+/// independently in a fixed order so decisions replay exactly.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop_probability = 0;
+  double duplicate_probability = 0;
+  double reset_probability = 0;
+  double corrupt_probability = 0;
+  int corrupt_max_bytes = 3;       // 1..N flipped bytes per corrupted frame
+  double delay_probability = 0;
+  Duration delay_min = 0;          // uniform extra latency in [min, max]
+  Duration delay_max = 0;
+  Duration reorder_jitter = 0;     // uniform [0, jitter] added to *every*
+                                   // message; lets later messages overtake
+
+  [[nodiscard]] bool active() const noexcept {
+    return drop_probability > 0 || duplicate_probability > 0 ||
+           reset_probability > 0 || corrupt_probability > 0 ||
+           delay_probability > 0 || reorder_jitter > 0;
+  }
+
+  /// The fate of message `seq` of size `frame_size`. Pure: same
+  /// (plan, seq, frame_size) always yields the same decision.
+  [[nodiscard]] FaultDecision decide(std::uint64_t seq,
+                                     std::size_t frame_size) const;
+};
+
+/// One applied fault, for the replay/determinism log.
+struct FaultEvent {
+  std::uint64_t seq = 0;
+  FaultKind kind = FaultKind::drop;
+  std::uint64_t detail = 0;  // delay µs, corrupt offset, ...
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Plan + sequence counter + accounting. Thread-safe; the inactive fast
+/// path is one relaxed atomic load.
+class FaultInjector {
+ public:
+  /// `metrics` shares an external registry; when null the injector owns one.
+  explicit FaultInjector(obs::MetricsRegistry* metrics = nullptr);
+
+  /// Install a plan and restart the sequence/event log.
+  void arm(FaultPlan plan);
+  /// Remove the plan; messages flow untouched.
+  void disarm();
+  [[nodiscard]] bool active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] FaultPlan plan() const;
+
+  /// Consume the next sequence number and return the decision for it,
+  /// logging applied faults and bumping the "fault.*" counters.
+  FaultDecision next(std::size_t frame_size);
+
+  /// Flip the decided bytes in place (XOR 0xA5, offsets mod frame size).
+  static void corrupt(Bytes& frame, const FaultDecision& d);
+
+  [[nodiscard]] std::vector<FaultEvent> events() const;
+  [[nodiscard]] std::uint64_t sequence() const;
+
+ private:
+  static constexpr std::size_t kMaxEvents = 65536;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* messages_;
+  obs::Counter* drops_;
+  obs::Counter* duplicates_;
+  obs::Counter* resets_;
+  obs::Counter* corruptions_;
+  obs::Counter* delays_;
+  std::atomic<bool> active_{false};
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::uint64_t seq_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace clc::fault

@@ -32,26 +32,30 @@ std::shared_ptr<const InterceptorChain::ServerList> InterceptorChain::servers()
   return server_;
 }
 
+void InterceptorChain::note_error() const {
+  if (Counter* c = error_counter_.load(std::memory_order_relaxed)) c->inc();
+}
+
 void InterceptorChain::send_request(RequestInfo& info) const {
   if (auto list = clients())
-    for (const auto& i : *list) i->send_request(info);
+    for (const auto& i : *list) guarded([&] { i->send_request(info); });
 }
 
 void InterceptorChain::receive_reply(RequestInfo& info) const {
   if (auto list = clients())
     for (auto it = list->rbegin(); it != list->rend(); ++it)
-      (*it)->receive_reply(info);
+      guarded([&] { (*it)->receive_reply(info); });
 }
 
 void InterceptorChain::receive_request(RequestInfo& info) const {
   if (auto list = servers())
-    for (const auto& i : *list) i->receive_request(info);
+    for (const auto& i : *list) guarded([&] { i->receive_request(info); });
 }
 
 void InterceptorChain::send_reply(RequestInfo& info) const {
   if (auto list = servers())
     for (auto it = list->rbegin(); it != list->rend(); ++it)
-      (*it)->send_reply(info);
+      guarded([&] { (*it)->send_reply(info); });
 }
 
 }  // namespace clc::obs

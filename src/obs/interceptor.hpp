@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 
 namespace clc::obs {
@@ -148,10 +149,22 @@ class ServerInterceptor {
 /// nesting, as in CORBA PI). Registration is mutex-guarded; the invocation
 /// path takes one uncontended lock to snapshot the chain, and the common
 /// "no interceptors" case is a relaxed atomic check.
+///
+/// A throwing interceptor must not take the invocation down with it:
+/// observability is advisory, the call is not. Each hook runs inside a
+/// catch-all; the faulty interceptor is skipped (its error counted in the
+/// error counter when one is set) and the rest of the chain still runs, so
+/// contexts attached by healthy interceptors keep riding the frame.
 class InterceptorChain {
  public:
   void add_client(std::shared_ptr<ClientInterceptor> i);
   void add_server(std::shared_ptr<ServerInterceptor> i);
+
+  /// Where swallowed interceptor exceptions are counted (non-owning; the
+  /// Orb points this at its "orb.interceptor_errors" metric).
+  void set_error_counter(Counter* counter) noexcept {
+    error_counter_.store(counter, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] bool has_client() const noexcept {
     return has_client_.load(std::memory_order_relaxed);
@@ -170,12 +183,22 @@ class InterceptorChain {
   using ServerList = std::vector<std::shared_ptr<ServerInterceptor>>;
   [[nodiscard]] std::shared_ptr<const ClientList> clients() const;
   [[nodiscard]] std::shared_ptr<const ServerList> servers() const;
+  void note_error() const;
+  template <typename F>
+  void guarded(F&& hook) const {
+    try {
+      hook();
+    } catch (...) {
+      note_error();
+    }
+  }
 
   mutable std::mutex mutex_;
   std::shared_ptr<const ClientList> client_;
   std::shared_ptr<const ServerList> server_;
   std::atomic<bool> has_client_{false};
   std::atomic<bool> has_server_{false};
+  std::atomic<Counter*> error_counter_{nullptr};
 };
 
 }  // namespace clc::obs

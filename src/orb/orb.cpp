@@ -1,6 +1,7 @@
 #include "orb/orb.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -9,14 +10,6 @@ namespace clc::orb {
 
 using idl::OperationDef;
 using idl::ParamDirection;
-
-namespace {
-std::int64_t steady_now_us() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
 
 Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
          obs::MetricsRegistry* metrics)
@@ -29,7 +22,12 @@ Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
       invocations_sent_(&metrics_->counter("orb.invocations_sent")),
       invocations_served_(&metrics_->counter("orb.invocations_served")),
       local_dispatches_(&metrics_->counter("orb.local_dispatches")),
+      retries_(&metrics_->counter("orb.retries")),
+      deadline_exceeded_(&metrics_->counter("orb.deadline_exceeded")),
+      breaker_opened_(&metrics_->counter("orb.breaker_opened")),
+      breaker_rejected_(&metrics_->counter("orb.breaker_rejected")),
       invoke_us_(&metrics_->histogram("orb.invoke_us")) {
+  interceptors_.set_error_counter(&metrics_->counter("orb.interceptor_errors"));
   // Base IDL every CORBA-LC peer shares.
   const char* kBaseIdl =
       "module clc {"
@@ -253,7 +251,10 @@ Result<InvokeOutcome> Orb::decode_reply(const OperationDef& op,
                                         std::vector<Value>& args) {
   switch (reply.status) {
     case ReplyStatus::system_exception:
-      return Error{Errc::remote_exception,
+      // The wire carries the errc name; recover the original category so
+      // transport-class failures (a corrupted request the server could not
+      // decode, a server-side timeout) stay retryable at the caller.
+      return Error{errc_from_name(reply.exception_id),
                    "system exception " + reply.exception_id + ": " +
                        string_of(reply.payload)};
     case ReplyStatus::object_not_found:
@@ -290,7 +291,8 @@ Result<InvokeOutcome> Orb::decode_reply(const OperationDef& op,
 
 Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
                                   const std::string& operation,
-                                  std::vector<Value>& args) {
+                                  std::vector<Value>& args,
+                                  const InvokeOptions& opts) {
   if (target.is_nil())
     return Error{Errc::invalid_argument, "invocation on nil reference"};
   auto op = repo_->find_operation(target.interface_name, operation);
@@ -307,7 +309,7 @@ Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
   req.args = std::move(*marshaled);
   invocations_sent_->inc();
 
-  const auto started_us = steady_now_us();
+  const TimePoint started = clock_->now();
   // Collocation optimization: with the default `direct` policy, same-Orb
   // calls bypass the interceptor chain on both sides (the frame round trip
   // itself is kept -- marshalling semantics stay identical).
@@ -320,8 +322,9 @@ Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
     interceptors_.send_request(info);
     req.service_contexts = info.take_outgoing();
   }
-  auto out =
-      transmit(req, *op, target, args, intercept ? &info : nullptr, run_chain);
+  auto out = transmit_resilient(req, *op, target, args,
+                                intercept ? &info : nullptr, run_chain, local,
+                                opts);
   if (intercept) {
     if (!out)
       info.set_failed(errc_name(out.error().code));
@@ -330,7 +333,114 @@ Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
     interceptors_.receive_reply(info);
   }
   invoke_us_->observe(static_cast<std::uint64_t>(
-      std::max<std::int64_t>(0, steady_now_us() - started_us)));
+      std::max<std::int64_t>(0, clock_->now() - started)));
+  return out;
+}
+
+CircuitBreaker* Orb::breaker_for(const std::string& endpoint) {
+  std::lock_guard lock(mutex_);
+  if (!policies_.breaker.enabled) return nullptr;
+  auto it = breakers_.find(endpoint);
+  if (it == breakers_.end())
+    it = breakers_
+             .emplace(endpoint,
+                      std::make_unique<CircuitBreaker>(policies_.breaker))
+             .first;
+  return it->second.get();
+}
+
+CircuitBreaker::State Orb::breaker_state(const std::string& endpoint) const {
+  std::lock_guard lock(mutex_);
+  auto it = breakers_.find(endpoint);
+  return it == breakers_.end() ? CircuitBreaker::State::closed
+                               : it->second->state();
+}
+
+void Orb::backoff_sleep(Duration d) {
+  if (d <= 0) return;
+  std::function<void(Duration)> fn;
+  {
+    std::lock_guard lock(mutex_);
+    fn = sleep_fn_;
+  }
+  if (fn)
+    fn(d);
+  else
+    std::this_thread::sleep_for(std::chrono::microseconds(d));
+}
+
+Result<InvokeOutcome> Orb::transmit_resilient(RequestMessage& req,
+                                              const OperationDef& op,
+                                              const ObjectRef& target,
+                                              std::vector<Value>& args,
+                                              obs::RequestInfo* info,
+                                              bool run_chain, bool local,
+                                              const InvokeOptions& opts) {
+  // Local dispatch is deterministic: a retry cannot change the outcome, and
+  // there is no endpoint to break on. The deadline still applies (trivially,
+  // since the dispatch is synchronous).
+  if (local) return transmit(req, op, target, args, info, run_chain);
+
+  InvocationPolicies policies;
+  {
+    std::lock_guard lock(mutex_);
+    policies = policies_;
+  }
+  const Duration deadline =
+      opts.deadline > 0 ? opts.deadline : policies.deadline;
+  const bool may_retry =
+      opts.idempotent || policies.retry.retry_non_idempotent;
+  const int max_attempts =
+      may_retry ? std::max(1, policies.retry.max_attempts) : 1;
+  CircuitBreaker* breaker = breaker_for(target.endpoint);
+  const TimePoint started = clock_->now();
+
+  Result<InvokeOutcome> out =
+      Error{Errc::bad_state, "invocation never attempted"};
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (deadline > 0 && clock_->now() - started >= deadline) {
+      deadline_exceeded_->inc();
+      return Error{Errc::timeout,
+                   "deadline exceeded invoking " + req.operation + " on " +
+                       target.endpoint};
+    }
+    if (breaker != nullptr) {
+      if (auto admitted = breaker->admit(clock_->now()); !admitted.ok()) {
+        breaker_rejected_->inc();
+        return Error{Errc::refused, admitted.error().message + " for " +
+                                        target.endpoint};
+      }
+    }
+    out = transmit(req, op, target, args, info, run_chain);
+    if (out.ok()) {
+      if (breaker != nullptr) breaker->on_success();
+      return out;
+    }
+    const Errc code = out.error().code;
+    if (errc_is_retryable(code)) {
+      if (breaker != nullptr && breaker->on_failure(clock_->now())) {
+        breaker_opened_->inc();
+        CLC_LOG(warn, "orb") << "circuit opened for " << target.endpoint
+                             << " after " << errc_name(code);
+      }
+    } else {
+      // Model-level failure: the peer answered; nothing to retry or break.
+      return out;
+    }
+    if (attempt == max_attempts) break;
+    retries_->inc();
+    Duration wait;
+    {
+      std::lock_guard lock(mutex_);
+      wait = backoff_delay(policies.retry, attempt, rng_);
+    }
+    if (deadline > 0) {
+      const Duration remaining = deadline - (clock_->now() - started);
+      if (remaining <= 0) break;  // loop head reports deadline_exceeded
+      wait = std::min(wait, remaining);
+    }
+    backoff_sleep(wait);
+  }
   return out;
 }
 
@@ -381,8 +491,8 @@ Orb::Stats Orb::stats() const {
 void Orb::reset_stats() { metrics_->reset("orb."); }
 
 Result<Value> Orb::call(const ObjectRef& target, const std::string& operation,
-                        std::vector<Value> args) {
-  auto out = invoke(target, operation, args);
+                        std::vector<Value> args, const InvokeOptions& opts) {
+  auto out = invoke(target, operation, args, opts);
   if (!out) return out.error();
   if (out->exception.has_value())
     return Error{Errc::remote_exception, out->exception->type_name};
@@ -390,8 +500,8 @@ Result<Value> Orb::call(const ObjectRef& target, const std::string& operation,
 }
 
 Result<void> Orb::send(const ObjectRef& target, const std::string& operation,
-                       std::vector<Value> args) {
-  auto out = invoke(target, operation, args);
+                       std::vector<Value> args, const InvokeOptions& opts) {
+  auto out = invoke(target, operation, args, opts);
   if (!out) return out.error();
   return {};
 }

@@ -27,8 +27,10 @@
 #include "obs/metrics.hpp"
 #include "orb/message.hpp"
 #include "orb/object_ref.hpp"
+#include "orb/resilience.hpp"
 #include "orb/transport.hpp"
 #include "orb/value.hpp"
+#include "util/clock.hpp"
 
 namespace clc::orb {
 
@@ -176,22 +178,55 @@ class Orb {
 
   /// Full DII invocation. `args` must have one entry per IDL parameter
   /// (out params may be default Values); on return, out/inout entries are
-  /// replaced with the values produced by the servant.
+  /// replaced with the values produced by the servant. `opts` marks the
+  /// call idempotent (retry-eligible) and can tighten the deadline.
   Result<InvokeOutcome> invoke(const ObjectRef& target,
                                const std::string& operation,
-                               std::vector<Value>& args);
+                               std::vector<Value>& args,
+                               const InvokeOptions& opts = {});
 
   /// Convenience: invocation where a user exception is an Error
   /// (Errc::remote_exception with the exception name in the message).
   Result<Value> call(const ObjectRef& target, const std::string& operation,
-                     std::vector<Value> args = {});
+                     std::vector<Value> args = {},
+                     const InvokeOptions& opts = {});
 
   /// One-way invocation (no reply, best effort).
   Result<void> send(const ObjectRef& target, const std::string& operation,
-                    std::vector<Value> args = {});
+                    std::vector<Value> args = {},
+                    const InvokeOptions& opts = {});
 
   /// Liveness probe of a peer endpoint.
   Result<void> ping(const std::string& endpoint);
+
+  // ------------------------------------------------------------ resilience
+
+  /// Deadline/retry/circuit-breaker defaults for every remote invocation.
+  void set_invocation_policies(InvocationPolicies p) {
+    std::lock_guard lock(mutex_);
+    policies_ = p;
+  }
+  [[nodiscard]] InvocationPolicies invocation_policies() const {
+    std::lock_guard lock(mutex_);
+    return policies_;
+  }
+
+  /// Clock driving deadlines, backoff accounting and the invoke-latency
+  /// histogram. Defaults to the real (steady) clock; a LocalNetwork hands
+  /// its manual clock in so tests never read wall time. Non-owning.
+  void set_clock(const Clock* clock) noexcept {
+    clock_ = clock != nullptr ? clock : &default_clock_;
+  }
+  /// How retry backoff waits; defaults to a real sleep. Deterministic
+  /// environments substitute a virtual-clock advance.
+  void set_sleep_fn(std::function<void(Duration)> fn) {
+    std::lock_guard lock(mutex_);
+    sleep_fn_ = std::move(fn);
+  }
+
+  /// Breaker state of a remote endpoint (closed when never used).
+  [[nodiscard]] CircuitBreaker::State breaker_state(
+      const std::string& endpoint) const;
 
   // --------------------------------------------------------- observability
 
@@ -243,6 +278,17 @@ class Orb {
                                  const ObjectRef& target,
                                  std::vector<Value>& args,
                                  obs::RequestInfo* info, bool run_chain);
+  /// transmit() under the resilience policies: breaker gate, deadline
+  /// budget, retry loop with backoff for idempotent invocations.
+  Result<InvokeOutcome> transmit_resilient(RequestMessage& req,
+                                           const idl::OperationDef& op,
+                                           const ObjectRef& target,
+                                           std::vector<Value>& args,
+                                           obs::RequestInfo* info,
+                                           bool run_chain, bool local,
+                                           const InvokeOptions& opts);
+  CircuitBreaker* breaker_for(const std::string& endpoint);
+  void backoff_sleep(Duration d);
 
   NodeId node_id_;
   std::shared_ptr<idl::InterfaceRepository> repo_;
@@ -251,11 +297,20 @@ class Orb {
   obs::Counter* invocations_sent_;
   obs::Counter* invocations_served_;
   obs::Counter* local_dispatches_;
+  obs::Counter* retries_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* breaker_opened_;
+  obs::Counter* breaker_rejected_;
   obs::Histogram* invoke_us_;
   obs::InterceptorChain interceptors_;
   CollocationPolicy collocation_policy_ = CollocationPolicy::direct;
   std::string endpoint_;
+  SystemClock default_clock_;
+  const Clock* clock_ = &default_clock_;
   mutable std::mutex mutex_;
+  InvocationPolicies policies_;
+  std::function<void(Duration)> sleep_fn_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
   std::map<Uuid, std::shared_ptr<Servant>> servants_;
   std::map<std::string, std::shared_ptr<Transport>> transports_;
   std::atomic<std::uint64_t> next_request_id_{1};

@@ -1,0 +1,68 @@
+#include "orb/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clc::orb {
+
+Result<void> CircuitBreaker::admit(TimePoint now) {
+  std::lock_guard lock(mutex_);
+  switch (state_) {
+    case State::closed:
+      return {};
+    case State::half_open:
+      // One probe is already in flight; fail fast until it reports.
+      return Error{Errc::refused, "circuit half-open, probe in flight"};
+    case State::open:
+      if (now - opened_at_ >= policy_.open_duration) {
+        state_ = State::half_open;
+        return {};
+      }
+      return Error{Errc::refused, "circuit open"};
+  }
+  return {};
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard lock(mutex_);
+  state_ = State::closed;
+  consecutive_failures_ = 0;
+}
+
+bool CircuitBreaker::on_failure(TimePoint now) {
+  std::lock_guard lock(mutex_);
+  ++consecutive_failures_;
+  const bool was_open = state_ == State::open;
+  if (state_ == State::half_open ||
+      consecutive_failures_ >= policy_.failure_threshold) {
+    state_ = State::open;
+    opened_at_ = now;
+  }
+  return state_ == State::open && !was_open;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+const char* breaker_state_name(CircuitBreaker::State s) noexcept {
+  switch (s) {
+    case CircuitBreaker::State::closed: return "closed";
+    case CircuitBreaker::State::open: return "open";
+    case CircuitBreaker::State::half_open: return "half_open";
+  }
+  return "unknown";
+}
+
+Duration backoff_delay(const RetryPolicy& policy, int attempt,
+                       Rng& rng) noexcept {
+  const double base =
+      static_cast<double>(std::max<Duration>(policy.initial_backoff, 0)) *
+      std::pow(policy.backoff_multiplier, attempt - 1);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double scale = 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+  return static_cast<Duration>(base * scale);
+}
+
+}  // namespace clc::orb

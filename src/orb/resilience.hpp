@@ -1,0 +1,94 @@
+// Client-side invocation resilience: deadlines, retry, circuit breaking.
+//
+// The policies follow the classic supervision patterns (CORBA FT-style
+// request retry, Erlang/OTP-style failure isolation): a per-invocation
+// deadline bounds the total time spent including retries; retry re-sends
+// transport-class failures with exponential backoff plus jitter, and is
+// restricted to invocations the caller marked idempotent (a lost *reply*
+// is indistinguishable from a lost request, so blind re-send of
+// non-idempotent work would double-execute it); a per-endpoint circuit
+// breaker stops hammering a peer that keeps failing, failing fast with
+// Errc::refused until a cool-down passes and a half-open probe succeeds.
+//
+// The Orb owns one CircuitBreaker per remote endpoint and consults the
+// policies inside invoke(); Node wires its resolve/query/heartbeat traffic
+// through them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/clock.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace clc::orb {
+
+/// Transport-class failures that a retry can plausibly cure. Model errors
+/// (not_found, invalid_argument, user exceptions, ...) never retry.
+[[nodiscard]] constexpr bool errc_is_retryable(Errc c) noexcept {
+  return c == Errc::timeout || c == Errc::unreachable ||
+         c == Errc::io_error || c == Errc::corrupt_data;
+}
+
+struct RetryPolicy {
+  int max_attempts = 1;                        // 1 = no retry
+  Duration initial_backoff = milliseconds(1);  // doubles each attempt
+  double backoff_multiplier = 2.0;
+  double jitter = 0.2;             // backoff scaled by 1 ± jitter
+  bool retry_non_idempotent = false;
+};
+
+struct BreakerPolicy {
+  bool enabled = false;
+  int failure_threshold = 5;            // consecutive failures to open
+  Duration open_duration = seconds(1);  // cool-down before a probe
+};
+
+struct InvocationPolicies {
+  Duration deadline = 0;  // total budget across attempts; 0 = unbounded
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+};
+
+/// Per-call overrides, passed alongside invoke()/call()/send().
+struct InvokeOptions {
+  bool idempotent = false;  // opt into retry (policy gates the rest)
+  Duration deadline = 0;    // 0 = use the policy deadline
+};
+
+/// Per-endpoint failure gate. Closed passes everything; `failure_threshold`
+/// consecutive transport failures open it; open rejects instantly until
+/// `open_duration` elapses, then one half-open probe decides: success
+/// closes, failure re-opens.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { closed = 0, open = 1, half_open = 2 };
+
+  explicit CircuitBreaker(BreakerPolicy policy) : policy_(policy) {}
+
+  /// Gate a call attempt. Errc::refused when the circuit is open.
+  Result<void> admit(TimePoint now);
+  /// Report the outcome of an admitted call (transport verdict only).
+  void on_success();
+  /// Returns true when this failure flipped the breaker to open.
+  bool on_failure(TimePoint now);
+
+  [[nodiscard]] State state() const;
+
+ private:
+  BreakerPolicy policy_;
+  mutable std::mutex mutex_;
+  State state_ = State::closed;
+  int consecutive_failures_ = 0;
+  TimePoint opened_at_ = 0;
+};
+
+const char* breaker_state_name(CircuitBreaker::State s) noexcept;
+
+/// Exponential backoff with jitter: initial * multiplier^(attempt-1),
+/// scaled by a deterministic draw in [1-jitter, 1+jitter].
+[[nodiscard]] Duration backoff_delay(const RetryPolicy& policy, int attempt,
+                                     Rng& rng) noexcept;
+
+}  // namespace clc::orb

@@ -45,9 +45,11 @@ bool LoopbackNetwork::should_drop() {
 
 void LoopbackNetwork::apply_delay(std::size_t bytes) {
   Config cfg;
+  std::function<void(Duration)> sleep_fn;
   {
     std::lock_guard lock(mutex_);
     cfg = config_;
+    sleep_fn = sleep_fn_;
   }
   messages_->inc();
   bytes_->add(bytes);
@@ -56,7 +58,11 @@ void LoopbackNetwork::apply_delay(std::size_t bytes) {
     delay += static_cast<Duration>(static_cast<double>(bytes) /
                                    cfg.bytes_per_second * 1e6);
   }
-  if (delay > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  if (delay <= 0) return;
+  if (sleep_fn)
+    sleep_fn(delay);
+  else
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
 }
 
 Result<Bytes> LoopbackNetwork::roundtrip(const std::string& endpoint,

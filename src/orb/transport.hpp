@@ -68,6 +68,14 @@ class LoopbackNetwork : public Transport {
     config_ = cfg;
   }
 
+  /// How modelled latency passes; defaults to a real sleep. Deterministic
+  /// harnesses (LocalNetwork) substitute a virtual-clock advance so no test
+  /// ever blocks on wall time.
+  void set_sleep_fn(std::function<void(Duration)> fn) {
+    std::lock_guard lock(mutex_);
+    sleep_fn_ = std::move(fn);
+  }
+
   /// Register a serving endpoint; returns the endpoint string ("loop:<n>").
   std::string register_endpoint(MessageHandler handler);
   /// Simulate a crash: the endpoint stops answering (unreachable).
@@ -111,6 +119,7 @@ class LoopbackNetwork : public Transport {
   mutable std::mutex mutex_;
   std::map<std::string, MessageHandler> endpoints_;
   Config config_;
+  std::function<void(Duration)> sleep_fn_;
   Rng rng_;
   int next_id_ = 1;
 };

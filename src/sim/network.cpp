@@ -45,19 +45,38 @@ void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
     messages_dropped_->inc();
     return;
   }
-  const Duration delay = delivery_delay(from, to, payload.size());
-  sim_.schedule_after(
-      delay, [this, from, to, data = std::move(payload)]() mutable {
-        // Re-check at delivery time: the destination may have crashed or a
-        // partition may have appeared while the message was in flight.
-        auto it = hosts_.find(to);
-        if (it == hosts_.end() || blocked(from, to)) {
-          messages_dropped_->inc();
-          return;
-        }
-        messages_delivered_->inc();
-        it->second->on_message(from, data);
+  Duration delay = delivery_delay(from, to, payload.size());
+  if (fault_ != nullptr && fault_->active()) {
+    const fault::FaultDecision d = fault_->next(payload.size());
+    // A reset has no connection to kill here; the message is simply lost.
+    if (d.drop || d.reset) {
+      messages_dropped_->inc();
+      return;
+    }
+    delay += d.delay;  // extra latency; lets later messages overtake
+    fault::FaultInjector::corrupt(payload, d);
+    if (d.duplicate) {
+      sim_.schedule_after(delay, [this, from, to, data = payload]() {
+        deliver(from, to, data);
       });
+    }
+  }
+  sim_.schedule_after(delay,
+                      [this, from, to, data = std::move(payload)]() mutable {
+                        deliver(from, to, data);
+                      });
+}
+
+void SimNetwork::deliver(NodeId from, NodeId to, const Bytes& payload) {
+  // Re-check at delivery time: the destination may have crashed or a
+  // partition may have appeared while the message was in flight.
+  auto it = hosts_.find(to);
+  if (it == hosts_.end() || blocked(from, to)) {
+    messages_dropped_->inc();
+    return;
+  }
+  messages_delivered_->inc();
+  it->second->on_message(from, payload);
 }
 
 }  // namespace clc::sim

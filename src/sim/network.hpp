@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
@@ -55,6 +56,12 @@ class SimNetwork {
   /// Optional topology-aware latency: overrides base_latency per pair.
   void set_latency_fn(std::function<Duration(NodeId, NodeId)> fn) {
     latency_fn_ = std::move(fn);
+  }
+  /// Subject every message to a seeded fault plan (non-owning; may be
+  /// null). The same injector can drive a FaultyTransport, so one schedule
+  /// replays both in-sim and over a real transport.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
   }
 
   void attach(NodeId id, SimHost* host);
@@ -101,6 +108,7 @@ class SimNetwork {
   [[nodiscard]] bool blocked(NodeId a, NodeId b) const;
   [[nodiscard]] Duration delivery_delay(NodeId from, NodeId to,
                                         std::size_t bytes);
+  void deliver(NodeId from, NodeId to, const Bytes& payload);
 
   Simulator& sim_;
   Rng rng_;
@@ -112,6 +120,7 @@ class SimNetwork {
   obs::Counter* bytes_sent_;
   LinkModel model_;
   std::function<Duration(NodeId, NodeId)> latency_fn_;
+  fault::FaultInjector* fault_ = nullptr;
   std::map<NodeId, SimHost*> hosts_;
   std::set<NodeId> partition_a_;
   std::set<NodeId> partition_b_;

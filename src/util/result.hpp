@@ -11,6 +11,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -59,6 +60,17 @@ constexpr const char* errc_name(Errc c) noexcept {
     case Errc::cancelled: return "cancelled";
   }
   return "unknown";
+}
+
+/// Inverse of errc_name; unknown names fall back to `fallback`. Used to
+/// recover the original category of a system exception crossing the wire
+/// (the wire carries the errc name).
+constexpr Errc errc_from_name(std::string_view name,
+                              Errc fallback = Errc::remote_exception) noexcept {
+  for (int c = 0; c <= static_cast<int>(Errc::cancelled); ++c) {
+    if (name == errc_name(static_cast<Errc>(c))) return static_cast<Errc>(c);
+  }
+  return fallback;
 }
 
 /// An error: a category code plus a context message.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -375,6 +376,67 @@ TEST(Interceptors, DirectCollocationPolicySkipsChain) {
       "c:send_request:add", "s:receive_request:add",
       "s:send_reply:ok", "c:receive_reply:ok"};
   EXPECT_EQ(log, expected);
+}
+
+struct ThrowingClient : ClientInterceptor {
+  void send_request(RequestInfo&) override { throw std::runtime_error("boom"); }
+  void receive_reply(RequestInfo&) override { ++reply_throws; throw 42; }
+  int reply_throws = 0;
+};
+
+struct ThrowingServer : ServerInterceptor {
+  void receive_request(RequestInfo&) override {
+    throw std::runtime_error("server boom");
+  }
+};
+
+TEST(Interceptors, ThrowingInterceptorIsIsolatedFromTheInvocation) {
+  auto p = make_orb_pair();
+  std::vector<std::string> log;
+  auto healthy_before = std::make_shared<RecordingClient>("a", log);
+  auto thrower = std::make_shared<ThrowingClient>();
+  auto healthy_after = std::make_shared<RecordingClient>("b", log);
+  auto server_thrower = std::make_shared<ThrowingServer>();
+  auto server_healthy = std::make_shared<RecordingServer>("s", log);
+  p.client->add_client_interceptor(healthy_before);
+  p.client->add_client_interceptor(thrower);
+  p.client->add_client_interceptor(healthy_after);
+  p.server->add_server_interceptor(server_thrower);
+  p.server->add_server_interceptor(server_healthy);
+
+  for (int i = 0; i < 3; ++i) {
+    auto r = p.client->call(p.calc, "add",
+                            {orb::Value(std::int32_t{i}),
+                             orb::Value(std::int32_t{1})});
+    // The invocation itself must not fail: observability is advisory.
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_EQ(*r, orb::Value(std::int32_t{i + 1}));
+  }
+
+  // Healthy interceptors ran on every hook, in order, around the thrower.
+  const std::vector<std::string> one_call = {
+      "a:send_request:add", "b:send_request:add", "s:receive_request:add",
+      "s:send_reply:ok",    "b:receive_reply:ok", "a:receive_reply:ok",
+  };
+  std::vector<std::string> expected;
+  for (int i = 0; i < 3; ++i)
+    expected.insert(expected.end(), one_call.begin(), one_call.end());
+  EXPECT_EQ(log, expected);
+
+  // Contexts attached by the healthy interceptors still rode the frames --
+  // one per call, not accumulated across repeats (no leak between calls).
+  EXPECT_EQ(server_healthy->request_contexts,
+            (std::vector<std::string>{"a-req", "b-req",
+                                      "a-req", "b-req",
+                                      "a-req", "b-req"}));
+  EXPECT_EQ(healthy_before->reply_contexts,
+            (std::vector<std::string>{"s-rep", "s-rep", "s-rep"}));
+
+  // Every swallowed exception is accounted: client-side send_request +
+  // receive_reply plus the server-side receive_request, per call.
+  EXPECT_EQ(thrower->reply_throws, 3);
+  EXPECT_EQ(p.client->metrics().counter("orb.interceptor_errors").value(), 6u);
+  EXPECT_EQ(p.server->metrics().counter("orb.interceptor_errors").value(), 3u);
 }
 
 // ----------------------------------------------------------------- traces

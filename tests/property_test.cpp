@@ -4,11 +4,16 @@
 //  - cohesion membership: under arbitrary (seeded) churn schedules, the
 //    network converges back to a single root whose directory holds exactly
 //    the alive nodes, and queries still resolve.
+//  - wire robustness: a frame subjected to arbitrary byte flips and
+//    truncation either decodes or reports an error -- it never crashes,
+//    over-reads, or wedges the server's frame handler.
 #include <gtest/gtest.h>
 
 #include <memory>
 
 #include "core/cohesion.hpp"
+#include "orb/message.hpp"
+#include "orb/orb.hpp"
 #include "orb/value.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -196,6 +201,130 @@ TEST_P(ValueMarshalProperty, RandomTypedValuesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ValueMarshalProperty,
                          ::testing::Values(1u, 7u, 42u, 1234u, 999u));
+
+class DeepNestingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeepNestingProperty, DeeplyNestedSequencesAndStructsRoundTrip) {
+  idl::InterfaceRepository repo;
+  Rng rng(GetParam());
+  TypeAndValueGen gen(repo, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    // A random base type wrapped in several sequence layers pushes nesting
+    // well past what the uniform generator reaches on its own.
+    auto [base, ignored] = gen.generate(2);
+    idl::TypeRef type = base;
+    const int layers = 2 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < layers; ++i) type = idl::TypeRef::sequence(type);
+    auto [_, value] = gen.generate_of(type, 0);
+
+    orb::CdrWriter w;
+    w.begin_encapsulation();
+    auto m = marshal_value(value, type, repo, w);
+    ASSERT_TRUE(m.ok()) << m.error().to_string();
+    orb::CdrReader r(w.data());
+    ASSERT_TRUE(r.begin_encapsulation().ok());
+    auto back = unmarshal_value(type, repo, r);
+    ASSERT_TRUE(back.ok()) << back.error().to_string();
+    EXPECT_TRUE(*back == value) << type.to_string();
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepNestingProperty,
+                         ::testing::Values(11u, 57u, 4242u));
+
+// ---------------------------------------------------------------------------
+// Wire robustness under corruption.
+
+orb::RequestMessage random_request(Rng& rng) {
+  orb::RequestMessage m;
+  m.request_id = RequestId{rng.next_u64()};
+  m.object_key = Uuid{rng.next_u64(), rng.next_u64()};
+  m.interface_name = "t::Iface" + std::to_string(rng.next_below(100));
+  m.operation = "op" + std::to_string(rng.next_below(100));
+  m.response_expected = rng.chance(0.9);
+  m.args.resize(rng.next_below(64));
+  for (auto& b : m.args) b = static_cast<std::uint8_t>(rng.next_u64());
+  const auto contexts = rng.next_below(3);
+  for (std::uint64_t i = 0; i < contexts; ++i) {
+    orb::ServiceContext ctx;
+    ctx.id = static_cast<std::uint32_t>(rng.next_u64());
+    ctx.data.resize(rng.next_below(16));
+    for (auto& b : ctx.data) b = static_cast<std::uint8_t>(rng.next_u64());
+    m.service_contexts.push_back(std::move(ctx));
+  }
+  return m;
+}
+
+orb::ReplyMessage random_reply(Rng& rng) {
+  orb::ReplyMessage m;
+  m.request_id = RequestId{rng.next_u64()};
+  m.status = static_cast<orb::ReplyStatus>(rng.next_below(4));
+  m.exception_id = "t::Err" + std::to_string(rng.next_below(100));
+  m.payload.resize(rng.next_below(64));
+  for (auto& b : m.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  return m;
+}
+
+/// Flip a few bytes and/or truncate; always returns a different buffer.
+Bytes mutate_frame(const Bytes& frame, Rng& rng) {
+  Bytes out = frame;
+  if (!out.empty() && rng.chance(0.3))
+    out.resize(rng.next_below(out.size()));  // truncation, possibly to empty
+  const auto flips = 1 + rng.next_below(4);
+  for (std::uint64_t i = 0; i < flips && !out.empty(); ++i)
+    out[rng.next_below(out.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+  return out;
+}
+
+class FrameCorruptionProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FrameCorruptionProperty, CorruptFramesErrorOutButNeverCrash) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const Bytes frame = rng.chance(0.5) ? random_request(rng).encode()
+                                        : random_reply(rng).encode();
+    const Bytes bad = mutate_frame(frame, rng);
+
+    orb::CdrReader r(bad);
+    auto type = decode_frame_header(r);
+    if (!type.ok()) continue;  // rejected at the header: fine
+    if (*type == orb::MessageType::request) {
+      // Decoding either succeeds (the flip hit padding or a payload byte)
+      // or reports an error; the reader must never touch bytes past the
+      // frame (asan-checked in CI).
+      (void)orb::RequestMessage::decode(r);
+    } else if (*type == orb::MessageType::reply) {
+      (void)orb::ReplyMessage::decode(r);
+    }
+  }
+}
+
+TEST_P(FrameCorruptionProperty, ServerFrameHandlerSurvivesArbitraryBytes) {
+  auto repo = std::make_shared<idl::InterfaceRepository>();
+  orb::Orb orb(NodeId{1}, repo);
+  auto servant = std::make_shared<orb::DynamicServant>("t::Sink");
+  servant->on("poke", [](orb::ServerRequest&) -> Result<void> { return {}; });
+  (void)orb.activate(servant);
+
+  Rng rng(GetParam() * 33 + 1);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes bad;
+    if (rng.chance(0.5)) {
+      bad = mutate_frame(random_request(rng).encode(), rng);
+    } else {
+      bad.resize(rng.next_below(80));  // pure noise
+      for (auto& b : bad) b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    // Must return (an error reply or nothing), never crash or over-read.
+    (void)orb.handle_frame(bad);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameCorruptionProperty,
+                         ::testing::Values(2u, 23u, 5005u));
 
 // ---------------------------------------------------------------------------
 // Cohesion convergence under churn.

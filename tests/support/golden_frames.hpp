@@ -1,0 +1,75 @@
+// Golden wire-format fixtures: the exact bytes the CLCP framing produced
+// when these fixtures were recorded. wire_golden_test.cpp re-encodes the
+// same logical messages and compares byte-for-byte, so any accidental
+// change to the frame layout -- magic, version, header field order, CDR
+// alignment, the service-context trailer -- fails loudly instead of
+// silently breaking cross-version interop.
+//
+// The fixtures are little-endian encodings (CDR is receiver-makes-right;
+// the byte-order octet inside the encapsulation says which order follows).
+// Tests skip on big-endian hosts rather than pinning a second set.
+//
+// To regenerate after a *deliberate* protocol change: re-encode the
+// fixture messages below (see wire_golden_test.cpp for the field values),
+// hex-dump the frames, and update these strings in the same commit that
+// changes the protocol -- never in a separate "fix the test" commit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace clc::testing {
+
+// RequestMessage{id=7, key={1122334455667788, 99aabbccddeeff00}, "t::Calc",
+// "add", response_expected, args={00 01 02 03}}, no service contexts.
+constexpr const char* kGoldenRequest =
+    "434c4350010001000700000000000000887766554433221100ffeeddccbbaa99"
+    "08000000743a3a43616c63000400000061646400010000000400000000010203";
+
+// Same request with one service context {id=0x11, data={aa bb}} trailing.
+constexpr const char* kGoldenRequestWithContext =
+    "434c4350010001000700000000000000887766554433221100ffeeddccbbaa99"
+    "08000000743a3a43616c63000400000061646400010000000400000000010203"
+    "010000001100000002000000aabb";
+
+// ReplyMessage{id=7, no_exception, payload={01 02}}.
+constexpr const char* kGoldenReply =
+    "434c435001010100070000000000000000000000010000000000000002000000"
+    "0102";
+
+// ReplyMessage{id=8, system_exception, "timeout", payload="boom"}.
+constexpr const char* kGoldenSystemExceptionReply =
+    "434c4350010101000800000000000000020000000800000074696d656f757400"
+    "04000000626f6f6d";
+
+// Control frames: magic, version, type -- no body.
+constexpr const char* kGoldenPing = "434c43500102";
+constexpr const char* kGoldenPong = "434c43500103";
+
+inline Bytes from_hex(const std::string& hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  auto nibble = [](char c) -> std::uint8_t {
+    return static_cast<std::uint8_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  };
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) |
+                                            nibble(hex[i + 1])));
+  return out;
+}
+
+inline std::string to_hex(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+}  // namespace clc::testing

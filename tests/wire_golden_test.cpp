@@ -1,0 +1,126 @@
+// Wire-format freeze tests: every frame kind re-encoded and compared
+// byte-for-byte against the golden fixtures in support/golden_frames.hpp.
+// A drift in any of these bytes breaks interop with peers running older
+// builds, so a failing test here means either (a) an accidental protocol
+// change -- fix the code -- or (b) a deliberate one -- regenerate the
+// fixtures in the same commit and say so in its message.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "orb/cdr.hpp"
+#include "orb/message.hpp"
+#include "support/golden_frames.hpp"
+
+namespace clc {
+namespace {
+
+// The fixtures pin the little-endian encoding; CDR is receiver-makes-right,
+// so a big-endian host legitimately produces different (equally valid)
+// bytes. Skip rather than pin a second fixture set nothing exercises.
+#define SKIP_UNLESS_LITTLE_ENDIAN()                                   \
+  if (orb::native_order() != orb::ByteOrder::little_endian)           \
+  GTEST_SKIP() << "golden fixtures pin the little-endian encoding"
+
+orb::RequestMessage golden_request() {
+  orb::RequestMessage m;
+  m.request_id = RequestId{7};
+  m.object_key = Uuid{0x1122334455667788ULL, 0x99aabbccddeeff00ULL};
+  m.interface_name = "t::Calc";
+  m.operation = "add";
+  m.response_expected = true;
+  m.args = {0x00, 0x01, 0x02, 0x03};
+  return m;
+}
+
+TEST(WireGolden, RequestFrameBytesAreFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  EXPECT_EQ(testing::to_hex(golden_request().encode()),
+            testing::kGoldenRequest);
+}
+
+TEST(WireGolden, EmptyServiceContextListAddsNoBytes) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  // The context trailer must stay absent (not "present but empty") when no
+  // interceptor attached metadata: old decoders never read those bytes.
+  orb::RequestMessage m = golden_request();
+  m.service_contexts.clear();
+  EXPECT_EQ(testing::to_hex(m.encode()), testing::kGoldenRequest);
+}
+
+TEST(WireGolden, RequestWithServiceContextIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  orb::RequestMessage m = golden_request();
+  m.service_contexts.push_back({0x11, Bytes{0xAA, 0xBB}});
+  EXPECT_EQ(testing::to_hex(m.encode()),
+            testing::kGoldenRequestWithContext);
+}
+
+TEST(WireGolden, ReplyFrameBytesAreFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  orb::ReplyMessage m;
+  m.request_id = RequestId{7};
+  m.status = orb::ReplyStatus::no_exception;
+  m.payload = {0x01, 0x02};
+  EXPECT_EQ(testing::to_hex(m.encode()), testing::kGoldenReply);
+}
+
+TEST(WireGolden, SystemExceptionReplyIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  orb::ReplyMessage m;
+  m.request_id = RequestId{8};
+  m.status = orb::ReplyStatus::system_exception;
+  m.exception_id = "timeout";
+  m.payload = bytes_of("boom");
+  EXPECT_EQ(testing::to_hex(m.encode()),
+            testing::kGoldenSystemExceptionReply);
+}
+
+TEST(WireGolden, ControlFramesAreFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  EXPECT_EQ(testing::to_hex(orb::encode_control(orb::MessageType::ping)),
+            testing::kGoldenPing);
+  EXPECT_EQ(testing::to_hex(orb::encode_control(orb::MessageType::pong)),
+            testing::kGoldenPong);
+}
+
+// Decoding the pinned bytes must keep producing the original field values:
+// this is what actually guarantees an old peer's frames stay readable.
+TEST(WireGolden, FrozenRequestBytesDecodeToOriginalFields) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes frame = testing::from_hex(testing::kGoldenRequestWithContext);
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, orb::MessageType::request);
+  auto m = orb::RequestMessage::decode(r);
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  EXPECT_EQ(m->request_id, RequestId{7});
+  EXPECT_EQ(m->object_key, (Uuid{0x1122334455667788ULL, 0x99aabbccddeeff00ULL}));
+  EXPECT_EQ(m->interface_name, "t::Calc");
+  EXPECT_EQ(m->operation, "add");
+  EXPECT_TRUE(m->response_expected);
+  EXPECT_EQ(m->args, (Bytes{0x00, 0x01, 0x02, 0x03}));
+  ASSERT_EQ(m->service_contexts.size(), 1u);
+  EXPECT_EQ(m->service_contexts[0].id, 0x11u);
+  EXPECT_EQ(m->service_contexts[0].data, (Bytes{0xAA, 0xBB}));
+}
+
+TEST(WireGolden, FrozenReplyBytesDecodeToOriginalFields) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes frame = testing::from_hex(testing::kGoldenSystemExceptionReply);
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, orb::MessageType::reply);
+  auto m = orb::ReplyMessage::decode(r);
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  EXPECT_EQ(m->request_id, RequestId{8});
+  EXPECT_EQ(m->status, orb::ReplyStatus::system_exception);
+  EXPECT_EQ(m->exception_id, "timeout");
+  EXPECT_EQ(m->payload, bytes_of("boom"));
+  EXPECT_TRUE(m->service_contexts.empty());
+}
+
+}  // namespace
+}  // namespace clc
