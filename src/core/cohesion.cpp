@@ -124,12 +124,17 @@ CohesionNode::CohesionNode(NodeId id, CohesionConfig cfg, Sender send,
       queries_issued_(&metrics_->counter("cohesion.queries_issued")),
       queries_answered_(&metrics_->counter("cohesion.queries_answered")),
       topology_updates_(&metrics_->counter("cohesion.topology_updates")),
-      promotions_(&metrics_->counter("cohesion.promotions")) {}
+      promotions_(&metrics_->counter("cohesion.promotions")),
+      fenced_stale_(&metrics_->counter("cohesion.fenced_stale")) {}
 
 ProtoMessage CohesionNode::make(const std::string& kind) const {
   ProtoMessage m;
   m.kind = kind;
   m.sender = id_;
+  // Elided at the first incarnation so never-crashed networks pay zero
+  // extra bytes; receivers default a missing field to 1.
+  if (incarnation_ > 1)
+    m.set_int("inc", static_cast<std::int64_t>(incarnation_));
   return m;
 }
 
@@ -157,6 +162,193 @@ void CohesionNode::start_joining(NodeId bootstrap, TimePoint now) {
   last_heartbeat_ = now;
   last_beacon_ = now;
   send(bootstrap, make("join"));
+}
+
+void CohesionNode::restart(TimePoint now) {
+  joined_ = false;
+  root_ = false;
+  parent_ = NodeId{};
+  children_.clear();
+  parent_last_heard_ = 0;
+  last_heartbeat_ = now;
+  last_beacon_ = now;
+  bootstrap_ = NodeId{};
+  join_started_ = 0;
+  directory_ = Directory{};
+  have_directory_copy_ = false;
+  replica_rank_ = 0;
+  root_death_detected_ = 0;
+  current_root_ = NodeId{};
+  last_published_.clear();
+  probe_pending_.clear();
+  republish_countdown_ = 0;
+  roster_.clear();
+  full_registry_.clear();
+  roster_last_heard_.clear();
+  pending_.clear();
+  relayed_.clear();
+  peer_incarnations_.clear();
+  tombstones_.clear();
+  last_anti_entropy_ = now;
+  ae_rotor_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Crash fault handling: incarnation fencing, tombstones, anti-entropy
+
+bool CohesionNode::admit_message(const ProtoMessage& m) {
+  const NodeId from = m.sender;
+  if (from == id_ || !from.valid()) return true;
+  const auto inc = static_cast<std::uint64_t>(m.field_int("inc", 1));
+  auto known = peer_incarnations_.find(from);
+  if (known != peer_incarnations_.end() && inc < known->second) {
+    fenced_stale_->inc();  // pre-crash frame outlived its sender
+    return false;
+  }
+  if (auto tomb = tombstones_.find(from); tomb != tombstones_.end()) {
+    if (inc < tomb->second) {
+      fenced_stale_->inc();
+      return false;
+    }
+    // Equal incarnation: the death verdict was wrong (partition, lost
+    // probes) and the node is still alive. Higher: it restarted. Either
+    // way the tombstone is obsolete.
+    tombstones_.erase(tomb);
+  }
+  auto& slot = peer_incarnations_[from];
+  if (inc > slot) {
+    // A reborn node starts from an empty registry: whatever we cached
+    // about its previous life is stale by definition.
+    if (slot != 0) purge_peer_state(from);
+    slot = inc;
+  }
+  return true;
+}
+
+void CohesionNode::purge_peer_state(NodeId n) {
+  children_.erase(n);
+  full_registry_.erase(n);
+  roster_.erase(n);
+  roster_last_heard_.erase(n);
+  probe_pending_.erase(n);
+}
+
+void CohesionNode::note_death(NodeId dead, std::uint64_t dead_inc,
+                              std::vector<NodeId> alive, TimePoint now,
+                              bool broadcast) {
+  if (dead == id_) return;
+  if (auto it = tombstones_.find(dead);
+      it != tombstones_.end() && it->second >= dead_inc)
+    return;  // already processed this (or a later) death
+  if (auto it = peer_incarnations_.find(dead); it != peer_incarnations_.end())
+    dead_inc = std::max(dead_inc, it->second);
+  tombstones_[dead] = dead_inc;
+  metrics_->counter("cohesion.tombstones_set").inc();
+  purge_peer_state(dead);
+  if (broadcast) {
+    ProtoMessage m = make("node_dead");
+    m.set_int("node", static_cast<std::int64_t>(dead.value));
+    m.set_int("dead_inc", static_cast<std::int64_t>(dead_inc));
+    m.blob = directory_.encode();
+    for (NodeId n : directory_.join_order) send(n, m);
+  }
+  if (dead_handler_) dead_handler_(dead, dead_inc, std::move(alive));
+  (void)now;
+}
+
+Bytes CohesionNode::encode_incarnation_table() const {
+  // Entries: (node, incarnation, tombstoned?) for every node we have an
+  // opinion about, including ourselves (incarnation_, alive).
+  std::map<NodeId, std::pair<std::uint64_t, bool>> entries;
+  for (const auto& [n, inc] : peer_incarnations_) entries[n] = {inc, false};
+  for (const auto& [n, inc] : tombstones_) {
+    auto& e = entries[n];
+    e.first = std::max(e.first, inc);
+    e.second = true;
+  }
+  entries[id_] = {incarnation_, false};
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulong(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [n, e] : entries) {
+    w.write_ulonglong(n.value);
+    w.write_ulonglong(e.first);
+    w.write_boolean(e.second);
+  }
+  return w.take();
+}
+
+bool CohesionNode::believes_alive(NodeId n) const {
+  if (n == id_) return true;
+  if (joined_ && !root_ && n == parent_) return true;
+  if (children_.count(n) != 0) return true;
+  if (roster_.count(n) != 0) return true;
+  if ((root_ || have_directory_copy_) && directory_.contains(n)) return true;
+  return false;
+}
+
+void CohesionNode::merge_incarnation_table(BytesView data, TimePoint now) {
+  orb::CdrReader r(data);
+  if (!r.begin_encapsulation().ok()) return;
+  auto count = r.read_ulong();
+  if (!count) return;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto node = r.read_ulonglong();
+    if (!node) return;
+    auto inc = r.read_ulonglong();
+    if (!inc) return;
+    auto tomb = r.read_boolean();
+    if (!tomb) return;
+    const NodeId n{*node};
+    if (n == id_) continue;  // nobody outranks us on our own liveness
+    auto& slot = peer_incarnations_[n];
+    const std::uint64_t prev = slot;
+    if (*inc > prev) {
+      if (prev != 0) {
+        purge_peer_state(n);
+        metrics_->counter("cohesion.ae_purged").inc();
+      }
+      slot = *inc;
+      // A higher incarnation proves a rebirth: any tombstone from the
+      // previous life is obsolete.
+      if (auto t = tombstones_.find(n);
+          t != tombstones_.end() && t->second < *inc)
+        tombstones_.erase(t);
+    }
+    if (*tomb && tombstones_.count(n) == 0 &&
+        (*inc > prev || (*inc == prev && !believes_alive(n)))) {
+      // Learned of a death we missed (e.g. we were partitioned away when
+      // the root confirmed it). Stop serving the dead host's entries. An
+      // *equal*-incarnation tombstone is adopted only when we don't see the
+      // node alive first-hand: it may be stale news about a member that has
+      // since revived seamlessly, and re-adopting it would purge a live
+      // child between two of its heartbeats.
+      tombstones_[n] = *inc;
+      metrics_->counter("cohesion.ae_purged").inc();
+      purge_peer_state(n);
+    }
+  }
+  (void)now;
+}
+
+void CohesionNode::send_anti_entropy(TimePoint now) {
+  // One partner per round, rotated deterministically: the parent when we
+  // have one (hierarchical leaf/interior), otherwise round-robin over the
+  // nodes we know (root over its directory, flat/strong over the roster).
+  NodeId target{};
+  if (cfg_.mode == CohesionConfig::Mode::hierarchical && parent_.valid()) {
+    target = parent_;
+  } else {
+    std::vector<NodeId> peers = known_nodes();
+    peers.erase(std::remove(peers.begin(), peers.end(), id_), peers.end());
+    if (peers.empty()) return;
+    target = peers[ae_rotor_++ % peers.size()];
+  }
+  ProtoMessage m = make("ae_sync");
+  m.blob = encode_incarnation_table();
+  send(target, m);
+  metrics_->counter("cohesion.ae_rounds").inc();
+  (void)now;
 }
 
 // ---------------------------------------------------------------------------
@@ -255,10 +447,15 @@ void CohesionNode::handle_member_dead(NodeId dead, TimePoint now) {
   if (!directory_.contains(dead)) return;
   directory_.remove(dead);
   root_recompute_and_publish(now);
+  // MRM-confirmed death: tombstone it, tell every member (they purge their
+  // caches and the checkpoint holders among them start failover).
+  note_death(dead, known_incarnation(dead) == 0 ? 1 : known_incarnation(dead),
+             directory_.join_order, now, /*broadcast=*/true);
 }
 
 void CohesionNode::promote_to_root(TimePoint now) {
   promotions_->inc();
+  const NodeId dead_root = current_root_;
   directory_.remove(current_root_);
   directory_.remove(id_);
   directory_.join_order.insert(directory_.join_order.begin(), id_);
@@ -269,6 +466,11 @@ void CohesionNode::promote_to_root(TimePoint now) {
   last_published_.clear();  // push fresh topology to everyone
   root_recompute_and_publish(now);
   for (NodeId n : directory_.join_order) send(n, make("root_announce"));
+  if (dead_root.valid())
+    note_death(dead_root,
+               known_incarnation(dead_root) == 0 ? 1
+                                                 : known_incarnation(dead_root),
+               directory_.join_order, now, /*broadcast=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -278,10 +480,12 @@ RegistryDigest CohesionNode::own_digest() const {
   if (digest_provider_) {
     RegistryDigest d = digest_provider_();
     d.node = id_;
+    d.incarnation = incarnation_;
     return d;
   }
   RegistryDigest d;
   d.node = id_;
+  d.incarnation = incarnation_;
   return d;
 }
 
@@ -496,6 +700,34 @@ void CohesionNode::finish_relay(std::uint64_t qid, TimePoint now) {
 
 void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
   const NodeId from = m.sender;
+  // Incarnation fence: frames sent by a previous life of a crashed node
+  // (or by a node we hold a tombstone for) die at the protocol boundary.
+  if (!admit_message(m)) return;
+
+  if (m.kind == "node_dead") {
+    const NodeId dead{static_cast<std::uint64_t>(m.field_int("node"))};
+    const auto dead_inc =
+        static_cast<std::uint64_t>(m.field_int("dead_inc", 1));
+    if (!dead.valid() || dead == id_) return;
+    auto alive = Directory::decode(m.blob);
+    note_death(dead, dead_inc,
+               alive.ok() ? alive->join_order : std::vector<NodeId>{}, now,
+               /*broadcast=*/false);
+    return;
+  }
+
+  if (m.kind == "ae_sync") {
+    merge_incarnation_table(m.blob, now);
+    ProtoMessage reply = make("ae_reply");
+    reply.blob = encode_incarnation_table();
+    send(from, reply);
+    return;
+  }
+
+  if (m.kind == "ae_reply") {
+    merge_incarnation_table(m.blob, now);
+    return;
+  }
 
   if (m.kind == "join") {
     if (cfg_.mode != CohesionConfig::Mode::hierarchical) {
@@ -544,7 +776,21 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
     ChildInfo& info = children_[from];
     info.last_heard = now;
     info.suspect = false;
-    if (digest.ok()) info.digest = std::move(*digest);
+    if (digest.ok()) {
+      // Per-node digest version = (incarnation, revision): never let a
+      // reordered older digest overwrite a newer cached one.
+      const bool stale =
+          info.have_digest &&
+          (digest->incarnation < info.digest.incarnation ||
+           (digest->incarnation == info.digest.incarnation &&
+            digest->revision < info.digest.revision));
+      if (stale) {
+        metrics_->counter("cohesion.stale_digests_ignored").inc();
+      } else {
+        info.digest = std::move(*digest);
+        info.have_digest = true;
+      }
+    }
     info.subtree_names = split_names(m.field("names"));
     return;
   }
@@ -648,7 +894,18 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
 
   if (m.kind == "digest_full") {
     auto digest = RegistryDigest::decode(m.blob);
-    if (digest.ok()) full_registry_[from] = std::move(*digest);
+    if (digest.ok()) {
+      auto cached = full_registry_.find(from);
+      const bool stale =
+          cached != full_registry_.end() &&
+          (digest->incarnation < cached->second.incarnation ||
+           (digest->incarnation == cached->second.incarnation &&
+            digest->revision < cached->second.revision));
+      if (stale)
+        metrics_->counter("cohesion.stale_digests_ignored").inc();
+      else
+        full_registry_[from] = std::move(*digest);
+    }
     roster_.insert(from);
     roster_last_heard_[from] = now;
     return;
@@ -828,7 +1085,9 @@ void CohesionNode::on_tick(TimePoint now) {
       promote_to_root(now);
     }
   } else {
-    // Flat/strong: prune silent roster entries.
+    // Flat/strong: prune silent roster entries. Each node reaches the
+    // verdict on its own (no MRM to confirm), so the tombstone + dead
+    // handler fire locally; anti-entropy spreads the verdict.
     std::vector<NodeId> gone;
     for (const auto& [n, heard] : roster_last_heard_) {
       if (n != id_ && now - heard > cfg_.dead_after * t) gone.push_back(n);
@@ -837,7 +1096,17 @@ void CohesionNode::on_tick(TimePoint now) {
       roster_.erase(n);
       roster_last_heard_.erase(n);
       full_registry_.erase(n);
+      note_death(n, known_incarnation(n) == 0 ? 1 : known_incarnation(n),
+                 std::vector<NodeId>(roster_.begin(), roster_.end()), now,
+                 /*broadcast=*/false);
     }
+  }
+
+  // Anti-entropy: periodic incarnation-table exchange with one peer.
+  if (cfg_.anti_entropy_every > 0 &&
+      now - last_anti_entropy_ >= cfg_.anti_entropy_every * t) {
+    last_anti_entropy_ = now;
+    send_anti_entropy(now);
   }
 
   // Query deadlines: flush what we have.

@@ -62,6 +62,11 @@ struct CohesionConfig {
   std::size_t group_size = 8;
   int root_replicas = 2;
   Duration query_timeout = seconds(2);
+  /// Anti-entropy reconciliation: every N heartbeats each node swaps its
+  /// (node -> incarnation, tombstone) table with one peer, so registries
+  /// that missed a death or a rebirth (partition, lost oneways) converge
+  /// instead of serving entries for dead hosts forever. 0 disables.
+  int anti_entropy_every = 4;
 };
 
 class CohesionNode {
@@ -77,6 +82,30 @@ class CohesionNode {
   void set_digest_provider(std::function<RegistryDigest()> provider) {
     digest_provider_ = std::move(provider);
   }
+
+  /// Invoked when this node learns (root confirmation or `node_dead`
+  /// broadcast) that a member died: (dead, dead's incarnation, nodes still
+  /// believed alive). The Node layer hangs instance failover off this.
+  using DeadHandler =
+      std::function<void(NodeId, std::uint64_t, std::vector<NodeId>)>;
+  void set_node_dead_handler(DeadHandler handler) {
+    dead_handler_ = std::move(handler);
+  }
+
+  /// This node's incarnation, carried on every protocol message (as the
+  /// "inc" field, elided while still 1) and inside digests. Bumped by the
+  /// Node on restart *before* rejoining.
+  void set_incarnation(std::uint64_t incarnation) noexcept {
+    incarnation_ = incarnation;
+  }
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+
+  /// Post-crash reset: forget all membership, directory, roster and query
+  /// state (it lived in RAM and died with the process). Identity, config
+  /// and metrics survive; the caller then re-joins via start_joining.
+  void restart(TimePoint now);
 
   /// Found a new network (this node becomes root).
   void start_as_first(TimePoint now);
@@ -110,6 +139,15 @@ class CohesionNode {
   /// Tree depth below this node (1 = leaf); meaningful at the root.
   [[nodiscard]] int subtree_depth() const;
   [[nodiscard]] const CohesionConfig& config() const noexcept { return cfg_; }
+  /// Highest incarnation this node has seen for `n` (0 = never heard).
+  [[nodiscard]] std::uint64_t known_incarnation(NodeId n) const {
+    auto it = peer_incarnations_.find(n);
+    return it == peer_incarnations_.end() ? 0 : it->second;
+  }
+  /// True while `n` is tombstoned (declared dead, not yet reborn).
+  [[nodiscard]] bool has_tombstone(NodeId n) const {
+    return tombstones_.count(n) != 0;
+  }
 
   /// Legacy view assembled from the metrics registry ("cohesion.*" names).
   struct Stats {
@@ -140,6 +178,7 @@ class CohesionNode {
     bool suspect = false;
     RegistryDigest digest;                 // child's own registry
     std::set<std::string> subtree_names;   // aggregate digest for pruning
+    bool have_digest = false;  // ordering check applies only once one landed
   };
   struct Directory {
     std::vector<NodeId> join_order;  // alive nodes, in join order
@@ -160,6 +199,24 @@ class CohesionNode {
   void adopt_topology(NodeId new_parent, TimePoint now);
   void handle_member_dead(NodeId dead, TimePoint now);
   void promote_to_root(TimePoint now);
+
+  // Crash fault handling (incarnation fencing + tombstones + anti-entropy).
+  /// Gate every inbound message on the sender's incarnation; returns false
+  /// when the message is stale (older incarnation / tombstoned) and must be
+  /// dropped at the protocol boundary.
+  bool admit_message(const ProtoMessage& m);
+  /// Record a confirmed death: tombstone, purge cached state, notify the
+  /// Node layer, and (root only, when `broadcast`) tell every member.
+  void note_death(NodeId dead, std::uint64_t dead_inc,
+                  std::vector<NodeId> alive, TimePoint now, bool broadcast);
+  void purge_peer_state(NodeId n);
+  /// True while `n` is in this node's live membership view (parent, child,
+  /// roster or directory member) -- i.e. we have first-hand evidence it is
+  /// up, not just a cached incarnation number.
+  [[nodiscard]] bool believes_alive(NodeId n) const;
+  [[nodiscard]] Bytes encode_incarnation_table() const;
+  void merge_incarnation_table(BytesView data, TimePoint now);
+  void send_anti_entropy(TimePoint now);
 
   // Digest/heartbeat helpers.
   [[nodiscard]] RegistryDigest own_digest() const;
@@ -197,6 +254,13 @@ class CohesionNode {
   CohesionConfig cfg_;
   Sender send_;
   std::function<RegistryDigest()> digest_provider_;
+  DeadHandler dead_handler_;
+
+  std::uint64_t incarnation_ = 1;
+  std::map<NodeId, std::uint64_t> peer_incarnations_;
+  std::map<NodeId, std::uint64_t> tombstones_;  // dead node -> incarnation
+  TimePoint last_anti_entropy_ = 0;
+  std::size_t ae_rotor_ = 0;  // round-robin peer pick for anti-entropy
 
   bool joined_ = false;
   bool root_ = false;
@@ -234,6 +298,7 @@ class CohesionNode {
   obs::Counter* queries_answered_;
   obs::Counter* topology_updates_;
   obs::Counter* promotions_;
+  obs::Counter* fenced_stale_;
 };
 
 }  // namespace clc::core

@@ -290,6 +290,33 @@ Result<Container::Snapshot> Container::capture(InstanceId id) {
   return s;
 }
 
+Result<Container::Snapshot> Container::checkpoint(InstanceId id) {
+  auto e = entry(id);
+  if (!e) return e.error();
+  if (!(*e)->description.mobile && !(*e)->description.replicable)
+    return Error{Errc::refused,
+                 (*e)->description.name + " is neither mobile nor replicable"};
+  auto state = (*e)->impl->externalize_state();
+  if (!state) return state.error();
+  Snapshot s;
+  s.component = (*e)->description.name;
+  s.version = (*e)->description.version;
+  s.state = std::move(*state);
+  s.connections = (*e)->context->connections();
+  return s;
+}
+
+std::vector<InstanceId> Container::instance_ids() const {
+  std::vector<InstanceId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.push_back(id);
+  return out;
+}
+
+void Container::destroy_all() {
+  while (!entries_.empty()) (void)destroy(entries_.begin()->first);
+}
+
 Result<InstanceId> Container::restore(const Snapshot& snapshot) {
   VersionConstraint exact;
   exact.op = VersionConstraint::Op::eq;

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/events.hpp"
 #include "core/instance.hpp"
@@ -78,6 +79,19 @@ class Container {
   /// Recreate an instance from a snapshot (the receiving side of a
   /// migration, or a replica).
   Result<InstanceId> restore(const Snapshot& snapshot);
+
+  /// Failover checkpoint: externalize state + wiring *without* passivating
+  /// -- the instance keeps serving while the snapshot travels to its
+  /// checkpoint holders. Only mobile/replicable components checkpoint (the
+  /// same set capture() accepts).
+  Result<Snapshot> checkpoint(InstanceId id);
+
+  /// Every instance currently held (any state), in creation order.
+  [[nodiscard]] std::vector<InstanceId> instance_ids() const;
+
+  /// Crash teardown: destroy every instance (their in-memory state is what
+  /// a real crash loses; installed packages -- the "disk" -- survive).
+  void destroy_all();
 
   /// Direct access for aggregation chunks and tests.
   [[nodiscard]] Result<ComponentInstance*> implementation(InstanceId id) const;

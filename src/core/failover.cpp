@@ -1,0 +1,122 @@
+#include "core/failover.hpp"
+
+#include "orb/cdr.hpp"
+
+namespace clc::core {
+
+Bytes CheckpointRecord::encode() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulonglong(origin.value);
+  w.write_ulonglong(origin_incarnation);
+  w.write_ulonglong(instance.value);
+  w.write_string(component);
+  w.write_ulong(version.major);
+  w.write_ulong(version.minor);
+  w.write_ulong(version.patch);
+  w.write_ulonglong(seq);
+  w.write_bytes(state);
+  w.write_ulong(static_cast<std::uint32_t>(connections.size()));
+  for (const auto& [port, ref] : connections) {
+    w.write_string(port);
+    ref.marshal(w);
+  }
+  w.write_ulong(static_cast<std::uint32_t>(holders.size()));
+  for (NodeId h : holders) w.write_ulonglong(h.value);
+  w.write_bytes(package);
+  return w.take();
+}
+
+Result<CheckpointRecord> CheckpointRecord::decode(BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
+  CheckpointRecord rec;
+  auto origin = r.read_ulonglong();
+  if (!origin) return origin.error();
+  rec.origin = NodeId{*origin};
+  auto inc = r.read_ulonglong();
+  if (!inc) return inc.error();
+  rec.origin_incarnation = *inc;
+  auto instance = r.read_ulonglong();
+  if (!instance) return instance.error();
+  rec.instance = InstanceId{*instance};
+  auto component = r.read_string();
+  if (!component) return component.error();
+  rec.component = std::move(*component);
+  auto maj = r.read_ulong();
+  if (!maj) return maj.error();
+  auto min = r.read_ulong();
+  if (!min) return min.error();
+  auto pat = r.read_ulong();
+  if (!pat) return pat.error();
+  rec.version = Version{*maj, *min, *pat};
+  auto seq = r.read_ulonglong();
+  if (!seq) return seq.error();
+  rec.seq = *seq;
+  auto state = r.read_bytes();
+  if (!state) return state.error();
+  rec.state = std::move(*state);
+  auto conn_count = r.read_ulong();
+  if (!conn_count) return conn_count.error();
+  if (*conn_count > r.remaining())
+    return Error{Errc::corrupt_data, "checkpoint connection count exceeds payload"};
+  for (std::uint32_t i = 0; i < *conn_count; ++i) {
+    auto port = r.read_string();
+    if (!port) return port.error();
+    auto ref = orb::ObjectRef::unmarshal(r);
+    if (!ref) return ref.error();
+    rec.connections.emplace(std::move(*port), std::move(*ref));
+  }
+  auto holder_count = r.read_ulong();
+  if (!holder_count) return holder_count.error();
+  if (*holder_count > r.remaining())
+    return Error{Errc::corrupt_data, "checkpoint holder count exceeds payload"};
+  for (std::uint32_t i = 0; i < *holder_count; ++i) {
+    auto h = r.read_ulonglong();
+    if (!h) return h.error();
+    rec.holders.push_back(NodeId{*h});
+  }
+  auto package = r.read_bytes();
+  if (!package) return package.error();
+  rec.package = std::move(*package);
+  return rec;
+}
+
+bool CheckpointStore::store(CheckpointRecord rec) {
+  const Key key{rec.origin.value, rec.instance.value};
+  auto it = records_.find(key);
+  if (it != records_.end()) {
+    const CheckpointRecord& old = it->second;
+    const bool stale =
+        rec.origin_incarnation < old.origin_incarnation ||
+        (rec.origin_incarnation == old.origin_incarnation &&
+         rec.seq <= old.seq);
+    if (stale) return false;
+    if (rec.package.empty()) rec.package = old.package;
+  }
+  records_[key] = std::move(rec);
+  return true;
+}
+
+std::vector<const CheckpointRecord*> CheckpointStore::records_for(
+    NodeId origin) const {
+  std::vector<const CheckpointRecord*> out;
+  for (const auto& [key, rec] : records_) {
+    if (key.first == origin.value) out.push_back(&rec);
+  }
+  return out;
+}
+
+void CheckpointStore::purge_origin_below(NodeId origin,
+                                         std::uint64_t incarnation) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->first.first == origin.value &&
+        it->second.origin_incarnation < incarnation) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace clc::core

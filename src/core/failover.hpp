@@ -1,0 +1,83 @@
+// Instance failover: periodic checkpointing to peer nodes and restore on
+// MRM-confirmed death (crash fault tolerance, DESIGN.md §11).
+//
+// Every checkpointable instance (the mobile/replicable set that already
+// supports externalize_state for migration, §2.2) is snapshotted by its
+// container every `checkpoint_interval` and shipped to R peer "holder"
+// nodes. When the cohesion layer confirms a node death, each holder runs a
+// deterministic, coordination-free election -- the lowest-id holder still
+// believed alive restores -- so exactly one replacement instance appears
+// without any extra agreement protocol. Records are fenced by the origin's
+// (incarnation, seq): checkpoints from a previous life of a restarted node
+// can never be restored or overwrite fresher ones.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "orb/object_ref.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+#include "util/version.hpp"
+
+namespace clc::core {
+
+struct FailoverConfig {
+  /// How often a node checkpoints its instances to the holders. 0 disables
+  /// checkpointing (and with it stateful failover) entirely.
+  Duration checkpoint_interval = seconds(4);
+  /// R: how many peer nodes hold a copy of every checkpoint.
+  int replicas = 2;
+};
+
+/// One checkpoint of one instance, as stored on a holder node.
+struct CheckpointRecord {
+  NodeId origin;                        // node the instance lives on
+  std::uint64_t origin_incarnation = 1; // fences pre-crash checkpoints
+  InstanceId instance;                  // instance id on the origin
+  std::string component;
+  Version version;
+  std::uint64_t seq = 0;                // per-instance checkpoint counter
+  Bytes state;                          // externalized instance state
+  std::map<std::string, orb::ObjectRef> connections;  // used-port wiring
+  std::vector<NodeId> holders;          // full holder set (for election)
+  /// Raw package bytes; shipped with the first checkpoint to each holder
+  /// only (empty afterwards), so the holder can install + restore even
+  /// after the origin -- the only other copy -- is gone.
+  Bytes package;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<CheckpointRecord> decode(BytesView data);
+};
+
+/// Per-node store of checkpoints held on behalf of peers. In-memory like
+/// everything else a crash destroys: a holder that crashes loses the
+/// checkpoints it held, which is why there are R of them.
+class CheckpointStore {
+ public:
+  /// Keep the record unless it is stale -- an existing record for the same
+  /// (origin, instance) with a higher (incarnation, seq) wins. A record
+  /// arriving without package bytes inherits them from its predecessor.
+  /// Returns false (and drops the record) when fenced.
+  bool store(CheckpointRecord rec);
+
+  /// All records originating at `origin`, deterministic (instance) order.
+  [[nodiscard]] std::vector<const CheckpointRecord*> records_for(
+      NodeId origin) const;
+
+  /// Drop every record of `origin` older than `incarnation` (the origin
+  /// restarted; its previous life's instances are gone for good).
+  void purge_origin_below(NodeId origin, std::uint64_t incarnation);
+
+  void clear() { records_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // (origin, instance)
+  std::map<Key, CheckpointRecord> records_;
+};
+
+}  // namespace clc::core

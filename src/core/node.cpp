@@ -1,5 +1,8 @@
 #include "core/node.hpp"
 
+#include <algorithm>
+
+#include "orb/resilience.hpp"
 #include "util/log.hpp"
 
 namespace clc::core {
@@ -42,6 +45,8 @@ module clc {
     // Aggregation (data-parallel) chunk execution.
     Blob process_chunk(in string component, in string constraint,
                        in Blob chunk);
+    // Failover: hold a peer instance's checkpoint (fenced by incarnation).
+    void store_checkpoint(in Blob record);
     // Network Cohesion transport: protocol messages ride oneway calls.
     oneway void deliver(in Blob message);
   };
@@ -53,11 +58,13 @@ module clc {
 // ---------------------------------------------------------------------------
 // LocalNetwork
 
-LocalNetwork::LocalNetwork(CohesionConfig cohesion_defaults)
+LocalNetwork::LocalNetwork(CohesionConfig cohesion_defaults,
+                           FailoverConfig failover_defaults)
     : transport_(std::make_shared<orb::LoopbackNetwork>()),
       faulty_(std::make_shared<fault::FaultyTransport>(transport_)),
       collector_(std::make_shared<obs::TraceCollector>()),
-      cohesion_defaults_(cohesion_defaults) {
+      cohesion_defaults_(cohesion_defaults),
+      failover_defaults_(failover_defaults) {
   // Injected delays and modelled latency advance the shared virtual clock
   // instead of sleeping, so chaos runs stay deterministic and fast under
   // `ctest -j`.
@@ -67,8 +74,9 @@ LocalNetwork::LocalNetwork(CohesionConfig cohesion_defaults)
 
 Node& LocalNetwork::add_node(NodeProfile profile, bool auto_join) {
   const NodeId id{next_id_++};
-  owned_.push_back(
-      std::make_unique<Node>(id, std::move(profile), *this, cohesion_defaults_));
+  owned_.push_back(std::make_unique<Node>(id, std::move(profile), *this,
+                                          cohesion_defaults_,
+                                          failover_defaults_));
   Node& node = *owned_.back();
   if (auto_join) {
     if (owned_.size() == 1) {
@@ -118,16 +126,33 @@ void LocalNetwork::settle() { advance(cohesion_defaults_.heartbeat * 8); }
 
 void LocalNetwork::crash(NodeId id) {
   auto it = directory_.find(id);
-  if (it == directory_.end()) return;
+  if (it == directory_.end() || crashed_.count(id) != 0) return;
+  it->second.second->crash_local();
   transport_->detach(it->second.first);
   crashed_.insert(id);
+}
+
+void LocalNetwork::restart(NodeId id) {
+  auto it = directory_.find(id);
+  if (it == directory_.end() || crashed_.count(id) == 0) return;
+  crashed_.erase(id);
+  // Re-join through the lowest-id live peer (the well-known bootstrap
+  // analogue); a lone survivor re-founds the network instead.
+  NodeId bootstrap{};
+  for (const auto& [nid, entry] : directory_) {
+    if (nid != id && crashed_.count(nid) == 0) {
+      bootstrap = nid;
+      break;
+    }
+  }
+  it->second.second->restart_local(bootstrap, now());
 }
 
 // ---------------------------------------------------------------------------
 // Node
 
 Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
-           CohesionConfig cohesion_config)
+           CohesionConfig cohesion_config, FailoverConfig failover_config)
     : id_(id),
       network_(network),
       tracer_(id, network.trace_collector(),
@@ -155,7 +180,9 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
                   (void)orb_->send(*service, "deliver",
                                    {orb::Value(m.encode())}, kIdempotent);
                 },
-                &metrics_) {
+                &metrics_),
+      failover_(failover_config),
+      retry_rng_(0xFA11BACCULL ^ (id.value * 0x9E3779B97F4A7C15ULL)) {
   install_node_idl();
   orb_->add_client_interceptor(
       std::make_shared<obs::TraceClientInterceptor>(tracer_));
@@ -182,6 +209,11 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
   make_node_servant();
   network_.register_node(*this, endpoint);
   cohesion_.set_digest_provider([this] { return registry_.digest(); });
+  cohesion_.set_node_dead_handler(
+      [this](NodeId dead, std::uint64_t dead_incarnation,
+             std::vector<NodeId> alive) {
+        on_peer_dead(dead, dead_incarnation, alive);
+      });
 }
 
 Node::~Node() = default;
@@ -210,7 +242,17 @@ void Node::join(NodeId bootstrap, TimePoint now) {
   cohesion_.start_joining(bootstrap, now);
 }
 
-void Node::tick(TimePoint now) { cohesion_.on_tick(now); }
+void Node::tick(TimePoint now) {
+  cohesion_.on_tick(now);
+  if (failover_.checkpoint_interval > 0 && cohesion_.joined()) {
+    if (last_checkpoint_ == 0) {
+      last_checkpoint_ = now;  // first joined tick starts the timer
+    } else if (now - last_checkpoint_ >= failover_.checkpoint_interval) {
+      last_checkpoint_ = now;
+      run_checkpoints();
+    }
+  }
+}
 
 Result<void> Node::install(const Bytes& package_bytes) {
   if (auto r = repository_.install(package_bytes); !r.ok()) return r;
@@ -227,9 +269,13 @@ Result<std::vector<QueryHit>> Node::query_network(const ComponentQuery& q) {
 
 Result<std::vector<QueryHit>> Node::query_network_impl(const ComponentQuery& q) {
   // Query messages are idempotent protocol traffic, so a lost broadcast is
-  // safely re-asked: one retry after the protocol-level timeout covers the
-  // window where fault injection ate the query or its replies.
-  constexpr int kQueryAttempts = 2;
+  // safely re-asked. The attempt budget, total deadline and backoff come
+  // from the ORB's InvocationPolicies, so the one knob that tunes ordinary
+  // invocation retry tunes distributed-query retry too.
+  const orb::InvocationPolicies policies = orb_->invocation_policies();
+  const int max_attempts = std::max(1, policies.retry.max_attempts);
+  const TimePoint budget_end =
+      policies.deadline > 0 ? network_.now() + policies.deadline : TimePoint{0};
   for (int attempt = 1;; ++attempt) {
     std::optional<std::vector<QueryHit>> result;
     cohesion_.query(q, network_.now(), [&result](std::vector<QueryHit> hits) {
@@ -244,9 +290,11 @@ Result<std::vector<QueryHit>> Node::query_network_impl(const ComponentQuery& q) 
       network_.advance(cohesion_.config().heartbeat / 2);
     }
     if (result.has_value()) return std::move(*result);
-    if (attempt >= kQueryAttempts)
+    if (attempt >= max_attempts ||
+        (budget_end != 0 && network_.now() >= budget_end))
       return Error{Errc::timeout, "distributed query never completed"};
     metrics_.counter("node.query_retries").inc();
+    network_.advance(orb::backoff_delay(policies.retry, attempt, retry_rng_));
   }
 }
 
@@ -561,6 +609,155 @@ Result<Bytes> Node::process_chunk_on(NodeId peer, const std::string& component,
 }
 
 // ---------------------------------------------------------------------------
+// Crash fault model: crash / restart / checkpointing / failover
+
+void Node::crash_local() {
+  // Snapshot the "disk" (raw installed package images), then lose every bit
+  // of RAM: instances, registry records, held checkpoints, protocol state.
+  disk_image_ = repository_.raw_package_images();
+  container_.destroy_all();
+  repository_.clear();
+  held_checkpoints_.clear();
+  checkpoint_seq_.clear();
+  package_shipped_.clear();
+  restored_.clear();
+  last_checkpoint_ = 0;
+  metrics_.counter("node.crashes").inc();
+  recovery_log_.push_back("crash inc=" + std::to_string(incarnation_));
+}
+
+void Node::restart_local(NodeId bootstrap, TimePoint now) {
+  ++incarnation_;
+  cohesion_.set_incarnation(incarnation_);
+  cohesion_.restart(now);
+  orb_->set_incarnation(incarnation_);
+  // Register a *fresh* endpoint: references minted before the crash point
+  // at the old, permanently detached one, so stale refs fail with
+  // Errc::unreachable -- retryable, and a re-resolve finds the new home.
+  auto* orb_raw = orb_.get();
+  const std::string endpoint = network_.transport().register_endpoint(
+      [orb_raw](BytesView frame) { return orb_raw->handle_frame(frame); });
+  orb_->set_endpoint(endpoint);
+  network_.register_node(*this, endpoint);
+  // Reload the disk image; the NodeService servant survived in the (still
+  // live) object adapter, so the well-known key answers on the new endpoint.
+  for (const Bytes& image : disk_image_) (void)repository_.install(image);
+  disk_image_.clear();
+  metrics_.counter("node.restarts").inc();
+  recovery_log_.push_back("restart inc=" + std::to_string(incarnation_));
+  if (bootstrap.value != 0 && bootstrap != id_) {
+    join(bootstrap, now);
+  } else {
+    start_network(now);  // lone survivor: re-found the network
+  }
+}
+
+void Node::run_checkpoints() {
+  if (failover_.replicas <= 0) return;
+  // Holder set: the R lowest-id live peers. network_.nodes() is id-ordered,
+  // so every node derives the same holder list -- which the restore-side
+  // election depends on.
+  std::vector<NodeId> holders;
+  for (Node* p : network_.nodes()) {
+    if (p->id() == id_) continue;
+    holders.push_back(p->id());
+    if (static_cast<int>(holders.size()) >= failover_.replicas) break;
+  }
+  if (holders.empty()) return;
+  for (InstanceId iid : container_.instance_ids()) {
+    auto snap = container_.checkpoint(iid);
+    if (!snap.ok()) continue;  // not checkpointable (immobile, not active)
+    CheckpointRecord rec;
+    rec.origin = id_;
+    rec.origin_incarnation = incarnation_;
+    rec.instance = iid;
+    rec.component = snap->component;
+    rec.version = snap->version;
+    rec.seq = ++checkpoint_seq_[iid];
+    rec.state = snap->state;
+    rec.connections = snap->connections;
+    rec.holders = holders;
+    const std::string pkg_key =
+        snap->component + "@" + snap->version.to_string();
+    for (NodeId h : holders) {
+      auto service = node_service_ref(h);
+      if (!service) continue;
+      CheckpointRecord out = rec;
+      // Ship the package bytes with the first checkpoint to each holder
+      // only; later ones carry state alone.
+      const auto ship_key = std::make_pair(h.value, pkg_key);
+      const bool ship_package = package_shipped_.count(ship_key) == 0;
+      if (ship_package) {
+        Node* holder = network_.node(h);
+        auto raw = repository_.export_package(
+            snap->component, snap->version,
+            holder != nullptr ? holder->resources().profile()
+                              : resources_.profile());
+        if (raw.ok()) out.package = std::move(*raw);
+      }
+      auto sent = orb_->call(*service, "store_checkpoint",
+                             {orb::Value(out.encode())}, kIdempotent);
+      if (sent) {
+        if (ship_package && !out.package.empty())
+          package_shipped_.insert(ship_key);
+        metrics_.counter("failover.checkpoints_sent").inc();
+      }
+    }
+    recovery_log_.push_back("ckpt " + snap->component + "#" + iid.to_string() +
+                            " seq=" + std::to_string(rec.seq));
+  }
+}
+
+void Node::on_peer_dead(NodeId dead, std::uint64_t dead_incarnation,
+                        const std::vector<NodeId>& alive) {
+  // Checkpoints from earlier lives of the node are unrestorable garbage: a
+  // restart already revived those instances on the origin itself.
+  held_checkpoints_.purge_origin_below(dead, dead_incarnation);
+  for (const CheckpointRecord* rec : held_checkpoints_.records_for(dead)) {
+    const std::string key = dead.to_string() + ":" +
+                            std::to_string(rec->origin_incarnation) + ":" +
+                            rec->instance.to_string();
+    if (restored_.count(key) != 0) continue;  // duplicate death verdict
+    // Deterministic coordination-free election: rec->holders is id-ordered,
+    // so the first holder still believed alive is the unique winner -- every
+    // holder computes the same answer from the same death verdict.
+    NodeId winner{};
+    for (NodeId h : rec->holders) {
+      if (h == id_ || std::find(alive.begin(), alive.end(), h) != alive.end()) {
+        winner = h;
+        break;
+      }
+    }
+    if (winner != id_) continue;
+    restored_.insert(key);
+    obs::ScopedSpan span(tracer_, "failover:" + rec->component);
+    VersionConstraint exact;
+    exact.op = VersionConstraint::Op::eq;
+    exact.bound = rec->version;
+    if (!repository_.has(rec->component, exact) && !rec->package.empty())
+      (void)install(rec->package);
+    Container::Snapshot snapshot;
+    snapshot.component = rec->component;
+    snapshot.version = rec->version;
+    snapshot.state = rec->state;
+    snapshot.connections = rec->connections;
+    auto restored = container_.restore(snapshot);
+    if (!restored) {
+      span.fail();
+      metrics_.counter("failover.restore_failures").inc();
+      recovery_log_.push_back("restore-failed " + rec->component + " from " +
+                              dead.to_string());
+      continue;
+    }
+    metrics_.counter("failover.instances_restored").inc();
+    recovery_log_.push_back("restore " + rec->component + " from " +
+                            dead.to_string() + " seq=" +
+                            std::to_string(rec->seq));
+    cohesion_.broadcast_update(network_.now());  // strong-mode hook
+  }
+}
+
+// ---------------------------------------------------------------------------
 // NodeService servant
 
 void Node::make_node_servant() {
@@ -681,6 +878,18 @@ void Node::make_node_servant() {
     auto result = (*impl)->process_chunk(req.arg(2).as<Bytes>());
     if (!result) return result.error();
     req.set_result(orb::Value(std::move(*result)));
+    return {};
+  });
+
+  servant->on("store_checkpoint",
+              [this](orb::ServerRequest& req) -> Result<void> {
+    auto rec = CheckpointRecord::decode(req.arg(0).as<Bytes>());
+    if (!rec) return rec.error();
+    if (held_checkpoints_.store(std::move(*rec))) {
+      metrics_.counter("failover.checkpoints_stored").inc();
+    } else {
+      metrics_.counter("failover.checkpoints_fenced").inc();
+    }
     return {};
   });
 

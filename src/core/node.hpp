@@ -25,6 +25,7 @@
 
 #include "core/cohesion.hpp"
 #include "core/container.hpp"
+#include "core/failover.hpp"
 #include "fault/faulty_transport.hpp"
 #include "core/events.hpp"
 #include "core/registry.hpp"
@@ -35,6 +36,7 @@
 #include "orb/orb.hpp"
 #include "orb/transport.hpp"
 #include "util/clock.hpp"
+#include "util/rng.hpp"
 
 namespace clc::core {
 
@@ -59,7 +61,8 @@ struct BoundComponent {
 class Node {
  public:
   Node(NodeId id, NodeProfile profile, LocalNetwork& network,
-       CohesionConfig cohesion_config = {});
+       CohesionConfig cohesion_config = {},
+       FailoverConfig failover_config = {});
   ~Node();
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -89,6 +92,28 @@ class Node {
   void join(NodeId bootstrap, TimePoint now);
   /// Drive protocol timers; LocalNetwork::advance calls this.
   void tick(TimePoint now);
+
+  // ------------------------------------------------------ crash fault model
+  /// This node's incarnation: 1 at first boot, +1 per restart. Carried in
+  /// cohesion messages, registry digests and minted object references.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+  /// Checkpoints this node holds on behalf of peers.
+  [[nodiscard]] const CheckpointStore& held_checkpoints() const noexcept {
+    return held_checkpoints_;
+  }
+  /// Deterministic, append-only record of this node's recovery actions
+  /// (checkpoints shipped, instances restored, restarts); chaos tests
+  /// compare it across same-seed runs.
+  [[nodiscard]] const std::vector<std::string>& recovery_log() const noexcept {
+    return recovery_log_;
+  }
+  [[nodiscard]] const FailoverConfig& failover_config() const noexcept {
+    return failover_;
+  }
+  /// Force an immediate checkpoint round (tests/benches).
+  void checkpoint_now() { run_checkpoints(); }
 
   // ------------------------------------------------------------ acceptor
   /// Component Acceptor: install a package at run time (requirement 5).
@@ -145,6 +170,23 @@ class Node {
  private:
   friend class LocalNetwork;
 
+  /// Crash: snapshot the "disk" (installed packages), then lose every bit
+  /// of RAM state -- instances, registry records, held checkpoints,
+  /// membership. LocalNetwork::crash calls this before detaching the
+  /// endpoint.
+  void crash_local();
+  /// Restart after a crash: bump the incarnation, register a *fresh*
+  /// endpoint (stale refs now fail retryably), re-install packages from
+  /// the disk image and re-join through `bootstrap`.
+  void restart_local(NodeId bootstrap, TimePoint now);
+
+  /// Checkpoint every checkpointable instance to the R lowest-id peers.
+  void run_checkpoints();
+  /// Cohesion-confirmed death of `dead`: restore the checkpoints we hold
+  /// for it if we win the deterministic holder election.
+  void on_peer_dead(NodeId dead, std::uint64_t dead_incarnation,
+                    const std::vector<NodeId>& alive);
+
   void install_node_idl();
   void make_node_servant();
   Result<BoundComponent> resolve_impl(const std::string& component,
@@ -172,6 +214,22 @@ class Node {
   Container container_;
   CohesionNode cohesion_;
   orb::ObjectRef node_service_;
+
+  // Crash fault tolerance state.
+  FailoverConfig failover_;
+  std::uint64_t incarnation_ = 1;
+  TimePoint last_checkpoint_ = 0;
+  std::map<InstanceId, std::uint64_t> checkpoint_seq_;
+  /// (holder, component@version) pairs whose package bytes already went out
+  /// -- later checkpoints to that holder ship state only.
+  std::set<std::pair<std::uint64_t, std::string>> package_shipped_;
+  CheckpointStore held_checkpoints_;
+  /// (origin, incarnation, instance) keys already restored here, so a
+  /// re-broadcast death verdict can't duplicate an instance.
+  std::set<std::string> restored_;
+  std::vector<std::string> recovery_log_;
+  std::vector<Bytes> disk_image_;  // packages, snapshotted at crash time
+  Rng retry_rng_;                  // backoff jitter for distributed queries
 };
 
 /// The in-process world: a set of Nodes over one loopback transport, a
@@ -179,7 +237,8 @@ class Node {
 /// service analogue; see DESIGN.md). Drives ticks deterministically.
 class LocalNetwork {
  public:
-  explicit LocalNetwork(CohesionConfig cohesion_defaults = {});
+  explicit LocalNetwork(CohesionConfig cohesion_defaults = {},
+                        FailoverConfig failover_defaults = {});
 
   /// Create a node; the first created node founds the logical network and
   /// later ones join through it automatically (pass `auto_join = false` to
@@ -217,11 +276,25 @@ class LocalNetwork {
   [[nodiscard]] Node* node(NodeId id) const;
   [[nodiscard]] std::vector<Node*> nodes() const;
 
-  /// Simulate a host crash: detach its endpoint and stop ticking it.
+  /// Simulate a host crash: the node loses all RAM state (instances,
+  /// registry, held checkpoints, membership), keeps its "disk" (installed
+  /// packages), its endpoint detaches and it stops ticking.
   void crash(NodeId id);
+
+  /// Restart a crashed node: it comes back under a higher incarnation with
+  /// a fresh endpoint, re-installs its packages from the disk image and
+  /// re-joins through the lowest-id live node. No-op unless crashed.
+  void restart(NodeId id);
+
+  [[nodiscard]] bool is_crashed(NodeId id) const {
+    return crashed_.count(id) != 0;
+  }
 
   [[nodiscard]] const CohesionConfig& cohesion_defaults() const {
     return cohesion_defaults_;
+  }
+  [[nodiscard]] const FailoverConfig& failover_defaults() const {
+    return failover_defaults_;
   }
 
  private:
@@ -233,6 +306,7 @@ class LocalNetwork {
   std::shared_ptr<fault::FaultyTransport> faulty_;
   std::shared_ptr<obs::TraceCollector> collector_;
   CohesionConfig cohesion_defaults_;
+  FailoverConfig failover_defaults_;
   std::vector<std::unique_ptr<Node>> owned_;
   std::map<NodeId, std::pair<std::string, Node*>> directory_;
   std::set<NodeId> crashed_;

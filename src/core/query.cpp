@@ -15,6 +15,7 @@ Bytes RegistryDigest::encode() const {
   w.write_ulonglong(memory_free_kb);
   w.write_octet(static_cast<std::uint8_t>(device));
   w.write_ulonglong(revision);
+  w.write_ulonglong(incarnation);
   w.write_ulong(static_cast<std::uint32_t>(components.size()));
   for (const auto& c : components) {
     w.write_string(c.name);
@@ -48,6 +49,9 @@ Result<RegistryDigest> RegistryDigest::decode(BytesView data) {
   auto rev = r.read_ulonglong();
   if (!rev) return rev.error();
   d.revision = *rev;
+  auto inc = r.read_ulonglong();
+  if (!inc) return inc.error();
+  d.incarnation = *inc;
   auto count = r.read_ulong();
   if (!count) return count.error();
   if (*count > r.remaining())

@@ -39,6 +39,10 @@ struct RegistryDigest {
   std::uint64_t memory_free_kb = 0;
   DeviceClass device = DeviceClass::workstation;
   std::uint64_t revision = 0;
+  /// The advertising node's incarnation: bumped on every crash/restart, so
+  /// registries can order digests across reboots and fence stale pre-crash
+  /// registrations ((incarnation, revision) is the digest's version).
+  std::uint64_t incarnation = 1;
 
   [[nodiscard]] Bytes encode() const;
   static Result<RegistryDigest> decode(BytesView data);

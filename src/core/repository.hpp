@@ -79,6 +79,24 @@ class ComponentRepository {
   /// "repository changed since last digest".
   [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
 
+  /// Every installed package in raw (wire) form -- the node's persistent
+  /// "disk" image, snapshotted on crash and re-installed on restart.
+  [[nodiscard]] std::vector<Bytes> raw_package_images() const {
+    std::vector<Bytes> out;
+    out.reserve(raw_packages_.size());
+    for (const auto& [key, bytes] : raw_packages_) out.push_back(bytes);
+    return out;
+  }
+
+  /// Crash teardown: drop every installed package from memory (the caller
+  /// holds the disk image and re-installs after restart). Trusted vendor
+  /// keys persist -- they model configuration, not run-time state.
+  void clear() {
+    installed_.clear();
+    raw_packages_.clear();
+    ++revision_;
+  }
+
  private:
   using Key = std::pair<std::string, Version>;
 

@@ -1,5 +1,7 @@
 #include "fault/plan.hpp"
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace clc::fault {
@@ -48,6 +50,40 @@ FaultDecision FaultPlan::decide(std::uint64_t seq,
           static_cast<std::uint32_t>(rng.next_below(frame_size)));
   }
   return d;
+}
+
+CrashSchedule CrashSchedule::random(std::uint64_t seed,
+                                    const std::vector<NodeId>& nodes,
+                                    std::size_t count, Duration horizon,
+                                    Duration min_downtime,
+                                    Duration max_downtime) {
+  CrashSchedule schedule;
+  if (nodes.empty() || count == 0 || horizon <= 0) return schedule;
+  Rng rng(seed ^ 0xC7A5C7A5C7A5C7A5ULL);
+  // Deterministic victim pick without replacement (partial Fisher-Yates).
+  std::vector<NodeId> pool = nodes;
+  const std::size_t n = count < pool.size() ? count : pool.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    CrashEvent ev;
+    ev.node = pool[i];
+    ev.at = static_cast<TimePoint>(
+        rng.next_below(static_cast<std::uint64_t>(horizon)));
+    if (max_downtime > 0) {
+      const Duration lo = min_downtime < 0 ? 0 : min_downtime;
+      const Duration hi = max_downtime < lo ? lo : max_downtime;
+      ev.restart_after = lo + static_cast<Duration>(rng.next_below(
+                                  static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+    schedule.events.push_back(ev);
+  }
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.at != b.at ? a.at < b.at : a.node.value < b.node.value;
+            });
+  return schedule;
 }
 
 FaultInjector::FaultInjector(obs::MetricsRegistry* metrics)

@@ -22,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
+#include "util/ids.hpp"
 
 namespace clc::fault {
 
@@ -75,6 +76,31 @@ struct FaultPlan {
   /// (plan, seq, frame_size) always yields the same decision.
   [[nodiscard]] FaultDecision decide(std::uint64_t seq,
                                      std::size_t frame_size) const;
+};
+
+/// One scheduled node crash (and optional restart) on virtual time.
+struct CrashEvent {
+  NodeId node;
+  TimePoint at = 0;           // virtual time of the crash
+  Duration restart_after = 0; // 0 = the node stays down for good
+
+  bool operator==(const CrashEvent&) const = default;
+};
+
+/// A replayable crash/restart timetable: like FaultPlan, the schedule is a
+/// pure function of its inputs, so two same-seed chaos runs kill and revive
+/// exactly the same nodes at exactly the same virtual times.
+struct CrashSchedule {
+  std::vector<CrashEvent> events;  // sorted by `at`
+
+  /// Build a schedule of `count` crashes uniformly over [0, horizon),
+  /// drawn from `nodes`, each restarting after a uniform downtime in
+  /// [min_downtime, max_downtime] (0 = never restarts). A node is crashed
+  /// at most once.
+  static CrashSchedule random(std::uint64_t seed,
+                              const std::vector<NodeId>& nodes,
+                              std::size_t count, Duration horizon,
+                              Duration min_downtime, Duration max_downtime);
 };
 
 /// One applied fault, for the replay/determinism log.

@@ -20,6 +20,12 @@ struct ObjectRef {
   Uuid key;
   std::string interface_name;  // scoped IDL name, e.g. "clc::Node"
   std::string endpoint;        // transport address, e.g. "loop:3" or "tcp:host:port"
+  /// Incarnation of the hosting node when the reference was minted. A node
+  /// that crashes and restarts registers a *fresh* endpoint under a higher
+  /// incarnation, so a stale reference (older incarnation, dead endpoint)
+  /// fails with Errc::unreachable -- a retryable error the client-side
+  /// resilience policies recover from by re-resolving.
+  std::uint64_t incarnation = 0;
 
   [[nodiscard]] bool is_nil() const noexcept { return key.is_nil(); }
   auto operator<=>(const ObjectRef&) const = default;
@@ -34,6 +40,7 @@ struct ObjectRef {
     w.write_ulonglong(key.lo);
     w.write_string(interface_name);
     w.write_string(endpoint);
+    w.write_ulonglong(incarnation);
   }
 
   static Result<ObjectRef> unmarshal(CdrReader& r) {
@@ -52,6 +59,9 @@ struct ObjectRef {
     auto ep = r.read_string();
     if (!ep) return ep.error();
     ref.endpoint = std::move(*ep);
+    auto inc = r.read_ulonglong();
+    if (!inc) return inc.error();
+    ref.incarnation = *inc;
     return ref;
   }
 };

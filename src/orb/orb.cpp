@@ -56,6 +56,7 @@ ObjectRef Orb::activate_with_key(std::shared_ptr<Servant> servant, Uuid key) {
   ref.key = key;
   ref.interface_name = servant->interface_name();
   ref.endpoint = endpoint_;
+  ref.incarnation = incarnation_;
   std::lock_guard lock(mutex_);
   servants_[key] = std::move(servant);
   return ref;

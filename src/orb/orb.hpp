@@ -158,6 +158,16 @@ class Orb {
     return endpoint_;
   }
 
+  /// Incarnation stamped into every reference this Orb mints. The Node
+  /// bumps it on restart, after re-registering a fresh endpoint, so
+  /// pre-crash references are distinguishable and fail retryably.
+  void set_incarnation(std::uint64_t incarnation) noexcept {
+    incarnation_ = incarnation;
+  }
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+
   /// Activate a servant under a fresh object key; returns its reference.
   ObjectRef activate(std::shared_ptr<Servant> servant);
   /// Activate under a caller-chosen key (well-known objects).
@@ -305,6 +315,7 @@ class Orb {
   obs::InterceptorChain interceptors_;
   CollocationPolicy collocation_policy_ = CollocationPolicy::direct;
   std::string endpoint_;
+  std::uint64_t incarnation_ = 1;
   SystemClock default_clock_;
   const Clock* clock_ = &default_clock_;
   mutable std::mutex mutex_;

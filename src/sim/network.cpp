@@ -46,6 +46,9 @@ void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
     return;
   }
   Duration delay = delivery_delay(from, to, payload.size());
+  // Frames are addressed to the destination's *current* incarnation; a
+  // restart while they are in flight invalidates them (see deliver()).
+  const std::uint64_t to_inc = incarnation_of(to);
   if (fault_ != nullptr && fault_->active()) {
     const fault::FaultDecision d = fault_->next(payload.size());
     // A reset has no connection to kill here; the message is simply lost.
@@ -56,22 +59,31 @@ void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
     delay += d.delay;  // extra latency; lets later messages overtake
     fault::FaultInjector::corrupt(payload, d);
     if (d.duplicate) {
-      sim_.schedule_after(delay, [this, from, to, data = payload]() {
-        deliver(from, to, data);
+      sim_.schedule_after(delay, [this, from, to, to_inc, data = payload]() {
+        deliver(from, to, to_inc, data);
       });
     }
   }
-  sim_.schedule_after(delay,
-                      [this, from, to, data = std::move(payload)]() mutable {
-                        deliver(from, to, data);
-                      });
+  sim_.schedule_after(
+      delay, [this, from, to, to_inc, data = std::move(payload)]() mutable {
+        deliver(from, to, to_inc, data);
+      });
 }
 
-void SimNetwork::deliver(NodeId from, NodeId to, const Bytes& payload) {
+void SimNetwork::deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,
+                         const Bytes& payload) {
   // Re-check at delivery time: the destination may have crashed or a
   // partition may have appeared while the message was in flight.
   auto it = hosts_.find(to);
   if (it == hosts_.end() || blocked(from, to)) {
+    messages_dropped_->inc();
+    return;
+  }
+  // The destination restarted while this frame was in flight (a healed
+  // partition can release long-delayed pre-crash traffic): the frame was
+  // addressed to the old incarnation and must not reach the new one.
+  if (incarnation_of(to) != to_incarnation) {
+    stale_incarnation_dropped_->inc();
     messages_dropped_->inc();
     return;
   }

@@ -50,7 +50,9 @@ class SimNetwork {
         messages_sent_(&metrics_->counter("sim.messages_sent")),
         messages_delivered_(&metrics_->counter("sim.messages_delivered")),
         messages_dropped_(&metrics_->counter("sim.messages_dropped")),
-        bytes_sent_(&metrics_->counter("sim.bytes_sent")) {}
+        bytes_sent_(&metrics_->counter("sim.bytes_sent")),
+        stale_incarnation_dropped_(
+            &metrics_->counter("sim.stale_incarnation_dropped")) {}
 
   void set_link_model(LinkModel model) { model_ = model; }
   /// Optional topology-aware latency: overrides base_latency per pair.
@@ -68,6 +70,20 @@ class SimNetwork {
   /// Crash: in-flight messages to this node are dropped on delivery.
   void detach(NodeId id);
   [[nodiscard]] bool attached(NodeId id) const { return hosts_.count(id) != 0; }
+
+  /// Declare a node's current incarnation (bumped on restart). Frames are
+  /// addressed to the destination incarnation current at send time; if the
+  /// destination restarts while they are in flight -- e.g. pre-partition
+  /// traffic released by a heal -- they are dropped at the transport
+  /// boundary ("sim.stale_incarnation_dropped") instead of reaching the new
+  /// life of the process.
+  void set_incarnation(NodeId id, std::uint64_t incarnation) {
+    incarnations_[id] = incarnation;
+  }
+  [[nodiscard]] std::uint64_t incarnation_of(NodeId id) const {
+    auto it = incarnations_.find(id);
+    return it == incarnations_.end() ? 1 : it->second;
+  }
 
   /// Cut/heal links between two node sets (network partition).
   void partition(std::set<NodeId> side_a, std::set<NodeId> side_b);
@@ -108,7 +124,8 @@ class SimNetwork {
   [[nodiscard]] bool blocked(NodeId a, NodeId b) const;
   [[nodiscard]] Duration delivery_delay(NodeId from, NodeId to,
                                         std::size_t bytes);
-  void deliver(NodeId from, NodeId to, const Bytes& payload);
+  void deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,
+               const Bytes& payload);
 
   Simulator& sim_;
   Rng rng_;
@@ -121,7 +138,9 @@ class SimNetwork {
   LinkModel model_;
   std::function<Duration(NodeId, NodeId)> latency_fn_;
   fault::FaultInjector* fault_ = nullptr;
+  obs::Counter* stale_incarnation_dropped_;
   std::map<NodeId, SimHost*> hosts_;
+  std::map<NodeId, std::uint64_t> incarnations_;
   std::set<NodeId> partition_a_;
   std::set<NodeId> partition_b_;
   std::map<NodeId, std::uint64_t> per_node_bytes_;

@@ -350,6 +350,41 @@ TEST(Cohesion, RootDeathPromotesReplica) {
   EXPECT_GE(hits.size(), 1u);
 }
 
+TEST(Cohesion, RootAndLowestReplicaDieInSameSuspectWindow) {
+  World w(hier_config(4));
+  w.build(12);
+  w.run_for(seconds(15));  // directory replicas synced
+  w.peer(7).advertise("double.fault", Version{1, 0, 0});
+  w.run_for(seconds(5));
+  // The root's replica list is its lowest-id children in join order; kill
+  // the root AND the rank-0 replica inside one suspect window, so the
+  // promotion must skip the dead first-in-line replica.
+  auto root_children = w.roots()[0]->children();
+  ASSERT_GE(root_children.size(), 2u);
+  std::uint64_t lowest_replica = root_children.front().value;
+  for (NodeId c : root_children)
+    if (c.value < lowest_replica) lowest_replica = c.value;
+  w.kill(1);
+  w.kill(lowest_replica);
+  w.run_for(seconds(40));  // detection + staggered promotion + re-joins
+
+  auto roots = w.roots();
+  ASSERT_EQ(roots.size(), 1u) << "directory must survive the double fault";
+  EXPECT_NE(roots[0]->id(), NodeId{1});
+  EXPECT_NE(roots[0]->id().value, lowest_replica);
+  EXPECT_EQ(roots[0]->directory_nodes().size(), 10u);
+  // Exactly one promotion network-wide: the rank-1 replica and nobody else.
+  std::uint64_t promotions = 0;
+  for (std::uint64_t id = 1; id <= 12; ++id) {
+    if (id == 1 || id == lowest_replica) continue;
+    promotions += w.peer(id).node().stats().promotions;
+  }
+  EXPECT_EQ(promotions, 1u);
+  // The network still answers queries.
+  auto hits = w.query(roots[0]->id().value, query_for("double.*"));
+  EXPECT_GE(hits.size(), 1u);
+}
+
 TEST(Cohesion, KilledNodeCanRejoinSeamlessly) {
   World w(hier_config(4));
   w.build(8);

@@ -1,0 +1,302 @@
+// Crash fault tolerance tests (DESIGN.md §11): node crash/restart lifecycle
+// with incarnation fencing, stale-reference rejection, checkpoint-based
+// instance failover, registry anti-entropy repair after rebirth, and the
+// seeded 5-node recovery scenario whose event log must replay identically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "orb/resilience.hpp"
+#include "support/test_components.hpp"
+
+namespace clc::core {
+namespace {
+
+using testing::counter_package;
+
+CohesionConfig fast_cohesion() {
+  CohesionConfig cfg;
+  cfg.heartbeat = seconds(1);
+  cfg.group_size = 4;
+  cfg.query_timeout = seconds(3);
+  return cfg;
+}
+
+FailoverConfig fast_failover() {
+  FailoverConfig cfg;
+  cfg.checkpoint_interval = seconds(2);
+  cfg.replicas = 2;
+  return cfg;
+}
+
+/// N-node world with converged membership and fast checkpointing.
+struct World {
+  explicit World(std::size_t n) : net(fast_cohesion(), fast_failover()) {
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(&net.add_node());
+    net.settle();
+  }
+  LocalNetwork net;
+  std::vector<Node*> nodes;
+};
+
+// ------------------------------------------------------- crash/restart basics
+
+TEST(Crash, RestartKeepsDiskAndBumpsIncarnation) {
+  World w(3);
+  Node& b = *w.nodes[1];
+  ASSERT_TRUE(b.install(counter_package()).ok());
+  const std::string old_endpoint = b.endpoint();
+
+  w.net.crash(b.id());
+  EXPECT_TRUE(w.net.is_crashed(b.id()));
+  EXPECT_EQ(b.container().size(), 0u);
+  EXPECT_EQ(b.repository().size(), 0u);  // RAM view gone until reload
+
+  w.net.restart(b.id());
+  EXPECT_FALSE(w.net.is_crashed(b.id()));
+  EXPECT_EQ(b.incarnation(), 2u);
+  EXPECT_NE(b.endpoint(), old_endpoint);  // fresh endpoint, stale refs die
+  // The "disk" survived the crash: installed packages are back.
+  EXPECT_TRUE(b.repository().has("demo.counter", VersionConstraint{}));
+  w.net.settle();
+  EXPECT_TRUE(b.cohesion().joined());
+}
+
+TEST(Crash, CrashedNodeLosesHeldCheckpoints) {
+  World w(3);
+  Node& a = *w.nodes[0];
+  ASSERT_TRUE(a.install(counter_package()).ok());
+  ASSERT_TRUE(a.acquire_local("demo.counter", VersionConstraint{}).ok());
+  a.checkpoint_now();
+  Node& b = *w.nodes[1];
+  ASSERT_GE(b.held_checkpoints().size(), 1u);
+  w.net.crash(b.id());
+  EXPECT_EQ(b.held_checkpoints().size(), 0u);
+}
+
+TEST(Crash, StaleReferenceFailsRetryably) {
+  World w(3);
+  Node& a = *w.nodes[0];
+  Node& b = *w.nodes[1];
+  ASSERT_TRUE(b.install(counter_package()).ok());
+  w.net.settle();
+  auto bound = a.resolve("demo.counter", VersionConstraint{}, Binding::remote);
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  ASSERT_TRUE(a.orb().call(bound->primary, "increment").ok());
+
+  w.net.crash(b.id());
+  w.net.restart(b.id());
+  w.net.settle();
+  // The pre-crash reference names the old incarnation's endpoint: the call
+  // must fail, and fail *retryably* so policy-driven clients re-resolve.
+  auto stale = a.orb().call(bound->primary, "increment");
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(orb::errc_is_retryable(stale.error().code))
+      << stale.error().to_string();
+}
+
+// ------------------------------------------------------------------ failover
+
+TEST(Crash, LeafDeathRestoresInstanceWithState) {
+  World w(4);
+  Node& victim = *w.nodes[3];
+  ASSERT_TRUE(victim.install(counter_package()).ok());
+  auto bound = victim.acquire_local("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(bound.ok());
+  for (int i = 0; i < 7; ++i)
+    ASSERT_TRUE(victim.orb().call(bound->primary, "increment").ok());
+  // Let at least one checkpoint round ship the state to the holders.
+  w.net.advance(seconds(5));
+  Node& holder = *w.nodes[0];  // lowest-id peer is always in the holder set
+  ASSERT_GE(holder.held_checkpoints().size(), 1u);
+
+  w.net.crash(victim.id());
+  w.net.advance(seconds(15));  // detection + node_dead broadcast + restore
+
+  EXPECT_EQ(holder.metrics().counter("failover.instances_restored").value(),
+            1u);
+  auto restored = holder.container().find_active("demo.counter",
+                                                 VersionConstraint{});
+  ASSERT_TRUE(restored.ok()) << "instance was not re-instantiated";
+  auto port = holder.container().provided_port(*restored, "counter");
+  ASSERT_TRUE(port.ok());
+  auto value = holder.orb().call(*port, "value");
+  ASSERT_TRUE(value.ok()) << value.error().to_string();
+  EXPECT_EQ(*value, orb::Value(std::int64_t{7}));  // externalized state intact
+}
+
+TEST(Crash, ExactlyOneHolderRestores) {
+  World w(5);
+  Node& victim = *w.nodes[4];
+  ASSERT_TRUE(victim.install(counter_package()).ok());
+  ASSERT_TRUE(victim.acquire_local("demo.counter", VersionConstraint{}).ok());
+  w.net.advance(seconds(5));
+  w.net.crash(victim.id());
+  w.net.advance(seconds(20));
+  std::uint64_t restored = 0;
+  std::size_t live_instances = 0;
+  for (Node* n : w.nodes) {
+    if (w.net.is_crashed(n->id())) continue;
+    restored += n->metrics().counter("failover.instances_restored").value();
+    live_instances += n->container().size();
+  }
+  EXPECT_EQ(restored, 1u) << "holder election must pick a unique winner";
+  EXPECT_EQ(live_instances, 1u);
+}
+
+TEST(Crash, RestartedOriginCheckpointsAreFenced) {
+  World w(3);
+  Node& a = *w.nodes[0];
+  Node& b = *w.nodes[1];
+  ASSERT_TRUE(b.install(counter_package()).ok());
+  auto bound = b.acquire_local("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(bound.ok());
+  ASSERT_TRUE(b.orb().call(bound->primary, "increment").ok());
+  w.net.advance(seconds(5));
+  ASSERT_GE(a.held_checkpoints().size(), 1u);
+
+  // B restarts: its incarnation-1 checkpoints must never be restored (the
+  // new life owns its instances), so a later B death purges them first.
+  w.net.crash(b.id());
+  w.net.restart(b.id());
+  w.net.settle();
+  ASSERT_EQ(b.incarnation(), 2u);
+  w.net.crash(b.id());
+  w.net.advance(seconds(15));
+  EXPECT_EQ(a.metrics().counter("failover.instances_restored").value(), 0u);
+  EXPECT_EQ(a.held_checkpoints().records_for(b.id()).size(), 0u);
+}
+
+// ------------------------------------------------- registry anti-entropy
+
+TEST(Crash, RejoinUnderHigherIncarnationClearsTombstones) {
+  World w(3);
+  Node& a = *w.nodes[0];
+  Node& b = *w.nodes[1];
+  Node& c = *w.nodes[2];
+  ASSERT_TRUE(c.install(counter_package()).ok());
+  w.net.settle();
+
+  w.net.crash(c.id());
+  w.net.advance(seconds(12));  // detection + node_dead broadcast
+  EXPECT_TRUE(a.cohesion().has_tombstone(c.id()));
+  // Dead node's registry entries no longer answer queries.
+  ComponentQuery q;
+  q.name_pattern = "demo.counter";
+  auto gone = a.query_network(q);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->empty()) << "stale registry entry survived the death";
+
+  w.net.restart(c.id());
+  w.net.advance(seconds(20));  // rejoin + heartbeats + anti-entropy rounds
+  EXPECT_EQ(c.incarnation(), 2u);
+  for (Node* n : {&a, &b}) {
+    EXPECT_FALSE(n->cohesion().has_tombstone(c.id()))
+        << "node " << n->id().to_string() << " still fences the reborn node";
+    EXPECT_EQ(n->cohesion().known_incarnation(c.id()), 2u);
+  }
+  // The reborn node re-installed from disk and serves queries again.
+  auto back = a.query_network(q);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ(back->front().node, c.id());
+}
+
+TEST(Crash, AntiEntropySpreadsMissedDeathVerdict) {
+  CohesionConfig cfg = fast_cohesion();
+  cfg.anti_entropy_every = 2;
+  LocalNetwork net(cfg, fast_failover());
+  std::vector<Node*> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(&net.add_node());
+  net.settle();
+  Node& victim = *nodes[3];
+  net.crash(victim.id());
+  net.advance(seconds(25));  // detection + several anti-entropy rounds
+  for (Node* n : nodes) {
+    if (net.is_crashed(n->id())) continue;
+    EXPECT_TRUE(n->cohesion().has_tombstone(victim.id()))
+        << "node " << n->id().to_string() << " missed the death verdict";
+  }
+}
+
+// ----------------------------------------------- seeded 5-node acceptance
+
+/// The acceptance scenario: 5 nodes, a stateful instance on the root MRM,
+/// crash the root, verify recovery end to end, then restart it. Returns the
+/// concatenated per-node recovery logs for replay-determinism comparison.
+std::vector<std::string> run_root_crash_scenario() {
+  World w(5);
+  Node& root = *w.nodes[0];
+  EXPECT_TRUE(root.cohesion().is_root()) << "node 1 should found the network";
+  EXPECT_TRUE(root.install(counter_package()).ok());
+  auto bound = root.acquire_local("demo.counter", VersionConstraint{});
+  EXPECT_TRUE(bound.ok());
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(root.orb().call(bound->primary, "increment").ok());
+  w.net.advance(seconds(5));  // checkpoints reach the holders
+
+  Node& client = *w.nodes[3];
+  auto remote = client.resolve("demo.counter", VersionConstraint{},
+                               Binding::remote);
+  EXPECT_TRUE(remote.ok());
+
+  // Crash the root MRM (it hosts the stateful instance AND the directory).
+  w.net.crash(root.id());
+  w.net.advance(seconds(25));  // detection + promotion + failover
+
+  // Exactly one replica promoted, the directory survived.
+  std::uint64_t promotions = 0;
+  std::vector<Node*> alive;
+  for (Node* n : w.nodes) {
+    if (w.net.is_crashed(n->id())) continue;
+    alive.push_back(n);
+    promotions += n->cohesion().stats().promotions;
+  }
+  EXPECT_EQ(promotions, 1u);
+
+  // The in-flight idempotent invocation path: the old reference fails
+  // retryably, a re-resolve binds the re-instantiated instance, and the
+  // externalized state is intact.
+  auto stale = client.orb().call(remote->primary, "value");
+  EXPECT_FALSE(stale.ok());
+  EXPECT_TRUE(orb::errc_is_retryable(stale.error().code));
+  auto rebound = client.resolve("demo.counter", VersionConstraint{},
+                                Binding::remote);
+  EXPECT_TRUE(rebound.ok()) << "instance was not re-instantiated elsewhere";
+  if (rebound.ok()) {
+    auto value = client.orb().call(rebound->primary, "value");
+    EXPECT_TRUE(value.ok());
+    if (value.ok()) EXPECT_EQ(*value, orb::Value(std::int64_t{3}));
+  }
+
+  // Restart the old root: it must rejoin under a higher incarnation with
+  // zero stale state surviving anti-entropy.
+  w.net.restart(root.id());
+  w.net.advance(seconds(25));
+  EXPECT_EQ(root.incarnation(), 2u);
+  EXPECT_TRUE(root.cohesion().joined());
+  EXPECT_FALSE(root.cohesion().is_root()) << "reborn node must not split-brain";
+  for (Node* n : alive) {
+    EXPECT_FALSE(n->cohesion().has_tombstone(root.id()));
+    EXPECT_EQ(n->cohesion().known_incarnation(root.id()), 2u);
+  }
+
+  std::vector<std::string> log;
+  for (Node* n : w.nodes) {
+    log.push_back("node " + n->id().to_string());
+    for (const std::string& line : n->recovery_log()) log.push_back(line);
+  }
+  return log;
+}
+
+TEST(CrashChaos, RootCrashRecoveryLogIdenticalAcrossRuns) {
+  const auto first = run_root_crash_scenario();
+  const auto second = run_root_crash_scenario();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "crash recovery must replay deterministically";
+}
+
+}  // namespace
+}  // namespace clc::core

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,29 @@ TEST(FaultPlan, InactiveWhenAllProbabilitiesZero) {
   EXPECT_FALSE(plan.decide(0, 64).any());
   plan.drop_probability = 0.01;
   EXPECT_TRUE(plan.active());
+}
+
+TEST(CrashSchedule, SameSeedReplaysTheSameTimetable) {
+  std::vector<NodeId> nodes;
+  for (std::uint64_t i = 1; i <= 10; ++i) nodes.push_back(NodeId{i});
+  const auto a = fault::CrashSchedule::random(99, nodes, 4, seconds(60),
+                                              seconds(2), seconds(8));
+  const auto b = fault::CrashSchedule::random(99, nodes, 4, seconds(60),
+                                              seconds(2), seconds(8));
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.events.size(), 4u);
+  std::set<std::uint64_t> victims;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    victims.insert(a.events[i].node.value);
+    EXPECT_LT(a.events[i].at, seconds(60));
+    EXPECT_GE(a.events[i].restart_after, seconds(2));
+    EXPECT_LE(a.events[i].restart_after, seconds(8));
+    if (i > 0) EXPECT_GE(a.events[i].at, a.events[i - 1].at);
+  }
+  EXPECT_EQ(victims.size(), 4u) << "a node is crashed at most once";
+  const auto c = fault::CrashSchedule::random(100, nodes, 4, seconds(60),
+                                              seconds(2), seconds(8));
+  EXPECT_NE(a.events, c.events) << "different seeds should differ";
 }
 
 TEST(FaultInjector, IdenticalPlansReplayIdenticalEventLogs) {
