@@ -1,0 +1,154 @@
+// E14 -- Asynchronous pipelined invocations (AMI).
+//
+// Measures what request pipelining buys on a latency-dominated link: the
+// loopback transport models a 200 us one-way delay (a fast LAN hop) and
+// runs an async worker pool so in-flight requests genuinely overlap, then
+// a depth sweep issues the same call volume with 1..32 invocations in
+// flight (sliding window over Orb::invoke_async). Depth 1 degenerates to
+// the serial invoke() baseline; the speedup column is the pipelining win.
+// The paper's requirement 1 ("simplicity and performance") sets the bar:
+// the async machinery must not tax the serial path, and deep pipelines
+// should approach depth-x speedup until the worker pool saturates.
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "bench_report.hpp"
+#include "orb/orb.hpp"
+#include "orb/transport.hpp"
+
+using namespace clc;
+
+namespace {
+
+constexpr Duration kOneWayLatencyUs = 200;
+constexpr int kCalls = 400;
+constexpr int kDepths[] = {1, 2, 4, 8, 16, 32};
+
+struct PipelineWorld {
+  std::shared_ptr<idl::InterfaceRepository> repo =
+      std::make_shared<idl::InterfaceRepository>();
+  std::shared_ptr<orb::LoopbackNetwork> net =
+      std::make_shared<orb::LoopbackNetwork>();
+  std::unique_ptr<orb::Orb> server;
+  std::unique_ptr<orb::Orb> client;
+  orb::ObjectRef target;
+
+  PipelineWorld() {
+    (void)repo->register_idl(
+        "module e14 { interface Calc { long twice(in long v); }; };");
+    server = std::make_unique<orb::Orb>(NodeId{1}, repo);
+    client = std::make_unique<orb::Orb>(NodeId{2}, repo);
+    auto* s = server.get();
+    server->set_endpoint(net->register_endpoint(
+        [s](BytesView frame) { return s->handle_frame(frame); }));
+    client->add_transport("loop", net);
+    auto servant = std::make_shared<orb::DynamicServant>("e14::Calc");
+    servant->on("twice", [](orb::ServerRequest& req) -> Result<void> {
+      req.set_result(orb::Value(
+          static_cast<std::int32_t>(2 * *req.arg(0).to_int())));
+      return {};
+    });
+    target = server->activate(servant);
+    orb::LoopbackNetwork::Config cfg;
+    cfg.latency = kOneWayLatencyUs;
+    net->set_config(cfg);
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Serial baseline: one blocking invoke() after another.
+double measure_serial(PipelineWorld& w, int calls) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < calls; ++i) {
+    auto r = w.client->call(w.target, "twice",
+                            {orb::Value(static_cast<std::int32_t>(i))});
+    if (!r.ok()) {
+      std::fprintf(stderr, "serial call failed: %s\n",
+                   r.error().to_string().c_str());
+      return -1;
+    }
+  }
+  return seconds_since(t0);
+}
+
+/// Sliding window of `depth` pending invocations: issue until the window
+/// is full, then retire the oldest before issuing the next.
+double measure_pipelined(PipelineWorld& w, int calls, int depth) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::deque<std::pair<int, orb::PendingInvocation>> window;
+  int issued = 0;
+  bool failed = false;
+  auto retire = [&] {
+    auto [v, pending] = std::move(window.front());
+    window.pop_front();
+    auto out = pending.take();
+    if (!out.ok() ||
+        out->result != orb::Value(static_cast<std::int32_t>(2 * v)))
+      failed = true;
+  };
+  while (issued < calls) {
+    if (static_cast<int>(window.size()) >= depth) retire();
+    window.emplace_back(
+        issued, w.client->invoke_async(
+                    w.target, "twice",
+                    {orb::Value(static_cast<std::int32_t>(issued))}));
+    ++issued;
+  }
+  while (!window.empty()) retire();
+  if (failed) {
+    std::fprintf(stderr, "pipelined call failed or mismatched\n");
+    return -1;
+  }
+  return seconds_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  clc::bench::BenchReport report("pipeline");
+  PipelineWorld w;
+  // Workers >= max depth so every in-flight request's modelled latency
+  // can overlap, as it would on a real network.
+  w.net->start_async_workers(32);
+
+  // Warm the path (connection setup, first-touch allocations).
+  (void)measure_serial(w, 32);
+
+  const double serial_s = measure_serial(w, kCalls);
+  const double serial_rps = kCalls / serial_s;
+  report.set("pipeline.latency_us", static_cast<double>(kOneWayLatencyUs));
+  report.count("pipeline.calls", kCalls);
+  report.set("pipeline.serial_rps", serial_rps);
+  std::printf("E14: %d calls over loopback with %lld us one-way latency\n",
+              kCalls, static_cast<long long>(kOneWayLatencyUs));
+  std::printf("%-10s %12s %12s %10s\n", "mode", "elapsed_ms", "calls/s",
+              "speedup");
+  std::printf("%-10s %12.1f %12.0f %10s\n", "serial", serial_s * 1e3,
+              serial_rps, "1.00x");
+
+  for (int depth : kDepths) {
+    const double s = measure_pipelined(w, kCalls, depth);
+    if (s < 0) return 1;
+    const double rps = kCalls / s;
+    const double speedup = serial_s / s;
+    char key[64];
+    std::snprintf(key, sizeof key, "pipeline.depth%d_rps", depth);
+    report.set(key, rps);
+    std::snprintf(key, sizeof key, "pipeline.depth%d_speedup", depth);
+    report.set(key, speedup);
+    char mode[16];
+    std::snprintf(mode, sizeof mode, "depth %d", depth);
+    std::printf("%-10s %12.1f %12.0f %9.2fx\n", mode, s * 1e3, rps, speedup);
+  }
+
+  w.net->stop_async_workers();
+  report.write();
+  return 0;
+}

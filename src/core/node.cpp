@@ -368,20 +368,40 @@ Result<BoundComponent> Node::resolve_impl(const std::string& component,
                  "no node in the network offers " + component + " " +
                      constraint.to_string()};
 
+  // Prefetch every mobile candidate's description in parallel (AMI
+  // fan-out): the describe_component calls pipeline over the pooled
+  // connections instead of serializing one roundtrip per candidate, and
+  // the loop below consumes each reply as it reaches that candidate.
+  std::map<std::string, orb::PendingInvocation> descriptions;
+  if (binding == Binding::auto_decide && resources_.profile().can_install()) {
+    for (const QueryHit& hit : *hits) {
+      if (!hit.mobile) continue;
+      auto service = node_service_ref(hit.node);
+      if (!service) continue;
+      const std::string key = hit.node.to_string() + "|" + hit.component +
+                              "|" + hit.version.to_string();
+      if (descriptions.count(key) != 0) continue;
+      descriptions.emplace(
+          key, orb_->invoke_async(*service, "describe_component",
+                                  {orb::Value(hit.component),
+                                   orb::Value(hit.version.to_string())},
+                                  kIdempotent));
+    }
+  }
+
   for (const QueryHit& hit : *hits) {
     // 3. Decide fetch-vs-remote for this candidate.
     bool fetch = binding == Binding::fetch_local;
     if (binding == Binding::auto_decide && hit.mobile &&
         resources_.profile().can_install()) {
-      auto service = node_service_ref(hit.node);
-      if (service) {
-        auto xml_text = orb_->call(*service, "describe_component",
-                                   {orb::Value(hit.component),
-                                    orb::Value(hit.version.to_string())},
-                                   kIdempotent);
-        if (xml_text) {
+      const std::string key = hit.node.to_string() + "|" + hit.component +
+                              "|" + hit.version.to_string();
+      auto pending = descriptions.find(key);
+      if (pending != descriptions.end()) {
+        const auto& outcome = pending->second.outcome();
+        if (outcome.ok() && !outcome->exception.has_value()) {
           auto d = pkg::ComponentDescription::from_xml(
-              xml_text->as<std::string>());
+              outcome->result.as<std::string>());
           // Bandwidth-sensitive components (the paper's MPEG-decoder case)
           // are worth fetching; others bind remotely.
           if (d.ok() && d->qos.min_bandwidth_kbps > 0) fetch = true;
@@ -493,12 +513,19 @@ Result<BoundComponent> Node::migrate_instance_impl(InstanceId id,
     return received.error();
   }
 
-  // Re-establish the instance's outgoing connections on the target.
+  // Re-establish the instance's outgoing connections on the target: one
+  // pipelined invocation per port, all in flight at once (they address
+  // distinct ports, so order is immaterial), collected before the local
+  // original is destroyed.
+  std::vector<orb::PendingInvocation> wiring;
+  wiring.reserve(snapshot->connections.size());
   for (const auto& [port, ref] : snapshot->connections) {
-    (void)orb_->call(*service, "connect_instance",
-                     {orb::Value(received->instance_token), orb::Value(port),
-                      orb::Value(ref)});
+    wiring.push_back(orb_->invoke_async(
+        *service, "connect_instance",
+        {orb::Value(received->instance_token), orb::Value(port),
+         orb::Value(ref)}));
   }
+  for (auto& pending : wiring) pending.wait();
   (void)container_.destroy(id);
   return received;
 }
@@ -544,11 +571,16 @@ Result<BoundComponent> Node::replicate_instance(InstanceId id, NodeId target) {
     }
   }
   if (!replica.ok()) return replica.error();
+  // Same parallel wiring fan-out as migration.
+  std::vector<orb::PendingInvocation> wiring;
+  wiring.reserve(snapshot->connections.size());
   for (const auto& [port, ref] : snapshot->connections) {
-    (void)orb_->call(*service, "connect_instance",
-                     {orb::Value(replica->instance_token), orb::Value(port),
-                      orb::Value(ref)});
+    wiring.push_back(orb_->invoke_async(
+        *service, "connect_instance",
+        {orb::Value(replica->instance_token), orb::Value(port),
+         orb::Value(ref)}));
   }
+  for (auto& pending : wiring) pending.wait();
   return replica;
 }
 

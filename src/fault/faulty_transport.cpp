@@ -48,6 +48,34 @@ Result<Bytes> FaultyTransport::roundtrip(const std::string& endpoint,
   return faulted;
 }
 
+void FaultyTransport::submit(const std::string& endpoint, BytesView frame,
+                             orb::ReplyCallback cb) {
+  if (!injector_.active()) {
+    inner_->submit(endpoint, frame, std::move(cb));
+    return;
+  }
+
+  // Request crossing, decided now so a seeded plan consumes decisions in
+  // submission order regardless of how replies interleave.
+  bool duplicate = false;
+  auto request = apply(frame, /*request_direction=*/true, &duplicate);
+  if (!request) {
+    cb(request.error());
+    return;
+  }
+  if (duplicate)
+    inner_->submit(endpoint, *request, [](Result<Bytes>) {});
+  inner_->submit(endpoint, *request, [this, cb = std::move(cb)](
+                                         Result<Bytes> reply) {
+    if (!reply) {
+      cb(reply.error());
+      return;
+    }
+    // Reply crossing: its own message, its own decision.
+    cb(apply(*reply, /*request_direction=*/false, nullptr));
+  });
+}
+
 Result<void> FaultyTransport::send_oneway(const std::string& endpoint,
                                           BytesView frame) {
   if (!injector_.active()) return inner_->send_oneway(endpoint, frame);

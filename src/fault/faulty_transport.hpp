@@ -40,6 +40,11 @@ class FaultyTransport final : public orb::Transport {
                           BytesView frame) override;
   Result<void> send_oneway(const std::string& endpoint,
                            BytesView frame) override;
+  /// Async path: request-direction faults apply before the inner submit
+  /// (inline, on the caller thread -- deterministic under seeded plans),
+  /// reply-direction faults inside the completion callback.
+  void submit(const std::string& endpoint, BytesView frame,
+              orb::ReplyCallback cb) override;
 
  private:
   void sleep(Duration d);

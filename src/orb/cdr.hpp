@@ -35,6 +35,10 @@ class CdrWriter {
   /// call; kept explicit so nested encapsulations can be composed.
   void begin_encapsulation() { write_octet(static_cast<std::uint8_t>(order_)); }
 
+  /// Pre-size for `n` further bytes so a frame of known shape is built with
+  /// one allocation instead of a grow-by-insert cascade.
+  void reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
+
   void write_octet(std::uint8_t v) { buffer_.push_back(v); }
   void write_boolean(bool v) { write_octet(v ? 1 : 0); }
   void write_short(std::int16_t v) { write_integral(v); }

@@ -1,0 +1,148 @@
+// Invocation outcome types and the asynchronous-invocation handle (AMI).
+//
+// An invocation either produces a result Value (plus out/inout argument
+// values) or a typed user exception; transport/system failures surface as
+// Errors. PendingInvocation is the future-like handle Orb::invoke_async
+// returns: the caller may poll it, block on it, or attach a continuation,
+// and many handles can be in flight at once -- that is what lets one
+// client pipeline requests over a single connection instead of performing
+// strictly serialized roundtrips.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "orb/value.hpp"
+#include "util/result.hpp"
+
+namespace clc::orb {
+
+/// A typed user exception (IDL `raises`) crossing the wire.
+struct UserException {
+  std::string type_name;  // scoped exception name
+  Value payload;          // StructValue matching the exception definition
+
+  [[nodiscard]] std::string field_text(const std::string& name) const {
+    if (auto* sv = payload.get_if<StructValue>()) {
+      if (const Value* f = sv->field(name)) {
+        if (auto* s = f->get_if<std::string>()) return *s;
+      }
+    }
+    return {};
+  }
+};
+
+/// Result of an invocation that may have raised a user exception.
+struct InvokeOutcome {
+  Value result;
+  std::optional<UserException> exception;
+};
+
+namespace detail {
+
+/// Shared state between a PendingInvocation handle and the in-flight
+/// invocation machinery. The args vector is owned here so out/inout values
+/// have a stable home until the caller collects them; before completion it
+/// is touched only by the invocation machinery (single logical owner), and
+/// after completion only by the handle, so no lock covers it beyond the
+/// done-flag handoff.
+struct PendingState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Result<InvokeOutcome> outcome{Error{Errc::bad_state, "invocation pending"}};
+  std::vector<Value> args;
+  std::vector<std::function<void(const Result<InvokeOutcome>&)>> continuations;
+  std::uint64_t request_id = 0;
+
+  /// Publish the outcome exactly once: flips done, wakes waiters, then runs
+  /// the continuations outside the lock (they may issue new invocations).
+  void complete(Result<InvokeOutcome> result) {
+    std::vector<std::function<void(const Result<InvokeOutcome>&)>> run;
+    {
+      std::lock_guard lock(mutex);
+      if (done) return;
+      outcome = std::move(result);
+      done = true;
+      run.swap(continuations);
+    }
+    cv.notify_all();
+    for (auto& fn : run) fn(outcome);
+  }
+};
+
+}  // namespace detail
+
+/// Future-like handle for one asynchronous invocation. Copyable (all copies
+/// observe the same invocation); default-constructed handles are invalid.
+class PendingInvocation {
+ public:
+  PendingInvocation() = default;
+  explicit PendingInvocation(std::shared_ptr<detail::PendingState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  /// Wire request id of this invocation (ids are monotone per Orb).
+  [[nodiscard]] std::uint64_t request_id() const noexcept {
+    return state_ == nullptr ? 0 : state_->request_id;
+  }
+
+  /// Poll: true once the outcome is available.
+  [[nodiscard]] bool ready() const {
+    if (state_ == nullptr) return false;
+    std::lock_guard lock(state_->mutex);
+    return state_->done;
+  }
+
+  /// Block until the invocation completes.
+  void wait() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [this] { return state_->done; });
+  }
+
+  /// Block, then view the outcome (stays owned by the handle).
+  [[nodiscard]] const Result<InvokeOutcome>& outcome() const {
+    wait();
+    return state_->outcome;
+  }
+
+  /// Block, then move the outcome out (call once).
+  [[nodiscard]] Result<InvokeOutcome> take() {
+    wait();
+    return std::move(state_->outcome);
+  }
+
+  /// Block, then move the argument vector out: out/inout entries carry the
+  /// values produced by the servant (in entries are unchanged).
+  [[nodiscard]] std::vector<Value> take_args() {
+    wait();
+    return std::move(state_->args);
+  }
+
+  /// Attach a continuation. Runs on whichever thread completes the
+  /// invocation -- or immediately, on this thread, when already complete.
+  /// Continuations must not block on other pending invocations of the same
+  /// connection (they run on its reader loop).
+  void then(std::function<void(const Result<InvokeOutcome>&)> fn) {
+    {
+      std::lock_guard lock(state_->mutex);
+      if (!state_->done) {
+        state_->continuations.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn(state_->outcome);
+  }
+
+ private:
+  std::shared_ptr<detail::PendingState> state_;
+};
+
+}  // namespace clc::orb

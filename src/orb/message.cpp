@@ -13,6 +13,15 @@ void write_frame_header(CdrWriter& w, MessageType type) {
   w.begin_encapsulation();
 }
 
+/// Worst-case encoded size of a service-context block (count + per-entry
+/// id/length words, padding included), for pre-sizing frame buffers.
+std::size_t contexts_size_hint(const std::vector<ServiceContext>& contexts) {
+  if (contexts.empty()) return 0;
+  std::size_t n = 8;
+  for (const auto& c : contexts) n += 12 + c.data.size();
+  return n;
+}
+
 // Service contexts trail the regular fields: count, then id + data per
 // entry. Writers omit the block entirely when there are no contexts, which
 // keeps new frames byte-identical to pre-context ones.
@@ -77,6 +86,10 @@ Bytes encode_control(MessageType type) {
 
 Bytes RequestMessage::encode() const {
   CdrWriter w;
+  // Header + fixed fields + strings (length word, NUL, padding) + args
+  // blob + contexts: generous enough that encoding never reallocates.
+  w.reserve(64 + interface_name.size() + operation.size() + args.size() +
+            contexts_size_hint(service_contexts));
   write_frame_header(w, MessageType::request);
   w.write_ulonglong(request_id.value);
   w.write_ulonglong(object_key.hi);
@@ -119,6 +132,8 @@ Result<RequestMessage> RequestMessage::decode(CdrReader& r) {
 
 Bytes ReplyMessage::encode() const {
   CdrWriter w;
+  w.reserve(48 + exception_id.size() + payload.size() +
+            contexts_size_hint(service_contexts));
   write_frame_header(w, MessageType::reply);
   w.write_ulonglong(request_id.value);
   w.write_octet(static_cast<std::uint8_t>(status));

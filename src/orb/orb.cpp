@@ -1,5 +1,6 @@
 #include "orb/orb.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -11,6 +12,163 @@ namespace clc::orb {
 using idl::OperationDef;
 using idl::ParamDirection;
 
+namespace detail {
+
+/// One in-flight remote invocation: owns the encoded frame, the policy
+/// snapshot and the retry state machine. Attempts complete via transport
+/// callbacks, so a retry runs on whichever thread delivered the failure --
+/// inline on the caller for the deterministic loopback, on the connection
+/// reader for TCP. Keeps itself alive (shared_from_this) across the
+/// asynchronous gap between submit and completion.
+struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
+  Orb* orb;
+  std::shared_ptr<PendingState> state;
+  OperationDef op;
+  // Stable homes for the strings RequestInfo references.
+  std::string operation;
+  std::string interface_name;
+  std::string endpoint;
+  bool run_chain = false;
+  bool intercept = false;
+  obs::RequestInfo info;
+  Bytes frame;  // encoded once; every retry re-sends these bytes
+  Orb::PolicySnapshot snap;
+  Duration deadline = 0;
+  int max_attempts = 1;
+  int attempt = 1;
+  CircuitBreaker* breaker = nullptr;
+  TimePoint started = 0;         // resilience budget epoch
+  TimePoint invoke_started = 0;  // latency histogram epoch
+  Rng rng;  // per-call jitter: no shared locked rng on the hot path
+
+  AsyncCall(Orb* o, std::shared_ptr<PendingState> s, OperationDef opdef,
+            std::string op_name, std::string iface, std::string ep,
+            std::uint64_t request_id)
+      : orb(o),
+        state(std::move(s)),
+        op(std::move(opdef)),
+        operation(std::move(op_name)),
+        interface_name(std::move(iface)),
+        endpoint(std::move(ep)),
+        info(request_id, operation, interface_name),
+        rng(0x0bbf ^ request_id) {}
+
+  void start_attempt() {
+    if (deadline > 0 && orb->clock_->now() - started >= deadline) {
+      orb->deadline_exceeded_->inc();
+      finish(Error{Errc::timeout, "deadline exceeded invoking " + operation +
+                                      " on " + endpoint});
+      return;
+    }
+    if (breaker != nullptr) {
+      if (auto admitted = breaker->admit(orb->clock_->now()); !admitted.ok()) {
+        orb->breaker_rejected_->inc();
+        finish(Error{Errc::refused,
+                     admitted.error().message + " for " + endpoint});
+        return;
+      }
+    }
+    auto transport = orb->transport_for(endpoint);
+    if (!transport) {
+      finish(transport.error());
+      return;
+    }
+    if (op.oneway) {
+      if (auto r = (*transport)->send_oneway(endpoint, frame); !r.ok()) {
+        handle_failure(r.error());
+      } else {
+        if (breaker != nullptr) breaker->on_success();
+        finish(InvokeOutcome{});
+      }
+      return;
+    }
+    auto self = shared_from_this();
+    (*transport)->submit(endpoint, frame, [self](Result<Bytes> r) {
+      self->on_reply(std::move(r));
+    });
+  }
+
+  void on_reply(Result<Bytes> r) {
+    if (!r) {
+      handle_failure(r.error());
+      return;
+    }
+    auto out = decode_frame(*r);
+    if (out.ok()) {
+      if (breaker != nullptr) breaker->on_success();
+      finish(std::move(out));
+      return;
+    }
+    handle_failure(out.error());
+  }
+
+  Result<InvokeOutcome> decode_frame(BytesView reply_frame) {
+    CdrReader r(reply_frame);
+    auto type = decode_frame_header(r);
+    if (!type) return type.error();
+    if (*type != MessageType::reply)
+      return Error{Errc::corrupt_data, "expected reply frame"};
+    auto reply = ReplyMessage::decode(r);
+    if (!reply) return reply.error();
+    if (intercept) info.set_incoming(std::move(reply->service_contexts));
+    // Before completion the args vector is owned by this machinery alone,
+    // so out/inout values decode straight into their final home.
+    return orb->decode_reply(op, *reply, state->args);
+  }
+
+  void handle_failure(const Error& e) {
+    if (!errc_is_retryable(e.code)) {
+      // Model-level failure: the peer answered; nothing to retry or break.
+      finish(e);
+      return;
+    }
+    if (breaker != nullptr && breaker->on_failure(orb->clock_->now())) {
+      orb->breaker_opened_->inc();
+      CLC_LOG(warn, "orb") << "circuit opened for " << endpoint << " after "
+                           << errc_name(e.code);
+    }
+    if (attempt >= max_attempts) {
+      finish(e);
+      return;
+    }
+    orb->retries_->inc();
+    Duration wait = backoff_delay(snap.policies.retry, attempt, rng);
+    if (deadline > 0) {
+      const Duration remaining = deadline - (orb->clock_->now() - started);
+      if (remaining <= 0) {
+        finish(e);
+        return;
+      }
+      wait = std::min(wait, remaining);
+    }
+    ++attempt;
+    if (wait > 0) {
+      if (snap.sleep_fn)
+        snap.sleep_fn(wait);
+      else
+        std::this_thread::sleep_for(std::chrono::microseconds(wait));
+    }
+    start_attempt();
+  }
+
+  /// Publish the outcome: reply-side interceptors, latency histogram, then
+  /// wake the PendingInvocation (and run its continuations).
+  void finish(Result<InvokeOutcome> out) {
+    if (intercept) {
+      if (!out)
+        info.set_failed(errc_name(out.error().code));
+      else if (out->exception.has_value())
+        info.set_failed(out->exception->type_name);
+      orb->interceptors_.receive_reply(info);
+    }
+    orb->invoke_us_->observe(static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, orb->clock_->now() - invoke_started)));
+    state->complete(std::move(out));
+  }
+};
+
+}  // namespace detail
+
 Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
          obs::MetricsRegistry* metrics)
     : node_id_(node_id),
@@ -20,6 +178,7 @@ Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
                          : nullptr),
       metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
       invocations_sent_(&metrics_->counter("orb.invocations_sent")),
+      invocations_async_(&metrics_->counter("orb.invocations_async")),
       invocations_served_(&metrics_->counter("orb.invocations_served")),
       local_dispatches_(&metrics_->counter("orb.local_dispatches")),
       retries_(&metrics_->counter("orb.retries")),
@@ -44,7 +203,7 @@ Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
 ObjectRef Orb::activate(std::shared_ptr<Servant> servant) {
   Uuid key;
   {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(rng_mutex_);
     key = Uuid::random(rng_);
   }
   return activate_with_key(std::move(servant), key);
@@ -57,25 +216,25 @@ ObjectRef Orb::activate_with_key(std::shared_ptr<Servant> servant, Uuid key) {
   ref.interface_name = servant->interface_name();
   ref.endpoint = endpoint_;
   ref.incarnation = incarnation_;
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(servants_mutex_);
   servants_[key] = std::move(servant);
   return ref;
 }
 
 Result<void> Orb::deactivate(const Uuid& key) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(servants_mutex_);
   if (servants_.erase(key) == 0)
     return Error{Errc::not_found, "no servant with key " + key.to_string()};
   return {};
 }
 
 std::size_t Orb::active_count() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(servants_mutex_);
   return servants_.size();
 }
 
 std::shared_ptr<Servant> Orb::find_servant(const Uuid& key) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(servants_mutex_);
   auto it = servants_.find(key);
   return it == servants_.end() ? nullptr : it->second;
 }
@@ -215,7 +374,7 @@ Result<ReplyMessage> Orb::dispatch_request(const RequestMessage& req) {
 
 void Orb::add_transport(const std::string& scheme,
                         std::shared_ptr<Transport> transport) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(transports_mutex_);
   transports_[scheme] = std::move(transport);
 }
 
@@ -224,7 +383,7 @@ Result<Transport*> Orb::transport_for(const std::string& endpoint) {
   if (colon == std::string::npos)
     return Error{Errc::invalid_argument, "bad endpoint " + endpoint};
   const std::string scheme = endpoint.substr(0, colon);
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(transports_mutex_);
   auto it = transports_.find(scheme);
   if (it == transports_.end())
     return Error{Errc::unsupported, "no transport for scheme " + scheme};
@@ -290,19 +449,54 @@ Result<InvokeOutcome> Orb::decode_reply(const OperationDef& op,
   return Error{Errc::corrupt_data, "bad reply status"};
 }
 
-Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
-                                  const std::string& operation,
-                                  std::vector<Value>& args,
-                                  const InvokeOptions& opts) {
-  if (target.is_nil())
-    return Error{Errc::invalid_argument, "invocation on nil reference"};
+Orb::PolicySnapshot Orb::snapshot_policies() const {
+  std::shared_lock lock(policy_mutex_);
+  return PolicySnapshot{policies_, sleep_fn_};
+}
+
+CircuitBreaker* Orb::breaker_for(const std::string& endpoint,
+                                 const BreakerPolicy& policy) {
+  if (!policy.enabled) return nullptr;
+  std::lock_guard lock(breaker_mutex_);
+  auto it = breakers_.find(endpoint);
+  if (it == breakers_.end())
+    it = breakers_
+             .emplace(endpoint, std::make_unique<CircuitBreaker>(policy))
+             .first;
+  return it->second.get();
+}
+
+CircuitBreaker::State Orb::breaker_state(const std::string& endpoint) const {
+  std::lock_guard lock(breaker_mutex_);
+  auto it = breakers_.find(endpoint);
+  return it == breakers_.end() ? CircuitBreaker::State::closed
+                               : it->second->state();
+}
+
+std::shared_ptr<detail::PendingState> Orb::invoke_pending(
+    const ObjectRef& target, const std::string& operation,
+    std::vector<Value> args, const InvokeOptions& opts) {
+  auto state = std::make_shared<detail::PendingState>();
+  state->args = std::move(args);
+  if (target.is_nil()) {
+    state->complete(Error{Errc::invalid_argument,
+                          "invocation on nil reference"});
+    return state;
+  }
   auto op = repo_->find_operation(target.interface_name, operation);
-  if (!op) return op.error();
-  auto marshaled = marshal_request_args(*op, args);
-  if (!marshaled) return marshaled.error();
+  if (!op) {
+    state->complete(op.error());
+    return state;
+  }
+  auto marshaled = marshal_request_args(*op, state->args);
+  if (!marshaled) {
+    state->complete(marshaled.error());
+    return state;
+  }
 
   RequestMessage req;
   req.request_id = RequestId{next_request_id_.fetch_add(1)};
+  state->request_id = req.request_id.value;
   req.object_key = target.key;
   req.interface_name = target.interface_name;
   req.operation = operation;
@@ -310,175 +504,72 @@ Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
   req.args = std::move(*marshaled);
   invocations_sent_->inc();
 
-  const TimePoint started = clock_->now();
   // Collocation optimization: with the default `direct` policy, same-Orb
   // calls bypass the interceptor chain on both sides (the frame round trip
   // itself is kept -- marshalling semantics stay identical).
   const bool local = target.endpoint == endpoint_ || target.endpoint.empty();
   const bool run_chain =
       !local || collocation_policy_ == CollocationPolicy::through_frame;
-  const bool intercept = run_chain && interceptors_.has_client();
-  obs::RequestInfo info(req.request_id.value, operation, target.interface_name);
-  if (intercept) {
-    interceptors_.send_request(info);
-    req.service_contexts = info.take_outgoing();
+
+  auto call = std::make_shared<detail::AsyncCall>(
+      this, state, std::move(*op), operation, target.interface_name,
+      target.endpoint, req.request_id.value);
+  call->run_chain = run_chain;
+  call->intercept = run_chain && interceptors_.has_client();
+  call->invoke_started = clock_->now();
+  if (call->intercept) {
+    interceptors_.send_request(call->info);
+    req.service_contexts = call->info.take_outgoing();
   }
-  auto out = transmit_resilient(req, *op, target, args,
-                                intercept ? &info : nullptr, run_chain, local,
-                                opts);
-  if (intercept) {
-    if (!out)
-      info.set_failed(errc_name(out.error().code));
-    else if (out->exception.has_value())
-      info.set_failed(out->exception->type_name);
-    interceptors_.receive_reply(info);
-  }
-  invoke_us_->observe(static_cast<std::uint64_t>(
-      std::max<std::int64_t>(0, clock_->now() - started)));
-  return out;
-}
+  // Encode ONCE, after the interceptor contexts are attached; the local
+  // path, the first attempt and every retry all send these same bytes.
+  call->frame = req.encode();
 
-CircuitBreaker* Orb::breaker_for(const std::string& endpoint) {
-  std::lock_guard lock(mutex_);
-  if (!policies_.breaker.enabled) return nullptr;
-  auto it = breakers_.find(endpoint);
-  if (it == breakers_.end())
-    it = breakers_
-             .emplace(endpoint,
-                      std::make_unique<CircuitBreaker>(policies_.breaker))
-             .first;
-  return it->second.get();
-}
-
-CircuitBreaker::State Orb::breaker_state(const std::string& endpoint) const {
-  std::lock_guard lock(mutex_);
-  auto it = breakers_.find(endpoint);
-  return it == breakers_.end() ? CircuitBreaker::State::closed
-                               : it->second->state();
-}
-
-void Orb::backoff_sleep(Duration d) {
-  if (d <= 0) return;
-  std::function<void(Duration)> fn;
-  {
-    std::lock_guard lock(mutex_);
-    fn = sleep_fn_;
-  }
-  if (fn)
-    fn(d);
-  else
-    std::this_thread::sleep_for(std::chrono::microseconds(d));
-}
-
-Result<InvokeOutcome> Orb::transmit_resilient(RequestMessage& req,
-                                              const OperationDef& op,
-                                              const ObjectRef& target,
-                                              std::vector<Value>& args,
-                                              obs::RequestInfo* info,
-                                              bool run_chain, bool local,
-                                              const InvokeOptions& opts) {
-  // Local dispatch is deterministic: a retry cannot change the outcome, and
-  // there is no endpoint to break on. The deadline still applies (trivially,
-  // since the dispatch is synchronous).
-  if (local) return transmit(req, op, target, args, info, run_chain);
-
-  InvocationPolicies policies;
-  {
-    std::lock_guard lock(mutex_);
-    policies = policies_;
-  }
-  const Duration deadline =
-      opts.deadline > 0 ? opts.deadline : policies.deadline;
-  const bool may_retry =
-      opts.idempotent || policies.retry.retry_non_idempotent;
-  const int max_attempts =
-      may_retry ? std::max(1, policies.retry.max_attempts) : 1;
-  CircuitBreaker* breaker = breaker_for(target.endpoint);
-  const TimePoint started = clock_->now();
-
-  Result<InvokeOutcome> out =
-      Error{Errc::bad_state, "invocation never attempted"};
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (deadline > 0 && clock_->now() - started >= deadline) {
-      deadline_exceeded_->inc();
-      return Error{Errc::timeout,
-                   "deadline exceeded invoking " + req.operation + " on " +
-                       target.endpoint};
-    }
-    if (breaker != nullptr) {
-      if (auto admitted = breaker->admit(clock_->now()); !admitted.ok()) {
-        breaker_rejected_->inc();
-        return Error{Errc::refused, admitted.error().message + " for " +
-                                        target.endpoint};
-      }
-    }
-    out = transmit(req, op, target, args, info, run_chain);
-    if (out.ok()) {
-      if (breaker != nullptr) breaker->on_success();
-      return out;
-    }
-    const Errc code = out.error().code;
-    if (errc_is_retryable(code)) {
-      if (breaker != nullptr && breaker->on_failure(clock_->now())) {
-        breaker_opened_->inc();
-        CLC_LOG(warn, "orb") << "circuit opened for " << target.endpoint
-                             << " after " << errc_name(code);
-      }
-    } else {
-      // Model-level failure: the peer answered; nothing to retry or break.
-      return out;
-    }
-    if (attempt == max_attempts) break;
-    retries_->inc();
-    Duration wait;
-    {
-      std::lock_guard lock(mutex_);
-      wait = backoff_delay(policies.retry, attempt, rng_);
-    }
-    if (deadline > 0) {
-      const Duration remaining = deadline - (clock_->now() - started);
-      if (remaining <= 0) break;  // loop head reports deadline_exceeded
-      wait = std::min(wait, remaining);
-    }
-    backoff_sleep(wait);
-  }
-  return out;
-}
-
-Result<InvokeOutcome> Orb::transmit(RequestMessage& req,
-                                    const OperationDef& op,
-                                    const ObjectRef& target,
-                                    std::vector<Value>& args,
-                                    obs::RequestInfo* info, bool run_chain) {
-  Bytes reply_frame;
-  const bool local = target.endpoint == endpoint_ || target.endpoint.empty();
   if (local) {
+    // Collocated fast path: dispatch synchronously on the caller thread,
+    // completing the pending state inline (no queues, no extra copies).
     local_dispatches_->inc();
-    reply_frame = handle_frame_impl(req.encode(), run_chain);
-  } else {
-    auto transport = transport_for(target.endpoint);
-    if (!transport) return transport.error();
-    if (op.oneway) {
-      if (auto r = (*transport)->send_oneway(target.endpoint, req.encode());
-          !r.ok())
-        return r.error();
-      return InvokeOutcome{};
-    }
-    auto r = (*transport)->roundtrip(target.endpoint, req.encode());
-    if (!r) return r.error();
-    reply_frame = std::move(*r);
+    Bytes reply_frame = handle_frame_impl(call->frame, run_chain);
+    if (call->op.oneway)
+      call->finish(InvokeOutcome{});
+    else
+      call->finish(call->decode_frame(reply_frame));
+    return state;
   }
-  if (op.oneway) return InvokeOutcome{};
 
-  CdrReader r(reply_frame);
-  auto type = decode_frame_header(r);
-  if (!type) return type.error();
-  if (*type != MessageType::reply)
-    return Error{Errc::corrupt_data, "expected reply frame"};
-  auto reply = ReplyMessage::decode(r);
-  if (!reply) return reply.error();
-  if (info != nullptr) info->set_incoming(std::move(reply->service_contexts));
-  return decode_reply(op, *reply, args);
+  call->snap = snapshot_policies();  // ONE lock acquisition per invocation
+  call->deadline =
+      opts.deadline > 0 ? opts.deadline : call->snap.policies.deadline;
+  const bool may_retry =
+      opts.idempotent || call->snap.policies.retry.retry_non_idempotent;
+  call->max_attempts =
+      may_retry ? std::max(1, call->snap.policies.retry.max_attempts) : 1;
+  call->breaker = breaker_for(target.endpoint, call->snap.policies.breaker);
+  call->started = clock_->now();
+  call->start_attempt();
+  return state;
+}
+
+Result<InvokeOutcome> Orb::invoke(const ObjectRef& target,
+                                  const std::string& operation,
+                                  std::vector<Value>& args,
+                                  const InvokeOptions& opts) {
+  auto state = invoke_pending(target, operation, std::move(args), opts);
+  {
+    std::unique_lock lock(state->mutex);
+    state->cv.wait(lock, [&] { return state->done; });
+  }
+  args = std::move(state->args);
+  return std::move(state->outcome);
+}
+
+PendingInvocation Orb::invoke_async(const ObjectRef& target,
+                                    const std::string& operation,
+                                    std::vector<Value> args,
+                                    const InvokeOptions& opts) {
+  invocations_async_->inc();
+  return PendingInvocation(
+      invoke_pending(target, operation, std::move(args), opts));
 }
 
 Orb::Stats Orb::stats() const {
@@ -511,7 +602,8 @@ Result<void> Orb::ping(const std::string& endpoint) {
   if (endpoint == endpoint_) return {};
   auto transport = transport_for(endpoint);
   if (!transport) return transport.error();
-  auto reply = (*transport)->roundtrip(endpoint, encode_control(MessageType::ping));
+  auto reply =
+      (*transport)->roundtrip(endpoint, encode_control(MessageType::ping));
   if (!reply) return reply.error();
   CdrReader r(*reply);
   auto type = decode_frame_header(r);

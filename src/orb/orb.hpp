@@ -11,6 +11,15 @@
 // Invocation is dynamic (DII/DSI): there are no generated stubs. A servant
 // receives a ServerRequest carrying decoded argument Values and fills in a
 // result or a typed user exception.
+//
+// Invocations come in two flavours sharing one engine: invoke() blocks for
+// the outcome, invoke_async() returns a PendingInvocation immediately and
+// completes it when the transport delivers the reply -- CORBA AMI. Many
+// pending invocations pipeline over one connection, and the hot path is
+// deliberately lock-light: per-call state (policies + sleep fn) is one
+// snapshot under a shared lock, the request frame is encoded once and
+// reused across retries, and the servant/transport/breaker tables each sit
+// behind their own lock so concurrent invocations do not serialize.
 #pragma once
 
 #include <atomic>
@@ -19,12 +28,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "idl/repository.hpp"
 #include "obs/interceptor.hpp"
 #include "obs/metrics.hpp"
+#include "orb/invocation.hpp"
 #include "orb/message.hpp"
 #include "orb/object_ref.hpp"
 #include "orb/resilience.hpp"
@@ -33,21 +44,6 @@
 #include "util/clock.hpp"
 
 namespace clc::orb {
-
-/// A typed user exception (IDL `raises`) crossing the wire.
-struct UserException {
-  std::string type_name;  // scoped exception name
-  Value payload;          // StructValue matching the exception definition
-
-  [[nodiscard]] std::string field_text(const std::string& name) const {
-    if (auto* sv = payload.get_if<StructValue>()) {
-      if (const Value* f = sv->field(name)) {
-        if (auto* s = f->get_if<std::string>()) return *s;
-      }
-    }
-    return {};
-  }
-};
 
 /// Server-side view of one invocation, passed to Servant::dispatch.
 class ServerRequest {
@@ -118,12 +114,6 @@ class DynamicServant : public Servant {
   std::map<std::string, Handler> handlers_;
 };
 
-/// Result of an invocation that may have raised a user exception.
-struct InvokeOutcome {
-  Value result;
-  std::optional<UserException> exception;
-};
-
 /// Interceptor treatment of collocated (same-Orb) invocations. `direct`
 /// skips the interceptor chain on the collocated fast path -- the classic
 /// ORB collocation optimization (TAO's direct strategy does the same), which
@@ -131,6 +121,10 @@ struct InvokeOutcome {
 /// `through_frame` runs the full chain even when target and caller share an
 /// Orb, matching the strict CORBA PI semantics at the cost of the chain.
 enum class CollocationPolicy : std::uint8_t { direct, through_frame };
+
+namespace detail {
+struct AsyncCall;
+}  // namespace detail
 
 class Orb {
  public:
@@ -177,6 +171,7 @@ class Orb {
   [[nodiscard]] std::shared_ptr<Servant> find_servant(const Uuid& key) const;
 
   /// Transport-facing entry point: decode a frame, dispatch, encode reply.
+  /// Thread-safe: a server worker pool may call it concurrently.
   Bytes handle_frame(BytesView frame);
 
   // --------------------------------------------------------------- client
@@ -194,6 +189,17 @@ class Orb {
                                const std::string& operation,
                                std::vector<Value>& args,
                                const InvokeOptions& opts = {});
+
+  /// Asynchronous DII invocation (CORBA AMI): returns immediately with a
+  /// handle the caller may poll, wait on, or attach a continuation to.
+  /// The resilience policies (deadline, retry with backoff, breaker) apply
+  /// per pending call exactly as for invoke(); retries re-use the
+  /// originally encoded frame and run on whichever thread completes the
+  /// failed attempt. invoke() itself is invoke_async() + wait.
+  PendingInvocation invoke_async(const ObjectRef& target,
+                                 const std::string& operation,
+                                 std::vector<Value> args,
+                                 const InvokeOptions& opts = {});
 
   /// Convenience: invocation where a user exception is an Error
   /// (Errc::remote_exception with the exception name in the message).
@@ -213,11 +219,11 @@ class Orb {
 
   /// Deadline/retry/circuit-breaker defaults for every remote invocation.
   void set_invocation_policies(InvocationPolicies p) {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(policy_mutex_);
     policies_ = p;
   }
   [[nodiscard]] InvocationPolicies invocation_policies() const {
-    std::lock_guard lock(mutex_);
+    std::shared_lock lock(policy_mutex_);
     return policies_;
   }
 
@@ -230,7 +236,7 @@ class Orb {
   /// How retry backoff waits; defaults to a real sleep. Deterministic
   /// environments substitute a virtual-clock advance.
   void set_sleep_fn(std::function<void(Duration)> fn) {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(policy_mutex_);
     sleep_fn_ = std::move(fn);
   }
 
@@ -269,9 +275,16 @@ class Orb {
   void reset_stats();
 
  private:
-  struct MarshalPlan {
-    idl::OperationDef op;
+  friend struct detail::AsyncCall;
+
+  /// Everything a single invocation needs from the mutable configuration,
+  /// captured in ONE shared-lock acquisition at invocation start -- the
+  /// retry loop never goes back to the lock.
+  struct PolicySnapshot {
+    InvocationPolicies policies;
+    std::function<void(Duration)> sleep_fn;
   };
+  [[nodiscard]] PolicySnapshot snapshot_policies() const;
 
   Result<Bytes> marshal_request_args(const idl::OperationDef& op,
                                      const std::vector<Value>& args);
@@ -281,30 +294,22 @@ class Orb {
                                      const ReplyMessage& reply,
                                      std::vector<Value>& args);
   Result<Transport*> transport_for(const std::string& endpoint);
-  /// Ship the request (local fast path or transport) and decode the reply;
-  /// fills `info` with the reply's service contexts when non-null.
-  Result<InvokeOutcome> transmit(RequestMessage& req,
-                                 const idl::OperationDef& op,
-                                 const ObjectRef& target,
-                                 std::vector<Value>& args,
-                                 obs::RequestInfo* info, bool run_chain);
-  /// transmit() under the resilience policies: breaker gate, deadline
-  /// budget, retry loop with backoff for idempotent invocations.
-  Result<InvokeOutcome> transmit_resilient(RequestMessage& req,
-                                           const idl::OperationDef& op,
-                                           const ObjectRef& target,
-                                           std::vector<Value>& args,
-                                           obs::RequestInfo* info,
-                                           bool run_chain, bool local,
-                                           const InvokeOptions& opts);
-  CircuitBreaker* breaker_for(const std::string& endpoint);
-  void backoff_sleep(Duration d);
+  /// The shared engine behind invoke()/invoke_async(): validate, marshal,
+  /// encode the frame once, then dispatch locally (inline) or start the
+  /// asynchronous attempt state machine. Always returns a state that will
+  /// complete (possibly already has).
+  std::shared_ptr<detail::PendingState> invoke_pending(
+      const ObjectRef& target, const std::string& operation,
+      std::vector<Value> args, const InvokeOptions& opts);
+  CircuitBreaker* breaker_for(const std::string& endpoint,
+                              const BreakerPolicy& policy);
 
   NodeId node_id_;
   std::shared_ptr<idl::InterfaceRepository> repo_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;
   obs::Counter* invocations_sent_;
+  obs::Counter* invocations_async_;
   obs::Counter* invocations_served_;
   obs::Counter* local_dispatches_;
   obs::Counter* retries_;
@@ -318,14 +323,27 @@ class Orb {
   std::uint64_t incarnation_ = 1;
   SystemClock default_clock_;
   const Clock* clock_ = &default_clock_;
-  mutable std::mutex mutex_;
-  InvocationPolicies policies_;
-  std::function<void(Duration)> sleep_fn_;
+
+  // Sharded state: each table behind its own lock so the invocation hot
+  // path never contends on a global mutex. Reader-heavy tables (policies,
+  // servants, transports) use shared_mutex; the breaker table is a plain
+  // mutex (touched once per remote invocation, for the map lookup only --
+  // each CircuitBreaker synchronizes itself).
+  mutable std::shared_mutex policy_mutex_;
+  InvocationPolicies policies_;          // under policy_mutex_
+  std::function<void(Duration)> sleep_fn_;  // under policy_mutex_
+  mutable std::mutex breaker_mutex_;
   std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+  mutable std::shared_mutex servants_mutex_;
   std::map<Uuid, std::shared_ptr<Servant>> servants_;
-  std::map<std::string, std::shared_ptr<Transport>> transports_;
+  std::mutex rng_mutex_;
+  Rng rng_{0x0bbf};  // object-key minting only; backoff jitter is per-call
   std::atomic<std::uint64_t> next_request_id_{1};
-  Rng rng_{0x0bbf};
+  // Declared last: destroying a transport joins its reader threads, and
+  // completion callbacks running during that teardown still touch the
+  // members above.
+  mutable std::shared_mutex transports_mutex_;
+  std::map<std::string, std::shared_ptr<Transport>> transports_;
 };
 
 }  // namespace clc::orb

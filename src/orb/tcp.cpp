@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -45,28 +46,42 @@ bool write_exact(int fd, const std::uint8_t* buf, std::size_t n) {
   return true;
 }
 
-bool write_framed(int fd, BytesView frame) {
-  std::uint8_t len[4] = {
-      static_cast<std::uint8_t>(frame.size() >> 24),
-      static_cast<std::uint8_t>(frame.size() >> 16),
-      static_cast<std::uint8_t>(frame.size() >> 8),
-      static_cast<std::uint8_t>(frame.size()),
-  };
-  return write_exact(fd, len, 4) && write_exact(fd, frame.data(), frame.size());
-}
-
 /// Max frame we accept: 64 MiB, far above any component package chunk.
 constexpr std::uint32_t kMaxFrame = 64u << 20;
 
-bool read_framed(int fd, Bytes& out) {
-  std::uint8_t len[4];
-  if (!read_exact(fd, len, 4)) return false;
-  const std::uint32_t n = (std::uint32_t{len[0]} << 24) |
-                          (std::uint32_t{len[1]} << 16) |
-                          (std::uint32_t{len[2]} << 8) | std::uint32_t{len[3]};
-  if (n > kMaxFrame) return false;
-  out.resize(n);
-  return n == 0 || read_exact(fd, out.data(), n);
+/// One record: u32 length (correlation id + frame), u64 correlation id,
+/// frame bytes. Correlation id 0 = one-way, no reply record follows.
+bool write_record(int fd, std::uint64_t correlation, BytesView frame) {
+  const std::uint32_t n = static_cast<std::uint32_t>(frame.size()) + 8;
+  std::uint8_t hdr[12] = {
+      static_cast<std::uint8_t>(n >> 24),
+      static_cast<std::uint8_t>(n >> 16),
+      static_cast<std::uint8_t>(n >> 8),
+      static_cast<std::uint8_t>(n),
+      static_cast<std::uint8_t>(correlation >> 56),
+      static_cast<std::uint8_t>(correlation >> 48),
+      static_cast<std::uint8_t>(correlation >> 40),
+      static_cast<std::uint8_t>(correlation >> 32),
+      static_cast<std::uint8_t>(correlation >> 24),
+      static_cast<std::uint8_t>(correlation >> 16),
+      static_cast<std::uint8_t>(correlation >> 8),
+      static_cast<std::uint8_t>(correlation),
+  };
+  return write_exact(fd, hdr, 12) &&
+         write_exact(fd, frame.data(), frame.size());
+}
+
+bool read_record(int fd, std::uint64_t& correlation, Bytes& frame) {
+  std::uint8_t hdr[12];
+  if (!read_exact(fd, hdr, 12)) return false;
+  const std::uint32_t n = (std::uint32_t{hdr[0]} << 24) |
+                          (std::uint32_t{hdr[1]} << 16) |
+                          (std::uint32_t{hdr[2]} << 8) | std::uint32_t{hdr[3]};
+  if (n < 8 || n - 8 > kMaxFrame) return false;
+  correlation = 0;
+  for (int i = 4; i < 12; ++i) correlation = (correlation << 8) | hdr[i];
+  frame.resize(n - 8);
+  return n == 8 || read_exact(fd, frame.data(), n - 8);
 }
 
 Result<int> connect_to(const std::string& host, std::uint16_t port) {
@@ -110,79 +125,137 @@ Result<std::pair<std::string, std::uint16_t>> parse_endpoint(
 TcpServer::~TcpServer() { stop(); }
 
 Result<std::string> TcpServer::start(MessageHandler handler,
-                                     std::uint16_t port) {
+                                     std::uint16_t port, std::size_t workers) {
   if (running_.load()) return Error{Errc::bad_state, "server already running"};
   handler_ = std::move(handler);
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Error{Errc::io_error, "socket() failed"};
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error{Errc::io_error, "socket() failed"};
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
     return Error{Errc::io_error,
                  std::string("bind failed: ") + std::strerror(errno)};
   }
   socklen_t len = sizeof addr;
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
     return Error{Errc::io_error, "listen failed"};
   }
+  listen_fd_.store(fd);
+  pool_size_ = workers != 0
+                   ? workers
+                   : std::clamp<std::size_t>(
+                         std::thread::hardware_concurrency(), 2, 8);
   running_.store(true);
+  pool_.reserve(pool_size_);
+  for (std::size_t i = 0; i < pool_size_; ++i)
+    pool_.emplace_back([this] { dispatch_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
   return "tcp:127.0.0.1:" + std::to_string(port_);
 }
 
 void TcpServer::stop() {
   if (!running_.exchange(false)) return;
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  // Shutdown wakes a blocked accept(); close only after the accept thread
+  // is joined so the descriptor number cannot be recycled under it.
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  if (listen_fd >= 0) ::close(listen_fd);
   {
-    std::lock_guard lock(workers_mutex_);
-    // Wake workers blocked in read() on their connection sockets.
-    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
-    connection_fds_.clear();
-    workers.swap(workers_);
+    // Wake readers blocked in read() on their connection sockets.
+    std::lock_guard lock(state_mutex_);
+    for (auto& conn : connections_) {
+      conn->open.store(false);
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
   }
-  for (auto& t : workers) {
+  queue_cv_.notify_all();
+  for (auto& t : pool_) {
     if (t.joinable()) t.join();
+  }
+  pool_.clear();
+  {
+    std::lock_guard lock(state_mutex_);
+    for (auto& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    readers_.clear();
+    // Close only after every worker and reader is gone, so no thread can
+    // touch a recycled descriptor.
+    for (auto& conn : connections_) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    connections_.clear();
+  }
+  {
+    std::lock_guard lock(queue_mutex_);
+    queue_.clear();
   }
 }
 
 void TcpServer::accept_loop() {
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listening socket closed by stop()
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    std::lock_guard lock(workers_mutex_);
-    connection_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] { serve_connection(fd); });
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard lock(state_mutex_);
+    connections_.push_back(conn);
+    readers_.emplace_back([this, conn] { read_loop(conn); });
   }
 }
 
-void TcpServer::serve_connection(int fd) {
+void TcpServer::read_loop(std::shared_ptr<Connection> conn) {
+  std::uint64_t correlation = 0;
   Bytes frame;
-  while (running_.load() && read_framed(fd, frame)) {
-    Bytes reply = handler_(frame);
-    // One-way frames produce an empty reply; still send the empty frame so
-    // the client's oneway path never blocks waiting on nothing.
-    if (!write_framed(fd, reply)) break;
+  while (running_.load() && read_record(conn->fd, correlation, frame)) {
+    {
+      std::lock_guard lock(queue_mutex_);
+      queue_.push_back(Job{conn, correlation, std::move(frame)});
+    }
+    queue_cv_.notify_one();
+    frame = Bytes{};
   }
-  ::close(fd);
+  conn->open.store(false);
+}
+
+void TcpServer::dispatch_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return !running_.load() || !queue_.empty(); });
+      if (!running_.load()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Bytes reply = handler_(job.frame);
+    // Correlation 0 marks a one-way record: the client expects no reply.
+    if (job.correlation == 0) continue;
+    std::lock_guard wl(job.conn->write_mutex);
+    if (!job.conn->open.load()) continue;
+    if (!write_record(job.conn->fd, job.correlation, reply)) {
+      job.conn->open.store(false);
+      ::shutdown(job.conn->fd, SHUT_RDWR);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -190,14 +263,39 @@ void TcpServer::serve_connection(int fd) {
 
 TcpTransport::~TcpTransport() { reset(); }
 
-void TcpTransport::reset() {
-  std::lock_guard lock(pool_mutex_);
-  for (auto& [ep, conn] : pool_) {
-    std::lock_guard cl(conn->mutex);
-    if (conn->fd >= 0) ::close(conn->fd);
-    conn->fd = -1;
+void TcpTransport::fail_connection(const std::shared_ptr<Connection>& conn,
+                                   const std::string& why) {
+  if (conn->failed.exchange(true)) return;
+  if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  {
+    std::lock_guard lock(pool_mutex_);
+    auto it = pool_.find(conn->endpoint);
+    if (it != pool_.end() && it->second == conn) pool_.erase(it);
   }
-  pool_.clear();
+  std::map<std::uint64_t, ReplyCallback> orphans;
+  {
+    std::lock_guard lock(conn->pending_mutex);
+    orphans.swap(conn->pending);
+  }
+  for (auto& [corr, cb] : orphans)
+    cb(Error{Errc::unreachable, why});
+}
+
+void TcpTransport::reset() {
+  std::vector<std::shared_ptr<Connection>> all;
+  {
+    std::lock_guard lock(pool_mutex_);
+    all.swap(retired_);
+    pool_.clear();
+  }
+  for (auto& conn : all) fail_connection(conn, "transport reset");
+  for (auto& conn : all) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
 }
 
 Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::connection_for(
@@ -212,41 +310,120 @@ Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::connection_for(
   auto fd = connect_to(parsed->first, parsed->second);
   if (!fd) return fd.error();
   auto conn = std::make_shared<Connection>();
+  conn->endpoint = endpoint;
   conn->fd = *fd;
-  std::lock_guard lock(pool_mutex_);
-  auto [it, inserted] = pool_.emplace(endpoint, conn);
-  if (!inserted) {
-    // Raced with another caller; use theirs and drop ours.
-    ::close(conn->fd);
-    return it->second;
+  {
+    std::lock_guard lock(pool_mutex_);
+    auto [it, inserted] = pool_.emplace(endpoint, conn);
+    if (!inserted) {
+      // Raced with another caller; use theirs and drop ours.
+      ::close(conn->fd);
+      return it->second;
+    }
+    // Every connection ever made is retained here until reset() so its
+    // reader thread has a join point (a reader cannot join itself).
+    retired_.push_back(conn);
   }
+  conn->reader = std::thread([this, conn] { reader_loop(conn); });
   return conn;
+}
+
+void TcpTransport::reader_loop(std::shared_ptr<Connection> conn) {
+  std::uint64_t correlation = 0;
+  Bytes frame;
+  while (read_record(conn->fd, correlation, frame)) {
+    ReplyCallback cb;
+    {
+      std::lock_guard lock(conn->pending_mutex);
+      auto it = conn->pending.find(correlation);
+      if (it != conn->pending.end()) {
+        cb = std::move(it->second);
+        conn->pending.erase(it);
+      }
+    }
+    // Records with no pending entry (e.g. a reply to an abandoned one-way)
+    // are silently discarded.
+    if (cb) cb(std::move(frame));
+    frame = Bytes{};
+  }
+  fail_connection(conn, "i/o failed on " + conn->endpoint);
+}
+
+void TcpTransport::submit(const std::string& endpoint, BytesView frame,
+                          ReplyCallback cb) {
+  auto conn = connection_for(endpoint);
+  if (!conn) {
+    cb(conn.error());
+    return;
+  }
+  std::uint64_t correlation = 0;
+  {
+    std::lock_guard lock((*conn)->pending_mutex);
+    correlation = (*conn)->next_correlation++;
+    (*conn)->pending.emplace(correlation, std::move(cb));
+  }
+  if ((*conn)->failed.load()) {
+    // The reader died between lookup and registration; its drain may have
+    // run before our insert, so fail our own entry if it is still there.
+    ReplyCallback mine;
+    {
+      std::lock_guard lock((*conn)->pending_mutex);
+      auto it = (*conn)->pending.find(correlation);
+      if (it != (*conn)->pending.end()) {
+        mine = std::move(it->second);
+        (*conn)->pending.erase(it);
+      }
+    }
+    if (mine) mine(Error{Errc::unreachable, "connection closed"});
+    return;
+  }
+  bool wrote;
+  {
+    std::lock_guard lock((*conn)->write_mutex);
+    wrote = write_record((*conn)->fd, correlation, frame);
+  }
+  // On write failure the teardown path fails every pending callback --
+  // including the one just registered -- exactly once.
+  if (!wrote) fail_connection(*conn, "i/o failed on " + endpoint);
 }
 
 Result<Bytes> TcpTransport::roundtrip(const std::string& endpoint,
                                       BytesView frame) {
-  auto conn = connection_for(endpoint);
-  if (!conn) return conn.error();
-  std::lock_guard lock((*conn)->mutex);
-  if ((*conn)->fd < 0) return Error{Errc::unreachable, "connection closed"};
-  Bytes reply;
-  if (!write_framed((*conn)->fd, frame) ||
-      !read_framed((*conn)->fd, reply)) {
-    ::close((*conn)->fd);
-    (*conn)->fd = -1;
-    std::lock_guard pl(pool_mutex_);
-    pool_.erase(endpoint);
-    return Error{Errc::unreachable, "i/o failed on " + endpoint};
-  }
-  return reply;
+  struct Waiter {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Result<Bytes> reply{Error{Errc::bad_state, "no reply"}};
+  };
+  auto w = std::make_shared<Waiter>();
+  submit(endpoint, frame, [w](Result<Bytes> r) {
+    {
+      std::lock_guard lock(w->mutex);
+      w->reply = std::move(r);
+      w->done = true;
+    }
+    w->cv.notify_one();
+  });
+  std::unique_lock lock(w->mutex);
+  w->cv.wait(lock, [&] { return w->done; });
+  return std::move(w->reply);
 }
 
 Result<void> TcpTransport::send_oneway(const std::string& endpoint,
                                        BytesView frame) {
-  // The server replies with an empty frame even to one-ways; consume it to
-  // keep the stream in lockstep.
-  auto r = roundtrip(endpoint, frame);
-  if (!r) return r.error();
+  auto conn = connection_for(endpoint);
+  if (!conn) return conn.error();
+  bool wrote;
+  {
+    std::lock_guard lock((*conn)->write_mutex);
+    // Correlation 0: the server dispatches without replying, and nothing
+    // blocks behind the send -- a true one-way.
+    wrote = write_record((*conn)->fd, 0, frame);
+  }
+  if (!wrote) {
+    fail_connection(*conn, "i/o failed on " + endpoint);
+    return Error{Errc::unreachable, "i/o failed on " + endpoint};
+  }
   return {};
 }
 

@@ -1,15 +1,27 @@
 // TCP transport: real sockets, for cross-process CORBA-LC networks.
 //
-// Framing: 4-byte big-endian length prefix, then the message frame.
+// Framing (v2, multiplexed): 4-byte big-endian length prefix covering an
+// 8-byte big-endian correlation id plus the message frame. The correlation
+// id is transport-level (the CLCP frame inside stays byte-identical to the
+// loopback wire): the client stamps each submitted request with a fresh id,
+// the server echoes it on the matching reply, and that is what lets many
+// requests be in flight on one connection at once -- true pipelining --
+// with replies correlated as they arrive, in any order. Correlation id 0
+// marks a one-way record: the server does not reply to it.
+//
 // The server accepts connections on 127.0.0.1 (tests/benches run on one
-// host) and serves each connection from a worker thread; a connection
-// carries sequential request/reply pairs. The client keeps one pooled
-// connection per endpoint, guarded per-endpoint so concurrent callers
-// serialize on the socket rather than interleaving frames.
+// host); a per-connection reader thread decodes records and hands them to a
+// small shared worker pool, so pipelined requests on one connection execute
+// *concurrently*, and replies are written under a per-connection write lock
+// as each completes. The client keeps one pooled connection per endpoint
+// with its own reader thread demultiplexing replies to the pending
+// callbacks; roundtrip() is submit() + wait.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,7 +33,8 @@
 
 namespace clc::orb {
 
-/// Listening side. Owns the accept thread and per-connection workers.
+/// Listening side. Owns the accept thread, per-connection reader threads
+/// and the shared dispatch worker pool.
 class TcpServer {
  public:
   TcpServer() = default;
@@ -30,27 +43,56 @@ class TcpServer {
   TcpServer& operator=(const TcpServer&) = delete;
 
   /// Bind to 127.0.0.1:<port> (0 = ephemeral) and start serving `handler`.
+  /// `workers` sizes the dispatch pool (0 = a small hardware-based default);
+  /// pipelined requests on one connection dispatch concurrently across it.
   /// Returns the endpoint string "tcp:127.0.0.1:<actual-port>".
-  Result<std::string> start(MessageHandler handler, std::uint16_t port = 0);
+  Result<std::string> start(MessageHandler handler, std::uint16_t port = 0,
+                            std::size_t workers = 0);
   void stop();
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return pool_size_;
+  }
 
  private:
+  /// One accepted connection: replies from concurrent dispatches serialize
+  /// on `write_mutex`; `open` flips once on teardown so late completions
+  /// drop their reply instead of writing to a recycled fd.
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> open{true};
+  };
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t correlation = 0;
+    Bytes frame;
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void read_loop(std::shared_ptr<Connection> conn);
+  void dispatch_loop();
 
   MessageHandler handler_;
-  int listen_fd_ = -1;
+  // Atomic: stop() invalidates it while accept_loop() is reading it.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
+  std::size_t pool_size_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  std::vector<int> connection_fds_;  // open connections, shut down on stop()
+  std::mutex state_mutex_;
+  std::vector<std::thread> readers_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> pool_;
 };
 
 /// Connecting side; implements Transport for "tcp:host:port" endpoints.
+/// One pooled connection per endpoint carries any number of in-flight
+/// requests, multiplexed by correlation id.
 class TcpTransport final : public Transport {
  public:
   ~TcpTransport() override;
@@ -59,20 +101,38 @@ class TcpTransport final : public Transport {
                           BytesView frame) override;
   Result<void> send_oneway(const std::string& endpoint,
                            BytesView frame) override;
+  void submit(const std::string& endpoint, BytesView frame,
+              ReplyCallback cb) override;
 
-  /// Drop pooled connections (e.g. after a peer restarted).
+  /// Drop pooled connections (e.g. after a peer restarted). Pending
+  /// invocations fail with Errc::unreachable.
   void reset();
 
  private:
   struct Connection {
-    std::mutex mutex;
+    std::string endpoint;
     int fd = -1;
+    std::mutex write_mutex;
+    std::mutex pending_mutex;
+    std::map<std::uint64_t, ReplyCallback> pending;
+    std::uint64_t next_correlation = 1;  // under pending_mutex
+    std::atomic<bool> failed{false};
+    std::thread reader;
   };
+
   Result<std::shared_ptr<Connection>> connection_for(
       const std::string& endpoint);
+  void reader_loop(std::shared_ptr<Connection> conn);
+  /// Tear a connection down once: shut the socket, evict it from the pool
+  /// and fail every pending callback. Idempotent; safe from any thread.
+  void fail_connection(const std::shared_ptr<Connection>& conn,
+                       const std::string& why);
 
   std::mutex pool_mutex_;
   std::map<std::string, std::shared_ptr<Connection>> pool_;
+  /// Failed connections parked until reset()/destruction can join their
+  /// reader threads (a reader cannot join itself).
+  std::vector<std::shared_ptr<Connection>> retired_;
 };
 
 }  // namespace clc::orb

@@ -1,10 +1,13 @@
 #include "orb/transport.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "util/clock.hpp"
 
 namespace clc::orb {
+
+LoopbackNetwork::~LoopbackNetwork() { stop_async_workers(); }
 
 std::string LoopbackNetwork::register_endpoint(MessageHandler handler) {
   std::lock_guard lock(mutex_);
@@ -65,8 +68,8 @@ void LoopbackNetwork::apply_delay(std::size_t bytes) {
     std::this_thread::sleep_for(std::chrono::microseconds(delay));
 }
 
-Result<Bytes> LoopbackNetwork::roundtrip(const std::string& endpoint,
-                                         BytesView frame) {
+Result<Bytes> LoopbackNetwork::exchange(const std::string& endpoint,
+                                        BytesView frame) {
   auto handler = lookup(endpoint);
   if (!handler) return handler.error();
   if (should_drop()) return Error{Errc::timeout, "request dropped"};
@@ -77,6 +80,11 @@ Result<Bytes> LoopbackNetwork::roundtrip(const std::string& endpoint,
   return reply;
 }
 
+Result<Bytes> LoopbackNetwork::roundtrip(const std::string& endpoint,
+                                         BytesView frame) {
+  return exchange(endpoint, frame);
+}
+
 Result<void> LoopbackNetwork::send_oneway(const std::string& endpoint,
                                           BytesView frame) {
   auto handler = lookup(endpoint);
@@ -85,6 +93,67 @@ Result<void> LoopbackNetwork::send_oneway(const std::string& endpoint,
   apply_delay(frame.size());
   (*handler)(frame);
   return {};
+}
+
+void LoopbackNetwork::submit(const std::string& endpoint, BytesView frame,
+                             ReplyCallback cb) {
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (!workers_.empty() && !stopping_) {
+      queue_.push_back(Job{endpoint, Bytes(frame.begin(), frame.end()),
+                           std::move(cb)});
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  cb(exchange(endpoint, frame));  // no pool: complete inline, deterministic
+}
+
+void LoopbackNetwork::start_async_workers(std::size_t n) {
+  std::lock_guard lock(queue_mutex_);
+  if (!workers_.empty()) return;
+  stopping_ = false;
+  n = std::clamp<std::size_t>(n, 1, 32);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void LoopbackNetwork::stop_async_workers() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  queue_cv_.notify_all();
+  for (auto& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  // Fail anything still queued so no callback is silently lost.
+  std::deque<Job> leftover;
+  {
+    std::lock_guard lock(queue_mutex_);
+    leftover.swap(queue_);
+    stopping_ = false;
+  }
+  for (auto& job : leftover)
+    job.cb(Error{Errc::unreachable, "loopback workers stopped"});
+}
+
+void LoopbackNetwork::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      if (queue_.empty()) continue;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job.cb(exchange(job.endpoint, job.frame));
+  }
 }
 
 }  // namespace clc::orb

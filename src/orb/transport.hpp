@@ -1,21 +1,31 @@
 // Transport abstraction and the in-process loopback network.
 //
 // Transports move opaque framed messages between endpoints. The ORB is the
-// only client: it encodes a request frame, asks the transport for a
-// round-trip (or a one-way send), and decodes the reply frame. Endpoint
-// strings are scheme-prefixed: "loop:<n>" (in-process), "tcp:host:port".
+// only client: it encodes a request frame and either asks the transport for
+// a blocking round-trip (or a one-way send), or *submits* the frame with a
+// completion callback -- the asynchronous path that lets many requests be
+// in flight on one connection at once (pipelining). Endpoint strings are
+// scheme-prefixed: "loop:<n>" (in-process), "tcp:host:port".
 //
 // LoopbackNetwork connects all ORBs of one process and supports the failure
 // and delay injection the tests and benches need: per-link latency,
 // bandwidth modelling, message drop probability, and detached (crashed)
-// endpoints.
+// endpoints. By default submit() completes inline on the caller thread
+// (deterministic, what the virtual-time test harnesses rely on); a bench or
+// stress test can start a worker pool so submissions genuinely overlap --
+// including their modelled link latency, which is what makes pipelining
+// measurable on a loopback link.
 #pragma once
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "util/bytes.hpp"
@@ -29,6 +39,10 @@ namespace clc::orb {
 /// frame and produces one reply frame (empty for one-ways).
 using MessageHandler = std::function<Bytes(BytesView)>;
 
+/// Completion of one submitted request: the reply frame, or the error that
+/// ended the exchange. Invoked exactly once, possibly inline from submit().
+using ReplyCallback = std::function<void(Result<Bytes>)>;
+
 /// Client side of a transport.
 class Transport {
  public:
@@ -39,6 +53,15 @@ class Transport {
   /// Send a frame without expecting a reply.
   virtual Result<void> send_oneway(const std::string& endpoint,
                                    BytesView frame) = 0;
+  /// Asynchronous request/reply: ship `frame`, invoke `cb` exactly once
+  /// with the reply or the failure. `frame` need only stay alive for the
+  /// duration of this call -- transports copy it if they keep it longer.
+  /// The default implementation degrades to a synchronous roundtrip
+  /// completing inline, so every transport supports the async API.
+  virtual void submit(const std::string& endpoint, BytesView frame,
+                      ReplyCallback cb) {
+    cb(roundtrip(endpoint, frame));
+  }
 };
 
 /// In-process "network": endpoints registered with handlers; calls are
@@ -55,6 +78,7 @@ class LoopbackNetwork : public Transport {
         bytes_(&metrics_->counter("transport.bytes")),
         dropped_(&metrics_->counter("transport.dropped")),
         rng_(0x10bac) {}
+  ~LoopbackNetwork() override;
 
   /// Tuning/failure knobs; applied to every message.
   struct Config {
@@ -87,6 +111,19 @@ class LoopbackNetwork : public Transport {
                           BytesView frame) override;
   Result<void> send_oneway(const std::string& endpoint,
                            BytesView frame) override;
+  /// Async path. With no worker pool (the default) the exchange runs inline
+  /// on the caller thread -- byte- and order-identical to roundtrip(), which
+  /// keeps the deterministic virtual-time tiers exact. With workers started,
+  /// submissions queue to the pool and their link latency overlaps.
+  void submit(const std::string& endpoint, BytesView frame,
+              ReplyCallback cb) override;
+
+  /// Start `n` worker threads serving submit() concurrently (idempotent;
+  /// capped at 32). Turns modelled latency into genuinely overlapping
+  /// in-flight requests, as on a real network.
+  void start_async_workers(std::size_t n);
+  /// Drain the queue and join the workers (also runs at destruction).
+  void stop_async_workers();
 
   /// Total messages and bytes moved (for bench accounting); a legacy view
   /// assembled from the metrics registry ("transport.*" names).
@@ -107,9 +144,17 @@ class LoopbackNetwork : public Transport {
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
 
  private:
+  struct Job {
+    std::string endpoint;
+    Bytes frame;
+    ReplyCallback cb;
+  };
+
   Result<MessageHandler> lookup(const std::string& endpoint);
   void apply_delay(std::size_t bytes);
   bool should_drop();
+  Result<Bytes> exchange(const std::string& endpoint, BytesView frame);
+  void worker_loop();
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_;
@@ -122,6 +167,13 @@ class LoopbackNetwork : public Transport {
   std::function<void(Duration)> sleep_fn_;
   Rng rng_;
   int next_id_ = 1;
+
+  // Async worker pool (only live between start/stop_async_workers).
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
 };
 
 }  // namespace clc::orb

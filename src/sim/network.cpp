@@ -38,11 +38,17 @@ Duration SimNetwork::delivery_delay(NodeId from, NodeId to,
 }
 
 void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
+  send(from, to, std::move(payload), nullptr);
+}
+
+void SimNetwork::send(NodeId from, NodeId to, Bytes payload,
+                      DeliveryCallback on_delivery) {
   messages_sent_->inc();
   bytes_sent_->add(payload.size());
   per_node_bytes_[from] += payload.size();
   if (blocked(from, to) || rng_.chance(model_.drop_probability)) {
     messages_dropped_->inc();
+    if (on_delivery) on_delivery(false);
     return;
   }
   Duration delay = delivery_delay(from, to, payload.size());
@@ -54,30 +60,34 @@ void SimNetwork::send(NodeId from, NodeId to, Bytes payload) {
     // A reset has no connection to kill here; the message is simply lost.
     if (d.drop || d.reset) {
       messages_dropped_->inc();
+      if (on_delivery) on_delivery(false);
       return;
     }
     delay += d.delay;  // extra latency; lets later messages overtake
     fault::FaultInjector::corrupt(payload, d);
     if (d.duplicate) {
+      // The duplicate is invisible to the sender: no second callback.
       sim_.schedule_after(delay, [this, from, to, to_inc, data = payload]() {
         deliver(from, to, to_inc, data);
       });
     }
   }
   sim_.schedule_after(
-      delay, [this, from, to, to_inc, data = std::move(payload)]() mutable {
-        deliver(from, to, to_inc, data);
+      delay, [this, from, to, to_inc, data = std::move(payload),
+              cb = std::move(on_delivery)]() mutable {
+        const bool delivered = deliver(from, to, to_inc, data);
+        if (cb) cb(delivered);
       });
 }
 
-void SimNetwork::deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,
+bool SimNetwork::deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,
                          const Bytes& payload) {
   // Re-check at delivery time: the destination may have crashed or a
   // partition may have appeared while the message was in flight.
   auto it = hosts_.find(to);
   if (it == hosts_.end() || blocked(from, to)) {
     messages_dropped_->inc();
-    return;
+    return false;
   }
   // The destination restarted while this frame was in flight (a healed
   // partition can release long-delayed pre-crash traffic): the frame was
@@ -85,10 +95,11 @@ void SimNetwork::deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,
   if (incarnation_of(to) != to_incarnation) {
     stale_incarnation_dropped_->inc();
     messages_dropped_->inc();
-    return;
+    return false;
   }
   messages_delivered_->inc();
   it->second->on_message(from, payload);
+  return true;
 }
 
 }  // namespace clc::sim

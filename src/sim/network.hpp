@@ -93,6 +93,16 @@ class SimNetwork {
   /// or partitioned node silently loses the message, as on a real network.
   void send(NodeId from, NodeId to, Bytes payload);
 
+  /// Completion notification for one send: `delivered` is true when the
+  /// payload reached the destination host, false when it was lost (drop,
+  /// partition, crash, stale incarnation). Fires in *virtual* time -- at
+  /// the delivery instant, or immediately for a send-time loss.
+  using DeliveryCallback = std::function<void(bool delivered)>;
+  /// send() with a completion callback: the asynchronous-submission shape
+  /// of the ORB transports, in simulation. Many sends may be outstanding,
+  /// and their callbacks fire in delivery order, not submission order.
+  void send(NodeId from, NodeId to, Bytes payload, DeliveryCallback on_delivery);
+
   /// Legacy view assembled from the metrics registry ("sim.*" names).
   struct Stats {
     std::uint64_t messages_sent = 0;
@@ -124,7 +134,7 @@ class SimNetwork {
   [[nodiscard]] bool blocked(NodeId a, NodeId b) const;
   [[nodiscard]] Duration delivery_delay(NodeId from, NodeId to,
                                         std::size_t bytes);
-  void deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,
+  bool deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,
                const Bytes& payload);
 
   Simulator& sim_;
