@@ -135,6 +135,9 @@ ProtoMessage CohesionNode::make(const std::string& kind) const {
   // extra bytes; receivers default a missing field to 1.
   if (incarnation_ > 1)
     m.set_int("inc", static_cast<std::int64_t>(incarnation_));
+  // Same elision for the partition epoch: never-partitioned networks pay
+  // zero extra bytes.
+  if (epoch_ > 1) m.set_int("ep", static_cast<std::int64_t>(epoch_));
   return m;
 }
 
@@ -191,6 +194,17 @@ void CohesionNode::restart(TimePoint now) {
   tombstones_.clear();
   last_anti_entropy_ = now;
   ae_rotor_ = 0;
+  suspected_.clear();
+  probe_votes_.clear();
+  indirect_probes_.clear();
+  promotion_acks_.clear();
+  promotion_poll_last_ = 0;
+  last_rejoin_attempt_ = 0;
+  claims_.clear();
+  // The epoch survives a restart conceptually, but it lived in RAM: the
+  // reborn node re-learns the network's epoch from the first admitted
+  // message (monotone max), which is all correctness needs.
+  epoch_ = 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -213,8 +227,22 @@ bool CohesionNode::admit_message(const ProtoMessage& m) {
     // Equal incarnation: the death verdict was wrong (partition, lost
     // probes) and the node is still alive. Higher: it restarted. Either
     // way the tombstone is obsolete.
+    const bool revived = inc == tomb->second;
     tombstones_.erase(tomb);
+    if (revived && revived_handler_) revived_handler_(from, inc);
+    // A false death discovered by the *root* means the node should rejoin
+    // the membership directory (it never actually left the network).
+    if (revived && root_ && !directory_.contains(from)) directory_.add(from);
   }
+  // Adopt the network's partition epoch (monotone max) -- but never while
+  // we hold the root role: a root's epoch reflects its *own* quorum-
+  // confirmed history, and is what the split-brain tie-break compares. A
+  // healed minority root that adopted the majority's epoch from probe acks
+  // would turn the tie-break into lowest-id and could steal the role back.
+  // Roots advance their epoch only through verdicts, or by losing the
+  // root_announce comparison (which demotes them first).
+  const auto ep = static_cast<std::uint64_t>(m.field_int("ep", 1));
+  if (ep > epoch_ && !root_) epoch_ = ep;
   auto& slot = peer_incarnations_[from];
   if (inc > slot) {
     // A reborn node starts from an empty registry: whatever we cached
@@ -231,6 +259,46 @@ void CohesionNode::purge_peer_state(NodeId n) {
   roster_.erase(n);
   roster_last_heard_.erase(n);
   probe_pending_.erase(n);
+  suspected_.erase(n);
+  probe_votes_.erase(n);
+  indirect_probes_.erase(n);
+}
+
+void CohesionNode::clear_suspicion(NodeId n) {
+  if (suspected_.erase(n) != 0) note_transition("unsuspected:" + n.to_string());
+  probe_pending_.erase(n);
+  probe_votes_.erase(n);
+}
+
+std::size_t CohesionNode::quorum_needed() const {
+  // Majority of the full membership directory (the suspect included: the
+  // denominator must not shrink just because we stopped hearing nodes). A
+  // 2-node network cannot form a majority that excludes the suspect, so it
+  // falls back to the single observer's verdict.
+  const std::size_t n = directory_.join_order.size();
+  return n <= 2 ? 1 : n / 2 + 1;
+}
+
+void CohesionNode::root_begin_probe(NodeId suspect, TimePoint now) {
+  if (probe_pending_.count(suspect) != 0) return;
+  probe_pending_[suspect] = now;
+  probe_votes_[suspect].clear();
+  send(suspect, make("probe"));
+  if (suspected_.insert(suspect).second) {
+    metrics_->counter("cohesion.suspected").inc();
+    note_transition("suspected:" + suspect.to_string());
+  }
+  // Fan out indirect-reachability requests: peers probe the suspect from
+  // their side of the network and report back. Their votes are what turns
+  // a timeout into a quorum-backed death verdict.
+  ProtoMessage req = make("probe_req");
+  req.set_int("node", static_cast<std::int64_t>(suspect.value));
+  // Copy: reply chains admit revived peers into the directory mid-loop.
+  const std::vector<NodeId> members = directory_.join_order;
+  for (NodeId n : members) {
+    if (n == id_ || n == suspect || suspected_.count(n) != 0) continue;
+    send(n, req);
+  }
 }
 
 void CohesionNode::note_death(NodeId dead, std::uint64_t dead_inc,
@@ -250,15 +318,21 @@ void CohesionNode::note_death(NodeId dead, std::uint64_t dead_inc,
     m.set_int("node", static_cast<std::int64_t>(dead.value));
     m.set_int("dead_inc", static_cast<std::int64_t>(dead_inc));
     m.blob = directory_.encode();
-    for (NodeId n : directory_.join_order) send(n, m);
+    // Copy: failover traffic triggered by the broadcast can re-enter and
+    // reshape the directory under the loop.
+    const std::vector<NodeId> members = directory_.join_order;
+    for (NodeId n : members) send(n, m);
   }
   if (dead_handler_) dead_handler_(dead, dead_inc, std::move(alive));
   (void)now;
 }
 
 Bytes CohesionNode::encode_incarnation_table() const {
-  // Entries: (node, incarnation, tombstoned?) for every node we have an
-  // opinion about, including ourselves (incarnation_, alive).
+  // Entries: (node, incarnation, tombstoned?, vouched-alive?) for every
+  // node we have an opinion about, including ourselves. The vouch bit is
+  // first-hand evidence (live parent/child/roster member): it lets an
+  // equal-incarnation false death propagate its *revival* through gossip
+  // after a heal, not just through direct contact.
   std::map<NodeId, std::pair<std::uint64_t, bool>> entries;
   for (const auto& [n, inc] : peer_incarnations_) entries[n] = {inc, false};
   for (const auto& [n, inc] : tombstones_) {
@@ -274,8 +348,51 @@ Bytes CohesionNode::encode_incarnation_table() const {
     w.write_ulonglong(n.value);
     w.write_ulonglong(e.first);
     w.write_boolean(e.second);
+    w.write_boolean(!e.second && believes_alive(n) && !is_suspected(n));
+  }
+  // Partition-epoch + failover-claim tail: how diverged histories reconcile
+  // after a heal (registry anti-entropy extended with partition epochs).
+  w.write_ulonglong(epoch_);
+  std::vector<const FailoverClaim*> live_claims;
+  for (const auto& [key, c] : claims_) {
+    // A restarted origin moots the claim: its old instance died with it.
+    if (known_incarnation(c.origin) > c.origin_inc) continue;
+    live_claims.push_back(&c);
+  }
+  w.write_ulong(static_cast<std::uint32_t>(live_claims.size()));
+  for (const FailoverClaim* c : live_claims) {
+    w.write_ulonglong(c->origin.value);
+    w.write_ulonglong(c->origin_inc);
+    w.write_ulonglong(c->instance);
+    w.write_ulonglong(c->epoch);
+    w.write_ulonglong(c->host.value);
   }
   return w.take();
+}
+
+void CohesionNode::add_failover_claim(const FailoverClaim& claim) {
+  const auto key = std::make_pair(claim.origin.value, claim.instance);
+  auto it = claims_.find(key);
+  if (it != claims_.end()) {
+    // Deterministic dominance: higher epoch, then higher origin
+    // incarnation, then lower host id. Both sides of a heal apply the same
+    // order, so they agree on the surviving copy.
+    const FailoverClaim& have = it->second;
+    const bool better =
+        claim.epoch != have.epoch ? claim.epoch > have.epoch
+        : claim.origin_inc != have.origin_inc
+            ? claim.origin_inc > have.origin_inc
+            : claim.host.value < have.host.value;
+    if (!better) return;
+  }
+  claims_[key] = claim;
+}
+
+std::vector<FailoverClaim> CohesionNode::failover_claims() const {
+  std::vector<FailoverClaim> out;
+  out.reserve(claims_.size());
+  for (const auto& [key, c] : claims_) out.push_back(c);
+  return out;
 }
 
 bool CohesionNode::believes_alive(NodeId n) const {
@@ -299,6 +416,8 @@ void CohesionNode::merge_incarnation_table(BytesView data, TimePoint now) {
     if (!inc) return;
     auto tomb = r.read_boolean();
     if (!tomb) return;
+    auto vouch = r.read_boolean();
+    if (!vouch) return;
     const NodeId n{*node};
     if (n == id_) continue;  // nobody outranks us on our own liveness
     auto& slot = peer_incarnations_[n];
@@ -326,7 +445,48 @@ void CohesionNode::merge_incarnation_table(BytesView data, TimePoint now) {
       tombstones_[n] = *inc;
       metrics_->counter("cohesion.ae_purged").inc();
       purge_peer_state(n);
+    } else if (*vouch && !*tomb) {
+      // The peer sees `n` alive first-hand at this incarnation: an
+      // equal-incarnation tombstone we hold records a false death (the
+      // node was partitioned away, not dead). Revive it so the dual-
+      // primary resolution at the Node layer can run even when the
+      // revived node never talks to us directly.
+      if (auto t = tombstones_.find(n);
+          t != tombstones_.end() && t->second == *inc) {
+        tombstones_.erase(t);
+        metrics_->counter("cohesion.ae_revived").inc();
+        if (revived_handler_) revived_handler_(n, *inc);
+        if (root_ && !directory_.contains(n)) directory_.add(n);
+      }
     }
+  }
+  // Epoch + failover-claim tail. Older tables simply end here; a failed
+  // read leaves the claim set untouched. Roots never adopt gossiped epochs
+  // (same rule as admit_message): the tie-break depends on a root's epoch
+  // reflecting only its own quorum-confirmed history.
+  if (auto ep = r.read_ulonglong(); ep && *ep > epoch_ && !root_)
+    epoch_ = *ep;
+  auto claim_count = r.read_ulong();
+  if (!claim_count) return;
+  for (std::uint32_t i = 0; i < *claim_count; ++i) {
+    auto origin = r.read_ulonglong();
+    auto origin_inc = r.read_ulonglong();
+    auto instance = r.read_ulonglong();
+    auto epoch = r.read_ulonglong();
+    auto host = r.read_ulonglong();
+    if (!origin || !origin_inc || !instance || !epoch || !host) return;
+    FailoverClaim c;
+    c.origin = NodeId{*origin};
+    c.origin_inc = *origin_inc;
+    c.instance = *instance;
+    c.epoch = *epoch;
+    c.host = NodeId{*host};
+    if (known_incarnation(c.origin) > c.origin_inc) continue;  // moot
+    const auto key = std::make_pair(c.origin.value, c.instance);
+    const auto before = claims_.find(key);
+    const bool had = before != claims_.end() && before->second == c;
+    add_failover_claim(c);
+    if (!had && claim_handler_) claim_handler_(c);
   }
   (void)now;
 }
@@ -335,12 +495,33 @@ void CohesionNode::send_anti_entropy(TimePoint now) {
   // One partner per round, rotated deterministically: the parent when we
   // have one (hierarchical leaf/interior), otherwise round-robin over the
   // nodes we know (root over its directory, flat/strong over the roster).
+  // Suspected peers are skipped instead of burning the round on a partner
+  // that cannot answer ("registry.antientropy_skipped" counts each skip).
+  obs::Counter& skipped = metrics_->counter("registry.antientropy_skipped");
+  const Duration t = cfg_.heartbeat;
   NodeId target{};
-  if (cfg_.mode == CohesionConfig::Mode::hierarchical && parent_.valid()) {
+  const bool parent_suspect =
+      parent_.valid() && parent_last_heard_ > 0 &&
+      now - parent_last_heard_ > cfg_.suspect_after * t;
+  if (cfg_.mode == CohesionConfig::Mode::hierarchical && parent_.valid() &&
+      !parent_suspect) {
     target = parent_;
   } else {
+    if (parent_suspect) skipped.inc();
     std::vector<NodeId> peers = known_nodes();
-    peers.erase(std::remove(peers.begin(), peers.end(), id_), peers.end());
+    peers.erase(std::remove_if(peers.begin(), peers.end(),
+                               [&](NodeId n) {
+                                 if (n == id_) return true;
+                                 if (n == parent_ && parent_suspect)
+                                   return true;  // already counted above
+                                 if (is_suspected(n) ||
+                                     tombstones_.count(n) != 0) {
+                                   skipped.inc();
+                                   return true;
+                                 }
+                                 return false;
+                               }),
+                peers.end());
     if (peers.empty()) return;
     target = peers[ae_rotor_++ % peers.size()];
   }
@@ -348,7 +529,6 @@ void CohesionNode::send_anti_entropy(TimePoint now) {
   m.blob = encode_incarnation_table();
   send(target, m);
   metrics_->counter("cohesion.ae_rounds").inc();
-  (void)now;
 }
 
 // ---------------------------------------------------------------------------
@@ -373,7 +553,13 @@ std::map<NodeId, NodeId> CohesionNode::compute_tree() const {
 
 void CohesionNode::root_recompute_and_publish(TimePoint now) {
   const auto tree = compute_tree();
-  for (NodeId n : directory_.join_order) {
+  // Copy: topology pushes trigger synchronous joins that grow join_order.
+  const std::vector<NodeId> members = directory_.join_order;
+  for (NodeId n : members) {
+    // A topology push can synchronously trigger a root contest we lose;
+    // once demoted (now carrying the winner's epoch) any further pushes
+    // would be accepted downstream and steal the winner's children.
+    if (!root_) return;
     if (n == id_) continue;
     auto it = tree.find(n);
     const NodeId parent = it == tree.end() ? id_ : it->second;
@@ -435,10 +621,13 @@ std::vector<NodeId> CohesionNode::root_replica_list() const {
 }
 
 void CohesionNode::adopt_topology(NodeId new_parent, TimePoint now) {
+  if (new_parent != parent_)
+    note_transition("parent:" + new_parent.to_string());
   parent_ = new_parent;
   joined_ = true;
   parent_last_heard_ = now;
   root_death_detected_ = 0;
+  promotion_acks_.clear();
 }
 
 void CohesionNode::handle_member_dead(NodeId dead, TimePoint now) {
@@ -446,6 +635,13 @@ void CohesionNode::handle_member_dead(NodeId dead, TimePoint now) {
   if (dead == id_) return;
   if (!directory_.contains(dead)) return;
   directory_.remove(dead);
+  clear_suspicion(dead);
+  suspected_.erase(dead);
+  // A quorum-confirmed verdict opens a new partition epoch: everything the
+  // survivors decide from here (failover elections, restored instances) is
+  // stamped newer than anything the cut-off side can produce.
+  ++epoch_;
+  note_transition("death:" + dead.to_string());
   root_recompute_and_publish(now);
   // MRM-confirmed death: tombstone it, tell every member (they purge their
   // caches and the checkpoint holders among them start failover).
@@ -463,14 +659,56 @@ void CohesionNode::promote_to_root(TimePoint now) {
   current_root_ = id_;
   parent_ = NodeId{};
   root_death_detected_ = 0;
+  promotion_acks_.clear();
+  promotion_poll_last_ = 0;
+  // Promotion opens a new epoch (the old root's reign is over); the bumped
+  // value rides the root_announce below, so a healed ex-root loses the
+  // split-brain tie-break against us.
+  ++epoch_;
+  note_transition("promoted");
   last_published_.clear();  // push fresh topology to everyone
   root_recompute_and_publish(now);
-  for (NodeId n : directory_.join_order) send(n, make("root_announce"));
+  // Copy: join replies triggered by the announce mutate join_order.
+  const std::vector<NodeId> members = directory_.join_order;
+  for (NodeId n : members) send(n, make("root_announce"));
   if (dead_root.valid())
     note_death(dead_root,
                known_incarnation(dead_root) == 0 ? 1
                                                  : known_incarnation(dead_root),
                directory_.join_order, now, /*broadcast=*/true);
+}
+
+bool CohesionNode::contest_root(NodeId rival, std::uint64_t rival_epoch) {
+  // Deterministic on both sides: the higher partition epoch wins (it
+  // carries the quorum-confirmed history); equal epochs fall back to the
+  // lower node id.
+  const bool they_win = rival_epoch != epoch_ ? rival_epoch > epoch_
+                                              : rival.value < id_.value;
+  if (they_win) {
+    if (rival_epoch > epoch_) epoch_ = rival_epoch;
+    demote_from_root(rival);
+    return false;
+  }
+  send(rival, make("root_announce"));  // re-assert; the rival will demote
+  return true;
+}
+
+void CohesionNode::demote_from_root(NodeId winner) {
+  root_ = false;
+  have_directory_copy_ = false;  // our copy reflects the losing history
+  last_published_.clear();
+  // The winner re-parents our ex-children through its own topology pushes;
+  // keeping them here would pin their pre-heal digests (and an eternal
+  // suspect flag) under every future query's coverage check.
+  children_.clear();
+  probe_pending_.clear();
+  probe_votes_.clear();
+  suspected_.clear();
+  promotion_acks_.clear();
+  root_death_detected_ = 0;
+  current_root_ = winner;
+  note_transition("demoted");
+  send(winner, make("join"));
 }
 
 // ---------------------------------------------------------------------------
@@ -545,6 +783,12 @@ void CohesionNode::local_and_cached_hits(const ComponentQuery& q,
   }
 }
 
+bool CohesionNode::coverage_gap() const {
+  if (root_ && !suspected_.empty()) return true;
+  return std::any_of(children_.begin(), children_.end(),
+                     [](const auto& kv) { return kv.second.suspect; });
+}
+
 void CohesionNode::finish_pending(std::uint64_t qid) {
   auto it = pending_.find(qid);
   if (it == pending_.end()) return;
@@ -558,11 +802,25 @@ void CohesionNode::finish_pending(std::uint64_t qid) {
   rank_hits(p.hits, ctx);
   if (p.hits.size() > p.q.max_results) p.hits.resize(p.q.max_results);
   queries_answered_->inc();
-  p.cb(std::move(p.hits));
+  if (p.degraded) {
+    metrics_->counter("cohesion.degraded_queries").inc();
+    note_transition("query_degraded");
+  }
+  QueryResult result;
+  result.hits = std::move(p.hits);
+  result.degraded = p.degraded;
+  p.cb(std::move(result));
 }
 
 void CohesionNode::query(const ComponentQuery& q, TimePoint now,
                          QueryCallback cb) {
+  query_ex(q, now, [cb = std::move(cb)](QueryResult r) {
+    cb(std::move(r.hits));
+  });
+}
+
+void CohesionNode::query_ex(const ComponentQuery& q, TimePoint now,
+                            QueryCallbackEx cb) {
   queries_issued_->inc();
   const std::uint64_t qid = (id_.value << 20) | (next_qid_++ & 0xfffff);
   PendingQuery p;
@@ -600,6 +858,12 @@ void CohesionNode::query(const ComponentQuery& q, TimePoint now,
   // Hierarchical: check locally + one level down, then climb.
   local_and_cached_hits(q, p.hits);
   const bool satisfied = p.hits.size() >= q.max_results;
+  // An orphan (parent unreachable, no verdict yet -- the degraded minority
+  // side of a partition) serves what it can see and tags the result.
+  if (!satisfied && joined_ && !root_ && !parent_.valid()) p.degraded = true;
+  // Suspect subtrees (or, at the root, suspects awaiting a quorum verdict)
+  // will not be asked: the query completes, but over partial coverage.
+  if (!satisfied && coverage_gap()) p.degraded = true;
   const bool can_descend = std::any_of(
       children_.begin(), children_.end(), [&](const auto& kv) {
         return !kv.second.suspect && names_may_match(q, kv.second.subtree_names);
@@ -622,6 +886,9 @@ void CohesionNode::query(const ComponentQuery& q, TimePoint now,
 
 void CohesionNode::process_tree_query(std::uint64_t qid, RelayedQuery&& relay,
                                       TimePoint now) {
+  // Relays inherit the coverage gap too, so a leaf that queried through us
+  // learns its answer skipped suspect subtrees.
+  if (coverage_gap()) relay.degraded = true;
   // Descend into promising child subtrees (pruned by aggregate names).
   // The child's *own* components are already cached here, so descend only
   // when a deeper name (one the child aggregates but does not itself host)
@@ -655,20 +922,8 @@ void CohesionNode::process_tree_query(std::uint64_t qid, RelayedQuery&& relay,
   }
   if (relay.awaiting_children.empty()) {
     // Nothing to wait for: answer straight away.
-    RelayedQuery done = std::move(relay);
-    relayed_.erase(qid);
-    if (done.reply_to == id_) {
-      auto it = pending_.find(done.reply_qid);
-      if (it != pending_.end()) {
-        append_hits(it->second.hits, done.hits);
-        finish_pending(done.reply_qid);
-      }
-      return;
-    }
-    ProtoMessage m = make("q_reply");
-    m.set_int("qid", static_cast<std::int64_t>(done.reply_qid));
-    m.blob = encode_hits(done.hits);
-    send(done.reply_to, m);
+    relayed_[qid] = std::move(relay);
+    finish_relay(qid, now);
     return;
   }
   relayed_[qid] = std::move(relay);
@@ -680,16 +935,23 @@ void CohesionNode::finish_relay(std::uint64_t qid, TimePoint now) {
   if (it == relayed_.end()) return;
   RelayedQuery relay = std::move(it->second);
   relayed_.erase(it);
+  // A fragment root (orphaned: no parent, not the network root) answers
+  // for its subtree only -- the rest of the tree is unreachable.
+  if (joined_ && !root_ && !parent_.valid() &&
+      relay.hits.size() < relay.q.max_results)
+    relay.degraded = true;
   if (relay.reply_to == id_) {
     auto p = pending_.find(relay.reply_qid);
     if (p != pending_.end()) {
       append_hits(p->second.hits, relay.hits);
+      p->second.degraded = p->second.degraded || relay.degraded;
       finish_pending(relay.reply_qid);
     }
     return;
   }
   ProtoMessage m = make("q_reply");
   m.set_int("qid", static_cast<std::int64_t>(relay.reply_qid));
+  if (relay.degraded) m.set_int("deg", 1);
   m.blob = encode_hits(relay.hits);
   send(relay.reply_to, m);
   (void)now;
@@ -703,6 +965,9 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
   // Incarnation fence: frames sent by a previous life of a crashed node
   // (or by a node we hold a tombstone for) die at the protocol boundary.
   if (!admit_message(m)) return;
+  // Any admitted message is first-hand liveness: abort a pending verdict
+  // against the sender (a healed partition revives suspects this way).
+  if (suspected_.count(from) != 0) clear_suspicion(from);
 
   if (m.kind == "node_dead") {
     const NodeId dead{static_cast<std::uint64_t>(m.field_int("node"))};
@@ -764,10 +1029,20 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
   }
 
   if (m.kind == "topology") {
+    const auto their_ep = static_cast<std::uint64_t>(m.field_int("ep", 1));
+    if (root_) {
+      // A rival hierarchy is adopting us (it revived our entry after a
+      // heal). Settle the contest instead of silently handing over the
+      // role; if we lose, demote_from_root already joined the winner and
+      // its next topology push reaches us as an ordinary member.
+      contest_root(from, their_ep);
+      return;
+    }
+    // Stale push from a root that already lost the tie-break.
+    if (their_ep < epoch_) return;
     adopt_topology(NodeId{static_cast<std::uint64_t>(m.field_int("parent"))},
                    now);
     current_root_ = from;
-    root_ = false;
     return;
   }
 
@@ -796,9 +1071,17 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
   }
 
   if (m.kind == "beacon") {
+    const NodeId announced{static_cast<std::uint64_t>(m.field_int("root"))};
+    const auto their_ep = static_cast<std::uint64_t>(m.field_int("ep", 1));
+    if (root_ && announced.valid() && announced != id_) {
+      // A beacon naming a different root reaches a root only when two
+      // hierarchies survived a partition.
+      contest_root(announced, their_ep);
+      return;
+    }
+    if (their_ep < epoch_) return;  // losing root's tree, ignore
     if (from == parent_) parent_last_heard_ = now;
-    current_root_ =
-        NodeId{static_cast<std::uint64_t>(m.field_int("root"))};
+    current_root_ = announced;
     return;
   }
 
@@ -807,18 +1090,45 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
     if (root_ && directory_.contains(dead) && dead != id_) {
       // Never trust a death report blindly: the reporter may be a stale
       // parent whose child merely moved away (topology pushes are oneway
-      // and can be lost). Probe the node directly; evict only if the probe
-      // times out. Live nodes ack and stay.
-      if (probe_pending_.count(dead) == 0) {
-        probe_pending_[dead] = now;
-        send(dead, make("probe"));
-      }
+      // and can be lost). Probe the node directly -- and ask the rest of
+      // the directory to probe it from their side -- then evict only on a
+      // probe timeout *with* a majority of unreachability confirmations.
+      root_begin_probe(dead, now);
     }
     return;
   }
 
   if (m.kind == "probe") {
     send(from, make("probe_ack"));
+    return;
+  }
+
+  if (m.kind == "probe_req") {
+    // The root asks us to check a suspect's reachability from our side.
+    const NodeId target{static_cast<std::uint64_t>(m.field_int("node"))};
+    if (!target.valid() || target == id_) return;
+    if (indirect_probes_.count(target) == 0) {
+      indirect_probes_[target] = {from, now};
+      send(target, make("probe"));
+    }
+    return;
+  }
+
+  if (m.kind == "probe_vouch") {
+    // A peer reached the suspect: it is partitioned from us, not dead.
+    const NodeId target{static_cast<std::uint64_t>(m.field_int("node"))};
+    if (root_ && probe_pending_.count(target) != 0) {
+      clear_suspicion(target);
+      note_transition("verdict_deferred:" + target.to_string());
+    }
+    return;
+  }
+
+  if (m.kind == "probe_unreach") {
+    // A peer failed to reach the suspect: one confirmation toward quorum.
+    const NodeId target{static_cast<std::uint64_t>(m.field_int("node"))};
+    if (root_ && probe_pending_.count(target) != 0)
+      probe_votes_[target].insert(from);
     return;
   }
 
@@ -833,10 +1143,25 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
 
   if (m.kind == "probe_ack") {
     probe_pending_.erase(from);
+    probe_votes_.erase(from);
+    // Indirect probe on behalf of a root: report the suspect reachable.
+    if (auto it = indirect_probes_.find(from); it != indirect_probes_.end()) {
+      ProtoMessage vouch = make("probe_vouch");
+      vouch.set_int("node", static_cast<std::int64_t>(from.value));
+      send(it->second.first, vouch);
+      indirect_probes_.erase(it);
+    }
+    // Majority-gated promotion poll: count reachable directory members.
+    if (root_death_detected_ != 0) promotion_acks_.insert(from);
     return;
   }
 
   if (m.kind == "dir_sync") {
+    // Only non-roots mirror the directory, and never from a hierarchy that
+    // already lost the tie-break: a root's own directory is authoritative,
+    // and a stale ex-root's sync would re-root the published tree at it.
+    if (root_ || static_cast<std::uint64_t>(m.field_int("ep", 1)) < epoch_)
+      return;
     auto dir = Directory::decode(m.blob);
     if (dir.ok()) {
       directory_ = std::move(*dir);
@@ -847,19 +1172,20 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
   }
 
   if (m.kind == "root_announce") {
+    if (root_ && from != id_) {
+      // Two roots are contesting the role; admit_message defers epoch
+      // adoption for exactly this comparison.
+      contest_root(from, static_cast<std::uint64_t>(m.field_int("ep", 1)));
+      return;
+    }
+    // A member already following a higher epoch ignores announcements from
+    // the losing root -- it will demote and rejoin on its own.
+    if (static_cast<std::uint64_t>(m.field_int("ep", 1)) < epoch_) return;
     current_root_ = from;
     root_death_detected_ = 0;
+    promotion_acks_.clear();
     // Orphans re-attach through the new root.
     if (!root_ && !parent_.valid()) send(from, make("join"));
-    if (root_ && from != id_) {
-      // Split-brain tie-break: the lower node id keeps the root role.
-      if (from.value < id_.value) {
-        root_ = false;
-        send(from, make("join"));
-      } else {
-        send(from, make("root_announce"));  // re-assert; peer will demote
-      }
-    }
     return;
   }
 
@@ -954,14 +1280,17 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
   if (m.kind == "q_reply") {
     const auto qid = static_cast<std::uint64_t>(m.field_int("qid"));
     auto hits = decode_hits(m.blob);
+    const bool deg = m.field_int("deg", 0) != 0;
     if (auto it = relayed_.find(qid); it != relayed_.end()) {
       if (hits.ok()) append_hits(it->second.hits, *hits);
+      it->second.degraded = it->second.degraded || deg;
       it->second.awaiting_children.erase(from);
       if (it->second.awaiting_children.empty()) finish_relay(qid, now);
       return;
     }
     if (auto it = pending_.find(qid); it != pending_.end()) {
       if (hits.ok()) append_hits(it->second.hits, *hits);
+      it->second.degraded = it->second.degraded || deg;
       finish_pending(qid);
     }
     return;
@@ -994,7 +1323,10 @@ void CohesionNode::on_tick(TimePoint now) {
       last_beacon_ = now;
       ProtoMessage beacon = make("beacon");
       beacon.set_int("root", static_cast<std::int64_t>(current_root_.value));
-      for (const auto& [child, info] : children_) send(child, beacon);
+      std::vector<NodeId> child_ids;
+      child_ids.reserve(children_.size());
+      for (const auto& [child, info] : children_) child_ids.push_back(child);
+      for (NodeId child : child_ids) send(child, beacon);
       beacons_sent_->inc();
       if (root_) {
         // Control messages (topology, expect_child, dir_sync) are oneway
@@ -1011,6 +1343,18 @@ void CohesionNode::on_tick(TimePoint now) {
           m.set_int("rank", static_cast<std::int64_t>(i));
           m.blob = directory_.encode();
           send(replicas[i], m);
+        }
+        // A root that cannot integrate part of its directory keeps
+        // announcing itself toward the unreachable members: after a heal
+        // this is how two surviving roots discover each other and settle
+        // the split-brain tie-break. Delivery is synchronous and the reply
+        // chain can demote us (clearing suspected_), so iterate a copy and
+        // stop announcing the moment we lose the role.
+        const std::vector<NodeId> contested(suspected_.begin(),
+                                            suspected_.end());
+        for (NodeId n : contested) {
+          if (!root_) break;
+          send(n, make("root_announce"));
         }
       }
     }
@@ -1029,10 +1373,7 @@ void CohesionNode::on_tick(TimePoint now) {
       children_.erase(dead);
       if (root_) {
         // Probe before eviction, as in the member_dead handler.
-        if (directory_.contains(dead) && probe_pending_.count(dead) == 0) {
-          probe_pending_[dead] = now;
-          send(dead, make("probe"));
-        }
+        if (directory_.contains(dead)) root_begin_probe(dead, now);
       } else if (current_root_.valid()) {
         ProtoMessage m = make("member_dead");
         m.set_int("node", static_cast<std::int64_t>(dead.value));
@@ -1060,29 +1401,99 @@ void CohesionNode::on_tick(TimePoint now) {
       }
     }
 
-    // Probe timeouts: nodes reported dead that never answered any probe are
-    // evicted. Probes are repeated every tick while pending, so a single
-    // lost probe (or ack) cannot evict a live node.
+    // Probe timeouts: a suspect whose direct probes *and* a majority of
+    // indirect confirmations all failed is evicted. Without quorum the
+    // verdict is deferred -- the node stays `suspected` (it may be on the
+    // far side of a partition) and the probe round restarts, so a later
+    // heal revives it and a later quorum still evicts it. Probes are
+    // repeated every tick while pending, so a single lost probe (or ack)
+    // cannot evict a live node.
     if (root_) {
-      std::vector<NodeId> confirmed;
+      // Snapshot before sending: a probed node that healed answers its
+      // probe_ack *synchronously*, and the ack handler erases it from
+      // probe_pending_ -- mutating the map under a live iterator.
+      std::vector<NodeId> expired;
+      std::vector<NodeId> reprobe;
       for (const auto& [node, asked_at] : probe_pending_) {
         if (now - asked_at > cfg_.dead_after * t) {
-          confirmed.push_back(node);
+          expired.push_back(node);
         } else {
-          send(node, make("probe"));
+          reprobe.push_back(node);
         }
       }
-      for (NodeId node : confirmed) {
-        probe_pending_.erase(node);
-        handle_member_dead(node, now);
+      for (NodeId node : reprobe) send(node, make("probe"));
+      for (NodeId node : expired) {
+        // The ack chain above may have resolved this suspect already.
+        if (probe_pending_.count(node) == 0) continue;
+        const std::size_t confirmations = 1 + probe_votes_[node].size();
+        if (confirmations >= quorum_needed()) {
+          probe_pending_.erase(node);
+          probe_votes_.erase(node);
+          handle_member_dead(node, now);
+        } else {
+          note_transition("verdict_deferred:" + node.to_string());
+          metrics_->counter("cohesion.verdicts_deferred").inc();
+          probe_pending_[node] = now;  // new round, fresh votes
+          probe_votes_[node].clear();
+          send(node, make("probe"));
+          ProtoMessage req = make("probe_req");
+          req.set_int("node", static_cast<std::int64_t>(node.value));
+          const std::vector<NodeId> members = directory_.join_order;
+          for (NodeId n : members) {
+            if (n == id_ || n == node || suspected_.count(n) != 0) continue;
+            send(n, req);
+          }
+        }
       }
     }
 
-    // Staggered replica promotion after root death.
+    // Peer side of indirect probes: report unreachable after the suspect
+    // timeout, keep re-probing while the window is open. Snapshot first --
+    // a healed target acks synchronously and the handler erases its entry.
+    std::vector<std::pair<NodeId, NodeId>> unreached;  // (target, root)
+    std::vector<NodeId> still_probing;
+    for (const auto& [target, req] : indirect_probes_) {
+      if (now - req.second > cfg_.suspect_after * t) {
+        unreached.emplace_back(target, req.first);
+      } else {
+        still_probing.push_back(target);
+      }
+    }
+    for (NodeId target : still_probing) send(target, make("probe"));
+    for (const auto& [target, root] : unreached) {
+      if (indirect_probes_.erase(target) == 0) continue;  // acked meanwhile
+      ProtoMessage verdict = make("probe_unreach");
+      verdict.set_int("node", static_cast<std::int64_t>(target.value));
+      send(root, verdict);
+    }
+
+    // Staggered replica promotion after root death -- gated on reaching a
+    // majority of the directory, so a minority-side replica never claims
+    // the root role (it polls until a heal lets it, by which time the
+    // majority root's higher epoch wins the announce tie-break anyway).
     if (root_death_detected_ != 0 && !root_ &&
         now - root_death_detected_ >
             static_cast<Duration>(replica_rank_) * 2 * t) {
-      promote_to_root(now);
+      const std::size_t n = directory_.join_order.size();
+      if (n <= 2 || 1 + promotion_acks_.size() >= n / 2 + 1) {
+        promote_to_root(now);
+      } else if (now - promotion_poll_last_ >= t) {
+        promotion_poll_last_ = now;
+        const std::vector<NodeId> members = directory_.join_order;
+        for (NodeId peer : members) {
+          if (peer == id_ || peer == current_root_) continue;
+          send(peer, make("probe"));
+        }
+      }
+    }
+
+    // Orphaned member (parent unreachable, no replacement yet): keep
+    // knocking on the last known root so the hierarchy merges back the
+    // moment a heal lets the join through.
+    if (joined_ && !root_ && !parent_.valid() && current_root_.valid() &&
+        root_death_detected_ == 0 && now - last_rejoin_attempt_ >= 2 * t) {
+      last_rejoin_attempt_ = now;
+      send(current_root_, make("join"));
     }
   } else {
     // Flat/strong: prune silent roster entries. Each node reaches the
@@ -1109,15 +1520,22 @@ void CohesionNode::on_tick(TimePoint now) {
     send_anti_entropy(now);
   }
 
-  // Query deadlines: flush what we have.
+  // Query deadlines: flush what we have. A flush with peers still owing
+  // answers means partial coverage -- the result is tagged degraded.
   std::vector<std::uint64_t> late_relays;
-  for (const auto& [qid, relay] : relayed_) {
-    if (now >= relay.deadline) late_relays.push_back(qid);
+  for (auto& [qid, relay] : relayed_) {
+    if (now >= relay.deadline) {
+      relay.degraded = relay.degraded || !relay.awaiting_children.empty();
+      late_relays.push_back(qid);
+    }
   }
   for (auto qid : late_relays) finish_relay(qid, now);
   std::vector<std::uint64_t> late_pending;
-  for (const auto& [qid, p] : pending_) {
-    if (now >= p.deadline) late_pending.push_back(qid);
+  for (auto& [qid, p] : pending_) {
+    if (now >= p.deadline) {
+      p.degraded = p.degraded || !p.awaiting.empty();
+      late_pending.push_back(qid);
+    }
   }
   for (auto qid : late_pending) finish_pending(qid);
 }

@@ -41,6 +41,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <cstdio>
 #include <optional>
 #include <set>
 #include <vector>
@@ -69,10 +70,33 @@ struct CohesionConfig {
   int anti_entropy_every = 4;
 };
 
+/// A checkpoint holder's public record that it restored `origin`'s stateful
+/// instance after a death verdict. Claims ride the anti-entropy tables, so
+/// a healed partition reveals dual primaries; resolution is deterministic
+/// on (epoch, origin incarnation, host id) -- see DESIGN.md §13.
+struct FailoverClaim {
+  NodeId origin;                  // node whose instance was restored
+  std::uint64_t origin_inc = 1;   // origin's incarnation at checkpoint time
+  std::uint64_t instance = 0;     // InstanceId.value of the lost instance
+  std::uint64_t epoch = 1;        // partition epoch of the restore verdict
+  NodeId host;                    // where the restored copy runs
+
+  bool operator==(const FailoverClaim&) const = default;
+};
+
+/// Ranked hits plus a partial-coverage marker: `degraded` means part of the
+/// network was unreachable (partition / orphaned subtree / timed-out peers)
+/// and the hits cover only the reachable side.
+struct QueryResult {
+  std::vector<QueryHit> hits;
+  bool degraded = false;
+};
+
 class CohesionNode {
  public:
   using Sender = std::function<void(NodeId to, const ProtoMessage&)>;
   using QueryCallback = std::function<void(std::vector<QueryHit>)>;
+  using QueryCallbackEx = std::function<void(QueryResult)>;
 
   /// `metrics` shares an external registry; when null the node owns one.
   CohesionNode(NodeId id, CohesionConfig cfg, Sender send,
@@ -91,6 +115,37 @@ class CohesionNode {
   void set_node_dead_handler(DeadHandler handler) {
     dead_handler_ = std::move(handler);
   }
+
+  /// Invoked when a tombstoned node turns out to be alive at the *same*
+  /// incarnation (false death: partition, lost probes). The Node layer uses
+  /// it to resolve dual primaries against stored failover claims.
+  using RevivedHandler = std::function<void(NodeId, std::uint64_t)>;
+  void set_node_revived_handler(RevivedHandler handler) {
+    revived_handler_ = std::move(handler);
+  }
+
+  /// Invoked on every observable protocol transition ("suspected:<id>",
+  /// "death:<id>", "verdict_deferred:<id>", "promoted", "demoted",
+  /// "query_degraded"); the Node layer turns these into trace spans.
+  void set_transition_hook(std::function<void(const std::string&)> hook) {
+    transition_hook_ = std::move(hook);
+  }
+
+  /// Record a failover claim made by this node (it restored someone's
+  /// instance); gossiped through anti-entropy. Claims learned from peers
+  /// fire the handler below.
+  void add_failover_claim(const FailoverClaim& claim);
+  void set_failover_claim_handler(std::function<void(const FailoverClaim&)> h) {
+    claim_handler_ = std::move(h);
+  }
+  [[nodiscard]] std::vector<FailoverClaim> failover_claims() const;
+
+  /// The partition epoch: bumped by the root on every quorum-confirmed
+  /// death verdict and on replica promotion, adopted (monotone max) from
+  /// every admitted message. Carried as the "ep" wire field (elided at 1)
+  /// and stamped into checkpoints, so after a heal both sides can order
+  /// their diverged histories deterministically.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
   /// This node's incarnation, carried on every protocol message (as the
   /// "inc" field, elided while still 1) and inside digests. Bumped by the
@@ -119,6 +174,8 @@ class CohesionNode {
   /// Issue a distributed component query. The callback fires exactly once:
   /// with ranked hits (possibly empty) when replies or the timeout arrive.
   void query(const ComponentQuery& q, TimePoint now, QueryCallback cb);
+  /// Same, with the degraded-coverage marker (partition-aware callers).
+  void query_ex(const ComponentQuery& q, TimePoint now, QueryCallbackEx cb);
 
   /// In strong mode, force an immediate update broadcast (called by the
   /// node when its repository revision changes).
@@ -147,6 +204,13 @@ class CohesionNode {
   /// True while `n` is tombstoned (declared dead, not yet reborn).
   [[nodiscard]] bool has_tombstone(NodeId n) const {
     return tombstones_.count(n) != 0;
+  }
+  /// True while `n` timed out but lacks a quorum death verdict: it may be
+  /// partitioned away rather than dead (root bookkeeping + suspect flags).
+  [[nodiscard]] bool is_suspected(NodeId n) const {
+    if (suspected_.count(n) != 0) return true;
+    auto it = children_.find(n);
+    return it != children_.end() && it->second.suspect;
   }
 
   /// Legacy view assembled from the metrics registry ("cohesion.*" names).
@@ -199,6 +263,25 @@ class CohesionNode {
   void adopt_topology(NodeId new_parent, TimePoint now);
   void handle_member_dead(NodeId dead, TimePoint now);
   void promote_to_root(TimePoint now);
+  void demote_from_root(NodeId winner);
+  /// Split-brain tie-break between us (a root) and a rival root: higher
+  /// partition epoch wins, lower node id breaks ties. Returns true when we
+  /// keep the role (after re-asserting toward the rival); false when we
+  /// demoted and joined the winner.
+  bool contest_root(NodeId rival, std::uint64_t rival_epoch);
+  void note_transition(const std::string& what) const {
+#ifdef CLC_TRACE_TRANSITIONS
+    std::fprintf(stderr, "[%s] %s\n", id_.to_string().c_str(), what.c_str());
+#endif
+    if (transition_hook_) transition_hook_(what);
+  }
+
+  // Quorum-fenced death verdicts (root): a timed-out member becomes
+  // `suspected`; eviction additionally needs indirect-reachability
+  // confirmations from a majority of the directory.
+  void root_begin_probe(NodeId suspect, TimePoint now);
+  [[nodiscard]] std::size_t quorum_needed() const;
+  void clear_suspicion(NodeId n);
 
   // Crash fault handling (incarnation fencing + tombstones + anti-entropy).
   /// Gate every inbound message on the sender's incarnation; returns false
@@ -226,10 +309,11 @@ class CohesionNode {
   // ---- queries
   struct PendingQuery {         // as original requester
     ComponentQuery q;
-    QueryCallback cb;
+    QueryCallbackEx cb;
     TimePoint deadline = 0;
     std::vector<QueryHit> hits;
     std::set<NodeId> awaiting;  // flat mode: nodes still to answer
+    bool degraded = false;      // partial coverage (partition / timeout)
   };
   struct RelayedQuery {         // as interior tree node
     ComponentQuery q;
@@ -240,9 +324,15 @@ class CohesionNode {
     std::set<NodeId> awaiting_children;
     bool escalated = false;     // already passed up to parent
     NodeId came_from;           // don't descend back into this subtree
+    bool degraded = false;      // some subtree never answered
   };
   void local_and_cached_hits(const ComponentQuery& q,
                              std::vector<QueryHit>& hits) const;
+  /// True when some part of the tree we are responsible for cannot be
+  /// asked: a suspect child subtree, or (at the root) a directory member
+  /// whose death verdict is still pending quorum. Queries answered over
+  /// such a view carry the `degraded` marker.
+  [[nodiscard]] bool coverage_gap() const;
   void process_tree_query(std::uint64_t qid, RelayedQuery&& relay,
                           TimePoint now);
   void finish_relay(std::uint64_t qid, TimePoint now);
@@ -255,8 +345,12 @@ class CohesionNode {
   Sender send_;
   std::function<RegistryDigest()> digest_provider_;
   DeadHandler dead_handler_;
+  RevivedHandler revived_handler_;
+  std::function<void(const std::string&)> transition_hook_;
+  std::function<void(const FailoverClaim&)> claim_handler_;
 
   std::uint64_t incarnation_ = 1;
+  std::uint64_t epoch_ = 1;
   std::map<NodeId, std::uint64_t> peer_incarnations_;
   std::map<NodeId, std::uint64_t> tombstones_;  // dead node -> incarnation
   TimePoint last_anti_entropy_ = 0;
@@ -280,6 +374,16 @@ class CohesionNode {
   std::map<NodeId, NodeId> last_published_;  // root: last parent pushed
   std::map<NodeId, TimePoint> probe_pending_;  // root: liveness probes
   int republish_countdown_ = 0;                // root: periodic re-publish
+  std::set<NodeId> suspected_;                 // root: timed out, no quorum
+  std::map<NodeId, std::set<NodeId>> probe_votes_;  // root: unreach confirms
+  // Peer side of an indirect probe: target -> (requesting root, started).
+  std::map<NodeId, std::pair<NodeId, TimePoint>> indirect_probes_;
+  // Replica side of majority-gated promotion: who acked our poll.
+  std::set<NodeId> promotion_acks_;
+  TimePoint promotion_poll_last_ = 0;
+  TimePoint last_rejoin_attempt_ = 0;  // orphan: periodic re-join knocks
+  // (origin, instance) -> best claim; gossiped via anti-entropy tables.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, FailoverClaim> claims_;
 
   // flat/strong modes
   std::set<NodeId> roster_;

@@ -15,6 +15,7 @@ Bytes CheckpointRecord::encode() const {
   w.write_ulong(version.minor);
   w.write_ulong(version.patch);
   w.write_ulonglong(seq);
+  w.write_ulonglong(epoch);
   w.write_bytes(state);
   w.write_ulong(static_cast<std::uint32_t>(connections.size()));
   for (const auto& [port, ref] : connections) {
@@ -53,6 +54,9 @@ Result<CheckpointRecord> CheckpointRecord::decode(BytesView data) {
   auto seq = r.read_ulonglong();
   if (!seq) return seq.error();
   rec.seq = *seq;
+  auto epoch = r.read_ulonglong();
+  if (!epoch) return epoch.error();
+  rec.epoch = *epoch;
   auto state = r.read_bytes();
   if (!state) return state.error();
   rec.state = std::move(*state);

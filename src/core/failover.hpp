@@ -41,6 +41,11 @@ struct CheckpointRecord {
   std::string component;
   Version version;
   std::uint64_t seq = 0;                // per-instance checkpoint counter
+  /// Partition epoch of the origin's cohesion layer at checkpoint time: a
+  /// restore after a quorum death verdict (which bumps the epoch) is
+  /// provably newer than anything the cut-off origin checkpointed, which
+  /// is what makes post-heal dual-primary resolution deterministic.
+  std::uint64_t epoch = 1;
   Bytes state;                          // externalized instance state
   std::map<std::string, orb::ObjectRef> connections;  // used-port wiring
   std::vector<NodeId> holders;          // full holder set (for election)

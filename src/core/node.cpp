@@ -53,6 +53,58 @@ module clc {
 };
 )";
 
+/// Per-node client-side partition gate. The shared FaultyTransport is
+/// destination-addressed and knows nothing about who is sending, so
+/// directed link cuts need a decorator that does: one per node, carrying
+/// the node's own id, consulting the LocalNetwork's cut table before
+/// handing the frame on. Blocked traffic fails with Errc::unreachable --
+/// retryable, exactly like a detached endpoint -- and counts in the
+/// sender's `orb.partitioned` metric.
+class PartitionedTransport final : public orb::Transport {
+ public:
+  PartitionedTransport(NodeId self, LocalNetwork& net,
+                       std::shared_ptr<orb::Transport> inner,
+                       obs::MetricsRegistry* metrics)
+      : self_(self),
+        net_(net),
+        inner_(std::move(inner)),
+        partitioned_(&metrics->counter("orb.partitioned")) {}
+
+  Result<Bytes> roundtrip(const std::string& endpoint,
+                          BytesView frame) override {
+    if (auto blocked = gate(endpoint)) return *blocked;
+    return inner_->roundtrip(endpoint, frame);
+  }
+
+  Result<void> send_oneway(const std::string& endpoint,
+                           BytesView frame) override {
+    if (auto blocked = gate(endpoint)) return *blocked;
+    return inner_->send_oneway(endpoint, frame);
+  }
+
+  void submit(const std::string& endpoint, BytesView frame,
+              orb::ReplyCallback cb) override {
+    if (auto blocked = gate(endpoint)) {
+      cb(*blocked);
+      return;
+    }
+    inner_->submit(endpoint, frame, std::move(cb));
+  }
+
+ private:
+  std::optional<Error> gate(const std::string& endpoint) const {
+    if (!net_.link_blocked_to(self_, endpoint)) return std::nullopt;
+    partitioned_->inc();
+    return Error{Errc::unreachable,
+                 "link cut " + self_.to_string() + " -> " + endpoint};
+  }
+
+  NodeId self_;
+  LocalNetwork& net_;
+  std::shared_ptr<orb::Transport> inner_;
+  obs::Counter* partitioned_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -90,6 +142,51 @@ Node& LocalNetwork::add_node(NodeProfile profile, bool auto_join) {
 
 void LocalNetwork::register_node(Node& node, const std::string& endpoint) {
   directory_[node.id()] = {endpoint, &node};
+  // Old endpoints of restarted nodes stay mapped: they are permanently
+  // detached, so the partition gate never needs to un-learn them.
+  endpoint_owner_[endpoint] = node.id();
+}
+
+void LocalNetwork::partition(const std::vector<NodeId>& side_a,
+                             const std::vector<NodeId>& side_b) {
+  for (NodeId a : side_a) {
+    for (NodeId b : side_b) {
+      cut_links_.insert({a, b});
+      cut_links_.insert({b, a});
+    }
+  }
+}
+
+bool LocalNetwork::link_blocked_to(NodeId from,
+                                   const std::string& endpoint) const {
+  auto it = endpoint_owner_.find(endpoint);
+  return it != endpoint_owner_.end() && link_blocked(from, it->second);
+}
+
+void LocalNetwork::set_partition_schedule(
+    const fault::PartitionSchedule& schedule) {
+  for (const fault::PartitionEvent& ev : schedule.events) {
+    for (const fault::LinkCut& cut : ev.cuts) {
+      partition_actions_.emplace(ev.at, std::make_pair(true, cut));
+      if (ev.heal_after > 0)
+        partition_actions_.emplace(ev.at + ev.heal_after,
+                                   std::make_pair(false, cut));
+    }
+  }
+  apply_due_partition_actions();  // events at or before "now" apply at once
+}
+
+void LocalNetwork::apply_due_partition_actions() {
+  while (!partition_actions_.empty() &&
+         partition_actions_.begin()->first <= clock_.now()) {
+    const auto [install, link] = partition_actions_.begin()->second;
+    if (install) {
+      cut_links_.insert(link);
+    } else {
+      cut_links_.erase(link);
+    }
+    partition_actions_.erase(partition_actions_.begin());
+  }
 }
 
 Result<std::string> LocalNetwork::endpoint_of(NodeId id) const {
@@ -116,6 +213,7 @@ void LocalNetwork::advance(Duration duration, Duration step) {
   const TimePoint deadline = clock_.now() + duration;
   while (clock_.now() < deadline) {
     clock_.advance(std::min(step, deadline - clock_.now()));
+    apply_due_partition_actions();
     for (const auto& [id, entry] : directory_) {
       if (crashed_.count(id) == 0) entry.second->tick(clock_.now());
     }
@@ -192,10 +290,14 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
   const std::string endpoint = network_.transport().register_endpoint(
       [orb_raw](BytesView frame) { return orb_raw->handle_frame(frame); });
   orb_->set_endpoint(endpoint);
-  // Client traffic crosses the fault decorator (a pass-through until a
-  // chaos test arms a plan); time and backoff run on the shared virtual
-  // clock so no test ever sleeps or reads wall time.
-  orb_->add_transport("loop", network_.faulty_transport_ptr());
+  // Client traffic crosses the per-node partition gate, then the shared
+  // fault decorator (a pass-through until a chaos test arms a plan); time
+  // and backoff run on the shared virtual clock so no test ever sleeps or
+  // reads wall time.
+  orb_->add_transport("loop", std::make_shared<PartitionedTransport>(
+                                  id, network_,
+                                  network_.faulty_transport_ptr(),
+                                  &metrics_));
   orb_->set_clock(&network_.clock());
   orb_->set_sleep_fn([this](Duration d) { network_.clock().advance(d); });
   orb::InvocationPolicies policies;
@@ -214,6 +316,18 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
              std::vector<NodeId> alive) {
         on_peer_dead(dead, dead_incarnation, alive);
       });
+  cohesion_.set_node_revived_handler(
+      [this](NodeId origin, std::uint64_t origin_inc) {
+        on_peer_revived(origin, origin_inc);
+      });
+  cohesion_.set_failover_claim_handler(
+      [this](const FailoverClaim& claim) { on_failover_claim(claim); });
+  // Protocol transitions ("suspected:<id>", "promoted", ...) surface as
+  // zero-length spans in the shared collector, so a partition's timeline
+  // reads straight out of the cross-node trace.
+  cohesion_.set_transition_hook([this](const std::string& what) {
+    obs::ScopedSpan span(tracer_, "cohesion:" + what);
+  });
 }
 
 Node::~Node() = default;
@@ -261,13 +375,19 @@ Result<void> Node::install(const Bytes& package_bytes) {
 }
 
 Result<std::vector<QueryHit>> Node::query_network(const ComponentQuery& q) {
+  auto r = query_network_detailed(q);
+  if (!r) return r.error();
+  return std::move(r->hits);
+}
+
+Result<QueryResult> Node::query_network_detailed(const ComponentQuery& q) {
   obs::ScopedSpan span(tracer_, "query:" + q.name_pattern);
   auto r = query_network_impl(q);
   if (!r.ok()) span.fail();
   return r;
 }
 
-Result<std::vector<QueryHit>> Node::query_network_impl(const ComponentQuery& q) {
+Result<QueryResult> Node::query_network_impl(const ComponentQuery& q) {
   // Query messages are idempotent protocol traffic, so a lost broadcast is
   // safely re-asked. The attempt budget, total deadline and backoff come
   // from the ORB's InvocationPolicies, so the one knob that tunes ordinary
@@ -277,19 +397,22 @@ Result<std::vector<QueryHit>> Node::query_network_impl(const ComponentQuery& q) 
   const TimePoint budget_end =
       policies.deadline > 0 ? network_.now() + policies.deadline : TimePoint{0};
   for (int attempt = 1;; ++attempt) {
-    std::optional<std::vector<QueryHit>> result;
-    cohesion_.query(q, network_.now(), [&result](std::vector<QueryHit> hits) {
-      result = std::move(hits);
+    std::optional<QueryResult> result;
+    cohesion_.query_ex(q, network_.now(), [&result](QueryResult qr) {
+      result = std::move(qr);
     });
     // Loopback delivery is synchronous, so most queries complete before
-    // query() returns; the rest (unreachable peers) end at the timeout.
+    // query_ex() returns; the rest (unreachable peers) end at the timeout.
     const TimePoint deadline =
         network_.now() + cohesion_.config().query_timeout +
         cohesion_.config().heartbeat;
     while (!result.has_value() && network_.now() < deadline) {
       network_.advance(cohesion_.config().heartbeat / 2);
     }
-    if (result.has_value()) return std::move(*result);
+    if (result.has_value()) {
+      if (result->degraded) metrics_.counter("node.degraded_queries").inc();
+      return std::move(*result);
+    }
     if (attempt >= max_attempts ||
         (budget_end != 0 && network_.now() >= budget_end))
       return Error{Errc::timeout, "distributed query never completed"};
@@ -320,6 +443,7 @@ Result<BoundComponent> Node::acquire_local(const std::string& component,
     auto created = container_.create(component, constraint);
     if (!created) return created.error();
     id = *created;
+    instance_epochs_[id] = cohesion_.epoch();
   }
   auto primary = primary_port(id);
   if (!primary) return primary.error();
@@ -653,6 +777,7 @@ void Node::crash_local() {
   checkpoint_seq_.clear();
   package_shipped_.clear();
   restored_.clear();
+  instance_epochs_.clear();
   last_checkpoint_ = 0;
   metrics_.counter("node.crashes").inc();
   recovery_log_.push_back("crash inc=" + std::to_string(incarnation_));
@@ -706,6 +831,7 @@ void Node::run_checkpoints() {
     rec.component = snap->component;
     rec.version = snap->version;
     rec.seq = ++checkpoint_seq_[iid];
+    rec.epoch = cohesion_.epoch();
     rec.state = snap->state;
     rec.connections = snap->connections;
     rec.holders = holders;
@@ -761,7 +887,8 @@ void Node::on_peer_dead(NodeId dead, std::uint64_t dead_incarnation,
       }
     }
     if (winner != id_) continue;
-    restored_.insert(key);
+    restored_[key] = RestoredCopy{dead, rec->origin_incarnation,
+                                  rec->instance.value, InstanceId{}};
     obs::ScopedSpan span(tracer_, "failover:" + rec->component);
     VersionConstraint exact;
     exact.op = VersionConstraint::Op::eq;
@@ -781,11 +908,97 @@ void Node::on_peer_dead(NodeId dead, std::uint64_t dead_incarnation,
                               dead.to_string());
       continue;
     }
+    restored_[key].local = *restored;
+    instance_epochs_[*restored] = cohesion_.epoch();
+    // Publish the restore as a failover claim: it gossips through the
+    // anti-entropy tables, so after a heal the (possibly still alive)
+    // origin learns a second primary exists and the loser yields.
+    FailoverClaim claim;
+    claim.origin = dead;
+    claim.origin_inc = rec->origin_incarnation;
+    claim.instance = rec->instance.value;
+    claim.epoch = cohesion_.epoch();
+    claim.host = id_;
+    cohesion_.add_failover_claim(claim);
     metrics_.counter("failover.instances_restored").inc();
     recovery_log_.push_back("restore " + rec->component + " from " +
                             dead.to_string() + " seq=" +
-                            std::to_string(rec->seq));
+                            std::to_string(rec->seq) + " ep=" +
+                            std::to_string(claim.epoch));
     cohesion_.broadcast_update(network_.now());  // strong-mode hook
+  }
+}
+
+std::uint64_t Node::instance_epoch(InstanceId id) const {
+  auto it = instance_epochs_.find(id);
+  return it == instance_epochs_.end() ? 1 : it->second;
+}
+
+void Node::retire_instance(InstanceId id, const std::string& why) {
+  if (auto d = container_.description_of(id); d.ok()) {
+    for (const auto& port : (*d)->ports_of(pkg::PortKind::provides)) {
+      if (auto ref = container_.provided_port(id, port.name); ref.ok())
+        orb_->retire_object(ref->key);
+    }
+  }
+  (void)container_.destroy(id);
+  instance_epochs_.erase(id);
+  metrics_.counter("failover.dual_primary_resolved").inc();
+  recovery_log_.push_back(why);
+}
+
+void Node::on_failover_claim(const FailoverClaim& claim) {
+  // Only the named origin arbitrates its own live instance; claims about
+  // an earlier incarnation are fenced (that life's instances are gone).
+  if (claim.origin != id_ || claim.host == id_) return;
+  if (claim.origin_inc != incarnation_) return;
+  const InstanceId iid{claim.instance};
+  const auto ids = container_.instance_ids();
+  if (std::find(ids.begin(), ids.end(), iid) == ids.end()) return;
+  // Deterministic total order on primaries: higher epoch wins (the restore
+  // rode a quorum death verdict, which bumped it past anything the cut-off
+  // side established), then lower host id. Equal-epoch claims cannot carry
+  // a higher incarnation than ours here -- on_peer_dead fences those.
+  const std::uint64_t local_epoch = instance_epoch(iid);
+  const bool claim_wins = claim.epoch != local_epoch
+                              ? claim.epoch > local_epoch
+                              : claim.host.value < id_.value;
+  if (!claim_wins) return;  // keep ours; the holder revokes on our revival
+  obs::ScopedSpan span(tracer_, "dual_primary:yield:" + iid.to_string());
+  retire_instance(iid, "dual-primary yield inst=" + iid.to_string() + " to=" +
+                           claim.host.to_string() + " ep=" +
+                           std::to_string(claim.epoch));
+}
+
+void Node::on_peer_revived(NodeId origin, std::uint64_t origin_inc) {
+  // The origin was never dead (equal-incarnation revival): every restored
+  // copy of its instances hosted here is half of a dual primary. Keep the
+  // copy only while our claim is the dominant one for that instance -- the
+  // origin then yields via on_failover_claim; otherwise the copy dies now.
+  for (auto it = restored_.begin(); it != restored_.end();) {
+    const RestoredCopy& copy = it->second;
+    if (copy.origin != origin || copy.origin_inc != origin_inc ||
+        copy.local.value == 0) {
+      ++it;
+      continue;
+    }
+    bool dominant = false;
+    for (const FailoverClaim& c : cohesion_.failover_claims()) {
+      if (c.origin == origin && c.instance == copy.instance) {
+        dominant = c.host == id_;
+        break;
+      }
+    }
+    if (dominant) {
+      ++it;
+      continue;
+    }
+    obs::ScopedSpan span(tracer_,
+                         "dual_primary:revoke:" + copy.local.to_string());
+    retire_instance(copy.local,
+                    "dual-primary revoke inst=" + copy.local.to_string() +
+                        " origin=" + origin.to_string());
+    it = restored_.erase(it);
   }
 }
 
@@ -876,6 +1089,7 @@ void Node::make_node_servant() {
     snapshot.state = req.arg(2).as<Bytes>();
     auto id = container_.restore(snapshot);
     if (!id) return id.error();
+    instance_epochs_[*id] = cohesion_.epoch();
     auto primary = primary_port(*id);
     if (!primary) return primary.error();
     req.set_result(orb::Value(id->to_string()));

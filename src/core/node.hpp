@@ -27,6 +27,7 @@
 #include "core/container.hpp"
 #include "core/failover.hpp"
 #include "fault/faulty_transport.hpp"
+#include "fault/plan.hpp"
 #include "core/events.hpp"
 #include "core/registry.hpp"
 #include "core/repository.hpp"
@@ -128,6 +129,11 @@ class Node {
   /// Raw distributed query (no binding); synchronous over the network.
   Result<std::vector<QueryHit>> query_network(const ComponentQuery& q);
 
+  /// Same, with the degraded-coverage marker: during a partition the
+  /// reachable side answers with partial hits tagged `degraded` instead of
+  /// erroring (minority-side availability, DESIGN.md §13).
+  Result<QueryResult> query_network_detailed(const ComponentQuery& q);
+
   /// Fetch a package from a peer's repository into ours.
   Result<void> fetch_component(NodeId from, const std::string& component,
                                const Version& version);
@@ -186,13 +192,31 @@ class Node {
   /// for it if we win the deterministic holder election.
   void on_peer_dead(NodeId dead, std::uint64_t dead_incarnation,
                     const std::vector<NodeId>& alive);
+  /// A gossiped failover claim names one of this node's own live instances:
+  /// a holder restored it behind a partition. Resolve the dual primary
+  /// deterministically on (epoch, incarnation, host id); the loser here is
+  /// this node's original, which is destroyed and its ports retired.
+  void on_failover_claim(const FailoverClaim& claim);
+  /// A tombstoned peer turned out alive at the *same* incarnation (false
+  /// death verdict): any restored copy of its instances hosted here whose
+  /// claim lost the comparison dies now; a winning claim keeps the copy and
+  /// the origin yields via on_failover_claim instead.
+  void on_peer_revived(NodeId origin, std::uint64_t origin_inc);
+  /// Destroy a local instance and retire its provided-port object keys, so
+  /// references to the losing primary fail with retryable Errc::unreachable
+  /// and clients re-resolve to the surviving one.
+  void retire_instance(InstanceId id, const std::string& why);
+  /// Epoch under which the instance's authority was established (creation
+  /// or restore time); deliberately never advanced afterwards, so post-heal
+  /// claim comparisons are immune to checkpoint-timing races.
+  [[nodiscard]] std::uint64_t instance_epoch(InstanceId id) const;
 
   void install_node_idl();
   void make_node_servant();
   Result<BoundComponent> resolve_impl(const std::string& component,
                                       const VersionConstraint& constraint,
                                       Binding binding);
-  Result<std::vector<QueryHit>> query_network_impl(const ComponentQuery& q);
+  Result<QueryResult> query_network_impl(const ComponentQuery& q);
   Result<BoundComponent> migrate_instance_impl(InstanceId id, NodeId target);
   Result<orb::ObjectRef> node_service_ref(NodeId peer) const;
   /// The primary provided port of an instance (first provides-port in the
@@ -224,9 +248,20 @@ class Node {
   /// -- later checkpoints to that holder ship state only.
   std::set<std::pair<std::uint64_t, std::string>> package_shipped_;
   CheckpointStore held_checkpoints_;
-  /// (origin, incarnation, instance) keys already restored here, so a
-  /// re-broadcast death verdict can't duplicate an instance.
-  std::set<std::string> restored_;
+  /// A peer instance restored here after a death verdict; kept so a healed
+  /// partition can revoke the copy if its claim loses the dual-primary
+  /// comparison. `local.value == 0` marks a failed restore (still recorded,
+  /// so a re-broadcast verdict can't retry into a duplicate).
+  struct RestoredCopy {
+    NodeId origin;
+    std::uint64_t origin_inc = 1;
+    std::uint64_t instance = 0;  // InstanceId.value on the origin
+    InstanceId local;            // the copy running on this node
+  };
+  /// Keyed "origin:incarnation:instance" (the death-verdict dedupe key).
+  std::map<std::string, RestoredCopy> restored_;
+  /// See instance_epoch(); absent entries read as epoch 1.
+  std::map<InstanceId, std::uint64_t> instance_epochs_;
   std::vector<std::string> recovery_log_;
   std::vector<Bytes> disk_image_;  // packages, snapshotted at crash time
   Rng retry_rng_;                  // backoff jitter for distributed queries
@@ -290,6 +325,29 @@ class LocalNetwork {
     return crashed_.count(id) != 0;
   }
 
+  // ------------------------------------------------------------- partitions
+  /// Cut one direction of one link: frames from -> to fail retryably
+  /// (Errc::unreachable) at the sender; the reverse direction still works,
+  /// which is what makes asymmetric partitions expressible.
+  void cut_link(NodeId from, NodeId to) { cut_links_.insert({from, to}); }
+  void restore_link(NodeId from, NodeId to) { cut_links_.erase({from, to}); }
+  /// Cut every link between the two sides, both directions (symmetric split).
+  void partition(const std::vector<NodeId>& side_a,
+                 const std::vector<NodeId>& side_b);
+  /// Restore every cut link (scheduled future events still fire).
+  void heal_partition() { cut_links_.clear(); }
+  [[nodiscard]] bool link_blocked(NodeId from, NodeId to) const {
+    return cut_links_.count({from, to}) != 0;
+  }
+  /// Is the directed path from `from` to the node owning `endpoint` cut?
+  /// Unknown endpoints are never blocked (they fail in the transport).
+  [[nodiscard]] bool link_blocked_to(NodeId from,
+                                     const std::string& endpoint) const;
+  /// Arm a seeded PartitionSchedule: its cuts and heals fire at their
+  /// virtual times as advance() crosses them, so a chaos run replays
+  /// identically from the seed alone.
+  void set_partition_schedule(const fault::PartitionSchedule& schedule);
+
   [[nodiscard]] const CohesionConfig& cohesion_defaults() const {
     return cohesion_defaults_;
   }
@@ -300,6 +358,8 @@ class LocalNetwork {
  private:
   friend class Node;
   void register_node(Node& node, const std::string& endpoint);
+  /// Apply every scheduled cut/restore whose virtual time has arrived.
+  void apply_due_partition_actions();
 
   ManualClock clock_;
   std::shared_ptr<orb::LoopbackNetwork> transport_;
@@ -310,6 +370,11 @@ class LocalNetwork {
   std::vector<std::unique_ptr<Node>> owned_;
   std::map<NodeId, std::pair<std::string, Node*>> directory_;
   std::set<NodeId> crashed_;
+  std::set<fault::LinkCut> cut_links_;          // directed cuts in force
+  std::map<std::string, NodeId> endpoint_owner_;  // reverse directory
+  /// Scheduled (time, cut?, link) actions, drained by advance(). true
+  /// installs the cut, false removes it.
+  std::multimap<TimePoint, std::pair<bool, fault::LinkCut>> partition_actions_;
   std::uint64_t next_id_ = 1;
 };
 

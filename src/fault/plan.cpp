@@ -86,6 +86,75 @@ CrashSchedule CrashSchedule::random(std::uint64_t seed,
   return schedule;
 }
 
+PartitionEvent PartitionSchedule::split(TimePoint at, Duration heal_after,
+                                        const std::vector<NodeId>& side_a,
+                                        const std::vector<NodeId>& side_b) {
+  PartitionEvent ev;
+  ev.at = at;
+  ev.heal_after = heal_after;
+  ev.cuts.reserve(side_a.size() * side_b.size() * 2);
+  for (NodeId a : side_a)
+    for (NodeId b : side_b) {
+      ev.cuts.push_back({a, b});
+      ev.cuts.push_back({b, a});
+    }
+  std::sort(ev.cuts.begin(), ev.cuts.end());
+  return ev;
+}
+
+PartitionSchedule PartitionSchedule::random(std::uint64_t seed,
+                                            const std::vector<NodeId>& nodes,
+                                            std::size_t count, Duration horizon,
+                                            Duration min_duration,
+                                            Duration max_duration,
+                                            double asymmetric_probability) {
+  PartitionSchedule schedule;
+  if (nodes.size() < 2 || count == 0 || horizon <= 0) return schedule;
+  Rng rng(seed ^ 0x9A27717109A27717ULL);
+  for (std::size_t e = 0; e < count; ++e) {
+    // Shuffle a working copy and take a non-trivial prefix as the cut-off
+    // side; drawing in a fixed order keeps the schedule a pure function of
+    // the seed.
+    std::vector<NodeId> pool = nodes;
+    for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+    const std::size_t cut =
+        1 + static_cast<std::size_t>(rng.next_below(pool.size() - 1));
+    const std::vector<NodeId> side_a(pool.begin(), pool.begin() + cut);
+    const std::vector<NodeId> side_b(pool.begin() + cut, pool.end());
+    const auto at = static_cast<TimePoint>(
+        rng.next_below(static_cast<std::uint64_t>(horizon)));
+    Duration heal_after = 0;
+    if (max_duration > 0) {
+      const Duration lo = min_duration < 0 ? 0 : min_duration;
+      const Duration hi = max_duration < lo ? lo : max_duration;
+      heal_after = lo + static_cast<Duration>(rng.next_below(
+                            static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+    const bool asymmetric =
+        asymmetric_probability > 0 && rng.chance(asymmetric_probability);
+    PartitionEvent ev = split(at, heal_after, side_a, side_b);
+    if (asymmetric) {
+      // Keep only the side_a→side_b direction: the cut-off prefix goes
+      // deaf-mute outbound but still receives.
+      std::erase_if(ev.cuts, [&](const LinkCut& c) {
+        return std::find(side_a.begin(), side_a.end(), c.to) != side_a.end();
+      });
+    }
+    schedule.events.push_back(std::move(ev));
+  }
+  // stable_sort: same-instant episodes keep their draw order, so the
+  // timetable stays a pure function of the seed.
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const PartitionEvent& a, const PartitionEvent& b) {
+                     return a.at < b.at;
+                   });
+  return schedule;
+}
+
 FaultInjector::FaultInjector(obs::MetricsRegistry* metrics)
     : owned_metrics_(metrics == nullptr
                          ? std::make_unique<obs::MetricsRegistry>()

@@ -103,6 +103,54 @@ struct CrashSchedule {
                               Duration min_downtime, Duration max_downtime);
 };
 
+/// One severed direction of a link: traffic from `from` to `to` is lost
+/// while the cut is in force. A symmetric partition is two cuts, one per
+/// direction; an *asymmetric* fault cuts only one (a→b down, b→a up).
+struct LinkCut {
+  NodeId from;
+  NodeId to;
+
+  bool operator==(const LinkCut&) const = default;
+  bool operator<(const LinkCut& o) const noexcept {
+    return from.value != o.from.value ? from.value < o.from.value
+                                      : to.value < o.to.value;
+  }
+};
+
+/// One partition episode: at `at` every listed directed cut appears, and
+/// `heal_after` later they all heal at once (0 = the split never heals).
+struct PartitionEvent {
+  TimePoint at = 0;
+  Duration heal_after = 0;
+  std::vector<LinkCut> cuts;
+
+  bool operator==(const PartitionEvent&) const = default;
+};
+
+/// A replayable partition timetable: CrashSchedule's purity contract, for
+/// links instead of processes. The same seed cuts and heals exactly the
+/// same directions at exactly the same virtual times on every run.
+struct PartitionSchedule {
+  std::vector<PartitionEvent> events;  // sorted by `at`
+
+  /// Full bidirectional split between two node sets.
+  static PartitionEvent split(TimePoint at, Duration heal_after,
+                              const std::vector<NodeId>& side_a,
+                              const std::vector<NodeId>& side_b);
+
+  /// `count` episodes uniformly over [0, horizon). Each episode splits a
+  /// random non-trivial subset of `nodes` from the rest for a uniform
+  /// duration in [min_duration, max_duration] (0 = never heals); with
+  /// probability `asymmetric_probability` the episode severs only the
+  /// minority→majority direction, so the cut-off nodes still *hear* the
+  /// rest of the network but cannot answer it.
+  static PartitionSchedule random(std::uint64_t seed,
+                                  const std::vector<NodeId>& nodes,
+                                  std::size_t count, Duration horizon,
+                                  Duration min_duration, Duration max_duration,
+                                  double asymmetric_probability = 0);
+};
+
 /// One applied fault, for the replay/determinism log.
 struct FaultEvent {
   std::uint64_t seq = 0;

@@ -228,6 +228,12 @@ Result<void> Orb::deactivate(const Uuid& key) {
   return {};
 }
 
+void Orb::retire_object(const Uuid& key) {
+  std::unique_lock lock(servants_mutex_);
+  servants_.erase(key);
+  retired_.insert(key);
+}
+
 std::size_t Orb::active_count() const {
   std::shared_lock lock(servants_mutex_);
   return servants_.size();
@@ -301,6 +307,15 @@ Bytes Orb::handle_frame_impl(BytesView frame, bool intercept_server) {
 Result<ReplyMessage> Orb::dispatch_request(const RequestMessage& req) {
   std::shared_ptr<Servant> servant = find_servant(req.object_key);
   if (servant == nullptr) {
+    {
+      // A retired object (killed dual-primary loser) answers *retryably*:
+      // the caller's retry/rebind path re-resolves toward the surviving
+      // copy instead of treating the reference as permanently gone.
+      std::shared_lock lock(servants_mutex_);
+      if (retired_.count(req.object_key) != 0)
+        return Error{Errc::unreachable,
+                     "object retired " + req.object_key.to_string()};
+    }
     ReplyMessage reply;
     reply.request_id = req.request_id;
     reply.status = ReplyStatus::object_not_found;

@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -167,6 +168,12 @@ class Orb {
   /// Activate under a caller-chosen key (well-known objects).
   ObjectRef activate_with_key(std::shared_ptr<Servant> servant, Uuid key);
   Result<void> deactivate(const Uuid& key);
+  /// Deactivate AND remember the key as retired: requests for it answer
+  /// with a retryable `unreachable` system exception instead of the
+  /// permanent `not_found`, so stale ObjectRefs held by remote callers are
+  /// redirected through their retry/rebind path (dual-primary resolution
+  /// kills the losing instance this way).
+  void retire_object(const Uuid& key);
   [[nodiscard]] std::size_t active_count() const;
   [[nodiscard]] std::shared_ptr<Servant> find_servant(const Uuid& key) const;
 
@@ -336,6 +343,7 @@ class Orb {
   std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
   mutable std::shared_mutex servants_mutex_;
   std::map<Uuid, std::shared_ptr<Servant>> servants_;
+  std::set<Uuid> retired_;               // under servants_mutex_
   std::mutex rng_mutex_;
   Rng rng_{0x0bbf};  // object-key minting only; backoff jitter is per-call
   std::atomic<std::uint64_t> next_request_id_{1};

@@ -16,7 +16,22 @@ void SimNetwork::heal_partition() {
   partition_b_.clear();
 }
 
+void SimNetwork::apply_schedule(const fault::PartitionSchedule& schedule) {
+  for (const fault::PartitionEvent& ev : schedule.events) {
+    sim_.schedule_at(ev.at, [this, cuts = ev.cuts]() {
+      for (const fault::LinkCut& c : cuts) cut_link(c.from, c.to);
+    });
+    if (ev.heal_after > 0)
+      sim_.schedule_at(ev.at + ev.heal_after, [this, cuts = ev.cuts]() {
+        for (const fault::LinkCut& c : cuts) restore_link(c.from, c.to);
+      });
+  }
+}
+
 bool SimNetwork::blocked(NodeId a, NodeId b) const {
+  // Directed cuts only block their own direction (a→b may be down while
+  // b→a still delivers).
+  if (cut_links_.count({a, b}) != 0) return true;
   if (partition_a_.empty() || partition_b_.empty()) return false;
   const bool a_in_a = partition_a_.count(a) != 0;
   const bool a_in_b = partition_b_.count(a) != 0;

@@ -85,9 +85,21 @@ class SimNetwork {
     return it == incarnations_.end() ? 1 : it->second;
   }
 
-  /// Cut/heal links between two node sets (network partition).
+  /// Cut/heal links between two node sets (symmetric network partition).
   void partition(std::set<NodeId> side_a, std::set<NodeId> side_b);
   void heal_partition();
+
+  /// Sever one *direction* of a link: messages from→to are lost while the
+  /// cut is in force, to→from traffic is untouched (asymmetric fault).
+  void cut_link(NodeId from, NodeId to) { cut_links_.insert({from, to}); }
+  void restore_link(NodeId from, NodeId to) { cut_links_.erase({from, to}); }
+  /// Arm a replayable partition timetable: every episode's cuts appear at
+  /// its virtual `at` and heal `heal_after` later (events scheduled on the
+  /// simulator, so determinism follows from the schedule's purity).
+  void apply_schedule(const fault::PartitionSchedule& schedule);
+  [[nodiscard]] bool link_cut(NodeId from, NodeId to) const {
+    return blocked(from, to);
+  }
 
   /// Queue a message for delivery (latency applied). Sending to a detached
   /// or partitioned node silently loses the message, as on a real network.
@@ -153,6 +165,7 @@ class SimNetwork {
   std::map<NodeId, std::uint64_t> incarnations_;
   std::set<NodeId> partition_a_;
   std::set<NodeId> partition_b_;
+  std::set<fault::LinkCut> cut_links_;  // directed (asymmetric) cuts
   std::map<NodeId, std::uint64_t> per_node_bytes_;
 };
 

@@ -8,6 +8,7 @@
 // advance virtual time. The replay tests assert exactly that.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <string>
@@ -99,6 +100,50 @@ TEST(CrashSchedule, SameSeedReplaysTheSameTimetable) {
   EXPECT_EQ(victims.size(), 4u) << "a node is crashed at most once";
   const auto c = fault::CrashSchedule::random(100, nodes, 4, seconds(60),
                                               seconds(2), seconds(8));
+  EXPECT_NE(a.events, c.events) << "different seeds should differ";
+}
+
+TEST(PartitionSchedule, SameSeedReplaysTheSameTimetable) {
+  std::vector<NodeId> nodes;
+  for (std::uint64_t i = 1; i <= 8; ++i) nodes.push_back(NodeId{i});
+  const auto a = fault::PartitionSchedule::random(
+      0x9a27, nodes, 5, seconds(120), seconds(4), seconds(12), 0.5);
+  const auto b = fault::PartitionSchedule::random(
+      0x9a27, nodes, 5, seconds(120), seconds(4), seconds(12), 0.5);
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.events.size(), 5u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const auto& ev = a.events[i];
+    EXPECT_LT(ev.at, seconds(120));
+    EXPECT_GE(ev.heal_after, seconds(4));
+    EXPECT_LE(ev.heal_after, seconds(12));
+    EXPECT_FALSE(ev.cuts.empty());
+    // Every cut is between two distinct known nodes, each direction listed
+    // at most once.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (const fault::LinkCut& c : ev.cuts) {
+      EXPECT_NE(c.from, c.to);
+      EXPECT_TRUE(seen.insert({c.from.value, c.to.value}).second);
+    }
+    if (i > 0) EXPECT_GE(ev.at, a.events[i - 1].at);
+  }
+  // Asymmetric probability 0.5 over 5 episodes: with this seed both shapes
+  // must occur (a symmetric episode has both directions of each pair, an
+  // asymmetric one only minority→majority).
+  int asymmetric = 0;
+  for (const auto& ev : a.events) {
+    bool symmetric = true;
+    for (const fault::LinkCut& c : ev.cuts) {
+      symmetric = symmetric &&
+                  std::find(ev.cuts.begin(), ev.cuts.end(),
+                            fault::LinkCut{c.to, c.from}) != ev.cuts.end();
+    }
+    asymmetric += !symmetric;
+  }
+  EXPECT_GT(asymmetric, 0);
+  EXPECT_LT(asymmetric, 5);
+  const auto c = fault::PartitionSchedule::random(
+      0x9a28, nodes, 5, seconds(120), seconds(4), seconds(12), 0.5);
   EXPECT_NE(a.events, c.events) << "different seeds should differ";
 }
 

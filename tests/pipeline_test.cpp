@@ -18,11 +18,14 @@
 #include <thread>
 #include <vector>
 
+#include "core/node.hpp"
 #include "fault/faulty_transport.hpp"
 #include "orb/orb.hpp"
+#include "orb/resilience.hpp"
 #include "orb/tcp.hpp"
 #include "orb/transport.hpp"
 #include "orb/value.hpp"
+#include "support/test_components.hpp"
 #include "util/clock.hpp"
 
 namespace clc::orb {
@@ -409,6 +412,74 @@ TEST(PipelineChaos, InjectedDelaysReorderRepliesWithoutCrosstalk) {
   }
   EXPECT_EQ(p.served.calls.load(), kCalls);
   p.net->stop_async_workers();
+}
+
+/// Partition chaos on the async path: an invoke_async across a severed
+/// link must fail with *retryable* Errc::unreachable (so AMI callers can
+/// re-issue after a heal), the per-endpoint circuit breaker must open
+/// under the failure burst and fail fast, and after the heal its half-open
+/// probe must close it again -- availability recovers without restarting
+/// anything.
+TEST(PipelineChaos, PartitionFailsInvokeAsyncRetryablyAndBreakerRecovers) {
+  core::CohesionConfig fast;
+  fast.heartbeat = seconds(1);
+  core::FailoverConfig no_ckpt;
+  no_ckpt.checkpoint_interval = 0;
+  core::LocalNetwork world(fast, no_ckpt);
+  core::Node& a = world.add_node();
+  core::Node& b = world.add_node();
+  ASSERT_TRUE(b.install(clc::testing::calculator_package()).ok());
+  world.settle();
+  auto bound = a.resolve("demo.calculator", VersionConstraint{},
+                         core::Binding::remote);
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  InvokeOptions idem;
+  idem.idempotent = true;
+  auto add_async = [&](std::int32_t v) {
+    return a.orb().invoke_async(bound->primary, "add",
+                                {Value(v), Value(std::int32_t{1})}, idem);
+  };
+
+  // Warm path: pipelined call completes across the healthy link.
+  {
+    auto out = add_async(1).take();
+    ASSERT_TRUE(out.ok()) << out.error().to_string();
+    EXPECT_EQ(out->result, Value(std::int32_t{2}));
+  }
+
+  world.partition({a.id()}, {b.id()});
+  {
+    auto out = add_async(2).take();
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::unreachable);
+    EXPECT_TRUE(errc_is_retryable(out.error().code));
+  }
+  EXPECT_GT(a.metrics().counter("orb.partitioned").value(), 0u);
+
+  // Keep failing until the breaker opens; open means fail-fast refusals
+  // that never touch the link.
+  for (int i = 0; i < 8; ++i) (void)add_async(i).take();
+  using State = CircuitBreaker::State;
+  EXPECT_EQ(a.orb().breaker_state(bound->primary.endpoint), State::open);
+  const std::uint64_t blocked_before =
+      a.metrics().counter("orb.partitioned").value();
+  {
+    auto out = add_async(9).take();
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::refused);
+  }
+  EXPECT_EQ(a.metrics().counter("orb.partitioned").value(), blocked_before);
+
+  // Heal; after the cool-down the half-open probe succeeds and the breaker
+  // closes again (cohesion's own heartbeats may already have probed it).
+  world.heal_partition();
+  world.advance(fast.heartbeat * 5 / 2);
+  {
+    auto out = add_async(10).take();
+    ASSERT_TRUE(out.ok()) << out.error().to_string();
+    EXPECT_EQ(out->result, Value(std::int32_t{11}));
+  }
+  EXPECT_EQ(a.orb().breaker_state(bound->primary.endpoint), State::closed);
 }
 
 }  // namespace

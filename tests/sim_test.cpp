@@ -284,6 +284,88 @@ TEST(SimNetwork, PartitionBlocksAcrossButNotWithin) {
   EXPECT_EQ(r3.messages.size(), 1u);
 }
 
+TEST(SimNetwork, AsymmetricCutBlocksOneDirectionOnly) {
+  Simulator sim;
+  SimNetwork net(sim);
+  Recorder r1, r2;
+  net.attach(NodeId{1}, &r1);
+  net.attach(NodeId{2}, &r2);
+  net.cut_link(NodeId{1}, NodeId{2});  // 1→2 down, 2→1 still up
+  EXPECT_TRUE(net.link_cut(NodeId{1}, NodeId{2}));
+  EXPECT_FALSE(net.link_cut(NodeId{2}, NodeId{1}));
+  net.send(NodeId{1}, NodeId{2}, Bytes{1});
+  net.send(NodeId{2}, NodeId{1}, Bytes{2});
+  sim.run();
+  EXPECT_TRUE(r2.messages.empty());
+  ASSERT_EQ(r1.messages.size(), 1u);
+  net.restore_link(NodeId{1}, NodeId{2});
+  net.send(NodeId{1}, NodeId{2}, Bytes{3});
+  sim.run();
+  EXPECT_EQ(r2.messages.size(), 1u);
+}
+
+TEST(SimNetwork, InFlightFrameDroppedByCutAppearingBeforeDelivery) {
+  // A frame sent over a healthy link but still in flight when the cut
+  // lands must be lost: link state applies at *delivery* time.
+  Simulator sim;
+  SimNetwork net(sim);
+  net.set_link_model({.base_latency = 100, .jitter = 0,
+                      .bytes_per_second = 0, .drop_probability = 0});
+  Recorder b;
+  net.attach(NodeId{1}, nullptr);
+  net.attach(NodeId{2}, &b);
+  bool delivered = true;
+  net.send(NodeId{1}, NodeId{2}, Bytes{1},
+           [&](bool ok) { delivered = ok; });
+  sim.schedule_at(50, [&net] { net.cut_link(NodeId{1}, NodeId{2}); });
+  sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(SimNetwork, InFlightFrameSurvivesHealBeforeDelivery) {
+  // The converse: a cut that heals while the frame is still in flight does
+  // not retroactively kill it -- only the state at the delivery instant
+  // counts.
+  Simulator sim;
+  SimNetwork net(sim);
+  net.set_link_model({.base_latency = 100, .jitter = 0,
+                      .bytes_per_second = 0, .drop_probability = 0});
+  Recorder b;
+  net.attach(NodeId{1}, nullptr);
+  net.attach(NodeId{2}, &b);
+  bool delivered = false;
+  net.send(NodeId{1}, NodeId{2}, Bytes{9},
+           [&](bool ok) { delivered = ok; });
+  sim.schedule_at(20, [&net] { net.cut_link(NodeId{1}, NodeId{2}); });
+  sim.schedule_at(60, [&net] { net.restore_link(NodeId{1}, NodeId{2}); });
+  sim.run();
+  EXPECT_TRUE(delivered);
+  ASSERT_EQ(b.messages.size(), 1u);
+}
+
+TEST(SimNetwork, PartitionScheduleCutsAndHealsAtItsVirtualTimes) {
+  Simulator sim;
+  SimNetwork net(sim);
+  Recorder b;
+  net.attach(NodeId{1}, nullptr);
+  net.attach(NodeId{2}, &b);
+  fault::PartitionSchedule schedule;
+  schedule.events.push_back(
+      fault::PartitionSchedule::split(100, 200, {NodeId{1}}, {NodeId{2}}));
+  net.apply_schedule(schedule);
+  auto probe = [&](Duration at) {
+    sim.schedule_at(at, [&net] { net.send(NodeId{1}, NodeId{2}, Bytes{1}); });
+  };
+  probe(50);   // before the split: delivered
+  probe(150);  // during: dropped
+  probe(350);  // after the heal: delivered
+  sim.run();
+  EXPECT_EQ(b.messages.size(), 2u);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
 TEST(SimNetwork, DropProbabilityAndStats) {
   Simulator sim;
   SimNetwork net(sim, 7);
