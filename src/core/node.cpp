@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "dir/record.hpp"
 #include "orb/resilience.hpp"
+#include "session/session.hpp"
 #include "util/log.hpp"
 
 namespace clc::core {
@@ -280,7 +282,8 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
                 },
                 &metrics_),
       failover_(failover_config),
-      retry_rng_(0xFA11BACCULL ^ (id.value * 0x9E3779B97F4A7C15ULL)) {
+      retry_rng_(0xFA11BACCULL ^ (id.value * 0x9E3779B97F4A7C15ULL)),
+      directory_(&metrics_) {
   install_node_idl();
   orb_->add_client_interceptor(
       std::make_shared<obs::TraceClientInterceptor>(tracer_));
@@ -309,6 +312,7 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
   policies.breaker.open_duration = cohesion_config.heartbeat * 2;
   orb_->set_invocation_policies(policies);
   make_node_servant();
+  install_directory();
   network_.register_node(*this, endpoint);
   cohesion_.set_digest_provider([this] { return registry_.digest(); });
   cohesion_.set_node_dead_handler(
@@ -350,6 +354,132 @@ Result<orb::ObjectRef> Node::node_service_ref(NodeId peer) const {
   return ref;
 }
 
+// ---------------------------------------------------------------------------
+// Replicated service directory (DESIGN.md §14)
+
+void Node::install_directory() {
+  auto r = types_->register_idl(dir::directory_idl());
+  if (!r.ok())
+    CLC_LOG(error, "node") << "directory IDL failed to register: "
+                           << r.error().to_string();
+  // Change notifications ride oneway CLCP sends: best effort, never
+  // blocking the publish path on a slow or dead subscriber.
+  directory_.set_notify_fn(
+      [this](const orb::ObjectRef& subscriber, const dir::DirNotification& n) {
+        (void)orb_->send(subscriber, "notify", {orb::Value(n.encode())},
+                         kIdempotent);
+      });
+  auto servant = std::make_shared<orb::DynamicServant>("clc::Directory");
+  servant->on("publish", [this](orb::ServerRequest& req) -> Result<void> {
+    auto rec = dir::ServiceRecord::decode(req.arg(0).as<Bytes>());
+    if (!rec) return rec.error();
+    directory_.apply(*rec);
+    return {};
+  });
+  servant->on("lookup", [this](orb::ServerRequest& req) -> Result<void> {
+    auto rec = directory_.lookup(req.arg(0).as<std::string>());
+    if (!rec) return rec.error();
+    req.set_result(orb::Value(rec->encode()));
+    return {};
+  });
+  servant->on("exchange_table",
+              [this](orb::ServerRequest& req) -> Result<void> {
+    // Merge the caller's table, answer with ours: one roundtrip carries
+    // both directions of the anti-entropy exchange.
+    auto merged = directory_.merge_table(req.arg(0).as<Bytes>());
+    if (!merged) return merged.error();
+    req.set_result(orb::Value(directory_.encode_table()));
+    return {};
+  });
+  servant->on("subscribe", [this](orb::ServerRequest& req) -> Result<void> {
+    directory_.subscribe(req.arg(0).as<orb::ObjectRef>());
+    return {};
+  });
+  servant->on("unsubscribe", [this](orb::ServerRequest& req) -> Result<void> {
+    directory_.unsubscribe(req.arg(0).as<orb::ObjectRef>());
+    return {};
+  });
+  (void)orb_->activate_with_key(std::move(servant),
+                                dir::directory_service_key(id_));
+}
+
+Result<orb::ObjectRef> Node::directory_ref(NodeId replica) const {
+  auto endpoint = network_.endpoint_of(replica);
+  if (!endpoint) return endpoint.error();
+  orb::ObjectRef ref;
+  ref.node = replica;
+  ref.key = dir::directory_service_key(replica);
+  ref.interface_name = "clc::Directory";
+  ref.endpoint = *endpoint;
+  return ref;
+}
+
+std::vector<NodeId> Node::directory_replicas() const {
+  // Same lowest-id election as checkpoint holders, but including self:
+  // the directory wants R well-known replicas total, wherever they run.
+  // network_.nodes() is id-ordered, so every node derives the same set.
+  std::vector<NodeId> replicas;
+  const int want = std::max(1, failover_.replicas);
+  for (Node* p : network_.nodes()) {
+    replicas.push_back(p->id());
+    if (static_cast<int>(replicas.size()) >= want) break;
+  }
+  return replicas;
+}
+
+void Node::publish_service(const std::string& service,
+                           const orb::ObjectRef& ref) {
+  dir::ServiceRecord rec;
+  rec.service = service;
+  rec.ref = ref;
+  rec.host = id_;
+  rec.incarnation = incarnation_;
+  rec.epoch = cohesion_.epoch();
+  rec.stamp = static_cast<std::uint64_t>(network_.now());
+  // Ship the component's IDL inside the record (libqi-style complete
+  // service info): a session that learns this binding can register the
+  // types into its own Orb and invoke immediately, with no node-level
+  // IDL fetch -- which is what keeps name-based calls working across a
+  // failover, where the original host is gone.
+  if (auto active = container_.find_active(service, VersionConstraint{});
+      active.ok())
+    if (auto desc = container_.description_of(*active); desc.ok())
+      if (auto idl = repository_.idl_of(service, (*desc)->version); idl.ok())
+        rec.idl = *idl;
+  publish_record(rec);
+}
+
+void Node::publish_record(const dir::ServiceRecord& record) {
+  // Always into the local table first: if every replica is unreachable
+  // (mid-partition restore), anti-entropy carries the record over after
+  // the heal -- that round-trip bounds directory convergence.
+  directory_.apply(record);
+  const Bytes blob = record.encode();
+  for (NodeId replica : directory_replicas()) {
+    if (replica == id_) continue;
+    auto service = directory_ref(replica);
+    if (!service) continue;
+    (void)orb_->call(*service, "publish", {orb::Value(blob)}, kIdempotent);
+  }
+  metrics_.counter("dir.publishes").inc();
+}
+
+void Node::gossip_directory() {
+  std::vector<NodeId> targets;
+  for (NodeId replica : directory_replicas())
+    if (replica != id_) targets.push_back(replica);
+  if (targets.empty()) return;
+  const NodeId target = targets[dir_gossip_rotor_++ % targets.size()];
+  auto service = directory_ref(target);
+  if (!service) return;
+  auto theirs = orb_->call(*service, "exchange_table",
+                           {orb::Value(directory_.encode_table())},
+                           kIdempotent);
+  if (!theirs) return;
+  (void)directory_.merge_table(theirs->as<Bytes>());
+  metrics_.counter("dir.gossip_rounds").inc();
+}
+
 void Node::start_network(TimePoint now) { cohesion_.start_as_first(now); }
 
 void Node::join(NodeId bootstrap, TimePoint now) {
@@ -364,6 +494,22 @@ void Node::tick(TimePoint now) {
     } else if (now - last_checkpoint_ >= failover_.checkpoint_interval) {
       last_checkpoint_ = now;
       run_checkpoints();
+    }
+  }
+  // Directory anti-entropy rides the same cadence as the registry's
+  // (every anti_entropy_every heartbeats). EVERY joined node trades with
+  // one replica per round -- not just replica-to-replica -- so a record
+  // published while the replicas were unreachable (e.g. a mid-partition
+  // failover restore) still flows back into the replica set after a heal.
+  const Duration gossip_every =
+      cohesion_.config().heartbeat *
+      std::max(1, cohesion_.config().anti_entropy_every);
+  if (cohesion_.joined() && directory_.size() > 0) {
+    if (last_dir_gossip_ == 0) {
+      last_dir_gossip_ = now;
+    } else if (now - last_dir_gossip_ >= gossip_every) {
+      last_dir_gossip_ = now;
+      gossip_directory();
     }
   }
 }
@@ -436,6 +582,7 @@ Result<std::string> Node::remote_idl(NodeId peer, const std::string& component,
 Result<BoundComponent> Node::acquire_local(const std::string& component,
                                            const VersionConstraint& constraint) {
   InstanceId id;
+  bool created_new = false;
   if (auto existing = container_.find_active(component, constraint);
       existing.ok()) {
     id = *existing;
@@ -444,9 +591,13 @@ Result<BoundComponent> Node::acquire_local(const std::string& component,
     if (!created) return created.error();
     id = *created;
     instance_epochs_[id] = cohesion_.epoch();
+    created_new = true;
   }
   auto primary = primary_port(id);
   if (!primary) return primary.error();
+  // A fresh instance is a directory event (service appeared here);
+  // re-acquiring an existing one is not.
+  if (created_new) publish_service(component, *primary);
   BoundComponent bound;
   bound.primary = *primary;
   bound.host = id_;
@@ -479,6 +630,20 @@ Result<BoundComponent> Node::resolve_impl(const std::string& component,
   // 1. Local repository first (zero network cost).
   if (binding != Binding::remote && repository_.has(component, constraint))
     return acquire_local(component, constraint);
+
+  // 1b. An attached session's notification-maintained cache answers next:
+  // retried resolves used to re-run the whole distributed query from the
+  // hierarchy root every attempt, when the directory already knows where
+  // the component runs.
+  if (session_ != nullptr && binding != Binding::fetch_local) {
+    if (auto cached = session_->resolve(component); cached.ok()) {
+      metrics_.counter("node.query_cache_hits").inc();
+      BoundComponent bound;
+      bound.primary = *cached;
+      bound.host = cached->node;
+      return bound;
+    }
+  }
 
   // 2. Distributed query.
   ComponentQuery q;
@@ -779,6 +944,9 @@ void Node::crash_local() {
   restored_.clear();
   instance_epochs_.clear();
   last_checkpoint_ = 0;
+  directory_.clear();  // RAM state: repopulated by post-restart gossip
+  last_dir_gossip_ = 0;
+  dir_gossip_rotor_ = 0;
   metrics_.counter("node.crashes").inc();
   recovery_log_.push_back("crash inc=" + std::to_string(incarnation_));
 }
@@ -910,6 +1078,13 @@ void Node::on_peer_dead(NodeId dead, std::uint64_t dead_incarnation,
     }
     restored_[key].local = *restored;
     instance_epochs_[*restored] = cohesion_.epoch();
+    // Failover win: advertise the restored copy. The record carries the
+    // post-verdict epoch, so it outranks anything the dead (or cut-off)
+    // origin published -- and if every replica is on the wrong side of a
+    // partition right now, the publish degrades to the local table and
+    // anti-entropy delivers it after the heal.
+    if (auto primary = primary_port(*restored); primary.ok())
+      publish_service(rec->component, *primary);
     // Publish the restore as a failover claim: it gossips through the
     // anti-entropy tables, so after a heal the (possibly still alive)
     // origin learns a second primary exists and the loser yields.
@@ -935,14 +1110,37 @@ std::uint64_t Node::instance_epoch(InstanceId id) const {
 }
 
 void Node::retire_instance(InstanceId id, const std::string& why) {
+  std::string service;
+  orb::ObjectRef primary;
   if (auto d = container_.description_of(id); d.ok()) {
+    service = (*d)->name;
     for (const auto& port : (*d)->ports_of(pkg::PortKind::provides)) {
-      if (auto ref = container_.provided_port(id, port.name); ref.ok())
+      if (auto ref = container_.provided_port(id, port.name); ref.ok()) {
+        if (primary.is_nil()) primary = *ref;
         orb_->retire_object(ref->key);
+      }
     }
   }
+  // Tombstone the binding under the *instance's* establishment epoch, not
+  // the current (post-heal, merged-up) one: the tombstone then kills
+  // exactly the binding generation it names, and can never outrank the
+  // dual-primary winner's record, which rode a later epoch -- in either
+  // arrival order, since every table keeps a pure max over newer_than()'s
+  // total order (see ServiceDirectory::apply).
+  const std::uint64_t establishment_epoch = instance_epoch(id);
   (void)container_.destroy(id);
   instance_epochs_.erase(id);
+  if (!service.empty()) {
+    dir::ServiceRecord rec;
+    rec.service = service;
+    rec.ref = primary;
+    rec.host = id_;
+    rec.incarnation = incarnation_;
+    rec.epoch = establishment_epoch;
+    rec.stamp = static_cast<std::uint64_t>(network_.now());
+    rec.retired = true;
+    publish_record(rec);
+  }
   metrics_.counter("failover.dual_primary_resolved").inc();
   recovery_log_.push_back(why);
 }
@@ -1092,6 +1290,9 @@ void Node::make_node_servant() {
     instance_epochs_[*id] = cohesion_.epoch();
     auto primary = primary_port(*id);
     if (!primary) return primary.error();
+    // Migration landed here: the directory's later-stamp record supersedes
+    // the source's and subscribed sessions rebind on the `moved` push.
+    publish_service(snapshot.component, *primary);
     req.set_result(orb::Value(id->to_string()));
     req.args()[3] = orb::Value(*primary);
     return {};

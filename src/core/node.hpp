@@ -26,6 +26,7 @@
 #include "core/cohesion.hpp"
 #include "core/container.hpp"
 #include "core/failover.hpp"
+#include "dir/directory.hpp"
 #include "fault/faulty_transport.hpp"
 #include "fault/plan.hpp"
 #include "core/events.hpp"
@@ -38,6 +39,10 @@
 #include "orb/transport.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
+
+namespace clc::session {
+class Session;
+}  // namespace clc::session
 
 namespace clc::core {
 
@@ -115,6 +120,34 @@ class Node {
   }
   /// Force an immediate checkpoint round (tests/benches).
   void checkpoint_now() { run_checkpoints(); }
+
+  // ------------------------------------------------------------- directory
+  /// This node's directory replica table (every node keeps one; the R
+  /// lowest-id live nodes are the well-known lookup points).
+  [[nodiscard]] dir::ServiceDirectory& directory() noexcept {
+    return directory_;
+  }
+  /// Reference to a peer's Directory servant (well-known key, like the
+  /// NodeService); sessions use these as their replica set.
+  Result<orb::ObjectRef> directory_ref(NodeId replica) const;
+  /// The R lowest-id live nodes (including this one), same election as
+  /// checkpoint holders -- every node derives the same set.
+  [[nodiscard]] std::vector<NodeId> directory_replicas() const;
+  /// Publish `service -> ref` (hosted here, current incarnation + epoch)
+  /// to the local table and every directory replica. Lifecycle transitions
+  /// (install, migrate, failover win, retirement) call this themselves.
+  void publish_service(const std::string& service, const orb::ObjectRef& ref);
+  /// Force an immediate anti-entropy exchange with one replica
+  /// (tests/benches; tick() drives this on the anti-entropy cadence).
+  void gossip_directory_now() { gossip_directory(); }
+
+  /// Attach a client session: Node::resolve short-circuits through its
+  /// notification-maintained cache before falling back to a distributed
+  /// query (`node.query_cache_hits`). The session must outlive the
+  /// attachment; pass nullptr to detach.
+  void attach_session(session::Session* session) noexcept {
+    session_ = session;
+  }
 
   // ------------------------------------------------------------ acceptor
   /// Component Acceptor: install a package at run time (requirement 5).
@@ -213,6 +246,14 @@ class Node {
 
   void install_node_idl();
   void make_node_servant();
+  /// Register the directory IDL + servant and hook change notification
+  /// delivery to oneway `notify` sends.
+  void install_directory();
+  /// Apply a record locally, then push it to every live replica.
+  void publish_record(const dir::ServiceRecord& record);
+  /// One anti-entropy round: trade whole tables with one replica
+  /// (round-robin over the replica set, skipping self).
+  void gossip_directory();
   Result<BoundComponent> resolve_impl(const std::string& component,
                                       const VersionConstraint& constraint,
                                       Binding binding);
@@ -265,6 +306,12 @@ class Node {
   std::vector<std::string> recovery_log_;
   std::vector<Bytes> disk_image_;  // packages, snapshotted at crash time
   Rng retry_rng_;                  // backoff jitter for distributed queries
+
+  // Replicated service directory state.
+  dir::ServiceDirectory directory_;
+  session::Session* session_ = nullptr;   // attached client session, if any
+  TimePoint last_dir_gossip_ = 0;
+  std::size_t dir_gossip_rotor_ = 0;      // round-robin over the replicas
 };
 
 /// The in-process world: a set of Nodes over one loopback transport, a

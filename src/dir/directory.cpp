@@ -1,0 +1,116 @@
+#include "dir/directory.hpp"
+
+#include <algorithm>
+
+namespace clc::dir {
+
+ServiceDirectory::ServiceDirectory(obs::MetricsRegistry* metrics) {
+  if (metrics) {
+    published_ = &metrics->counter("dir.published");
+    fenced_ = &metrics->counter("dir.fenced");
+    merges_ = &metrics->counter("dir.merges");
+    notifications_sent_ = &metrics->counter("dir.notifications_sent");
+  }
+}
+
+ApplyResult ServiceDirectory::apply(const ServiceRecord& record) {
+  auto it = table_.find(record.service);
+  if (it == table_.end()) {
+    table_.emplace(record.service, record);
+    if (published_) published_->inc();
+    // A tombstone arriving first (gossip reorder) is stored for fencing but
+    // announces nothing: subscribers never cached the binding it retires.
+    if (!record.retired) notify_all(ChangeKind::added, record);
+    return ApplyResult::accepted_new;
+  }
+  ServiceRecord& stored = it->second;
+  if (record == stored) return ApplyResult::unchanged;
+  // A pure max over newer_than()'s total order: commutative and
+  // associative, so every replica converges on byte-identical tables no
+  // matter the gossip arrival order. Tombstones carry the epoch that
+  // established the binding they retire, which is what stops a dual-primary
+  // loser's retirement from outranking the winner's later-epoch record.
+  if (!record.newer_than(stored)) {
+    if (fenced_) fenced_->inc();
+    return ApplyResult::fenced;
+  }
+  const ChangeKind kind = record.retired   ? ChangeKind::retired
+                          : stored.retired ? ChangeKind::added
+                                           : ChangeKind::moved;
+  stored = record;
+  if (published_) published_->inc();
+  notify_all(kind, record);
+  return ApplyResult::accepted_changed;
+}
+
+Result<ServiceRecord> ServiceDirectory::lookup(
+    const std::string& service) const {
+  auto it = table_.find(service);
+  if (it == table_.end() || it->second.retired)
+    return Error{Errc::not_found, "no active record for " + service};
+  return it->second;
+}
+
+std::vector<ServiceRecord> ServiceDirectory::records() const {
+  std::vector<ServiceRecord> out;
+  out.reserve(table_.size());
+  for (const auto& [_, rec] : table_) out.push_back(rec);
+  return out;
+}
+
+Bytes ServiceDirectory::encode_table() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_sequence_length(static_cast<std::uint32_t>(table_.size()));
+  for (const auto& [_, rec] : table_) rec.marshal(w);
+  return w.take();
+}
+
+Result<std::size_t> ServiceDirectory::merge_table(BytesView table) {
+  orb::CdrReader r(table);
+  if (auto enc = r.begin_encapsulation(); !enc) return enc.error();
+  auto count = r.read_sequence_length();
+  if (!count) return count.error();
+  if (*count > r.remaining())
+    return Error{Errc::corrupt_data, "directory table count exceeds payload"};
+  std::size_t accepted = 0;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto rec = ServiceRecord::unmarshal(r);
+    if (!rec) return rec.error();
+    const ApplyResult res = apply(*rec);
+    if (res == ApplyResult::accepted_new ||
+        res == ApplyResult::accepted_changed)
+      ++accepted;
+  }
+  if (merges_) merges_->inc();
+  return accepted;
+}
+
+void ServiceDirectory::subscribe(const orb::ObjectRef& subscriber) {
+  for (const auto& s : subscribers_)
+    if (s == subscriber) return;
+  subscribers_.push_back(subscriber);
+}
+
+void ServiceDirectory::unsubscribe(const orb::ObjectRef& subscriber) {
+  std::erase(subscribers_, subscriber);
+}
+
+void ServiceDirectory::clear() {
+  table_.clear();
+  subscribers_.clear();
+}
+
+void ServiceDirectory::notify_all(ChangeKind kind,
+                                  const ServiceRecord& record) {
+  if (!notify_ || subscribers_.empty()) return;
+  const DirNotification n{kind, record};
+  // Snapshot: a notify callback may re-enter subscribe/unsubscribe.
+  const auto targets = subscribers_;
+  for (const auto& sub : targets) {
+    notify_(sub, n);
+    if (notifications_sent_) notifications_sent_->inc();
+  }
+}
+
+}  // namespace clc::dir

@@ -1,0 +1,87 @@
+// Directory replica state: a fenced last-writer-wins table of
+// ServiceRecords plus the subscriber list notifications fan out to.
+//
+// The class is deliberately transport-free (mirroring CheckpointStore):
+// the owning Node supplies a NotifyFn that delivers DirNotifications over
+// oneway CLCP sends, and drives table gossip by exchanging encode_table()
+// blobs during its anti-entropy rounds. apply() is the single entry point
+// for publishes, gossip merges, and local lifecycle transitions alike, so
+// every path goes through the same fencing rules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dir/record.hpp"
+#include "obs/metrics.hpp"
+#include "orb/object_ref.hpp"
+#include "util/result.hpp"
+
+namespace clc::dir {
+
+/// Outcome of offering a record to the table.
+enum class ApplyResult : std::uint8_t {
+  accepted_new = 0,   // first record for this service
+  accepted_changed,   // superseded the stored record
+  fenced,             // lost to the stored record (stale epoch/stamp/etc.)
+  unchanged,          // byte-identical to the stored record
+};
+
+class ServiceDirectory {
+ public:
+  using NotifyFn =
+      std::function<void(const orb::ObjectRef& subscriber,
+                         const DirNotification& notification)>;
+
+  explicit ServiceDirectory(obs::MetricsRegistry* metrics = nullptr);
+
+  /// Offer a record. Fencing rules:
+  ///  - a stored record only yields to one that newer_than() it;
+  ///  - a retirement additionally only applies if it names the host of the
+  ///    stored record — a dual-primary loser retiring *its own* copy must
+  ///    not tombstone the winner's active binding.
+  /// Accepted changes notify every subscriber (added/moved/retired).
+  ApplyResult apply(const ServiceRecord& record);
+
+  /// Active (non-retired) record for a service, or not_found.
+  [[nodiscard]] Result<ServiceRecord> lookup(const std::string& service) const;
+
+  /// All records including tombstones, in service-name order.
+  [[nodiscard]] std::vector<ServiceRecord> records() const;
+
+  /// Whole-table encapsulation for anti-entropy exchange. Deterministic:
+  /// records are emitted in service-name order, so converged replicas
+  /// produce byte-identical tables.
+  [[nodiscard]] Bytes encode_table() const;
+
+  /// Merge a peer's table; every record goes through apply(). Returns how
+  /// many records were accepted (new or changed).
+  Result<std::size_t> merge_table(BytesView table);
+
+  void subscribe(const orb::ObjectRef& subscriber);
+  void unsubscribe(const orb::ObjectRef& subscriber);
+  [[nodiscard]] std::size_t subscriber_count() const noexcept {
+    return subscribers_.size();
+  }
+
+  void set_notify_fn(NotifyFn fn) { notify_ = std::move(fn); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  void clear();
+
+ private:
+  void notify_all(ChangeKind kind, const ServiceRecord& record);
+
+  std::map<std::string, ServiceRecord> table_;
+  std::vector<orb::ObjectRef> subscribers_;
+  NotifyFn notify_;
+  obs::Counter* published_ = nullptr;
+  obs::Counter* fenced_ = nullptr;
+  obs::Counter* merges_ = nullptr;
+  obs::Counter* notifications_sent_ = nullptr;
+};
+
+}  // namespace clc::dir

@@ -1,0 +1,117 @@
+#include "dir/record.hpp"
+
+namespace clc::dir {
+
+const char* directory_idl() noexcept {
+  return "module clc {"
+         " typedef sequence<octet> DirBlob;"
+         " interface Directory {"
+         "  void publish(in DirBlob record);"
+         "  DirBlob lookup(in string service);"
+         "  DirBlob exchange_table(in DirBlob table);"
+         "  void subscribe(in Object subscriber);"
+         "  void unsubscribe(in Object subscriber);"
+         " };"
+         " interface DirSubscriber {"
+         "  oneway void notify(in DirBlob notification);"
+         " };"
+         "};";
+}
+
+bool ServiceRecord::newer_than(const ServiceRecord& other) const noexcept {
+  if (epoch != other.epoch) return epoch > other.epoch;
+  if (stamp != other.stamp) return stamp > other.stamp;
+  if (retired != other.retired) return retired;
+  if (incarnation != other.incarnation) return incarnation > other.incarnation;
+  return host.value < other.host.value;
+}
+
+void ServiceRecord::marshal(orb::CdrWriter& w) const {
+  w.write_string(service);
+  ref.marshal(w);
+  w.write_ulonglong(host.value);
+  w.write_ulonglong(incarnation);
+  w.write_ulonglong(epoch);
+  w.write_ulonglong(stamp);
+  w.write_boolean(retired);
+  w.write_string(idl);
+}
+
+Result<ServiceRecord> ServiceRecord::unmarshal(orb::CdrReader& r) {
+  ServiceRecord rec;
+  auto service = r.read_string();
+  if (!service) return service.error();
+  rec.service = std::move(*service);
+  auto ref = orb::ObjectRef::unmarshal(r);
+  if (!ref) return ref.error();
+  rec.ref = std::move(*ref);
+  auto host = r.read_ulonglong();
+  if (!host) return host.error();
+  rec.host = NodeId{*host};
+  auto inc = r.read_ulonglong();
+  if (!inc) return inc.error();
+  rec.incarnation = *inc;
+  auto epoch = r.read_ulonglong();
+  if (!epoch) return epoch.error();
+  rec.epoch = *epoch;
+  auto stamp = r.read_ulonglong();
+  if (!stamp) return stamp.error();
+  rec.stamp = *stamp;
+  auto retired = r.read_boolean();
+  if (!retired) return retired.error();
+  rec.retired = *retired;
+  auto idl = r.read_string();
+  if (!idl) return idl.error();
+  rec.idl = std::move(*idl);
+  return rec;
+}
+
+Bytes ServiceRecord::encode() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  marshal(w);
+  return w.take();
+}
+
+Result<ServiceRecord> ServiceRecord::decode(BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc) return enc.error();
+  return unmarshal(r);
+}
+
+const char* change_kind_name(ChangeKind k) noexcept {
+  switch (k) {
+    case ChangeKind::added:
+      return "added";
+    case ChangeKind::moved:
+      return "moved";
+    case ChangeKind::retired:
+      return "retired";
+  }
+  return "unknown";
+}
+
+Bytes DirNotification::encode() const {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_octet(static_cast<std::uint8_t>(kind));
+  record.marshal(w);
+  return w.take();
+}
+
+Result<DirNotification> DirNotification::decode(BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc) return enc.error();
+  auto kind = r.read_octet();
+  if (!kind) return kind.error();
+  if (*kind > static_cast<std::uint8_t>(ChangeKind::retired))
+    return Error{Errc::corrupt_data, "bad directory change kind"};
+  DirNotification n;
+  n.kind = static_cast<ChangeKind>(*kind);
+  auto rec = ServiceRecord::unmarshal(r);
+  if (!rec) return rec.error();
+  n.record = std::move(*rec);
+  return n;
+}
+
+}  // namespace clc::dir

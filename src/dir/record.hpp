@@ -1,0 +1,94 @@
+// Replicated service directory records (DESIGN.md §14).
+//
+// A ServiceRecord binds a service name to the ObjectRef currently serving
+// it, stamped with the publishing host, that host's incarnation, the
+// partition epoch under which the binding was established and the virtual
+// publish time. Records are plain CDR values: nodes publish them to the R
+// directory replicas, replicas gossip whole tables through the existing
+// anti-entropy cadence, and subscribed sessions receive them inside change
+// notifications.
+//
+// The (epoch, stamp, retired, incarnation, host) ordering implemented by
+// newer_than() is a total order, so replica merge is a pure max and tables
+// converge byte-identically regardless of gossip arrival order. It is also
+// what fences resurrection: a split-brain loser's republish carries the
+// pre-split epoch and loses to the quorum side's post-verdict record, and
+// tombstones are published under the epoch that *established* the binding
+// they retire, so a retired loser can kill exactly its own generation and
+// never the winner's later-epoch record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "orb/cdr.hpp"
+#include "orb/object_ref.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace clc::dir {
+
+/// Well-known object key of a node's Directory servant: like the
+/// NodeService key, peers construct references from the NodeId alone.
+inline Uuid directory_service_key(NodeId id) {
+  return Uuid{0xC0DEC0DE00000002ULL, id.value};
+}
+
+/// The directory wire contract, registered by nodes (server side) and
+/// sessions (client side) alike. Kept byte-identical in both so the
+/// InterfaceRepository's identical-redefinition rule admits either order.
+[[nodiscard]] const char* directory_idl() noexcept;
+
+/// One service binding as stored on a directory replica.
+struct ServiceRecord {
+  std::string service;       // logical service name, e.g. "demo.counter"
+  orb::ObjectRef ref;        // the object currently serving it
+  NodeId host;               // node hosting the instance
+  std::uint64_t incarnation = 1;  // host's incarnation at publish time
+  std::uint64_t epoch = 1;        // partition epoch at publish time
+  std::uint64_t stamp = 0;        // virtual publish time (total order
+                                  // within an epoch; deterministic replay)
+  bool retired = false;      // tombstone: the binding is gone
+  std::string idl;           // the serving interface's IDL text, so a
+                             // session can register the types locally and
+                             // invoke without a node-level fetch (empty on
+                             // tombstones)
+
+  bool operator==(const ServiceRecord&) const = default;
+
+  /// True when this record supersedes `other` for the same service name.
+  /// Order: higher epoch, then later stamp, then retired-beats-active,
+  /// then higher incarnation, then lower host id. Total and symmetric, so
+  /// every replica converges on the same winner regardless of gossip order.
+  [[nodiscard]] bool newer_than(const ServiceRecord& other) const noexcept;
+
+  void marshal(orb::CdrWriter& w) const;
+  static Result<ServiceRecord> unmarshal(orb::CdrReader& r);
+
+  /// Standalone encapsulated form (what crosses the wire as a DirBlob).
+  [[nodiscard]] Bytes encode() const;
+  static Result<ServiceRecord> decode(BytesView data);
+};
+
+/// What a change notification reports about a service.
+enum class ChangeKind : std::uint8_t {
+  added = 0,    // service appeared (first active record)
+  moved = 1,    // service rebound to a different ref/host
+  retired = 2,  // service binding tombstoned
+};
+
+const char* change_kind_name(ChangeKind k) noexcept;
+
+/// One change pushed to subscribed sessions over a oneway CLCP invocation.
+struct DirNotification {
+  ChangeKind kind = ChangeKind::added;
+  ServiceRecord record;  // the record that won (or the tombstone)
+
+  bool operator==(const DirNotification&) const = default;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<DirNotification> decode(BytesView data);
+};
+
+}  // namespace clc::dir

@@ -61,6 +61,13 @@ struct PendingState {
   std::vector<Value> args;
   std::vector<std::function<void(const Result<InvokeOutcome>&)>> continuations;
   std::uint64_t request_id = 0;
+  /// Transparent-failover observability: how many transport attempts this
+  /// invocation took (1 = no retry) and the endpoint the final attempt was
+  /// sent to (the caller's own endpoint, or empty, when the dispatch was
+  /// collocated). Written by the retry machinery under `mutex`, stable
+  /// once `done`.
+  int attempts = 1;
+  std::string final_endpoint;
 
   /// Publish the outcome exactly once: flips done, wakes waiters, then runs
   /// the continuations outside the lock (they may issue new invocations).
@@ -124,6 +131,22 @@ class PendingInvocation {
   [[nodiscard]] std::vector<Value> take_args() {
     wait();
     return std::move(state_->args);
+  }
+
+  /// How many transport attempts the invocation took so far (1 = first
+  /// attempt, no retry yet). After completion this is the total, letting
+  /// callers and tests assert that transparent failover actually happened.
+  [[nodiscard]] int attempts() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->attempts;
+  }
+
+  /// Endpoint the most recent attempt was sent to (the caller's own
+  /// endpoint, or empty, when the dispatch was collocated). After a
+  /// rebind-driven retry this is where the call finally landed.
+  [[nodiscard]] std::string final_endpoint() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->final_endpoint;
   }
 
   /// Attach a continuation. Runs on whichever thread completes the

@@ -142,6 +142,10 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
       wait = std::min(wait, remaining);
     }
     ++attempt;
+    {
+      std::lock_guard lock(state->mutex);
+      state->attempts = attempt;
+    }
     if (wait > 0) {
       if (snap.sleep_fn)
         snap.sleep_fn(wait);
@@ -163,6 +167,13 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
     }
     orb->invoke_us_->observe(static_cast<std::uint64_t>(
         std::max<std::int64_t>(0, orb->clock_->now() - invoke_started)));
+    {
+      // Freeze the failover-observability fields before completion so a
+      // continuation reading attempts()/final_endpoint() sees the totals.
+      std::lock_guard lock(state->mutex);
+      state->attempts = attempt;
+      state->final_endpoint = endpoint;
+    }
     state->complete(std::move(out));
   }
 };

@@ -1,0 +1,210 @@
+#include "session/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+namespace clc::session {
+
+namespace {
+constexpr orb::InvokeOptions kIdempotent{.idempotent = true};
+}  // namespace
+
+Session::Session(orb::Orb& orb, SessionConfig config, obs::Tracer* tracer)
+    : orb_(orb),
+      config_(std::move(config)),
+      tracer_(tracer),
+      clock_(&default_clock_),
+      sleep_fn_([](Duration d) {
+        std::this_thread::sleep_for(std::chrono::microseconds(d));
+      }),
+      rng_(0x5e5510BEACULL ^ (orb.node_id().value * 0x9E3779B97F4A7C15ULL)),
+      cache_hits_(&orb.metrics().counter("session.cache_hits")),
+      rebinds_(&orb.metrics().counter("session.rebinds")),
+      notifications_(&orb.metrics().counter("dir.notifications")),
+      calls_(&orb.metrics().counter("session.calls")),
+      errors_(&orb.metrics().counter("session.errors")) {
+  // Byte-identical to the node-side registration, so either side may go
+  // first (the InterfaceRepository admits identical redefinitions).
+  (void)orb_.repository().register_idl(dir::directory_idl());
+  auto servant = std::make_shared<orb::DynamicServant>("clc::DirSubscriber");
+  servant->on("notify", [this](orb::ServerRequest& req) -> Result<void> {
+    const Bytes payload = req.arg(0).as<Bytes>();
+    on_notification(payload);
+    return {};
+  });
+  subscriber_ref_ = orb_.activate(std::move(servant));
+  if (config_.subscribe) {
+    for (const auto& replica : config_.directory) {
+      // Best effort: an unreachable replica just means this session leans
+      // on lazy re-resolution (and the other replicas' pushes) instead.
+      (void)orb_.call(replica, "subscribe", {orb::Value(subscriber_ref_)},
+                      kIdempotent);
+    }
+  }
+}
+
+Session::~Session() {
+  if (config_.subscribe) {
+    for (const auto& replica : config_.directory)
+      (void)orb_.call(replica, "unsubscribe", {orb::Value(subscriber_ref_)});
+  }
+  (void)orb_.deactivate(subscriber_ref_.key);
+}
+
+bool Session::rebindable(Errc c) noexcept {
+  return orb::errc_is_retryable(c) || c == Errc::not_found ||
+         c == Errc::refused;
+}
+
+Result<orb::ObjectRef> Session::resolve(const std::string& service) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = records_.find(service);
+    if (it != records_.end() && !it->second.retired) {
+      cache_hits_->inc();
+      return it->second.ref;
+    }
+  }
+  return resolve_uncached(service);
+}
+
+Result<orb::ObjectRef> Session::resolve_uncached(const std::string& service) {
+  Error last{Errc::not_found, "no directory replica answered for " + service};
+  for (const auto& replica : config_.directory) {
+    auto out = orb_.call(replica, "lookup", {orb::Value(service)},
+                         kIdempotent);
+    if (!out) {
+      last = out.error();
+      continue;
+    }
+    auto rec = dir::ServiceRecord::decode(out->as<Bytes>());
+    if (!rec) {
+      last = rec.error();
+      continue;
+    }
+    admit(*rec);
+    if (!rec->retired) return rec->ref;
+    last = Error{Errc::not_found, service + " is retired"};
+  }
+  return last;
+}
+
+Result<orb::Value> Session::call(const std::string& service,
+                                 const std::string& operation,
+                                 std::vector<orb::Value> args,
+                                 const orb::InvokeOptions& opts) {
+  std::optional<obs::ScopedSpan> span;
+  if (tracer_) span.emplace(*tracer_, "session:" + service + "." + operation);
+  calls_->inc();
+  const TimePoint deadline = clock_->now() + config_.rebind_deadline;
+  Error last{Errc::not_found, "service " + service + " never resolved"};
+  int round = 1;
+  for (;;) {
+    auto ref = resolve(service);
+    if (ref) {
+      auto out = orb_.call(*ref, operation, args, opts);
+      if (out) return out;
+      last = out.error();
+      if (!rebindable(last.code)) break;
+      // The cached binding is dead, retired, or mid-failover: drop it and
+      // resolve afresh through the directory on the next round.
+      invalidate(service);
+      rebinds_->inc();
+      log_event("rebind " + service + " after " + errc_name(last.code));
+    } else {
+      last = ref.error();
+      if (!rebindable(last.code)) break;
+    }
+    const TimePoint now = clock_->now();
+    if (now >= deadline) break;
+    // Clamp the exponent: with max_backoff capping the wait anyway, a long
+    // outage would otherwise push 2^round past what fits in a Duration.
+    Duration wait =
+        orb::backoff_delay(config_.backoff, std::min(round, 20), rng_);
+    if (wait > config_.max_backoff) wait = config_.max_backoff;
+    if (wait > deadline - now) wait = deadline - now;
+    std::function<void(Duration)> sleep;
+    {
+      std::lock_guard lock(mutex_);
+      sleep = sleep_fn_;
+    }
+    if (wait > 0 && sleep) sleep(wait);
+    ++round;
+  }
+  errors_->inc();
+  if (span) span->fail();
+  return last;
+}
+
+void Session::invalidate(const std::string& service) {
+  std::lock_guard lock(mutex_);
+  records_.erase(service);
+}
+
+Result<dir::ServiceRecord> Session::cached(const std::string& service) const {
+  std::lock_guard lock(mutex_);
+  auto it = records_.find(service);
+  if (it == records_.end())
+    return Error{Errc::not_found, "no cached record for " + service};
+  return it->second;
+}
+
+std::vector<std::string> Session::event_log() const {
+  std::lock_guard lock(mutex_);
+  return event_log_;
+}
+
+void Session::set_clock(const Clock* clock) noexcept {
+  clock_ = clock != nullptr ? clock : &default_clock_;
+}
+
+void Session::set_sleep_fn(std::function<void(Duration)> fn) {
+  std::lock_guard lock(mutex_);
+  sleep_fn_ = std::move(fn);
+}
+
+std::size_t Session::cache_size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+bool Session::admit(const dir::ServiceRecord& record) {
+  // The record ships its interface's IDL: register it so the raw Orb call
+  // on the cached ref can marshal without a node-level fetch. Identical
+  // redefinitions are admitted, so replica-duplicate pushes are free.
+  if (!record.retired && !record.idl.empty())
+    (void)orb_.repository().register_idl(record.idl);
+  std::lock_guard lock(mutex_);
+  auto it = records_.find(record.service);
+  if (it == records_.end()) {
+    records_.emplace(record.service, record);
+    return true;
+  }
+  if (record == it->second) return false;  // replica-duplicate push
+  // Same max-over-total-order rule as the replicas (newer_than covers the
+  // establishment-epoch tombstone fencing).
+  if (!record.newer_than(it->second)) return false;
+  it->second = record;
+  return true;
+}
+
+void Session::on_notification(BytesView payload) {
+  auto n = dir::DirNotification::decode(payload);
+  if (!n) return;  // corrupt push: ignore, lazy resolution self-heals
+  notifications_->inc();
+  const bool won = admit(n->record);
+  log_event(std::string("notify ") + dir::change_kind_name(n->kind) + " " +
+            n->record.service + (won ? " admitted" : " fenced") +
+            " host=" + std::to_string(n->record.host.value) +
+            " inc=" + std::to_string(n->record.incarnation) +
+            " epoch=" + std::to_string(n->record.epoch));
+}
+
+void Session::log_event(std::string line) {
+  std::lock_guard lock(mutex_);
+  event_log_.push_back(std::move(line));
+}
+
+}  // namespace clc::session

@@ -1,0 +1,136 @@
+// Client session: durable service identity over a resilient Orb.
+//
+// A Session names components by service string instead of ObjectRef. It
+// resolves names through the replicated directory (src/dir), caches the
+// resulting references, subscribes to directory change notifications so
+// cached entries invalidate/rebind the moment a service moves or retires,
+// and — when an invocation still lands on a dead or retired ref — rebinds
+// transparently: invalidate, re-resolve through the directory, replay the
+// call under the Orb's idempotent-retry machinery, backing off between
+// rounds until the rebind deadline. The result is the paper's contract
+// seen from the client: the runtime migrates, fails over and retires
+// component instances freely, and the application never observes an error.
+//
+// Fencing mirrors the directory replicas: every record that reaches the
+// session (lookup reply or pushed notification, in any order, possibly
+// duplicated across R replicas) is admitted only if it is newer_than the
+// record currently cached for that service, so a split-brain loser's
+// resurrection notice can never re-point the session at a retired ref.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dir/record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "orb/orb.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace clc::session {
+
+struct SessionConfig {
+  /// Directory replicas, in priority order; lookups try them in turn.
+  std::vector<orb::ObjectRef> directory;
+  /// Total budget for a single call() including every rebind round.
+  Duration rebind_deadline = seconds(60);
+  /// Backoff between rebind rounds (attempt-indexed, jittered).
+  orb::RetryPolicy backoff{.max_attempts = 32,
+                           .initial_backoff = milliseconds(50),
+                           .backoff_multiplier = 2.0,
+                           .jitter = 0.2};
+  /// Longest single backoff wait; keeps late rounds responsive.
+  Duration max_backoff = seconds(2);
+  /// Subscribe to change notifications from every replica at attach time.
+  bool subscribe = true;
+};
+
+class Session {
+ public:
+  /// Binds to `orb` (which must outlive the session), activates the
+  /// DirSubscriber servant, and subscribes to the configured replicas
+  /// (best effort: an unreachable replica degrades to lazy re-resolution).
+  Session(orb::Orb& orb, SessionConfig config, obs::Tracer* tracer = nullptr);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Resolve a service name to its current reference: session cache first
+  /// (`session.cache_hits`), then the directory replicas in order.
+  Result<orb::ObjectRef> resolve(const std::string& service);
+
+  /// Invoke `operation` on the component serving `service`, rebinding
+  /// transparently across crashes, migrations and retirements. Calls are
+  /// marked idempotent (replay-safe) unless `opts` says otherwise — the
+  /// session's whole point is replaying through failover.
+  Result<orb::Value> call(const std::string& service,
+                          const std::string& operation,
+                          std::vector<orb::Value> args = {},
+                          const orb::InvokeOptions& opts = {.idempotent =
+                                                                true});
+
+  /// Drop the cached binding for one service (next call re-resolves).
+  void invalidate(const std::string& service);
+
+  /// Currently cached record, if any (tests/introspection).
+  [[nodiscard]] Result<dir::ServiceRecord> cached(
+      const std::string& service) const;
+
+  /// The session's DirSubscriber reference (what replicas notify).
+  [[nodiscard]] const orb::ObjectRef& subscriber_ref() const noexcept {
+    return subscriber_ref_;
+  }
+
+  /// Deterministic, time-free log of every notification and rebind, used
+  /// by the chaos replay test to fingerprint a run.
+  [[nodiscard]] std::vector<std::string> event_log() const;
+
+  /// Clock for rebind deadlines; defaults to real time. A LocalNetwork
+  /// test hands in its manual clock.
+  void set_clock(const Clock* clock) noexcept;
+  /// How rebind backoff waits; deterministic tests substitute a
+  /// virtual-clock advance (exactly like Orb::set_sleep_fn).
+  void set_sleep_fn(std::function<void(Duration)> fn);
+
+  [[nodiscard]] std::size_t cache_size() const;
+
+ private:
+  /// A failure class the session can cure by rebinding: transport-flavoured
+  /// errors, a retired/vanished object, or a breaker-refused endpoint.
+  static bool rebindable(Errc c) noexcept;
+
+  Result<orb::ObjectRef> resolve_uncached(const std::string& service);
+  /// Admit a record under newer_than fencing; returns true if it won.
+  bool admit(const dir::ServiceRecord& record);
+  void on_notification(BytesView payload);
+  void log_event(std::string line);
+
+  orb::Orb& orb_;
+  SessionConfig config_;
+  obs::Tracer* tracer_;
+  const Clock* clock_;
+  SystemClock default_clock_;
+  std::function<void(Duration)> sleep_fn_;
+  orb::ObjectRef subscriber_ref_;
+  Rng rng_;
+
+  mutable std::mutex mutex_;  // guards records_ + event_log_; never held
+                              // across an Orb invocation (loopback
+                              // delivery re-enters on_notification)
+  std::map<std::string, dir::ServiceRecord> records_;
+  std::vector<std::string> event_log_;
+
+  obs::Counter* cache_hits_;
+  obs::Counter* rebinds_;
+  obs::Counter* notifications_;
+  obs::Counter* calls_;
+  obs::Counter* errors_;
+};
+
+}  // namespace clc::session

@@ -1,0 +1,514 @@
+// Session + replicated service directory tests (DESIGN.md §14): record
+// fencing and table convergence, directory change notification, and the
+// E16 acceptance scenarios -- a session client that runs uninterrupted
+// through the E13 crash-failover and E15 partition-heal storylines with
+// zero application-visible errors, while a bare-Orb client surfaces them.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "dir/directory.hpp"
+#include "dir/record.hpp"
+#include "fault/plan.hpp"
+#include "orb/resilience.hpp"
+#include "session/session.hpp"
+#include "support/test_components.hpp"
+
+namespace clc::core {
+namespace {
+
+using testing::counter_package;
+
+CohesionConfig fast_cohesion() {
+  CohesionConfig cfg;
+  cfg.heartbeat = seconds(1);
+  cfg.group_size = 8;  // flat tree: every node is a direct child of the root
+  cfg.query_timeout = seconds(3);
+  return cfg;
+}
+
+FailoverConfig fast_failover() {
+  FailoverConfig cfg;
+  cfg.checkpoint_interval = seconds(2);
+  cfg.replicas = 2;
+  return cfg;
+}
+
+/// N-node world with converged membership and fast checkpointing.
+struct World {
+  explicit World(std::size_t n) : net(fast_cohesion(), fast_failover()) {
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(&net.add_node());
+    net.settle();
+  }
+  [[nodiscard]] std::vector<NodeId> ids(std::size_t first,
+                                        std::size_t last) const {
+    std::vector<NodeId> out;
+    for (std::size_t i = first; i <= last; ++i) out.push_back(nodes[i]->id());
+    return out;
+  }
+  /// Every node's Directory servant, in node order -- the replica set a
+  /// session is configured with (superset of the R true replicas, so a
+  /// majority-side session can reach a restorer's local table mid-split).
+  [[nodiscard]] std::vector<orb::ObjectRef> directory_refs(Node& from) const {
+    std::vector<orb::ObjectRef> out;
+    for (Node* n : nodes) {
+      auto ref = from.directory_ref(n->id());
+      EXPECT_TRUE(ref.ok()) << ref.error().to_string();
+      if (ref.ok()) out.push_back(*ref);
+    }
+    return out;
+  }
+  /// Concatenated recovery logs: the determinism fingerprint.
+  [[nodiscard]] std::string fingerprint() const {
+    std::ostringstream out;
+    for (const Node* n : nodes) {
+      for (const auto& line : n->recovery_log())
+        out << n->id().to_string() << "|" << line << "\n";
+    }
+    return out.str();
+  }
+  LocalNetwork net;
+  std::vector<Node*> nodes;
+};
+
+/// Wire a session's time sources to the world's virtual clock, so rebind
+/// backoff *advances the network* -- failure detection and failover run
+/// underneath a blocked call exactly as real time would let them.
+void wire_session(session::Session& s, World& w) {
+  s.set_clock(&w.net.clock());
+  s.set_sleep_fn([&w](Duration d) { w.net.advance(d); });
+}
+
+dir::ServiceRecord make_record(const std::string& service, std::uint64_t host,
+                               std::uint64_t epoch, std::uint64_t stamp,
+                               bool retired = false) {
+  dir::ServiceRecord rec;
+  rec.service = service;
+  rec.ref.node = NodeId{host};
+  rec.ref.key = Uuid{0xABC0, host};
+  rec.ref.interface_name = "demo::Counter";
+  rec.ref.endpoint = "loop://" + std::to_string(host);
+  rec.ref.incarnation = 1;
+  rec.host = NodeId{host};
+  rec.incarnation = 1;
+  rec.epoch = epoch;
+  rec.stamp = stamp;
+  rec.retired = retired;
+  return rec;
+}
+
+// ------------------------------------------------------------ record fencing
+
+TEST(Directory, NewerThanOrdersByEpochThenStampThenRetiredThenHost) {
+  const auto base = make_record("s", 2, 1, 100);
+  // Higher epoch wins regardless of stamp.
+  EXPECT_TRUE(make_record("s", 3, 2, 50).newer_than(base));
+  EXPECT_FALSE(base.newer_than(make_record("s", 3, 2, 50)));
+  // Same epoch: later stamp wins.
+  EXPECT_TRUE(make_record("s", 3, 1, 101).newer_than(base));
+  // Same epoch and stamp: a tombstone beats an active record.
+  EXPECT_TRUE(make_record("s", 2, 1, 100, true).newer_than(base));
+  EXPECT_FALSE(base.newer_than(make_record("s", 2, 1, 100, true)));
+  // Full tie falls back to the lower host id (total, symmetric order).
+  const auto low = make_record("s", 1, 1, 100);
+  EXPECT_TRUE(low.newer_than(base));
+  EXPECT_FALSE(base.newer_than(low));
+}
+
+TEST(Directory, ApplyFencesStaleRecordsAndDetectsDuplicates) {
+  dir::ServiceDirectory d;
+  EXPECT_EQ(d.apply(make_record("s", 2, 1, 100)),
+            dir::ApplyResult::accepted_new);
+  EXPECT_EQ(d.apply(make_record("s", 2, 1, 100)), dir::ApplyResult::unchanged);
+  // A stale stamp and a stale epoch both lose to the stored record.
+  EXPECT_EQ(d.apply(make_record("s", 3, 1, 50)), dir::ApplyResult::fenced);
+  EXPECT_EQ(d.apply(make_record("s", 3, 2, 200)),
+            dir::ApplyResult::accepted_changed);
+  EXPECT_EQ(d.apply(make_record("s", 2, 1, 300)), dir::ApplyResult::fenced)
+      << "lower epoch must lose even with a later stamp";
+  auto rec = d.lookup("s");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->host, NodeId{3});
+}
+
+TEST(Directory, RetirementFencesByEstablishmentEpoch) {
+  dir::ServiceDirectory d;
+  // The split-brain winner's record: host 3, post-verdict epoch 2.
+  ASSERT_EQ(d.apply(make_record("s", 3, 2, 200)),
+            dir::ApplyResult::accepted_new);
+  // The loser retires *its own* copy under the epoch that established it
+  // (epoch 1, pre-split -- see Node::retire_instance). Even with a later
+  // stamp it must not tombstone the winner's post-verdict binding.
+  EXPECT_EQ(d.apply(make_record("s", 2, 1, 900, true)),
+            dir::ApplyResult::fenced);
+  EXPECT_TRUE(d.lookup("s").ok());
+  // A tombstone from the binding's own generation does apply.
+  EXPECT_EQ(d.apply(make_record("s", 3, 2, 901, true)),
+            dir::ApplyResult::accepted_changed);
+  EXPECT_FALSE(d.lookup("s").ok()) << "tombstoned service still resolves";
+}
+
+TEST(Directory, NotificationsCarryTheChangeKindAndSkipSilentTombstones) {
+  dir::ServiceDirectory d;
+  std::vector<std::string> seen;
+  d.set_notify_fn([&seen](const orb::ObjectRef&, const dir::DirNotification& n) {
+    seen.push_back(std::string(dir::change_kind_name(n.kind)) + ":" +
+                   n.record.service);
+  });
+  orb::ObjectRef sub;
+  sub.node = NodeId{9};
+  sub.key = Uuid{1, 9};
+  sub.interface_name = "clc::DirSubscriber";
+  sub.endpoint = "loop://9";
+  d.subscribe(sub);
+  d.subscribe(sub);  // idempotent
+  EXPECT_EQ(d.subscriber_count(), 1u);
+
+  // A tombstone arriving before any active record (gossip reorder) is
+  // stored for fencing but announces nothing.
+  d.apply(make_record("ghost", 4, 1, 10, true));
+  EXPECT_TRUE(seen.empty());
+
+  d.apply(make_record("s", 2, 1, 100));            // added
+  d.apply(make_record("s", 3, 1, 200));            // moved
+  d.apply(make_record("s", 3, 1, 300, true));      // retired
+  EXPECT_EQ(seen,
+            (std::vector<std::string>{"added:s", "moved:s", "retired:s"}));
+
+  d.unsubscribe(sub);
+  d.apply(make_record("s", 3, 2, 400));
+  EXPECT_EQ(seen.size(), 3u) << "unsubscribed ref still notified";
+}
+
+TEST(Directory, MergeIsOrderIndependentAndTablesConvergeByteEqual) {
+  // The property the anti-entropy exchange relies on: applying the same
+  // record set in any order yields byte-identical tables.
+  const std::vector<dir::ServiceRecord> records = {
+      make_record("a", 2, 1, 100),          make_record("a", 3, 2, 50),
+      make_record("a", 2, 1, 400, true),  // loser's establishment-epoch
+                                          // tombstone: late stamp, old epoch
+      make_record("b", 4, 1, 10),           make_record("b", 4, 1, 20, true),
+  };
+  dir::ServiceDirectory forward;
+  dir::ServiceDirectory reverse;
+  for (const auto& r : records) forward.apply(r);
+  for (auto it = records.rbegin(); it != records.rend(); ++it)
+    reverse.apply(*it);
+  EXPECT_EQ(forward.encode_table(), reverse.encode_table());
+  // And merge_table() of one into an empty replica reproduces it exactly.
+  dir::ServiceDirectory merged;
+  auto n = merged.merge_table(forward.encode_table());
+  ASSERT_TRUE(n.ok()) << n.error().to_string();
+  EXPECT_EQ(merged.encode_table(), forward.encode_table());
+}
+
+// ---------------------------------------------------- gossip convergence
+
+TEST(Directory, GossipSpreadsALocalRecordWithinBoundedRounds) {
+  CohesionConfig cfg = fast_cohesion();
+  cfg.anti_entropy_every = 2;  // gossip period = 2s of virtual time
+  LocalNetwork net(cfg, fast_failover());
+  std::vector<Node*> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(&net.add_node());
+  net.settle();
+
+  // Apply a record at a NON-replica node's local table only (the situation
+  // a mid-partition restore leaves behind: the publish push could not reach
+  // the replica set). Anti-entropy alone must carry it over.
+  Node& publisher = *nodes[3];
+  ASSERT_EQ(publisher.directory().apply(make_record("x.test", 4, 1, 100)),
+            dir::ApplyResult::accepted_new);
+
+  // Bound: the publisher trades with one replica per round (round-robin
+  // over the R=2 replicas), so both replicas have the record within two
+  // rounds; one heartbeat of slack covers tick phase.
+  net.advance(seconds(2 * 2 + 1));
+  const Bytes want = publisher.directory().encode_table();
+  for (std::size_t i : {0u, 1u}) {
+    EXPECT_EQ(nodes[i]->directory().encode_table(), want)
+        << "replica " << nodes[i]->id().to_string()
+        << " did not converge within two anti-entropy rounds";
+    EXPECT_TRUE(nodes[i]->directory().lookup("x.test").ok());
+  }
+}
+
+// --------------------------------------------------- session fundamentals
+
+TEST(Session, PublishPushesNotificationsIntoTheSessionCache) {
+  World w(3);
+  Node& client = *w.nodes[2];
+  session::SessionConfig cfg;
+  cfg.directory = w.directory_refs(client);
+  session::Session s(client.orb(), cfg, &client.tracer());
+  wire_session(s, w);
+  EXPECT_EQ(s.cache_size(), 0u);
+
+  // A service appearing *after* attach reaches the cache by push alone.
+  Node& host = *w.nodes[1];
+  ASSERT_TRUE(host.install(counter_package()).ok());
+  ASSERT_TRUE(host.acquire_local("demo.counter", VersionConstraint{}).ok());
+  EXPECT_EQ(s.cache_size(), 1u);
+  auto cached = s.cached("demo.counter");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->host, host.id());
+  EXPECT_GE(
+      client.orb().metrics().counter("dir.notifications").value(), 1u);
+
+  // The next resolve is a pure cache hit, and calls work end to end.
+  ASSERT_TRUE(s.resolve("demo.counter").ok());
+  EXPECT_GE(client.orb().metrics().counter("session.cache_hits").value(), 1u);
+  ASSERT_TRUE(s.call("demo.counter", "increment").ok());
+  auto value = s.call("demo.counter", "value");
+  ASSERT_TRUE(value.ok()) << value.error().to_string();
+  EXPECT_EQ(*value, orb::Value(std::int64_t{1}));
+}
+
+TEST(Session, NodeResolveShortCircuitsThroughAttachedSessionCache) {
+  World w(3);
+  Node& host = *w.nodes[1];
+  Node& client = *w.nodes[2];
+  ASSERT_TRUE(host.install(counter_package()).ok());
+  ASSERT_TRUE(host.acquire_local("demo.counter", VersionConstraint{}).ok());
+  w.net.settle();
+
+  session::SessionConfig cfg;
+  cfg.directory = w.directory_refs(client);
+  session::Session s(client.orb(), cfg);
+  wire_session(s, w);
+  ASSERT_TRUE(s.resolve("demo.counter").ok());  // warm the cache
+
+  client.attach_session(&s);
+  auto bound = client.resolve("demo.counter", VersionConstraint{},
+                              Binding::remote);
+  client.attach_session(nullptr);
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+  EXPECT_EQ(bound->host, host.id());
+  EXPECT_GE(client.metrics().counter("node.query_cache_hits").value(), 1u)
+      << "resolve went to a distributed query despite the session cache";
+}
+
+TEST(Session, AsyncInvocationReportsAttemptsAndFinalEndpoint) {
+  World w(3);
+  Node& a = *w.nodes[0];
+  Node& b = *w.nodes[1];
+  ASSERT_TRUE(b.install(counter_package()).ok());
+  w.net.settle();
+  auto bound = a.resolve("demo.counter", VersionConstraint{}, Binding::remote);
+  ASSERT_TRUE(bound.ok()) << bound.error().to_string();
+
+  // Healthy path: one attempt, landed on the host's endpoint.
+  auto ok = a.orb().invoke_async(bound->primary, "value", {},
+                                 {.idempotent = true});
+  ASSERT_TRUE(ok.take().ok());
+  EXPECT_EQ(ok.attempts(), 1);
+  EXPECT_EQ(ok.final_endpoint(), bound->primary.endpoint);
+
+  // Dead endpoint: the idempotent retry machinery burns every configured
+  // attempt, and the handle reports the totals after completion.
+  w.net.crash(b.id());
+  auto dead = a.orb().invoke_async(bound->primary, "value", {},
+                                   {.idempotent = true});
+  auto outcome = dead.take();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(orb::errc_is_retryable(outcome.error().code));
+  EXPECT_EQ(dead.attempts(),
+            a.orb().invocation_policies().retry.max_attempts);
+  EXPECT_EQ(dead.final_endpoint(), bound->primary.endpoint);
+}
+
+// ------------------------------------------------- E16a: crash failover
+
+TEST(SessionE16, SessionRidesThroughCrashFailoverWithZeroErrors) {
+  World w(5);
+  Node& victim = *w.nodes[4];
+  Node& client = *w.nodes[3];
+  ASSERT_TRUE(victim.install(counter_package()).ok());
+  auto hosted = victim.acquire_local("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(hosted.ok());
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(victim.orb().call(hosted->primary, "increment").ok());
+  w.net.advance(seconds(5));  // checkpoints reach the holders
+
+  session::SessionConfig cfg;
+  cfg.directory = w.directory_refs(client);
+  session::Session s(client.orb(), cfg, &client.tracer());
+  wire_session(s, w);
+
+  // Pre-crash traffic through the session, plus a bare-Orb control client
+  // that resolves once and keeps the raw reference.
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(s.call("demo.counter", "increment").ok());
+  auto pre = s.call("demo.counter", "value");
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(*pre, orb::Value(std::int64_t{5}));
+  auto bare = client.resolve("demo.counter", VersionConstraint{},
+                             Binding::remote);
+  ASSERT_TRUE(bare.ok());
+  victim.checkpoint_now();  // freeze value=5 into the holders' checkpoints
+
+  w.net.crash(victim.id());
+
+  // The headline: every post-crash session call succeeds. The first one
+  // blocks inside the rebind loop while its backoff sleeps advance virtual
+  // time through detection, the death verdict and the holder's restore.
+  for (int i = 0; i < 5; ++i) {
+    auto r = s.call("demo.counter", "increment");
+    ASSERT_TRUE(r.ok()) << "post-crash call " << i << ": "
+                        << r.error().to_string();
+  }
+  auto post = s.call("demo.counter", "value");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(*post, orb::Value(std::int64_t{10}))
+      << "restored state lost or duplicated increments";
+
+  // The session rebound at least once, surfaced zero errors, and heard
+  // about the failover through directory pushes.
+  auto& m = client.orb().metrics();
+  EXPECT_GE(m.counter("session.rebinds").value(), 1u);
+  EXPECT_EQ(m.counter("session.errors").value(), 0u);
+  EXPECT_GE(m.counter("dir.notifications").value(), 1u);
+  auto now_hosted = s.cached("demo.counter");
+  ASSERT_TRUE(now_hosted.ok());
+  EXPECT_NE(now_hosted->host, victim.id());
+
+  // The bare-Orb client, by contrast, surfaces the crash to the app.
+  auto stale = client.orb().call(bare->primary, "value");
+  ASSERT_FALSE(stale.ok()) << "stale pre-crash reference still answers";
+  EXPECT_TRUE(orb::errc_is_retryable(stale.error().code));
+}
+
+// --------------------------------------------- E16b: partition and heal
+
+TEST(SessionE16, SessionRidesThroughPartitionHealWithZeroErrors) {
+  World w(5);
+  Node& origin = *w.nodes[1];  // node 2: hosts the instance (minority side)
+  Node& restorer = *w.nodes[2];  // node 3: lowest majority-side holder
+  Node& client = *w.nodes[3];  // node 4: session client (majority side)
+  ASSERT_TRUE(origin.install(counter_package()).ok());
+  auto hosted = origin.acquire_local("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(hosted.ok());
+  for (int i = 0; i < 7; ++i)
+    ASSERT_TRUE(origin.orb().call(hosted->primary, "increment").ok());
+  w.net.advance(seconds(5));  // checkpoints reach the holders
+
+  session::SessionConfig cfg;
+  cfg.directory = w.directory_refs(client);
+  session::Session s(client.orb(), cfg, &client.tracer());
+  wire_session(s, w);
+  auto pre = s.call("demo.counter", "value");
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(*pre, orb::Value(std::int64_t{7}));
+  auto bare = client.resolve("demo.counter", VersionConstraint{},
+                             Binding::remote);
+  ASSERT_TRUE(bare.ok());
+
+  w.net.partition(w.ids(0, 1), w.ids(2, 4));  // {1,2} | {3,4,5}
+
+  // Majority-side session traffic: the cached reference points across the
+  // cut, so the first call rebinds -- its backoff drives the majority
+  // through promotion, quorum eviction and the checkpoint restore, then
+  // the directory lookup finds the restorer's *local* table (the true
+  // replicas are both minority-side; the session's replica list spans all
+  // nodes precisely for this).
+  for (int i = 0; i < 2; ++i) {
+    auto r = s.call("demo.counter", "increment");
+    ASSERT_TRUE(r.ok()) << "mid-partition call " << i << ": "
+                        << r.error().to_string();
+  }
+  auto mid = s.call("demo.counter", "value");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, orb::Value(std::int64_t{9}));
+  auto rebound = s.cached("demo.counter");
+  ASSERT_TRUE(rebound.ok());
+  EXPECT_EQ(rebound->host, restorer.id());
+  EXPECT_GE(rebound->epoch, 2u) << "restored record missing the new epoch";
+
+  // The bare client's pre-split reference fails across the cut.
+  auto cut = client.orb().call(bare->primary, "value");
+  ASSERT_FALSE(cut.ok());
+  EXPECT_TRUE(orb::errc_is_retryable(cut.error().code));
+
+  w.net.heal_partition();
+  w.net.advance(seconds(40));  // reconciliation + anti-entropy rounds
+
+  // Post-heal: the origin's copy yielded (dual-primary resolution) and its
+  // establishment-epoch tombstone cannot outrank the winner, so the
+  // session's binding survives untouched and calls keep succeeding.
+  auto post = s.call("demo.counter", "value");
+  ASSERT_TRUE(post.ok()) << post.error().to_string();
+  EXPECT_EQ(*post, orb::Value(std::int64_t{9}));
+  EXPECT_EQ(client.orb().metrics().counter("session.errors").value(), 0u);
+
+  // Directory convergence after the heal, bounded by the anti-entropy
+  // cadence (40s covers the cohesion reconciliation plus several rounds):
+  // the two true replicas and the restorer hold byte-identical tables
+  // whose record names the majority-side survivor.
+  const Bytes want = restorer.directory().encode_table();
+  EXPECT_EQ(w.nodes[0]->directory().encode_table(), want);
+  EXPECT_EQ(w.nodes[1]->directory().encode_table(), want);
+  auto rec = w.nodes[0]->directory().lookup("demo.counter");
+  ASSERT_TRUE(rec.ok()) << "loser's tombstone killed the winner's record";
+  EXPECT_EQ(rec->host, restorer.id());
+}
+
+// ----------------------------------------------------- seeded chaos run
+
+struct SessionChaosOutcome {
+  int successes = 0;
+  std::string fingerprint;
+  std::vector<std::string> session_events;
+
+  bool operator==(const SessionChaosOutcome&) const = default;
+};
+
+/// 5 nodes, 10% message drop from a seeded plan, a mid-run crash of the
+/// hosting node: the session client must sustain (near-)total success, and
+/// the whole run must replay byte-identically from the seed.
+SessionChaosOutcome run_session_chaos(std::uint64_t seed) {
+  World w(5);
+  Node& victim = *w.nodes[4];
+  Node& client = *w.nodes[1];
+  EXPECT_TRUE(victim.install(counter_package()).ok());
+  EXPECT_TRUE(victim.acquire_local("demo.counter", VersionConstraint{}).ok());
+  w.net.advance(seconds(5));
+
+  session::SessionConfig cfg;
+  cfg.directory = w.directory_refs(client);
+  session::Session s(client.orb(), cfg);
+  wire_session(s, w);
+
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_probability = 0.1;
+  w.net.faults().injector().arm(plan);
+
+  SessionChaosOutcome out;
+  constexpr int kCalls = 100;
+  for (int i = 0; i < kCalls; ++i) {
+    if (i == kCalls / 2) w.net.crash(victim.id());
+    // No value assertions here: a dropped *reply* makes the idempotent
+    // retry re-execute the increment, so only success/failure is checked.
+    out.successes += s.call("demo.counter", "increment").ok();
+  }
+  w.net.faults().injector().disarm();
+  EXPECT_GE(out.successes, (kCalls * 999) / 1000)
+      << "session availability under 10% drop fell below 99.9%";
+
+  out.fingerprint = w.fingerprint();
+  out.session_events = s.event_log();
+  return out;
+}
+
+TEST(SessionChaos, SustainsSuccessThroughDropsAndCrashAndReplaysExactly) {
+  const SessionChaosOutcome first = run_session_chaos(0x5e55);
+  EXPECT_FALSE(first.fingerprint.empty()) << "no recovery activity recorded";
+  EXPECT_FALSE(first.session_events.empty());
+  const SessionChaosOutcome second = run_session_chaos(0x5e55);
+  EXPECT_EQ(first, second) << "same seed, different chaos run";
+}
+
+}  // namespace
+}  // namespace clc::core

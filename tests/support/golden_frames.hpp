@@ -49,6 +49,60 @@ constexpr const char* kGoldenSystemExceptionReply =
 constexpr const char* kGoldenPing = "434c43500102";
 constexpr const char* kGoldenPong = "434c43500103";
 
+// ---------------------------------------------------------------------------
+// Service directory fixtures (PR 6): the replicated directory's record and
+// change-notification encodings, plus the full oneway `notify` request
+// frame that carries a notification to a subscribed session. Frozen for
+// the same reason as the CLCP frames above -- directory replicas and
+// sessions on different builds must keep exchanging these bytes.
+
+// ServiceRecord{"demo.counter", ref{node=5, key={1122334455667788,
+// 99aabbccddeeff00}, "demo::Counter", "loop://5", inc=2}, host=5, inc=2,
+// epoch=3, stamp=42000000, active, idl="module demo { interface Counter
+// { }; };"} -- the trailing IDL string is what lets a session register
+// the service's types from the record alone.
+constexpr const char* kGoldenDirRecord =
+    "010000000d00000064656d6f2e636f756e746572000000000500000000000000"
+    "887766554433221100ffeeddccbbaa990e00000064656d6f3a3a436f756e7465"
+    "72000000090000006c6f6f703a2f2f3500000000000000000200000000000000"
+    "05000000000000000200000000000000030000000000000080de800200000000"
+    "00000000280000006d6f64756c652064656d6f207b20696e7465726661636520"
+    "436f756e746572207b207d3b207d3b00";
+
+// DirNotification{moved, <record above>}.
+constexpr const char* kGoldenDirNotification =
+    "010100000d00000064656d6f2e636f756e746572000000000500000000000000"
+    "887766554433221100ffeeddccbbaa990e00000064656d6f3a3a436f756e7465"
+    "72000000090000006c6f6f703a2f2f3500000000000000000200000000000000"
+    "05000000000000000200000000000000030000000000000080de800200000000"
+    "00000000280000006d6f64756c652064656d6f207b20696e7465726661636520"
+    "436f756e746572207b207d3b207d3b00";
+
+// RequestMessage{id=9, key={abcdabcd00000001, 42}, "clc::DirSubscriber",
+// "notify", oneway (no response), args=<notification above as DirBlob>},
+// no service contexts.
+constexpr const char* kGoldenDirNotifyRequest =
+    "434c435001000100090000000000000001000000cdabcdab4200000000000000"
+    "13000000636c633a3a446972537562736372696265720000070000006e6f7469"
+    "66790000b4000000b0000000010100000d00000064656d6f2e636f756e746572"
+    "000000000500000000000000887766554433221100ffeeddccbbaa990e000000"
+    "64656d6f3a3a436f756e746572000000090000006c6f6f703a2f2f3500000000"
+    "0000000002000000000000000500000000000000020000000000000003000000"
+    "0000000080de80020000000000000000280000006d6f64756c652064656d6f20"
+    "7b20696e7465726661636520436f756e746572207b207d3b207d3b00";
+
+// Same notify request with one service context {id=0x22, data={ca fe}}.
+constexpr const char* kGoldenDirNotifyRequestWithContext =
+    "434c435001000100090000000000000001000000cdabcdab4200000000000000"
+    "13000000636c633a3a446972537562736372696265720000070000006e6f7469"
+    "66790000b4000000b0000000010100000d00000064656d6f2e636f756e746572"
+    "000000000500000000000000887766554433221100ffeeddccbbaa990e000000"
+    "64656d6f3a3a436f756e746572000000090000006c6f6f703a2f2f3500000000"
+    "0000000002000000000000000500000000000000020000000000000003000000"
+    "0000000080de80020000000000000000280000006d6f64756c652064656d6f20"
+    "7b20696e7465726661636520436f756e746572207b207d3b207d3b0001000000"
+    "2200000002000000cafe";
+
 inline Bytes from_hex(const std::string& hex) {
   Bytes out;
   out.reserve(hex.size() / 2);

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "dir/record.hpp"
 #include "orb/cdr.hpp"
 #include "orb/message.hpp"
 #include "support/golden_frames.hpp"
@@ -104,6 +105,113 @@ TEST(WireGolden, FrozenRequestBytesDecodeToOriginalFields) {
   ASSERT_EQ(m->service_contexts.size(), 1u);
   EXPECT_EQ(m->service_contexts[0].id, 0x11u);
   EXPECT_EQ(m->service_contexts[0].data, (Bytes{0xAA, 0xBB}));
+}
+
+// --- Service directory (PR 6) ---------------------------------------------
+
+dir::ServiceRecord golden_dir_record() {
+  dir::ServiceRecord rec;
+  rec.service = "demo.counter";
+  rec.ref.node = NodeId{5};
+  rec.ref.key = Uuid{0x1122334455667788ULL, 0x99aabbccddeeff00ULL};
+  rec.ref.interface_name = "demo::Counter";
+  rec.ref.endpoint = "loop://5";
+  rec.ref.incarnation = 2;
+  rec.host = NodeId{5};
+  rec.incarnation = 2;
+  rec.epoch = 3;
+  rec.stamp = 42000000;
+  rec.retired = false;
+  rec.idl = "module demo { interface Counter { }; };";
+  return rec;
+}
+
+orb::RequestMessage golden_notify_request() {
+  const dir::DirNotification n{dir::ChangeKind::moved, golden_dir_record()};
+  orb::RequestMessage m;
+  m.request_id = RequestId{9};
+  m.object_key = Uuid{0xABCDABCD00000001ULL, 0x42};
+  m.interface_name = "clc::DirSubscriber";
+  m.operation = "notify";
+  m.response_expected = false;  // oneway push
+  orb::CdrWriter args;
+  args.write_bytes(n.encode());
+  m.args = args.take();
+  return m;
+}
+
+TEST(WireGolden, DirRecordBytesAreFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  EXPECT_EQ(testing::to_hex(golden_dir_record().encode()),
+            testing::kGoldenDirRecord);
+}
+
+TEST(WireGolden, DirNotificationBytesAreFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const dir::DirNotification n{dir::ChangeKind::moved, golden_dir_record()};
+  EXPECT_EQ(testing::to_hex(n.encode()), testing::kGoldenDirNotification);
+}
+
+TEST(WireGolden, DirNotifyRequestFrameIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  EXPECT_EQ(testing::to_hex(golden_notify_request().encode()),
+            testing::kGoldenDirNotifyRequest);
+}
+
+TEST(WireGolden, DirNotifyRequestWithServiceContextIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  orb::RequestMessage m = golden_notify_request();
+  m.service_contexts.push_back({0x22, Bytes{0xCA, 0xFE}});
+  EXPECT_EQ(testing::to_hex(m.encode()),
+            testing::kGoldenDirNotifyRequestWithContext);
+}
+
+TEST(WireGolden, FrozenDirRecordBytesDecodeToOriginalFields) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes blob = testing::from_hex(testing::kGoldenDirRecord);
+  auto rec = dir::ServiceRecord::decode(blob);
+  ASSERT_TRUE(rec.ok()) << rec.error().to_string();
+  EXPECT_EQ(*rec, golden_dir_record());
+  EXPECT_EQ(rec->service, "demo.counter");
+  EXPECT_EQ(rec->ref.endpoint, "loop://5");
+  EXPECT_EQ(rec->host, NodeId{5});
+  EXPECT_EQ(rec->epoch, 3u);
+  EXPECT_EQ(rec->stamp, 42000000);
+  EXPECT_FALSE(rec->retired);
+}
+
+TEST(WireGolden, FrozenDirNotificationBytesDecodeToOriginalFields) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes blob = testing::from_hex(testing::kGoldenDirNotification);
+  auto n = dir::DirNotification::decode(blob);
+  ASSERT_TRUE(n.ok()) << n.error().to_string();
+  EXPECT_EQ(n->kind, dir::ChangeKind::moved);
+  EXPECT_EQ(n->record, golden_dir_record());
+}
+
+TEST(WireGolden, FrozenDirNotifyRequestDecodesAsOnewayCarryingNotification) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes frame =
+      testing::from_hex(testing::kGoldenDirNotifyRequestWithContext);
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, orb::MessageType::request);
+  auto m = orb::RequestMessage::decode(r);
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  EXPECT_EQ(m->interface_name, "clc::DirSubscriber");
+  EXPECT_EQ(m->operation, "notify");
+  EXPECT_FALSE(m->response_expected);
+  ASSERT_EQ(m->service_contexts.size(), 1u);
+  EXPECT_EQ(m->service_contexts[0].id, 0x22u);
+  // The args payload is one DirBlob holding the notification encapsulation.
+  orb::CdrReader args(m->args);
+  auto blob = args.read_bytes();
+  ASSERT_TRUE(blob.ok());
+  auto n = dir::DirNotification::decode(*blob);
+  ASSERT_TRUE(n.ok()) << n.error().to_string();
+  EXPECT_EQ(n->kind, dir::ChangeKind::moved);
+  EXPECT_EQ(n->record, golden_dir_record());
 }
 
 TEST(WireGolden, FrozenReplyBytesDecodeToOriginalFields) {
