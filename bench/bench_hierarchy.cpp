@@ -23,6 +23,7 @@ namespace {
 
 struct Series {
   int depth = 0;
+  std::size_t fan_out = 0;  // measured root fan-out (children of the root)
   double local_msgs = 0;   // target within the querying node's group
   double remote_msgs = 0;  // target on a random far node
 };
@@ -33,6 +34,7 @@ Series run(std::size_t group_size, std::size_t n) {
   w.run_for(seconds(60));
   Series s;
   s.depth = w.peer(0).node().subtree_depth();
+  s.fan_out = w.peer(0).node().children().size();
 
   Rng rng(21);
   constexpr int kQueries = 20;
@@ -101,15 +103,18 @@ int main() {
   constexpr std::size_t kNodes = 256;
   std::printf("E4: hierarchy -- incremental lookup and locality (%zu nodes)\n\n",
               kNodes);
-  std::printf("%10s | %5s | %16s | %16s\n", "group size", "depth",
-              "in-group msgs/q", "far-node msgs/q");
-  std::printf("-----------+-------+------------------+------------------\n");
+  std::printf("%10s | %5s | %7s | %16s | %16s\n", "group size", "depth",
+              "fan-out", "in-group msgs/q", "far-node msgs/q");
+  std::printf("-----------+-------+---------+------------------+"
+              "------------------\n");
   for (std::size_t g : {4u, 8u, 16u, 64u}) {
     const Series s = run(g, kNodes);
-    std::printf("%10zu | %5d | %16.1f | %16.1f\n", g, s.depth, s.local_msgs,
-                s.remote_msgs);
+    std::printf("%10zu | %5d | %7zu | %16.1f | %16.1f\n", g, s.depth,
+                s.fan_out, s.local_msgs, s.remote_msgs);
     const std::string suffix = ".g" + std::to_string(g);
     report.set("tree_depth" + suffix, s.depth);
+    report.set("fan_out" + suffix, static_cast<double>(s.fan_out));
+    report.set("configured_group_size" + suffix, static_cast<double>(g));
     report.set("in_group.msgs_per_query" + suffix, s.local_msgs);
     report.set("far_node.msgs_per_query" + suffix, s.remote_msgs);
   }

@@ -8,14 +8,6 @@ namespace clc::core {
 
 namespace {
 
-/// Aggregate ("subtree") digest entries are "name@major.minor.patch" labels
-/// joined with '\n'; carrying the version lets version-constrained queries
-/// descend past an ancestor that hosts a different version of the same
-/// component. Names are dotted identifiers and never contain '\n' or '@'.
-std::string aggregate_label(const ComponentSummary& c) {
-  return c.name + "@" + c.version.to_string();
-}
-
 std::string join_names(const std::set<std::string>& names) {
   std::string out;
   for (const auto& n : names) {
@@ -125,7 +117,8 @@ CohesionNode::CohesionNode(NodeId id, CohesionConfig cfg, Sender send,
       queries_answered_(&metrics_->counter("cohesion.queries_answered")),
       topology_updates_(&metrics_->counter("cohesion.topology_updates")),
       promotions_(&metrics_->counter("cohesion.promotions")),
-      fenced_stale_(&metrics_->counter("cohesion.fenced_stale")) {}
+      fenced_stale_(&metrics_->counter("cohesion.fenced_stale")),
+      fenced_cross_zone_(&metrics_->counter("cohesion.fenced_cross_zone")) {}
 
 ProtoMessage CohesionNode::make(const std::string& kind) const {
   ProtoMessage m;
@@ -138,6 +131,9 @@ ProtoMessage CohesionNode::make(const std::string& kind) const {
   // Same elision for the partition epoch: never-partitioned networks pay
   // zero extra bytes.
   if (epoch_ > 1) m.set_int("ep", static_cast<std::int64_t>(epoch_));
+  // Zone id, elided for unzoned (single-zone) networks: their frames stay
+  // byte-identical to the pre-zone protocol (wire_golden_test pins this).
+  if (cfg_.zone != 0) m.set_int("zn", static_cast<std::int64_t>(cfg_.zone));
   return m;
 }
 
@@ -154,6 +150,7 @@ void CohesionNode::start_as_first(TimePoint now) {
   if (cfg_.mode == CohesionConfig::Mode::hierarchical) {
     root_ = true;
     directory_.add(id_);
+    note_role(true);
   } else {
     roster_.insert(id_);
   }
@@ -205,6 +202,7 @@ void CohesionNode::restart(TimePoint now) {
   // reborn node re-learns the network's epoch from the first admitted
   // message (monotone max), which is all correctness needs.
   epoch_ = 1;
+  note_role(false);
 }
 
 // ---------------------------------------------------------------------------
@@ -213,6 +211,15 @@ void CohesionNode::restart(TimePoint now) {
 bool CohesionNode::admit_message(const ProtoMessage& m) {
   const NodeId from = m.sender;
   if (from == id_ || !from.valid()) return true;
+  // Zone fence: a zoned node runs cohesion only with its own zone. A frame
+  // from another zone (a misrouted join after failover, a stale bootstrap)
+  // must not graft a foreign tree onto ours. Unzoned frames ("zn" elided)
+  // pass, so flat single-zone deployments are unaffected.
+  const auto zn = static_cast<std::uint32_t>(m.field_int("zn", 0));
+  if (cfg_.zone != 0 && zn != 0 && zn != cfg_.zone) {
+    fenced_cross_zone_->inc();
+    return false;
+  }
   const auto inc = static_cast<std::uint64_t>(m.field_int("inc", 1));
   auto known = peer_incarnations_.find(from);
   if (known != peer_incarnations_.end() && inc < known->second) {
@@ -666,6 +673,7 @@ void CohesionNode::promote_to_root(TimePoint now) {
   // split-brain tie-break against us.
   ++epoch_;
   note_transition("promoted");
+  note_role(true);
   last_published_.clear();  // push fresh topology to everyone
   root_recompute_and_publish(now);
   // Copy: join replies triggered by the announce mutate join_order.
@@ -708,11 +716,21 @@ void CohesionNode::demote_from_root(NodeId winner) {
   root_death_detected_ = 0;
   current_root_ = winner;
   note_transition("demoted");
+  note_role(false);
   send(winner, make("join"));
 }
 
 // ---------------------------------------------------------------------------
 // Digests / heartbeats
+
+std::set<std::string> CohesionNode::aggregate_names() const {
+  std::set<std::string> names;
+  for (const auto& c : own_digest().components)
+    names.insert(component_label(c));
+  for (const auto& [child, info] : children_)
+    names.insert(info.subtree_names.begin(), info.subtree_names.end());
+  return names;
+}
 
 RegistryDigest CohesionNode::own_digest() const {
   if (digest_provider_) {
@@ -734,12 +752,7 @@ void CohesionNode::send_heartbeat(TimePoint now) {
     if (!parent_.valid()) return;
     ProtoMessage m = make("heartbeat");
     m.blob = digest.encode();
-    std::set<std::string> names;
-    for (const auto& c : digest.components) names.insert(aggregate_label(c));
-    for (const auto& [child, info] : children_) {
-      names.insert(info.subtree_names.begin(), info.subtree_names.end());
-    }
-    m.set("names", join_names(names));
+    m.set("names", join_names(aggregate_names()));
     send(parent_, m);
   } else if (cfg_.mode == CohesionConfig::Mode::flat_query) {
     for (NodeId n : roster_) send(n, make("alive"));
@@ -897,7 +910,7 @@ void CohesionNode::process_tree_query(std::uint64_t qid, RelayedQuery&& relay,
     if (child == relay.came_from || info.suspect) continue;
     std::set<std::string> own_names;
     for (const auto& c : info.digest.components)
-      own_names.insert(aggregate_label(c));
+      own_names.insert(component_label(c));
     std::set<std::string> deeper;
     for (const auto& n : info.subtree_names) {
       if (own_names.count(n) == 0) deeper.insert(n);

@@ -68,6 +68,13 @@ struct CohesionConfig {
   /// that missed a death or a rebirth (partition, lost oneways) converge
   /// instead of serving entries for dead hosts forever. 0 disables.
   int anti_entropy_every = 4;
+  /// Zone id for mega-cluster deployments: a zoned node runs the cohesion
+  /// protocol only with members of its own zone (its tree is one zone's
+  /// tree; the ZoneRouter links zone roots above it). Carried as the "zn"
+  /// wire field, elided while 0 so unzoned networks keep the pre-zone frame
+  /// bytes; inbound frames from a *different* nonzero zone are dropped at
+  /// the protocol boundary (cohesion.fenced_cross_zone).
+  std::uint32_t zone = 0;
 };
 
 /// A checkpoint holder's public record that it restored `origin`'s stateful
@@ -122,6 +129,13 @@ class CohesionNode {
   using RevivedHandler = std::function<void(NodeId, std::uint64_t)>;
   void set_node_revived_handler(RevivedHandler handler) {
     revived_handler_ = std::move(handler);
+  }
+
+  /// Invoked whenever this node gains or loses the root (zone-MRM) role:
+  /// start_as_first / replica promotion -> true, demotion / restart ->
+  /// false. The ZoneRouter hangs its hello/publish duty cycle off this.
+  void set_role_hook(std::function<void(bool is_root)> hook) {
+    role_hook_ = std::move(hook);
   }
 
   /// Invoked on every observable protocol transition ("suspected:<id>",
@@ -185,6 +199,14 @@ class CohesionNode {
   [[nodiscard]] NodeId id() const noexcept { return id_; }
   [[nodiscard]] bool joined() const noexcept { return joined_; }
   [[nodiscard]] bool is_root() const noexcept { return root_; }
+  /// The node this one currently believes is the root (itself when root,
+  /// invalid while orphaned / not yet joined).
+  [[nodiscard]] NodeId current_root() const noexcept { return current_root_; }
+  /// Every "name@version" label this node's subtree advertises (own digest
+  /// plus the aggregate names cached from children). At a zone root this is
+  /// the whole zone's component set -- what the ZoneRouter publishes to the
+  /// shard owners.
+  [[nodiscard]] std::set<std::string> aggregate_names() const;
   [[nodiscard]] NodeId parent() const noexcept { return parent_; }
   [[nodiscard]] std::vector<NodeId> children() const;
   [[nodiscard]] bool is_mrm() const noexcept { return !children_.empty(); }
@@ -275,6 +297,9 @@ class CohesionNode {
 #endif
     if (transition_hook_) transition_hook_(what);
   }
+  void note_role(bool is_root) const {
+    if (role_hook_) role_hook_(is_root);
+  }
 
   // Quorum-fenced death verdicts (root): a timed-out member becomes
   // `suspected`; eviction additionally needs indirect-reachability
@@ -347,6 +372,7 @@ class CohesionNode {
   DeadHandler dead_handler_;
   RevivedHandler revived_handler_;
   std::function<void(const std::string&)> transition_hook_;
+  std::function<void(bool)> role_hook_;
   std::function<void(const FailoverClaim&)> claim_handler_;
 
   std::uint64_t incarnation_ = 1;
@@ -403,6 +429,7 @@ class CohesionNode {
   obs::Counter* topology_updates_;
   obs::Counter* promotions_;
   obs::Counter* fenced_stale_;
+  obs::Counter* fenced_cross_zone_;
 };
 
 }  // namespace clc::core

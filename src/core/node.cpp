@@ -127,9 +127,14 @@ LocalNetwork::LocalNetwork(CohesionConfig cohesion_defaults,
 }
 
 Node& LocalNetwork::add_node(NodeProfile profile, bool auto_join) {
+  return add_node(std::move(profile), cohesion_defaults_, auto_join);
+}
+
+Node& LocalNetwork::add_node(NodeProfile profile,
+                             CohesionConfig cohesion_config, bool auto_join) {
   const NodeId id{next_id_++};
   owned_.push_back(std::make_unique<Node>(id, std::move(profile), *this,
-                                          cohesion_defaults_,
+                                          cohesion_config,
                                           failover_defaults_));
   Node& node = *owned_.back();
   if (auto_join) {
@@ -332,6 +337,26 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
   cohesion_.set_transition_hook([this](const std::string& what) {
     obs::ScopedSpan span(tracer_, "cohesion:" + what);
   });
+  if (cohesion_config.zone != 0) {
+    // Zoned deployment: the router links this zone's root into the
+    // roots-of-roots layer. It rides the same oneway "deliver" channel as
+    // cohesion traffic (the servant splits inbound frames by kind).
+    ZoneConfig zc;
+    zc.zone = cohesion_config.zone;
+    zc.hello_interval = cohesion_config.heartbeat;
+    zc.publish_interval = cohesion_config.heartbeat * 2;
+    zc.suspect_after = cohesion_config.suspect_after;
+    zc.resolve_timeout = cohesion_config.query_timeout;
+    zone_router_ = std::make_unique<ZoneRouter>(
+        id, zc, cohesion_,
+        [this](NodeId to, const ProtoMessage& m) {
+          auto service = node_service_ref(to);
+          if (!service) return;  // unknown peer: message lost
+          (void)orb_->send(*service, "deliver", {orb::Value(m.encode())},
+                           kIdempotent);
+        },
+        &metrics_);
+  }
 }
 
 Node::~Node() = default;
@@ -488,6 +513,7 @@ void Node::join(NodeId bootstrap, TimePoint now) {
 
 void Node::tick(TimePoint now) {
   cohesion_.on_tick(now);
+  if (zone_router_) zone_router_->on_tick(now);
   if (failover_.checkpoint_interval > 0 && cohesion_.joined()) {
     if (last_checkpoint_ == 0) {
       last_checkpoint_ = now;  // first joined tick starts the timer
@@ -565,6 +591,29 @@ Result<QueryResult> Node::query_network_impl(const ComponentQuery& q) {
     metrics_.counter("node.query_retries").inc();
     network_.advance(orb::backoff_delay(policies.retry, attempt, retry_rng_));
   }
+}
+
+Result<ZoneResolveResult> Node::resolve_zone(const std::string& pattern) {
+  if (!zone_router_)
+    return Error{Errc::unsupported, "node is not part of a zoned deployment"};
+  obs::ScopedSpan span(tracer_, "resolve_zone:" + pattern);
+  std::optional<ZoneResolveResult> result;
+  zone_router_->resolve(pattern, network_.now(), [&result](ZoneResolveResult r) {
+    result = std::move(r);
+  });
+  // Loopback delivery is synchronous; anything still pending (an owner a
+  // ring hop away, a glob fan-out) completes within the router's timeout.
+  const TimePoint deadline =
+      network_.now() + 3 * cohesion_.config().query_timeout;
+  while (!result.has_value() && network_.now() < deadline) {
+    network_.advance(cohesion_.config().heartbeat / 2);
+  }
+  if (!result.has_value()) {
+    span.fail();
+    return Error{Errc::timeout, "zone resolve never completed"};
+  }
+  if (result->degraded) metrics_.counter("node.degraded_zone_resolves").inc();
+  return std::move(*result);
 }
 
 Result<std::string> Node::remote_idl(NodeId peer, const std::string& component,
@@ -1342,7 +1391,11 @@ void Node::make_node_servant() {
 
   servant->on("deliver", [this](orb::ServerRequest& req) -> Result<void> {
     auto m = ProtoMessage::decode(req.arg(0).as<Bytes>());
-    if (m.ok()) cohesion_.on_message(*m, network_.now());
+    if (!m.ok()) return {};
+    if (zone_router_ && ZoneRouter::handles(*m))
+      zone_router_->on_message(*m, network_.now());
+    else
+      cohesion_.on_message(*m, network_.now());
     return {};
   });
 

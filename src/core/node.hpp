@@ -31,6 +31,7 @@
 #include "fault/plan.hpp"
 #include "core/events.hpp"
 #include "core/registry.hpp"
+#include "core/zone.hpp"
 #include "core/repository.hpp"
 #include "core/resource.hpp"
 #include "obs/metrics.hpp"
@@ -87,6 +88,9 @@ class Node {
   [[nodiscard]] Container& container() noexcept { return container_; }
   [[nodiscard]] EventChannelHub& events() noexcept { return events_; }
   [[nodiscard]] CohesionNode& cohesion() noexcept { return cohesion_; }
+  /// Zone routing layer; present only in zoned deployments (nonzero
+  /// CohesionConfig.zone), null otherwise.
+  [[nodiscard]] ZoneRouter* zone_router() noexcept { return zone_router_.get(); }
   /// The node's unified metrics registry ("orb.*", "cohesion.*", ...).
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
@@ -166,6 +170,12 @@ class Node {
   /// reachable side answers with partial hits tagged `degraded` instead of
   /// erroring (minority-side availability, DESIGN.md §13).
   Result<QueryResult> query_network_detailed(const ComponentQuery& q);
+
+  /// Resolve `pattern` through the zone-sharded registry (zoned
+  /// deployments only): exact names take the locality-aware shard route,
+  /// globs fan out through the super root. Drives the network until the
+  /// answer (or its timeout) arrives.
+  Result<ZoneResolveResult> resolve_zone(const std::string& pattern);
 
   /// Fetch a package from a peer's repository into ours.
   Result<void> fetch_component(NodeId from, const std::string& component,
@@ -278,6 +288,7 @@ class Node {
   EventChannelHub events_;
   Container container_;
   CohesionNode cohesion_;
+  std::unique_ptr<ZoneRouter> zone_router_;  // zoned deployments only
   orb::ObjectRef node_service_;
 
   // Crash fault tolerance state.
@@ -326,6 +337,10 @@ class LocalNetwork {
   /// later ones join through it automatically (pass `auto_join = false` to
   /// manage joining manually).
   Node& add_node(NodeProfile profile = {}, bool auto_join = true);
+  /// Same, with a per-node cohesion config override (multi-zone tests:
+  /// nodes of different zones run separate trees, so no auto-join).
+  Node& add_node(NodeProfile profile, CohesionConfig cohesion_config,
+                 bool auto_join = false);
 
   /// Advance the shared clock, ticking every node each `step`.
   void advance(Duration duration, Duration step = milliseconds(500));

@@ -80,11 +80,28 @@ Result<RegistryDigest> RegistryDigest::decode(BytesView data) {
   return d;
 }
 
+std::string component_label(const ComponentSummary& c) {
+  return c.name + "@" + c.version.to_string();
+}
+
+std::pair<std::string, Version> split_label(const std::string& label) {
+  const auto at = label.rfind('@');
+  if (at == std::string::npos) return {label, Version{}};
+  auto v = Version::parse(label.substr(at + 1));
+  if (!v.ok()) return {label, Version{}};
+  return {label.substr(0, at), *v};
+}
+
 bool ComponentQuery::matches(const ComponentSummary& s) const {
   if (!glob_match(name_pattern, s.name)) return false;
   if (!constraint.matches(s.version)) return false;
   if (require_mobile && !s.mobile) return false;
   return true;
+}
+
+bool ComponentQuery::shardable() const noexcept {
+  return !name_pattern.empty() &&
+         name_pattern.find_first_of("*?") == std::string::npos;
 }
 
 Bytes ComponentQuery::encode() const {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/resource.hpp"
@@ -48,6 +49,16 @@ struct RegistryDigest {
   static Result<RegistryDigest> decode(BytesView data);
 };
 
+/// Aggregate ("subtree"/shard) digest entries are "name@major.minor.patch"
+/// labels; carrying the version lets version-constrained queries descend
+/// past an ancestor that hosts a different version of the same component.
+/// Names are dotted identifiers and never contain '\n' or '@'.
+[[nodiscard]] std::string component_label(const ComponentSummary& c);
+/// Inverse of component_label: (name, version). A label without '@' (or
+/// with an unparsable version) yields the whole label + Version{0,0,0}.
+[[nodiscard]] std::pair<std::string, Version> split_label(
+    const std::string& label);
+
 /// A component lookup as routed through the Distributed Registry.
 struct ComponentQuery {
   std::string name_pattern;  // glob, e.g. "video.*" or exact name
@@ -56,6 +67,10 @@ struct ComponentQuery {
   std::uint32_t max_results = 8;
 
   [[nodiscard]] bool matches(const ComponentSummary& s) const;
+  /// True when the pattern is one exact name (no glob metacharacters), so
+  /// the sharded registry can route it straight to owner(name) instead of
+  /// fanning out to every shard.
+  [[nodiscard]] bool shardable() const noexcept;
   [[nodiscard]] Bytes encode() const;
   static Result<ComponentQuery> decode(BytesView data);
 };

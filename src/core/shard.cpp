@@ -1,0 +1,57 @@
+#include "core/shard.hpp"
+
+namespace clc::core {
+
+namespace {
+
+/// splitmix64: mixes (holder, vnode index) into well-spread ring points.
+/// Pure arithmetic, so every node derives the identical ring from the same
+/// holder set.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t shard_hash(std::string_view key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+void ShardMap::add_holder(std::uint32_t holder) {
+  if (holder == 0 || !holders_.insert(holder).second) return;
+  for (int i = 0; i < vnodes_; ++i) {
+    std::uint64_t point =
+        mix64((static_cast<std::uint64_t>(holder) << 20) | static_cast<std::uint64_t>(i));
+    // On a (vanishingly rare) point collision the lower holder id wins on
+    // both sides of the wire; skipping keeps the ring deterministic.
+    auto [it, inserted] = ring_.emplace(point, holder);
+    if (!inserted && holder < it->second) it->second = holder;
+  }
+}
+
+void ShardMap::remove_holder(std::uint32_t holder) {
+  if (holders_.erase(holder) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == holder)
+      it = ring_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::uint32_t ShardMap::owner_of(std::string_view key) const {
+  if (ring_.empty()) return 0;
+  auto it = ring_.lower_bound(shard_hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return it->second;
+}
+
+}  // namespace clc::core

@@ -1,0 +1,55 @@
+// Consistent-hash shard map for the zone-sharded Distributed Registry.
+//
+// The mega-cluster directory is sharded by component name across the zone
+// roots: owner(name) = the zone whose virtual node follows hash(name) on a
+// 64-bit ring. Each holder (zone) projects `vnodes` points onto the ring so
+// load spreads evenly and a holder's arrival or departure remaps only the
+// keys adjacent to its own points (~K/R of K keys across R holders) instead
+// of rehashing the world -- the property the shard_property tests pin.
+//
+// Holders are zone ids, not node ids, on purpose: the ring survives a zone
+// root's crash untouched, because the replacement root inherits the zone's
+// ring points along with the role.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string_view>
+#include <vector>
+
+namespace clc::core {
+
+/// FNV-1a 64-bit: cheap, seedless and identical on every platform, so two
+/// nodes always agree on owner(name) without exchanging hash state.
+[[nodiscard]] std::uint64_t shard_hash(std::string_view key) noexcept;
+
+class ShardMap {
+ public:
+  /// More virtual nodes -> tighter key spread (relative imbalance shrinks
+  /// roughly with 1/sqrt(vnodes)) at the cost of a bigger ring.
+  explicit ShardMap(int vnodes = 128) : vnodes_(vnodes) {}
+
+  void add_holder(std::uint32_t holder);
+  void remove_holder(std::uint32_t holder);
+  [[nodiscard]] bool contains(std::uint32_t holder) const {
+    return holders_.count(holder) != 0;
+  }
+
+  /// The holder owning `key`: first ring point at or after hash(key),
+  /// wrapping. Returns 0 when the ring is empty (0 is not a valid zone id).
+  [[nodiscard]] std::uint32_t owner_of(std::string_view key) const;
+
+  [[nodiscard]] std::vector<std::uint32_t> holders() const {
+    return {holders_.begin(), holders_.end()};
+  }
+  [[nodiscard]] std::size_t holder_count() const { return holders_.size(); }
+  [[nodiscard]] std::size_t ring_points() const { return ring_.size(); }
+
+ private:
+  int vnodes_;
+  std::map<std::uint64_t, std::uint32_t> ring_;  // point -> holder
+  std::set<std::uint32_t> holders_;
+};
+
+}  // namespace clc::core

@@ -165,4 +165,41 @@ Result<ReplyMessage> ReplyMessage::decode(CdrReader& r) {
   return m;
 }
 
+Bytes ZoneContext::encode() const {
+  CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulong(zone);
+  w.write_ulonglong(zone_epoch);
+  return w.take();
+}
+
+std::optional<ZoneContext> ZoneContext::decode(BytesView data) {
+  CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return std::nullopt;
+  auto zone = r.read_ulong();
+  auto epoch = r.read_ulonglong();
+  if (!zone || !epoch) return std::nullopt;
+  ZoneContext ctx;
+  ctx.zone = *zone;
+  ctx.zone_epoch = *epoch;
+  return ctx;
+}
+
+void ZoneContext::attach(std::vector<ServiceContext>& contexts) const {
+  for (auto& c : contexts) {
+    if (c.id == kZoneContextId) {
+      c.data = encode();
+      return;
+    }
+  }
+  contexts.push_back({kZoneContextId, encode()});
+}
+
+std::optional<ZoneContext> ZoneContext::find(
+    const std::vector<ServiceContext>& contexts) {
+  for (const auto& c : contexts)
+    if (c.id == kZoneContextId) return decode(c.data);
+  return std::nullopt;
+}
+
 }  // namespace clc::orb

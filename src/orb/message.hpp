@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,30 @@ struct ReplyMessage {
 
   [[nodiscard]] Bytes encode() const;
   static Result<ReplyMessage> decode(CdrReader& r);
+};
+
+/// Service-context tag of the zone routing context ("ZONE"). Attached by
+/// zoned deployments to invocations that cross a zone boundary, so the
+/// receiving ORB can fence frames from a deposed zone hierarchy (stale
+/// zone epoch) without decoding the request body. Unzoned deployments
+/// never attach it, keeping their frames byte-identical to the pre-zone
+/// protocol (pinned by wire_golden_test).
+inline constexpr std::uint32_t kZoneContextId = 0x5a4f4e45;
+
+struct ZoneContext {
+  std::uint32_t zone = 0;       // sender's zone id
+  std::uint64_t zone_epoch = 1; // sender zone's epoch (root's partition epoch)
+
+  bool operator==(const ZoneContext&) const = default;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<ZoneContext> decode(BytesView data);
+
+  /// Append this context to a message's service-context list.
+  void attach(std::vector<ServiceContext>& contexts) const;
+  /// The zone context riding `contexts`, if any.
+  static std::optional<ZoneContext> find(
+      const std::vector<ServiceContext>& contexts);
 };
 
 /// Peek at a framed message: validates magic/version, returns its type and

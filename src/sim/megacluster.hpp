@@ -1,0 +1,434 @@
+// MegaCluster: a 500-2000 node virtual-time cluster in one process.
+//
+// The scale harness behind the `scale` test tier and bench_megacluster.
+// Every node is a full CohesionNode (+ ZoneRouter in zoned mode) driven by
+// the discrete-event simulator: virtual clocks, seeded delivery, byte-level
+// bandwidth accounting -- so a 1000-node bring-up with churn and a 3-zone
+// partition runs in seconds of wall time and replays byte-identically from
+// the same seed.
+//
+// Following the felis exemplar (static `kMaxNrNode` cluster tables), the
+// cluster layout is *configuration, not discovery*: capacity is fixed at
+// kMaxNodes, node ids are dense (index i <-> NodeId{i+1}), zones are
+// contiguous id ranges, and every node is constructed with the full zone
+// bootstrap table. What remains dynamic -- root election, shard placement,
+// failure detection -- is exactly what the protocols under test own.
+//
+// Header-only: clc_core depends on clc_sim, so this header (which needs
+// both) is compiled into the test/bench translation units that link
+// clc_core.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cohesion.hpp"
+#include "core/zone.hpp"
+#include "fault/plan.hpp"
+#include "orb/cdr.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace clc::sim {
+
+struct MegaClusterConfig {
+  std::size_t nodes = 1000;
+  /// Number of zones (hierarchical mode). 0 or 1 = a single unzoned tree;
+  /// ignored in flat mode.
+  std::size_t zones = 16;
+  std::uint64_t seed = 42;
+  core::CohesionConfig cohesion;  // mode/zone overridden per node
+  Duration intra_zone_latency = milliseconds(1);
+  Duration inter_zone_latency = milliseconds(20);
+  /// Bring-up joins the cluster in batches of `join_batch` nodes spaced
+  /// `join_batch_gap` apart (joins inside a batch staggered by
+  /// `join_stagger`), so the root never absorbs 2000 simultaneous joins.
+  std::size_t join_batch = 64;
+  Duration join_batch_gap = milliseconds(400);
+  Duration join_stagger = milliseconds(3);
+  /// Flat-lookup baseline: every node knows the full roster (pre-seeded,
+  /// as static configuration), queries broadcast to everyone.
+  bool flat = false;
+};
+
+/// One simulated cluster member: cohesion endpoint + optional zone router
+/// sharing a single network mailbox.
+class MegaNode : public SimHost {
+ public:
+  MegaNode(NodeId id, std::uint32_t zone, const core::CohesionConfig& base,
+           SimNetwork& net, Simulator& sim)
+      : id_(id), net_(net), sim_(sim), cohesion_(id, zoned(base, zone), sender()) {
+    cohesion_.set_digest_provider([this] {
+      core::RegistryDigest d;
+      d.components = components;
+      d.cpu_load = cpu_load;
+      return d;
+    });
+    if (zone != 0) {
+      core::ZoneConfig zc;
+      zc.zone = zone;
+      zc.hello_interval = base.heartbeat;
+      zc.publish_interval = base.heartbeat * 2;
+      zc.suspect_after = base.suspect_after;
+      zc.resolve_timeout = base.query_timeout;
+      router_ = std::make_unique<core::ZoneRouter>(id, zc, cohesion_, sender(),
+                                                   &cohesion_.metrics());
+    }
+  }
+
+  void on_message(NodeId from, const Bytes& payload) override {
+    (void)from;
+    if (!alive) return;
+    auto m = core::ProtoMessage::decode(payload);
+    if (!m.ok()) return;
+    if (query_msgs != nullptr && is_query_kind(m->kind)) {
+      *query_msgs += 1;
+      *query_bytes += payload.size();
+    }
+    if (router_ && core::ZoneRouter::handles(*m))
+      router_->on_message(*m, sim_.now());
+    else
+      cohesion_.on_message(*m, sim_.now());
+  }
+
+  /// True for frames on the query path (resolves, relays, replies) as
+  /// opposed to background control plane (heartbeats, hellos, publishes,
+  /// topology): the benches separate per-query from steady-state cost.
+  [[nodiscard]] static bool is_query_kind(const std::string& k) {
+    if (k.size() > 2 && k[0] == 'q' && k[1] == '_') return true;
+    return k == "z_resolve" || k == "z_fwd" || k == "z_hits" ||
+           k == "z_glob" || k == "z_scan";
+  }
+
+  void tick(TimePoint now) {
+    cohesion_.on_tick(now);
+    if (router_) router_->on_tick(now);
+  }
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  core::CohesionNode& cohesion() noexcept { return cohesion_; }
+  core::ZoneRouter* router() noexcept { return router_.get(); }
+
+  std::vector<core::ComponentSummary> components;
+  double cpu_load = 0;
+  bool alive = true;
+  std::uint64_t incarnation = 1;
+  // Cluster-wide query-path accounting (shared accumulators, see above).
+  std::uint64_t* query_msgs = nullptr;
+  std::uint64_t* query_bytes = nullptr;
+
+ private:
+  [[nodiscard]] static core::CohesionConfig zoned(core::CohesionConfig cfg,
+                                                  std::uint32_t zone) {
+    cfg.zone = zone;
+    return cfg;
+  }
+  [[nodiscard]] core::CohesionNode::Sender sender() {
+    return [this](NodeId to, const core::ProtoMessage& m) {
+      net_.send(id_, to, m.encode());
+    };
+  }
+
+  NodeId id_;
+  SimNetwork& net_;
+  Simulator& sim_;
+  core::CohesionNode cohesion_;
+  std::unique_ptr<core::ZoneRouter> router_;
+};
+
+class MegaCluster {
+ public:
+  /// Fixed capacity (felis-style): the node table never grows, so ids,
+  /// zone ranges and bootstrap tables are all computable at construction.
+  static constexpr std::size_t kMaxNodes = 2048;
+
+  explicit MegaCluster(MegaClusterConfig cfg)
+      : cfg_(std::move(cfg)), net_(sim_, cfg_.seed) {
+    assert(cfg_.nodes >= 1 && cfg_.nodes <= kMaxNodes);
+    if (cfg_.flat) {
+      cfg_.zones = 0;
+      cfg_.cohesion.mode = core::CohesionConfig::Mode::flat_query;
+      // The roster is static configuration; no keep-alive churn. Queries,
+      // not liveness traffic, are what the flat baseline measures.
+      cfg_.cohesion.heartbeat = seconds(36000);
+      cfg_.cohesion.query_timeout = seconds(30);
+    }
+    zone_size_ = cfg_.zones > 1
+                     ? (cfg_.nodes + cfg_.zones - 1) / cfg_.zones
+                     : cfg_.nodes;
+    net_.set_latency_fn([this](NodeId a, NodeId b) {
+      return zone_of_id(a) == zone_of_id(b) ? cfg_.intra_zone_latency
+                                            : cfg_.inter_zone_latency;
+    });
+  }
+
+  // ---------------------------------------------------------------- build
+  /// Construct and join all nodes (batched), then let the trees settle.
+  void build() {
+    std::vector<std::pair<std::uint32_t, NodeId>> bootstraps;
+    for (std::uint32_t z = 1; z <= zone_count(); ++z)
+      bootstraps.emplace_back(z, NodeId{(z - 1) * zone_size_ + 1});
+    for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+      const NodeId id{i + 1};
+      const std::uint32_t zone = cfg_.flat ? 0 : zone_of_index(i);
+      auto node = std::make_unique<MegaNode>(id, zone, cfg_.cohesion, net_, sim_);
+      MegaNode& ref = *node;
+      ref.query_msgs = &query_msgs_;
+      ref.query_bytes = &query_bytes_;
+      ref.cohesion().set_transition_hook([this, id](const std::string& what) {
+        log_event(id, what);
+      });
+      if (ref.router()) ref.router()->set_zone_bootstraps(bootstraps);
+      net_.attach(id, node.get());
+      nodes_.push_back(std::move(node));
+      // Stagger tick phases deterministically so 2000 timers don't all
+      // fire in one simulator instant.
+      const Duration period = tick_period();
+      const Duration phase =
+          static_cast<Duration>((i * 211) % static_cast<std::uint64_t>(period));
+      sim_.schedule_after(period + phase,
+                          [this, &ref, period] { tick(ref, period); });
+    }
+    if (cfg_.flat) {
+      seed_flat_rosters();
+      run_for(cfg_.cohesion.query_timeout);
+      return;
+    }
+    // Zone founders first, then everyone else in join batches.
+    for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+      MegaNode& n = *nodes_[i];
+      if (is_zone_founder(i)) {
+        sim_.schedule_after(milliseconds(1) * static_cast<Duration>(zone_of_index(i)),
+                            [this, &n] { n.cohesion().start_as_first(sim_.now()); });
+        continue;
+      }
+      const NodeId bootstrap{(zone_of_index(i) - 1) * zone_size_ + 1};
+      const std::size_t batch = i / cfg_.join_batch;
+      const Duration at = seconds(1) +
+                          cfg_.join_batch_gap * static_cast<Duration>(batch) +
+                          cfg_.join_stagger *
+                              static_cast<Duration>(i % cfg_.join_batch);
+      sim_.schedule_after(at, [this, &n, bootstrap] {
+        n.cohesion().start_joining(bootstrap, sim_.now());
+      });
+    }
+    const std::size_t batches = cfg_.nodes / std::max<std::size_t>(1, cfg_.join_batch);
+    run_for(seconds(1) + cfg_.join_batch_gap * static_cast<Duration>(batches + 1) +
+            cfg_.cohesion.heartbeat * 8);
+  }
+
+  // ------------------------------------------------------------- topology
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::uint32_t zone_count() const noexcept {
+    return cfg_.flat || cfg_.zones <= 1
+               ? 1
+               : static_cast<std::uint32_t>(
+                     (cfg_.nodes + zone_size_ - 1) / zone_size_);
+  }
+  [[nodiscard]] std::uint32_t zone_of_index(std::size_t i) const noexcept {
+    return static_cast<std::uint32_t>(i / zone_size_) + 1;
+  }
+  [[nodiscard]] std::uint32_t zone_of_id(NodeId id) const noexcept {
+    return id.value == 0 || cfg_.flat
+               ? 0
+               : zone_of_index(static_cast<std::size_t>(id.value - 1));
+  }
+  [[nodiscard]] bool is_zone_founder(std::size_t i) const noexcept {
+    return i % zone_size_ == 0;
+  }
+  MegaNode& node(std::size_t i) { return *nodes_[i]; }
+  /// Indices of one zone's members (1-based zone id).
+  [[nodiscard]] std::vector<std::size_t> zone_members(std::uint32_t z) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = (z - 1) * zone_size_;
+         i < std::min(cfg_.nodes, z * zone_size_); ++i)
+      out.push_back(i);
+    return out;
+  }
+  /// Current root of zone `z` (alive + is_root), or npos while headless.
+  [[nodiscard]] std::size_t zone_root_index(std::uint32_t z) const {
+    for (std::size_t i : zone_members(z))
+      if (nodes_[i]->alive && nodes_[i]->cohesion().is_root()) return i;
+    return static_cast<std::size_t>(-1);
+  }
+
+  Simulator& sim() noexcept { return sim_; }
+  SimNetwork& net() noexcept { return net_; }
+  const MegaClusterConfig& config() const noexcept { return cfg_; }
+
+  /// Query-path traffic (delivered resolve/relay/reply frames, by kind) --
+  /// immune to background heartbeat noise, unlike raw network deltas.
+  [[nodiscard]] std::uint64_t query_msgs() const noexcept { return query_msgs_; }
+  [[nodiscard]] std::uint64_t query_bytes() const noexcept { return query_bytes_; }
+  void reset_query_stats() noexcept { query_msgs_ = query_bytes_ = 0; }
+
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+  // ------------------------------------------------------------- workload
+  void install(std::size_t i, const std::string& name, Version v = {1, 0, 0}) {
+    nodes_[i]->components.push_back({name, v, true, 0.0});
+  }
+
+  /// Synchronous sharded resolve from node `i` (zoned mode).
+  core::ZoneResolveResult resolve(std::size_t i, const std::string& pattern) {
+    core::ZoneResolveResult result;
+    bool done = false;
+    nodes_[i]->router()->resolve(pattern, sim_.now(),
+                                 [&](core::ZoneResolveResult r) {
+                                   result = std::move(r);
+                                   done = true;
+                                 });
+    drive(done);
+    return result;
+  }
+
+  /// Synchronous cohesion query from node `i` (flat baseline / in-zone).
+  core::QueryResult query(std::size_t i, const core::ComponentQuery& q) {
+    core::QueryResult result;
+    bool done = false;
+    nodes_[i]->cohesion().query_ex(q, sim_.now(), [&](core::QueryResult r) {
+      result = std::move(r);
+      done = true;
+    });
+    drive(done);
+    return result;
+  }
+
+  // ---------------------------------------------------------------- chaos
+  void crash(std::size_t i) {
+    MegaNode& n = *nodes_[i];
+    if (!n.alive) return;
+    n.alive = false;
+    net_.detach(n.id());
+    log_event(n.id(), "crash");
+  }
+
+  void restart(std::size_t i) {
+    MegaNode& n = *nodes_[i];
+    if (n.alive) return;
+    n.alive = true;
+    n.incarnation += 1;
+    n.cohesion().set_incarnation(n.incarnation);
+    n.cohesion().restart(sim_.now());
+    net_.set_incarnation(n.id(), n.incarnation);
+    net_.attach(n.id(), &n);
+    log_event(n.id(), "restart");
+    // Rejoin through the lowest-id alive member of the node's own zone
+    // (static bootstrap preference, falling back past dead founders).
+    for (std::size_t j : zone_members(zone_of_index(i))) {
+      if (j == i || !nodes_[j]->alive) continue;
+      n.cohesion().start_joining(nodes_[j]->id(), sim_.now());
+      return;
+    }
+    n.cohesion().start_as_first(sim_.now());  // alone in the zone
+  }
+
+  /// Arm a seeded churn timetable. Event times are relative to *now* (the
+  /// arming instant), so the same schedule replays identically no matter
+  /// how long bring-up took.
+  void apply_churn(const fault::CrashSchedule& schedule) {
+    for (const fault::CrashEvent& ev : schedule.events) {
+      const std::size_t i = static_cast<std::size_t>(ev.node.value - 1);
+      if (i >= nodes_.size()) continue;
+      sim_.schedule_after(ev.at, [this, i] { crash(i); });
+      if (ev.restart_after > 0)
+        sim_.schedule_after(ev.at + ev.restart_after,
+                            [this, i] { restart(i); });
+    }
+  }
+
+  /// Zone-aligned k-way partition: zones in different groups are cut off
+  /// from each other.
+  void partition_zones(const std::vector<std::vector<std::uint32_t>>& groups) {
+    std::vector<std::set<NodeId>> node_groups;
+    std::string desc;
+    for (const auto& zs : groups) {
+      std::set<NodeId> g;
+      if (!desc.empty()) desc += '|';
+      for (std::uint32_t z : zs) {
+        desc += std::to_string(z) + ',';
+        for (std::size_t i : zone_members(z)) g.insert(nodes_[i]->id());
+      }
+      node_groups.push_back(std::move(g));
+    }
+    net_.partition_groups(std::move(node_groups));
+    log_event(NodeId{0}, "partition:" + desc);
+  }
+
+  void heal() {
+    net_.heal_partition();
+    log_event(NodeId{0}, "heal");
+  }
+
+  // ------------------------------------------------------------ event log
+  /// Every protocol transition, crash, restart, partition and heal with
+  /// its virtual timestamp: the replay-determinism tests compare this log
+  /// byte-for-byte across same-seed runs.
+  [[nodiscard]] const std::vector<std::string>& event_log() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::string log_digest() const {
+    std::string out;
+    for (const auto& e : events_) {
+      out += e;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] Duration tick_period() const noexcept {
+    // Flat mode's huge heartbeat would stall ticks entirely; query
+    // deadlines still need periodic service.
+    return cfg_.flat ? seconds(5) : cfg_.cohesion.heartbeat / 2;
+  }
+
+  void tick(MegaNode& n, Duration period) {
+    if (n.alive) n.tick(sim_.now());
+    // The chain outlives crashes so a restarted node resumes ticking.
+    sim_.schedule_after(period, [this, &n, period] { tick(n, period); });
+  }
+
+  void drive(bool& done) {
+    int guard = 0;
+    while (!done && guard++ < 2000000) {
+      if (!sim_.step()) run_for(tick_period());
+    }
+  }
+
+  void seed_flat_rosters() {
+    // The roster is part of the static cluster config (felis-style): hand
+    // every node the full member list directly instead of paying an
+    // O(N^2) join/gossip storm the experiment doesn't want to measure.
+    orb::CdrWriter w;
+    w.begin_encapsulation();
+    w.write_ulong(static_cast<std::uint32_t>(cfg_.nodes));
+    for (std::size_t i = 0; i < cfg_.nodes; ++i)
+      w.write_ulonglong(nodes_[i]->id().value);
+    core::ProtoMessage roster;
+    roster.kind = "roster";
+    roster.sender = nodes_[0]->id();
+    roster.blob = w.take();
+    for (std::size_t i = 0; i < cfg_.nodes; ++i)
+      nodes_[i]->cohesion().on_message(roster, sim_.now());
+  }
+
+  void log_event(NodeId n, const std::string& what) {
+    events_.push_back("t=" + std::to_string(sim_.now()) +
+                      " n=" + std::to_string(n.value) + " " + what);
+  }
+
+  MegaClusterConfig cfg_;
+  Simulator sim_;
+  SimNetwork net_;
+  std::size_t zone_size_ = 1;
+  std::vector<std::unique_ptr<MegaNode>> nodes_;
+  std::vector<std::string> events_;
+  std::uint64_t query_msgs_ = 0;
+  std::uint64_t query_bytes_ = 0;
+};
+
+}  // namespace clc::sim

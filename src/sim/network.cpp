@@ -11,9 +11,19 @@ void SimNetwork::partition(std::set<NodeId> side_a, std::set<NodeId> side_b) {
   partition_b_ = std::move(side_b);
 }
 
+void SimNetwork::partition_groups(std::vector<std::set<NodeId>> groups) {
+  group_of_.clear();
+  int idx = 0;
+  for (const auto& g : groups) {
+    for (NodeId n : g) group_of_[n] = idx;
+    ++idx;
+  }
+}
+
 void SimNetwork::heal_partition() {
   partition_a_.clear();
   partition_b_.clear();
+  group_of_.clear();
 }
 
 void SimNetwork::apply_schedule(const fault::PartitionSchedule& schedule) {
@@ -32,6 +42,13 @@ bool SimNetwork::blocked(NodeId a, NodeId b) const {
   // Directed cuts only block their own direction (a→b may be down while
   // b→a still delivers).
   if (cut_links_.count({a, b}) != 0) return true;
+  if (!group_of_.empty()) {
+    const auto ga = group_of_.find(a);
+    const auto gb = group_of_.find(b);
+    if (ga != group_of_.end() && gb != group_of_.end() &&
+        ga->second != gb->second)
+      return true;
+  }
   if (partition_a_.empty() || partition_b_.empty()) return false;
   const bool a_in_a = partition_a_.count(a) != 0;
   const bool a_in_b = partition_b_.count(a) != 0;

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
@@ -87,6 +88,10 @@ class SimNetwork {
 
   /// Cut/heal links between two node sets (symmetric network partition).
   void partition(std::set<NodeId> side_a, std::set<NodeId> side_b);
+  /// k-way split: nodes in different groups cannot exchange messages;
+  /// nodes absent from every group are unrestricted. Replaces any previous
+  /// group split (mega-cluster zone-aligned partitions).
+  void partition_groups(std::vector<std::set<NodeId>> groups);
   void heal_partition();
 
   /// Sever one *direction* of a link: messages from→to are lost while the
@@ -165,6 +170,7 @@ class SimNetwork {
   std::map<NodeId, std::uint64_t> incarnations_;
   std::set<NodeId> partition_a_;
   std::set<NodeId> partition_b_;
+  std::map<NodeId, int> group_of_;  // k-way split membership
   std::set<fault::LinkCut> cut_links_;  // directed (asymmetric) cuts
   std::map<NodeId, std::uint64_t> per_node_bytes_;
 };

@@ -1,0 +1,61 @@
+// Reduced mega-cluster scenario (256 nodes, 8 zones): the same stack as
+// tests/scale_test.cpp at a size the sanitizer jobs can afford. tsan runs
+// this tier (label `scale_smoke`) instead of the full 1000-node tier.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/megacluster.hpp"
+
+using namespace clc;
+using namespace clc::core;
+using namespace clc::sim;
+
+namespace {
+
+MegaClusterConfig smoke_config() {
+  MegaClusterConfig cfg;
+  cfg.nodes = 256;
+  cfg.zones = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(MegaClusterSmoke, BringUpResolveAndZoneFailover256) {
+  MegaCluster mc(smoke_config());
+  mc.build();
+
+  ASSERT_EQ(mc.zone_count(), 8u);
+  for (std::uint32_t z = 1; z <= mc.zone_count(); ++z)
+    ASSERT_NE(mc.zone_root_index(z), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < mc.size(); ++i)
+    EXPECT_TRUE(mc.node(i).cohesion().joined()) << "node " << i + 1;
+
+  for (std::size_t i = 0; i < mc.size(); i += 8)
+    mc.install(i, "smoke" + std::to_string(i));
+  mc.run_for(seconds(20));
+
+  // Cross-zone sharded resolve (node 2 is in zone 1; index 248 in zone 8).
+  auto r = mc.resolve(2, "smoke248");
+  ASSERT_EQ(r.hits.size(), 1u);
+  EXPECT_EQ(r.hits[0].zone, mc.zone_of_index(248));
+  EXPECT_FALSE(r.degraded);
+
+  // Zone-scoped failover: crash zone 3's root, a replica promotes, and the
+  // sharded path to a zone-3 name is rebuilt.
+  const std::size_t old_root = mc.zone_root_index(3);
+  mc.crash(old_root);
+  mc.run_for(seconds(45));
+  const std::size_t new_root = mc.zone_root_index(3);
+  ASSERT_NE(new_root, static_cast<std::size_t>(-1));
+  EXPECT_NE(new_root, old_root);
+
+  std::size_t hosted = 0;
+  for (std::size_t i = 0; i < mc.size(); i += 8)
+    if (mc.zone_of_index(i) == 3 && i != old_root) { hosted = i; break; }
+  auto r2 = mc.resolve(200, "smoke" + std::to_string(hosted));
+  ASSERT_EQ(r2.hits.size(), 1u);
+  EXPECT_EQ(r2.hits[0].zone, 3u);
+}

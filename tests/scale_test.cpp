@@ -1,0 +1,207 @@
+// Mega-cluster scale tier: 1000-node virtual-time scenarios.
+//
+// These run the full cohesion + zone-routing stack -- 16 zone trees, a
+// roots-of-roots layer, the consistent-hash sharded registry -- under the
+// discrete-event simulator. Everything here is `scale`-labelled and excluded
+// from the default unit tier (see tests/CMakeLists.txt); CI runs it as its
+// own job with a generous timeout.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "sim/megacluster.hpp"
+
+using namespace clc;
+using namespace clc::core;
+using namespace clc::sim;
+
+namespace {
+
+MegaClusterConfig big_config(std::uint64_t seed = 7) {
+  MegaClusterConfig cfg;
+  cfg.nodes = 1000;
+  cfg.zones = 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::size_t joined_count(MegaCluster& mc) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < mc.size(); ++i)
+    if (mc.node(i).alive && mc.node(i).cohesion().joined()) ++n;
+  return n;
+}
+
+}  // namespace
+
+// The acceptance scenario: bring up 1000 nodes across 16 zones, install
+// uniquely named components, resolve them through the sharded registry from
+// near and far, kill a zone root (failover is zone-scoped), then split the
+// cluster into three zone-aligned partitions and heal it.
+TEST(MegaClusterScale, Scenario1000) {
+  MegaCluster mc(big_config());
+  mc.build();
+
+  // ---- bring-up: everyone joined, every zone has exactly one root.
+  EXPECT_EQ(joined_count(mc), mc.size());
+  ASSERT_EQ(mc.zone_count(), 16u);
+  for (std::uint32_t z = 1; z <= mc.zone_count(); ++z) {
+    ASSERT_NE(mc.zone_root_index(z), static_cast<std::size_t>(-1))
+        << "zone " << z << " has no root";
+  }
+  // The roots-of-roots layer agrees on a single super root.
+  const auto super = mc.node(0).router()->super_root(mc.sim().now());
+  EXPECT_NE(super.second.value, 0u);
+  for (std::uint32_t z = 1; z <= mc.zone_count(); ++z) {
+    const std::size_t r = mc.zone_root_index(z);
+    EXPECT_EQ(mc.node(r).router()->super_root(mc.sim().now()), super);
+  }
+
+  // ---- install one uniquely named component on every 10th node and let
+  // the digests climb the trees and the publishes reach the shard owners.
+  for (std::size_t i = 0; i < mc.size(); i += 10)
+    mc.install(i, "svc" + std::to_string(i));
+  mc.run_for(seconds(20));
+
+  // In-zone resolve: name hosted in the asker's own zone.
+  {
+    auto r = mc.resolve(3, "svc0");  // node 0 and node 3 share zone 1
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_EQ(r.hits[0].name, "svc0");
+    EXPECT_EQ(r.hits[0].zone, 1u);
+    EXPECT_FALSE(r.degraded);
+  }
+  // Cross-zone resolve: node in zone 1 finds a component hosted in the last
+  // zone, through at most one ring hop.
+  {
+    const std::size_t far = (mc.size() / 10 - 1) * 10;  // highest installed
+    auto r = mc.resolve(3, "svc" + std::to_string(far));
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_EQ(r.hits[0].zone, mc.zone_of_index(far));
+    EXPECT_FALSE(r.degraded);
+  }
+  // Absent name: clean miss, not a timeout.
+  {
+    auto r = mc.resolve(500, "no-such-component");
+    EXPECT_TRUE(r.hits.empty());
+    EXPECT_FALSE(r.degraded);
+  }
+
+  // ---- zone-scoped crash + failover: kill zone 2's root; a replica
+  // promotes inside zone 2 (nobody else's root changes), the new root
+  // republishes, and resolves for zone-2 names recover.
+  std::vector<std::size_t> roots_before(mc.zone_count() + 1);
+  for (std::uint32_t z = 1; z <= mc.zone_count(); ++z)
+    roots_before[z] = mc.zone_root_index(z);
+  const std::size_t dead_root = roots_before[2];
+  mc.crash(dead_root);
+  mc.run_for(seconds(45));
+
+  const std::size_t new_root = mc.zone_root_index(2);
+  ASSERT_NE(new_root, static_cast<std::size_t>(-1)) << "zone 2 never re-rooted";
+  EXPECT_NE(new_root, dead_root);
+  for (std::uint32_t z = 1; z <= mc.zone_count(); ++z) {
+    if (z == 2) continue;
+    EXPECT_EQ(mc.zone_root_index(z), roots_before[z])
+        << "failover leaked outside zone 2";
+  }
+  {
+    // A zone-2 name, asked from another zone: the shard path must have been
+    // rebuilt around the new zone-2 root.
+    std::size_t in_zone2 = 0;
+    for (std::size_t i = 0; i < mc.size(); i += 10)
+      if (mc.zone_of_index(i) == 2 && i != dead_root) { in_zone2 = i; break; }
+    auto r = mc.resolve(900, "svc" + std::to_string(in_zone2));
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_EQ(r.hits[0].zone, 2u);
+  }
+
+  // ---- 3-way zone-aligned partition: {1..5} | {6..10} | {11..16}.
+  // Pick an installed name that is neither hosted in zone 1 nor shard-owned
+  // by zones 1..5, so resolving it from zone 1 *must* ring-hop across the
+  // split.
+  const std::size_t z1_root = mc.zone_root_index(1);
+  std::string far_owned;
+  for (std::size_t i = 0; i < mc.size(); i += 10) {
+    const std::string name = "svc" + std::to_string(i);
+    if (mc.zone_of_index(i) != 1 &&
+        mc.node(z1_root).router()->owner_zone(name, mc.sim().now()) >= 6) {
+      far_owned = name;
+      break;
+    }
+  }
+  ASSERT_FALSE(far_owned.empty());
+  mc.partition_zones({{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10},
+                      {11, 12, 13, 14, 15, 16}});
+  // Immediately after the split the ring hop crosses the partition and
+  // times out: partial coverage, reported as degraded.
+  {
+    auto r = mc.resolve(3, far_owned);
+    EXPECT_TRUE(r.hits.empty());
+    EXPECT_TRUE(r.degraded);
+  }
+  mc.run_for(seconds(30));
+  // Once the remote zones are suspect the ring shrinks to the local group:
+  // in-group resolves are clean again, cross-group names simply don't exist
+  // on this side of the split.
+  {
+    auto r = mc.resolve(3, "svc100");  // zone 2: same group as the asker
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_EQ(r.hits[0].zone, 2u);
+  }
+  {
+    auto r = mc.resolve(3, "svc990");
+    EXPECT_TRUE(r.hits.empty());
+  }
+
+  // ---- heal: the zone table re-converges, publishes repopulate the full
+  // ring, cross-group resolves work again.
+  mc.heal();
+  mc.run_for(seconds(40));
+  {
+    auto r = mc.resolve(3, "svc990");
+    ASSERT_EQ(r.hits.size(), 1u);
+    EXPECT_EQ(r.hits[0].zone, mc.zone_of_index(990));
+    EXPECT_FALSE(r.degraded);
+  }
+  EXPECT_EQ(joined_count(mc), mc.size() - 1);  // only the crashed root is down
+}
+
+namespace {
+
+// One full 1000-node life: bring-up, seeded churn, a 3-way zone partition
+// and its heal. Returns the cluster's event log digest.
+std::string chaotic_run(std::uint64_t seed) {
+  MegaCluster mc(big_config(seed));
+  mc.build();
+
+  std::vector<NodeId> victims;
+  for (std::size_t i = 0; i < mc.size(); i += 7)
+    victims.push_back(mc.node(i).id());
+  const auto churn = fault::CrashSchedule::random(
+      seed, victims, /*count=*/40, /*horizon=*/seconds(60),
+      /*min_downtime=*/seconds(5), /*max_downtime=*/seconds(25));
+  mc.apply_churn(churn);
+
+  mc.run_for(seconds(20));
+  mc.partition_zones({{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10},
+                      {11, 12, 13, 14, 15, 16}});
+  mc.run_for(seconds(25));
+  mc.heal();
+  mc.run_for(seconds(40));
+  return mc.log_digest();
+}
+
+}  // namespace
+
+// Determinism: the same seed replays the same 1000-node life byte for byte
+// -- every promotion, demotion, death verdict, crash and restart at the
+// same virtual microsecond. This is what makes scale failures debuggable.
+TEST(MegaClusterReplay, IdenticalEventLogSameSeed) {
+  const std::string first = chaotic_run(11);
+  const std::string second = chaotic_run(11);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}

@@ -1,0 +1,147 @@
+// Property tests for the consistent-hash shard map (core/shard.hpp).
+//
+// The zone-sharded registry leans on two quantitative promises:
+//  * spread  -- with vnodes=128, no holder owns more than ~2x its ideal
+//               share of keys;
+//  * stability -- adding or removing one holder of R remaps only the keys
+//               adjacent to its ring points (about K/R of K keys), never a
+//               wholesale reshuffle.
+// These tests pin both with a large synthetic keyspace, plus the agreement
+// property every router depends on: two independently built rings with the
+// same holder set place every key identically.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/shard.hpp"
+
+using clc::core::ShardMap;
+using clc::core::shard_hash;
+
+namespace {
+
+constexpr std::size_t kKeys = 10000;
+
+std::vector<std::string> make_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i)
+    keys.push_back("component-" + std::to_string(i) + "/impl");
+  return keys;
+}
+
+std::map<std::string, std::uint32_t> placement(const ShardMap& ring,
+                                               const std::vector<std::string>& keys) {
+  std::map<std::string, std::uint32_t> out;
+  for (const auto& k : keys) out[k] = ring.owner_of(k);
+  return out;
+}
+
+}  // namespace
+
+TEST(ShardHash, DeterministicAndDispersed) {
+  EXPECT_EQ(shard_hash("alpha"), shard_hash("alpha"));
+  EXPECT_NE(shard_hash("alpha"), shard_hash("beta"));
+  EXPECT_NE(shard_hash(""), shard_hash("a"));
+  // Near-identical keys must not collide (FNV-1a avalanche sanity).
+  EXPECT_NE(shard_hash("svc1"), shard_hash("svc2"));
+}
+
+TEST(ShardMapProperty, SpreadWithinTwiceIdeal) {
+  const auto keys = make_keys();
+  for (std::size_t holders : {2u, 4u, 8u, 16u, 32u}) {
+    ShardMap ring;
+    for (std::uint32_t z = 1; z <= holders; ++z) ring.add_holder(z);
+    std::map<std::uint32_t, std::size_t> load;
+    for (const auto& k : keys) load[ring.owner_of(k)] += 1;
+    const double ideal = static_cast<double>(kKeys) / static_cast<double>(holders);
+    for (std::uint32_t z = 1; z <= holders; ++z) {
+      EXPECT_LT(static_cast<double>(load[z]), 2.0 * ideal)
+          << "holder " << z << " of " << holders << " owns " << load[z]
+          << " keys (ideal " << ideal << ")";
+      EXPECT_GT(load[z], 0u) << "holder " << z << " of " << holders
+                             << " owns nothing";
+    }
+  }
+}
+
+TEST(ShardMapProperty, JoinRemapsAtMostItsShare) {
+  const auto keys = make_keys();
+  for (std::size_t holders : {4u, 8u, 16u}) {
+    ShardMap ring;
+    for (std::uint32_t z = 1; z <= holders; ++z) ring.add_holder(z);
+    const auto before = placement(ring, keys);
+
+    const std::uint32_t joiner = static_cast<std::uint32_t>(holders) + 1;
+    ring.add_holder(joiner);
+    std::size_t moved = 0;
+    for (const auto& k : keys) {
+      const std::uint32_t now = ring.owner_of(k);
+      if (now != before.at(k)) {
+        ++moved;
+        // Every remapped key must land on the joiner: keys never shuffle
+        // between pre-existing holders.
+        EXPECT_EQ(now, joiner) << k;
+      }
+    }
+    // Expectation is K/(R+1); allow slack up to K/R.
+    EXPECT_LE(moved, kKeys / holders)
+        << "join of holder " << joiner << " moved " << moved << " keys";
+    EXPECT_GT(moved, 0u);
+  }
+}
+
+TEST(ShardMapProperty, CrashRemapsOnlyTheVictimsKeys) {
+  const auto keys = make_keys();
+  for (std::size_t holders : {4u, 8u, 16u}) {
+    ShardMap ring;
+    for (std::uint32_t z = 1; z <= holders; ++z) ring.add_holder(z);
+    const auto before = placement(ring, keys);
+
+    const std::uint32_t victim = 2;  // any holder; eviction == crash here
+    ring.remove_holder(victim);
+    for (const auto& k : keys) {
+      const std::uint32_t now = ring.owner_of(k);
+      if (before.at(k) != victim) {
+        // Survivors keep every key they already owned.
+        EXPECT_EQ(now, before.at(k)) << k;
+      } else {
+        EXPECT_NE(now, victim) << k;
+      }
+    }
+  }
+}
+
+TEST(ShardMapProperty, RejoinRestoresPlacement) {
+  // Crash + rejoin of the same holder is a no-op for the mapping: ring
+  // points are a pure function of (holder, vnode index).
+  const auto keys = make_keys();
+  ShardMap ring;
+  for (std::uint32_t z = 1; z <= 8; ++z) ring.add_holder(z);
+  const auto before = placement(ring, keys);
+  ring.remove_holder(5);
+  ring.add_holder(5);
+  EXPECT_EQ(placement(ring, keys), before);
+}
+
+TEST(ShardMapProperty, IndependentRingsAgree) {
+  // Two routers that learned the same holder set in different orders must
+  // place every key identically -- owner_of is pure configuration.
+  const auto keys = make_keys();
+  ShardMap a, b;
+  for (std::uint32_t z : {1u, 2u, 3u, 4u, 5u, 6u}) a.add_holder(z);
+  for (std::uint32_t z : {6u, 3u, 1u, 5u, 2u, 4u}) b.add_holder(z);
+  EXPECT_EQ(placement(a, keys), placement(b, keys));
+}
+
+TEST(ShardMap, EmptyAndSingle) {
+  ShardMap ring;
+  EXPECT_EQ(ring.owner_of("anything"), 0u);
+  ring.add_holder(7);
+  EXPECT_EQ(ring.owner_of("anything"), 7u);
+  EXPECT_EQ(ring.owner_of("other"), 7u);
+  ring.remove_holder(7);
+  EXPECT_EQ(ring.owner_of("anything"), 0u);
+}

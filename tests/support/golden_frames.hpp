@@ -103,6 +103,53 @@ constexpr const char* kGoldenDirNotifyRequestWithContext =
     "7b20696e7465726661636520436f756e746572207b207d3b207d3b0001000000"
     "2200000002000000cafe";
 
+// ---------------------------------------------------------------------------
+// Zone layer fixtures (PR 7): the roots-of-roots frames and the zone-epoch
+// wire fields. Two invariants are frozen here: (a) the new z_* frames and
+// blobs themselves, and (b) that pre-zone frames are *byte-identical* when
+// the zone fields sit at their defaults -- an unzoned node keeps emitting
+// exactly the bytes it emitted before the zone layer existed.
+
+// ProtoMessage{kind="heartbeat", sender=3, fields={names: "calc@1.2.0"}}
+// from an unzoned node: no "zn", no "ep"/"inc" (elided at their defaults).
+constexpr const char* kGoldenHeartbeatUnzoned =
+    "010000000a00000068656172746265617400000000000000030000000000000001"
+    "000000060000006e616d65730000000b00000063616c6340312e322e3000000000"
+    "0000";
+
+// The same heartbeat from a node in zone 4: only the "zn" field is added.
+constexpr const char* kGoldenHeartbeatZoned =
+    "010000000a00000068656172746265617400000000000000030000000000000002"
+    "000000060000006e616d65730000000b00000063616c6340312e322e3000000300"
+    "00007a6e0000020000003400000000000000";
+
+// z_hello{sender=64 (zone 4's root), zn=4, zep=7}: the roots-of-roots
+// gossip beacon carrying the zone epoch (fields sort alphabetically, so
+// "zep" precedes "zn").
+constexpr const char* kGoldenZoneHello =
+    "01000000080000007a5f68656c6c6f00400000000000000002000000040000007a"
+    "6570000200000037000000030000007a6e0000020000003400000000000000";
+
+// z_publish label batch: {"calc@1.2.0", "stats@2.0.1"}.
+constexpr const char* kGoldenZoneLabelsBlob =
+    "01000000020000000b00000063616c6340312e322e3000000c0000007374617473"
+    "40322e302e3100";
+
+// z_hits payload: [{calc 1.2.0 zone=4 root=64}, {stats 2.0.1 zone=9
+// root=567}] -- versions travel as their dotted string form.
+constexpr const char* kGoldenZoneHitsBlob =
+    "01000000020000000500000063616c630000000006000000312e322e3000000004"
+    "00000000000000400000000000000006000000737461747300000006000000322e"
+    "302e3100000009000000000000003702000000000000";
+
+// RequestMessage kGoldenRequest + ZoneContext{zone=4, epoch=7} attached as
+// service context 0x5a4f4e45 ("ZONE").
+constexpr const char* kGoldenRequestWithZoneContext =
+    "434c4350010001000700000000000000887766554433221100ffeeddccbbaa99"
+    "08000000743a3a43616c63000400000061646400010000000400000000010203"
+    "01000000454e4f5a100000000100000004000000"
+    "0700000000000000";
+
 inline Bytes from_hex(const std::string& hex) {
   Bytes out;
   out.reserve(hex.size() / 2);

@@ -8,6 +8,8 @@
 
 #include <string>
 
+#include "core/proto.hpp"
+#include "core/zone.hpp"
 #include "dir/record.hpp"
 #include "orb/cdr.hpp"
 #include "orb/message.hpp"
@@ -212,6 +214,112 @@ TEST(WireGolden, FrozenDirNotifyRequestDecodesAsOnewayCarryingNotification) {
   ASSERT_TRUE(n.ok()) << n.error().to_string();
   EXPECT_EQ(n->kind, dir::ChangeKind::moved);
   EXPECT_EQ(n->record, golden_dir_record());
+}
+
+// --- Zone layer (PR 7) -----------------------------------------------------
+
+core::ProtoMessage golden_heartbeat(std::uint32_t zone) {
+  core::ProtoMessage m;
+  m.kind = "heartbeat";
+  m.sender = NodeId{3};
+  m.set("names", "calc@1.2.0");
+  if (zone != 0) m.set_int("zn", static_cast<std::int64_t>(zone));
+  return m;
+}
+
+TEST(WireGolden, UnzonedHeartbeatKeepsPreZoneBytes) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  // The zone fields are elided at their defaults: a node with zone=0 emits
+  // the exact frame it emitted before the zone layer existed.
+  EXPECT_EQ(testing::to_hex(golden_heartbeat(0).encode()),
+            testing::kGoldenHeartbeatUnzoned);
+}
+
+TEST(WireGolden, ZonedHeartbeatFrameIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  EXPECT_EQ(testing::to_hex(golden_heartbeat(4).encode()),
+            testing::kGoldenHeartbeatZoned);
+}
+
+TEST(WireGolden, ZoneHelloFrameIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  core::ProtoMessage m;
+  m.kind = "z_hello";
+  m.sender = NodeId{64};
+  m.set_int("zn", 4);
+  m.set_int("zep", 7);
+  EXPECT_EQ(testing::to_hex(m.encode()), testing::kGoldenZoneHello);
+}
+
+TEST(WireGolden, FrozenZoneHelloDecodesToOriginalFields) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes frame = testing::from_hex(testing::kGoldenZoneHello);
+  auto m = core::ProtoMessage::decode(frame);
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  EXPECT_EQ(m->kind, "z_hello");
+  EXPECT_EQ(m->sender, NodeId{64});
+  EXPECT_EQ(m->field_int("zn"), 4);
+  EXPECT_EQ(m->field_int("zep"), 7);
+}
+
+TEST(WireGolden, ZonePublishLabelBlobIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes blob =
+      core::ZoneRouter::encode_labels({"calc@1.2.0", "stats@2.0.1"});
+  EXPECT_EQ(testing::to_hex(blob), testing::kGoldenZoneLabelsBlob);
+  const auto labels = core::ZoneRouter::decode_labels(blob);
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"calc@1.2.0", "stats@2.0.1"}));
+}
+
+TEST(WireGolden, ZoneHitsBlobIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const std::vector<core::ZoneHit> hits{
+      {"calc", Version{1, 2, 0}, 4, NodeId{64}},
+      {"stats", Version{2, 0, 1}, 9, NodeId{567}},
+  };
+  const Bytes blob = core::ZoneRouter::encode_zone_hits(hits);
+  EXPECT_EQ(testing::to_hex(blob), testing::kGoldenZoneHitsBlob);
+  EXPECT_EQ(core::ZoneRouter::decode_zone_hits(blob), hits);
+}
+
+TEST(WireGolden, RequestWithZoneContextIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  orb::RequestMessage m = golden_request();
+  orb::ZoneContext{4, 7}.attach(m.service_contexts);
+  EXPECT_EQ(testing::to_hex(m.encode()),
+            testing::kGoldenRequestWithZoneContext);
+}
+
+TEST(WireGolden, FrozenZoneContextRequestDecodesToZoneAndEpoch) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes frame =
+      testing::from_hex(testing::kGoldenRequestWithZoneContext);
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  auto m = orb::RequestMessage::decode(r);
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  // The zone context rides the generic service-context trailer: the base
+  // request fields are untouched.
+  EXPECT_EQ(m->operation, "add");
+  const auto zc = orb::ZoneContext::find(m->service_contexts);
+  ASSERT_TRUE(zc.has_value());
+  EXPECT_EQ(zc->zone, 4u);
+  EXPECT_EQ(zc->zone_epoch, 7u);
+}
+
+TEST(WireGolden, ZoneContextAbsentOnLegacyFrames) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  // A pre-zone peer's frame simply has no ZONE context; find() reports
+  // that instead of inventing defaults.
+  const Bytes frame = testing::from_hex(testing::kGoldenRequestWithContext);
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  auto m = orb::RequestMessage::decode(r);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(orb::ZoneContext::find(m->service_contexts).has_value());
 }
 
 TEST(WireGolden, FrozenReplyBytesDecodeToOriginalFields) {
