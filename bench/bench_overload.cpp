@@ -1,0 +1,363 @@
+// E18 -- Overload robustness: admission control, backpressure and the
+// closed-loop LoadManager under open-loop traffic (DESIGN.md §16).
+//
+// Claim: under offered load beyond capacity a naive deployment collapses
+// (every queued call eventually blows its deadline, goodput -> 0), while
+// admission control + CoDel shedding + the LoadManager keep goodput near
+// the cluster's service capacity and keep latency of admitted work bounded
+// -- including through a mid-run crash and a mid-run partition.
+//
+// Setup: 3 nodes, each modelled as a fluid server draining 1 µs of service
+// work per µs (capacity ~= 1 / mean_demand calls/s). An OpenLoopGenerator
+// offers Poisson arrivals from 200k virtual users with a heavy-tail cost
+// mix (90% 1x, 9% 10x, 1% 100x; mean 560 µs). A call is "good" if admitted
+// and its modelled response time (queue delay at admission + service time)
+// is within the 250 ms deadline.
+//
+//   sweep    -- offered load 0.5x..3x aggregate capacity, all nodes hosting:
+//               baseline (admission unbounded, no controller) vs controlled
+//               (admission + CoDel + LoadManager). p50/p99/p999, shed%,
+//               goodput.
+//   hotspot  -- 2x overload aimed at ONE hosting node; the LoadManager
+//               replicates the hot component toward idle peers and goodput
+//               climbs from one node's capacity to >= 80% of the cluster's.
+//   crash    -- 2x overload, node 3 crashes at t=10s and restarts at t=20s;
+//               control traffic keeps flowing (zero control-plane sheds)
+//               and the LoadManager re-replicates onto the returned node.
+//   partition-- 2x overload, node 3 isolated for 10s; the majority side
+//               keeps serving and goodput tracks surviving capacity.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "core/load_manager.hpp"
+#include "core/node.hpp"
+#include "sim/openloop.hpp"
+#include "support/test_components.hpp"
+
+using namespace clc;
+using namespace clc::core;
+
+namespace {
+
+constexpr int kNodes = 3;
+constexpr Duration kDeadline = milliseconds(250);
+constexpr Duration kTick = milliseconds(100);
+const std::vector<sim::RequestClass> kMix = sim::heavy_tail_mix();
+
+double mean_demand_us() {
+  double total_w = 0, acc = 0;
+  for (const auto& c : kMix) {
+    total_w += c.weight;
+    acc += c.weight * static_cast<double>(c.mean_cost);
+  }
+  return acc / total_w;
+}
+
+// Calls/second one node drains at drain_rate 1.0.
+double node_capacity_hz() { return 1e6 / mean_demand_us(); }
+
+AdmissionConfig controlled_admission() {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.drain_rate = 1.0;
+  cfg.max_queue_delay = milliseconds(100);
+  cfg.codel_target = milliseconds(5);
+  cfg.codel_interval = milliseconds(100);
+  return cfg;
+}
+
+// "Baseline": the fluid model still tracks the queue, but the bounds sit at
+// an hour so nothing is ever shed -- a plain unbounded FIFO server.
+AdmissionConfig unbounded_admission() {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.drain_rate = 1.0;
+  cfg.max_queue_delay = seconds(3600);
+  cfg.min_queue_delay = seconds(3600);
+  cfg.codel_target = seconds(3600);
+  return cfg;
+}
+
+LoadManagerConfig bench_lm_config() {
+  LoadManagerConfig cfg;
+  cfg.interval = seconds(1);
+  cfg.cooldown = seconds(2);
+  cfg.replicate_above = milliseconds(10);
+  return cfg;
+}
+
+struct World {
+  explicit World(bool instances_everywhere) {
+    CohesionConfig cohesion;
+    cohesion.heartbeat = seconds(1);
+    net = std::make_unique<LocalNetwork>(cohesion);
+    for (int i = 0; i < kNodes; ++i) {
+      NodeProfile p;
+      p.cpu_power = 1.0;
+      nodes.push_back(&net->add_node(p));
+    }
+    net->settle();
+    for (Node* n : nodes) (void)n->install(clc::testing::calculator_package());
+    net->settle();
+    const int hosts = instances_everywhere ? kNodes : 1;
+    for (int i = 0; i < hosts; ++i)
+      (void)nodes[static_cast<std::size_t>(i)]->container().create(
+          "demo.calculator", VersionConstraint{});
+  }
+
+  /// Live nodes currently hosting at least one instance.
+  std::vector<Node*> hosts() const {
+    std::vector<Node*> out;
+    for (Node* n : net->nodes())
+      if (!n->container().instance_ids().empty()) out.push_back(n);
+    return out;
+  }
+
+  std::unique_ptr<LocalNetwork> net;
+  std::vector<Node*> nodes;
+};
+
+struct Outcome {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t unroutable = 0;
+  std::uint64_t good = 0;  // admitted and finished within the deadline
+  std::vector<Duration> response_us;  // response times of admitted calls
+  std::vector<double> goodput_timeline;  // per-second goodput, calls/s
+  std::uint64_t control_sheds = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t migrations = 0;
+  std::vector<std::string> actions;
+
+  double quantile(double q) const {
+    if (response_us.empty()) return 0;
+    auto sorted = response_us;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return static_cast<double>(sorted[idx]);
+  }
+  double goodput_hz(Duration run) const {
+    return static_cast<double>(good) / to_seconds(run);
+  }
+};
+
+/// Drive `multiple` x aggregate-capacity offered load for `run` virtual
+/// seconds. Events injects crash/partition actions keyed on elapsed time.
+Outcome drive(World& world, double multiple, Duration run, bool controlled,
+              const std::function<void(World&, Duration)>& events = {}) {
+  sim::OpenLoopConfig wl;
+  wl.arrival_rate_hz = multiple * node_capacity_hz() * kNodes;
+  wl.virtual_users = 200000;
+  wl.mix = kMix;
+  wl.seed = 0xE18ULL ^ static_cast<std::uint64_t>(multiple * 1000) ^
+            (controlled ? 0x1 : 0x0);
+
+  for (Node* n : world.nodes)
+    n->admission().configure(controlled ? controlled_admission()
+                                        : unbounded_admission());
+
+  LoadManager lm(*world.net, bench_lm_config());
+  const TimePoint start = world.net->now();
+  sim::OpenLoopGenerator gen(wl, start);
+
+  Outcome o;
+  std::vector<Node*> hosts = world.hosts();
+  std::size_t rr = 0;
+  std::uint64_t good_this_second = 0;
+  Duration last_bucket = 0;
+  // The net clock is authoritative: orb retry backoffs inside the harness
+  // advance it past our tick schedule (e.g. while peers chase a crashed
+  // node), and arrival timestamps must never fall behind the admission
+  // models' drain horizon.
+  while (world.net->now() - start < run) {
+    if (events) events(world, world.net->now() - start);
+    world.net->advance(kTick, kTick);
+    const TimePoint now = world.net->now();
+    const Duration elapsed = now - start;
+    hosts = world.hosts();
+    for (const sim::Arrival& a : gen.drain_until(now)) {
+      ++o.offered;
+      if (hosts.empty()) {
+        ++o.unroutable;
+        continue;
+      }
+      Node* target = hosts[rr++ % hosts.size()];
+      AdmissionController& ctrl = target->admission();
+      const Duration wait = ctrl.queue_delay(a.at);
+      if (!ctrl.admit(CallClass::application, a.at, a.cost).ok()) {
+        ++o.shed;
+        continue;
+      }
+      ++o.admitted;
+      const Duration response = wait + a.cost;  // drain_rate 1.0
+      o.response_us.push_back(response);
+      if (response <= kDeadline) {
+        ++o.good;
+        ++good_this_second;
+      }
+    }
+    if (controlled) lm.tick(now);
+    while (elapsed - last_bucket >= seconds(1)) {
+      o.goodput_timeline.push_back(static_cast<double>(good_this_second));
+      good_this_second = 0;
+      last_bucket += seconds(1);
+    }
+  }
+  for (Node* n : world.nodes) o.control_sheds += n->admission().shed_control_count();
+  o.replications = lm.replications();
+  o.migrations = lm.migrations();
+  o.actions = lm.action_log();
+  return o;
+}
+
+void print_row(const char* mode, double multiple, const Outcome& o,
+               Duration run, clc::bench::BenchReport& report) {
+  const double capacity = node_capacity_hz() * kNodes;
+  const double goodput_ratio = o.goodput_hz(run) / capacity;
+  const double shed_pct = o.offered == 0
+                              ? 0
+                              : 100.0 * static_cast<double>(o.shed) /
+                                    static_cast<double>(o.offered);
+  std::printf("%10s | %5.1fx | %8.1f | %8.1f | %8.1f | %6.1f%% | %7.1f%%\n",
+              mode, multiple, o.quantile(0.50) / 1000.0,
+              o.quantile(0.99) / 1000.0, o.quantile(0.999) / 1000.0, shed_pct,
+              100.0 * goodput_ratio);
+  char key[64];
+  std::snprintf(key, sizeof key, "sweep.%s.x%.1f", mode, multiple);
+  report.set(std::string(key) + ".p50_us", o.quantile(0.50));
+  report.set(std::string(key) + ".p99_us", o.quantile(0.99));
+  report.set(std::string(key) + ".p999_us", o.quantile(0.999));
+  report.set(std::string(key) + ".shed_pct", shed_pct);
+  report.set(std::string(key) + ".goodput_ratio", goodput_ratio);
+}
+
+}  // namespace
+
+int main() {
+  clc::bench::BenchReport report("overload");
+  const double capacity = node_capacity_hz() * kNodes;
+  std::printf("E18: overload robustness -- open-loop traffic vs admission + "
+              "load management\n");
+  std::printf("(3 nodes, capacity %.0f calls/s aggregate, heavy-tail mix "
+              "mean %.0f us, deadline %lld ms)\n\n",
+              capacity, mean_demand_us(),
+              static_cast<long long>(kDeadline / 1000));
+
+  // ---------------------------------------------------------------- sweep
+  const Duration kSweepRun = seconds(10);
+  std::printf("load sweep (all nodes hosting, 10s per point):\n");
+  std::printf("%10s | %6s | %8s | %8s | %8s | %7s | %8s\n", "mode", "load",
+              "p50 ms", "p99 ms", "p999 ms", "shed", "goodput");
+  std::printf("-----------+--------+----------+----------+----------+---------+---------\n");
+  double controlled_x2 = 0, baseline_x2 = 0;
+  for (const double multiple : {0.5, 1.0, 1.5, 2.0, 3.0}) {
+    for (const bool controlled : {false, true}) {
+      World world(/*instances_everywhere=*/true);
+      const Outcome o = drive(world, multiple, kSweepRun, controlled);
+      print_row(controlled ? "controlled" : "baseline", multiple, o,
+                kSweepRun, report);
+      const double ratio = o.goodput_hz(kSweepRun) / capacity;
+      if (multiple == 2.0 && controlled) controlled_x2 = ratio;
+      if (multiple == 2.0 && !controlled) baseline_x2 = ratio;
+    }
+  }
+
+  // -------------------------------------------------------------- hotspot
+  std::printf("\nhotspot (2x overload, one hosting node, LoadManager "
+              "replicates, 12s):\n");
+  {
+    World world(/*instances_everywhere=*/false);
+    const Duration kRun = seconds(12);
+    const Outcome o = drive(world, 2.0, kRun, /*controlled=*/true);
+    double tail = 0;
+    const std::size_t n = o.goodput_timeline.size();
+    for (std::size_t i = n >= 3 ? n - 3 : 0; i < n; ++i)
+      tail += o.goodput_timeline[i];
+    tail /= 3.0;
+    std::printf("  replications=%llu  final hosts=%zu  last-3s goodput "
+                "%.1f/s (%.1f%% of cluster capacity)\n",
+                static_cast<unsigned long long>(o.replications),
+                world.hosts().size(), tail, 100.0 * tail / capacity);
+    for (std::size_t i = 0; i < o.actions.size() && i < 6; ++i)
+      std::printf("    [lm] %s\n", o.actions[i].c_str());
+    report.set("hotspot.replications", static_cast<double>(o.replications));
+    report.set("hotspot.final_hosts",
+               static_cast<double>(world.hosts().size()));
+    report.set("hotspot.tail_goodput_ratio", tail / capacity);
+  }
+
+  // ---------------------------------------------------------------- crash
+  std::printf("\nmid-run crash (2x overload, node 3 down t=10s..20s, 30s):\n");
+  {
+    World world(/*instances_everywhere=*/true);
+    const NodeId victim = world.nodes[2]->id();
+    bool crashed = false, restarted = false;
+    const Outcome o = drive(
+        world, 2.0, seconds(30), /*controlled=*/true,
+        [&](World& w, Duration elapsed) {
+          if (!crashed && elapsed >= seconds(10)) {
+            w.net->crash(victim);
+            crashed = true;
+          }
+          if (!restarted && elapsed >= seconds(20)) {
+            w.net->restart(victim);
+            restarted = true;
+          }
+        });
+    const double ratio = o.goodput_hz(seconds(30)) / capacity;
+    // 10 of 30 seconds run on 2/3 of the fleet.
+    const double live_ratio = (20.0 + 10.0 * 2.0 / 3.0) / 30.0;
+    std::printf("  goodput %.1f%% of nominal capacity (%.1f%% of live "
+                "capacity), control-plane sheds=%llu, re-replications=%llu\n",
+                100.0 * ratio, 100.0 * ratio / live_ratio,
+                static_cast<unsigned long long>(o.control_sheds),
+                static_cast<unsigned long long>(o.replications));
+    report.set("crash.goodput_ratio", ratio);
+    report.set("crash.goodput_vs_live", ratio / live_ratio);
+    report.set("crash.control_sheds", static_cast<double>(o.control_sheds));
+    report.set("crash.replications", static_cast<double>(o.replications));
+  }
+
+  // ------------------------------------------------------------ partition
+  std::printf("\nmid-run partition (2x overload, node 3 isolated t=10s..20s, "
+              "30s):\n");
+  {
+    World world(/*instances_everywhere=*/true);
+    bool cut = false, healed = false;
+    const Outcome o = drive(
+        world, 2.0, seconds(30), /*controlled=*/true,
+        [&](World& w, Duration elapsed) {
+          if (!cut && elapsed >= seconds(10)) {
+            w.net->partition({w.nodes[0]->id(), w.nodes[1]->id()},
+                             {w.nodes[2]->id()});
+            cut = true;
+          }
+          if (!healed && elapsed >= seconds(20)) {
+            w.net->heal_partition();
+            healed = true;
+          }
+        });
+    const double ratio = o.goodput_hz(seconds(30)) / capacity;
+    std::printf("  goodput %.1f%% of nominal capacity, control-plane "
+                "sheds=%llu\n",
+                100.0 * ratio, static_cast<unsigned long long>(o.control_sheds));
+    report.set("partition.goodput_ratio", ratio);
+    report.set("partition.control_sheds",
+               static_cast<double>(o.control_sheds));
+  }
+
+  std::printf("\nshape check: baseline goodput collapses past 1x (%.1f%% at "
+              "2x); the controller holds >= 80%% (%.1f%% at 2x) and keeps "
+              "p99 of admitted work bounded.\n",
+              100.0 * baseline_x2, 100.0 * controlled_x2);
+  report.set("headline.baseline_x2_goodput_ratio", baseline_x2);
+  report.set("headline.controlled_x2_goodput_ratio", controlled_x2);
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "core/load_manager.hpp"
+
+#include <algorithm>
+
+namespace clc::core {
+
+LoadManager::LoadManager(LocalNetwork& network, LoadManagerConfig config)
+    : network_(network), config_(config) {}
+
+void LoadManager::tick(TimePoint now) {
+  if (last_round_ != 0 && now - last_round_ < config_.interval) return;
+  last_round_ = now;
+
+  auto nodes = network_.nodes();
+  if (nodes.empty()) return;
+
+  std::vector<Sample> samples;
+  samples.reserve(nodes.size());
+  for (Node* n : nodes) {
+    Sample s;
+    s.node = n;
+    s.delay = n->admission().queue_delay(now);
+    s.p99 = n->metrics().histogram("admission.queue_delay_us").quantile(0.99);
+    const std::uint64_t shed = n->admission().shed_count();
+    std::uint64_t& prev = last_shed_[n->id().value];
+    s.shed_delta = shed >= prev ? shed - prev : shed;
+    prev = shed;
+    s.headroom = n->resources().cpu_headroom();
+    // Consume the histogram so the next round's p99 is a fresh window, not
+    // the whole run's history (the SLO is about *current* tail latency).
+    n->metrics().reset("admission.queue_delay_us");
+    samples.push_back(s);
+  }
+
+  // Admission feedback: tighten on SLO breach, relax when calm.
+  for (Sample& s : samples) {
+    if (!s.node->admission().enabled()) continue;
+    const auto delay_us = static_cast<double>(s.delay);
+    if (s.p99 > config_.slo_p99_queue_delay_us ||
+        delay_us > config_.slo_p99_queue_delay_us) {
+      s.node->admission().tighten(config_.tighten_factor);
+      ++tightenings_;
+      actions_.push_back("tighten node=" + std::to_string(s.node->id().value) +
+                         " bound=" +
+                         std::to_string(s.node->admission().max_queue_delay()));
+    } else if (s.delay <= config_.idle_below && s.shed_delta == 0) {
+      // tighten() clamps at the configured maximum, so relaxing is just a
+      // factor > 1.
+      s.node->admission().tighten(config_.relax_factor);
+      ++relaxations_;
+    }
+  }
+
+  act_on_placement(samples, now);
+}
+
+void LoadManager::act_on_placement(std::vector<Sample>& samples,
+                                   TimePoint now) {
+  // Hottest node first (ties broken by id for determinism).
+  std::sort(samples.begin(), samples.end(), [](const Sample& a,
+                                               const Sample& b) {
+    if (a.delay != b.delay) return a.delay > b.delay;
+    return a.node->id().value < b.node->id().value;
+  });
+  Sample& hot = samples.front();
+  const bool pressured =
+      hot.delay >= config_.replicate_above || hot.shed_delta > 0;
+  if (!pressured) return;
+  const TimePoint hot_last = last_placement_[hot.node->id().value];
+  if (hot_last != 0 && now - hot_last < config_.cooldown) return;
+
+  // Idlest target: most headroom among sufficiently calm peers that are
+  // not mid-cooldown themselves.
+  Sample* target = nullptr;
+  for (Sample& s : samples) {
+    if (s.node == hot.node || s.delay > config_.idle_below) continue;
+    const TimePoint t_last = last_placement_[s.node->id().value];
+    if (t_last != 0 && now - t_last < config_.cooldown) continue;
+    if (target == nullptr || s.headroom > target->headroom) target = &s;
+  }
+  if (target == nullptr) return;
+
+  const auto instances = hot.node->container().instance_ids();
+  if (instances.empty()) return;
+  const InstanceId instance = instances.front();
+
+  const auto saturated = static_cast<Duration>(
+      static_cast<double>(config_.replicate_above) * config_.migrate_multiple);
+  const NodeId to = target->node->id();
+  if (hot.delay >= saturated && instances.size() > 1) {
+    // Saturated with multiple instances: actively move one away.
+    if (auto moved = hot.node->migrate_instance(instance, to); moved.ok()) {
+      ++migrations_;
+      actions_.push_back("migrate instance=" + std::to_string(instance.value) +
+                         " from=" + std::to_string(hot.node->id().value) +
+                         " to=" + std::to_string(to.value));
+    } else {
+      actions_.push_back("migrate_failed from=" +
+                         std::to_string(hot.node->id().value) + " " +
+                         moved.error().to_string());
+      return;
+    }
+  } else {
+    if (auto copy = hot.node->replicate_instance(instance, to); copy.ok()) {
+      ++replications_;
+      actions_.push_back("replicate instance=" +
+                         std::to_string(instance.value) + " from=" +
+                         std::to_string(hot.node->id().value) + " to=" +
+                         std::to_string(to.value));
+    } else {
+      actions_.push_back("replicate_failed from=" +
+                         std::to_string(hot.node->id().value) + " " +
+                         copy.error().to_string());
+      return;
+    }
+  }
+  last_placement_[hot.node->id().value] = now;
+  last_placement_[to.value] = now;
+}
+
+}  // namespace clc::core

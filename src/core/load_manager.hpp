@@ -1,0 +1,97 @@
+// Closed-loop load management (overload robustness, DESIGN.md §16).
+//
+// The paper motivates run-time deployment with "intelligent scheduling,
+// migration and load balancing"; LoadManager is that control loop. Each
+// control round it samples every live node's admission model (instantaneous
+// queue-delay estimate, windowed p99 of the queue-delay histogram, shed
+// deltas, CPU headroom) and closes three feedback paths:
+//
+//  * Admission feedback: a node whose windowed p99 queue delay breaches the
+//    SLO gets its admission bound tightened (shedding earlier, keeping the
+//    latency of admitted work bounded); a calm node's bound relaxes back
+//    toward its configured maximum.
+//  * Replication: the hottest node's busiest component gains a replica on
+//    the most idle node, so subsequent bindings spread the offered load.
+//  * Migration: a saturated node (delay at a multiple of the replicate
+//    threshold) actively moves an instance away instead of just copying.
+//
+// All decisions are pure functions of the sampled metrics and the virtual
+// clock, so overload scenarios replay deterministically. Placement actions
+// carry a per-node cooldown to prevent thrash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "util/clock.hpp"
+
+namespace clc::core {
+
+struct LoadManagerConfig {
+  /// Minimum spacing between control rounds; tick() is a no-op in between.
+  Duration interval = seconds(2);
+  /// SLO on the windowed p99 queue delay (µs); a breach tightens admission.
+  double slo_p99_queue_delay_us = 50000.0;
+  /// Instantaneous queue delay marking a node hot enough to replicate off.
+  Duration replicate_above = milliseconds(20);
+  /// Saturation: delay at this multiple of replicate_above migrates an
+  /// instance away instead of replicating a copy.
+  double migrate_multiple = 3.0;
+  /// A node this idle is a placement target (and its admission relaxes).
+  Duration idle_below = milliseconds(1);
+  double tighten_factor = 0.7;
+  double relax_factor = 1.25;
+  /// Per-node spacing between placement actions (source or target).
+  Duration cooldown = seconds(4);
+};
+
+class LoadManager {
+ public:
+  explicit LoadManager(LocalNetwork& network, LoadManagerConfig config = {});
+
+  /// One control round (rate-limited to config.interval). Reads metrics,
+  /// then acts; every action lands in the deterministic action log.
+  void tick(TimePoint now);
+
+  [[nodiscard]] const std::vector<std::string>& action_log() const noexcept {
+    return actions_;
+  }
+  [[nodiscard]] std::uint64_t replications() const noexcept {
+    return replications_;
+  }
+  [[nodiscard]] std::uint64_t migrations() const noexcept {
+    return migrations_;
+  }
+  [[nodiscard]] std::uint64_t tightenings() const noexcept {
+    return tightenings_;
+  }
+  [[nodiscard]] std::uint64_t relaxations() const noexcept {
+    return relaxations_;
+  }
+
+ private:
+  struct Sample {
+    Node* node = nullptr;
+    Duration delay = 0;          // instantaneous queue-delay estimate
+    double p99 = 0.0;            // windowed p99 queue delay, µs
+    std::uint64_t shed_delta = 0;
+    double headroom = 0.0;
+  };
+  void act_on_placement(std::vector<Sample>& samples, TimePoint now);
+
+  LocalNetwork& network_;
+  LoadManagerConfig config_;
+  TimePoint last_round_ = 0;
+  std::map<std::uint64_t, std::uint64_t> last_shed_;    // node id -> count
+  std::map<std::uint64_t, TimePoint> last_placement_;   // node id -> time
+  std::vector<std::string> actions_;
+  std::uint64_t replications_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t tightenings_ = 0;
+  std::uint64_t relaxations_ = 0;
+};
+
+}  // namespace clc::core

@@ -21,6 +21,34 @@ Uuid node_service_key(NodeId id) {
 /// and cohesion protocol messages (which the protocol already dedupes).
 constexpr orb::InvokeOptions kIdempotent{.idempotent = true};
 
+/// Orb-facing adapter over the node's AdmissionController. Classifies
+/// clc::* internal interfaces (NodeService cohesion/failover traffic, the
+/// directory, zone routing) as control-plane -- shed strictly after
+/// application calls -- and everything else as application traffic.
+class NodeAdmissionGate final : public orb::AdmissionGate {
+ public:
+  NodeAdmissionGate(AdmissionController& ctrl, const Clock& clock)
+      : ctrl_(ctrl), clock_(clock) {}
+
+  Result<void> admit(const std::string& interface_name,
+                     const std::string& /*operation*/) override {
+    const auto cls = interface_name.rfind("clc::", 0) == 0
+                         ? CallClass::control
+                         : CallClass::application;
+    return ctrl_.admit(cls, clock_.now());
+  }
+  std::uint32_t credit_hint() override {
+    return ctrl_.credit_window(clock_.now());
+  }
+  std::uint64_t queue_delay_us() override {
+    return static_cast<std::uint64_t>(ctrl_.queue_delay(clock_.now()));
+  }
+
+ private:
+  AdmissionController& ctrl_;
+  const Clock& clock_;
+};
+
 constexpr const char* kNodeIdl = R"(
 module clc {
   typedef sequence<octet> Blob;
@@ -262,6 +290,7 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
       network_(network),
       tracer_(id, network.trace_collector(),
               [this] { return network_.now(); }),
+      admission_(metrics_),
       types_(std::make_shared<idl::InterfaceRepository>()),
       orb_(std::make_unique<orb::Orb>(id, types_, &metrics_)),
       resources_(profile, &metrics_),
@@ -308,6 +337,8 @@ Node::Node(NodeId id, NodeProfile profile, LocalNetwork& network,
                                   &metrics_));
   orb_->set_clock(&network_.clock());
   orb_->set_sleep_fn([this](Duration d) { network_.clock().advance(d); });
+  orb_->set_admission_gate(
+      std::make_shared<NodeAdmissionGate>(admission_, network_.clock()));
   orb::InvocationPolicies policies;
   policies.deadline = seconds(5);
   policies.retry.max_attempts = 4;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.hpp"
 #include "core/cohesion.hpp"
 #include "core/container.hpp"
 #include "core/failover.hpp"
@@ -94,6 +95,11 @@ class Node {
   /// The node's unified metrics registry ("orb.*", "cohesion.*", ...).
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  /// Per-node admission controller gating every dispatched request
+  /// (disabled by default; overload tiers enable and configure it).
+  [[nodiscard]] AdmissionController& admission() noexcept {
+    return admission_;
+  }
 
   // ------------------------------------------------------------ lifecycle
   /// Found a new logical network (first node).
@@ -280,6 +286,9 @@ class Node {
   LocalNetwork& network_;
   obs::MetricsRegistry metrics_;  // before orb_/cohesion_: they cache into it
   obs::Tracer tracer_;
+  // Before orb_: the orb's admission gate adapter points at it, and the orb
+  // (destroyed first) must not outlive the controller.
+  AdmissionController admission_;
   std::shared_ptr<idl::InterfaceRepository> types_;
   std::unique_ptr<orb::Orb> orb_;
   ResourceManager resources_;

@@ -150,7 +150,8 @@ std::string MetricsRegistry::to_text() const {
   for (const auto& [name, h] : histograms_) {
     out << name << " count=" << h->count() << " sum=" << h->sum()
         << " min=" << h->min() << " max=" << h->max() << " mean=" << h->mean()
-        << " p50=" << h->quantile(0.5) << " p99=" << h->quantile(0.99) << "\n";
+        << " p50=" << h->quantile(0.5) << " p99=" << h->quantile(0.99)
+        << " p999=" << h->quantile(0.999) << "\n";
   }
   return out.str();
 }
@@ -181,7 +182,7 @@ std::string MetricsRegistry::to_json() const {
         << ",\"sum\":" << h->sum() << ",\"min\":" << h->min()
         << ",\"max\":" << h->max() << ",\"mean\":" << h->mean()
         << ",\"p50\":" << h->quantile(0.5) << ",\"p99\":" << h->quantile(0.99)
-        << ",\"buckets\":[";
+        << ",\"p999\":" << h->quantile(0.999) << ",\"buckets\":[";
     const auto& bounds = h->bounds();
     const auto counts = h->bucket_counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {

@@ -150,7 +150,7 @@ Result<ReplyMessage> ReplyMessage::decode(CdrReader& r) {
   m.request_id = RequestId{*id};
   auto status = r.read_octet();
   if (!status) return status.error();
-  if (*status > static_cast<std::uint8_t>(ReplyStatus::object_not_found))
+  if (*status > static_cast<std::uint8_t>(ReplyStatus::busy))
     return Error{Errc::corrupt_data, "bad reply status"};
   m.status = static_cast<ReplyStatus>(*status);
   auto ex = r.read_string();
@@ -199,6 +199,43 @@ std::optional<ZoneContext> ZoneContext::find(
     const std::vector<ServiceContext>& contexts) {
   for (const auto& c : contexts)
     if (c.id == kZoneContextId) return decode(c.data);
+  return std::nullopt;
+}
+
+Bytes CreditContext::encode() const {
+  CdrWriter w;
+  w.begin_encapsulation();
+  w.write_ulong(window);
+  w.write_ulonglong(queue_delay_us);
+  return w.take();
+}
+
+std::optional<CreditContext> CreditContext::decode(BytesView data) {
+  CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc.ok()) return std::nullopt;
+  auto window = r.read_ulong();
+  auto delay = r.read_ulonglong();
+  if (!window || !delay) return std::nullopt;
+  CreditContext ctx;
+  ctx.window = *window;
+  ctx.queue_delay_us = *delay;
+  return ctx;
+}
+
+void CreditContext::attach(std::vector<ServiceContext>& contexts) const {
+  for (auto& c : contexts) {
+    if (c.id == kCreditContextId) {
+      c.data = encode();
+      return;
+    }
+  }
+  contexts.push_back({kCreditContextId, encode()});
+}
+
+std::optional<CreditContext> CreditContext::find(
+    const std::vector<ServiceContext>& contexts) {
+  for (const auto& c : contexts)
+    if (c.id == kCreditContextId) return decode(c.data);
   return std::nullopt;
 }
 

@@ -37,6 +37,7 @@ enum class ReplyStatus : std::uint8_t {
   user_exception = 1,
   system_exception = 2,
   object_not_found = 3,
+  busy = 4,  // admission control shed the call; maps to Errc::overloaded
 };
 
 /// Interceptor-attached tagged metadata riding a message frame.
@@ -87,6 +88,30 @@ struct ZoneContext {
   void attach(std::vector<ServiceContext>& contexts) const;
   /// The zone context riding `contexts`, if any.
   static std::optional<ZoneContext> find(
+      const std::vector<ServiceContext>& contexts);
+};
+
+/// Service-context tag of the flow-credit context ("CRDT"). A server whose
+/// dispatch queue crosses high-water piggybacks it on replies (normal and
+/// BUSY alike) to tell the client how deep a pipeline this endpoint can
+/// absorb right now. Unpressured servers never attach it, keeping their
+/// replies byte-identical to the pre-credit protocol (pinned by
+/// wire_golden_test).
+inline constexpr std::uint32_t kCreditContextId = 0x43524454;
+
+struct CreditContext {
+  std::uint32_t window = 0;         // suggested max in-flight calls; >= 1
+  std::uint64_t queue_delay_us = 0; // server's current queue-delay estimate
+
+  bool operator==(const CreditContext&) const = default;
+
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<CreditContext> decode(BytesView data);
+
+  /// Append this context to a message's service-context list.
+  void attach(std::vector<ServiceContext>& contexts) const;
+  /// The credit context riding `contexts`, if any.
+  static std::optional<CreditContext> find(
       const std::vector<ServiceContext>& contexts);
 };
 

@@ -12,6 +12,16 @@ namespace clc::orb {
 using idl::OperationDef;
 using idl::ParamDirection;
 
+namespace {
+/// An endpoint whose credit window ramps (additively, one per hint-free
+/// reply) past this is considered unpressured again: the window resets to
+/// unlimited so steady-state pipelines pay no accounting.
+constexpr std::uint32_t kFlowRecoveryLimit = 256;
+/// Cap on the per-endpoint consecutive-failure streak: bounds the backoff
+/// exponent contributed by endpoint memory (initial * multiplier^(cap-1)).
+constexpr int kMaxFailureStreak = 8;
+}  // namespace
+
 namespace detail {
 
 /// One in-flight remote invocation: owns the encoded frame, the policy
@@ -36,6 +46,7 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
   Duration deadline = 0;
   int max_attempts = 1;
   int attempt = 1;
+  bool holds_flow_slot = false;  // set under Orb::flow_mutex_
   CircuitBreaker* breaker = nullptr;
   TimePoint started = 0;         // resilience budget epoch
   TimePoint invoke_started = 0;  // latency histogram epoch
@@ -78,6 +89,7 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
         handle_failure(r.error());
       } else {
         if (breaker != nullptr) breaker->on_success();
+        orb->note_endpoint_success(endpoint);
         finish(InvokeOutcome{});
       }
       return;
@@ -96,6 +108,7 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
     auto out = decode_frame(*r);
     if (out.ok()) {
       if (breaker != nullptr) breaker->on_success();
+      orb->note_endpoint_success(endpoint);
       finish(std::move(out));
       return;
     }
@@ -110,6 +123,15 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
       return Error{Errc::corrupt_data, "expected reply frame"};
     auto reply = ReplyMessage::decode(r);
     if (!reply) return reply.error();
+    // Backpressure: adopt a piggybacked credit hint before the contexts
+    // move on; a successful hint-free reply instead ramps a narrowed
+    // window back toward unlimited.
+    if (auto credit = CreditContext::find(reply->service_contexts)) {
+      orb->note_credit(endpoint, credit->window);
+    } else if (reply->status == ReplyStatus::no_exception ||
+               reply->status == ReplyStatus::user_exception) {
+      orb->note_credit_absent(endpoint);
+    }
     if (intercept) info.set_incoming(std::move(reply->service_contexts));
     // Before completion the args vector is owned by this machinery alone,
     // so out/inout values decode straight into their final home.
@@ -122,17 +144,28 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
       finish(e);
       return;
     }
-    if (breaker != nullptr && breaker->on_failure(orb->clock_->now())) {
+    // A BUSY reply is backpressure, not death: the server answered, it just
+    // shed the call. It never counts as a breaker failure (shed != dead),
+    // but it does feed the endpoint backoff memory below, so retries slow
+    // down instead of re-hammering the overloaded peer.
+    if (e.code != Errc::overloaded && breaker != nullptr &&
+        breaker->on_failure(orb->clock_->now())) {
       orb->breaker_opened_->inc();
       CLC_LOG(warn, "orb") << "circuit opened for " << endpoint << " after "
                            << errc_name(e.code);
     }
+    const int streak = orb->note_endpoint_failure(endpoint);
     if (attempt >= max_attempts) {
       finish(e);
       return;
     }
     orb->retries_->inc();
-    Duration wait = backoff_delay(snap.policies.retry, attempt, rng);
+    // Backoff position is max(this call's attempt, the endpoint's failure
+    // streak): a fresh invocation after a failed breaker half-open probe
+    // resumes the backoff curve where the endpoint's history left it
+    // instead of restarting from the base delay.
+    Duration wait =
+        backoff_delay(snap.policies.retry, std::max(attempt, streak), rng);
     if (deadline > 0) {
       const Duration remaining = deadline - (orb->clock_->now() - started);
       if (remaining <= 0) {
@@ -158,6 +191,12 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
   /// Publish the outcome: reply-side interceptors, latency histogram, then
   /// wake the PendingInvocation (and run its continuations).
   void finish(Result<InvokeOutcome> out) {
+    if (holds_flow_slot) {
+      // Release the endpoint's in-flight slot first: a continuation may
+      // immediately issue the next pipelined call.
+      holds_flow_slot = false;
+      orb->flow_release(endpoint);
+    }
     if (intercept) {
       if (!out)
         info.set_failed(errc_name(out.error().code));
@@ -196,6 +235,11 @@ Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
       deadline_exceeded_(&metrics_->counter("orb.deadline_exceeded")),
       breaker_opened_(&metrics_->counter("orb.breaker_opened")),
       breaker_rejected_(&metrics_->counter("orb.breaker_rejected")),
+      server_shed_(&metrics_->counter("orb.server_shed")),
+      backpressure_deferred_(&metrics_->counter("orb.backpressure_deferred")),
+      credit_hints_(&metrics_->counter("orb.credit_hints")),
+      inflight_gauge_(&metrics_->gauge("orb.inflight")),
+      queue_depth_gauge_(&metrics_->gauge("orb.queue_depth")),
       invoke_us_(&metrics_->histogram("orb.invoke_us")) {
   interceptors_.set_error_counter(&metrics_->counter("orb.interceptor_errors"));
   // Base IDL every CORBA-LC peer shares.
@@ -286,6 +330,32 @@ Bytes Orb::handle_frame_impl(BytesView frame, bool intercept_server) {
   }
   invocations_served_->inc();
 
+  // Admission control (DESIGN.md §16): gate before any dispatch work. A
+  // shed call answers with a BUSY reply carrying Errc::overloaded (plus a
+  // credit hint), skipping unmarshalling and the servant entirely.
+  std::shared_ptr<AdmissionGate> gate;
+  {
+    std::shared_lock lock(policy_mutex_);
+    gate = admission_gate_;
+  }
+  std::uint32_t credit = 0;
+  if (gate != nullptr) {
+    if (auto admitted = gate->admit(req->interface_name, req->operation);
+        !admitted.ok()) {
+      server_shed_->inc();
+      if (!req->response_expected) return {};
+      ReplyMessage busy;
+      busy.request_id = req->request_id;
+      busy.status = ReplyStatus::busy;
+      busy.exception_id = errc_name(Errc::overloaded);
+      busy.payload = bytes_of(admitted.error().message);
+      if (const std::uint32_t w = gate->credit_hint(); w > 0)
+        CreditContext{w, gate->queue_delay_us()}.attach(busy.service_contexts);
+      return busy.encode();
+    }
+    credit = gate->credit_hint();
+  }
+
   const bool intercept = intercept_server && interceptors_.has_server();
   obs::RequestInfo info(req->request_id.value, req->operation,
                         req->interface_name);
@@ -309,9 +379,18 @@ Bytes Orb::handle_frame_impl(BytesView frame, bool intercept_server) {
     err.exception_id = errc_name(reply.error().code);
     err.payload = bytes_of(reply.error().message);
     err.service_contexts = info.take_outgoing();
+    if (credit > 0)
+      CreditContext{credit, gate->queue_delay_us()}.attach(
+          err.service_contexts);
     return err.encode();
   }
   reply->service_contexts = info.take_outgoing();
+  // Piggyback the credit hint while the dispatch queue is pressured; an
+  // unpressured server attaches nothing, keeping replies byte-identical to
+  // the pre-credit protocol.
+  if (credit > 0)
+    CreditContext{credit, gate->queue_delay_us()}.attach(
+        reply->service_contexts);
   return reply->encode();
 }
 
@@ -445,6 +524,10 @@ Result<InvokeOutcome> Orb::decode_reply(const OperationDef& op,
                        string_of(reply.payload)};
     case ReplyStatus::object_not_found:
       return Error{Errc::not_found, string_of(reply.payload)};
+    case ReplyStatus::busy:
+      // Admission control shed the call: retryable, and deliberately not a
+      // breaker failure at the caller -- the server is alive.
+      return Error{Errc::overloaded, string_of(reply.payload)};
     case ReplyStatus::user_exception: {
       CdrReader r(reply.payload);
       if (auto enc = r.begin_encapsulation(); !enc.ok()) return enc.error();
@@ -497,6 +580,131 @@ CircuitBreaker::State Orb::breaker_state(const std::string& endpoint) const {
   auto it = breakers_.find(endpoint);
   return it == breakers_.end() ? CircuitBreaker::State::closed
                                : it->second->state();
+}
+
+// ---------------------------------------------------------------------------
+// Credit-window flow control (client side of the backpressure loop)
+
+bool Orb::flow_acquire(const std::string& endpoint,
+                       const std::shared_ptr<detail::AsyncCall>& call) {
+  std::lock_guard lock(flow_mutex_);
+  auto& f = flows_[endpoint];
+  if (f.limit == 0 || f.inflight < f.limit) {
+    ++f.inflight;
+    inflight_gauge_->add(1);
+    call->holds_flow_slot = true;
+    return true;
+  }
+  f.deferred.push_back(call);
+  queue_depth_gauge_->add(1);
+  backpressure_deferred_->inc();
+  return false;
+}
+
+void Orb::flow_release(const std::string& endpoint) {
+  {
+    std::lock_guard lock(flow_mutex_);
+    auto it = flows_.find(endpoint);
+    if (it == flows_.end()) return;
+    if (it->second.inflight > 0) {
+      --it->second.inflight;
+      inflight_gauge_->add(-1);
+    }
+  }
+  flow_drain(endpoint);
+}
+
+void Orb::flow_drain(const std::string& endpoint) {
+  {
+    std::lock_guard lock(flow_mutex_);
+    auto it = flows_.find(endpoint);
+    if (it == flows_.end() || it->second.draining) return;
+    it->second.draining = true;
+  }
+  // Iterative drain: a granted call may complete inline (loopback) and
+  // re-enter flow_release, which sees `draining` set and returns after the
+  // decrement -- this loop picks the freed slot up on its next pass, so
+  // chains of fast completions never recurse.
+  for (;;) {
+    std::shared_ptr<detail::AsyncCall> next;
+    {
+      std::lock_guard lock(flow_mutex_);
+      auto& f = flows_[endpoint];
+      if (f.deferred.empty() || (f.limit != 0 && f.inflight >= f.limit)) {
+        f.draining = false;
+        return;
+      }
+      next = std::move(f.deferred.front());
+      f.deferred.pop_front();
+      queue_depth_gauge_->add(-1);
+      ++f.inflight;
+      inflight_gauge_->add(1);
+      next->holds_flow_slot = true;
+    }
+    // start_attempt re-checks the deadline, so a call that expired while
+    // parked finishes with timeout here rather than hitting the wire.
+    next->start_attempt();
+  }
+}
+
+void Orb::note_credit(const std::string& endpoint, std::uint32_t window) {
+  credit_hints_->inc();
+  {
+    std::lock_guard lock(flow_mutex_);
+    flows_[endpoint].limit = std::max<std::uint32_t>(1, window);
+  }
+  flow_drain(endpoint);  // the window may have widened
+}
+
+void Orb::note_credit_absent(const std::string& endpoint) {
+  {
+    std::lock_guard lock(flow_mutex_);
+    auto it = flows_.find(endpoint);
+    if (it == flows_.end() || it->second.limit == 0) return;
+    // Additive ramp back toward unlimited once the server stops hinting.
+    if (++it->second.limit >= kFlowRecoveryLimit) it->second.limit = 0;
+  }
+  flow_drain(endpoint);
+}
+
+std::uint32_t Orb::endpoint_credit_window(const std::string& endpoint) const {
+  std::lock_guard lock(flow_mutex_);
+  auto it = flows_.find(endpoint);
+  return it == flows_.end() ? 0 : it->second.limit;
+}
+
+std::uint32_t Orb::endpoint_inflight(const std::string& endpoint) const {
+  std::lock_guard lock(flow_mutex_);
+  auto it = flows_.find(endpoint);
+  return it == flows_.end() ? 0 : it->second.inflight;
+}
+
+std::size_t Orb::endpoint_deferred(const std::string& endpoint) const {
+  std::lock_guard lock(flow_mutex_);
+  auto it = flows_.find(endpoint);
+  return it == flows_.end() ? 0 : it->second.deferred.size();
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint backoff memory (survives breaker half-open probes)
+
+int Orb::note_endpoint_failure(const std::string& endpoint) {
+  std::lock_guard lock(breaker_mutex_);
+  int& streak = failure_streaks_[endpoint];
+  if (streak < kMaxFailureStreak) ++streak;
+  return streak;
+}
+
+void Orb::note_endpoint_success(const std::string& endpoint) {
+  std::lock_guard lock(breaker_mutex_);
+  auto it = failure_streaks_.find(endpoint);
+  if (it != failure_streaks_.end()) it->second = 0;
+}
+
+int Orb::endpoint_failure_streak(const std::string& endpoint) const {
+  std::lock_guard lock(breaker_mutex_);
+  auto it = failure_streaks_.find(endpoint);
+  return it == failure_streaks_.end() ? 0 : it->second;
 }
 
 std::shared_ptr<detail::PendingState> Orb::invoke_pending(
@@ -572,7 +780,10 @@ std::shared_ptr<detail::PendingState> Orb::invoke_pending(
       may_retry ? std::max(1, call->snap.policies.retry.max_attempts) : 1;
   call->breaker = breaker_for(target.endpoint, call->snap.policies.breaker);
   call->started = clock_->now();
-  call->start_attempt();
+  // Credit-window flow control: either an in-flight slot is free now, or
+  // the call parks in the endpoint's deferred queue and a completion will
+  // start it. Deadlines keep counting while parked.
+  if (flow_acquire(target.endpoint, call)) call->start_attempt();
   return state;
 }
 

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -127,6 +128,24 @@ namespace detail {
 struct AsyncCall;
 }  // namespace detail
 
+/// Server-side admission gate (DESIGN.md §16). The owning Node installs an
+/// adapter over core::AdmissionController; the Orb consults it before
+/// dispatching each decoded request and answers shed calls with a BUSY
+/// reply carrying Errc::overloaded -- retryable, so clients distinguish
+/// "shed" from "dead". The gate also supplies the credit hint the server
+/// piggybacks on replies while its queue is pressured.
+class AdmissionGate {
+ public:
+  virtual ~AdmissionGate() = default;
+  /// Gate one request before dispatch; an error sheds the call.
+  virtual Result<void> admit(const std::string& interface_name,
+                             const std::string& operation) = 0;
+  /// Per-client in-flight window to piggyback on replies; 0 = no hint.
+  virtual std::uint32_t credit_hint() = 0;
+  /// Current queue-delay estimate in µs (rides the credit context).
+  virtual std::uint64_t queue_delay_us() = 0;
+};
+
 class Orb {
  public:
   /// `metrics` lets the owning Node share one registry across its layers;
@@ -180,6 +199,13 @@ class Orb {
   /// Transport-facing entry point: decode a frame, dispatch, encode reply.
   /// Thread-safe: a server worker pool may call it concurrently.
   Bytes handle_frame(BytesView frame);
+
+  /// Install (or clear, with nullptr) the admission gate consulted before
+  /// every dispatched request. Shed calls answer with a BUSY reply.
+  void set_admission_gate(std::shared_ptr<AdmissionGate> gate) {
+    std::unique_lock lock(policy_mutex_);
+    admission_gate_ = std::move(gate);
+  }
 
   // --------------------------------------------------------------- client
 
@@ -251,6 +277,23 @@ class Orb {
   [[nodiscard]] CircuitBreaker::State breaker_state(
       const std::string& endpoint) const;
 
+  // --------------------------------------------------------- backpressure
+
+  /// Current credit window toward an endpoint (0 = unlimited: no credit
+  /// hint received, or the server's pressure has cleared and the window
+  /// ramped back up).
+  [[nodiscard]] std::uint32_t endpoint_credit_window(
+      const std::string& endpoint) const;
+  /// Calls currently in flight toward / queued for an endpoint.
+  [[nodiscard]] std::uint32_t endpoint_inflight(
+      const std::string& endpoint) const;
+  [[nodiscard]] std::size_t endpoint_deferred(
+      const std::string& endpoint) const;
+  /// Consecutive transport-class failures recorded against an endpoint
+  /// (reset by any success). Feeds retry backoff so it survives breaker
+  /// half-open probes instead of restarting from the base delay.
+  [[nodiscard]] int endpoint_failure_streak(const std::string& endpoint) const;
+
   // --------------------------------------------------------- observability
 
   /// Portable-Interceptors-style hooks on the invocation path. Request-
@@ -311,6 +354,32 @@ class Orb {
   CircuitBreaker* breaker_for(const std::string& endpoint,
                               const BreakerPolicy& policy);
 
+  // Per-endpoint credit-window flow control (DESIGN.md §16). A call either
+  // acquires an in-flight slot immediately or parks in the deferred queue;
+  // completions release the slot and grant queued calls. `limit == 0`
+  // means unlimited (no server credit hint in effect).
+  struct EndpointFlow {
+    std::uint32_t limit = 0;
+    std::uint32_t inflight = 0;
+    bool draining = false;  // a drain loop is already running
+    std::deque<std::shared_ptr<detail::AsyncCall>> deferred;
+  };
+  /// True: slot acquired, start the attempt now. False: call parked; the
+  /// drain loop will start it when a slot frees up.
+  bool flow_acquire(const std::string& endpoint,
+                    const std::shared_ptr<detail::AsyncCall>& call);
+  void flow_release(const std::string& endpoint);
+  /// Grant deferred calls while slots are available (iterative, re-entrancy
+  /// safe via EndpointFlow::draining).
+  void flow_drain(const std::string& endpoint);
+  /// Reply carried a credit hint: adopt the advertised window.
+  void note_credit(const std::string& endpoint, std::uint32_t window);
+  /// Successful reply without a hint: ramp a limited window back up.
+  void note_credit_absent(const std::string& endpoint);
+  /// Endpoint-level backoff memory (survives breaker half-open probes).
+  int note_endpoint_failure(const std::string& endpoint);
+  void note_endpoint_success(const std::string& endpoint);
+
   NodeId node_id_;
   std::shared_ptr<idl::InterfaceRepository> repo_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
@@ -323,6 +392,11 @@ class Orb {
   obs::Counter* deadline_exceeded_;
   obs::Counter* breaker_opened_;
   obs::Counter* breaker_rejected_;
+  obs::Counter* server_shed_;
+  obs::Counter* backpressure_deferred_;
+  obs::Counter* credit_hints_;
+  obs::Gauge* inflight_gauge_;
+  obs::Gauge* queue_depth_gauge_;
   obs::Histogram* invoke_us_;
   obs::InterceptorChain interceptors_;
   CollocationPolicy collocation_policy_ = CollocationPolicy::direct;
@@ -339,8 +413,12 @@ class Orb {
   mutable std::shared_mutex policy_mutex_;
   InvocationPolicies policies_;          // under policy_mutex_
   std::function<void(Duration)> sleep_fn_;  // under policy_mutex_
+  std::shared_ptr<AdmissionGate> admission_gate_;  // under policy_mutex_
   mutable std::mutex breaker_mutex_;
   std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+  std::map<std::string, int> failure_streaks_;  // under breaker_mutex_
+  mutable std::mutex flow_mutex_;
+  std::map<std::string, EndpointFlow> flows_;   // under flow_mutex_
   mutable std::shared_mutex servants_mutex_;
   std::map<Uuid, std::shared_ptr<Servant>> servants_;
   std::set<Uuid> retired_;               // under servants_mutex_

@@ -26,9 +26,13 @@ namespace clc::orb {
 
 /// Transport-class failures that a retry can plausibly cure. Model errors
 /// (not_found, invalid_argument, user exceptions, ...) never retry.
+/// Errc::overloaded is retryable -- the server is alive, it shed the call
+/// under admission control -- but it is deliberately *not* a breaker
+/// failure (see Orb's retry machine): shed != dead.
 [[nodiscard]] constexpr bool errc_is_retryable(Errc c) noexcept {
   return c == Errc::timeout || c == Errc::unreachable ||
-         c == Errc::io_error || c == Errc::corrupt_data;
+         c == Errc::io_error || c == Errc::corrupt_data ||
+         c == Errc::overloaded;
 }
 
 struct RetryPolicy {

@@ -24,7 +24,9 @@ Session::Session(orb::Orb& orb, SessionConfig config, obs::Tracer* tracer)
       rebinds_(&orb.metrics().counter("session.rebinds")),
       notifications_(&orb.metrics().counter("dir.notifications")),
       calls_(&orb.metrics().counter("session.calls")),
-      errors_(&orb.metrics().counter("session.errors")) {
+      errors_(&orb.metrics().counter("session.errors")),
+      backpressure_backoffs_(
+          &orb.metrics().counter("session.backpressure_backoffs")) {
   // Byte-identical to the node-side registration, so either side may go
   // first (the InterfaceRepository admits identical redefinitions).
   (void)orb_.repository().register_idl(dir::directory_idl());
@@ -108,11 +110,19 @@ Result<orb::Value> Session::call(const std::string& service,
       if (out) return out;
       last = out.error();
       if (!rebindable(last.code)) break;
-      // The cached binding is dead, retired, or mid-failover: drop it and
-      // resolve afresh through the directory on the next round.
-      invalidate(service);
-      rebinds_->inc();
-      log_event("rebind " + service + " after " + errc_name(last.code));
+      if (last.code == Errc::overloaded) {
+        // The binding is alive, it shed us: keep the cached ref (a
+        // re-resolve would only add load) and just back off before the
+        // next round.
+        backpressure_backoffs_->inc();
+        log_event("backpressure " + service);
+      } else {
+        // The cached binding is dead, retired, or mid-failover: drop it and
+        // resolve afresh through the directory on the next round.
+        invalidate(service);
+        rebinds_->inc();
+        log_event("rebind " + service + " after " + errc_name(last.code));
+      }
     } else {
       last = ref.error();
       if (!rebindable(last.code)) break;

@@ -131,6 +131,7 @@ class Session {
   obs::Counter* notifications_;
   obs::Counter* calls_;
   obs::Counter* errors_;
+  obs::Counter* backpressure_backoffs_;
 };
 
 }  // namespace clc::session

@@ -1,0 +1,138 @@
+// Open-loop workload generation (overload robustness, DESIGN.md §16).
+//
+// Closed-loop load generators (N users, each think-then-call) are the wrong
+// model for overload experiments: when the server slows down, a closed-loop
+// generator slows down with it, so offered load self-throttles and the
+// interesting regime -- demand exceeding capacity -- never materialises.
+// OpenLoopGenerator instead models a large population of independent
+// virtual users (10^5..10^6) whose aggregate arrivals form a Poisson
+// process at a configured rate; arrivals keep coming at that rate no matter
+// how the system responds. That is exactly the regime admission control and
+// backpressure exist for.
+//
+// Request costs follow a heavy-tailed class mix (most calls cheap, a few
+// 10x, a rare tail 100x), which is what makes naive FIFO queues collapse:
+// one elephant stalls a convoy of mice. Everything runs on virtual time
+// from a seeded Rng, so a workload is a pure function of (config, seed) and
+// every overload scenario replays bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace clc::sim {
+
+/// One class in the request mix: selection weight + mean service cost.
+struct RequestClass {
+  double weight = 1.0;
+  Duration mean_cost = microseconds(200);
+};
+
+/// Default heavy-tail mix: 90% mice, 9% medium, 1% elephants (1x/10x/100x).
+inline std::vector<RequestClass> heavy_tail_mix(
+    Duration base_cost = microseconds(200)) {
+  return {{0.90, base_cost},
+          {0.09, base_cost * 10},
+          {0.01, base_cost * 100}};
+}
+
+struct OpenLoopConfig {
+  /// Aggregate arrival rate over the whole user population, calls/second.
+  double arrival_rate_hz = 1000.0;
+  /// Size of the virtual-user population arrivals are attributed to.
+  std::size_t virtual_users = 100000;
+  /// Request class mix (weights need not sum to 1; they are normalised).
+  std::vector<RequestClass> mix = heavy_tail_mix();
+  std::uint64_t seed = 0x0514EC7EDULL;
+};
+
+/// One generated request.
+struct Arrival {
+  TimePoint at = 0;          // virtual arrival time
+  std::uint64_t user = 0;    // which virtual user issued it
+  std::size_t cls = 0;       // index into the configured mix
+  Duration cost = 0;         // sampled service demand
+};
+
+class OpenLoopGenerator {
+ public:
+  explicit OpenLoopGenerator(OpenLoopConfig config, TimePoint start = 0)
+      : config_(std::move(config)), rng_(config_.seed), next_at_(start) {
+    total_weight_ = 0;
+    for (const auto& c : config_.mix) total_weight_ += c.weight;
+    if (config_.mix.empty() || total_weight_ <= 0) {
+      config_.mix = heavy_tail_mix();
+      total_weight_ = 1.0;
+    }
+    advance_clock();
+  }
+
+  /// Time of the next arrival (never decreases).
+  [[nodiscard]] TimePoint next_at() const noexcept { return next_at_; }
+
+  /// Pop the next arrival from the Poisson process.
+  Arrival next() {
+    Arrival a;
+    a.at = next_at_;
+    a.user = rng_.next_below(
+        static_cast<std::uint64_t>(config_.virtual_users == 0
+                                       ? 1
+                                       : config_.virtual_users));
+    a.cls = pick_class();
+    const auto mean =
+        static_cast<double>(config_.mix[a.cls].mean_cost);
+    a.cost = static_cast<Duration>(rng_.next_exponential(mean)) + 1;
+    ++generated_;
+    advance_clock();
+    return a;
+  }
+
+  /// Drain every arrival with at <= horizon, in time order.
+  std::vector<Arrival> drain_until(TimePoint horizon) {
+    std::vector<Arrival> out;
+    while (next_at_ <= horizon) out.push_back(next());
+    return out;
+  }
+
+  /// Retarget the offered load mid-run (e.g. a load sweep or flash crowd).
+  void set_arrival_rate(double hz) noexcept {
+    config_.arrival_rate_hz = hz > 0 ? hz : 1.0;
+  }
+  [[nodiscard]] double arrival_rate() const noexcept {
+    return config_.arrival_rate_hz;
+  }
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+  [[nodiscard]] const OpenLoopConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  std::size_t pick_class() {
+    double r = rng_.next_double() * total_weight_;
+    for (std::size_t i = 0; i < config_.mix.size(); ++i) {
+      r -= config_.mix[i].weight;
+      if (r < 0) return i;
+    }
+    return config_.mix.size() - 1;
+  }
+
+  void advance_clock() {
+    // Poisson process: exponential inter-arrival gaps at the current rate.
+    const double mean_gap_us = 1e6 / config_.arrival_rate_hz;
+    const auto gap =
+        static_cast<Duration>(rng_.next_exponential(mean_gap_us)) + 1;
+    next_at_ += gap;
+  }
+
+  OpenLoopConfig config_;
+  Rng rng_;
+  TimePoint next_at_;
+  double total_weight_ = 1.0;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace clc::sim

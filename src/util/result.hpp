@@ -36,6 +36,7 @@ enum class Errc {
   bad_state,
   remote_exception,
   cancelled,
+  overloaded,  // server shed the call (admission control); retry after backoff
 };
 
 /// Human-readable name of an error code (stable, used in logs and tests).
@@ -58,6 +59,7 @@ constexpr const char* errc_name(Errc c) noexcept {
     case Errc::bad_state: return "bad_state";
     case Errc::remote_exception: return "remote_exception";
     case Errc::cancelled: return "cancelled";
+    case Errc::overloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -67,7 +69,7 @@ constexpr const char* errc_name(Errc c) noexcept {
 /// (the wire carries the errc name).
 constexpr Errc errc_from_name(std::string_view name,
                               Errc fallback = Errc::remote_exception) noexcept {
-  for (int c = 0; c <= static_cast<int>(Errc::cancelled); ++c) {
+  for (int c = 0; c <= static_cast<int>(Errc::overloaded); ++c) {
     if (name == errc_name(static_cast<Errc>(c))) return static_cast<Errc>(c);
   }
   return fallback;

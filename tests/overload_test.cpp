@@ -1,0 +1,478 @@
+// Overload robustness tests (DESIGN.md §16): admission-control shedding
+// with priority classes and CoDel, the BUSY wire path (Errc::overloaded,
+// retryable but never a breaker failure), credit-window backpressure
+// adoption on the client, endpoint backoff memory across calls, the
+// session's shed-without-rebind behavior, the closed-loop LoadManager, and
+// the 5x-overload chaos scenario where application work sheds while the
+// control plane (cohesion heartbeats, failover checkpoints) keeps flowing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/load_manager.hpp"
+#include "core/node.hpp"
+#include "orb/resilience.hpp"
+#include "session/session.hpp"
+#include "sim/openloop.hpp"
+#include "support/test_components.hpp"
+
+namespace clc::core {
+namespace {
+
+using testing::calculator_package;
+using testing::counter_package;
+
+CohesionConfig fast_cohesion() {
+  CohesionConfig cfg;
+  cfg.heartbeat = seconds(1);
+  cfg.group_size = 8;
+  cfg.query_timeout = seconds(3);
+  return cfg;
+}
+
+FailoverConfig fast_failover() {
+  FailoverConfig cfg;
+  cfg.checkpoint_interval = seconds(2);
+  cfg.replicas = 2;
+  return cfg;
+}
+
+struct World {
+  explicit World(std::size_t n) : net(fast_cohesion(), fast_failover()) {
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(&net.add_node());
+    net.settle();
+  }
+  LocalNetwork net;
+  std::vector<Node*> nodes;
+};
+
+AdmissionConfig tight_admission() {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.drain_rate = 1.0;
+  cfg.max_queue_delay = milliseconds(100);
+  cfg.codel_target = milliseconds(5);
+  cfg.codel_interval = milliseconds(100);
+  return cfg;
+}
+
+// ------------------------------------------------------ admission controller
+
+TEST(Admission, DisabledAdmitsEverythingWithoutModelling) {
+  obs::MetricsRegistry metrics;
+  AdmissionController ctrl(metrics);  // enabled=false by default
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(ctrl.admit(CallClass::application, 0, seconds(1)).ok());
+  EXPECT_EQ(ctrl.admitted_count(), 1000u);
+  EXPECT_EQ(ctrl.shed_count(), 0u);
+  EXPECT_EQ(ctrl.queue_delay(0), 0) << "disabled controller must not model";
+}
+
+TEST(Admission, ShedsApplicationBeyondHardBound) {
+  obs::MetricsRegistry metrics;
+  AdmissionController ctrl(metrics, tight_admission());
+  // Stuff 150ms of work: above the 100ms application bound, below the
+  // 200ms control bound (headroom 1.0).
+  ASSERT_TRUE(ctrl.admit(CallClass::application, 0, milliseconds(150)).ok());
+  EXPECT_EQ(ctrl.queue_delay(0), milliseconds(150));
+
+  auto app = ctrl.admit(CallClass::application, 0);
+  ASSERT_FALSE(app.ok());
+  EXPECT_EQ(app.error().code, Errc::overloaded);
+  EXPECT_TRUE(orb::errc_is_retryable(Errc::overloaded));
+
+  // Control traffic still admits inside its headroom...
+  EXPECT_TRUE(ctrl.admit(CallClass::control, 0).ok());
+  // ...but is shed once even the control bound is blown.
+  ASSERT_TRUE(ctrl.admit(CallClass::control, 0, milliseconds(100)).ok());
+  auto control = ctrl.admit(CallClass::control, 0);
+  ASSERT_FALSE(control.ok());
+  EXPECT_EQ(control.error().code, Errc::overloaded);
+  EXPECT_EQ(ctrl.shed_control_count(), 1u);
+}
+
+TEST(Admission, BacklogDrainsWithVirtualTime) {
+  obs::MetricsRegistry metrics;
+  AdmissionController ctrl(metrics, tight_admission());
+  ASSERT_TRUE(ctrl.admit(CallClass::application, 0, milliseconds(150)).ok());
+  ASSERT_FALSE(ctrl.admit(CallClass::application, 0).ok());
+  // 100ms later the model has drained to 50ms: admits again.
+  EXPECT_EQ(ctrl.queue_delay(milliseconds(100)), milliseconds(50));
+  EXPECT_TRUE(ctrl.admit(CallClass::application, milliseconds(100)).ok());
+}
+
+TEST(Admission, CodelShedsSustainedStandingQueueAndRecovers) {
+  obs::MetricsRegistry metrics;
+  AdmissionConfig cfg = tight_admission();
+  AdmissionController ctrl(metrics, cfg);
+  // Hold the delay near 20ms (above target, far below the hard bound) by
+  // re-filling what drains each millisecond; CoDel must start shedding
+  // once the delay has stayed above target for a full interval.
+  TimePoint now = 0;
+  ASSERT_TRUE(ctrl.admit(CallClass::application, now, milliseconds(20)).ok());
+  std::uint64_t shed = 0;
+  for (int i = 0; i < 300; ++i) {
+    now += milliseconds(1);
+    if (!ctrl.admit(CallClass::application, now, milliseconds(1)).ok()) ++shed;
+  }
+  EXPECT_GT(shed, 0u) << "sustained standing queue never triggered CoDel";
+  EXPECT_EQ(ctrl.shed_control_count(), 0u);
+
+  // Once the queue fully drains, CoDel exits dropping mode.
+  now += seconds(1);
+  EXPECT_EQ(ctrl.queue_delay(now), 0);
+  EXPECT_TRUE(ctrl.admit(CallClass::application, now).ok());
+}
+
+TEST(Admission, CreditWindowShrinksTowardOneUnderPressure) {
+  obs::MetricsRegistry metrics;
+  AdmissionController ctrl(metrics, tight_admission());
+  EXPECT_EQ(ctrl.credit_window(0), 0u) << "unpressured: no hint at all";
+
+  ASSERT_TRUE(ctrl.admit(CallClass::application, 0, milliseconds(20)).ok());
+  const std::uint32_t mid = ctrl.credit_window(0);
+  EXPECT_GE(mid, 1u);
+  EXPECT_LE(mid, tight_admission().credit_full_window);
+
+  ASSERT_TRUE(ctrl.admit(CallClass::application, 0, milliseconds(90)).ok());
+  EXPECT_EQ(ctrl.credit_window(0), 1u) << "at/over the bound: minimum credit";
+  EXPECT_TRUE(ctrl.under_pressure(0));
+}
+
+TEST(Admission, TightenClampsBetweenFloorAndConfiguredMaximum) {
+  obs::MetricsRegistry metrics;
+  AdmissionController ctrl(metrics, tight_admission());
+  for (int i = 0; i < 50; ++i) ctrl.tighten(0.5);
+  EXPECT_EQ(ctrl.max_queue_delay(), tight_admission().min_queue_delay);
+  for (int i = 0; i < 50; ++i) ctrl.tighten(2.0);
+  EXPECT_EQ(ctrl.max_queue_delay(), tight_admission().max_queue_delay);
+}
+
+// ------------------------------------------------- BUSY wire path + breaker
+
+/// Two-node world with a remote calculator binding from nodes[0] to
+/// nodes[1], and the server's admission pre-loaded with `backlog` of work.
+struct OverloadedPair {
+  explicit OverloadedPair(Duration backlog = milliseconds(300)) : w(2) {
+    server = w.nodes[1];
+    client = w.nodes[0];
+    EXPECT_TRUE(server->install(calculator_package()).ok());
+    w.net.settle();
+    auto b = client->resolve("demo.calculator", VersionConstraint{},
+                             Binding::remote);
+    EXPECT_TRUE(b.ok()) << b.error().to_string();
+    bound = *b;
+    server->admission().configure(tight_admission());
+    if (backlog > 0)
+      EXPECT_TRUE(server->admission()
+                      .admit(CallClass::application, w.net.now(), backlog)
+                      .ok());
+  }
+  World w;
+  Node* server;
+  Node* client;
+  BoundComponent bound;
+};
+
+TEST(OverloadWire, ShedCallReturnsRetryableOverloadedNotABreakerTrip) {
+  OverloadedPair p;
+  for (int i = 0; i < 20; ++i) {
+    auto out = p.client->orb().call(p.bound.primary, "add",
+                                    {orb::Value(std::int32_t{1}),
+                                     orb::Value(std::int32_t{2})});
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::overloaded);
+  }
+  // 20 consecutive sheds and the breaker is still closed: shed != dead.
+  EXPECT_EQ(p.client->orb().breaker_state(p.bound.primary.endpoint),
+            orb::CircuitBreaker::State::closed);
+  EXPECT_GE(p.server->orb().metrics().counter("orb.server_shed").value(),
+            20u);
+  EXPECT_GE(p.server->admission().shed_count(), 20u);
+}
+
+TEST(OverloadWire, RetryLandsOnceTheQueueDrains) {
+  OverloadedPair p;
+  // The node orb's sleep advances the virtual clock, so retry backoff IS
+  // drain time: 150ms then 300ms of backoff drains the 300ms backlog.
+  orb::InvocationPolicies pol = p.client->orb().invocation_policies();
+  pol.retry.max_attempts = 3;
+  pol.retry.initial_backoff = milliseconds(150);
+  pol.retry.backoff_multiplier = 2.0;
+  pol.retry.jitter = 0.0;
+  p.client->orb().set_invocation_policies(pol);
+
+  auto out = p.client->orb().call(p.bound.primary, "add",
+                                  {orb::Value(std::int32_t{19}),
+                                   orb::Value(std::int32_t{23})},
+                                  {.idempotent = true});
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(*out, orb::Value(std::int32_t{42}));
+}
+
+TEST(OverloadWire, ControlPlaneCallsStillAdmitWhileApplicationSheds) {
+  // 150ms backlog: above the 100ms application bound, inside the 200ms
+  // control bound (headroom 1.0).
+  OverloadedPair p(milliseconds(150));
+  auto app = p.client->orb().call(p.bound.primary, "add",
+                                  {orb::Value(std::int32_t{1}),
+                                   orb::Value(std::int32_t{2})});
+  ASSERT_FALSE(app.ok());
+  EXPECT_EQ(app.error().code, Errc::overloaded);
+  // A clc::* call against the same node admits under the control headroom:
+  // the directory lookup is served, not shed.
+  auto dir_ref = p.client->directory_ref(p.server->id());
+  ASSERT_TRUE(dir_ref.ok());
+  auto lookup = p.client->orb().call(*dir_ref, "lookup",
+                                     {orb::Value(std::string{"nope"})},
+                                     {.idempotent = true});
+  EXPECT_NE(lookup.error().code, Errc::overloaded)
+      << "control-plane call was shed before application traffic";
+  EXPECT_EQ(p.server->admission().shed_control_count(), 0u);
+}
+
+// --------------------------------------------------- credit-window adoption
+
+TEST(Backpressure, ClientAdoptsServerCreditHintAndRampsBack) {
+  // Moderate pressure (20ms > codel target, < bound): calls still admit
+  // and replies carry a shrunken credit window.
+  OverloadedPair p(milliseconds(20));
+  const std::string& endpoint = p.bound.primary.endpoint;
+  EXPECT_EQ(p.client->orb().endpoint_credit_window(endpoint), 0u);
+
+  auto out = p.client->orb().call(p.bound.primary, "add",
+                                  {orb::Value(std::int32_t{1}),
+                                   orb::Value(std::int32_t{2})});
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  const std::uint32_t window = p.client->orb().endpoint_credit_window(endpoint);
+  EXPECT_GE(window, 1u);
+  EXPECT_LE(window, tight_admission().credit_full_window);
+  EXPECT_GE(p.client->orb().metrics().counter("orb.credit_hints").value(), 1u);
+
+  // Let the queue drain; hint-free successful replies ramp the window
+  // additively until the endpoint returns to unlimited (0). Time must
+  // keep moving, else the calls themselves re-pressure the server.
+  p.w.net.advance(seconds(1));
+  std::uint32_t last = window;
+  for (int i = 0; i < 300 && last != 0; ++i) {
+    p.w.net.clock().advance(milliseconds(1));
+    ASSERT_TRUE(p.client->orb()
+                    .call(p.bound.primary, "add",
+                          {orb::Value(std::int32_t{1}),
+                           orb::Value(std::int32_t{2})})
+                    .ok());
+    last = p.client->orb().endpoint_credit_window(endpoint);
+  }
+  EXPECT_EQ(last, 0u) << "window never recovered to unlimited";
+}
+
+TEST(Backpressure, BusyReplyAlsoCarriesTheCreditHint) {
+  OverloadedPair p;  // 300ms backlog: sheds, and pressure implies a hint
+  auto out = p.client->orb().call(p.bound.primary, "add",
+                                  {orb::Value(std::int32_t{1}),
+                                   orb::Value(std::int32_t{2})});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(p.client->orb().endpoint_credit_window(p.bound.primary.endpoint),
+            1u)
+      << "a shedding server should clamp the client to minimum credit";
+}
+
+// ---------------------------------------------------- endpoint backoff memory
+
+TEST(BackoffMemory, FailureStreakSurvivesAcrossCallsAndResetsOnSuccess) {
+  OverloadedPair p;  // permanently overloaded while we never advance time
+  orb::InvocationPolicies pol = p.client->orb().invocation_policies();
+  pol.retry.max_attempts = 2;
+  pol.retry.initial_backoff = milliseconds(10);
+  pol.retry.backoff_multiplier = 2.0;
+  pol.retry.jitter = 0.0;
+  p.client->orb().set_invocation_policies(pol);
+
+  std::vector<Duration> sleeps;
+  p.client->orb().set_sleep_fn([&](Duration d) { sleeps.push_back(d); });
+
+  const auto call = [&] {
+    return p.client->orb().call(p.bound.primary, "add",
+                                {orb::Value(std::int32_t{1}),
+                                 orb::Value(std::int32_t{2})},
+                                {.idempotent = true});
+  };
+  // Call 1: attempt 1 fails, backs off from the base delay, attempt 2
+  // fails -- streak is now 2.
+  ASSERT_FALSE(call().ok());
+  ASSERT_EQ(sleeps.size(), 1u);
+  EXPECT_EQ(sleeps[0], milliseconds(10));
+  EXPECT_EQ(p.client->orb().endpoint_failure_streak(p.bound.primary.endpoint),
+            2);
+
+  // Call 2 against the same endpoint: its FIRST backoff resumes from the
+  // remembered streak (position 3 = 40ms), not from the base delay. This
+  // is the half-open-probe fix: a failed probe no longer restarts the
+  // backoff ladder.
+  ASSERT_FALSE(call().ok());
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[1], milliseconds(40));
+  EXPECT_EQ(p.client->orb().endpoint_failure_streak(p.bound.primary.endpoint),
+            4);
+
+  // Success wipes the streak.
+  p.client->orb().set_sleep_fn(
+      [&](Duration d) { p.w.net.clock().advance(d); });
+  p.w.net.advance(seconds(1));
+  ASSERT_TRUE(call().ok());
+  EXPECT_EQ(p.client->orb().endpoint_failure_streak(p.bound.primary.endpoint),
+            0);
+}
+
+// ------------------------------------------------- session shed-aware backoff
+
+TEST(SessionOverload, ShedCallBacksOffWithoutInvalidatingTheBinding) {
+  World w(3);
+  Node& host = *w.nodes[1];
+  Node& client = *w.nodes[2];
+  ASSERT_TRUE(host.install(counter_package()).ok());
+  ASSERT_TRUE(host.acquire_local("demo.counter", VersionConstraint{}).ok());
+  w.net.settle();
+
+  session::SessionConfig cfg;
+  for (Node* n : w.nodes) {
+    auto ref = client.directory_ref(n->id());
+    ASSERT_TRUE(ref.ok());
+    cfg.directory.push_back(*ref);
+  }
+  cfg.rebind_deadline = seconds(5);
+  session::Session s(client.orb(), cfg);
+  s.set_clock(&w.net.clock());
+  s.set_sleep_fn([&w](Duration d) { w.net.advance(d); });
+  ASSERT_TRUE(s.call("demo.counter", "increment").ok());
+  const auto cached_before = s.cached("demo.counter");
+  ASSERT_TRUE(cached_before.ok());
+  const std::uint64_t rebinds_before =
+      client.orb().metrics().counter("session.rebinds").value();
+
+  // Overload the host; the session's call sheds, backs off (draining the
+  // virtual queue underneath), and lands -- all on the SAME cached ref.
+  host.admission().configure(tight_admission());
+  ASSERT_TRUE(host.admission()
+                  .admit(CallClass::application, w.net.now(), milliseconds(300))
+                  .ok());
+  auto out = s.call("demo.counter", "increment");
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_GE(
+      client.orb().metrics().counter("session.backpressure_backoffs").value(),
+      1u);
+  EXPECT_EQ(client.orb().metrics().counter("session.rebinds").value(),
+            rebinds_before)
+      << "an overloaded (alive) binding must not be rebound";
+  auto cached_after = s.cached("demo.counter");
+  ASSERT_TRUE(cached_after.ok()) << "shed call evicted the cached record";
+  EXPECT_EQ(cached_after->host, cached_before->host);
+}
+
+// ------------------------------------------------------------- load manager
+
+TEST(LoadManagerLoop, ReplicatesOffTheHotNodeAndTightensOnSloBreach) {
+  World w(3);
+  Node& hot = *w.nodes[0];
+  for (Node* n : w.nodes) {
+    ASSERT_TRUE(n->install(calculator_package()).ok());
+    n->admission().configure(tight_admission());
+  }
+  ASSERT_TRUE(hot.acquire_local("demo.calculator", VersionConstraint{}).ok());
+  w.net.settle();
+
+  LoadManagerConfig cfg;
+  cfg.interval = seconds(1);
+  cfg.cooldown = seconds(2);
+  cfg.replicate_above = milliseconds(10);
+  LoadManager lm(w.net, cfg);
+
+  // Keep the hot node's queue pegged near the bound across several rounds.
+  for (int round = 0; round < 6; ++round) {
+    (void)hot.admission().admit(CallClass::application, w.net.now(),
+                                milliseconds(90));
+    lm.tick(w.net.now());
+    w.net.advance(seconds(1));
+  }
+  EXPECT_GE(lm.replications(), 1u) << "hot component never replicated";
+  EXPECT_GE(lm.tightenings(), 1u) << "SLO breach never tightened admission";
+  EXPECT_LT(hot.admission().max_queue_delay(),
+            tight_admission().max_queue_delay);
+
+  std::size_t hosting = 0;
+  for (Node* n : w.nodes)
+    if (!n->container().instance_ids().empty()) ++hosting;
+  EXPECT_GE(hosting, 2u);
+
+  // Calm cluster: the bound relaxes back toward the configured maximum.
+  for (int round = 0; round < 20; ++round) {
+    lm.tick(w.net.now());
+    w.net.advance(seconds(1));
+  }
+  EXPECT_GE(lm.relaxations(), 1u);
+  EXPECT_EQ(hot.admission().max_queue_delay(),
+            tight_admission().max_queue_delay);
+}
+
+// ------------------------------------------------------------- chaos: 5x load
+
+TEST(OverloadChaos, FiveTimesCapacityShedsLoadButNeverCohesionOrCheckpoints) {
+  World w(3);
+  for (Node* n : w.nodes) {
+    ASSERT_TRUE(n->install(calculator_package()).ok());
+    ASSERT_TRUE(
+        n->acquire_local("demo.calculator", VersionConstraint{}).ok());
+    n->admission().configure(tight_admission());
+  }
+  w.net.settle();
+
+  // Open-loop arrivals at 5x the fleet's aggregate service capacity.
+  const double mean_us = 0.9 * 200 + 0.09 * 2000 + 0.01 * 20000;
+  sim::OpenLoopConfig wl;
+  wl.arrival_rate_hz = 5.0 * 3.0 * 1e6 / mean_us;
+  wl.virtual_users = 100000;
+  wl.seed = 0xC0DE;
+  sim::OpenLoopGenerator gen(wl, w.net.now());
+
+  std::size_t rr = 0;
+  std::uint64_t shed = 0, admitted = 0;
+  const TimePoint until = w.net.now() + seconds(15);
+  while (w.net.now() < until) {
+    w.net.advance(milliseconds(100), milliseconds(100));
+    for (const sim::Arrival& a : gen.drain_until(w.net.now())) {
+      Node* n = w.nodes[rr++ % w.nodes.size()];
+      if (n->admission().admit(CallClass::application, a.at, a.cost).ok())
+        ++admitted;
+      else
+        ++shed;
+    }
+  }
+
+  // Application work was heavily shed...
+  EXPECT_GT(shed, admitted) << "5x overload should shed most app calls";
+  for (Node* n : w.nodes) {
+    // ...but no control-plane message ever was,
+    EXPECT_EQ(n->admission().shed_control_count(), 0u)
+        << "node " << n->id().to_string() << " shed control traffic";
+    // no peer was suspected, let alone declared dead (no false verdicts),
+    for (Node* peer : w.nodes) {
+      if (peer == n) continue;
+      EXPECT_FALSE(n->cohesion().has_tombstone(peer->id()))
+          << n->id().to_string() << " falsely declared "
+          << peer->id().to_string() << " dead";
+      EXPECT_FALSE(n->cohesion().is_suspected(peer->id()))
+          << n->id().to_string() << " falsely suspects "
+          << peer->id().to_string();
+    }
+  }
+  // ...and failover checkpoints kept replicating under full overload.
+  std::size_t holders = 0;
+  for (Node* n : w.nodes)
+    if (n->held_checkpoints().size() > 0) ++holders;
+  EXPECT_GE(holders, 1u) << "checkpoint traffic stalled under overload";
+}
+
+}  // namespace
+}  // namespace clc::core

@@ -45,6 +45,23 @@ constexpr const char* kGoldenSystemExceptionReply =
     "434c4350010101000800000000000000020000000800000074696d656f757400"
     "04000000626f6f6d";
 
+// Overload robustness (PR 8): the BUSY reply an admission-controlled node
+// sheds a call with, and a normal reply carrying a piggybacked credit-
+// window hint. A reply with NO contexts stays byte-identical to
+// kGoldenReply above -- the credit trailer is opt-in, old peers never see
+// new bytes unless the server attached them.
+
+// ReplyMessage{id=9, busy, "overloaded", payload="admission queue full"}.
+constexpr const char* kGoldenBusyReply =
+    "434c4350010101000900000000000000040000000b0000006f7665726c6f6164"
+    "656400001400000061646d697373696f6e2071756575652066756c6c";
+
+// kGoldenReply's message + CreditContext{window=8, queue_delay_us=2500}
+// attached as service context 0x43524454 ("CRDT").
+constexpr const char* kGoldenReplyWithCreditContext =
+    "434c435001010100070000000000000000000000010000000000000002000000"
+    "010200000100000054445243100000000100000008000000c409000000000000";
+
 // Control frames: magic, version, type -- no body.
 constexpr const char* kGoldenPing = "434c43500102";
 constexpr const char* kGoldenPong = "434c43500103";

@@ -79,6 +79,71 @@ TEST(WireGolden, SystemExceptionReplyIsFrozen) {
             testing::kGoldenSystemExceptionReply);
 }
 
+TEST(WireGolden, BusyReplyIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  orb::ReplyMessage m;
+  m.request_id = RequestId{9};
+  m.status = orb::ReplyStatus::busy;
+  m.exception_id = "overloaded";
+  m.payload = bytes_of("admission queue full");
+  EXPECT_EQ(testing::to_hex(m.encode()), testing::kGoldenBusyReply);
+}
+
+TEST(WireGolden, ReplyWithCreditContextIsFrozen) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  orb::ReplyMessage m;
+  m.request_id = RequestId{7};
+  m.status = orb::ReplyStatus::no_exception;
+  m.payload = {0x01, 0x02};
+  orb::CreditContext credit;
+  credit.window = 8;
+  credit.queue_delay_us = 2500;
+  credit.attach(m.service_contexts);
+  EXPECT_EQ(testing::to_hex(m.encode()),
+            testing::kGoldenReplyWithCreditContext);
+}
+
+TEST(WireGolden, ReplyWithoutCreditContextMatchesPreCreditBytes) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  // The credit hint must stay strictly opt-in: a hint-free reply encodes
+  // exactly the bytes it did before the credit context existed.
+  orb::ReplyMessage m;
+  m.request_id = RequestId{7};
+  m.status = orb::ReplyStatus::no_exception;
+  m.payload = {0x01, 0x02};
+  EXPECT_EQ(testing::to_hex(m.encode()), testing::kGoldenReply);
+}
+
+TEST(WireGolden, FrozenBusyReplyDecodesToOriginalFields) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes frame = testing::from_hex(testing::kGoldenBusyReply);
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, orb::MessageType::reply);
+  auto m = orb::ReplyMessage::decode(r);
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  EXPECT_EQ(m->request_id, RequestId{9});
+  EXPECT_EQ(m->status, orb::ReplyStatus::busy);
+  EXPECT_EQ(m->exception_id, "overloaded");
+  EXPECT_EQ(string_of(m->payload), "admission queue full");
+}
+
+TEST(WireGolden, FrozenCreditContextDecodesToOriginalFields) {
+  SKIP_UNLESS_LITTLE_ENDIAN();
+  const Bytes frame =
+      testing::from_hex(testing::kGoldenReplyWithCreditContext);
+  orb::CdrReader r(frame);
+  auto type = orb::decode_frame_header(r);
+  ASSERT_TRUE(type.ok());
+  auto m = orb::ReplyMessage::decode(r);
+  ASSERT_TRUE(m.ok()) << m.error().to_string();
+  auto credit = orb::CreditContext::find(m->service_contexts);
+  ASSERT_TRUE(credit.has_value());
+  EXPECT_EQ(credit->window, 8u);
+  EXPECT_EQ(credit->queue_delay_us, 2500u);
+}
+
 TEST(WireGolden, ControlFramesAreFrozen) {
   SKIP_UNLESS_LITTLE_ENDIAN();
   EXPECT_EQ(testing::to_hex(orb::encode_control(orb::MessageType::ping)),
