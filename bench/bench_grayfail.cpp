@@ -1,0 +1,245 @@
+// E19 -- Gray-failure tolerance: hedged requests + health-aware binding
+// against a replica that degrades without dying (DESIGN.md §17).
+//
+// Claim: when 1 of 3 replicas turns gray mid-run (10x service time plus
+// periodic stuck-worker stalls, still answering heartbeats), a baseline
+// round-robin client's p99 explodes past 20x the healthy-cluster p99,
+// while a client using hedged requests + health-aware ranking holds p99
+// within 3x healthy -- and spends at most ~5% extra requests doing it
+// (the hedge budget).
+//
+// Setup: 3 replicas behind one client issuing a call every 2 ms for 60
+// virtual seconds (30k calls). Healthy service time is uniform 800-1200
+// µs. At t=20s replica 1 turns gray for the rest of the run: service x10
+// and a 50 ms stall every 250 ms (calls landing in a stall wait it out --
+// the stuck-worker shape from the gray fault injector). The latency
+// estimator, hedge delay (estimated p95 = ewma + 2·dev) and the ~5%
+// budget gate mirror the Orb implementation; the ranking signal is the
+// real EndpointHealthTracker.
+//
+//   healthy       -- no gray replica, round-robin: the reference p99.
+//   baseline      -- gray replica, round-robin, no hedging.
+//   hedge-only    -- gray replica, round-robin + hedging: the budget trims
+//                    the stall tail but ~1/3 of calls still ride the gray
+//                    replica, so p99 stays near its 10x service time.
+//   hedged+health -- gray replica, health-ranked placement + hedging: the
+//                    first slow samples are hedged, the inflated EWMA then
+//                    demotes the gray replica and traffic steers away.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "fault/plan.hpp"
+#include "orb/health.hpp"
+#include "orb/resilience.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+using namespace clc;
+
+namespace {
+
+constexpr int kReplicas = 3;
+constexpr Duration kRun = seconds(60);
+constexpr Duration kInterArrival = milliseconds(2);
+constexpr Duration kBaseMin = 800;    // µs
+constexpr Duration kBaseSpan = 400;   // service = 800 + [0, 400) µs
+constexpr std::uint64_t kSeed = 0xE19ULL;
+
+// The gray event: replica 1, onset t=20s, for the rest of the run.
+fault::GrayEvent gray_event() {
+  fault::GrayEvent ev;
+  ev.node = NodeId{1};
+  ev.at = seconds(20);
+  ev.duration = kRun - ev.at;
+  ev.service_factor = 10.0;
+  ev.stall_period = milliseconds(250);
+  ev.stall_duration = milliseconds(50);
+  return ev;
+}
+
+struct Replica {
+  std::string endpoint;
+  bool gray = false;  // subject to the gray event
+
+  /// Modelled response time for a call arriving at `at`.
+  Duration serve(TimePoint at, Rng& rng, const fault::GrayEvent& ev) const {
+    Duration service = kBaseMin + static_cast<Duration>(rng.next_below(
+                                      static_cast<std::uint64_t>(kBaseSpan)));
+    if (!gray || at < ev.at || at >= ev.at + ev.duration) return service;
+    service = static_cast<Duration>(static_cast<double>(service) *
+                                    ev.service_factor);
+    // Stuck-worker stall: a call landing inside the stall window waits for
+    // the stall to end before service begins (deferred, never dropped).
+    const Duration phase = (at - ev.at) % ev.stall_period;
+    if (phase < ev.stall_duration) service += ev.stall_duration - phase;
+    return service;
+  }
+};
+
+enum class Mode { healthy, baseline, hedge_only, hedged_health };
+
+struct Outcome {
+  std::vector<Duration> response_us;
+  std::uint64_t calls = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+
+  double quantile(double q) const {
+    if (response_us.empty()) return 0;
+    auto sorted = response_us;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx =
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+    return static_cast<double>(sorted[idx]);
+  }
+  double hedge_pct() const {
+    return calls == 0 ? 0
+                      : 100.0 * static_cast<double>(hedges) /
+                            static_cast<double>(calls);
+  }
+};
+
+Outcome drive(Mode mode) {
+  const fault::GrayEvent ev = gray_event();
+  std::vector<Replica> replicas;
+  for (int i = 0; i < kReplicas; ++i)
+    replicas.push_back({"loop:" + std::to_string(i), /*gray=*/i == 1 &&
+                                                         mode != Mode::healthy});
+
+  orb::EndpointHealthTracker tracker;
+  const orb::HedgePolicy policy;  // defaults: budget 0.05, burst 16
+  const bool hedging =
+      mode == Mode::hedge_only || mode == Mode::hedged_health;
+  Rng rng(kSeed ^ static_cast<std::uint64_t>(mode));
+
+  Outcome o;
+  std::uint64_t eligible = 0, issued = 0;
+  std::vector<std::size_t> order(static_cast<std::size_t>(kReplicas));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::uint64_t i = 0;
+  for (TimePoint now = 0; now < kRun; now += kInterArrival, ++i) {
+    std::size_t primary, secondary;
+    if (mode == Mode::hedged_health) {
+      // Health-ranked placement: the Orb's ranking signal is dominated by
+      // the latency EWMA (unknown endpoints score the 1000 µs fallback);
+      // stable sort preserves index order on ties, as rank_by_health does.
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return tracker.latency_ewma(replicas[a].endpoint,
+                                                     1000.0) <
+                                tracker.latency_ewma(replicas[b].endpoint,
+                                                     1000.0);
+                       });
+      primary = order[0];
+      secondary = order[1];
+    } else {
+      primary = static_cast<std::size_t>(i % kReplicas);
+      secondary = (primary + 1) % kReplicas;
+    }
+
+    const Duration primary_total = replicas[primary].serve(now, rng, ev);
+    Duration response = primary_total;
+    if (hedging) {
+      ++eligible;
+      // Hedge delay: the primary's estimated p95, clamped -- the same
+      // computation invoke_hedged performs.
+      Duration delay = tracker.p95(replicas[primary].endpoint);
+      if (delay <= 0) delay = policy.default_delay;
+      delay = std::clamp(delay, policy.min_delay, policy.max_delay);
+      const bool budget_ok =
+          issued < policy.burst ||
+          static_cast<double>(issued + 1) <=
+              policy.budget * static_cast<double>(eligible);
+      if (primary_total > delay && budget_ok) {
+        ++issued;
+        ++o.hedges;
+        const Duration hedge_total =
+            delay + replicas[secondary].serve(now + delay, rng, ev);
+        if (hedge_total < primary_total) {
+          ++o.hedge_wins;
+          response = hedge_total;
+        }
+        tracker.record(replicas[secondary].endpoint, hedge_total - delay);
+      }
+    }
+    tracker.record(replicas[primary].endpoint, primary_total);
+    o.response_us.push_back(response);
+    ++o.calls;
+  }
+  return o;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::healthy: return "healthy";
+    case Mode::baseline: return "baseline-rr";
+    case Mode::hedge_only: return "hedge-only";
+    case Mode::hedged_health: return "hedged+health";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  clc::bench::BenchReport report("grayfail");
+  const fault::GrayEvent ev = gray_event();
+  std::printf("E19: gray-failure tolerance -- hedged requests + health-aware "
+              "binding\n");
+  std::printf("(3 replicas, 1 gray from t=%llds: service x%.0f + %lld ms "
+              "stall every %lld ms; %lld s run, call every %lld ms)\n\n",
+              static_cast<long long>(ev.at / 1000000),
+              ev.service_factor,
+              static_cast<long long>(ev.stall_duration / 1000),
+              static_cast<long long>(ev.stall_period / 1000),
+              static_cast<long long>(kRun / 1000000),
+              static_cast<long long>(kInterArrival / 1000));
+
+  std::printf("%14s | %9s | %9s | %9s | %7s | %7s\n", "mode", "p50 ms",
+              "p99 ms", "p999 ms", "hedge%", "vs-healthy-p99");
+  std::printf("---------------+-----------+-----------+-----------+---------+"
+              "---------\n");
+
+  double healthy_p99 = 0, baseline_ratio = 0, tolerant_ratio = 0,
+         tolerant_hedge_pct = 0;
+  for (const Mode mode : {Mode::healthy, Mode::baseline, Mode::hedge_only,
+                          Mode::hedged_health}) {
+    const Outcome o = drive(mode);
+    const double p99 = o.quantile(0.99);
+    if (mode == Mode::healthy) healthy_p99 = p99;
+    const double ratio = healthy_p99 > 0 ? p99 / healthy_p99 : 0;
+    if (mode == Mode::baseline) baseline_ratio = ratio;
+    if (mode == Mode::hedged_health) {
+      tolerant_ratio = ratio;
+      tolerant_hedge_pct = o.hedge_pct();
+    }
+    std::printf("%14s | %9.2f | %9.2f | %9.2f | %6.2f%% | %7.1fx\n",
+                mode_name(mode), o.quantile(0.50) / 1000.0, p99 / 1000.0,
+                o.quantile(0.999) / 1000.0, o.hedge_pct(), ratio);
+    const std::string key = mode_name(mode);
+    report.set(key + ".p50_us", o.quantile(0.50));
+    report.set(key + ".p99_us", p99);
+    report.set(key + ".p999_us", o.quantile(0.999));
+    report.set(key + ".hedge_pct", o.hedge_pct());
+    report.set(key + ".p99_vs_healthy", ratio);
+    report.count(key + ".hedges", o.hedges);
+    report.count(key + ".hedge_wins", o.hedge_wins);
+  }
+
+  std::printf("\nshape check: baseline p99 blows past 20x healthy (%.1fx); "
+              "hedged+health holds within 3x (%.1fx) at %.2f%% hedge "
+              "overhead (budget 5%%).\n",
+              baseline_ratio, tolerant_ratio, tolerant_hedge_pct);
+  report.set("headline.baseline_p99_vs_healthy", baseline_ratio);
+  report.set("headline.tolerant_p99_vs_healthy", tolerant_ratio);
+  report.set("headline.tolerant_hedge_pct", tolerant_hedge_pct);
+  const bool pass =
+      baseline_ratio > 20.0 && tolerant_ratio <= 3.0 && tolerant_hedge_pct <= 5.0;
+  std::printf("E19 %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

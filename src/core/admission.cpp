@@ -145,6 +145,35 @@ Duration AdmissionController::max_queue_delay() const {
   return max_queue_delay_;
 }
 
+void AdmissionController::record_service_time(const std::string& op_key,
+                                              std::uint64_t service_us) {
+  std::lock_guard lock(mutex_);
+  OpCost& c = op_costs_[op_key];
+  if (c.samples == 0)
+    c.ewma_us = static_cast<double>(service_us);
+  else
+    c.ewma_us += config_.learned_cost_alpha *
+                 (static_cast<double>(service_us) - c.ewma_us);
+  ++c.samples;
+}
+
+Duration AdmissionController::learned_cost(const std::string& op_key) const {
+  std::lock_guard lock(mutex_);
+  auto it = op_costs_.find(op_key);
+  if (it == op_costs_.end() ||
+      it->second.samples < config_.learned_cost_min_samples)
+    return 0;  // not warmed: caller falls back to the static default
+  return static_cast<Duration>(it->second.ewma_us);
+}
+
+std::size_t AdmissionController::learned_op_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [_, c] : op_costs_)
+    if (c.samples >= config_.learned_cost_min_samples) ++n;
+  return n;
+}
+
 void AdmissionController::set_enabled(bool enabled) {
   std::lock_guard lock(mutex_);
   config_.enabled = enabled;
@@ -159,6 +188,7 @@ void AdmissionController::configure(AdmissionConfig config) {
   std::lock_guard lock(mutex_);
   config_ = config;
   max_queue_delay_ = config.max_queue_delay;
+  op_costs_.clear();
   backlog_us_ = 0;
   first_above_ = 0;
   dropping_ = false;

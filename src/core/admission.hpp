@@ -29,7 +29,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "util/clock.hpp"
@@ -64,6 +66,12 @@ struct AdmissionConfig {
   /// not supply a measured one.
   Duration default_app_cost = microseconds(200);
   Duration control_cost = microseconds(10);
+  /// Learned per-op cost (DESIGN.md §17): once an operation has this many
+  /// observed service-time samples, the EWMA of those observations replaces
+  /// the static per-class default as its admission charge. Until then the
+  /// static default stands (the estimator stays a fallback-safe prior).
+  std::uint32_t learned_cost_min_samples = 8;
+  double learned_cost_alpha = 0.125;  // EWMA gain for observed service time
   /// Credit window advertised when unpressured (delay <= codel_target no
   /// hint is sent at all); shrinks toward 1 as the delay approaches the
   /// hard bound.
@@ -96,6 +104,16 @@ class AdmissionController {
   void tighten(double factor);
   [[nodiscard]] Duration max_queue_delay() const;
 
+  /// Feed one observed dispatch service time (µs) for an operation into
+  /// the learned cost estimator. Cheap; called after every dispatch.
+  void record_service_time(const std::string& op_key,
+                           std::uint64_t service_us);
+  /// EWMA cost for an operation, or 0 (meaning "use the static default")
+  /// until learned_cost_min_samples observations have arrived.
+  [[nodiscard]] Duration learned_cost(const std::string& op_key) const;
+  /// Number of operations with a warmed (trusted) learned cost.
+  [[nodiscard]] std::size_t learned_op_count() const;
+
   void set_enabled(bool enabled);
   [[nodiscard]] bool enabled() const;
   /// Replace the whole config (tests/benches); resets the model state.
@@ -110,11 +128,17 @@ class AdmissionController {
   }
 
  private:
+  struct OpCost {
+    double ewma_us = 0;
+    std::uint64_t samples = 0;
+  };
+
   /// Drain the backlog to `now`; returns the delay estimate in µs.
   Duration drain_locked(TimePoint now);
   Result<void> shed_locked(CallClass cls, const char* why, Duration delay);
 
   mutable std::mutex mutex_;
+  std::map<std::string, OpCost> op_costs_;  // learned per-op service time
   AdmissionConfig config_;
   Duration max_queue_delay_;   // live hard bound (LoadManager-adjusted)
   double backlog_us_ = 0;      // outstanding service work, µs

@@ -118,7 +118,61 @@ CohesionNode::CohesionNode(NodeId id, CohesionConfig cfg, Sender send,
       topology_updates_(&metrics_->counter("cohesion.topology_updates")),
       promotions_(&metrics_->counter("cohesion.promotions")),
       fenced_stale_(&metrics_->counter("cohesion.fenced_stale")),
-      fenced_cross_zone_(&metrics_->counter("cohesion.fenced_cross_zone")) {}
+      fenced_cross_zone_(&metrics_->counter("cohesion.fenced_cross_zone")),
+      slow_marked_(&metrics_->counter("cohesion.slow_marked")),
+      slow_recovered_(&metrics_->counter("cohesion.slow_recovered")),
+      phi_suspects_(&metrics_->counter("cohesion.phi_suspects")) {}
+
+// ---------------------------------------------------------------------------
+// Adaptive (phi-accrual) failure detection — DESIGN.md §17
+
+void CohesionNode::record_arrival(NodeId from, TimePoint now) {
+  if (!cfg_.adaptive || from == id_ || !from.valid()) return;
+  auto it = arrivals_.find(from);
+  if (it == arrivals_.end()) {
+    PhiConfig pc;
+    pc.expected_interval = cfg_.heartbeat;
+    pc.window = cfg_.phi_window;
+    pc.min_samples = cfg_.phi_min_samples;
+    pc.min_stddev_fraction = cfg_.phi_min_stddev_fraction;
+    pc.slow_factor = cfg_.slow_factor;
+    pc.slow_recover_factor = cfg_.slow_recover_factor;
+    it = arrivals_.emplace(from, PhiAccrualDetector(pc)).first;
+  }
+  it->second.record_arrival(now);
+  const bool was_slow = slow_peers_.count(from) != 0;
+  if (it->second.slow() && !was_slow) {
+    slow_peers_.insert(from);
+    slow_marked_->inc();
+    note_transition("slow:" + from.to_string());
+  } else if (!it->second.slow() && was_slow) {
+    slow_peers_.erase(from);
+    slow_recovered_->inc();
+    note_transition("slow_recovered:" + from.to_string());
+  }
+}
+
+double CohesionNode::phi_of(NodeId n, TimePoint now) const {
+  auto it = arrivals_.find(n);
+  if (it == arrivals_.end()) return 0.0;
+  return it->second.phi(now - it->second.last_arrival());
+}
+
+bool CohesionNode::phi_says_suspect(NodeId n, Duration silence) const {
+  if (!cfg_.adaptive) return false;
+  auto it = arrivals_.find(n);
+  if (it == arrivals_.end() || !it->second.warmed() || it->second.slow())
+    return false;
+  return it->second.phi(silence) >= cfg_.phi_suspect;
+}
+
+bool CohesionNode::phi_says_dead(NodeId n, Duration silence) const {
+  if (!cfg_.adaptive) return false;
+  auto it = arrivals_.find(n);
+  if (it == arrivals_.end() || !it->second.warmed() || it->second.slow())
+    return false;
+  return it->second.phi(silence) >= cfg_.phi_dead;
+}
 
 ProtoMessage CohesionNode::make(const std::string& kind) const {
   ProtoMessage m;
@@ -198,6 +252,8 @@ void CohesionNode::restart(TimePoint now) {
   promotion_poll_last_ = 0;
   last_rejoin_attempt_ = 0;
   claims_.clear();
+  arrivals_.clear();
+  slow_peers_.clear();
   // The epoch survives a restart conceptually, but it lived in RAM: the
   // reborn node re-learns the network's epoch from the first admitted
   // message (monotone max), which is all correctness needs.
@@ -269,6 +325,8 @@ void CohesionNode::purge_peer_state(NodeId n) {
   suspected_.erase(n);
   probe_votes_.erase(n);
   indirect_probes_.erase(n);
+  arrivals_.erase(n);
+  slow_peers_.erase(n);
 }
 
 void CohesionNode::clear_suspicion(NodeId n) {
@@ -334,12 +392,17 @@ void CohesionNode::note_death(NodeId dead, std::uint64_t dead_inc,
   (void)now;
 }
 
-Bytes CohesionNode::encode_incarnation_table() const {
+Bytes CohesionNode::encode_incarnation_table(TimePoint now) const {
   // Entries: (node, incarnation, tombstoned?, vouched-alive?) for every
   // node we have an opinion about, including ourselves. The vouch bit is
-  // first-hand evidence (live parent/child/roster member): it lets an
-  // equal-incarnation false death propagate its *revival* through gossip
-  // after a heal, not just through direct contact.
+  // strictly FIRST-HAND evidence -- a parent/child/roster member actually
+  // heard from within the suspect window. Structural membership (a root
+  // replica's directory copy) is deliberately not enough: a replica would
+  // otherwise vouch for every member, and such a stale second-hand vouch
+  // in flight across a quorum-confirmed death verdict would resurrect the
+  // dead node in the directory. First-hand vouches still let an equal-
+  // incarnation false death propagate its *revival* through gossip after a
+  // heal, not just through direct contact.
   std::map<NodeId, std::pair<std::uint64_t, bool>> entries;
   for (const auto& [n, inc] : peer_incarnations_) entries[n] = {inc, false};
   for (const auto& [n, inc] : tombstones_) {
@@ -355,7 +418,7 @@ Bytes CohesionNode::encode_incarnation_table() const {
     w.write_ulonglong(n.value);
     w.write_ulonglong(e.first);
     w.write_boolean(e.second);
-    w.write_boolean(!e.second && believes_alive(n) && !is_suspected(n));
+    w.write_boolean(!e.second && heard_recently(n, now) && !is_suspected(n));
   }
   // Partition-epoch + failover-claim tail: how diverged histories reconcile
   // after a heal (registry anti-entropy extended with partition epochs).
@@ -400,6 +463,19 @@ std::vector<FailoverClaim> CohesionNode::failover_claims() const {
   out.reserve(claims_.size());
   for (const auto& [key, c] : claims_) out.push_back(c);
   return out;
+}
+
+bool CohesionNode::heard_recently(NodeId n, TimePoint now) const {
+  if (n == id_) return true;
+  const Duration window = cfg_.suspect_after * cfg_.heartbeat;
+  if (joined_ && !root_ && n == parent_)
+    return parent_last_heard_ > 0 && now - parent_last_heard_ <= window;
+  if (auto it = children_.find(n); it != children_.end())
+    return !it->second.suspect && it->second.last_heard > 0 &&
+           now - it->second.last_heard <= window;
+  if (auto it = roster_last_heard_.find(n); it != roster_last_heard_.end())
+    return now - it->second <= window;
+  return false;
 }
 
 bool CohesionNode::believes_alive(NodeId n) const {
@@ -533,7 +609,7 @@ void CohesionNode::send_anti_entropy(TimePoint now) {
     target = peers[ae_rotor_++ % peers.size()];
   }
   ProtoMessage m = make("ae_sync");
-  m.blob = encode_incarnation_table();
+  m.blob = encode_incarnation_table(now);
   send(target, m);
   metrics_->counter("cohesion.ae_rounds").inc();
 }
@@ -997,7 +1073,7 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
   if (m.kind == "ae_sync") {
     merge_incarnation_table(m.blob, now);
     ProtoMessage reply = make("ae_reply");
-    reply.blob = encode_incarnation_table();
+    reply.blob = encode_incarnation_table(now);
     send(from, reply);
     return;
   }
@@ -1064,6 +1140,7 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
     ChildInfo& info = children_[from];
     info.last_heard = now;
     info.suspect = false;
+    record_arrival(from, now);
     if (digest.ok()) {
       // Per-node digest version = (incarnation, revision): never let a
       // reordered older digest overwrite a newer cached one.
@@ -1093,7 +1170,10 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
       return;
     }
     if (their_ep < epoch_) return;  // losing root's tree, ignore
-    if (from == parent_) parent_last_heard_ = now;
+    if (from == parent_) {
+      parent_last_heard_ = now;
+      record_arrival(from, now);
+    }
     current_root_ = announced;
     return;
   }
@@ -1247,6 +1327,7 @@ void CohesionNode::on_message(const ProtoMessage& m, TimePoint now) {
     }
     roster_.insert(from);
     roster_last_heard_[from] = now;
+    record_arrival(from, now);
     return;
   }
 
@@ -1372,13 +1453,19 @@ void CohesionNode::on_tick(TimePoint now) {
       }
     }
 
-    // Child failure detection (suspect, then dead).
+    // Child failure detection (suspect, then dead). Phi can only pull
+    // these verdicts *earlier* than the fixed bounds — `suspect_after` /
+    // `dead_after` remain hard ceilings, so a jittery network is never
+    // detected later than the classic protocol would.
     std::vector<NodeId> dead_children;
     for (auto& [child, info] : children_) {
       const Duration silence = now - info.last_heard;
-      if (silence > cfg_.dead_after * t) {
+      if (silence > cfg_.dead_after * t || phi_says_dead(child, silence)) {
         dead_children.push_back(child);
-      } else if (silence > cfg_.suspect_after * t) {
+      } else if (silence > cfg_.suspect_after * t ||
+                 phi_says_suspect(child, silence)) {
+        if (!info.suspect && silence <= cfg_.suspect_after * t)
+          phi_suspects_->inc();  // phi beat the fixed bound to it
         info.suspect = true;
       }
     }
@@ -1394,9 +1481,10 @@ void CohesionNode::on_tick(TimePoint now) {
       }
     }
 
-    // Parent failure detection.
+    // Parent failure detection (same phi acceleration, same fixed ceiling).
     if (!root_ && parent_.valid() && parent_last_heard_ > 0 &&
-        now - parent_last_heard_ > cfg_.dead_after * t) {
+        (now - parent_last_heard_ > cfg_.dead_after * t ||
+         phi_says_dead(parent_, now - parent_last_heard_))) {
       const NodeId dead_parent = parent_;
       parent_ = NodeId{};
       if (dead_parent == current_root_) {
@@ -1514,7 +1602,9 @@ void CohesionNode::on_tick(TimePoint now) {
     // handler fire locally; anti-entropy spreads the verdict.
     std::vector<NodeId> gone;
     for (const auto& [n, heard] : roster_last_heard_) {
-      if (n != id_ && now - heard > cfg_.dead_after * t) gone.push_back(n);
+      if (n != id_ && (now - heard > cfg_.dead_after * t ||
+                       phi_says_dead(n, now - heard)))
+        gone.push_back(n);
     }
     for (NodeId n : gone) {
       roster_.erase(n);

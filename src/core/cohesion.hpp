@@ -46,6 +46,7 @@
 #include <set>
 #include <vector>
 
+#include "core/phi.hpp"
 #include "core/proto.hpp"
 #include "core/query.hpp"
 #include "obs/metrics.hpp"
@@ -75,6 +76,30 @@ struct CohesionConfig {
   /// bytes; inbound frames from a *different* nonzero zone are dropped at
   /// the protocol boundary (cohesion.fenced_cross_zone).
   std::uint32_t zone = 0;
+
+  // ---- adaptive (phi-accrual) failure detection, DESIGN.md §17 ----
+  /// Run a per-peer phi-accrual detector next to the fixed timeouts. Phi
+  /// can only *accelerate* suspicion/death (the fixed `suspect_after` /
+  /// `dead_after` bounds remain hard ceilings), so detection latency tracks
+  /// the observed network without ever regressing past the classic bound.
+  bool adaptive = true;
+  /// Phi at which a peer becomes suspect (phi 8 = P(still alive) ~ 1e-8).
+  double phi_suspect = 8.0;
+  /// Phi at which a peer is treated as timed out (probe/eviction path).
+  double phi_dead = 16.0;
+  /// Inter-arrival window per peer (ring buffer; capped at 64).
+  std::size_t phi_window = 16;
+  /// Samples before phi applies; until then only the fixed timeouts act.
+  std::size_t phi_min_samples = 5;
+  /// Stddev floor as a fraction of `heartbeat` (virtual-time networks
+  /// deliver zero-jitter beats; the floor keeps phi finite).
+  double phi_min_stddev_fraction = 0.25;
+  /// Gray verdict: mean inter-arrival above slow_factor * heartbeat marks
+  /// the peer *slow* — deprioritized for binding and checkpoint-holder
+  /// election, but never tombstoned (it is alive, just degraded).
+  double slow_factor = 2.0;
+  /// Slow clears only below slow_recover_factor * heartbeat (hysteresis).
+  double slow_recover_factor = 1.4;
 };
 
 /// A checkpoint holder's public record that it restored `origin`'s stateful
@@ -234,6 +259,19 @@ class CohesionNode {
     auto it = children_.find(n);
     return it != children_.end() && it->second.suspect;
   }
+  /// Gray verdict: `n`'s heartbeats keep arriving but their mean interval
+  /// has stretched past slow_factor * heartbeat. Slow peers stay members
+  /// (never tombstoned); callers deprioritize them for placement.
+  [[nodiscard]] bool is_slow(NodeId n) const {
+    return slow_peers_.count(n) != 0;
+  }
+  /// Every peer currently carrying the slow verdict (sorted by id).
+  [[nodiscard]] std::vector<NodeId> slow_peers() const {
+    return {slow_peers_.begin(), slow_peers_.end()};
+  }
+  /// Current phi for `n` given silence up to `now` (0 until the detector
+  /// warms or when `n` is unknown). Exposed for the determinism tests.
+  [[nodiscard]] double phi_of(NodeId n, TimePoint now) const;
 
   /// Legacy view assembled from the metrics registry ("cohesion.*" names).
   struct Stats {
@@ -313,6 +351,16 @@ class CohesionNode {
   /// when the message is stale (older incarnation / tombstoned) and must be
   /// dropped at the protocol boundary.
   bool admit_message(const ProtoMessage& m);
+  /// Feed one keep-alive arrival from `from` into its phi detector and
+  /// maintain the slow-peer verdict (hysteresis + transitions + metrics).
+  void record_arrival(NodeId from, TimePoint now);
+  /// Fixed-timeout verdicts OR phi-accelerated ones: `silence` against the
+  /// classic bounds, phi against phi_suspect/phi_dead once warmed. Phi for
+  /// a slow-marked peer is not consulted — its stretched window already
+  /// absorbs the latency, and a gray peer must never be fast-tracked to a
+  /// death verdict by the detector that just flagged it.
+  [[nodiscard]] bool phi_says_suspect(NodeId n, Duration silence) const;
+  [[nodiscard]] bool phi_says_dead(NodeId n, Duration silence) const;
   /// Record a confirmed death: tombstone, purge cached state, notify the
   /// Node layer, and (root only, when `broadcast`) tell every member.
   void note_death(NodeId dead, std::uint64_t dead_inc,
@@ -322,7 +370,8 @@ class CohesionNode {
   /// roster or directory member) -- i.e. we have first-hand evidence it is
   /// up, not just a cached incarnation number.
   [[nodiscard]] bool believes_alive(NodeId n) const;
-  [[nodiscard]] Bytes encode_incarnation_table() const;
+  [[nodiscard]] bool heard_recently(NodeId n, TimePoint now) const;
+  [[nodiscard]] Bytes encode_incarnation_table(TimePoint now) const;
   void merge_incarnation_table(BytesView data, TimePoint now);
   void send_anti_entropy(TimePoint now);
 
@@ -377,6 +426,10 @@ class CohesionNode {
 
   std::uint64_t incarnation_ = 1;
   std::uint64_t epoch_ = 1;
+  // Per-peer phi-accrual detectors (keyed by keep-alive sender) and the
+  // set currently carrying the gray verdict.
+  std::map<NodeId, PhiAccrualDetector> arrivals_;
+  std::set<NodeId> slow_peers_;
   std::map<NodeId, std::uint64_t> peer_incarnations_;
   std::map<NodeId, std::uint64_t> tombstones_;  // dead node -> incarnation
   TimePoint last_anti_entropy_ = 0;
@@ -430,6 +483,9 @@ class CohesionNode {
   obs::Counter* promotions_;
   obs::Counter* fenced_stale_;
   obs::Counter* fenced_cross_zone_;
+  obs::Counter* slow_marked_;
+  obs::Counter* slow_recovered_;
+  obs::Counter* phi_suspects_;
 };
 
 }  // namespace clc::core

@@ -31,17 +31,25 @@ class NodeAdmissionGate final : public orb::AdmissionGate {
       : ctrl_(ctrl), clock_(clock) {}
 
   Result<void> admit(const std::string& interface_name,
-                     const std::string& /*operation*/) override {
+                     const std::string& operation) override {
     const auto cls = interface_name.rfind("clc::", 0) == 0
                          ? CallClass::control
                          : CallClass::application;
-    return ctrl_.admit(cls, clock_.now());
+    // Learned per-op cost: 0 (not warmed) falls back to the static
+    // per-class default inside the controller.
+    return ctrl_.admit(cls, clock_.now(),
+                       ctrl_.learned_cost(interface_name + "." + operation));
   }
   std::uint32_t credit_hint() override {
     return ctrl_.credit_window(clock_.now());
   }
   std::uint64_t queue_delay_us() override {
     return static_cast<std::uint64_t>(ctrl_.queue_delay(clock_.now()));
+  }
+  void record_service_time(const std::string& interface_name,
+                           const std::string& operation,
+                           std::uint64_t service_us) override {
+    ctrl_.record_service_time(interface_name + "." + operation, service_us);
   }
 
  private:
@@ -436,6 +444,11 @@ void Node::install_directory() {
     auto rec = directory_.lookup(req.arg(0).as<std::string>());
     if (!rec) return rec.error();
     req.set_result(orb::Value(rec->encode()));
+    return {};
+  });
+  servant->on("lookup_group", [this](orb::ServerRequest& req) -> Result<void> {
+    req.set_result(orb::Value(dir::encode_records(
+        directory_.lookup_group(req.arg(0).as<std::string>()))));
     return {};
   });
   servant->on("exchange_table",
@@ -1059,14 +1072,26 @@ void Node::restart_local(NodeId bootstrap, TimePoint now) {
 
 void Node::run_checkpoints() {
   if (failover_.replicas <= 0) return;
-  // Holder set: the R lowest-id live peers. network_.nodes() is id-ordered,
-  // so every node derives the same holder list -- which the restore-side
-  // election depends on.
+  // Holder set: the R lowest-id live peers, except that peers the phi
+  // detector currently marks *slow* (gray, not dead -- DESIGN.md §17) are
+  // deprioritized: they hold checkpoints only when there are not enough
+  // healthy peers to fill R. Safe to decide locally: the chosen set ships
+  // inside every CheckpointRecord (rec.holders), and the restore-side
+  // election runs over that carried list, never over a recomputation.
   std::vector<NodeId> holders;
+  std::vector<NodeId> slow;
   for (Node* p : network_.nodes()) {
     if (p->id() == id_) continue;
+    if (cohesion_.is_slow(p->id())) {
+      slow.push_back(p->id());
+      continue;
+    }
     holders.push_back(p->id());
     if (static_cast<int>(holders.size()) >= failover_.replicas) break;
+  }
+  for (NodeId s : slow) {
+    if (static_cast<int>(holders.size()) >= failover_.replicas) break;
+    holders.push_back(s);
   }
   if (holders.empty()) return;
   for (InstanceId iid : container_.instance_ids()) {

@@ -1,0 +1,91 @@
+#include "core/phi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clc::core {
+
+PhiAccrualDetector::PhiAccrualDetector(PhiConfig cfg) : cfg_(cfg) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  if (cfg_.window > kMaxWindow) cfg_.window = kMaxWindow;
+  if (cfg_.min_samples == 0) cfg_.min_samples = 1;
+}
+
+void PhiAccrualDetector::record_arrival(TimePoint now) {
+  if (have_last_) {
+    const Duration gap = now - last_;
+    if (gap >= 0) append(static_cast<double>(gap));
+  }
+  last_ = now;
+  have_last_ = true;
+  if (warmed()) {
+    const double m = mean();
+    const double expected = static_cast<double>(cfg_.expected_interval);
+    if (!slow_ && m > cfg_.slow_factor * expected) {
+      slow_ = true;
+    } else if (slow_ && m < cfg_.slow_recover_factor * expected) {
+      slow_ = false;
+    }
+  }
+}
+
+void PhiAccrualDetector::append(double interval_us) {
+  if (count_ == cfg_.window) {
+    const double evicted = samples_[head_];
+    sum_ -= evicted;
+    sum_sq_ -= evicted * evicted;
+  } else {
+    ++count_;
+  }
+  samples_[head_] = interval_us;
+  sum_ += interval_us;
+  sum_sq_ += interval_us * interval_us;
+  head_ = (head_ + 1) % cfg_.window;
+}
+
+double PhiAccrualDetector::mean() const noexcept {
+  if (count_ == 0) return static_cast<double>(cfg_.expected_interval);
+  return sum_ / static_cast<double>(count_);
+}
+
+double PhiAccrualDetector::stddev() const noexcept {
+  const double floor =
+      cfg_.min_stddev_fraction * static_cast<double>(cfg_.expected_interval);
+  if (count_ < 2) return floor;
+  const double n = static_cast<double>(count_);
+  const double m = sum_ / n;
+  double var = sum_sq_ / n - m * m;
+  if (var < 0) var = 0;  // running-sum rounding can dip fractionally below 0
+  return std::max(std::sqrt(var), floor);
+}
+
+double PhiAccrualDetector::phi(Duration silence) const {
+  if (!warmed() || silence <= 0) return 0.0;
+  const double m = mean();
+  const double sd = stddev();
+  const double z = (static_cast<double>(silence) - m) / sd;
+  // Logistic approximation of the normal CDF tail (Akka/Cassandra form):
+  // P(X > silence) computed without erf so the result is bit-stable across
+  // libm implementations within the precision the tests pin.
+  const double e = std::exp(-z * (1.5976 + 0.070566 * z * z));
+  double p_later;  // probability a beat arrives later than `silence`
+  if (z > 0) {
+    p_later = e / (1.0 + e);
+  } else {
+    p_later = 1.0 - 1.0 / (1.0 + e);
+  }
+  if (p_later < 1e-300) p_later = 1e-300;  // cap phi ~= 300, avoid -inf
+  return -std::log10(p_later);
+}
+
+void PhiAccrualDetector::reset() noexcept {
+  head_ = 0;
+  count_ = 0;
+  sum_ = 0;
+  sum_sq_ = 0;
+  last_ = 0;
+  have_last_ = false;
+  slow_ = false;
+}
+
+}  // namespace clc::core

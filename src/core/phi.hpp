@@ -1,0 +1,97 @@
+// Phi-accrual failure detection (Hayashibara et al., "The phi accrual
+// failure detector", SRDS 2004) — the adaptive half of the gray-failure
+// tolerance layer (DESIGN.md §17).
+//
+// A PhiAccrualDetector watches one peer's heartbeat inter-arrival times and
+// turns "how long since the last beat" into a continuous suspicion level
+// phi = -log10(P(a later arrival)), instead of a binary timeout. Detection
+// latency then tracks the network the node actually observes: on a quiet
+// link phi climbs fast, on a jittery one it stays patient.
+//
+// The detector is deliberately arithmetic-only (no clocks, no RNG, no
+// allocation after construction): the same seeded heartbeat trace replays
+// to a byte-identical phi timeline under the simulator and under a real
+// transport, which is what the grayfail determinism tests pin.
+//
+// It also carries the *slow-peer* verdict that classic accrual detectors
+// lack: a peer whose beats keep arriving but whose mean inter-arrival has
+// stretched past `slow_factor` times the expected period is gray — alive,
+// so never tombstoned, but degraded, so deprioritized for binding and
+// checkpoint-holder election. Hysteresis (`slow_recover_factor`) keeps the
+// verdict from flapping at the boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace clc::core {
+
+struct PhiConfig {
+  /// Expected heartbeat period; seeds the window and floors the stddev.
+  Duration expected_interval = seconds(2);
+  /// Sliding window of inter-arrival samples (ring buffer, fixed size).
+  std::size_t window = 16;
+  /// Samples required before phi()/slow() report anything but "unknown":
+  /// until warmed the caller falls back to its fixed timeouts.
+  std::size_t min_samples = 5;
+  /// Stddev floor, as a fraction of expected_interval. Virtual-time
+  /// networks deliver beats with *zero* jitter; without a floor the
+  /// first late beat would spike phi to infinity.
+  double min_stddev_fraction = 0.25;
+  /// Mean inter-arrival beyond slow_factor * expected_interval => slow.
+  double slow_factor = 2.0;
+  /// Slow verdict clears only below slow_recover_factor * expected
+  /// (hysteresis; must be < slow_factor).
+  double slow_recover_factor = 1.4;
+};
+
+class PhiAccrualDetector {
+ public:
+  static constexpr std::size_t kMaxWindow = 64;
+
+  explicit PhiAccrualDetector(PhiConfig cfg = {});
+
+  /// Record one heartbeat arrival. The first call only anchors time; the
+  /// second onward append an inter-arrival sample. Monotonicity is the
+  /// caller's contract (cohesion feeds it a single clock).
+  void record_arrival(TimePoint now);
+
+  /// Suspicion level given the current silence. Returns 0 until warmed.
+  /// phi = -log10(P(an arrival later than `silence`)), under a normal
+  /// approximation of the observed inter-arrival distribution (logistic
+  /// CDF approximation, as in the Akka/Cassandra implementations).
+  [[nodiscard]] double phi(Duration silence) const;
+
+  /// Gray verdict: beats still arrive, but slowly. Sticky (hysteresis):
+  /// set above slow_factor, cleared below slow_recover_factor.
+  [[nodiscard]] bool slow() const noexcept { return slow_; }
+
+  /// True once min_samples inter-arrivals accrued; before that phi() is 0
+  /// and the caller must rely on its fixed timeout bounds.
+  [[nodiscard]] bool warmed() const noexcept { return count_ >= cfg_.min_samples; }
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] TimePoint last_arrival() const noexcept { return last_; }
+
+  /// Forget everything (peer restarted / purged); keeps the config.
+  void reset() noexcept;
+
+ private:
+  void append(double interval_us);
+
+  PhiConfig cfg_;
+  double samples_[kMaxWindow] = {};
+  std::size_t head_ = 0;       // next slot to overwrite
+  std::size_t count_ = 0;      // samples currently in the window (≤ window)
+  double sum_ = 0;             // running sum over the window
+  double sum_sq_ = 0;          // running sum of squares over the window
+  TimePoint last_ = 0;
+  bool have_last_ = false;
+  bool slow_ = false;
+};
+
+}  // namespace clc::core

@@ -51,6 +51,21 @@ Result<ServiceRecord> ServiceDirectory::lookup(
   return it->second;
 }
 
+std::vector<ServiceRecord> ServiceDirectory::lookup_group(
+    const std::string& group) const {
+  std::vector<ServiceRecord> out;
+  // table_ is name-ordered: the group's members ("g", then "g#...") sit in
+  // one contiguous range starting at lower_bound(group).
+  for (auto it = table_.lower_bound(group); it != table_.end(); ++it) {
+    if (!service_in_group(it->first, group)) {
+      if (it->first.compare(0, group.size(), group) != 0) break;
+      continue;  // e.g. "g2" sorts between "g" and "g#": keep scanning
+    }
+    if (!it->second.retired) out.push_back(it->second);
+  }
+  return out;
+}
+
 std::vector<ServiceRecord> ServiceDirectory::records() const {
   std::vector<ServiceRecord> out;
   out.reserve(table_.size());

@@ -49,6 +49,12 @@ class ServiceDirectory {
   /// Active (non-retired) record for a service, or not_found.
   [[nodiscard]] Result<ServiceRecord> lookup(const std::string& service) const;
 
+  /// Active members of a replica group: every non-retired record whose
+  /// service name is `group` itself or `group "#" tag`. Service-name order
+  /// (deterministic across converged replicas); empty when none.
+  [[nodiscard]] std::vector<ServiceRecord> lookup_group(
+      const std::string& group) const;
+
   /// All records including tombstones, in service-name order.
   [[nodiscard]] std::vector<ServiceRecord> records() const;
 

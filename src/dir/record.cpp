@@ -8,6 +8,7 @@ const char* directory_idl() noexcept {
          " interface Directory {"
          "  void publish(in DirBlob record);"
          "  DirBlob lookup(in string service);"
+         "  DirBlob lookup_group(in string group);"
          "  DirBlob exchange_table(in DirBlob table);"
          "  void subscribe(in Object subscriber);"
          "  void unsubscribe(in Object subscriber);"
@@ -77,6 +78,39 @@ Result<ServiceRecord> ServiceRecord::decode(BytesView data) {
   orb::CdrReader r(data);
   if (auto enc = r.begin_encapsulation(); !enc) return enc.error();
   return unmarshal(r);
+}
+
+bool service_in_group(const std::string& service,
+                      const std::string& group) noexcept {
+  if (service == group) return true;
+  return service.size() > group.size() + 1 &&
+         service.compare(0, group.size(), group) == 0 &&
+         service[group.size()] == '#';
+}
+
+Bytes encode_records(const std::vector<ServiceRecord>& records) {
+  orb::CdrWriter w;
+  w.begin_encapsulation();
+  w.write_sequence_length(static_cast<std::uint32_t>(records.size()));
+  for (const auto& rec : records) rec.marshal(w);
+  return w.take();
+}
+
+Result<std::vector<ServiceRecord>> decode_records(BytesView data) {
+  orb::CdrReader r(data);
+  if (auto enc = r.begin_encapsulation(); !enc) return enc.error();
+  auto count = r.read_sequence_length();
+  if (!count) return count.error();
+  if (*count > r.remaining())
+    return Error{Errc::corrupt_data, "record count exceeds payload"};
+  std::vector<ServiceRecord> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto rec = ServiceRecord::unmarshal(r);
+    if (!rec) return rec.error();
+    out.push_back(std::move(*rec));
+  }
+  return out;
 }
 
 const char* change_kind_name(ChangeKind k) noexcept {

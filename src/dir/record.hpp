@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "orb/cdr.hpp"
 #include "orb/object_ref.hpp"
@@ -70,6 +71,17 @@ struct ServiceRecord {
   [[nodiscard]] Bytes encode() const;
   static Result<ServiceRecord> decode(BytesView data);
 };
+
+/// Group-membership convention: replicas of one logical service register
+/// under `group "#" tag` (e.g. "demo.counter#2"); the bare group name
+/// itself may also carry a binding. lookup_group returns every active
+/// member, framed exactly like an anti-entropy table (count + records).
+[[nodiscard]] bool service_in_group(const std::string& service,
+                                    const std::string& group) noexcept;
+
+/// Encapsulated record sequence (the lookup_group reply DirBlob).
+[[nodiscard]] Bytes encode_records(const std::vector<ServiceRecord>& records);
+Result<std::vector<ServiceRecord>> decode_records(BytesView data);
 
 /// What a change notification reports about a service.
 enum class ChangeKind : std::uint8_t {

@@ -155,6 +155,53 @@ PartitionSchedule PartitionSchedule::random(std::uint64_t seed,
   return schedule;
 }
 
+GraySchedule GraySchedule::random(std::uint64_t seed,
+                                  const std::vector<NodeId>& nodes,
+                                  std::size_t count, Duration horizon,
+                                  Duration min_duration, Duration max_duration,
+                                  double min_factor, double max_factor,
+                                  double stall_probability) {
+  GraySchedule schedule;
+  if (nodes.empty() || count == 0 || horizon <= 0) return schedule;
+  Rng rng(seed ^ 0x6BA7F0666BA7F066ULL);
+  // Deterministic victim pick without replacement (partial Fisher-Yates),
+  // exactly the CrashSchedule shape: a node goes gray at most once.
+  std::vector<NodeId> pool = nodes;
+  const std::size_t n = count < pool.size() ? count : pool.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    GrayEvent ev;
+    ev.node = pool[i];
+    ev.at = static_cast<TimePoint>(
+        rng.next_below(static_cast<std::uint64_t>(horizon)));
+    const Duration lo = min_duration < 0 ? 0 : min_duration;
+    const Duration hi = max_duration < lo ? lo : max_duration;
+    ev.duration = lo + static_cast<Duration>(rng.next_below(
+                           static_cast<std::uint64_t>(hi - lo) + 1));
+    const double flo = min_factor < 1.0 ? 1.0 : min_factor;
+    const double fhi = max_factor < flo ? flo : max_factor;
+    // Quantized factor draw (1/100ths) keeps the schedule replayable
+    // without floating-point uniform helpers.
+    ev.service_factor =
+        flo + static_cast<double>(rng.next_below(
+                  static_cast<std::uint64_t>((fhi - flo) * 100.0) + 1)) /
+                  100.0;
+    if (stall_probability > 0 && rng.chance(stall_probability) &&
+        ev.duration > 0) {
+      ev.stall_period = ev.duration / 20;
+      ev.stall_duration = ev.stall_period / 10;
+    }
+    schedule.events.push_back(ev);
+  }
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const GrayEvent& a, const GrayEvent& b) {
+              return a.at != b.at ? a.at < b.at : a.node.value < b.node.value;
+            });
+  return schedule;
+}
+
 FaultInjector::FaultInjector(obs::MetricsRegistry* metrics)
     : owned_metrics_(metrics == nullptr
                          ? std::make_unique<obs::MetricsRegistry>()

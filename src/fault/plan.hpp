@@ -151,6 +151,46 @@ struct PartitionSchedule {
                                   double asymmetric_probability = 0);
 };
 
+/// One gray-failure episode (DESIGN.md §17): at `at`, `node` turns *slow*
+/// -- emphatically not dead -- until `duration` elapses. Three degradation
+/// axes compose: service-rate degradation multiplies the node's outbound
+/// delivery delay (a busy or thermally-throttled process answers late),
+/// `outbound_delay` adds a fixed one-way penalty (asymmetric path: the
+/// node hears the world on time but its own frames crawl), and an optional
+/// stuck-worker cadence freezes the node's inbound processing entirely for
+/// `stall_duration` every `stall_period` (a wedged thread that recovers).
+struct GrayEvent {
+  NodeId node;
+  TimePoint at = 0;
+  Duration duration = 0;        // 0 = gray for good (stalls then fire once)
+  double service_factor = 1.0;  // outbound delay multiplier (>= 1)
+  Duration outbound_delay = 0;  // fixed extra one-way delay, node -> *
+  Duration stall_period = 0;    // 0 = no stuck-worker stalls
+  Duration stall_duration = 0;  // length of each freeze
+
+  bool operator==(const GrayEvent&) const = default;
+};
+
+/// A replayable gray-failure timetable: the CrashSchedule purity contract
+/// for slowness instead of death. The same seed degrades exactly the same
+/// nodes, by exactly the same factors, at exactly the same virtual times.
+struct GraySchedule {
+  std::vector<GrayEvent> events;  // sorted by `at`
+
+  /// `count` episodes uniformly over [0, horizon), drawn from `nodes` (a
+  /// node is degraded at most once). Each runs for a uniform duration in
+  /// [min_duration, max_duration] with a service factor uniform in
+  /// [min_factor, max_factor]; with probability `stall_probability` the
+  /// episode also carries a stuck-worker cadence (stalls of a tenth of the
+  /// period, every twentieth of the episode).
+  static GraySchedule random(std::uint64_t seed,
+                             const std::vector<NodeId>& nodes,
+                             std::size_t count, Duration horizon,
+                             Duration min_duration, Duration max_duration,
+                             double min_factor, double max_factor,
+                             double stall_probability = 0);
+};
+
 /// One applied fault, for the replay/determinism log.
 struct FaultEvent {
   std::uint64_t seq = 0;

@@ -1,0 +1,64 @@
+#include "orb/health.hpp"
+
+#include <cmath>
+
+namespace clc::orb {
+
+void EndpointHealthTracker::record(const std::string& endpoint,
+                                   Duration latency) {
+  if (latency < 0) latency = 0;
+  const double sample = static_cast<double>(latency);
+  std::lock_guard lock(mutex_);
+  State& s = endpoints_[endpoint];
+  if (s.samples == 0) {
+    // First sample seeds the estimator (RFC 6298 initialization shape).
+    s.ewma = sample;
+    s.dev = sample / 2.0;
+  } else {
+    const double err = std::abs(sample - s.ewma);
+    s.dev = (1.0 - kBeta) * s.dev + kBeta * err;
+    s.ewma = (1.0 - kAlpha) * s.ewma + kAlpha * sample;
+  }
+  ++s.samples;
+}
+
+double EndpointHealthTracker::latency_ewma(const std::string& endpoint,
+                                           double fallback_us) const {
+  std::lock_guard lock(mutex_);
+  auto it = endpoints_.find(endpoint);
+  return it == endpoints_.end() ? fallback_us : it->second.ewma;
+}
+
+Duration EndpointHealthTracker::p95(const std::string& endpoint) const {
+  std::lock_guard lock(mutex_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) return 0;
+  return static_cast<Duration>(it->second.ewma + 2.0 * it->second.dev);
+}
+
+std::uint64_t EndpointHealthTracker::samples(
+    const std::string& endpoint) const {
+  std::lock_guard lock(mutex_);
+  auto it = endpoints_.find(endpoint);
+  return it == endpoints_.end() ? 0 : it->second.samples;
+}
+
+EndpointHealthTracker::Snapshot EndpointHealthTracker::snapshot(
+    const std::string& endpoint) const {
+  std::lock_guard lock(mutex_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) return {};
+  return Snapshot{it->second.ewma, it->second.dev, it->second.samples};
+}
+
+void EndpointHealthTracker::forget(const std::string& endpoint) {
+  std::lock_guard lock(mutex_);
+  endpoints_.erase(endpoint);
+}
+
+void EndpointHealthTracker::clear() {
+  std::lock_guard lock(mutex_);
+  endpoints_.clear();
+}
+
+}  // namespace clc::orb

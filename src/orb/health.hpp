@@ -1,0 +1,70 @@
+// Per-endpoint latency health tracking (DESIGN.md §17).
+//
+// Every completed remote invocation feeds its end-to-end latency into an
+// EWMA + mean-absolute-deviation pair per endpoint (the TCP RTT estimator
+// shape: cheap, O(1) state, no histogram). Two consumers hang off it:
+//
+//  * Hedged requests — the hedge delay for an endpoint is its estimated
+//    p95 (ewma + 2·deviation): a speculative second attempt fires only
+//    once the primary is already slower than ~95% of its history.
+//
+//  * Health-aware binding — Orb::endpoint_health_score combines this
+//    latency estimate with breaker state, the credit window and the
+//    failure streak into one scalar; Session and the directory rank
+//    replicas by it (lower = healthier).
+//
+// The tracker is deliberately value-only (no clocks): callers pass
+// measured durations, so deterministic tests drive it with virtual time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/clock.hpp"
+
+namespace clc::orb {
+
+class EndpointHealthTracker {
+ public:
+  /// EWMA gain; 1/8 mirrors the classic RTT estimator (RFC 6298 shape).
+  static constexpr double kAlpha = 0.125;
+  /// Deviation gain (RFC 6298 beta).
+  static constexpr double kBeta = 0.25;
+
+  struct Snapshot {
+    double ewma_us = 0;       // smoothed latency
+    double deviation_us = 0;  // smoothed |sample - ewma|
+    std::uint64_t samples = 0;
+  };
+
+  /// Record one completed invocation's end-to-end latency.
+  void record(const std::string& endpoint, Duration latency);
+
+  /// Smoothed latency in µs; `fallback_us` when the endpoint is unknown.
+  [[nodiscard]] double latency_ewma(const std::string& endpoint,
+                                    double fallback_us = 0) const;
+
+  /// Estimated p95: ewma + 2·deviation (normal-ish tail), 0 when unknown.
+  [[nodiscard]] Duration p95(const std::string& endpoint) const;
+
+  [[nodiscard]] std::uint64_t samples(const std::string& endpoint) const;
+  [[nodiscard]] Snapshot snapshot(const std::string& endpoint) const;
+
+  /// Forget one endpoint (it re-warms from scratch) or everything.
+  void forget(const std::string& endpoint);
+  void clear();
+
+ private:
+  struct State {
+    double ewma = 0;
+    double dev = 0;
+    std::uint64_t samples = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, State> endpoints_;
+};
+
+}  // namespace clc::orb

@@ -20,6 +20,17 @@ constexpr std::uint32_t kFlowRecoveryLimit = 256;
 /// Cap on the per-endpoint consecutive-failure streak: bounds the backoff
 /// exponent contributed by endpoint memory (initial * multiplier^(cap-1)).
 constexpr int kMaxFailureStreak = 8;
+/// Failure-streak half-life: the streak halves per window elapsed since
+/// the last recorded failure, so an endpoint nobody has called in a while
+/// re-enters the backoff curve low instead of at its historical worst.
+/// (Any success still resets the streak to zero instantly.)
+constexpr Duration kStreakHalfLife = seconds(10);
+/// Latency assumed for an endpoint the health tracker has never seen (µs):
+/// unknown replicas rank behind a warmed sub-millisecond one but ahead of
+/// anything the breaker or streak history is punishing.
+constexpr double kUnknownEndpointLatencyUs = 1000.0;
+/// Streak contribution to the health score saturates at 2^6.
+constexpr int kMaxStreakPenaltyShift = 6;
 }  // namespace
 
 namespace detail {
@@ -204,8 +215,25 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
         info.set_failed(out->exception->type_name);
       orb->interceptors_.receive_reply(info);
     }
-    orb->invoke_us_->observe(static_cast<std::uint64_t>(
-        std::max<std::int64_t>(0, orb->clock_->now() - invoke_started)));
+    const Duration elapsed =
+        std::max<std::int64_t>(0, orb->clock_->now() - invoke_started);
+    // Feed the endpoint latency estimator (remote invocations only): hedge
+    // delays and health-aware binding read it. Failures count too -- the
+    // time to a definitive verdict is exactly what a hedging caller would
+    // have waited, and a gray endpoint's inflated estimate is the signal.
+    // A *fast* failure (connection refused in microseconds) is floored at
+    // the unknown-endpoint fallback, so instant rejection can never score
+    // healthier than an endpoint we have simply not tried yet -- the
+    // failure streak must demote it, not be cancelled by a tiny EWMA.
+    if (!endpoint.empty() && endpoint != orb->endpoint_) {
+      const bool failed = !out.ok();
+      const Duration floored =
+          failed ? std::max<Duration>(
+                       elapsed, static_cast<Duration>(kUnknownEndpointLatencyUs))
+                 : elapsed;
+      orb->health_.record(endpoint, floored);
+    }
+    orb->invoke_us_->observe(static_cast<std::uint64_t>(elapsed));
     {
       // Freeze the failover-observability fields before completion so a
       // continuation reading attempts()/final_endpoint() sees the totals.
@@ -214,6 +242,160 @@ struct AsyncCall : std::enable_shared_from_this<AsyncCall> {
       state->final_endpoint = endpoint;
     }
     state->complete(std::move(out));
+  }
+};
+
+/// Joins a primary attempt and an optional speculative hedge into the one
+/// PendingState the caller holds (DESIGN.md §17). The first *definitive*
+/// outcome -- success, or a model-level error the peer actually answered
+/// with -- wins and completes the outer state; the loser's eventual reply
+/// is discarded on arrival. A leg that dies with a transport-class error
+/// merely defers to the other leg; only when both legs are dead does the
+/// join surface the primary's error. The hedge leg launches either when
+/// the arm_timer fires (the primary has been silent past its estimated
+/// p95) or immediately when the primary fails retryably first; either way
+/// it passes through the hedge budget gate exactly once.
+struct HedgeJoin : std::enable_shared_from_this<HedgeJoin> {
+  enum class Hedge : std::uint8_t {
+    not_launched,  // timer pending, budget not yet consulted
+    launching,     // claimed by one thread; budget check in progress
+    launched,      // speculative leg in flight
+    declined,      // budget said no; primary is the only leg
+    failed,        // hedge leg finished with a transport-class error
+  };
+
+  Orb* orb = nullptr;
+  std::shared_ptr<PendingState> outer;
+  std::string operation;
+  InvokeOptions opts;
+  HedgePolicy policy;
+  ObjectRef hedge_target;
+  std::vector<Value> hedge_args;  // pre-copied for the speculative leg
+
+  std::mutex mutex;
+  bool decided = false;       // outer completion claimed
+  bool primary_failed = false;
+  Hedge hedge_state = Hedge::not_launched;
+  std::shared_ptr<PendingState> primary_leg;  // kept for error surfacing
+
+  void watch(const std::shared_ptr<PendingState>& leg, bool is_hedge) {
+    auto self = shared_from_this();
+    PendingInvocation handle(leg);
+    handle.then([self, leg, is_hedge](const Result<InvokeOutcome>&) {
+      self->on_leg_done(leg, is_hedge);
+    });
+  }
+
+  /// Timer callback: launch the hedge unless the race is already over.
+  void fire() {
+    {
+      std::lock_guard lock(mutex);
+      if (decided || hedge_state != Hedge::not_launched) return;
+    }
+    launch_hedge();
+  }
+
+  void launch_hedge() {
+    {
+      std::lock_guard lock(mutex);
+      if (decided || hedge_state != Hedge::not_launched) return;
+      hedge_state = Hedge::launching;
+    }
+    if (!orb->hedge_budget_allows(policy)) {
+      std::unique_lock lock(mutex);
+      hedge_state = Hedge::declined;
+      if (primary_failed && !decided) {
+        decided = true;
+        auto p = primary_leg;
+        lock.unlock();
+        complete_from(p);
+      }
+      return;
+    }
+    orb->hedges_->inc();
+    auto leg =
+        orb->invoke_pending(hedge_target, operation, std::move(hedge_args),
+                            opts);
+    {
+      std::lock_guard lock(mutex);
+      hedge_state = Hedge::launched;
+    }
+    watch(leg, /*is_hedge=*/true);
+  }
+
+  void on_leg_done(const std::shared_ptr<PendingState>& leg, bool is_hedge) {
+    bool is_definitive;
+    {
+      std::lock_guard leg_lock(leg->mutex);
+      is_definitive = leg->outcome.ok() ||
+                      !errc_is_retryable(leg->outcome.error().code);
+    }
+    std::unique_lock lock(mutex);
+    if (decided) return;  // the loser: reply discarded
+    if (is_definitive) {
+      decided = true;
+      lock.unlock();
+      if (is_hedge) orb->hedge_wins_->inc();
+      complete_from(leg);
+      return;
+    }
+    // Transport-class failure: this leg is out of the race.
+    if (is_hedge) {
+      hedge_state = Hedge::failed;
+      if (primary_failed) {
+        decided = true;
+        auto p = primary_leg;
+        lock.unlock();
+        complete_from(p);
+      }
+      return;
+    }
+    primary_failed = true;
+    primary_leg = leg;
+    switch (hedge_state) {
+      case Hedge::not_launched:
+        // Failure-triggered hedge: don't wait out the p95 timer when the
+        // primary has already told us it is in trouble.
+        lock.unlock();
+        launch_hedge();
+        return;
+      case Hedge::launching:
+      case Hedge::launched:
+        return;  // the hedge leg will decide
+      case Hedge::declined:
+      case Hedge::failed:
+        decided = true;
+        lock.unlock();
+        complete_from(leg);
+        return;
+    }
+  }
+
+  /// Publish one leg's outcome (and its out-args and failover
+  /// observability) through the outer state. Called exactly once, by
+  /// whichever path set `decided`.
+  void complete_from(const std::shared_ptr<PendingState>& leg) {
+    Result<InvokeOutcome> out{Error{Errc::bad_state, "hedge join"}};
+    std::vector<Value> args;
+    int attempts = 1;
+    std::string final_endpoint;
+    std::uint64_t request_id = 0;
+    {
+      std::lock_guard leg_lock(leg->mutex);
+      out = std::move(leg->outcome);
+      args = std::move(leg->args);
+      attempts = leg->attempts;
+      final_endpoint = leg->final_endpoint;
+      request_id = leg->request_id;
+    }
+    {
+      std::lock_guard outer_lock(outer->mutex);
+      outer->args = std::move(args);
+      outer->attempts = attempts;
+      outer->final_endpoint = std::move(final_endpoint);
+      outer->request_id = request_id;
+    }
+    outer->complete(std::move(out));
   }
 };
 
@@ -238,6 +420,8 @@ Orb::Orb(NodeId node_id, std::shared_ptr<idl::InterfaceRepository> repo,
       server_shed_(&metrics_->counter("orb.server_shed")),
       backpressure_deferred_(&metrics_->counter("orb.backpressure_deferred")),
       credit_hints_(&metrics_->counter("orb.credit_hints")),
+      hedges_(&metrics_->counter("orb.hedges")),
+      hedge_wins_(&metrics_->counter("orb.hedge_wins")),
       inflight_gauge_(&metrics_->gauge("orb.inflight")),
       queue_depth_gauge_(&metrics_->gauge("orb.queue_depth")),
       invoke_us_(&metrics_->histogram("orb.invoke_us")) {
@@ -363,7 +547,16 @@ Bytes Orb::handle_frame_impl(BytesView frame, bool intercept_server) {
     info.set_incoming(std::move(req->service_contexts));
     interceptors_.receive_request(info);
   }
+  const TimePoint dispatch_started = clock_->now();
   auto reply = dispatch_request(*req);
+  // Feed the admission controller's learned per-op cost model with the
+  // observed service time (DESIGN.md §16/§17): the static cost table is
+  // only the prior until real samples arrive.
+  if (gate != nullptr)
+    gate->record_service_time(
+        req->interface_name, req->operation,
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, clock_->now() - dispatch_started)));
   if (intercept) {
     if (!reply)
       info.set_failed(errc_name(reply.error().code));
@@ -688,23 +881,75 @@ std::size_t Orb::endpoint_deferred(const std::string& endpoint) const {
 // ---------------------------------------------------------------------------
 // Endpoint backoff memory (survives breaker half-open probes)
 
+int Orb::decayed_streak(const FailureStreak& s, TimePoint now) noexcept {
+  if (s.streak <= 0) return 0;
+  const Duration elapsed = now - s.last_failure;
+  if (elapsed < kStreakHalfLife) return s.streak;
+  const std::int64_t half_lives = elapsed / kStreakHalfLife;
+  if (half_lives >= 31) return 0;
+  return s.streak >> half_lives;
+}
+
 int Orb::note_endpoint_failure(const std::string& endpoint) {
+  const TimePoint now = clock_->now();
   std::lock_guard lock(breaker_mutex_);
-  int& streak = failure_streaks_[endpoint];
-  if (streak < kMaxFailureStreak) ++streak;
-  return streak;
+  FailureStreak& s = failure_streaks_[endpoint];
+  s.streak = decayed_streak(s, now);  // fold in idle-time decay first
+  if (s.streak < kMaxFailureStreak) ++s.streak;
+  s.last_failure = now;
+  return s.streak;
 }
 
 void Orb::note_endpoint_success(const std::string& endpoint) {
   std::lock_guard lock(breaker_mutex_);
   auto it = failure_streaks_.find(endpoint);
-  if (it != failure_streaks_.end()) it->second = 0;
+  if (it != failure_streaks_.end()) it->second = FailureStreak{};
 }
 
 int Orb::endpoint_failure_streak(const std::string& endpoint) const {
+  const TimePoint now = clock_->now();
   std::lock_guard lock(breaker_mutex_);
   auto it = failure_streaks_.find(endpoint);
-  return it == failure_streaks_.end() ? 0 : it->second;
+  return it == failure_streaks_.end() ? 0 : decayed_streak(it->second, now);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint health (DESIGN.md §17)
+
+double Orb::endpoint_health_score(const std::string& endpoint) const {
+  if (endpoint.empty() || endpoint == endpoint_) return 0.0;  // collocated
+  double score = health_.latency_ewma(endpoint, kUnknownEndpointLatencyUs);
+  switch (breaker_state(endpoint)) {
+    case CircuitBreaker::State::closed:
+      break;
+    case CircuitBreaker::State::half_open:
+      score *= 8.0;
+      break;
+    case CircuitBreaker::State::open:
+      score *= 64.0;
+      break;
+  }
+  // A narrowed credit window means the server told us it is pressured.
+  if (const std::uint32_t w = endpoint_credit_window(endpoint); w > 0)
+    score *= 1.0 + 8.0 / static_cast<double>(w);
+  const int streak =
+      std::min(endpoint_failure_streak(endpoint), kMaxStreakPenaltyShift);
+  score *= static_cast<double>(1 << streak);
+  return score;
+}
+
+void Orb::rank_by_health(std::vector<ObjectRef>& replicas) const {
+  std::vector<std::pair<double, std::size_t>> keyed;
+  keyed.reserve(replicas.size());
+  for (std::size_t i = 0; i < replicas.size(); ++i)
+    keyed.emplace_back(endpoint_health_score(replicas[i].endpoint), i);
+  // Stable on the original index: equal scores keep caller priority order.
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<ObjectRef> ranked;
+  ranked.reserve(replicas.size());
+  for (const auto& [score, idx] : keyed) ranked.push_back(std::move(replicas[idx]));
+  replicas = std::move(ranked);
 }
 
 std::shared_ptr<detail::PendingState> Orb::invoke_pending(
@@ -807,6 +1052,108 @@ PendingInvocation Orb::invoke_async(const ObjectRef& target,
   invocations_async_->inc();
   return PendingInvocation(
       invoke_pending(target, operation, std::move(args), opts));
+}
+
+bool Orb::hedge_budget_allows(const HedgePolicy& policy) {
+  const std::uint64_t eligible =
+      hedge_eligible_.load(std::memory_order_relaxed);
+  std::uint64_t issued = hedges_issued_.load(std::memory_order_relaxed);
+  for (;;) {
+    const bool allowed =
+        issued < policy.burst ||
+        static_cast<double>(issued + 1) <=
+            policy.budget * static_cast<double>(eligible);
+    if (!allowed) return false;
+    if (hedges_issued_.compare_exchange_weak(issued, issued + 1,
+                                             std::memory_order_relaxed))
+      return true;
+    // Raced with another hedge; re-evaluate against the updated count.
+  }
+}
+
+void Orb::arm_timer(Duration delay, std::function<void()> fn) {
+  TimerFn timer;
+  {
+    std::shared_lock lock(policy_mutex_);
+    timer = timer_fn_;
+  }
+  if (timer) {
+    timer(delay, std::move(fn));
+    return;
+  }
+  std::thread([delay, fn = std::move(fn)] {
+    if (delay > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    fn();
+  }).detach();
+}
+
+PendingInvocation Orb::invoke_hedged(std::vector<ObjectRef> replicas,
+                                     const std::string& operation,
+                                     std::vector<Value> args,
+                                     const InvokeOptions& opts) {
+  invocations_async_->inc();
+  if (replicas.empty()) {
+    auto outer = std::make_shared<detail::PendingState>();
+    outer->complete(
+        Error{Errc::invalid_argument, "hedged invocation with no replicas"});
+    return PendingInvocation(outer);
+  }
+  rank_by_health(replicas);
+  HedgePolicy policy;
+  {
+    std::shared_lock lock(policy_mutex_);
+    policy = policies_.hedge;
+  }
+  const ObjectRef& primary = replicas.front();
+  const bool local = primary.endpoint == endpoint_ || primary.endpoint.empty();
+  // Hedging needs the policy on, an idempotent call (a lost reply is
+  // indistinguishable from a lost request, exactly as for retry), a spare
+  // replica, and a remote primary (a collocated dispatch completes
+  // synchronously -- there is no tail to cut).
+  if (!policy.enabled || !opts.idempotent || replicas.size() < 2 || local)
+    return PendingInvocation(
+        invoke_pending(primary, operation, std::move(args), opts));
+  hedge_eligible_.fetch_add(1, std::memory_order_relaxed);
+
+  auto join = std::make_shared<detail::HedgeJoin>();
+  join->orb = this;
+  join->outer = std::make_shared<detail::PendingState>();
+  join->operation = operation;
+  join->opts = opts;
+  join->policy = policy;
+  join->hedge_target = replicas[1];
+  join->hedge_args = args;  // copy before the primary leg consumes them
+
+  // Hedge delay: the primary endpoint's estimated p95, clamped to the
+  // policy window; a cold tracker falls back to the policy default.
+  Duration delay = health_.p95(primary.endpoint);
+  if (delay <= 0) delay = policy.default_delay;
+  delay = std::clamp(delay, policy.min_delay, policy.max_delay);
+
+  join->watch(invoke_pending(primary, operation, std::move(args), opts),
+              /*is_hedge=*/false);
+  bool race_over;
+  {
+    std::lock_guard lock(join->mutex);
+    race_over = join->decided || join->hedge_state !=
+                                     detail::HedgeJoin::Hedge::not_launched;
+  }
+  if (!race_over) arm_timer(delay, [join] { join->fire(); });
+  return PendingInvocation(join->outer);
+}
+
+Result<Value> Orb::call_hedged(std::vector<ObjectRef> replicas,
+                               const std::string& operation,
+                               std::vector<Value> args,
+                               const InvokeOptions& opts) {
+  auto pending =
+      invoke_hedged(std::move(replicas), operation, std::move(args), opts);
+  auto out = pending.take();
+  if (!out) return out.error();
+  if (out->exception.has_value())
+    return Error{Errc::remote_exception, out->exception->type_name};
+  return std::move(out->result);
 }
 
 Orb::Stats Orb::stats() const {

@@ -37,6 +37,7 @@
 #include "idl/repository.hpp"
 #include "obs/interceptor.hpp"
 #include "obs/metrics.hpp"
+#include "orb/health.hpp"
 #include "orb/invocation.hpp"
 #include "orb/message.hpp"
 #include "orb/object_ref.hpp"
@@ -126,6 +127,7 @@ enum class CollocationPolicy : std::uint8_t { direct, through_frame };
 
 namespace detail {
 struct AsyncCall;
+struct HedgeJoin;
 }  // namespace detail
 
 /// Server-side admission gate (DESIGN.md §16). The owning Node installs an
@@ -144,6 +146,16 @@ class AdmissionGate {
   virtual std::uint32_t credit_hint() = 0;
   /// Current queue-delay estimate in µs (rides the credit context).
   virtual std::uint64_t queue_delay_us() = 0;
+  /// Observed service time of one dispatched request (µs), reported after
+  /// the servant returns. Default no-op; the Node's gate feeds it into the
+  /// AdmissionController's learned per-op cost estimator (DESIGN.md §17).
+  virtual void record_service_time(const std::string& interface_name,
+                                   const std::string& operation,
+                                   std::uint64_t service_us) {
+    (void)interface_name;
+    (void)operation;
+    (void)service_us;
+  }
 };
 
 class Orb {
@@ -240,6 +252,26 @@ class Orb {
                      std::vector<Value> args = {},
                      const InvokeOptions& opts = {});
 
+  /// Hedged invocation over a replica set (DESIGN.md §17). Replicas are
+  /// ranked by endpoint_health_score; the call goes to the healthiest, and
+  /// — when the hedge policy is enabled, the call is idempotent, and the
+  /// ~5% budget allows — a speculative second attempt goes to the next
+  /// replica once the primary has been silent past its estimated p95
+  /// latency (or immediately, if the primary fails retryably first). The
+  /// first definitive outcome wins; the loser's reply is discarded. With
+  /// hedging off (or a single replica) this is exactly invoke_async on the
+  /// best replica. The wire sees only ordinary request frames.
+  PendingInvocation invoke_hedged(std::vector<ObjectRef> replicas,
+                                  const std::string& operation,
+                                  std::vector<Value> args,
+                                  const InvokeOptions& opts = {});
+
+  /// call()-shaped wrapper over invoke_hedged.
+  Result<Value> call_hedged(std::vector<ObjectRef> replicas,
+                            const std::string& operation,
+                            std::vector<Value> args = {},
+                            const InvokeOptions& opts = {});
+
   /// One-way invocation (no reply, best effort).
   Result<void> send(const ObjectRef& target, const std::string& operation,
                     std::vector<Value> args = {},
@@ -273,9 +305,33 @@ class Orb {
     sleep_fn_ = std::move(fn);
   }
 
+  /// How hedge timers wait: fn(delay, fire) must run `fire` once, `delay`
+  /// from now, without blocking the caller. Defaults to a detached
+  /// real-time thread; deterministic tests install a manual timer.
+  using TimerFn = std::function<void(Duration, std::function<void()>)>;
+  void set_timer_fn(TimerFn fn) {
+    std::unique_lock lock(policy_mutex_);
+    timer_fn_ = std::move(fn);
+  }
+
   /// Breaker state of a remote endpoint (closed when never used).
   [[nodiscard]] CircuitBreaker::State breaker_state(
       const std::string& endpoint) const;
+
+  // --------------------------------------------------------------- health
+
+  /// Per-endpoint latency estimator fed by every completed remote
+  /// invocation (hedge delays and health scores read it).
+  [[nodiscard]] EndpointHealthTracker& health() noexcept { return health_; }
+
+  /// One scalar ranking an endpoint for binding: smoothed latency (µs)
+  /// scaled up by breaker state (half-open ×8, open ×64), a narrowed
+  /// credit window (×(1 + 8/window)) and the failure streak (×2^streak,
+  /// capped). Lower is healthier; collocated endpoints score 0.
+  [[nodiscard]] double endpoint_health_score(const std::string& endpoint) const;
+
+  /// Stable-sort references healthiest-first by endpoint_health_score.
+  void rank_by_health(std::vector<ObjectRef>& replicas) const;
 
   // --------------------------------------------------------- backpressure
 
@@ -326,6 +382,7 @@ class Orb {
 
  private:
   friend struct detail::AsyncCall;
+  friend struct detail::HedgeJoin;
 
   /// Everything a single invocation needs from the mutable configuration,
   /// captured in ONE shared-lock acquisition at invocation start -- the
@@ -377,8 +434,22 @@ class Orb {
   /// Successful reply without a hint: ramp a limited window back up.
   void note_credit_absent(const std::string& endpoint);
   /// Endpoint-level backoff memory (survives breaker half-open probes).
+  /// The streak decays with a half-life (halved per elapsed half-life
+  /// window since the last failure) so an idle endpoint's history fades
+  /// instead of persisting forever; any success still resets it to 0.
+  struct FailureStreak {
+    int streak = 0;
+    TimePoint last_failure = 0;
+  };
+  [[nodiscard]] static int decayed_streak(const FailureStreak& s,
+                                          TimePoint now) noexcept;
   int note_endpoint_failure(const std::string& endpoint);
   void note_endpoint_success(const std::string& endpoint);
+
+  /// Budget gate for one prospective hedge (counts it when allowed).
+  bool hedge_budget_allows(const HedgePolicy& policy);
+  /// Arm fn to run `delay` from now (TimerFn, or a detached thread).
+  void arm_timer(Duration delay, std::function<void()> fn);
 
   NodeId node_id_;
   std::shared_ptr<idl::InterfaceRepository> repo_;
@@ -395,6 +466,8 @@ class Orb {
   obs::Counter* server_shed_;
   obs::Counter* backpressure_deferred_;
   obs::Counter* credit_hints_;
+  obs::Counter* hedges_;
+  obs::Counter* hedge_wins_;
   obs::Gauge* inflight_gauge_;
   obs::Gauge* queue_depth_gauge_;
   obs::Histogram* invoke_us_;
@@ -413,10 +486,15 @@ class Orb {
   mutable std::shared_mutex policy_mutex_;
   InvocationPolicies policies_;          // under policy_mutex_
   std::function<void(Duration)> sleep_fn_;  // under policy_mutex_
+  TimerFn timer_fn_;                     // under policy_mutex_
   std::shared_ptr<AdmissionGate> admission_gate_;  // under policy_mutex_
   mutable std::mutex breaker_mutex_;
   std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
-  std::map<std::string, int> failure_streaks_;  // under breaker_mutex_
+  std::map<std::string, FailureStreak> failure_streaks_;  // under breaker_mutex_
+  EndpointHealthTracker health_;         // internally synchronized
+  // Hedge budget accounting: hedge-eligible calls seen / hedges issued.
+  std::atomic<std::uint64_t> hedge_eligible_{0};
+  std::atomic<std::uint64_t> hedges_issued_{0};
   mutable std::mutex flow_mutex_;
   std::map<std::string, EndpointFlow> flows_;   // under flow_mutex_
   mutable std::shared_mutex servants_mutex_;

@@ -49,10 +49,32 @@ struct BreakerPolicy {
   Duration open_duration = seconds(1);  // cool-down before a probe
 };
 
+/// Hedged requests (DESIGN.md §17): for an *idempotent* call with a known
+/// replica set, a speculative second attempt goes to the next-best replica
+/// once the primary has been silent past its estimated p95 latency; the
+/// first definitive reply wins and the loser's reply is discarded. Purely
+/// client-side — the wire carries two ordinary requests, byte-identical to
+/// unhedged traffic (no new service contexts).
+struct HedgePolicy {
+  bool enabled = false;
+  /// Hedge delay = clamp(primary endpoint p95, min_delay, max_delay).
+  Duration min_delay = milliseconds(1);
+  Duration max_delay = seconds(1);
+  /// Delay until the latency tracker has samples for the primary.
+  Duration default_delay = milliseconds(10);
+  /// Extra-load cap: hedges may be at most this fraction of hedge-eligible
+  /// calls ("the tail at scale" budget; ~5%).
+  double budget = 0.05;
+  /// Hedges always allowed below this absolute count, so the budget ratio
+  /// has a denominator to converge on at startup.
+  std::uint32_t burst = 16;
+};
+
 struct InvocationPolicies {
   Duration deadline = 0;  // total budget across attempts; 0 = unbounded
   RetryPolicy retry;
   BreakerPolicy breaker;
+  HedgePolicy hedge;
 };
 
 /// Per-call overrides, passed alongside invoke()/call()/send().

@@ -22,6 +22,7 @@ Session::Session(orb::Orb& orb, SessionConfig config, obs::Tracer* tracer)
       rng_(0x5e5510BEACULL ^ (orb.node_id().value * 0x9E3779B97F4A7C15ULL)),
       cache_hits_(&orb.metrics().counter("session.cache_hits")),
       rebinds_(&orb.metrics().counter("session.rebinds")),
+      rebind_health_(&orb.metrics().counter("session.rebind_health")),
       notifications_(&orb.metrics().counter("dir.notifications")),
       calls_(&orb.metrics().counter("session.calls")),
       errors_(&orb.metrics().counter("session.errors")),
@@ -72,9 +73,20 @@ Result<orb::ObjectRef> Session::resolve(const std::string& service) {
   return resolve_uncached(service);
 }
 
+std::vector<orb::ObjectRef> Session::ranked_directory() {
+  auto replicas = config_.directory;
+  orb_.rank_by_health(replicas);
+  // Health-aware binding (DESIGN.md §17): the configured order is only the
+  // priority among equally healthy replicas. Count the times health data
+  // actually overrode it -- that is the signal the obs tests assert on.
+  if (!replicas.empty() && !(replicas.front() == config_.directory.front()))
+    rebind_health_->inc();
+  return replicas;
+}
+
 Result<orb::ObjectRef> Session::resolve_uncached(const std::string& service) {
   Error last{Errc::not_found, "no directory replica answered for " + service};
-  for (const auto& replica : config_.directory) {
+  for (const auto& replica : ranked_directory()) {
     auto out = orb_.call(replica, "lookup", {orb::Value(service)},
                          kIdempotent);
     if (!out) {
@@ -148,9 +160,121 @@ Result<orb::Value> Session::call(const std::string& service,
   return last;
 }
 
+Result<std::vector<orb::ObjectRef>> Session::resolve_group(
+    const std::string& group) {
+  {
+    // Cache first, exactly like resolve(): the members admitted from a
+    // previous lookup_group (or pushed notifications) are name-contiguous
+    // in the record map.
+    std::lock_guard lock(mutex_);
+    std::vector<orb::ObjectRef> refs;
+    for (auto it = records_.lower_bound(group); it != records_.end(); ++it) {
+      if (it->first.compare(0, group.size(), group) != 0) break;
+      if (dir::service_in_group(it->first, group) && !it->second.retired)
+        refs.push_back(it->second.ref);
+    }
+    if (!refs.empty()) {
+      cache_hits_->inc();
+      const orb::ObjectRef first = refs.front();
+      orb_.rank_by_health(refs);
+      if (!(refs.front() == first)) rebind_health_->inc();
+      return refs;
+    }
+  }
+  Error last{Errc::not_found,
+             "no directory replica answered for group " + group};
+  for (const auto& replica : ranked_directory()) {
+    auto out = orb_.call(replica, "lookup_group", {orb::Value(group)},
+                         kIdempotent);
+    if (!out) {
+      last = out.error();
+      continue;
+    }
+    auto recs = dir::decode_records(out->as<Bytes>());
+    if (!recs) {
+      last = recs.error();
+      continue;
+    }
+    std::vector<orb::ObjectRef> refs;
+    for (const auto& rec : *recs) {
+      admit(rec);
+      if (!rec.retired) refs.push_back(rec.ref);
+    }
+    if (refs.empty()) {
+      last = Error{Errc::not_found, "group " + group + " has no members"};
+      continue;
+    }
+    const orb::ObjectRef first = refs.front();
+    orb_.rank_by_health(refs);
+    if (!(refs.front() == first)) rebind_health_->inc();
+    return refs;
+  }
+  return last;
+}
+
+Result<orb::Value> Session::call_group(const std::string& group,
+                                       const std::string& operation,
+                                       std::vector<orb::Value> args,
+                                       const orb::InvokeOptions& opts) {
+  std::optional<obs::ScopedSpan> span;
+  if (tracer_) span.emplace(*tracer_, "session:" + group + "." + operation);
+  calls_->inc();
+  const TimePoint deadline = clock_->now() + config_.rebind_deadline;
+  Error last{Errc::not_found, "group " + group + " never resolved"};
+  int round = 1;
+  for (;;) {
+    auto refs = resolve_group(group);
+    if (refs) {
+      auto out = orb_.call_hedged(std::move(*refs), operation, args, opts);
+      if (out) return out;
+      last = out.error();
+      if (!rebindable(last.code)) break;
+      if (last.code == Errc::overloaded) {
+        backpressure_backoffs_->inc();
+        log_event("backpressure " + group);
+      } else {
+        invalidate_group(group);
+        rebinds_->inc();
+        log_event("rebind group " + group + " after " + errc_name(last.code));
+      }
+    } else {
+      last = refs.error();
+      if (!rebindable(last.code)) break;
+    }
+    const TimePoint now = clock_->now();
+    if (now >= deadline) break;
+    Duration wait =
+        orb::backoff_delay(config_.backoff, std::min(round, 20), rng_);
+    if (wait > config_.max_backoff) wait = config_.max_backoff;
+    if (wait > deadline - now) wait = deadline - now;
+    std::function<void(Duration)> sleep;
+    {
+      std::lock_guard lock(mutex_);
+      sleep = sleep_fn_;
+    }
+    if (wait > 0 && sleep) sleep(wait);
+    ++round;
+  }
+  errors_->inc();
+  if (span) span->fail();
+  return last;
+}
+
 void Session::invalidate(const std::string& service) {
   std::lock_guard lock(mutex_);
   records_.erase(service);
+}
+
+void Session::invalidate_group(const std::string& group) {
+  std::lock_guard lock(mutex_);
+  auto it = records_.lower_bound(group);
+  while (it != records_.end() &&
+         it->first.compare(0, group.size(), group) == 0) {
+    if (dir::service_in_group(it->first, group))
+      it = records_.erase(it);
+    else
+      ++it;
+  }
 }
 
 Result<dir::ServiceRecord> Session::cached(const std::string& service) const {

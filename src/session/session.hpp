@@ -75,8 +75,29 @@ class Session {
                           const orb::InvokeOptions& opts = {.idempotent =
                                                                 true});
 
+  /// Resolve every active member of a replica group (records named `group`
+  /// or `group "#" tag`), healthiest first (Orb::endpoint_health_score).
+  /// Cached members win (`session.cache_hits`); otherwise the directory
+  /// replicas answer lookup_group. `session.rebind_health` counts the
+  /// resolutions where health ranking overrode the default priority order.
+  Result<std::vector<orb::ObjectRef>> resolve_group(const std::string& group);
+
+  /// Invoke `operation` on a replica group through the Orb's hedged path:
+  /// the call goes to the healthiest member, and a budget-capped
+  /// speculative attempt covers its tail (DESIGN.md §17). Rebinds like
+  /// call(): a rebindable failure drops the cached members, re-resolves
+  /// and replays until the rebind deadline.
+  Result<orb::Value> call_group(const std::string& group,
+                                const std::string& operation,
+                                std::vector<orb::Value> args = {},
+                                const orb::InvokeOptions& opts = {
+                                    .idempotent = true});
+
   /// Drop the cached binding for one service (next call re-resolves).
   void invalidate(const std::string& service);
+
+  /// Drop every cached member of a replica group.
+  void invalidate_group(const std::string& group);
 
   /// Currently cached record, if any (tests/introspection).
   [[nodiscard]] Result<dir::ServiceRecord> cached(
@@ -106,6 +127,9 @@ class Session {
   static bool rebindable(Errc c) noexcept;
 
   Result<orb::ObjectRef> resolve_uncached(const std::string& service);
+  /// Configured directory replicas, healthiest first; bumps
+  /// `session.rebind_health` when ranking demoted the configured favorite.
+  std::vector<orb::ObjectRef> ranked_directory();
   /// Admit a record under newer_than fencing; returns true if it won.
   bool admit(const dir::ServiceRecord& record);
   void on_notification(BytesView payload);
@@ -128,6 +152,7 @@ class Session {
 
   obs::Counter* cache_hits_;
   obs::Counter* rebinds_;
+  obs::Counter* rebind_health_;
   obs::Counter* notifications_;
   obs::Counter* calls_;
   obs::Counter* errors_;

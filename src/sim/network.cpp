@@ -57,6 +57,47 @@ bool SimNetwork::blocked(NodeId a, NodeId b) const {
   return (a_in_a && b_in_b) || (a_in_b && b_in_a);
 }
 
+void SimNetwork::set_node_degradation(NodeId id, double service_factor,
+                                      Duration outbound_delay) {
+  if (service_factor <= 1.0 && outbound_delay <= 0) {
+    clear_node_degradation(id);
+    return;
+  }
+  degradations_[id] = {service_factor < 1.0 ? 1.0 : service_factor,
+                       outbound_delay < 0 ? 0 : outbound_delay};
+}
+
+void SimNetwork::clear_node_degradation(NodeId id) { degradations_.erase(id); }
+
+void SimNetwork::stall_node(NodeId id, Duration duration) {
+  if (duration <= 0) return;
+  const TimePoint until = sim_.now() + duration;
+  TimePoint& cur = stalled_until_[id];
+  if (until > cur) cur = until;
+}
+
+void SimNetwork::apply_gray_schedule(const fault::GraySchedule& schedule) {
+  for (const fault::GrayEvent& ev : schedule.events) {
+    sim_.schedule_at(ev.at, [this, ev]() {
+      set_node_degradation(ev.node, ev.service_factor, ev.outbound_delay);
+    });
+    if (ev.stall_period > 0 && ev.stall_duration > 0) {
+      // The stall instants are precomputed from the event alone, so the
+      // timetable stays a pure function of the schedule.
+      const TimePoint end =
+          ev.duration > 0 ? ev.at + ev.duration : ev.at + ev.stall_period + 1;
+      for (TimePoint t = ev.at; t < end; t += ev.stall_period)
+        sim_.schedule_at(t, [this, node = ev.node,
+                             d = ev.stall_duration]() { stall_node(node, d); });
+    }
+    if (ev.duration > 0)
+      sim_.schedule_at(ev.at + ev.duration,
+                       [this, node = ev.node]() {
+                         clear_node_degradation(node);
+                       });
+  }
+}
+
 Duration SimNetwork::delivery_delay(NodeId from, NodeId to,
                                     std::size_t bytes) {
   Duration d = latency_fn_ ? latency_fn_(from, to) : model_.base_latency;
@@ -66,6 +107,12 @@ Duration SimNetwork::delivery_delay(NodeId from, NodeId to,
   if (model_.bytes_per_second > 0)
     d += static_cast<Duration>(static_cast<double>(bytes) /
                                model_.bytes_per_second * 1e6);
+  // Gray sender: its frames leave late (service-rate degradation plus the
+  // one-way asymmetric path penalty). The reverse direction is untouched.
+  if (auto it = degradations_.find(from); it != degradations_.end())
+    d = static_cast<Duration>(static_cast<double>(d) *
+                              it->second.service_factor) +
+        it->second.outbound_delay;
   return d;
 }
 
@@ -99,17 +146,39 @@ void SimNetwork::send(NodeId from, NodeId to, Bytes payload,
     fault::FaultInjector::corrupt(payload, d);
     if (d.duplicate) {
       // The duplicate is invisible to the sender: no second callback.
-      sim_.schedule_after(delay, [this, from, to, to_inc, data = payload]() {
-        deliver(from, to, to_inc, data);
+      sim_.schedule_after(delay, [this, from, to, to_inc, data = payload]() mutable {
+        deliver_or_defer(from, to, to_inc, std::move(data), nullptr);
       });
     }
   }
   sim_.schedule_after(
       delay, [this, from, to, to_inc, data = std::move(payload),
               cb = std::move(on_delivery)]() mutable {
-        const bool delivered = deliver(from, to, to_inc, data);
-        if (cb) cb(delivered);
+        deliver_or_defer(from, to, to_inc, std::move(data), std::move(cb));
       });
+}
+
+void SimNetwork::deliver_or_defer(NodeId from, NodeId to,
+                                  std::uint64_t to_incarnation, Bytes payload,
+                                  DeliveryCallback cb) {
+  // Stuck worker: the frame sits in the destination's queue until the
+  // stall lifts, then delivers (arrival order is preserved because the
+  // simulator's event queue is FIFO within one instant).
+  if (auto it = stalled_until_.find(to); it != stalled_until_.end()) {
+    const TimePoint until = it->second;
+    if (until > sim_.now()) {
+      sim_.schedule_at(until, [this, from, to, to_incarnation,
+                               data = std::move(payload),
+                               cb = std::move(cb)]() mutable {
+        deliver_or_defer(from, to, to_incarnation, std::move(data),
+                         std::move(cb));
+      });
+      return;
+    }
+    stalled_until_.erase(it);
+  }
+  const bool delivered = deliver(from, to, to_incarnation, payload);
+  if (cb) cb(delivered);
 }
 
 bool SimNetwork::deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,

@@ -106,6 +106,29 @@ class SimNetwork {
     return blocked(from, to);
   }
 
+  /// Gray failure (DESIGN.md §17): degrade one node without killing it.
+  /// Its *outbound* delivery delay is multiplied by `service_factor` and
+  /// padded by `outbound_delay` (one-way asymmetry: inbound traffic is
+  /// untouched), modelling a process that hears the world on time but
+  /// answers late. Factor 1 + delay 0 clears the degradation.
+  void set_node_degradation(NodeId id, double service_factor,
+                            Duration outbound_delay = 0);
+  void clear_node_degradation(NodeId id);
+  [[nodiscard]] bool degraded(NodeId id) const {
+    return degradations_.count(id) != 0;
+  }
+
+  /// Stuck worker: freeze `id`'s inbound processing until now+`duration`.
+  /// Frames arriving during the freeze are not lost -- they deliver, in
+  /// arrival order, the moment the stall lifts (a wedged thread resuming
+  /// its queue). Overlapping stalls extend the freeze.
+  void stall_node(NodeId id, Duration duration);
+
+  /// Arm a replayable gray-failure timetable: each episode's degradation
+  /// appears at `at`, recurs its stuck-worker stalls on the event cadence,
+  /// and clears after `duration` (0 = degraded for good).
+  void apply_gray_schedule(const fault::GraySchedule& schedule);
+
   /// Queue a message for delivery (latency applied). Sending to a detached
   /// or partitioned node silently loses the message, as on a real network.
   void send(NodeId from, NodeId to, Bytes payload);
@@ -148,11 +171,20 @@ class SimNetwork {
   }
 
  private:
+  struct Degradation {
+    double service_factor = 1.0;
+    Duration outbound_delay = 0;
+  };
+
   [[nodiscard]] bool blocked(NodeId a, NodeId b) const;
   [[nodiscard]] Duration delivery_delay(NodeId from, NodeId to,
                                         std::size_t bytes);
   bool deliver(NodeId from, NodeId to, std::uint64_t to_incarnation,
                const Bytes& payload);
+  /// Delivery entry point that honors stuck-worker stalls: a stalled
+  /// destination defers the frame (and its callback) to the stall end.
+  void deliver_or_defer(NodeId from, NodeId to, std::uint64_t to_incarnation,
+                        Bytes payload, DeliveryCallback cb);
 
   Simulator& sim_;
   Rng rng_;
@@ -172,6 +204,8 @@ class SimNetwork {
   std::set<NodeId> partition_b_;
   std::map<NodeId, int> group_of_;  // k-way split membership
   std::set<fault::LinkCut> cut_links_;  // directed (asymmetric) cuts
+  std::map<NodeId, Degradation> degradations_;  // gray (slow) nodes
+  std::map<NodeId, TimePoint> stalled_until_;   // stuck-worker freezes
   std::map<NodeId, std::uint64_t> per_node_bytes_;
 };
 

@@ -1,0 +1,740 @@
+// Gray-failure tolerance tier (DESIGN.md §17). Four layers under test:
+//
+//  * PhiAccrualDetector -- warm-up, monotone suspicion, the slow-peer
+//    verdict with hysteresis, and determinism: the same arrival trace
+//    replays to a byte-identical phi timeline (the property the whole
+//    adaptive detection stack leans on).
+//  * CohesionNode under the discrete-event simulator -- a peer whose
+//    process merely runs slow is marked `slow` but NEVER tombstoned, while
+//    a genuinely dead peer is tombstoned within twice the fixed
+//    dead_after bound; and two same-seed runs produce identical phi
+//    timelines end to end.
+//  * SimNetwork gray-fault injection -- sender-side degradation is one-way
+//    asymmetric, stuck-worker stalls defer frames without loss, and
+//    GraySchedule::random replays from the seed alone.
+//  * Orb hedged requests + health-aware ranking -- failure-triggered and
+//    timer-fired hedges, the ~5% budget gate, replica ranking by health
+//    score, and the failure-streak half-life decay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/cohesion.hpp"
+#include "core/phi.hpp"
+#include "fault/faulty_transport.hpp"
+#include "fault/plan.hpp"
+#include "orb/orb.hpp"
+#include "orb/resilience.hpp"
+#include "orb/tcp.hpp"
+#include "orb/transport.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace clc {
+namespace {
+
+// ------------------------------------------------------------ phi accrual
+
+core::PhiConfig small_phi() {
+  core::PhiConfig pc;
+  pc.expected_interval = milliseconds(100);
+  pc.window = 4;
+  pc.min_samples = 2;
+  return pc;
+}
+
+TEST(Phi, ColdDetectorReportsNothingUntilWarmed) {
+  core::PhiAccrualDetector d(small_phi());
+  EXPECT_FALSE(d.warmed());
+  EXPECT_EQ(d.phi(seconds(10)), 0.0);
+  d.record_arrival(0);  // anchors time only, no interval yet
+  EXPECT_EQ(d.sample_count(), 0u);
+  d.record_arrival(100'000);  // first interval
+  EXPECT_FALSE(d.warmed());
+  EXPECT_EQ(d.phi(seconds(10)), 0.0)
+      << "an unwarmed detector must defer to the fixed bounds";
+  d.record_arrival(200'000);  // second interval: min_samples reached
+  EXPECT_TRUE(d.warmed());
+  EXPECT_GT(d.phi(seconds(10)), 0.0);
+}
+
+TEST(Phi, SuspicionGrowsWithSilence) {
+  core::PhiAccrualDetector d(small_phi());
+  TimePoint t = 0;
+  for (int i = 0; i < 6; ++i) {
+    d.record_arrival(t);
+    t += milliseconds(100);
+  }
+  const double quiet = d.phi(milliseconds(50));
+  const double late = d.phi(milliseconds(300));
+  const double dead = d.phi(seconds(2));
+  EXPECT_LT(quiet, late);
+  EXPECT_LT(late, dead);
+}
+
+TEST(Phi, SameTraceReplaysByteIdentical) {
+  // A jittered trace drawn once from a seeded Rng, fed to two detectors:
+  // every probe must agree exactly (==, not near) -- the detector is pure
+  // arithmetic, so any divergence would break chaos-run replayability.
+  Rng rng(0xFEED);
+  std::vector<TimePoint> trace;
+  TimePoint t = 0;
+  for (int i = 0; i < 64; ++i) {
+    t += milliseconds(90) + static_cast<Duration>(rng.next_below(20'001));
+    trace.push_back(t);
+  }
+  core::PhiConfig pc;
+  pc.expected_interval = milliseconds(100);
+  core::PhiAccrualDetector a(pc);
+  core::PhiAccrualDetector b(pc);
+  for (TimePoint tp : trace) {
+    a.record_arrival(tp);
+    b.record_arrival(tp);
+  }
+  for (Duration silence :
+       {milliseconds(50), milliseconds(150), milliseconds(300), seconds(1)}) {
+    EXPECT_EQ(a.phi(silence), b.phi(silence));
+  }
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.stddev(), b.stddev());
+  EXPECT_EQ(a.slow(), b.slow());
+  EXPECT_EQ(a.sample_count(), b.sample_count());
+}
+
+TEST(Phi, SlowVerdictIsStickyUntilRecoveryThreshold) {
+  core::PhiAccrualDetector d(small_phi());
+  TimePoint t = 0;
+  const auto feed = [&](Duration interval, int n) {
+    for (int i = 0; i < n; ++i) {
+      t += interval;
+      d.record_arrival(t);
+    }
+  };
+  d.record_arrival(t);
+  feed(milliseconds(100), 5);  // on time: mean == expected
+  EXPECT_FALSE(d.slow());
+  feed(milliseconds(300), 4);  // window all 3x expected -> slow
+  EXPECT_TRUE(d.slow());
+  // 150ms sits between slow_recover_factor (1.4x = 140ms) and slow_factor
+  // (2x = 200ms): the dead band. Hysteresis keeps the verdict.
+  feed(milliseconds(150), 4);
+  EXPECT_TRUE(d.slow()) << "verdict must not flap inside the dead band";
+  feed(milliseconds(120), 4);  // below 140ms: recovered
+  EXPECT_FALSE(d.slow());
+}
+
+TEST(Phi, ResetForgetsHistory) {
+  core::PhiAccrualDetector d(small_phi());
+  TimePoint t = 0;
+  for (int i = 0; i < 8; ++i) {
+    d.record_arrival(t);
+    t += milliseconds(300);
+  }
+  ASSERT_TRUE(d.warmed());
+  ASSERT_TRUE(d.slow());
+  d.reset();
+  EXPECT_FALSE(d.warmed());
+  EXPECT_FALSE(d.slow());
+  EXPECT_EQ(d.sample_count(), 0u);
+  EXPECT_EQ(d.phi(seconds(10)), 0.0);
+}
+
+// --------------------------------------- cohesion: slow vs dead verdicts
+
+core::CohesionConfig gray_cohesion() {
+  core::CohesionConfig cfg;
+  cfg.heartbeat = seconds(1);
+  cfg.suspect_after = 3;
+  cfg.dead_after = 5;
+  cfg.group_size = 8;  // flat tree: everyone a direct child of the root
+  cfg.phi_window = 8;  // short window so the slow verdict turns over fast
+  return cfg;
+}
+
+/// One simulated peer: a CohesionNode wired to the SimNetwork, with a
+/// *controllable* tick period -- slowing the ticks models a gray process
+/// whose event loop (and therefore heartbeats) runs late.
+class GrayPeer : public sim::SimHost {
+ public:
+  GrayPeer(NodeId id, core::CohesionConfig cfg, sim::SimNetwork& net,
+           sim::Simulator& sim)
+      : net_(net),
+        sim_(sim),
+        node_(id, cfg, [this, id](NodeId to, const core::ProtoMessage& m) {
+          net_.send(id, to, m.encode());
+        }) {
+    node_.set_digest_provider([] { return core::RegistryDigest{}; });
+  }
+
+  void on_message(NodeId from, const Bytes& payload) override {
+    (void)from;
+    if (!alive_) return;
+    auto m = core::ProtoMessage::decode(payload);
+    if (m.ok()) node_.on_message(*m, sim_.now());
+  }
+
+  core::CohesionNode& node() { return node_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  void kill() { alive_ = false; }
+  void tick() {
+    if (alive_) node_.on_tick(sim_.now());
+  }
+
+  Duration tick_period = 0;  // set by the world; mutable mid-run
+
+ private:
+  sim::SimNetwork& net_;
+  sim::Simulator& sim_;
+  core::CohesionNode node_;
+  bool alive_ = true;
+};
+
+class GrayWorld {
+ public:
+  explicit GrayWorld(core::CohesionConfig cfg, std::uint64_t seed)
+      : net_(sim_, seed), cfg_(cfg) {
+    net_.set_link_model({.base_latency = milliseconds(5),
+                         .jitter = milliseconds(1),
+                         .bytes_per_second = 0,
+                         .drop_probability = 0});
+  }
+
+  void build(std::size_t n) {
+    for (std::size_t i = 1; i <= n; ++i) {
+      auto peer = std::make_unique<GrayPeer>(NodeId{i}, cfg_, net_, sim_);
+      GrayPeer& ref = *peer;
+      ref.tick_period = cfg_.heartbeat / 2;
+      net_.attach(NodeId{i}, peer.get());
+      peers_.push_back(std::move(peer));
+      if (i == 1) {
+        ref.node().start_as_first(sim_.now());
+      } else {
+        sim_.schedule_after(milliseconds(10) * static_cast<Duration>(i),
+                            [&ref, this] {
+                              ref.node().start_joining(NodeId{1}, sim_.now());
+                            });
+      }
+      sim_.schedule_after(ref.tick_period, [this, &ref] { tick_loop(ref); });
+    }
+  }
+
+  GrayPeer& peer(std::uint64_t id) {
+    for (auto& p : peers_)
+      if (p->node().id() == NodeId{id}) return *p;
+    throw std::runtime_error("no peer");
+  }
+
+  void kill(std::uint64_t id) {
+    peer(id).kill();
+    net_.detach(NodeId{id});
+  }
+
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+ private:
+  void tick_loop(GrayPeer& p) {
+    if (!p.alive()) return;  // dead peers stop ticking
+    p.tick();
+    sim_.schedule_after(p.tick_period, [this, &p] { tick_loop(p); });
+  }
+
+  sim::Simulator sim_;
+  sim::SimNetwork net_;
+  core::CohesionConfig cfg_;
+  std::vector<std::unique_ptr<GrayPeer>> peers_;
+};
+
+TEST(GrayCohesion, PhiTimelineReplaysIdenticallyFromTheSeed) {
+  const auto run = [] {
+    GrayWorld w(gray_cohesion(), 7);
+    w.build(4);
+    std::vector<double> timeline;
+    for (int step = 0; step < 60; ++step) {
+      w.run_for(milliseconds(500));
+      for (std::uint64_t n = 2; n <= 4; ++n)
+        timeline.push_back(
+            w.peer(1).node().phi_of(NodeId{n}, w.sim().now()));
+    }
+    return timeline;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << "phi timelines diverge at sample " << i;
+  EXPECT_GT(*std::max_element(a.begin(), a.end()), 0.0)
+      << "detectors never warmed: the timeline is vacuously identical";
+}
+
+TEST(GrayCohesion, SlowPeerIsMarkedButNeverTombstonedWhileDeadPeerIs) {
+  const auto cfg = gray_cohesion();
+  GrayWorld w(cfg, 11);
+  w.build(5);
+  w.run_for(seconds(15));  // converge membership, warm the detectors
+  auto& root = w.peer(1).node();
+
+  // Gray peer 4: its event loop now runs at 3x the heartbeat, so its
+  // beats arrive stretched -- alive, just degraded.
+  w.peer(4).tick_period = 3 * cfg.heartbeat;
+  w.run_for(seconds(30));
+  EXPECT_TRUE(root.is_slow(NodeId{4}));
+  EXPECT_FALSE(root.has_tombstone(NodeId{4}));
+  EXPECT_GE(root.metrics().counter("cohesion.slow_marked").value(), 1u);
+
+  // Kill peer 5 outright and measure detection latency against the fixed
+  // bound, asserting all along that the slow peer is never tombstoned.
+  const TimePoint killed_at = w.sim().now();
+  w.kill(5);
+  TimePoint dead_at = 0;
+  while (w.sim().now() < killed_at + seconds(30)) {
+    w.run_for(milliseconds(500));
+    ASSERT_FALSE(root.has_tombstone(NodeId{4}))
+        << "slow-but-alive peer tombstoned at t=" << w.sim().now();
+    if (root.has_tombstone(NodeId{5})) {
+      dead_at = w.sim().now();
+      break;
+    }
+  }
+  ASSERT_NE(dead_at, 0) << "dead peer was never tombstoned";
+  EXPECT_LE(dead_at - killed_at,
+            2 * cfg.dead_after * cfg.heartbeat + seconds(1))
+      << "adaptive detection must not be slower than 2x the fixed bound";
+
+  // The slow peer rode through the whole episode as a member.
+  EXPECT_TRUE(root.is_slow(NodeId{4}));
+  const auto known = root.known_nodes();
+  EXPECT_NE(std::find(known.begin(), known.end(), NodeId{4}), known.end());
+}
+
+TEST(GrayCohesion, SlowVerdictRecoversWhenThePeerSpeedsUp) {
+  const auto cfg = gray_cohesion();
+  GrayWorld w(cfg, 13);
+  w.build(4);
+  w.run_for(seconds(15));
+  auto& root = w.peer(1).node();
+
+  w.peer(3).tick_period = 3 * cfg.heartbeat;
+  w.run_for(seconds(30));
+  ASSERT_TRUE(root.is_slow(NodeId{3}));
+  ASSERT_FALSE(root.has_tombstone(NodeId{3}));
+
+  w.peer(3).tick_period = cfg.heartbeat / 2;  // the stall clears
+  w.run_for(seconds(20));
+  EXPECT_FALSE(root.is_slow(NodeId{3}));
+  EXPECT_GE(root.metrics().counter("cohesion.slow_recovered").value(), 1u);
+}
+
+// -------------------------------------------- sim-network gray injection
+
+struct CaptureHost : sim::SimHost {
+  explicit CaptureHost(sim::Simulator& s) : sim(&s) {}
+  void on_message(NodeId, const Bytes&) override {
+    arrivals.push_back(sim->now());
+  }
+  sim::Simulator* sim;
+  std::vector<TimePoint> arrivals;
+};
+
+TEST(GrayNetwork, DegradationSlowsOutboundOnly) {
+  sim::Simulator sim;
+  sim::SimNetwork net(sim, 1);
+  net.set_link_model({.base_latency = milliseconds(1)});
+  CaptureHost a(sim);
+  CaptureHost b(sim);
+  net.attach(NodeId{1}, &a);
+  net.attach(NodeId{2}, &b);
+
+  net.set_node_degradation(NodeId{1}, 10.0, milliseconds(5));
+  ASSERT_TRUE(net.degraded(NodeId{1}));
+  net.send(NodeId{1}, NodeId{2}, bytes_of("gray outbound"));
+  net.send(NodeId{2}, NodeId{1}, bytes_of("healthy inbound"));
+  sim.run_until(seconds(1));
+
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  ASSERT_EQ(a.arrivals.size(), 1u);
+  // Gray sender: base 1ms x factor 10 + 5ms pad. Reverse path untouched.
+  EXPECT_EQ(b.arrivals[0], milliseconds(1) * 10 + milliseconds(5));
+  EXPECT_EQ(a.arrivals[0], milliseconds(1));
+
+  net.clear_node_degradation(NodeId{1});
+  EXPECT_FALSE(net.degraded(NodeId{1}));
+}
+
+TEST(GrayNetwork, StallDefersDeliveryWithoutLoss) {
+  sim::Simulator sim;
+  sim::SimNetwork net(sim, 1);
+  net.set_link_model({.base_latency = milliseconds(1)});
+  CaptureHost a(sim);
+  CaptureHost b(sim);
+  net.attach(NodeId{1}, &a);
+  net.attach(NodeId{2}, &b);
+
+  net.stall_node(NodeId{2}, milliseconds(100));
+  bool delivered = false;
+  net.send(NodeId{1}, NodeId{2}, bytes_of("x"),
+           [&](bool ok) { delivered = ok; });
+  sim.run_until(seconds(1));
+
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0], milliseconds(100))
+      << "the frame must sit in the queue until the stall lifts";
+  EXPECT_TRUE(delivered) << "a stuck worker defers frames, never drops them";
+}
+
+TEST(GrayNetwork, GrayScheduleReplaysFromTheSeedAlone) {
+  const std::vector<NodeId> nodes{NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4}};
+  const auto a = fault::GraySchedule::random(99, nodes, 3, seconds(60),
+                                             seconds(5), seconds(10), 2.0,
+                                             10.0, /*stall_probability=*/1.0);
+  const auto b = fault::GraySchedule::random(99, nodes, 3, seconds(60),
+                                             seconds(5), seconds(10), 2.0,
+                                             10.0, /*stall_probability=*/1.0);
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.events.size(), 3u);
+  std::set<NodeId> victims;
+  for (const auto& ev : a.events) {
+    victims.insert(ev.node);
+    EXPECT_GE(ev.service_factor, 2.0);
+    EXPECT_LE(ev.service_factor, 10.0);
+    EXPECT_GE(ev.duration, seconds(5));
+    EXPECT_LE(ev.duration, seconds(10));
+    EXPECT_GT(ev.stall_period, 0);  // probability 1: every episode stalls
+    EXPECT_GT(ev.stall_duration, 0);
+  }
+  EXPECT_EQ(victims.size(), 3u) << "a node is degraded at most once";
+}
+
+TEST(GrayNetwork, AppliedScheduleDegradesAndClearsOnTime) {
+  sim::Simulator sim;
+  sim::SimNetwork net(sim, 1);
+  fault::GraySchedule sched;
+  sched.events.push_back({.node = NodeId{2},
+                          .at = milliseconds(50),
+                          .duration = milliseconds(100),
+                          .service_factor = 4.0});
+  net.apply_gray_schedule(sched);
+  sim.run_until(milliseconds(40));
+  EXPECT_FALSE(net.degraded(NodeId{2}));
+  sim.run_until(milliseconds(60));
+  EXPECT_TRUE(net.degraded(NodeId{2}));
+  sim.run_until(milliseconds(200));
+  EXPECT_FALSE(net.degraded(NodeId{2}));
+}
+
+// ------------------------------------- hedged requests + health ranking
+
+const char* kGrayIdl = R"(
+module g {
+  interface Calc {
+    long add(in long a, in long b);
+  };
+};
+)";
+
+std::shared_ptr<orb::DynamicServant> calc_servant() {
+  auto servant = std::make_shared<orb::DynamicServant>("g::Calc");
+  servant->on("add", [](orb::ServerRequest& req) -> Result<void> {
+    const auto a = req.arg(0).to_int();
+    const auto b = req.arg(1).to_int();
+    if (!a || !b) return Error{Errc::invalid_argument, "bad args"};
+    req.set_result(orb::Value(static_cast<std::int32_t>(*a + *b)));
+    return {};
+  });
+  return servant;
+}
+
+/// One client + N live servers on a shared loopback network; the client's
+/// traffic crosses a (disarmed) FaultyTransport and its hedge timers are
+/// captured instead of spawning threads.
+struct Fleet {
+  std::shared_ptr<idl::InterfaceRepository> repo;
+  std::shared_ptr<orb::LoopbackNetwork> net;
+  std::shared_ptr<fault::FaultyTransport> faulty;
+  std::unique_ptr<orb::Orb> client;
+  std::vector<std::unique_ptr<orb::Orb>> servers;
+  std::vector<orb::ObjectRef> calcs;
+  std::vector<std::pair<Duration, std::function<void()>>> timers;
+
+  explicit Fleet(std::size_t n_servers) {
+    repo = std::make_shared<idl::InterfaceRepository>();
+    EXPECT_TRUE(repo->register_idl(kGrayIdl).ok());
+    net = std::make_shared<orb::LoopbackNetwork>();
+    faulty = std::make_shared<fault::FaultyTransport>(net);
+    client = std::make_unique<orb::Orb>(NodeId{100}, repo);
+    auto* c = client.get();
+    client->set_endpoint(net->register_endpoint(
+        [c](BytesView frame) { return c->handle_frame(frame); }));
+    client->add_transport("loop", faulty);
+    client->set_timer_fn([this](Duration d, std::function<void()> fire) {
+      timers.emplace_back(d, std::move(fire));
+    });
+    for (std::size_t i = 0; i < n_servers; ++i) {
+      auto server = std::make_unique<orb::Orb>(NodeId{1 + i}, repo);
+      auto* s = server.get();
+      server->set_endpoint(net->register_endpoint(
+          [s](BytesView frame) { return s->handle_frame(frame); }));
+      server->add_transport("loop", net);
+      calcs.push_back(server->activate(calc_servant()));
+      servers.push_back(std::move(server));
+    }
+  }
+
+  [[nodiscard]] static orb::InvocationPolicies hedged(std::uint64_t burst = 16,
+                                                      double budget = 0.05) {
+    orb::InvocationPolicies p;
+    p.hedge.enabled = true;
+    p.hedge.burst = burst;
+    p.hedge.budget = budget;
+    return p;
+  }
+
+  [[nodiscard]] std::uint64_t counter(const char* name) {
+    return client->metrics().counter(name).value();
+  }
+
+  [[nodiscard]] Result<orb::Value> add(std::vector<orb::ObjectRef> replicas) {
+    return client->call_hedged(
+        std::move(replicas), "add",
+        {orb::Value(std::int32_t{20}), orb::Value(std::int32_t{22})},
+        {.idempotent = true});
+  }
+};
+
+TEST(Hedge, FailingPrimaryTriggersImmediateHedgeAndWins) {
+  Fleet f(1);
+  f.client->set_invocation_policies(Fleet::hedged());
+  orb::ObjectRef dead = f.calcs[0];
+  dead.endpoint = "loop:dead";  // nothing registered there -> unreachable
+
+  auto r = f.add({dead, f.calcs[0]});
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(*r, orb::Value(std::int32_t{42}));
+  EXPECT_EQ(f.counter("orb.hedges"), 1u);
+  EXPECT_EQ(f.counter("orb.hedge_wins"), 1u);
+  EXPECT_TRUE(f.timers.empty())
+      << "a failure-triggered hedge must not wait for the p95 timer";
+}
+
+TEST(Hedge, DisabledPolicyNeverHedges) {
+  Fleet f(1);  // policy left at its default: hedging off
+  orb::ObjectRef dead = f.calcs[0];
+  dead.endpoint = "loop:dead";
+  auto r = f.add({dead, f.calcs[0]});
+  EXPECT_FALSE(r.ok()) << "with hedging off the call rides the primary only";
+  EXPECT_EQ(f.counter("orb.hedges"), 0u);
+}
+
+TEST(Hedge, NonIdempotentCallsNeverHedge) {
+  Fleet f(1);
+  f.client->set_invocation_policies(Fleet::hedged());
+  orb::ObjectRef dead = f.calcs[0];
+  dead.endpoint = "loop:dead";
+  auto r = f.client->call_hedged(
+      {dead, f.calcs[0]}, "add",
+      {orb::Value(std::int32_t{1}), orb::Value(std::int32_t{2})},
+      {.idempotent = false});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(f.counter("orb.hedges"), 0u)
+      << "a lost non-idempotent request must never be sent twice";
+}
+
+TEST(Hedge, BudgetDeclinedSurfacesThePrimaryOutcome) {
+  Fleet f(1);
+  f.client->set_invocation_policies(Fleet::hedged(/*burst=*/0, /*budget=*/0));
+  orb::ObjectRef dead = f.calcs[0];
+  dead.endpoint = "loop:dead";
+  auto r = f.add({dead, f.calcs[0]});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::unreachable);
+  EXPECT_EQ(f.counter("orb.hedges"), 0u);
+}
+
+TEST(Hedge, BurstAdmitsExactlyItsSizeWhenTheRatioIsZero) {
+  Fleet f(1);
+  f.client->set_invocation_policies(Fleet::hedged(/*burst=*/1, /*budget=*/0));
+  orb::ObjectRef dead_a = f.calcs[0];
+  dead_a.endpoint = "loop:dead_a";
+  orb::ObjectRef dead_b = f.calcs[0];
+  dead_b.endpoint = "loop:dead_b";
+  EXPECT_FALSE(f.add({dead_a, dead_b}).ok());  // hedge issued, both legs die
+  EXPECT_EQ(f.counter("orb.hedges"), 1u);
+
+  orb::ObjectRef dead_c = f.calcs[0];
+  dead_c.endpoint = "loop:dead_c";
+  orb::ObjectRef dead_d = f.calcs[0];
+  dead_d.endpoint = "loop:dead_d";
+  EXPECT_FALSE(f.add({dead_c, dead_d}).ok());  // burst spent: declined
+  EXPECT_EQ(f.counter("orb.hedges"), 1u);
+}
+
+TEST(Hedge, InlineSuccessNeverArmsTimerOrHedge) {
+  Fleet f(2);
+  f.client->set_invocation_policies(Fleet::hedged());
+  auto r = f.add({f.calcs[0], f.calcs[1]});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, orb::Value(std::int32_t{42}));
+  EXPECT_EQ(f.counter("orb.hedges"), 0u);
+  EXPECT_TRUE(f.timers.empty())
+      << "a primary that answered before the race began needs no timer";
+}
+
+TEST(Hedge, TimerFiredHedgeWinsOverASilentPrimary) {
+  // The full tail-cutting race needs a primary that is genuinely in flight
+  // when invoke_hedged returns, so this test runs over real TCP: the gray
+  // server wedges inside dispatch until released, the p95 timer (captured,
+  // fired manually) launches the speculative leg, and the healthy replica's
+  // reply completes the call while the primary is still stuck.
+  auto repo = std::make_shared<idl::InterfaceRepository>();
+  ASSERT_TRUE(repo->register_idl(kGrayIdl).ok());
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool released = false;
+
+  orb::Orb slow_server(NodeId{1}, repo);
+  auto slow_servant = std::make_shared<orb::DynamicServant>("g::Calc");
+  slow_servant->on("add", [&](orb::ServerRequest& req) -> Result<void> {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return released; });
+    req.set_result(orb::Value(std::int32_t{-1}));
+    return {};
+  });
+  orb::TcpServer slow_listener;
+  auto slow_ep = slow_listener.start([&slow_server](BytesView frame) {
+    return slow_server.handle_frame(frame);
+  });
+  ASSERT_TRUE(slow_ep.ok()) << slow_ep.error().to_string();
+  slow_server.set_endpoint(*slow_ep);
+  const auto slow_calc = slow_server.activate(slow_servant);
+
+  orb::Orb fast_server(NodeId{2}, repo);
+  orb::TcpServer fast_listener;
+  auto fast_ep = fast_listener.start([&fast_server](BytesView frame) {
+    return fast_server.handle_frame(frame);
+  });
+  ASSERT_TRUE(fast_ep.ok()) << fast_ep.error().to_string();
+  fast_server.set_endpoint(*fast_ep);
+  const auto fast_calc = fast_server.activate(calc_servant());
+
+  orb::Orb client(NodeId{3}, repo);
+  client.set_endpoint("tcp:127.0.0.1:0");  // not serving, just distinct
+  client.add_transport("tcp", std::make_shared<orb::TcpTransport>());
+  client.set_invocation_policies(Fleet::hedged());
+  std::vector<std::function<void()>> fires;
+  client.set_timer_fn([&fires](Duration, std::function<void()> fire) {
+    fires.push_back(std::move(fire));
+  });
+
+  auto pending = client.invoke_hedged(
+      {slow_calc, fast_calc}, "add",
+      {orb::Value(std::int32_t{20}), orb::Value(std::int32_t{22})},
+      {.idempotent = true});
+  // The primary is wedged inside the gray server, so the timer was armed.
+  ASSERT_EQ(fires.size(), 1u);
+  fires[0]();  // the virtual p95 elapses: the speculative leg launches
+
+  auto out = pending.take();
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(out->result, orb::Value(std::int32_t{42}));
+  EXPECT_EQ(client.metrics().counter("orb.hedges").value(), 1u);
+  EXPECT_EQ(client.metrics().counter("orb.hedge_wins").value(), 1u);
+
+  {
+    std::lock_guard lock(m);
+    released = true;
+  }
+  cv.notify_all();  // unwedge the primary; its late reply is discarded
+  slow_listener.stop();
+  fast_listener.stop();
+}
+
+TEST(Health, RankingPrefersTheLowLatencyReplica) {
+  Fleet f(2);
+  for (int i = 0; i < 8; ++i) {
+    f.client->health().record(f.calcs[0].endpoint, milliseconds(50));
+    f.client->health().record(f.calcs[1].endpoint, milliseconds(1));
+  }
+  EXPECT_GT(f.client->endpoint_health_score(f.calcs[0].endpoint),
+            f.client->endpoint_health_score(f.calcs[1].endpoint));
+  std::vector<orb::ObjectRef> replicas{f.calcs[0], f.calcs[1]};
+  f.client->rank_by_health(replicas);
+  EXPECT_EQ(replicas[0].endpoint, f.calcs[1].endpoint);
+
+  // A collocated replica beats any remote one: its score is exactly zero.
+  orb::ObjectRef self = f.calcs[0];
+  self.endpoint = f.client->endpoint();
+  EXPECT_EQ(f.client->endpoint_health_score(self.endpoint), 0.0);
+  replicas.push_back(self);
+  f.client->rank_by_health(replicas);
+  EXPECT_EQ(replicas[0].endpoint, f.client->endpoint());
+}
+
+TEST(Health, FailuresPushAReplicaDownTheRanking) {
+  Fleet f(1);
+  orb::ObjectRef dead = f.calcs[0];
+  dead.endpoint = "loop:dead";
+  // Fresh endpoints tie, so the stable sort preserves caller order.
+  std::vector<orb::ObjectRef> replicas{dead, f.calcs[0]};
+  f.client->rank_by_health(replicas);
+  EXPECT_EQ(replicas[0].endpoint, dead.endpoint);
+
+  (void)f.client->call(dead, "add",
+                       {orb::Value(std::int32_t{1}), orb::Value(std::int32_t{2})},
+                       {.idempotent = true});
+  EXPECT_EQ(f.client->endpoint_failure_streak("loop:dead"), 1);
+  replicas = {dead, f.calcs[0]};
+  f.client->rank_by_health(replicas);
+  EXPECT_EQ(replicas[0].endpoint, f.calcs[0].endpoint)
+      << "one observed failure must demote the gray endpoint";
+}
+
+TEST(Health, FailureStreakDecaysWithIdleTimeAndResetsOnSuccess) {
+  Fleet f(1);
+  ManualClock clock;
+  f.client->set_clock(&clock);
+
+  orb::ObjectRef dead = f.calcs[0];
+  dead.endpoint = "loop:dead";
+  const auto args = [] {
+    return std::vector<orb::Value>{orb::Value(std::int32_t{1}),
+                                   orb::Value(std::int32_t{2})};
+  };
+  for (int i = 0; i < 4; ++i)
+    EXPECT_FALSE(f.client->call(dead, "add", args(), {.idempotent = true}).ok());
+  EXPECT_EQ(f.client->endpoint_failure_streak("loop:dead"), 4);
+
+  // Half-life decay: the streak halves per 10 idle seconds since the last
+  // failure (regression for the gray-then-heal endpoint that used to carry
+  // its full penalty forever).
+  clock.advance(seconds(10));
+  EXPECT_EQ(f.client->endpoint_failure_streak("loop:dead"), 2);
+  clock.advance(seconds(10));  // 2 half-lives since the last failure
+  EXPECT_EQ(f.client->endpoint_failure_streak("loop:dead"), 1);
+  clock.advance(seconds(20));  // 4 half-lives
+  EXPECT_EQ(f.client->endpoint_failure_streak("loop:dead"), 0);
+
+  // Success resets instantly -- no ride-down. Fail through an armed fault
+  // plan against the *live* server, then heal it and call again.
+  f.faulty->injector().arm({.seed = 9, .drop_probability = 1.0});
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(
+        f.client->call(f.calcs[0], "add", args(), {.idempotent = true}).ok());
+  EXPECT_EQ(f.client->endpoint_failure_streak(f.calcs[0].endpoint), 3);
+  f.faulty->injector().disarm();
+  EXPECT_TRUE(
+      f.client->call(f.calcs[0], "add", args(), {.idempotent = true}).ok());
+  EXPECT_EQ(f.client->endpoint_failure_streak(f.calcs[0].endpoint), 0);
+}
+
+}  // namespace
+}  // namespace clc

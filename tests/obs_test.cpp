@@ -16,6 +16,7 @@
 #include "orb/message.hpp"
 #include "orb/orb.hpp"
 #include "orb/transport.hpp"
+#include "session/session.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "support/test_components.hpp"
@@ -652,6 +653,22 @@ TEST(NodeMetrics, UnifiedRegistryCollectsEveryLayer) {
   EXPECT_GT(b.metrics().counter("orb.invocations_served").value(), 0u);
   const std::string json = a.metrics().to_json();
   EXPECT_NE(json.find("orb.invoke_us"), std::string::npos);
+}
+
+TEST(NodeMetrics, GrayFailureTelemetryIsRegisteredUpFront) {
+  // The hedging and health-aware-binding counters must exist (and export)
+  // from construction, not on first use: dashboards key on the names being
+  // present even when their value is still zero. counter() is find-or-create,
+  // so the real assertion is json presence on a freshly built orb + session.
+  orb::Orb orb(NodeId{1}, std::make_shared<idl::InterfaceRepository>());
+  session::Session session(orb, session::SessionConfig{});
+  const std::string json = orb.metrics().to_json();
+  EXPECT_NE(json.find("orb.hedges"), std::string::npos);
+  EXPECT_NE(json.find("orb.hedge_wins"), std::string::npos);
+  EXPECT_NE(json.find("session.rebind_health"), std::string::npos);
+  EXPECT_EQ(orb.metrics().counter("orb.hedges").value(), 0u);
+  EXPECT_EQ(orb.metrics().counter("orb.hedge_wins").value(), 0u);
+  EXPECT_EQ(orb.metrics().counter("session.rebind_health").value(), 0u);
 }
 
 }  // namespace

@@ -502,6 +502,69 @@ SessionChaosOutcome run_session_chaos(std::uint64_t seed) {
   return out;
 }
 
+// ------------------------------------ group binding + health-aware rebind
+
+// DESIGN.md §17: members published under "<group>#<tag>" form a replica
+// group; resolve_group ranks them by endpoint health and call_group rides
+// a member crash through the hedged path -- the first call after the
+// crash succeeds via an immediate hedge, and the ranking then demotes the
+// crashed member so later calls bind straight to the survivor.
+TEST(Session, GroupCallRidesMemberCrashThroughHedgeAndRebindsByHealth) {
+  World w(4);
+  Node& a = *w.nodes[1];
+  Node& b = *w.nodes[2];
+  Node& client = *w.nodes[3];
+  ASSERT_TRUE(a.install(counter_package()).ok());
+  ASSERT_TRUE(b.install(counter_package()).ok());
+  // Install (without acquiring) on the client too: call_group marshals
+  // through the local interface repository.
+  ASSERT_TRUE(client.install(counter_package()).ok());
+  auto ha = a.acquire_local("demo.counter", VersionConstraint{});
+  auto hb = b.acquire_local("demo.counter", VersionConstraint{});
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  a.publish_service("demo.group#1", ha->primary);
+  b.publish_service("demo.group#2", hb->primary);
+  w.net.advance(seconds(10));  // records replicate to every directory
+
+  // Hedging on, retries off: a dead primary surfaces after one attempt
+  // and the hedge leg -- not the retry loop -- covers it.
+  orb::InvocationPolicies pol;
+  pol.hedge.enabled = true;
+  client.orb().set_invocation_policies(pol);
+
+  session::SessionConfig cfg;
+  cfg.directory = w.directory_refs(client);
+  session::Session s(client.orb(), cfg);
+  wire_session(s, w);
+
+  auto members = s.resolve_group("demo.group");
+  ASSERT_TRUE(members.ok()) << members.error().to_string();
+  ASSERT_EQ(members->size(), 2u);
+  auto warm = s.call_group("demo.group", "value");
+  ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+  auto& metrics = client.orb().metrics();
+  EXPECT_EQ(metrics.counter("orb.hedges").value(), 0u);
+
+  // Crash whichever member the health ranking currently favours. The next
+  // call still lands on it first, fails fast, and the hedge leg to the
+  // survivor wins without an application-visible error.
+  auto ranked = s.resolve_group("demo.group");
+  ASSERT_TRUE(ranked.ok());
+  w.net.crash(ranked->front().node);
+  auto r = s.call_group("demo.group", "value");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(metrics.counter("orb.hedges").value(), 1u);
+  EXPECT_EQ(metrics.counter("orb.hedge_wins").value(), 1u);
+
+  // The recorded failure streak now demotes the crashed member: the next
+  // resolve reorders the group (counted as a health rebind) and the call
+  // binds straight to the survivor -- no further hedges spent.
+  ASSERT_TRUE(s.call_group("demo.group", "value").ok());
+  EXPECT_GE(metrics.counter("session.rebind_health").value(), 1u);
+  EXPECT_EQ(metrics.counter("orb.hedges").value(), 1u);
+}
+
 TEST(SessionChaos, SustainsSuccessThroughDropsAndCrashAndReplaysExactly) {
   const SessionChaosOutcome first = run_session_chaos(0x5e55);
   EXPECT_FALSE(first.fingerprint.empty()) << "no recovery activity recorded";

@@ -6,13 +6,18 @@
 // fixtures in the same commit and say so in its message.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/proto.hpp"
 #include "core/zone.hpp"
 #include "dir/record.hpp"
+#include "idl/repository.hpp"
 #include "orb/cdr.hpp"
 #include "orb/message.hpp"
+#include "orb/orb.hpp"
+#include "orb/transport.hpp"
 #include "support/golden_frames.hpp"
 
 namespace clc {
@@ -401,6 +406,78 @@ TEST(WireGolden, FrozenReplyBytesDecodeToOriginalFields) {
   EXPECT_EQ(m->exception_id, "timeout");
   EXPECT_EQ(m->payload, bytes_of("boom"));
   EXPECT_TRUE(m->service_contexts.empty());
+}
+
+// ------------------------------------------------- hedging stays off-wire
+
+// DESIGN.md §17 promises hedging and health-aware ranking are pure client
+// policy: the wire sees only ordinary request frames. Prove it end to end
+// by capturing the raw bytes a server receives from (a) a plain call and
+// (b) an identically-shaped hedged call, and comparing them byte for byte.
+// No endian skip -- both frames come from the same host, whatever it is.
+TEST(WireGolden, HedgedInvocationEmitsByteIdenticalRequestFrames) {
+  auto repo = std::make_shared<idl::InterfaceRepository>();
+  ASSERT_TRUE(repo
+                  ->register_idl(
+                      "module w { interface Calc {"
+                      " long add(in long a, in long b); }; };")
+                  .ok());
+  auto net = std::make_shared<orb::LoopbackNetwork>();
+
+  orb::Orb server(NodeId{1}, repo);
+  std::vector<Bytes> frames;
+  server.set_endpoint(net->register_endpoint([&](BytesView frame) {
+    frames.emplace_back(frame.begin(), frame.end());
+    return server.handle_frame(frame);
+  }));
+  server.add_transport("loop", net);
+  auto servant = std::make_shared<orb::DynamicServant>("w::Calc");
+  servant->on("add", [](orb::ServerRequest& req) -> Result<void> {
+    req.set_result(orb::Value(std::int32_t{42}));
+    return {};
+  });
+  const orb::ObjectRef calc = server.activate(servant);
+
+  // Two fresh clients with the same node id, so per-orb state (request-id
+  // counters) starts identically. The hedged one gets a decoy second
+  // replica and a captured timer: the primary succeeds inline, so neither
+  // the timer nor the hedge leg ever fires.
+  const auto make_client = [&] {
+    auto c = std::make_unique<orb::Orb>(NodeId{2}, repo);
+    auto* raw = c.get();
+    c->set_endpoint(net->register_endpoint(
+        [raw](BytesView frame) { return raw->handle_frame(frame); }));
+    c->add_transport("loop", net);
+    return c;
+  };
+
+  auto plain = make_client();
+  auto r1 = plain->call(calc, "add",
+                        {orb::Value(std::int32_t{20}),
+                         orb::Value(std::int32_t{22})},
+                        {.idempotent = true});
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  ASSERT_EQ(frames.size(), 1u);
+
+  auto hedger = make_client();
+  orb::InvocationPolicies pol;
+  pol.hedge.enabled = true;
+  hedger->set_invocation_policies(pol);
+  hedger->set_timer_fn([](Duration, std::function<void()>) {
+    FAIL() << "an inline success must never arm the hedge timer";
+  });
+  orb::ObjectRef decoy = calc;
+  decoy.endpoint = "loop:999";  // never contacted: primary wins inline
+  auto r2 = hedger->call_hedged({calc, decoy}, "add",
+                                {orb::Value(std::int32_t{20}),
+                                 orb::Value(std::int32_t{22})},
+                                {.idempotent = true});
+  ASSERT_TRUE(r2.ok()) << r2.error().to_string();
+  ASSERT_EQ(frames.size(), 2u)
+      << "the hedged call must put exactly one frame on the wire";
+
+  EXPECT_EQ(testing::to_hex(frames[0]), testing::to_hex(frames[1]))
+      << "hedging must be invisible on the wire";
 }
 
 }  // namespace
